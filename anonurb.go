@@ -1,0 +1,249 @@
+// Package anonurb implements Uniform Reliable Broadcast (URB) for
+// anonymous asynchronous message-passing systems with fair lossy
+// channels, reproducing Tang, Larrea, Arévalo and Jiménez, "Implementing
+// Uniform Reliable Broadcast in Anonymous Distributed Systems with Fair
+// Lossy Channels" (IPDPS Workshops 2015).
+//
+// # What URB gives you
+//
+// URB_broadcast(m) / URB_deliver(m) with three guarantees, even though
+// processes have no identifiers, any of them may crash, and the network
+// may lose arbitrarily many messages (as long as it is "fair": a message
+// retransmitted forever is eventually received):
+//
+//   - Validity: a correct broadcaster eventually delivers its own m.
+//   - Uniform agreement: if ANY process delivers m — even one that
+//     crashes right after — every correct process eventually delivers m.
+//   - Uniform integrity: m is delivered at most once, and only if it was
+//     broadcast.
+//
+// # The two algorithms
+//
+// NewMajority (the paper's Algorithm 1) needs no failure detector but
+// assumes a majority of processes never crash; it retransmits forever
+// (non-quiescent). NewQuiescent (Algorithm 2) consumes the anonymous
+// failure detectors AΘ and AP* (package view: fd.Detector), tolerates any
+// number of crashes, and eventually stops sending entirely.
+//
+// # How to run them
+//
+// The algorithms are deterministic state machines (Process); you feed
+// them received messages and periodic ticks and execute the broadcasts
+// and deliveries they return. Three hosts are provided:
+//
+//   - SimConfig/NewSimEngine: the deterministic discrete-event simulator
+//     used by the experiment suite (internal/sim);
+//   - StartCluster: a live goroutine runtime with lossy in-process links
+//     (internal/liverun) — see examples/;
+//   - your own event loop, for integration into real transports.
+//
+// # Quick start
+//
+//	correct := []bool{true, true, true}
+//	oracle := anonurb.NewOracle(anonurb.OracleConfig{N: 3, Noise: anonurb.NoiseExact, Seed: 1}, correct)
+//	cluster := anonurb.StartCluster(anonurb.ClusterConfig{
+//		N: 3,
+//		Factory: func(i int, tags *anonurb.TagSource, clock func() int64) anonurb.Process {
+//			return anonurb.NewQuiescent(oracle.Handle(i, clock), tags, anonurb.Config{})
+//		},
+//		Link:      anonurb.Bernoulli{P: 0.2, D: anonurb.UniformDelay{Min: 1, Max: 5}},
+//		OnDeliver: func(d anonurb.ClusterDelivery) { fmt.Println("delivered", d.ID.Body) },
+//	})
+//	cluster.Broadcast(0, "hello, anonymous world")
+//
+// See examples/quickstart for the complete program, DESIGN.md for the
+// architecture and EXPERIMENTS.md for the evaluation suite.
+package anonurb
+
+import (
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/liverun"
+	"anonurb/internal/rb"
+	"anonurb/internal/sim"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// Core algorithm surface (internal/urb).
+type (
+	// Process is a URB algorithm instance: a deterministic state machine
+	// driven by Receive/Tick/Broadcast.
+	Process = urb.Process
+	// Step is the output of one state-machine transition.
+	Step = urb.Step
+	// Delivery is one URB-delivery.
+	Delivery = urb.Delivery
+	// Stats reports a process's internal set sizes.
+	Stats = urb.Stats
+	// Config carries the algorithm knobs; the zero value is the
+	// paper-faithful configuration.
+	Config = urb.Config
+)
+
+// NewMajority builds the paper's Algorithm 1 (majority-based URB, no
+// failure detector, non-quiescent) for a system of n processes.
+func NewMajority(n int, tags *TagSource, cfg Config) Process {
+	return urb.NewMajority(n, tags, cfg)
+}
+
+// NewQuiescent builds the paper's Algorithm 2 (quiescent URB with AΘ and
+// AP*, any number of crashes).
+func NewQuiescent(det Detector, tags *TagSource, cfg Config) Process {
+	return urb.NewQuiescent(det, tags, cfg)
+}
+
+// NewHeartbeatHost builds the oracle-free stack: Algorithm 2 over a
+// heartbeat-realised detector, ALIVE beats multiplexed on the same mesh.
+// timeout is the trust window and beatEvery emits a beat on every k-th
+// tick, both in the host runtime's time units.
+func NewHeartbeatHost(tags *TagSource, timeout int64, beatEvery int, clock func() int64, cfg Config) Process {
+	return urb.NewHeartbeatHost(tags, timeout, beatEvery, clock, cfg)
+}
+
+// Baselines (internal/rb), for comparison studies. None of these is a
+// URB: see the package documentation of internal/rb and experiments T5,
+// T6 and F7 for what each gives up.
+
+// NewBestEffort builds the best-effort broadcast baseline (send once,
+// deliver on reception; integrity only).
+func NewBestEffort(tags *TagSource) Process { return rb.NewBestEffort(tags) }
+
+// NewEagerRB builds the eager (one-shot flooding) reliable broadcast
+// baseline; its guarantees assume reliable channels.
+func NewEagerRB(tags *TagSource) Process { return rb.NewEagerRB(tags) }
+
+// NewAnonymousRB builds the companion technical report's anonymous
+// reliable (non-uniform) broadcast: deliver on first reception,
+// retransmit forever.
+func NewAnonymousRB(tags *TagSource) Process { return rb.NewAnonymousRB(tags) }
+
+// NewIDedURB builds the classic identifier-based majority URB, the
+// non-anonymous comparator.
+func NewIDedURB(id, n int, tags *TagSource) Process { return rb.NewIDed(id, n, tags) }
+
+// Identifiers (internal/ident, internal/wire).
+type (
+	// Tag is a 128-bit anonymous identifier (message tag, ack tag, or
+	// failure detector label).
+	Tag = ident.Tag
+	// TagSource draws fresh tags deterministically.
+	TagSource = ident.Source
+	// MsgID identifies an application message: (payload, tag).
+	MsgID = wire.MsgID
+	// Message is a wire message (MSG or ACK).
+	Message = wire.Message
+)
+
+// NewTagSource returns a tag stream seeded from seed.
+func NewTagSource(seed uint64) *TagSource {
+	return ident.NewSource(xrand.New(seed))
+}
+
+// Failure detectors (internal/fd).
+type (
+	// Detector is the per-process AΘ/AP* handle Algorithm 2 consumes.
+	Detector = fd.Detector
+	// FDPair is one (label, number) view element.
+	FDPair = fd.Pair
+	// FDView is a failure detector output.
+	FDView = fd.View
+	// Oracle synthesises legal AΘ/AP* views for a known crash schedule.
+	Oracle = fd.Oracle
+	// OracleConfig parameterises the oracle.
+	OracleConfig = fd.OracleConfig
+	// NoiseMode selects the oracle's pre-stabilisation behaviour.
+	NoiseMode = fd.NoiseMode
+	// Heartbeat realises the detectors from periodic ALIVE messages
+	// under partial synchrony.
+	Heartbeat = fd.Heartbeat
+)
+
+// Oracle noise modes.
+const (
+	NoiseExact       = fd.NoiseExact
+	NoiseBenign      = fd.NoiseBenign
+	NoiseAdversarial = fd.NoiseAdversarial
+)
+
+// NewOracle builds a grounded failure detector oracle; correct[i] states
+// whether process i stays up in the run.
+func NewOracle(cfg OracleConfig, correct []bool) *Oracle {
+	return fd.NewOracle(cfg, correct)
+}
+
+// NewHeartbeat builds the heartbeat realisation of the detectors.
+func NewHeartbeat(label Tag, timeout int64, clock func() int64) *Heartbeat {
+	return fd.NewHeartbeat(label, timeout, clock)
+}
+
+// Channel models (internal/channel).
+type (
+	// LinkModel decides drop/delay per copy on a directed link.
+	LinkModel = channel.LinkModel
+	// Verdict is a link's decision for one copy.
+	Verdict = channel.Verdict
+	// Delayer draws per-copy latencies.
+	Delayer = channel.Delayer
+	// Reliable never drops.
+	Reliable = channel.Reliable
+	// Bernoulli drops each copy independently with probability P.
+	Bernoulli = channel.Bernoulli
+	// GilbertElliott is the two-state burst-loss model.
+	GilbertElliott = channel.GilbertElliott
+	// DropFirst drops the first K copies per link.
+	DropFirst = channel.DropFirst
+	// Partition cuts cross-group traffic until a given time.
+	Partition = channel.Partition
+	// Blackhole drops everything (NOT fair; for impossibility studies).
+	Blackhole = channel.Blackhole
+	// SlowSink starves one destination for its first K inbound copies.
+	SlowSink = channel.SlowSink
+	// FixedDelay is a constant latency.
+	FixedDelay = channel.FixedDelay
+	// UniformDelay draws latencies uniformly from [Min, Max].
+	UniformDelay = channel.UniformDelay
+	// ExpDelay draws Base + Exp(Mean) latencies.
+	ExpDelay = channel.ExpDelay
+)
+
+// Deterministic simulation (internal/sim).
+type (
+	// SimConfig describes a deterministic simulator run.
+	SimConfig = sim.Config
+	// SimEngine executes one run.
+	SimEngine = sim.Engine
+	// SimResult summarises a completed run.
+	SimResult = sim.Result
+	// SimEnv is what a process factory receives.
+	SimEnv = sim.Env
+	// ScheduledBroadcast injects a URB-broadcast into a run.
+	ScheduledBroadcast = sim.ScheduledBroadcast
+)
+
+// Never marks a process that does not crash in a simulator schedule.
+const Never = sim.Never
+
+// NewSimEngine builds a deterministic simulation run.
+func NewSimEngine(cfg SimConfig) *SimEngine {
+	return sim.NewEngine(cfg)
+}
+
+// Live runtime (internal/liverun).
+type (
+	// ClusterConfig describes a live goroutine cluster.
+	ClusterConfig = liverun.Config
+	// Cluster is a running live cluster.
+	Cluster = liverun.Cluster
+	// ClusterDelivery is a delivery observed on a live cluster.
+	ClusterDelivery = liverun.Delivery
+	// ClusterFactory builds one live process.
+	ClusterFactory = liverun.Factory
+)
+
+// StartCluster launches a live cluster.
+func StartCluster(cfg ClusterConfig) *Cluster {
+	return liverun.Start(cfg)
+}

@@ -1,0 +1,103 @@
+package anonurb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFacadeSimulatedRun exercises the public API end to end on the
+// deterministic simulator: a downstream user should be able to run both
+// algorithms without touching internal packages' import paths directly.
+func TestFacadeSimulatedRun(t *testing.T) {
+	const n = 4
+	correct := []bool{true, true, true, false}
+	oracle := NewOracle(OracleConfig{N: n, Noise: NoiseExact, Seed: 5}, correct)
+
+	res := NewSimEngine(SimConfig{
+		N: n,
+		Factory: func(env SimEnv) Process {
+			return NewQuiescent(oracle.Handle(env.Index, env.Now), env.Tags, Config{})
+		},
+		Link:             Bernoulli{P: 0.2, D: UniformDelay{Min: 1, Max: 5}},
+		Seed:             5,
+		MaxTime:          100_000,
+		CrashAt:          []int64{Never, Never, Never, 60},
+		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: "facade"}},
+		StopWhenQuiet:    200,
+		ExpectDeliveries: 1,
+	}).Run()
+
+	if !res.Quiescent {
+		t.Fatal("expected quiescence through the facade")
+	}
+	for i := 0; i < 3; i++ {
+		if len(res.Deliveries[i]) != 1 {
+			t.Fatalf("p%d delivered %d", i, len(res.Deliveries[i]))
+		}
+	}
+}
+
+// TestFacadeLiveCluster exercises the live-cluster surface.
+func TestFacadeLiveCluster(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	got := map[int]bool{}
+
+	cluster := StartCluster(ClusterConfig{
+		N: n,
+		Factory: func(_ int, tags *TagSource, _ func() int64) Process {
+			return NewMajority(n, tags, Config{})
+		},
+		Link:      Bernoulli{P: 0.1, D: UniformDelay{Min: 1, Max: 3}},
+		Unit:      200 * time.Microsecond,
+		TickEvery: 5,
+		Seed:      6,
+		OnDeliver: func(d ClusterDelivery) {
+			mu.Lock()
+			got[d.Proc] = true
+			mu.Unlock()
+		},
+	})
+	defer cluster.Stop()
+
+	if !cluster.Broadcast(1, "live-facade") {
+		t.Fatal("broadcast refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(got) == n
+		mu.Unlock()
+		if done {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("live cluster did not converge through the facade")
+}
+
+// TestFacadeTagSource checks the exported tag constructor.
+func TestFacadeTagSource(t *testing.T) {
+	a, b := NewTagSource(9), NewTagSource(9)
+	if a.Next() != b.Next() {
+		t.Fatal("tag sources with equal seeds must agree")
+	}
+	var zero Tag
+	if !zero.Zero() {
+		t.Fatal("zero tag")
+	}
+}
+
+// TestFacadeHeartbeat checks the heartbeat constructor surface.
+func TestFacadeHeartbeat(t *testing.T) {
+	now := int64(0)
+	hb := NewHeartbeat(Tag{Hi: 1, Lo: 1}, 10, func() int64 { return now })
+	if len(hb.ATheta()) != 1 {
+		t.Fatal("own label missing")
+	}
+	hb.Hear(Tag{Hi: 2, Lo: 2})
+	if len(hb.APStar()) != 2 {
+		t.Fatal("heard label missing")
+	}
+}

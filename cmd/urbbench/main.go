@@ -1,0 +1,56 @@
+// Command urbbench regenerates the full evaluation suite: every table
+// (T1-T4) and figure (F1-F6) listed in DESIGN.md §4, printed as aligned
+// text (default) or CSV.
+//
+// Usage:
+//
+//	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
+//
+// The output of a full run is what EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"anonurb/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced sweeps (CI sizes)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Uint64("seed", 2015, "base seed for every experiment (2015: the paper's year)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F2); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	params := harness.Params{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, exp := range harness.AllExperiments() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		table := exp.Gen(params)
+		ran++
+		if *csv {
+			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
+		} else {
+			fmt.Println(table.Render())
+			fmt.Printf("(%s generated in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "urbbench: no experiment matched %q\n", *only)
+		os.Exit(2)
+	}
+}

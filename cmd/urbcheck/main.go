@@ -1,0 +1,92 @@
+// Command urbcheck verifies a recorded run against the URB specification:
+// validity, uniform agreement, uniform integrity, the crash model and
+// channel integrity (see internal/trace).
+//
+// Usage:
+//
+//	urbcheck trace.jsonl          # verify a trace file
+//	urbsim ... -trace out.jsonl && urbcheck out.jsonl
+//	urbcheck -selftest            # record a fresh run and verify it
+//
+// Exit status: 0 if all properties hold, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/sim"
+	"anonurb/internal/trace"
+	"anonurb/internal/urb"
+)
+
+func main() {
+	selftest := flag.Bool("selftest", false, "record a run in-process and verify it")
+	truncated := flag.Bool("truncated", false, "trace is a run prefix: skip the eventual properties")
+	flag.Parse()
+
+	var h trace.Header
+	var events []trace.Event
+	var err error
+
+	switch {
+	case *selftest:
+		h, events = recordSelftest()
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "urbcheck: %v\n", ferr)
+			os.Exit(2)
+		}
+		defer f.Close()
+		h, events, err = trace.Read(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbcheck: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: urbcheck [-truncated] trace.jsonl | urbcheck -selftest")
+		os.Exit(2)
+	}
+
+	checker := trace.NewChecker(h.N, h.Crashed)
+	checker.CheckConvergent = !*truncated
+	rep := checker.Check(events)
+	fmt.Printf("trace    : n=%d, %d events, %d broadcasts, %d deliveries (%d fast)\n",
+		h.N, len(events), rep.Broadcast, rep.TotalDeliveries, rep.FastDeliveries)
+	if rep.OK() {
+		fmt.Println("verdict  : all URB properties hold")
+		return
+	}
+	fmt.Printf("verdict  : %d violation(s)\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  - %s\n", v.Error())
+	}
+	os.Exit(1)
+}
+
+// recordSelftest runs a small lossy scenario with crashes and returns its
+// trace.
+func recordSelftest() (trace.Header, []trace.Event) {
+	const n = 5
+	rec := trace.NewRecorder(trace.Options{Wire: true})
+	res := sim.NewEngine(sim.Config{
+		N: n,
+		Factory: func(env sim.Env) urb.Process {
+			return urb.NewMajority(n, env.Tags, urb.Config{})
+		},
+		Link:    channel.Bernoulli{P: 0.25, D: channel.UniformDelay{Min: 1, Max: 5}},
+		Seed:    2015,
+		MaxTime: 100_000,
+		CrashAt: []sim.Time{sim.Never, sim.Never, sim.Never, 60, 80},
+		Broadcasts: []sim.ScheduledBroadcast{
+			{At: 5, Proc: 0, Body: "selftest-a"},
+			{At: 9, Proc: 1, Body: "selftest-b"},
+		},
+		Observers:        []sim.Observer{rec},
+		ExpectDeliveries: 2,
+	}).Run()
+	return trace.Header{Version: 1, N: n, Crashed: res.Crashed}, rec.Events()
+}

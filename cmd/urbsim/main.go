@@ -1,0 +1,164 @@
+// Command urbsim runs one scenario of the anonymous-URB simulator from
+// flags and reports deliveries, property checks and traffic statistics.
+// It is the interactive companion to cmd/urbbench: where urbbench sweeps,
+// urbsim lets you poke at a single configuration.
+//
+// Examples:
+//
+//	urbsim -n 7 -algo majority -loss 0.3 -crashes 3 -msgs 4
+//	urbsim -n 5 -algo quiescent -loss 0.2 -crashes 4 -gst 200 -noise benign
+//	urbsim -n 4 -algo lowered -loss 0 -v   # unsafe threshold, watch it break
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/harness"
+	"anonurb/internal/sim"
+	"anonurb/internal/trace"
+	"anonurb/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 5, "number of processes")
+	algo := flag.String("algo", "majority", "algorithm: majority | quiescent | lowered")
+	loss := flag.Float64("loss", 0.2, "per-copy loss probability")
+	delayMax := flag.Int64("delay", 5, "max link delay (uniform in [1,delay])")
+	crashes := flag.Int("crashes", 0, "how many processes crash")
+	crashAt := flag.Int64("crash-at", 50, "crash time")
+	msgs := flag.Int("msgs", 2, "messages to broadcast (1 writer)")
+	gst := flag.Int64("gst", 0, "failure detector stabilisation time (quiescent)")
+	noise := flag.String("noise", "exact", "fd noise: exact | benign | adversarial")
+	seed := flag.Uint64("seed", 1, "run seed")
+	maxTime := flag.Int64("max-time", 200_000, "virtual-time horizon")
+	verbose := flag.Bool("v", false, "print per-process deliveries")
+	traceOut := flag.String("trace", "", "write the run trace (JSONL) to this file for urbcheck")
+	timeline := flag.Bool("timeline", false, "print an event timeline (broadcast/deliver/crash)")
+	timelineWire := flag.Bool("timeline-wire", false, "include send/receive events in the timeline")
+	flag.Parse()
+
+	var a harness.Algo
+	switch *algo {
+	case "majority":
+		a = harness.AlgoMajority
+	case "quiescent":
+		a = harness.AlgoQuiescent
+	case "lowered":
+		a = harness.AlgoMajorityLowered
+	default:
+		fmt.Fprintf(os.Stderr, "urbsim: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	var nm fd.NoiseMode
+	switch *noise {
+	case "exact":
+		nm = fd.NoiseExact
+	case "benign":
+		nm = fd.NoiseBenign
+	case "adversarial":
+		nm = fd.NoiseAdversarial
+	default:
+		fmt.Fprintf(os.Stderr, "urbsim: unknown noise mode %q\n", *noise)
+		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	var observers []sim.Observer
+	if *traceOut != "" || *timeline || *timelineWire {
+		rec = trace.NewRecorder(trace.Options{Wire: *traceOut != "" || *timelineWire})
+		observers = []sim.Observer{rec}
+	}
+
+	scen := harness.Scenario{
+		Name:      "urbsim",
+		Observers: observers,
+		N:         *n,
+		Algo:      a,
+		Link:      channel.Bernoulli{P: *loss, D: channel.UniformDelay{Min: 1, Max: *delayMax}},
+		FD:        fd.OracleConfig{Noise: nm, GST: *gst, NoisePeriod: 25},
+		Workload: workload.MultiWriter{
+			Writers: 1, PerWriter: *msgs, Start: 5, Interval: 30,
+		},
+		Crashes:       workload.CrashCount{Count: *crashes, From: *crashAt, To: *crashAt},
+		Seed:          *seed,
+		MaxTime:       sim.Time(*maxTime),
+		StopWhenQuiet: 300,
+	}
+	out := harness.Run(scen)
+
+	fmt.Printf("scenario : n=%d algo=%v link=%s crashes=%d seed=%d\n",
+		*n, a, scen.Link, *crashes, *seed)
+	fmt.Printf("run      : end=%d lastSend=%d quiescent=%v\n",
+		out.Result.EndTime, out.Result.LastSend, out.Result.Quiescent)
+	fmt.Printf("traffic  : %d copies offered, %d dropped (%.1f%%), %d bytes\n",
+		out.Result.Net.Sent, out.Result.Net.Dropped,
+		100*float64(out.Result.Net.Dropped)/max1(float64(out.Result.Net.Sent)),
+		out.Result.Net.Bytes)
+	fmt.Printf("delivery : issued=%d deliveredAll=%v latency mean/p50/p99/max = %s fast=%.1f%%\n",
+		out.Issued, out.DeliveredAll, out.Latency.Summary(), 100*out.FastFraction)
+
+	if out.Report.OK() {
+		fmt.Println("checks   : validity ok, uniform agreement ok, uniform integrity ok")
+	} else {
+		fmt.Printf("checks   : %d VIOLATION(S)\n", len(out.Report.Violations))
+		for _, v := range out.Report.Violations {
+			fmt.Printf("  - %s\n", v.Error())
+		}
+	}
+
+	if *timeline || *timelineWire {
+		fmt.Println()
+		fmt.Print(trace.Timeline(*n, rec.Events(), trace.TimelineOptions{
+			Wire:      *timelineWire,
+			MaxEvents: 400,
+		}))
+	}
+
+	if rec != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := trace.Write(f, *n, out.Result.Crashed, rec.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace    : %d events written to %s\n", len(rec.Events()), *traceOut)
+	}
+
+	if *verbose {
+		for p, ds := range out.Result.Deliveries {
+			status := "correct"
+			if out.Result.Crashed[p] {
+				status = "crashed"
+			}
+			fmt.Printf("p%-2d (%s): %d deliveries\n", p, status, len(ds))
+			for _, d := range ds {
+				kind := ""
+				if d.Fast {
+					kind = " (fast)"
+				}
+				fmt.Printf("    t=%-8d %s%s\n", d.At, d.ID, kind)
+			}
+		}
+	}
+	if !out.Report.OK() {
+		os.Exit(1)
+	}
+}
+
+func max1(f float64) float64 {
+	if f < 1 {
+		return 1
+	}
+	return f
+}

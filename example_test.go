@@ -1,0 +1,68 @@
+package anonurb_test
+
+import (
+	"fmt"
+
+	"anonurb"
+)
+
+// Example runs the paper's quiescent Algorithm 2 on the deterministic
+// simulator: four anonymous processes, lossy links, one crash — one
+// broadcast delivered by every correct process, after which the network
+// goes silent.
+func Example() {
+	const n = 4
+	correct := []bool{true, true, true, false} // p3 will crash
+	oracle := anonurb.NewOracle(anonurb.OracleConfig{
+		N: n, Noise: anonurb.NoiseExact, Seed: 1,
+	}, correct)
+
+	res := anonurb.NewSimEngine(anonurb.SimConfig{
+		N: n,
+		Factory: func(env anonurb.SimEnv) anonurb.Process {
+			return anonurb.NewQuiescent(oracle.Handle(env.Index, env.Now), env.Tags, anonurb.Config{})
+		},
+		Link:             anonurb.Bernoulli{P: 0.2, D: anonurb.UniformDelay{Min: 1, Max: 5}},
+		Seed:             1,
+		MaxTime:          100_000,
+		CrashAt:          []int64{anonurb.Never, anonurb.Never, anonurb.Never, 60},
+		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 5, Proc: 0, Body: "hello"}},
+		StopWhenQuiet:    200,
+		ExpectDeliveries: 1,
+	}).Run()
+
+	for p := 0; p < 3; p++ {
+		fmt.Printf("p%d delivered %d message(s)\n", p, len(res.Deliveries[p]))
+	}
+	fmt.Printf("quiescent: %v\n", res.Quiescent)
+	// Output:
+	// p0 delivered 1 message(s)
+	// p1 delivered 1 message(s)
+	// p2 delivered 1 message(s)
+	// quiescent: true
+}
+
+// ExampleNewMajority shows Algorithm 1 (no failure detector, majority of
+// correct processes) on the simulator.
+func ExampleNewMajority() {
+	const n = 3
+	res := anonurb.NewSimEngine(anonurb.SimConfig{
+		N: n,
+		Factory: func(env anonurb.SimEnv) anonurb.Process {
+			return anonurb.NewMajority(n, env.Tags, anonurb.Config{})
+		},
+		Link:             anonurb.Reliable{D: anonurb.FixedDelay(2)},
+		Seed:             7,
+		MaxTime:          10_000,
+		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 1, Proc: 2, Body: "majority"}},
+		ExpectDeliveries: 1,
+	}).Run()
+
+	total := 0
+	for _, ds := range res.Deliveries {
+		total += len(ds)
+	}
+	fmt.Printf("%d deliveries across %d processes\n", total, n)
+	// Output:
+	// 3 deliveries across 3 processes
+}

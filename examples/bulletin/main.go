@@ -1,0 +1,127 @@
+// Bulletin: an anonymous bulletin board. Several writers post notes
+// concurrently over a bursty, lossy network; every process ends up with
+// the same set of notes even though nobody knows who posted what — the
+// scenario the paper's introduction motivates (dissemination with
+// delivery guarantees and no identities).
+//
+// This example uses Algorithm 1 (majority-based, no failure detector):
+// as long as a majority of board members stay up, every note any member
+// shows was — or will be — shown by all surviving members, even notes
+// posted by members that crashed mid-post.
+//
+// Run with:
+//
+//	go run ./examples/bulletin
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"anonurb"
+)
+
+// board collects each process's view of the bulletin board.
+type board struct {
+	mu    sync.Mutex
+	notes map[int][]string // per process, in delivery order
+}
+
+func (b *board) post(proc int, note string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.notes[proc] = append(b.notes[proc], note)
+}
+
+func (b *board) snapshot(proc int) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := append([]string(nil), b.notes[proc]...)
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	const n = 7
+	const posts = 3
+
+	b := &board{notes: map[int][]string{}}
+	cluster := anonurb.StartCluster(anonurb.ClusterConfig{
+		N: n,
+		Factory: func(_ int, tags *anonurb.TagSource, _ func() int64) anonurb.Process {
+			// Algorithm 1 needs no failure detector — just the system
+			// size and a majority of correct members.
+			return anonurb.NewMajority(n, tags, anonurb.Config{})
+		},
+		// A bursty network: usually fine, occasionally terrible.
+		Link: anonurb.GilbertElliott{
+			PGood: 0.05, PBad: 0.8,
+			GoodToBad: 0.05, BadToGood: 0.2,
+			D: anonurb.UniformDelay{Min: 1, Max: 8},
+		},
+		Unit:      time.Millisecond,
+		TickEvery: 8,
+		Seed:      2015,
+		OnDeliver: func(d anonurb.ClusterDelivery) { b.post(d.Proc, d.ID.Body) },
+	})
+	defer cluster.Stop()
+
+	fmt.Printf("an anonymous bulletin board with %d members (bursty lossy links)\n", n)
+
+	// Three members post concurrently...
+	for w := 0; w < posts; w++ {
+		writer := w * 2 // members 0, 2, 4
+		note := fmt.Sprintf("note-%c from an anonymous member", 'A'+w)
+		cluster.Broadcast(writer, note)
+	}
+	// ...and one of the writers crashes right after posting, plus two
+	// lurkers die too: 3 crashes < n/2 keeps the majority assumption.
+	time.Sleep(20 * time.Millisecond)
+	cluster.Crash(4)
+	cluster.Crash(5)
+	cluster.Crash(6)
+	fmt.Println("members 4, 5, 6 crashed (one of them mid-post)")
+
+	// Wait until the four survivors agree on all posts.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		agreed := true
+		for p := 0; p < 4; p++ {
+			if len(b.snapshot(p)) < posts {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fmt.Println("\nfinal board at every surviving member:")
+	reference := b.snapshot(0)
+	consistent := true
+	for p := 0; p < 4; p++ {
+		view := b.snapshot(p)
+		fmt.Printf("  member %d sees %d notes\n", p, len(view))
+		for i, note := range view {
+			fmt.Printf("      %d. %s\n", i+1, note)
+		}
+		if len(view) != len(reference) {
+			consistent = false
+		} else {
+			for i := range view {
+				if view[i] != reference[i] {
+					consistent = false
+				}
+			}
+		}
+	}
+	if consistent && len(reference) == posts {
+		fmt.Println("\nall surviving members agree on the full board — uniform reliable broadcast at work")
+	} else {
+		fmt.Println("\nviews diverged (should not happen)")
+	}
+}

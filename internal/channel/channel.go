@@ -1,0 +1,275 @@
+// Package channel models the paper's communication substrate: bidirectional
+// point-to-point fair lossy channels between every pair of processes.
+//
+// A fair lossy channel (Aguilera, Toueg, Deianov; Basu, Charron-Bost,
+// Toueg) satisfies:
+//
+//   - Fairness: if p sends m to q infinitely often and q is correct, q
+//     eventually receives m.
+//   - Uniform integrity: q receives m only if p sent it, and receives m
+//     infinitely often only if p sent it infinitely often. Channels never
+//     create, duplicate or garble messages.
+//
+// The simulator realises a channel as a LinkModel deciding, per send
+// attempt, whether the copy is dropped and how long it is delayed. The
+// stock models either satisfy fairness almost surely (Bernoulli with
+// p < 1, Gilbert–Elliott with a reachable good state) or deterministically
+// (DropFirst, Partition with a finite horizon). Blackhole violates
+// fairness by design and exists for the Theorem 2 impossibility
+// construction, where the only messages it swallows are the finitely many
+// copies sent by processes that crash.
+//
+// The package is independent of the simulator: time is plain int64 virtual
+// nanoseconds, and randomness comes from an injected xrand stream, so the
+// same models also back the live goroutine runtime.
+package channel
+
+import (
+	"fmt"
+
+	"anonurb/internal/xrand"
+)
+
+// Verdict is a link's decision about one send attempt.
+type Verdict struct {
+	// Drop indicates the copy is lost; Delay is then meaningless.
+	Drop bool
+	// Delay is the link latency applied to this copy, in virtual
+	// nanoseconds. Independent per-copy delays model asynchrony: copies
+	// may be reordered arbitrarily.
+	Delay int64
+}
+
+// LinkModel decides the fate of each send attempt on one directed link.
+// Implementations must be deterministic given the injected randomness.
+type LinkModel interface {
+	// Judge rules on one attempt. now is the send time; src and dst are
+	// simulator bookkeeping indices (never visible to the algorithms);
+	// attempt counts prior sends on this directed link (0-based).
+	Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict
+	// String describes the model for scenario tables.
+	String() string
+}
+
+// Delayer produces per-copy latencies.
+type Delayer interface {
+	Delay(rng *xrand.Source) int64
+	String() string
+}
+
+// FixedDelay is a constant latency.
+type FixedDelay int64
+
+// Delay implements Delayer.
+func (d FixedDelay) Delay(*xrand.Source) int64 { return int64(d) }
+
+// String implements Delayer.
+func (d FixedDelay) String() string { return fmt.Sprintf("fixed(%d)", int64(d)) }
+
+// UniformDelay draws latencies uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max int64
+}
+
+// Delay implements Delayer.
+func (d UniformDelay) Delay(rng *xrand.Source) int64 {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	return rng.Range(d.Min, d.Max)
+}
+
+// String implements Delayer.
+func (d UniformDelay) String() string { return fmt.Sprintf("uniform[%d,%d]", d.Min, d.Max) }
+
+// ExpDelay draws latencies Base + Exp(Mean); the exponential tail models
+// asynchrony with unbounded (but integrable) delays.
+type ExpDelay struct {
+	Base int64
+	Mean float64
+}
+
+// Delay implements Delayer.
+func (d ExpDelay) Delay(rng *xrand.Source) int64 {
+	return d.Base + int64(rng.Exp(d.Mean))
+}
+
+// String implements Delayer.
+func (d ExpDelay) String() string { return fmt.Sprintf("exp(base=%d,mean=%g)", d.Base, d.Mean) }
+
+// Reliable never drops; it is the control condition in the sweeps.
+type Reliable struct {
+	D Delayer
+}
+
+// Judge implements LinkModel.
+func (r Reliable) Judge(_ int64, _, _ int, _ uint64, rng *xrand.Source) Verdict {
+	return Verdict{Delay: r.D.Delay(rng)}
+}
+
+// String implements LinkModel.
+func (r Reliable) String() string { return "reliable/" + r.D.String() }
+
+// Bernoulli drops each copy independently with probability P. For P < 1
+// it is fair lossy almost surely: a message sent infinitely often gets
+// through with probability 1.
+type Bernoulli struct {
+	P float64
+	D Delayer
+}
+
+// Judge implements LinkModel.
+func (b Bernoulli) Judge(_ int64, _, _ int, _ uint64, rng *xrand.Source) Verdict {
+	if rng.Bool(b.P) {
+		return Verdict{Drop: true}
+	}
+	return Verdict{Delay: b.D.Delay(rng)}
+}
+
+// String implements LinkModel.
+func (b Bernoulli) String() string { return fmt.Sprintf("bernoulli(p=%g)/%s", b.P, b.D) }
+
+// GilbertElliott is the classic two-state burst-loss model: a link
+// alternates between a Good state (loss PGood) and a Bad state (loss
+// PBad), switching with the given per-attempt probabilities. It models
+// bursty real-world loss while remaining fair lossy a.s. as long as the
+// good state is reachable and PGood < 1.
+//
+// State is per directed link and lives in the Network wrapper, so the
+// model value itself stays immutable and shareable.
+type GilbertElliott struct {
+	PGood, PBad          float64
+	GoodToBad, BadToGood float64
+	D                    Delayer
+}
+
+// String implements LinkModel.
+func (g GilbertElliott) String() string {
+	return fmt.Sprintf("gilbert(pg=%g,pb=%g,g2b=%g,b2g=%g)/%s",
+		g.PGood, g.PBad, g.GoodToBad, g.BadToGood, g.D)
+}
+
+// Judge implements LinkModel, but without burst state; use it only via
+// Network, which tracks the per-link state. Standalone Judge behaves as
+// the stationary mix and exists so the interface is satisfied.
+func (g GilbertElliott) Judge(_ int64, _, _ int, _ uint64, rng *xrand.Source) Verdict {
+	// Stationary probability of Bad ≈ g2b/(g2b+b2g).
+	pBadState := 0.5
+	if g.GoodToBad+g.BadToGood > 0 {
+		pBadState = g.GoodToBad / (g.GoodToBad + g.BadToGood)
+	}
+	p := g.PGood
+	if rng.Bool(pBadState) {
+		p = g.PBad
+	}
+	if rng.Bool(p) {
+		return Verdict{Drop: true}
+	}
+	return Verdict{Delay: g.D.Delay(rng)}
+}
+
+// DropFirst drops the first K attempts on every directed link, then
+// behaves as Then. It is deterministically fair lossy and is the
+// worst-case model for "retransmit until it sticks" liveness tests.
+type DropFirst struct {
+	K    uint64
+	Then LinkModel
+}
+
+// Judge implements LinkModel.
+func (d DropFirst) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	if attempt < d.K {
+		return Verdict{Drop: true}
+	}
+	return d.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// String implements LinkModel.
+func (d DropFirst) String() string { return fmt.Sprintf("dropfirst(%d)->%s", d.K, d.Then) }
+
+// Partition drops every copy crossing between the two groups until the
+// given virtual time, then behaves as Then everywhere. Membership is by
+// simulator index: InGroupA reports side A. With a finite Until the model
+// remains fair lossy.
+type Partition struct {
+	Until    int64
+	InGroupA func(proc int) bool
+	Then     LinkModel
+}
+
+// Judge implements LinkModel.
+func (p Partition) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	if now < p.Until && p.InGroupA(src) != p.InGroupA(dst) {
+		return Verdict{Drop: true}
+	}
+	return p.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// String implements LinkModel.
+func (p Partition) String() string { return fmt.Sprintf("partition(until=%d)->%s", p.Until, p.Then) }
+
+// Blackhole drops everything, forever. It is NOT fair lossy; it exists
+// solely for the Theorem 2 construction, where all copies sent by the
+// soon-to-crash group are lost (legal because those processes send only
+// finitely many copies before crashing).
+type Blackhole struct{}
+
+// Judge implements LinkModel.
+func (Blackhole) Judge(int64, int, int, uint64, *xrand.Source) Verdict {
+	return Verdict{Drop: true}
+}
+
+// String implements LinkModel.
+func (Blackhole) String() string { return "blackhole" }
+
+// SlowSink drops the first K copies on every link INTO process Dst and
+// defers to Then everywhere else (and on Dst's links after K attempts).
+// It stays deterministically fair lossy while making one process
+// arbitrarily late — the adversary for the failure detector ablation
+// (experiment T4), where a premature retirement starves exactly such a
+// slow-but-correct process.
+type SlowSink struct {
+	Dst  int
+	K    uint64
+	Then LinkModel
+}
+
+// Judge implements LinkModel.
+func (s SlowSink) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	if dst == s.Dst && attempt < s.K {
+		return Verdict{Drop: true}
+	}
+	return s.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// String implements LinkModel.
+func (s SlowSink) String() string { return fmt.Sprintf("slowsink(p%d,%d)->%s", s.Dst, s.K, s.Then) }
+
+// Script replays a scripted decision sequence per directed link; attempts
+// beyond the script fall through to Then. It gives tests exact control
+// over which copies survive.
+type Script struct {
+	// Drops[src][dst] lists, per attempt index, whether that attempt is
+	// dropped. Missing links or attempts defer to Then.
+	Drops map[int]map[int][]bool
+	Then  LinkModel
+}
+
+// Judge implements LinkModel.
+func (s Script) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	if byDst, ok := s.Drops[src]; ok {
+		if seq, ok := byDst[dst]; ok && attempt < uint64(len(seq)) {
+			if seq[attempt] {
+				return Verdict{Drop: true}
+			}
+			// Scripted "keep": still ask Then for the delay but never drop.
+			v := s.Then.Judge(now, src, dst, attempt, rng)
+			v.Drop = false
+			return v
+		}
+	}
+	return s.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// String implements LinkModel.
+func (s Script) String() string { return fmt.Sprintf("script(%d links)->%s", len(s.Drops), s.Then) }

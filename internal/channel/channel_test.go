@@ -1,0 +1,208 @@
+package channel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"anonurb/internal/xrand"
+)
+
+func TestFixedDelay(t *testing.T) {
+	d := FixedDelay(42)
+	if d.Delay(xrand.New(1)) != 42 {
+		t.Fatal("fixed delay wrong")
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	d := UniformDelay{Min: 10, Max: 20}
+	rng := xrand.New(2)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := d.Delay(rng)
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform delay out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("uniform delay did not cover range: %d values", len(seen))
+	}
+	deg := UniformDelay{Min: 5, Max: 5}
+	if deg.Delay(rng) != 5 {
+		t.Fatal("degenerate uniform")
+	}
+	inverted := UniformDelay{Min: 9, Max: 3}
+	if inverted.Delay(rng) != 9 {
+		t.Fatal("inverted bounds should return Min")
+	}
+}
+
+func TestExpDelayMean(t *testing.T) {
+	d := ExpDelay{Base: 100, Mean: 50}
+	rng := xrand.New(3)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := d.Delay(rng)
+		if v < 100 {
+			t.Fatalf("exp delay below base: %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-150) > 3 {
+		t.Fatalf("exp delay mean %g, want ~150", mean)
+	}
+}
+
+func TestReliableNeverDrops(t *testing.T) {
+	m := Reliable{D: FixedDelay(1)}
+	rng := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		if m.Judge(0, 0, 1, uint64(i), rng).Drop {
+			t.Fatal("reliable dropped")
+		}
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	m := Bernoulli{P: 0.25, D: FixedDelay(1)}
+	rng := xrand.New(5)
+	drops := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Judge(0, 0, 1, uint64(i), rng).Drop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("bernoulli loss %g, want ~0.25", frac)
+	}
+}
+
+func TestBernoulliFairness(t *testing.T) {
+	// A copy sent repeatedly must eventually get through: with p=0.9 the
+	// expected number of attempts is 10; 10k attempts failing would be a
+	// fairness bug (probability 10^-458).
+	m := Bernoulli{P: 0.9, D: FixedDelay(1)}
+	rng := xrand.New(6)
+	for trial := 0; trial < 100; trial++ {
+		got := false
+		for i := 0; i < 10000; i++ {
+			if !m.Judge(0, 0, 1, uint64(i), rng).Drop {
+				got = true
+				break
+			}
+		}
+		if !got {
+			t.Fatal("bernoulli link starved a retransmitted message")
+		}
+	}
+}
+
+func TestDropFirstDeterministicFairness(t *testing.T) {
+	m := DropFirst{K: 5, Then: Reliable{D: FixedDelay(1)}}
+	rng := xrand.New(7)
+	for i := uint64(0); i < 5; i++ {
+		if !m.Judge(0, 0, 1, i, rng).Drop {
+			t.Fatalf("attempt %d should drop", i)
+		}
+	}
+	if m.Judge(0, 0, 1, 5, rng).Drop {
+		t.Fatal("attempt 5 should pass")
+	}
+}
+
+func TestPartitionCutsCrossTraffic(t *testing.T) {
+	inA := func(p int) bool { return p < 2 }
+	m := Partition{Until: 100, InGroupA: inA, Then: Reliable{D: FixedDelay(1)}}
+	rng := xrand.New(8)
+	if !m.Judge(50, 0, 3, 0, rng).Drop {
+		t.Fatal("cross-partition copy should drop before Until")
+	}
+	if m.Judge(50, 0, 1, 0, rng).Drop {
+		t.Fatal("same-side copy should pass")
+	}
+	if m.Judge(150, 0, 3, 0, rng).Drop {
+		t.Fatal("cross copy should pass after Until")
+	}
+}
+
+func TestBlackholeDropsEverything(t *testing.T) {
+	m := Blackhole{}
+	rng := xrand.New(9)
+	for i := 0; i < 100; i++ {
+		if !m.Judge(int64(i), i%3, (i+1)%3, uint64(i), rng).Drop {
+			t.Fatal("blackhole passed a message")
+		}
+	}
+}
+
+func TestScriptExactControl(t *testing.T) {
+	m := Script{
+		Drops: map[int]map[int][]bool{
+			0: {1: {true, false, true}},
+		},
+		Then: Blackhole{},
+	}
+	rng := xrand.New(10)
+	if !m.Judge(0, 0, 1, 0, rng).Drop {
+		t.Fatal("scripted drop 0")
+	}
+	if m.Judge(0, 0, 1, 1, rng).Drop {
+		t.Fatal("scripted keep 1 must pass even over Blackhole")
+	}
+	if !m.Judge(0, 0, 1, 2, rng).Drop {
+		t.Fatal("scripted drop 2")
+	}
+	// Beyond script falls through to Then (blackhole).
+	if !m.Judge(0, 0, 1, 3, rng).Drop {
+		t.Fatal("fallthrough should consult Then")
+	}
+	// Unscripted link falls through too.
+	if !m.Judge(0, 2, 1, 0, rng).Drop {
+		t.Fatal("unscripted link should consult Then")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	models := []LinkModel{
+		Reliable{D: FixedDelay(1)},
+		Bernoulli{P: 0.5, D: UniformDelay{Min: 1, Max: 2}},
+		GilbertElliott{PGood: 0.01, PBad: 0.9, GoodToBad: 0.1, BadToGood: 0.3, D: ExpDelay{Base: 1, Mean: 2}},
+		DropFirst{K: 3, Then: Reliable{D: FixedDelay(1)}},
+		Partition{Until: 5, InGroupA: func(int) bool { return true }, Then: Blackhole{}},
+		Blackhole{},
+		Script{Then: Blackhole{}},
+	}
+	for _, m := range models {
+		if m.String() == "" {
+			t.Fatalf("%T has empty String()", m)
+		}
+	}
+	if !strings.Contains((Bernoulli{P: 0.5, D: FixedDelay(1)}).String(), "0.5") {
+		t.Fatal("bernoulli string should include p")
+	}
+}
+
+func TestSlowSinkDelaysOneProcess(t *testing.T) {
+	m := SlowSink{Dst: 2, K: 3, Then: Reliable{D: FixedDelay(1)}}
+	rng := xrand.New(11)
+	for i := uint64(0); i < 3; i++ {
+		if !m.Judge(0, 0, 2, i, rng).Drop {
+			t.Fatalf("copy %d into sink should drop", i)
+		}
+	}
+	if m.Judge(0, 0, 2, 3, rng).Drop {
+		t.Fatal("sink must open after K attempts (fairness)")
+	}
+	if m.Judge(0, 0, 1, 0, rng).Drop {
+		t.Fatal("other destinations unaffected")
+	}
+	if m.String() == "" {
+		t.Fatal("string")
+	}
+}

@@ -1,0 +1,131 @@
+package channel
+
+import (
+	"fmt"
+
+	"anonurb/internal/xrand"
+)
+
+// Network is the full n×n mesh of directed fair lossy links. It owns the
+// per-link attempt counters (feeding LinkModel.Judge and the fairness
+// accounting), the per-link burst state for Gilbert–Elliott models, and
+// the loss/delivery statistics the metrics layer reads.
+//
+// Network is not safe for concurrent use; the deterministic simulator
+// serialises all sends, and the live runtime gives each link goroutine its
+// own Network-free model instance.
+type Network struct {
+	n     int
+	model LinkModel
+	rng   *xrand.Source
+
+	attempts []uint64 // per directed link src*n+dst
+	dropped  []uint64
+	geBad    []bool // Gilbert–Elliott per-link state
+
+	totalSent    uint64
+	totalDropped uint64
+	totalBytes   uint64
+}
+
+// NewNetwork builds a mesh of n processes all using the same LinkModel,
+// with randomness drawn from rng (the Network takes ownership of the
+// stream).
+func NewNetwork(n int, model LinkModel, rng *xrand.Source) *Network {
+	return &Network{
+		n:        n,
+		model:    model,
+		rng:      rng,
+		attempts: make([]uint64, n*n),
+		dropped:  make([]uint64, n*n),
+		geBad:    make([]bool, n*n),
+	}
+}
+
+// N returns the number of processes in the mesh.
+func (w *Network) N() int { return w.n }
+
+// Model returns the link model in force.
+func (w *Network) Model() LinkModel { return w.model }
+
+func (w *Network) link(src, dst int) int {
+	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("channel: link (%d,%d) out of range n=%d", src, dst, w.n))
+	}
+	return src*w.n + dst
+}
+
+// Send rules on one copy of a message of the given encoded size travelling
+// src→dst at virtual time now. It updates the attempt counters and
+// statistics and returns the verdict.
+func (w *Network) Send(now int64, src, dst int, size int) Verdict {
+	l := w.link(src, dst)
+	attempt := w.attempts[l]
+	w.attempts[l]++
+	w.totalSent++
+	w.totalBytes += uint64(size)
+
+	var v Verdict
+	if ge, ok := w.model.(GilbertElliott); ok {
+		v = w.judgeGE(ge, l)
+	} else {
+		v = w.model.Judge(now, src, dst, attempt, w.rng)
+	}
+	if v.Drop {
+		w.dropped[l]++
+		w.totalDropped++
+	}
+	if v.Delay < 0 {
+		v.Delay = 0
+	}
+	return v
+}
+
+// judgeGE applies a Gilbert–Elliott model with real per-link state: first
+// the state may flip, then the loss probability of the current state
+// applies.
+func (w *Network) judgeGE(ge GilbertElliott, l int) Verdict {
+	if w.geBad[l] {
+		if w.rng.Bool(ge.BadToGood) {
+			w.geBad[l] = false
+		}
+	} else {
+		if w.rng.Bool(ge.GoodToBad) {
+			w.geBad[l] = true
+		}
+	}
+	p := ge.PGood
+	if w.geBad[l] {
+		p = ge.PBad
+	}
+	if w.rng.Bool(p) {
+		return Verdict{Drop: true}
+	}
+	return Verdict{Delay: ge.D.Delay(w.rng)}
+}
+
+// Attempts returns how many copies have been sent on the directed link.
+func (w *Network) Attempts(src, dst int) uint64 { return w.attempts[w.link(src, dst)] }
+
+// Dropped returns how many copies were lost on the directed link.
+func (w *Network) Dropped(src, dst int) uint64 { return w.dropped[w.link(src, dst)] }
+
+// Stats summarises the whole mesh.
+type Stats struct {
+	Sent    uint64 // copies offered to the network (n copies per broadcast)
+	Dropped uint64
+	Bytes   uint64 // encoded bytes offered
+}
+
+// Stats returns the running totals.
+func (w *Network) Stats() Stats {
+	return Stats{Sent: w.totalSent, Dropped: w.totalDropped, Bytes: w.totalBytes}
+}
+
+// LossRate returns the observed fraction of dropped copies.
+func (w *Network) LossRate() float64 {
+	if w.totalSent == 0 {
+		return 0
+	}
+	return float64(w.totalDropped) / float64(w.totalSent)
+}

@@ -1,0 +1,132 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"anonurb/internal/xrand"
+)
+
+func TestNetworkCountsAttemptsAndDrops(t *testing.T) {
+	w := NewNetwork(3, DropFirst{K: 2, Then: Reliable{D: FixedDelay(1)}}, xrand.New(1))
+	for i := 0; i < 5; i++ {
+		w.Send(0, 0, 1, 10)
+	}
+	if got := w.Attempts(0, 1); got != 5 {
+		t.Fatalf("attempts %d, want 5", got)
+	}
+	if got := w.Dropped(0, 1); got != 2 {
+		t.Fatalf("dropped %d, want 2", got)
+	}
+	if got := w.Attempts(1, 0); got != 0 {
+		t.Fatalf("reverse link should be untouched, got %d", got)
+	}
+	st := w.Stats()
+	if st.Sent != 5 || st.Dropped != 2 || st.Bytes != 50 {
+		t.Fatalf("stats %+v", st)
+	}
+	if math.Abs(w.LossRate()-0.4) > 1e-9 {
+		t.Fatalf("loss rate %g", w.LossRate())
+	}
+}
+
+func TestNetworkPerLinkAttemptIsolation(t *testing.T) {
+	// DropFirst must key off the per-link counter, not a global one.
+	w := NewNetwork(2, DropFirst{K: 1, Then: Reliable{D: FixedDelay(1)}}, xrand.New(2))
+	if !w.Send(0, 0, 1, 1).Drop {
+		t.Fatal("first copy on 0→1 should drop")
+	}
+	if !w.Send(0, 1, 0, 1).Drop {
+		t.Fatal("first copy on 1→0 should drop (independent counter)")
+	}
+	if w.Send(0, 0, 1, 1).Drop {
+		t.Fatal("second copy on 0→1 should pass")
+	}
+}
+
+func TestNetworkGilbertElliottBurstiness(t *testing.T) {
+	// In the bad state nearly everything drops; in the good state nearly
+	// nothing does. Measured run lengths of drops must be clustered,
+	// i.e. the conditional drop probability after a drop must exceed the
+	// marginal drop probability.
+	ge := GilbertElliott{
+		PGood: 0.01, PBad: 0.95,
+		GoodToBad: 0.02, BadToGood: 0.1,
+		D: FixedDelay(1),
+	}
+	w := NewNetwork(2, ge, xrand.New(3))
+	const n = 200000
+	drops := make([]bool, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		drops[i] = w.Send(int64(i), 0, 1, 1).Drop
+		if drops[i] {
+			total++
+		}
+	}
+	marginal := float64(total) / n
+	afterDrop, afterDropHits := 0, 0
+	for i := 1; i < n; i++ {
+		if drops[i-1] {
+			afterDrop++
+			if drops[i] {
+				afterDropHits++
+			}
+		}
+	}
+	conditional := float64(afterDropHits) / float64(afterDrop)
+	if conditional <= marginal+0.1 {
+		t.Fatalf("no burstiness: P(drop|drop)=%g vs P(drop)=%g", conditional, marginal)
+	}
+}
+
+func TestNetworkGEStatePerLink(t *testing.T) {
+	// Two links must carry independent burst state: force one link into
+	// the bad state statistically and check the other is unaffected.
+	ge := GilbertElliott{
+		PGood: 0.0, PBad: 1.0,
+		GoodToBad: 0.0, BadToGood: 1.0, // never leaves good
+		D: FixedDelay(1),
+	}
+	w := NewNetwork(2, ge, xrand.New(4))
+	for i := 0; i < 100; i++ {
+		if w.Send(0, 0, 1, 1).Drop {
+			t.Fatal("good-state link dropped with PGood=0 and GoodToBad=0")
+		}
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() []bool {
+		w := NewNetwork(4, Bernoulli{P: 0.3, D: UniformDelay{Min: 1, Max: 9}}, xrand.New(42))
+		out := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			v := w.Send(int64(i), i%4, (i+1)%4, 8)
+			out = append(out, v.Drop)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d", i)
+		}
+	}
+}
+
+func TestNetworkNegativeDelayClamped(t *testing.T) {
+	w := NewNetwork(2, Reliable{D: FixedDelay(-5)}, xrand.New(5))
+	if v := w.Send(0, 0, 1, 1); v.Delay != 0 {
+		t.Fatalf("negative delay should clamp to 0, got %d", v.Delay)
+	}
+}
+
+func TestNetworkOutOfRangePanics(t *testing.T) {
+	w := NewNetwork(2, Blackhole{}, xrand.New(6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range link")
+		}
+	}()
+	w.Send(0, 0, 5, 1)
+}

@@ -1,0 +1,456 @@
+// Package explore is a bounded-exhaustive model checker for the paper's
+// algorithms: it enumerates EVERY schedule of message deliveries, message
+// drops, Task-1 ticks and crashes within configurable bounds, and checks
+// safety invariants in every reachable state.
+//
+// Random simulation (internal/sim) samples schedules; explore proves the
+// absence of safety violations for all schedules inside the bounds —
+// including pathological interleavings no random run would hit (the
+// adversarial drop/reorder patterns fair lossy channels permit). The
+// state space is walked by depth-first replay: algorithm state machines
+// are deterministic functions of their input history, so a path is
+// re-executed from scratch on fresh instances, which keeps the checker
+// independent of the algorithms' internals.
+//
+// Within its bounds the checker verifies on every state:
+//
+//   - Uniform integrity: no process delivers a message twice, or a
+//     message that was never broadcast.
+//   - Evidence support: every delivery is justified — some process that
+//     has not crashed yet has the message in its retransmission set or
+//     has delivered it (the induction step behind uniform agreement:
+//     a delivered message can never become unrecoverable).
+//
+// The evidence-support invariant is the interesting one: it is exactly
+// what the majority assumption (Algorithm 1) and AΘ-accuracy
+// (Algorithm 2) are for, and it is what breaks when Algorithm 1's
+// threshold is lowered below a majority (Theorem 2) — the checker finds
+// that violation automatically (see the tests).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+// Builder constructs fresh algorithm instances for one replay. Instances
+// must be deterministic: the k-th call must always return a process that
+// behaves identically given identical inputs.
+type Builder func() []urb.Process
+
+// Bounds caps the explored state space.
+type Bounds struct {
+	// TicksPerProc caps Task-1 executions per process.
+	TicksPerProc int
+	// MaxCrashes caps how many processes may crash.
+	MaxCrashes int
+	// FlightCap caps the in-flight message buffer; broadcast copies
+	// beyond the cap are dropped deterministically (legal for a lossy
+	// channel). Keeps the branching finite.
+	FlightCap int
+	// MaxStates aborts exploration beyond this many visited states
+	// (guards against accidentally huge bounds).
+	MaxStates int
+}
+
+// DefaultBounds is small enough to finish in well under a second for
+// n=2..3 while still covering thousands of adversarial schedules.
+func DefaultBounds() Bounds {
+	return Bounds{TicksPerProc: 2, MaxCrashes: 1, FlightCap: 6, MaxStates: 2_000_000}
+}
+
+// Violation describes a safety violation found on some schedule.
+type Violation struct {
+	// Path is the action trace that reaches the violation.
+	Path []string
+	// Detail describes what broke.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("explore: %s (path: %v)", v.Detail, v.Path)
+}
+
+// Stats summarises an exploration.
+type Stats struct {
+	// States is the number of states visited (actions applied).
+	States int
+	// Schedules is the number of maximal schedules (leaves) explored.
+	Schedules int
+	// Deliveries counts delivered (process, message) pairs summed over
+	// all maximal schedules.
+	Deliveries int
+	// Merged counts states pruned because an equal state (by
+	// fingerprint) had already been fully explored.
+	Merged int
+	// Truncated reports that MaxStates stopped the walk early.
+	Truncated bool
+}
+
+// flightEntry is one in-flight copy.
+type flightEntry struct {
+	dst int
+	msg wire.Message
+}
+
+// state is the mutable exploration state for one replay.
+type state struct {
+	procs     []urb.Process
+	crashed   []bool
+	ticksLeft []int
+	crashLeft int
+	flight    []flightEntry
+	delivered map[int]map[wire.MsgID]bool
+	broadcast map[wire.MsgID]bool
+	// dup records a duplicate-delivery violation observed while applying
+	// actions (uniform integrity).
+	dup string
+}
+
+// Explorer runs the bounded search.
+type Explorer struct {
+	build     Builder
+	bounds    Bounds
+	seeds     []Seed
+	invariant Invariant
+
+	stats     Stats
+	violation *Violation
+	path      []string // human-readable action path
+	pathActs  []int    // numeric action path (for replay)
+	memo      map[string]struct{}
+}
+
+// Seed is an initial URB-broadcast injected before exploration.
+type Seed struct {
+	Proc int
+	Body string
+}
+
+// Invariant is a predicate over the exploration state, called after every
+// action. Return a non-empty string to report a violation.
+type Invariant func(v *StateView) string
+
+// StateView is the read-only view handed to invariants.
+type StateView struct {
+	// Procs exposes the algorithm instances (read-only use).
+	Procs []urb.Process
+	// Crashed flags processes that crashed on this path.
+	Crashed []bool
+	// Delivered[p] is the set of messages p has delivered.
+	Delivered []map[wire.MsgID]bool
+	// Broadcast is the set of seeded messages.
+	Broadcast map[wire.MsgID]bool
+}
+
+// New builds an explorer. seeds are the URB-broadcasts to inject;
+// invariant may be nil (the built-in checks still apply).
+func New(build Builder, bounds Bounds, seeds []Seed, invariant Invariant) *Explorer {
+	return &Explorer{
+		build: build, bounds: bounds, seeds: seeds, invariant: invariant,
+		memo: make(map[string]struct{}),
+	}
+}
+
+// Run explores every schedule within bounds. It returns the stats and the
+// first violation found (nil if none).
+func (e *Explorer) Run() (Stats, *Violation) {
+	st := e.fresh()
+	e.walk(st)
+	if e.stats.States >= e.bounds.MaxStates {
+		e.stats.Truncated = true
+	}
+	return e.stats, e.violation
+}
+
+// fresh builds the root state and applies the seeds.
+func (e *Explorer) fresh() *state {
+	procs := e.build()
+	n := len(procs)
+	st := &state{
+		procs:     procs,
+		crashed:   make([]bool, n),
+		ticksLeft: make([]int, n),
+		crashLeft: e.bounds.MaxCrashes,
+		delivered: map[int]map[wire.MsgID]bool{},
+		broadcast: map[wire.MsgID]bool{},
+	}
+	for i := range st.ticksLeft {
+		st.ticksLeft[i] = e.bounds.TicksPerProc
+	}
+	for _, s := range e.seeds {
+		id, step := st.procs[s.Proc].Broadcast(s.Body)
+		st.broadcast[id] = true
+		e.absorb(st, s.Proc, step)
+	}
+	return st
+}
+
+// absorb applies a Step: deliveries are recorded, broadcasts fan out into
+// the in-flight buffer (subject to the cap).
+func (e *Explorer) absorb(st *state, proc int, s urb.Step) {
+	for _, d := range s.Deliveries {
+		if st.delivered[proc] == nil {
+			st.delivered[proc] = map[wire.MsgID]bool{}
+		}
+		if st.delivered[proc][d.ID] {
+			st.dup = fmt.Sprintf("p%d delivered %v twice", proc, d.ID)
+		}
+		st.delivered[proc][d.ID] = true
+	}
+	for _, m := range s.Broadcasts {
+		for dst := 0; dst < len(st.procs); dst++ {
+			if len(st.flight) < e.bounds.FlightCap {
+				st.flight = append(st.flight, flightEntry{dst: dst, msg: m})
+			}
+			// else: copy dropped deterministically (lossy channel)
+		}
+	}
+	// Canonical buffer order: the flight is semantically a multiset, so
+	// sorting it makes states reached by commuting actions identical
+	// (and hence mergeable by the memo).
+	sort.Slice(st.flight, func(i, j int) bool {
+		if st.flight[i].dst != st.flight[j].dst {
+			return st.flight[i].dst < st.flight[j].dst
+		}
+		return string(st.flight[i].msg.Encode(nil)) < string(st.flight[j].msg.Encode(nil))
+	})
+}
+
+// fingerprint digests the full exploration state; "" means the processes
+// are not fingerprintable and merging is disabled.
+func (e *Explorer) fingerprint(st *state) string {
+	var b strings.Builder
+	for i, p := range st.procs {
+		fp, ok := p.(urb.Fingerprinter)
+		if !ok {
+			return ""
+		}
+		fmt.Fprintf(&b, "p%d<%s>", i, fp.Fingerprint())
+	}
+	fmt.Fprintf(&b, "crashed%v ticks%v crashLeft%d flight[", st.crashed, st.ticksLeft, st.crashLeft)
+	for _, f := range st.flight {
+		fmt.Fprintf(&b, "(%d,%x)", f.dst, f.msg.Encode(nil))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// actions enumerates the enabled actions in st. Encoding:
+//
+//	0..F-1        deliver flight[k]
+//	F..2F-1       drop flight[k]
+//	2F..2F+n-1    tick proc
+//	2F+n..2F+2n-1 crash proc
+//
+// Two reductions keep the walk tractable without losing coverage:
+// identical in-flight copies (same destination, same message) lead to
+// identical successor states, so only the first of each equivalence class
+// is branched on; and a copy addressed to a crashed process can only be
+// dropped (delivering it is a no-op, i.e. the same state). Crash actions
+// are enumerated first so that crash-involving counterexamples surface
+// early in the DFS.
+func (e *Explorer) actions(st *state) []int {
+	f := len(st.flight)
+	n := len(st.procs)
+	var out []int
+	for p := 0; p < n; p++ {
+		if !st.crashed[p] && st.crashLeft > 0 {
+			out = append(out, 2*f+n+p)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if !st.crashed[p] && st.ticksLeft[p] > 0 {
+			out = append(out, 2*f+p)
+		}
+	}
+	for k := 0; k < f; k++ {
+		if dupFlight(st.flight, k) {
+			continue
+		}
+		if !st.crashed[st.flight[k].dst] {
+			out = append(out, k) // deliver
+		}
+		out = append(out, f+k) // drop
+	}
+	return out
+}
+
+// dupFlight reports whether an earlier in-flight entry is identical to
+// entry k.
+func dupFlight(flight []flightEntry, k int) bool {
+	for j := 0; j < k; j++ {
+		if flight[j].dst == flight[k].dst && flight[j].msg.Equal(flight[k].msg) {
+			return true
+		}
+	}
+	return false
+}
+
+// describe renders an action for violation paths.
+func describe(st *state, a int) string {
+	f := len(st.flight)
+	n := len(st.procs)
+	switch {
+	case a < f:
+		return fmt.Sprintf("deliver[%d→p%d %s]", a, st.flight[a].dst, st.flight[a].msg)
+	case a < 2*f:
+		k := a - f
+		return fmt.Sprintf("drop[%d→p%d]", k, st.flight[k].dst)
+	case a < 2*f+n:
+		return fmt.Sprintf("tick[p%d]", a-2*f)
+	default:
+		return fmt.Sprintf("crash[p%d]", a-2*f-n)
+	}
+}
+
+// apply mutates st by action a.
+func (e *Explorer) apply(st *state, a int) {
+	f := len(st.flight)
+	n := len(st.procs)
+	switch {
+	case a < f:
+		ent := st.flight[a]
+		st.flight = append(append([]flightEntry{}, st.flight[:a]...), st.flight[a+1:]...)
+		if !st.crashed[ent.dst] {
+			e.absorb(st, ent.dst, st.procs[ent.dst].Receive(ent.msg))
+		}
+	case a < 2*f:
+		k := a - f
+		st.flight = append(append([]flightEntry{}, st.flight[:k]...), st.flight[k+1:]...)
+	case a < 2*f+n:
+		p := a - 2*f
+		st.ticksLeft[p]--
+		e.absorb(st, p, st.procs[p].Tick())
+	default:
+		p := a - 2*f - n
+		st.crashed[p] = true
+		st.crashLeft--
+	}
+}
+
+// check runs the built-in invariants plus the custom one.
+func (e *Explorer) check(st *state) string {
+	// Uniform integrity: at most once (flagged during absorb) and only
+	// broadcast messages may be delivered.
+	if st.dup != "" {
+		return st.dup
+	}
+	for _, ids := range st.delivered {
+		for id := range ids {
+			if !st.broadcast[id] {
+				return fmt.Sprintf("delivered unbroadcast message %v", id)
+			}
+		}
+	}
+	// Evidence support: every delivered message must still be held (or
+	// have been delivered) by some process that has not crashed.
+	for _, ids := range st.delivered {
+		for id := range ids {
+			if !e.supported(st, id) {
+				return fmt.Sprintf("message %v delivered but no live process can still supply it", id)
+			}
+		}
+	}
+	if e.invariant != nil {
+		view := &StateView{
+			Procs:     st.procs,
+			Crashed:   st.crashed,
+			Delivered: make([]map[wire.MsgID]bool, len(st.procs)),
+			Broadcast: st.broadcast,
+		}
+		for p := range st.procs {
+			view.Delivered[p] = st.delivered[p]
+		}
+		if msg := e.invariant(view); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// supported reports whether a live process can still retransmit or has
+// delivered id.
+func (e *Explorer) supported(st *state, id wire.MsgID) bool {
+	for p, proc := range st.procs {
+		if st.crashed[p] {
+			continue
+		}
+		if st.delivered[p][id] {
+			return true
+		}
+		switch pr := proc.(type) {
+		case *urb.Majority:
+			if pr.KnowsMsg(id) {
+				return true
+			}
+		case *urb.Quiescent:
+			if pr.KnowsMsg(id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walk is the DFS. Applying an action mutates the algorithm instances, so
+// child states are re-derived by replaying the numeric action path onto
+// fresh instances — the state machines are deterministic, which makes
+// replay exact and keeps the checker independent of their internals.
+func (e *Explorer) walk(st *state) {
+	if e.violation != nil {
+		return
+	}
+	if e.stats.States >= e.bounds.MaxStates {
+		e.stats.Truncated = true
+		return
+	}
+	acts := e.actions(st)
+	if len(acts) == 0 {
+		e.stats.Schedules++
+		for _, ids := range st.delivered {
+			e.stats.Deliveries += len(ids)
+		}
+		return
+	}
+	for _, a := range acts {
+		if e.violation != nil || e.stats.States >= e.bounds.MaxStates {
+			return
+		}
+		e.path = append(e.path, describe(st, a))
+		e.pathActs = append(e.pathActs, a)
+		child := e.rebuild()
+		e.stats.States++
+		if msg := e.check(child); msg != "" {
+			e.violation = &Violation{
+				Path:   append([]string{}, e.path...),
+				Detail: msg,
+			}
+		} else if fp := e.fingerprint(child); fp != "" {
+			if _, seen := e.memo[fp]; seen {
+				e.stats.Merged++
+			} else {
+				e.memo[fp] = struct{}{}
+				e.walk(child)
+			}
+		} else {
+			e.walk(child)
+		}
+		e.path = e.path[:len(e.path)-1]
+		e.pathActs = e.pathActs[:len(e.pathActs)-1]
+	}
+}
+
+// rebuild replays the current numeric action path onto fresh instances.
+func (e *Explorer) rebuild() *state {
+	st := e.fresh()
+	for _, act := range e.pathActs {
+		e.apply(st, act)
+	}
+	return st
+}

@@ -1,0 +1,172 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/urb"
+	"anonurb/internal/xrand"
+)
+
+// majBuilder builds n fresh Majority processes with the given threshold;
+// deterministic across calls.
+func majBuilder(n, threshold int) Builder {
+	return func() []urb.Process {
+		root := xrand.New(99)
+		out := make([]urb.Process, n)
+		for i := range out {
+			out[i] = urb.NewMajorityThreshold(n, threshold, ident.NewSource(root.Split()), urb.Config{})
+		}
+		return out
+	}
+}
+
+// quiBuilder builds n fresh Quiescent processes sharing an exact oracle
+// snapshot (static views of the all-correct world, since the checker's
+// crash actions happen after the oracle is fixed — this matches a run
+// whose GST precedes every crash the checker injects being *detected*,
+// the hardest case for safety).
+func quiBuilder(n int) Builder {
+	labels := make([]ident.Tag, n)
+	for i := range labels {
+		labels[i] = ident.Tag{Hi: uint64(i) + 100, Lo: 7}
+	}
+	view := make(fd.View, n)
+	for i, l := range labels {
+		view[i] = fd.Pair{Label: l, Number: n}
+	}
+	view = fd.Normalize(view)
+	return func() []urb.Process {
+		root := xrand.New(99)
+		out := make([]urb.Process, n)
+		for i := range out {
+			det := fd.Static{Theta: view.Clone(), Star: view.Clone()}
+			out[i] = urb.NewQuiescent(det, ident.NewSource(root.Split()), urb.Config{})
+		}
+		return out
+	}
+}
+
+func TestExploreMajorityN2Safe(t *testing.T) {
+	// n=2, majority threshold 2, one broadcast, up to 1 crash: every
+	// schedule within bounds must satisfy integrity and evidence
+	// support.
+	ex := New(majBuilder(2, 2), Bounds{
+		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
+	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	stats, v := ex.Run()
+	if v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if stats.Truncated {
+		t.Fatalf("state bound too small: %+v", stats)
+	}
+	if stats.States < 1000 || stats.Schedules < 10 {
+		t.Fatalf("suspiciously small exploration: %+v", stats)
+	}
+	if stats.Deliveries == 0 {
+		t.Fatalf("no schedule delivered anything: %+v", stats)
+	}
+	if stats.Merged == 0 {
+		t.Fatalf("memoization inert: %+v", stats)
+	}
+}
+
+func TestExploreMajorityN3Safe(t *testing.T) {
+	// n=3: the full space within even small bounds is large, so this is
+	// a bounded sweep — MaxStates caps the work and truncation is
+	// acceptable; what matters is that no reachable state violated
+	// safety.
+	max := 60_000
+	if testing.Short() {
+		max = 10_000
+	}
+	ex := New(majBuilder(3, 2), Bounds{
+		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 3, MaxStates: max,
+	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	stats, v := ex.Run()
+	if v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if stats.States < max/2 {
+		t.Fatalf("exploration degenerate: %+v", stats)
+	}
+}
+
+func TestExploreLoweredThresholdFindsTheoremTwoViolation(t *testing.T) {
+	// n=2 with threshold 1 (sub-majority, the Theorem 2 hypothetical):
+	// the checker must FIND a schedule where a delivered message becomes
+	// unsupported — deliver on own ACK, then crash the only holder.
+	ex := New(majBuilder(2, 1), Bounds{
+		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
+	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	_, v := ex.Run()
+	if v == nil {
+		t.Fatal("expected the checker to find the sub-majority violation")
+	}
+	if !strings.Contains(v.Detail, "no live process") {
+		t.Fatalf("unexpected violation kind: %v", v)
+	}
+	if len(v.Path) == 0 {
+		t.Fatal("violation should carry its schedule")
+	}
+}
+
+func TestExploreQuiescentN2Safe(t *testing.T) {
+	ex := New(quiBuilder(2), Bounds{
+		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
+	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	stats, v := ex.Run()
+	if v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if stats.Schedules == 0 {
+		t.Fatalf("degenerate: %+v", stats)
+	}
+}
+
+func TestExploreCustomInvariant(t *testing.T) {
+	// A deliberately false invariant must be reported with a path.
+	calls := 0
+	ex := New(majBuilder(2, 2), Bounds{
+		TicksPerProc: 1, MaxCrashes: 0, FlightCap: 2, MaxStates: 10_000,
+	}, []Seed{{Proc: 0, Body: "m"}}, func(v *StateView) string {
+		calls++
+		if len(v.Procs) != 2 || len(v.Crashed) != 2 {
+			return "view malformed"
+		}
+		if calls > 3 {
+			return "synthetic failure"
+		}
+		return ""
+	})
+	_, v := ex.Run()
+	if v == nil || v.Detail != "synthetic failure" {
+		t.Fatalf("custom invariant not honoured: %v", v)
+	}
+	if v.Error() == "" {
+		t.Fatal("violation error string")
+	}
+}
+
+func TestExploreMaxStatesTruncates(t *testing.T) {
+	ex := New(majBuilder(2, 2), Bounds{
+		TicksPerProc: 3, MaxCrashes: 1, FlightCap: 6, MaxStates: 50,
+	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	stats, v := ex.Run()
+	if v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if !stats.Truncated || stats.States > 51 {
+		t.Fatalf("truncation broken: %+v", stats)
+	}
+}
+
+func TestDefaultBoundsSane(t *testing.T) {
+	b := DefaultBounds()
+	if b.TicksPerProc < 1 || b.FlightCap < 2 || b.MaxStates < 1000 {
+		t.Fatalf("%+v", b)
+	}
+}

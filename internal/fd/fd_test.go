@@ -1,0 +1,88 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"anonurb/internal/ident"
+)
+
+func lbl(h uint64) ident.Tag { return ident.Tag{Hi: h, Lo: 1} }
+
+func TestNormalizeSortsAndDedups(t *testing.T) {
+	v := View{
+		{Label: lbl(3), Number: 2},
+		{Label: lbl(1), Number: 5},
+		{Label: lbl(3), Number: 7},
+		{Label: lbl(2), Number: 1},
+	}
+	v = Normalize(v)
+	if len(v) != 3 {
+		t.Fatalf("len %d, want 3", len(v))
+	}
+	if v[0].Label != lbl(1) || v[1].Label != lbl(2) || v[2].Label != lbl(3) {
+		t.Fatalf("not sorted: %v", v)
+	}
+	if v[2].Number != 7 {
+		t.Fatalf("dedup should keep max number, got %d", v[2].Number)
+	}
+}
+
+func TestViewLookupHasLabels(t *testing.T) {
+	v := Normalize(View{{Label: lbl(1), Number: 3}, {Label: lbl(2), Number: 4}})
+	if n, ok := v.Lookup(lbl(2)); !ok || n != 4 {
+		t.Fatalf("lookup: %d %v", n, ok)
+	}
+	if _, ok := v.Lookup(lbl(9)); ok {
+		t.Fatal("phantom lookup")
+	}
+	if !v.Has(lbl(1)) || v.Has(lbl(9)) {
+		t.Fatal("Has broken")
+	}
+	ls := v.Labels()
+	if ls.Len() != 2 || !ls.Has(lbl(1)) {
+		t.Fatal("Labels broken")
+	}
+}
+
+func TestViewEqualClone(t *testing.T) {
+	a := Normalize(View{{Label: lbl(1), Number: 3}})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should be equal")
+	}
+	b[0].Number = 9
+	if a.Equal(b) || a[0].Number == 9 {
+		t.Fatal("clone must be independent")
+	}
+	c := Normalize(View{{Label: lbl(1), Number: 3}, {Label: lbl(2), Number: 1}})
+	if a.Equal(c) {
+		t.Fatal("different lengths cannot be equal")
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := Normalize(View{{Label: lbl(1), Number: 3}})
+	s := v.String()
+	if !strings.HasPrefix(s, "{") || !strings.Contains(s, ":3") {
+		t.Fatalf("view string %q", s)
+	}
+}
+
+func TestStaticAndFuncDetectors(t *testing.T) {
+	v := Normalize(View{{Label: lbl(1), Number: 2}})
+	s := Static{Theta: v, Star: v}
+	if !s.ATheta().Equal(v) || !s.APStar().Equal(v) {
+		t.Fatal("static detector")
+	}
+	calls := 0
+	f := Func{
+		ThetaFn: func() View { calls++; return v },
+		StarFn:  func() View { calls++; return nil },
+	}
+	f.ATheta()
+	f.APStar()
+	if calls != 2 {
+		t.Fatal("func detector not invoked")
+	}
+}

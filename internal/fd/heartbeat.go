@@ -1,0 +1,114 @@
+package fd
+
+import (
+	"sort"
+
+	"anonurb/internal/ident"
+)
+
+// Heartbeat is a message-exchange realisation of AΘ and AP* for runs that
+// are synchronous enough, mirroring how Θ and P are realised in
+// non-anonymous systems. It shows the oracle classes are implementable —
+// the axioms are not free lunch, they encode a synchrony assumption.
+//
+// Protocol: every process draws one permanent random label and
+// periodically broadcasts ALIVE(label). Each process tracks, per label,
+// the time it last heard it. A label is trusted while it was heard within
+// Timeout; the output views are
+//
+//	{(label, number) : label trusted}, number = |trusted labels|,
+//
+// with the process's own label always trusted. Under the assumptions
+// below, after every crashed process's last heartbeat has expired and
+// every correct process's heartbeats flow within the timeout, the views
+// are exactly the correct labels with number = |Correct| — the post-GST
+// shape of the grounded oracle — and the class axioms hold:
+//
+//   - Crash detection (AP*-accuracy): a crashed process stops beating, so
+//     its label expires everywhere, permanently.
+//   - Completeness: correct processes beat forever, so their labels stay
+//     trusted with the right count.
+//   - Perpetual AΘ-accuracy and the audience invariant hold because a
+//     heartbeat reveals a label precisely to the processes that receive
+//     it: processes that have crashed stop refreshing S(label), and —
+//     KEY ASSUMPTION — timeouts never fire for live correct processes
+//     (synchrony), so `number` never under-counts the correct knowers.
+//
+// On a truly asynchronous network the timeout can lie; Heartbeat is then
+// NOT a legal AΘ/AP* (accuracy breaks), which is exactly why the paper
+// posits the detectors axiomatically instead of building them. The
+// simulator experiments therefore use the grounded oracle; Heartbeat
+// exists for the live runtime and for the synchrony ablation test.
+//
+// Heartbeat is not safe for concurrent use; the hosting runtime
+// serialises calls as it does for urb.Process.
+type Heartbeat struct {
+	label   ident.Tag
+	timeout int64
+	clock   func() int64
+	// lastHeard[label] = last time the label was heard; the own label is
+	// implicitly always fresh.
+	lastHeard map[ident.Tag]int64
+	order     []ident.Tag
+}
+
+// NewHeartbeat builds a heartbeat detector with the given permanent
+// label, trust timeout and clock.
+func NewHeartbeat(label ident.Tag, timeout int64, clock func() int64) *Heartbeat {
+	if timeout <= 0 {
+		panic("fd: heartbeat timeout must be positive")
+	}
+	return &Heartbeat{
+		label:     label,
+		timeout:   timeout,
+		clock:     clock,
+		lastHeard: make(map[ident.Tag]int64),
+	}
+}
+
+// Label returns the detector's own label (to be broadcast in ALIVE
+// messages by the hosting runtime).
+func (h *Heartbeat) Label() ident.Tag { return h.label }
+
+// Hear records an ALIVE(label) reception.
+func (h *Heartbeat) Hear(label ident.Tag) {
+	if _, known := h.lastHeard[label]; !known {
+		h.order = append(h.order, label)
+	}
+	h.lastHeard[label] = h.clock()
+}
+
+// trusted returns the currently trusted labels (own label included),
+// sorted for determinism.
+func (h *Heartbeat) trusted() []ident.Tag {
+	now := h.clock()
+	out := []ident.Tag{h.label}
+	for _, l := range h.order {
+		if l == h.label {
+			continue
+		}
+		if now-h.lastHeard[l] <= h.timeout {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// view builds the (label, number) view from the trusted set.
+func (h *Heartbeat) view() View {
+	ts := h.trusted()
+	v := make(View, len(ts))
+	for i, l := range ts {
+		v[i] = Pair{Label: l, Number: len(ts)}
+	}
+	return v
+}
+
+// ATheta implements Detector.
+func (h *Heartbeat) ATheta() View { return h.view() }
+
+// APStar implements Detector.
+func (h *Heartbeat) APStar() View { return h.view() }
+
+var _ Detector = (*Heartbeat)(nil)

@@ -1,0 +1,137 @@
+package fd
+
+import (
+	"fmt"
+
+	"anonurb/internal/ident"
+)
+
+// GroundTruth carries what a validator needs to check views against the
+// class axioms: the hidden label↦process mapping and the correct set.
+// Only tests and the trace checker see this; algorithms never do.
+type GroundTruth struct {
+	// Labels[i] is process i's label.
+	Labels []ident.Tag
+	// Correct[i] reports whether process i is correct in the run.
+	Correct []bool
+	// Audience[i] lists which processes may ever have Labels[i] in their
+	// views (the oracle's S(ℓ_i)). Used for the subset-accuracy check.
+	Audience [][]bool
+}
+
+// NewGroundTruth derives the ground truth for an Oracle.
+func NewGroundTruth(o *Oracle) *GroundTruth {
+	n := len(o.labels)
+	g := &GroundTruth{
+		Labels:   append([]ident.Tag(nil), o.labels...),
+		Correct:  append([]bool(nil), o.correct...),
+		Audience: make([][]bool, n),
+	}
+	for j := 0; j < n; j++ {
+		aud := make([]bool, n)
+		aud[j] = true
+		for i := 0; i < n; i++ {
+			if o.correct[i] {
+				aud[i] = true
+			}
+			if !o.correct[i] && o.reveal[i] && o.correct[j] {
+				aud[i] = true
+			}
+		}
+		g.Audience[j] = aud
+	}
+	return g
+}
+
+// owner resolves a label to its process, or -1.
+func (g *GroundTruth) owner(label ident.Tag) int {
+	for i, l := range g.Labels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// numCorrect counts correct processes.
+func (g *GroundTruth) numCorrect() int {
+	n := 0
+	for _, c := range g.Correct {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckAccuracy verifies the perpetual AΘ-accuracy of a single view
+// observed at process proc: for each pair (ℓ, k), every k-sized subset of
+// S(ℓ) must contain a correct process, which holds iff
+// k > |S(ℓ) ∩ Faulty|. It also checks audience control (proc must be
+// allowed to see each label). Returns the first violation.
+func (g *GroundTruth) CheckAccuracy(proc int, v View) error {
+	for _, p := range v {
+		j := g.owner(p.Label)
+		if j < 0 {
+			return fmt.Errorf("fd: view at p%d contains unknown label %s", proc, p.Label)
+		}
+		if !g.Audience[j][proc] {
+			return fmt.Errorf("fd: label of p%d leaked to p%d outside its audience", j, proc)
+		}
+		faultyInS := 0
+		for i, inAud := range g.Audience[j] {
+			if inAud && !g.Correct[i] {
+				faultyInS++
+			}
+		}
+		if p.Number <= faultyInS {
+			return fmt.Errorf("fd: pair (%s,%d) violates accuracy: |S∩Faulty|=%d",
+				p.Label, p.Number, faultyInS)
+		}
+	}
+	return nil
+}
+
+// CheckExactness verifies the post-GST shape at a correct process: the
+// view must be exactly {(ℓ_c, |Correct|) : c correct}.
+func (g *GroundTruth) CheckExactness(proc int, v View) error {
+	nc := g.numCorrect()
+	want := make(map[ident.Tag]bool)
+	for i, c := range g.Correct {
+		if c {
+			want[g.Labels[i]] = true
+		}
+	}
+	if len(v) != len(want) {
+		return fmt.Errorf("fd: post-GST view at p%d has %d pairs, want %d", proc, len(v), len(want))
+	}
+	for _, p := range v {
+		if !want[p.Label] {
+			return fmt.Errorf("fd: post-GST view at p%d contains non-correct label %s", proc, p.Label)
+		}
+		if p.Number != nc {
+			return fmt.Errorf("fd: post-GST pair (%s,%d), want number %d", p.Label, p.Number, nc)
+		}
+	}
+	return nil
+}
+
+// CheckAPStarContainment verifies the perpetual containment invariant the
+// retirement guard relies on: at a correct process, the AP* view contains
+// every correct label with number ≥ |Correct|.
+func (g *GroundTruth) CheckAPStarContainment(proc int, v View) error {
+	nc := g.numCorrect()
+	for i, c := range g.Correct {
+		if !c {
+			continue
+		}
+		k, ok := v.Lookup(g.Labels[i])
+		if !ok {
+			return fmt.Errorf("fd: AP* view at p%d is missing correct label of p%d", proc, i)
+		}
+		if k < nc {
+			return fmt.Errorf("fd: AP* number %d for correct label of p%d below |Correct|=%d", k, i, nc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/sim"
+	"anonurb/internal/workload"
+	"anonurb/internal/xrand"
+)
+
+var _ workload.Crashes = crashProcZero{}
+
+// T5BaselineGuarantees is experiment T5: what each broadcast abstraction
+// of the paper's introduction actually guarantees when the sender crashes
+// mid-dissemination over lossy channels. Best-effort broadcast loses
+// agreement outright; eager (one-shot flooding) reliable broadcast loses
+// it on *lossy* channels because its finitely many relays can all be
+// dropped; the URB algorithms keep every property. This reproduces the
+// paper's Section I motivation as a measurement.
+func T5BaselineGuarantees(p Params) *Table {
+	const n = 8
+	t := &Table{
+		Title: "T5: guarantee comparison across broadcast abstractions (n=8, lossy + one slow process, sender crashes)",
+		Note: "single broadcast; the sender crashes 30 time units in; links drop 50% of copies " +
+			"and p7's inbound links additionally drop their first 25 copies (fair lossy) — " +
+			"one-shot protocols can never reach p7, retransmitting ones always do",
+		Columns: []string{"abstraction", "delivered by", "validity", "agreement",
+			"integrity", "verdict"},
+	}
+	algos := []Algo{AlgoBestEffort, AlgoEagerRB, AlgoMajority, AlgoQuiescent, AlgoIDed}
+	for _, algo := range algos {
+		out := Run(Scenario{
+			Name: fmt.Sprintf("t5-%v", algo),
+			N:    n,
+			Algo: algo,
+			Link: channel.SlowSink{Dst: n - 1, K: 25,
+				Then: channel.Bernoulli{P: 0.5, D: channel.UniformDelay{Min: 1, Max: 4}}},
+			Workload: workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			Crashes:  crashProcZero{At: 30},
+			FD:       fd.OracleConfig{Noise: fd.NoiseExact},
+			Seed:     p.Seed + uint64(algo),
+			MaxTime:  pick(p, sim.Time(8_000), sim.Time(60_000)),
+		})
+		correctCount := 0
+		deliveredCount := 0
+		for proc, ds := range out.Result.Deliveries {
+			if out.Result.Crashed[proc] {
+				continue
+			}
+			correctCount++
+			if len(ds) > 0 {
+				deliveredCount++
+			}
+		}
+		valid, agree, integ := propertySplit(out)
+		var verdict string
+		switch {
+		case deliveredCount == correctCount && agree && integ:
+			verdict = "full URB guarantee"
+		case deliveredCount == 0:
+			verdict = "message lost with the sender"
+		default:
+			verdict = "PARTIAL delivery: agreement broken"
+		}
+		t.AddRow(algo.String(),
+			fmt.Sprintf("%d/%d correct", deliveredCount, correctCount),
+			okString(valid), okString(agree), okString(integ), verdict)
+	}
+	return t
+}
+
+// crashProcZero crashes exactly process 0 at the given time (the sender
+// in T5's workload).
+type crashProcZero struct{ At sim.Time }
+
+// Generate implements workload.Crashes.
+func (c crashProcZero) Generate(n int, _ *xrand.Source) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Never
+	}
+	out[0] = c.At
+	return out
+}
+
+// String implements workload.Crashes.
+func (c crashProcZero) String() string { return fmt.Sprintf("crash-sender@%d", c.At) }
+
+// F7AnonymityCost is figure F7: the wire-level cost of anonymity and of
+// uniformity. It compares bytes and copies per broadcast across the
+// abstractions on a mildly lossy network where everything converges, so
+// the overheads are attributable to the protocol, not to recovery.
+// Expected shape: BEB ≈ n copies; eager RB ≈ n² copies; the URBs pay the
+// retransmit-until-acknowledged loop, with the anonymous Algorithm 1
+// costing the same copies as the ID-based URB but fatter ACKs (16-byte
+// random tags versus 8-byte identities), and Algorithm 2 adding the label
+// sets.
+func F7AnonymityCost(p Params) *Table {
+	const n = 6
+	t := &Table{
+		Title: "F7: the wire cost of anonymity and uniformity (n=6, loss 0.1, 4 broadcasts)",
+		Note: "measured to convergence (URBs keep retransmitting after it; " +
+			"alg2 measured to quiescence); bytes = encoded wire bytes offered to links",
+		Columns: []string{"abstraction", "copies/bcast", "bytes/bcast", "lat mean",
+			"delivers everywhere"},
+	}
+	wl := workload.MultiWriter{Writers: 2, PerWriter: 2, Start: 5, Interval: 40}
+	algos := []Algo{AlgoBestEffort, AlgoEagerRB, AlgoIDed, AlgoMajority, AlgoQuiescent}
+	for _, algo := range algos {
+		scen := Scenario{
+			Name:     fmt.Sprintf("f7-%v", algo),
+			N:        n,
+			Algo:     algo,
+			Link:     channel.Bernoulli{P: 0.1, D: channel.UniformDelay{Min: 1, Max: 4}},
+			Workload: wl,
+			FD:       fd.OracleConfig{Noise: fd.NoiseExact},
+			Seed:     p.Seed + 31*uint64(algo),
+			MaxTime:  200_000,
+		}
+		if algo == AlgoQuiescent {
+			scen.StopWhenQuiet = 200
+		}
+		out := Run(scen)
+		copies := float64(out.Result.Net.Sent) / float64(out.Issued)
+		bytes := float64(out.Result.Net.Bytes) / float64(out.Issued)
+		t.AddRow(algo.String(), copies, bytes, out.Latency.Mean(), yesNo(out.DeliveredAll))
+	}
+	return t
+}

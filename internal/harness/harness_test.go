@@ -1,0 +1,420 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/workload"
+)
+
+func quick() Params { return Params{Seed: 2024, Quick: true} }
+
+func TestRunMajorityScenario(t *testing.T) {
+	out := Run(Scenario{
+		Name:     "unit-majority",
+		N:        5,
+		Algo:     AlgoMajority,
+		Link:     lossLink(0.2),
+		Workload: workload.MultiWriter{Writers: 2, PerWriter: 2, Start: 5, Interval: 20},
+		Crashes:  workload.CrashCount{Count: 2, From: 60, To: 90},
+		Seed:     7,
+	})
+	out.MustConverge()
+	if out.Issued != 4 {
+		t.Fatalf("issued %d", out.Issued)
+	}
+	if out.Latency.Count() == 0 || out.Latency.Mean() <= 0 {
+		t.Fatal("latency not measured")
+	}
+	if out.MsgsPerBroadcast() <= 0 {
+		t.Fatal("msgs per broadcast")
+	}
+	if out.QuiesceTime != -1 {
+		t.Fatal("majority must not quiesce")
+	}
+}
+
+func TestRunQuiescentScenario(t *testing.T) {
+	out := Run(Scenario{
+		Name:          "unit-quiescent",
+		N:             4,
+		Algo:          AlgoQuiescent,
+		Link:          lossLink(0.15),
+		Workload:      workload.SingleShot{At: 5, Proc: 0, Body: "q"},
+		Crashes:       workload.CrashCount{Count: 1, From: 70, To: 70},
+		FD:            fd.OracleConfig{Noise: fd.NoiseExact},
+		Seed:          9,
+		StopWhenQuiet: 200,
+	})
+	out.MustConverge()
+	if out.QuiesceTime < 0 {
+		t.Fatal("expected quiescence")
+	}
+	if out.Oracle == nil {
+		t.Fatal("oracle should be exposed")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() Outcome {
+		return Run(Scenario{
+			Name: "det", N: 4, Algo: AlgoMajority, Link: lossLink(0.3),
+			Workload: workload.SingleShot{At: 3, Proc: 1, Body: "d"}, Seed: 55,
+		})
+	}
+	a, b := mk(), mk()
+	if a.Result.EndTime != b.Result.EndTime || a.Result.Net != b.Result.Net {
+		t.Fatal("scenario replay diverged")
+	}
+	if a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatal("latency diverged")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n", func() { Run(Scenario{}) })
+	mustPanic("link", func() {
+		Run(Scenario{N: 2, Workload: workload.SingleShot{}})
+	})
+	mustPanic("workload", func() {
+		Run(Scenario{N: 2, Link: channel.Blackhole{}})
+	})
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Columns: []string{"a", "bb"},
+	}
+	tb.AddRow(1, "x,y")
+	tb.AddRow(2.5, "z\"q")
+	text := tb.Render()
+	if !strings.Contains(text, "== demo ==") || !strings.Contains(text, "a note") {
+		t.Fatalf("render: %s", text)
+	}
+	if !strings.Contains(text, "2.50") {
+		t.Fatal("float formatting")
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"z""q"`) {
+		t.Fatalf("csv quoting: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Fatalf("csv header: %s", csv)
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AlgoMajority.String() == "" || AlgoQuiescent.String() == "" ||
+		AlgoMajorityLowered.String() == "" || Algo(9).String() == "" {
+		t.Fatal("algo strings")
+	}
+}
+
+func TestT1CorrectnessQuick(t *testing.T) {
+	tb := T1Correctness(quick())
+	if len(tb.Rows) != 4 { // 2 sizes x 2 losses
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		for _, cell := range r[3:7] {
+			if cell == "VIOLATED" || cell == "no" {
+				t.Fatalf("T1 violation: %v", r)
+			}
+		}
+	}
+}
+
+func TestT2ImpossibilityQuick(t *testing.T) {
+	tb := T2Impossibility(quick())
+	if len(tb.Rows) != 4 { // 2 sizes x 2 variants
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		variant, outcome := r[2], r[6]
+		if strings.Contains(outcome, "UNEXPECTED") {
+			t.Fatalf("T2 unexpected outcome: %v", r)
+		}
+		if variant == "alg1-lowered" && !strings.Contains(outcome, "violation") {
+			t.Fatalf("lowered threshold should violate agreement: %v", r)
+		}
+		if variant == "alg1-majority" && !strings.Contains(outcome, "blocked") {
+			t.Fatalf("true majority should block: %v", r)
+		}
+	}
+}
+
+func TestT3CrashToleranceQuick(t *testing.T) {
+	tb := T3CrashTolerance(quick())
+	for _, r := range tb.Rows {
+		tol, a1Delivers, a1Safe, a2Delivers, a2Safe, a2Quiet := r[0], r[1], r[2], r[3], r[4], r[5]
+		if a1Safe != "ok" || a2Safe != "ok" {
+			t.Fatalf("safety violated at t=%s: %v", tol, r)
+		}
+		if a2Delivers != "yes" || a2Quiet != "yes" {
+			t.Fatalf("alg2 should deliver and quiesce at every t: %v", r)
+		}
+		switch tol {
+		case "0", "1", "2":
+			if a1Delivers != "yes" {
+				t.Fatalf("alg1 should deliver at t=%s: %v", tol, r)
+			}
+		case "3", "4", "5":
+			if a1Delivers != "no" {
+				t.Fatalf("alg1 cannot deliver at t=%s (t >= n/2): %v", tol, r)
+			}
+		}
+	}
+}
+
+func TestT4FDAblationQuick(t *testing.T) {
+	tb := T4FDAblation(quick())
+	sawHazard := false
+	for _, r := range tb.Rows {
+		reveal, agree := r[0], r[3]
+		if reveal == "0" && agree != "ok" {
+			t.Fatalf("audience-restricted detector must be safe: %v", r)
+		}
+		if reveal == "1" && agree == "VIOLATED" {
+			sawHazard = true
+		}
+	}
+	if !sawHazard {
+		t.Fatal("T4 did not reproduce the reveal-to-faulty hazard")
+	}
+}
+
+func TestF1QuiescenceCurveQuick(t *testing.T) {
+	tb := F1QuiescenceCurve(quick())
+	if len(tb.Rows) < 10 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Alg2's curve must flatten: last two samples equal. Alg1's must not.
+	last, prev := tb.Rows[len(tb.Rows)-1], tb.Rows[len(tb.Rows)-2]
+	if last[2] != prev[2] {
+		t.Fatalf("alg2 still sending at horizon: %v vs %v", prev, last)
+	}
+	if last[1] == prev[1] {
+		t.Fatalf("alg1 stopped sending: %v vs %v", prev, last)
+	}
+}
+
+func TestF2LatencyVsLossQuick(t *testing.T) {
+	tb := F2LatencyVsLoss(quick())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Latency must grow with loss (first vs last row, mean column; the
+	// cell format is "mean±std").
+	parse := func(cell string) float64 {
+		var mean, std float64
+		if _, err := fmt.Sscanf(cell, "%f±%f", &mean, &std); err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return mean
+	}
+	first := parse(tb.Rows[0][1])
+	last := parse(tb.Rows[len(tb.Rows)-1][1])
+	if first >= last {
+		t.Fatalf("latency did not grow with loss: %g vs %g", first, last)
+	}
+}
+
+func TestF3MessagesVsNQuick(t *testing.T) {
+	tb := F3MessagesVsN(quick())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+}
+
+func TestF4QuiescenceVsGSTQuick(t *testing.T) {
+	tb := F4QuiescenceVsGST(quick())
+	for _, r := range tb.Rows {
+		if r[1] != "yes" {
+			t.Fatalf("not quiescent at GST=%s", r[0])
+		}
+	}
+}
+
+func TestF5MemoryFootprintQuick(t *testing.T) {
+	tb := F5MemoryFootprint(quick())
+	if len(tb.Rows) < 8 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[2] != "0.00" {
+		t.Fatalf("alg2 MSG set should be empty at horizon: %v", last)
+	}
+	if last[1] == "0.00" {
+		t.Fatalf("alg1 MSG set should stay populated: %v", last)
+	}
+}
+
+func TestF6FastDeliveryQuick(t *testing.T) {
+	tb := F6FastDelivery(quick())
+	for _, r := range tb.Rows {
+		if r[3] != "ok" {
+			t.Fatalf("agreement violated in F6: %v", r)
+		}
+	}
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	exps := AllExperiments()
+	if len(exps) != 14 {
+		t.Fatalf("experiments: %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Gen == nil || e.ID == "" || seen[e.ID] {
+			t.Fatalf("bad experiment entry %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestT5BaselineGuaranteesQuick(t *testing.T) {
+	tb := T5BaselineGuarantees(quick())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	byAlgo := map[string][]string{}
+	for _, r := range tb.Rows {
+		byAlgo[r[0]] = r
+	}
+	// The URB family must keep every guarantee.
+	for _, a := range []string{"alg1-majority", "alg2-quiescent", "ided-urb"} {
+		r, ok := byAlgo[a]
+		if !ok {
+			t.Fatalf("missing row for %s", a)
+		}
+		if r[3] != "ok" || r[4] != "ok" {
+			t.Fatalf("%s should keep agreement+integrity: %v", a, r)
+		}
+		if r[5] != "full URB guarantee" {
+			t.Fatalf("%s verdict: %v", a, r)
+		}
+	}
+	// Best-effort must visibly break (partial or lost).
+	if r := byAlgo["best-effort"]; r[5] == "full URB guarantee" {
+		t.Fatalf("best-effort should not earn the URB verdict: %v", r)
+	}
+}
+
+func TestF7AnonymityCostQuick(t *testing.T) {
+	tb := F7AnonymityCost(quick())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	byAlgo := map[string][]string{}
+	for _, r := range tb.Rows {
+		byAlgo[r[0]] = r
+	}
+	for _, a := range []string{"ided-urb", "alg1-majority", "alg2-quiescent"} {
+		if byAlgo[a][4] != "yes" {
+			t.Fatalf("%s should deliver everywhere on a mild network: %v", a, byAlgo[a])
+		}
+	}
+}
+
+func TestF8HeartbeatVsOracleQuick(t *testing.T) {
+	tb := F8HeartbeatVsOracle(quick())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[1] != "yes" || r[2] != "ok" || r[3] != "yes" {
+			t.Fatalf("both stacks must deliver, agree and retire: %v", r)
+		}
+	}
+	// The oracle stack must be silent in the second half; the heartbeat
+	// stack must not (beats keep flowing).
+	byAlgo := map[string][]string{}
+	for _, r := range tb.Rows {
+		byAlgo[r[0]] = r
+	}
+	if byAlgo["alg2-quiescent"][5] != "0" {
+		t.Fatalf("oracle stack should be silent in the 2nd half: %v", byAlgo["alg2-quiescent"])
+	}
+	if byAlgo["alg2-heartbeat"][5] == "0" {
+		t.Fatalf("heartbeat stack should keep beating: %v", byAlgo["alg2-heartbeat"])
+	}
+}
+
+func TestReplicateAndSummarize(t *testing.T) {
+	outs := Replicate(Scenario{
+		Name: "rep", N: 4, Algo: AlgoMajority, Link: lossLink(0.2),
+		Workload: workload.SingleShot{At: 5, Proc: 0, Body: "r"}, Seed: 77,
+	}, 4)
+	if len(outs) != 4 {
+		t.Fatalf("replicas %d", len(outs))
+	}
+	// Distinct seeds must actually vary the runs (names too).
+	if outs[0].Scenario.Seed == outs[1].Scenario.Seed {
+		t.Fatal("replicas share a seed")
+	}
+	if outs[0].Scenario.Name == outs[1].Scenario.Name {
+		t.Fatal("replicas share a name")
+	}
+	agg := Summarize(outs)
+	if agg.Runs != 4 || !agg.AllConverged || !agg.AllClean {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if agg.LatencyMean <= 0 || agg.CopiesMean <= 0 {
+		t.Fatalf("aggregate stats %+v", agg)
+	}
+	if agg.QuiesceMean != -1 {
+		t.Fatal("majority runs cannot quiesce")
+	}
+}
+
+func TestReplicateClampsK(t *testing.T) {
+	outs := Replicate(Scenario{
+		Name: "clamp", N: 2, Algo: AlgoMajority, Link: lossLink(0),
+		Workload: workload.SingleShot{At: 5, Proc: 0, Body: "c"}, Seed: 1,
+	}, 0)
+	if len(outs) != 1 {
+		t.Fatalf("k=0 should clamp to 1, got %d", len(outs))
+	}
+}
+
+func TestT6PriceOfUniformityQuick(t *testing.T) {
+	tb := T6PriceOfUniformity(quick())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		scenario, abstraction, uniform, correctOnly := r[0], r[1], r[3], r[4]
+		if scenario == "benign" && uniform != "ok" {
+			t.Fatalf("benign run broke agreement: %v", r)
+		}
+		if scenario == "adversarial" {
+			switch abstraction {
+			case "anon-rb":
+				if uniform != "VIOLATED" {
+					t.Fatalf("anon RB should break UNIFORM agreement here: %v", r)
+				}
+				if correctOnly != "ok" {
+					t.Fatalf("anon RB must keep correct-only agreement: %v", r)
+				}
+			default:
+				if uniform != "ok" {
+					t.Fatalf("URB must stay safe under the adversary: %v", r)
+				}
+			}
+		}
+	}
+}

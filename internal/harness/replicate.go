@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"anonurb/internal/metrics"
+)
+
+// Replicate runs the same scenario under k different seeds (derived from
+// the scenario's base seed) and returns the outcomes. Sweeps use it to
+// report means across runs instead of single-seed point estimates.
+func Replicate(s Scenario, k int) []Outcome {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]Outcome, 0, k)
+	for i := 0; i < k; i++ {
+		r := s
+		r.Seed = s.Seed + uint64(i)*0x9e3779b9
+		r.Name = fmt.Sprintf("%s#%d", s.Name, i)
+		out = append(out, Run(r))
+	}
+	return out
+}
+
+// Aggregate summarises a replicated sweep.
+type Aggregate struct {
+	// Runs is the number of replicas.
+	Runs int
+	// LatencyMean / LatencyStd aggregate the per-run mean latencies.
+	LatencyMean, LatencyStd float64
+	// P99Mean aggregates the per-run p99 latencies.
+	P99Mean float64
+	// CopiesMean aggregates total link copies per run.
+	CopiesMean float64
+	// QuiesceMean aggregates quiescence times over the quiescent runs;
+	// -1 if none was quiescent.
+	QuiesceMean float64
+	// AllConverged reports that every replica delivered everywhere.
+	AllConverged bool
+	// AllClean reports that no replica violated any URB property.
+	AllClean bool
+}
+
+// Summarize reduces replicated outcomes to an Aggregate.
+func Summarize(outs []Outcome) Aggregate {
+	agg := Aggregate{Runs: len(outs), AllConverged: true, AllClean: true, QuiesceMean: -1}
+	var lat, p99, copies, quiesce metrics.Welford
+	for _, o := range outs {
+		lat.Add(o.Latency.Mean())
+		p99.Add(float64(o.Latency.Quantile(0.99)))
+		copies.Add(float64(o.Result.Net.Sent))
+		if o.QuiesceTime >= 0 {
+			quiesce.Add(float64(o.QuiesceTime))
+		}
+		if !o.DeliveredAll {
+			agg.AllConverged = false
+		}
+		if !o.Report.OK() {
+			agg.AllClean = false
+		}
+	}
+	agg.LatencyMean = lat.Mean()
+	agg.LatencyStd = lat.Std()
+	agg.P99Mean = p99.Mean()
+	agg.CopiesMean = copies.Mean()
+	if quiesce.N() > 0 {
+		agg.QuiesceMean = quiesce.Mean()
+	}
+	return agg
+}

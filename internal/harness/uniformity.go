@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/sim"
+	"anonurb/internal/workload"
+	"anonurb/internal/xrand"
+)
+
+// T6PriceOfUniformity is experiment T6: what uniformity costs and what it
+// buys, comparing the paper's URB algorithms against the companion
+// technical report's anonymous (non-uniform) reliable broadcast
+// (rb.AnonymousRB, the paper's reference [21]).
+//
+// Two scenarios:
+//
+//   - "benign": a lossy run with a mid-run crash of a non-broadcaster.
+//     RB delivers on first reception — about one link delay — while the
+//     URBs wait for a majority of ACKs / detector-certified evidence.
+//     Uniformity costs roughly one round-trip of latency.
+//   - "adversarial": the broadcaster delivers and instantly crashes,
+//     with every copy it ever sent lost (legal: finitely many sends).
+//     RB has delivered at a process that is now dead while no correct
+//     process ever can — UNIFORM agreement is violated (plain agreement
+//     among correct processes is vacuously fine, which is exactly the
+//     distinction the paper draws in Section I). The URBs refuse to
+//     deliver without evidence and stay safe.
+func T6PriceOfUniformity(p Params) *Table {
+	const n = 5
+	t := &Table{
+		Title: "T6: the price of uniformity — anonymous RB [21] vs URB (n=5)",
+		Note: "benign: loss 0.2, one non-writer crash; adversarial: the broadcaster " +
+			"delivers, crashes, and all its copies are lost",
+		Columns: []string{"scenario", "abstraction", "latency mean", "uniform agreement",
+			"correct-only agreement", "note"},
+	}
+
+	// Benign latency comparison.
+	for _, algo := range []Algo{AlgoAnonRB, AlgoMajority, AlgoQuiescent} {
+		out := Run(Scenario{
+			Name:     fmt.Sprintf("t6-benign-%v", algo),
+			N:        n,
+			Algo:     algo,
+			Link:     lossLink(0.2),
+			Workload: workload.MultiWriter{Writers: 2, PerWriter: 3, Start: 5, Interval: 40},
+			Crashes:  workload.CrashCount{Count: 1, From: 60, To: 60},
+			FD:       fd.OracleConfig{Noise: fd.NoiseExact},
+			Seed:     p.Seed + uint64(algo),
+			MaxTime:  pick(p, sim.Time(60_000), sim.Time(200_000)),
+		})
+		out.MustConverge()
+		_, agree, _ := propertySplit(out)
+		t.AddRow("benign", algo.String(), out.Latency.Mean(), okString(agree), "ok",
+			"all correct deliver")
+	}
+
+	// Adversarial: broadcaster delivers then dies, copies all lost.
+	for _, algo := range []Algo{AlgoAnonRB, AlgoMajority, AlgoQuiescent} {
+		crashAfter := make([]int, n)
+		crashAfter[0] = 1
+		out := Run(Scenario{
+			Name: fmt.Sprintf("t6-adv-%v", algo),
+			N:    n,
+			Algo: algo,
+			// Copies from p0 are black-holed; everything else reliable.
+			Link:                 senderBlackhole{src: 0},
+			Workload:             workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			CrashAfterDeliveries: crashAfter,
+			FD:                   fd.OracleConfig{Noise: fd.NoiseExact},
+			Seed:                 p.Seed + 71*uint64(algo),
+			MaxTime:              3_000,
+		})
+		_, uniformAgree, _ := propertySplit(out)
+		// Correct-only agreement: did any CORRECT process deliver while
+		// another correct one did not?
+		correctDelivered, correctTotal := 0, 0
+		for proc, ds := range out.Result.Deliveries {
+			if out.Result.Crashed[proc] {
+				continue
+			}
+			correctTotal++
+			if len(ds) > 0 {
+				correctDelivered++
+			}
+		}
+		correctOnly := correctDelivered == 0 || correctDelivered == correctTotal
+		note := "refused to deliver without evidence"
+		if !uniformAgree {
+			note = "delivered at the dead broadcaster only"
+		}
+		t.AddRow("adversarial", algo.String(), out.Latency.Mean(),
+			okString(uniformAgree), okString(correctOnly), note)
+	}
+	return t
+}
+
+// senderBlackhole drops every copy originating at src and is reliable
+// elsewhere. Combined with a sender that crashes after finitely many
+// sends this is legal fair-lossy behaviour (the R2 construction,
+// single-process edition).
+type senderBlackhole struct{ src int }
+
+func (s senderBlackhole) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) channel.Verdict {
+	if src == s.src {
+		return channel.Verdict{Drop: true}
+	}
+	return channel.Verdict{Delay: 2}
+}
+
+func (s senderBlackhole) String() string { return fmt.Sprintf("senderblackhole(p%d)", s.src) }

@@ -1,0 +1,213 @@
+// Package ident implements the anonymous identifiers of the paper: the
+// random tags attached to application messages (tag), the random tags
+// attached to acknowledgements (tag_ack), and the random labels the failure
+// detectors AΘ and AP* attach to processes.
+//
+// The paper assumes every drawn tag is unique ("It is necessary to generate
+// a unique tag to each MSG and a unique tag_ack to each ACK"). We realise
+// that assumption with 128-bit values drawn from a per-process
+// deterministic stream; at the scales this simulator reaches the collision
+// probability is below 2^-80, and the Registry type lets tests account for
+// collisions explicitly.
+package ident
+
+import (
+	"fmt"
+
+	"anonurb/internal/xrand"
+)
+
+// Tag is a 128-bit anonymous identifier. The zero Tag is reserved as
+// "absent" and is never produced by a Source.
+type Tag struct {
+	Hi, Lo uint64
+}
+
+// Zero reports whether t is the reserved absent value.
+func (t Tag) Zero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// Less orders tags lexicographically (Hi, then Lo). The order is used only
+// for deterministic iteration and display; it has no protocol meaning.
+func (t Tag) Less(u Tag) bool {
+	if t.Hi != u.Hi {
+		return t.Hi < u.Hi
+	}
+	return t.Lo < u.Lo
+}
+
+// Compare returns -1, 0 or +1 ordering t against u.
+func (t Tag) Compare(u Tag) int {
+	switch {
+	case t == u:
+		return 0
+	case t.Less(u):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// String renders a short hex form for traces and logs.
+func (t Tag) String() string {
+	return fmt.Sprintf("%08x%08x", t.Hi&0xffffffff, t.Lo&0xffffffff)
+}
+
+// Source draws fresh tags from a deterministic stream. Each simulated
+// process owns one Source; the stream identity is part of the scenario
+// seed, so runs replay identically.
+type Source struct {
+	rng   *xrand.Source
+	draws uint64
+}
+
+// NewSource returns a Source backed by rng. The Source takes ownership of
+// the stream.
+func NewSource(rng *xrand.Source) *Source {
+	return &Source{rng: rng}
+}
+
+// Next draws a fresh tag. It never returns the zero Tag.
+func (s *Source) Next() Tag {
+	s.draws++
+	for {
+		t := Tag{Hi: s.rng.Uint64(), Lo: s.rng.Uint64()}
+		if !t.Zero() {
+			return t
+		}
+	}
+}
+
+// Draws reports how many tags have been drawn. Two Sources built from the
+// same seed are in identical states iff their draw counts match, which is
+// what lets the model checker fingerprint process states.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// Registry tracks every tag drawn across a whole run so tests and the
+// harness can assert global uniqueness (the paper's assumption) and count
+// collisions if an adversarial source is plugged in.
+type Registry struct {
+	seen       map[Tag]string
+	collisions int
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[Tag]string)}
+}
+
+// Record notes that owner drew t. It returns false if t had already been
+// drawn (a collision), in which case the collision counter is bumped.
+func (r *Registry) Record(t Tag, owner string) bool {
+	if _, dup := r.seen[t]; dup {
+		r.collisions++
+		return false
+	}
+	r.seen[t] = owner
+	return true
+}
+
+// Collisions returns how many duplicate draws Record has observed.
+func (r *Registry) Collisions() int { return r.collisions }
+
+// Count returns how many distinct tags have been recorded.
+func (r *Registry) Count() int { return len(r.seen) }
+
+// Owner returns who first recorded t, if anyone.
+func (r *Registry) Owner(t Tag) (string, bool) {
+	o, ok := r.seen[t]
+	return o, ok
+}
+
+// Set is a small insertion-ordered set of tags. Iteration order is the
+// order of first insertion, which keeps simulator runs deterministic
+// (Go map iteration order would not). It is the building block for the
+// label sets carried in Algorithm 2's ACK messages.
+type Set struct {
+	order []Tag
+	index map[Tag]int
+}
+
+// NewSet returns an empty Set, optionally seeded with tags (duplicates
+// ignored).
+func NewSet(tags ...Tag) *Set {
+	s := &Set{index: make(map[Tag]int, len(tags))}
+	for _, t := range tags {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts t; it reports whether t was newly added.
+func (s *Set) Add(t Tag) bool {
+	if _, ok := s.index[t]; ok {
+		return false
+	}
+	s.index[t] = len(s.order)
+	s.order = append(s.order, t)
+	return true
+}
+
+// Remove deletes t; it reports whether t was present. Removal compacts the
+// insertion order (preserving relative order of the survivors).
+func (s *Set) Remove(t Tag) bool {
+	i, ok := s.index[t]
+	if !ok {
+		return false
+	}
+	copy(s.order[i:], s.order[i+1:])
+	s.order = s.order[:len(s.order)-1]
+	delete(s.index, t)
+	for j := i; j < len(s.order); j++ {
+		s.index[s.order[j]] = j
+	}
+	return true
+}
+
+// Has reports membership.
+func (s *Set) Has(t Tag) bool {
+	_, ok := s.index[t]
+	return ok
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.order) }
+
+// Slice returns the members in insertion order. The caller must not
+// mutate the returned slice.
+func (s *Set) Slice() []Tag { return s.order }
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		order: append([]Tag(nil), s.order...),
+		index: make(map[Tag]int, len(s.index)),
+	}
+	for k, v := range s.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// Equal reports whether s and o contain exactly the same members
+// (insertion order is ignored).
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for _, t := range s.order {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	for _, t := range s.order {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}

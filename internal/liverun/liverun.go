@@ -1,0 +1,287 @@
+// Package liverun hosts the paper's algorithms on real goroutines and
+// channels: one goroutine per anonymous process, lossy links realised as
+// delayed hand-offs between them, wall-clock Task-1 ticks.
+//
+// The deterministic simulator (internal/sim) is where experiments run;
+// liverun exists to demonstrate the same state machines driving a real
+// concurrent system — the examples under examples/ are built on it. The
+// urb.Process implementations are single-threaded by contract, so each
+// node goroutine serialises every Receive/Tick/Broadcast against its own
+// instance; the only shared state is the link mesh, guarded by one mutex.
+package liverun
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// Factory builds the algorithm instance for one live process. index is
+// bookkeeping (for wiring failure detector handles); clock reads the
+// cluster's elapsed time in link-delay units.
+type Factory func(index int, tags *ident.Source, clock func() int64) urb.Process
+
+// Delivery is one URB-delivery observed by the cluster.
+type Delivery struct {
+	Proc    int
+	ID      wire.MsgID
+	Fast    bool
+	Elapsed time.Duration
+}
+
+// Config describes a live cluster.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Factory builds each process (required).
+	Factory Factory
+	// Link is the loss/delay model shared by all directed links
+	// (required). Delay values count in Units.
+	Link channel.LinkModel
+	// Unit converts the link model's abstract delay units and TickEvery
+	// into wall-clock time. Defaults to 1ms.
+	Unit time.Duration
+	// TickEvery is the Task-1 period in Units. Defaults to 10.
+	TickEvery int64
+	// Seed drives the link randomness and tag streams.
+	Seed uint64
+	// OnDeliver, if set, observes every URB-delivery. It is called from
+	// node goroutines and must be safe for concurrent use.
+	OnDeliver func(Delivery)
+	// InboxDepth bounds each node's mailbox; a full mailbox drops copies
+	// (legal: the network is lossy anyway). Defaults to 1024.
+	InboxDepth int
+}
+
+// Cluster is a running set of live processes.
+type Cluster struct {
+	cfg   Config
+	start time.Time
+
+	netMu sync.Mutex
+	net   *channel.Network
+
+	nodes []*node
+	wg    sync.WaitGroup
+
+	stopped  atomic.Bool
+	lastSend atomic.Int64 // elapsed units of the most recent send
+	sends    atomic.Uint64
+	drops    atomic.Uint64
+}
+
+type node struct {
+	index   int
+	inbox   chan wire.Message
+	actions chan func(urb.Process)
+	stop    chan struct{}
+	crashed atomic.Bool
+}
+
+// Start builds and launches a cluster.
+func Start(cfg Config) *Cluster {
+	if cfg.N < 1 {
+		panic("liverun: N must be >= 1")
+	}
+	if cfg.Factory == nil || cfg.Link == nil {
+		panic("liverun: Factory and Link are required")
+	}
+	if cfg.Unit <= 0 {
+		cfg.Unit = time.Millisecond
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 1024
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		start: time.Now(),
+		net:   channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "live-net")),
+		nodes: make([]*node, cfg.N),
+	}
+	// Two-phase construction: every node slot and process must exist
+	// before ANY goroutine starts, because a node's first transmit reads
+	// c.nodes[dst] for every destination.
+	tagRoot := xrand.SplitLabeled(cfg.Seed, "live-tags")
+	procs := make([]urb.Process, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.nodes[i] = &node{
+			index:   i,
+			inbox:   make(chan wire.Message, cfg.InboxDepth),
+			actions: make(chan func(urb.Process), 64),
+			stop:    make(chan struct{}),
+		}
+		procs[i] = cfg.Factory(i, ident.NewSource(tagRoot.Split()), c.ElapsedUnits)
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.wg.Add(1)
+		go c.loop(c.nodes[i], procs[i])
+	}
+	return c
+}
+
+// ElapsedUnits returns the cluster age in link-delay units (the live
+// counterpart of the simulator's virtual clock, e.g. for failure detector
+// handles).
+func (c *Cluster) ElapsedUnits() int64 {
+	return int64(time.Since(c.start) / c.cfg.Unit)
+}
+
+// loop is the node goroutine: it serialises all access to the algorithm
+// instance.
+func (c *Cluster) loop(nd *node, proc urb.Process) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(time.Duration(c.cfg.TickEvery) * c.cfg.Unit)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-nd.stop:
+			return
+		case m := <-nd.inbox:
+			c.absorb(nd, proc.Receive(m))
+		case <-ticker.C:
+			c.absorb(nd, proc.Tick())
+		case f := <-nd.actions:
+			f(proc)
+		}
+	}
+}
+
+// absorb handles a Step produced by nd's algorithm.
+func (c *Cluster) absorb(nd *node, s urb.Step) {
+	for _, d := range s.Deliveries {
+		if c.cfg.OnDeliver != nil {
+			c.cfg.OnDeliver(Delivery{
+				Proc:    nd.index,
+				ID:      d.ID,
+				Fast:    d.Fast,
+				Elapsed: time.Since(c.start),
+			})
+		}
+	}
+	for _, m := range s.Broadcasts {
+		c.transmit(nd.index, m)
+	}
+}
+
+// transmit offers one wire message to every directed link; surviving
+// copies arrive later on the destinations' inboxes.
+func (c *Cluster) transmit(src int, m wire.Message) {
+	if c.stopped.Load() {
+		return
+	}
+	now := c.ElapsedUnits()
+	c.lastSend.Store(now)
+	size := m.EncodedSize()
+	for dst := 0; dst < c.cfg.N; dst++ {
+		c.netMu.Lock()
+		v := c.net.Send(now, src, dst, size)
+		c.netMu.Unlock()
+		c.sends.Add(1)
+		if v.Drop {
+			c.drops.Add(1)
+			continue
+		}
+		delay := time.Duration(v.Delay) * c.cfg.Unit
+		target := c.nodes[dst]
+		time.AfterFunc(delay, func() {
+			if c.stopped.Load() || target.crashed.Load() {
+				return
+			}
+			select {
+			case target.inbox <- m:
+			default:
+				// Mailbox overflow: the copy is lost, which the fair
+				// lossy channel model permits.
+				c.drops.Add(1)
+			}
+		})
+	}
+}
+
+// Broadcast has process proc URB-broadcast body. It returns false if the
+// process has crashed or the cluster is stopped.
+func (c *Cluster) Broadcast(proc int, body string) bool {
+	nd := c.nodes[proc]
+	if c.stopped.Load() || nd.crashed.Load() {
+		return false
+	}
+	select {
+	case nd.actions <- func(p urb.Process) {
+		_, s := p.Broadcast(body)
+		c.absorb(nd, s)
+	}:
+		return true
+	case <-nd.stop:
+		return false
+	}
+}
+
+// Crash kills process proc: it stops receiving, ticking and sending.
+func (c *Cluster) Crash(proc int) {
+	nd := c.nodes[proc]
+	if nd.crashed.CompareAndSwap(false, true) {
+		close(nd.stop)
+	}
+}
+
+// Stats fetches a process's algorithm stats, synchronised through its
+// goroutine. It returns zero stats for crashed processes.
+func (c *Cluster) Stats(proc int) urb.Stats {
+	nd := c.nodes[proc]
+	if nd.crashed.Load() || c.stopped.Load() {
+		return urb.Stats{}
+	}
+	reply := make(chan urb.Stats, 1)
+	select {
+	case nd.actions <- func(p urb.Process) { reply <- p.Stats() }:
+	case <-nd.stop:
+		return urb.Stats{}
+	}
+	select {
+	case st := <-reply:
+		return st
+	case <-nd.stop:
+		return urb.Stats{}
+	}
+}
+
+// QuietFor reports whether no process has sent for at least d.
+func (c *Cluster) QuietFor(d time.Duration) bool {
+	quietUnits := int64(d / c.cfg.Unit)
+	return c.ElapsedUnits()-c.lastSend.Load() >= quietUnits
+}
+
+// NetStats returns (copies offered, copies dropped) so far.
+func (c *Cluster) NetStats() (sends, drops uint64) {
+	return c.sends.Load(), c.drops.Load()
+}
+
+// Stop terminates every process and waits for the goroutines to exit.
+// In-flight timers become no-ops.
+func (c *Cluster) Stop() {
+	if !c.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, nd := range c.nodes {
+		if nd.crashed.CompareAndSwap(false, true) {
+			close(nd.stop)
+		}
+	}
+	c.wg.Wait()
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("liverun.Cluster(n=%d, link=%s, unit=%s)",
+		c.cfg.N, c.cfg.Link, c.cfg.Unit)
+}

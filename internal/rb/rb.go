@@ -1,0 +1,336 @@
+// Package rb provides the baseline broadcast abstractions the paper
+// positions URB against (Section I): best-effort broadcast and (eager,
+// non-uniform) reliable broadcast, plus a classic identifier-based URB
+// for quantifying the cost of anonymity.
+//
+// All baselines implement the same urb.Process interface, so the
+// simulator, the checkers and the benchmark harness treat them
+// uniformly. Their *failures* are the point: under crashes and fair
+// lossy channels the trace checker shows exactly which guarantee each
+// abstraction loses (experiment T5), and the ID-based URB isolates what
+// anonymity costs on the wire (experiment F7).
+package rb
+
+import (
+	"anonurb/internal/ident"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+// BestEffort is best-effort broadcast: the sender transmits once; whoever
+// receives, delivers. No retransmission, no acknowledgements.
+//
+// Guarantees: integrity only. If the sender crashes — or the channel
+// drops a copy, which a fair lossy channel may do to any FINITE set of
+// sends — some correct processes deliver and others never do.
+type BestEffort struct {
+	tags      *ident.Source
+	delivered map[wire.MsgID]bool
+	wireSent  uint64
+	deliverCt int
+}
+
+var _ urb.Process = (*BestEffort)(nil)
+
+// NewBestEffort builds a best-effort broadcast process.
+func NewBestEffort(tags *ident.Source) *BestEffort {
+	return &BestEffort{tags: tags, delivered: make(map[wire.MsgID]bool)}
+}
+
+// Broadcast implements urb.Process: transmit once, immediately.
+func (p *BestEffort) Broadcast(body string) (wire.MsgID, urb.Step) {
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	p.wireSent++
+	var out urb.Step
+	out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
+	// The sender delivers locally at once (it is its own recipient in
+	// spirit; the self copy may be lost by the channel, so deliver here
+	// to give BEB its best shot at validity).
+	p.deliver(&out, id)
+	return id, out
+}
+
+func (p *BestEffort) deliver(out *urb.Step, id wire.MsgID) {
+	if p.delivered[id] {
+		return
+	}
+	p.delivered[id] = true
+	p.deliverCt++
+	out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id})
+}
+
+// Receive implements urb.Process: deliver on first reception.
+func (p *BestEffort) Receive(m wire.Message) urb.Step {
+	var out urb.Step
+	if m.Kind == wire.KindMsg {
+		p.deliver(&out, m.ID())
+	}
+	return out
+}
+
+// Tick implements urb.Process: best-effort broadcast has no periodic
+// task.
+func (p *BestEffort) Tick() urb.Step { return urb.Step{} }
+
+// Stats implements urb.Process.
+func (p *BestEffort) Stats() urb.Stats {
+	return urb.Stats{Delivered: p.deliverCt, WireSent: p.wireSent}
+}
+
+// EagerRB is the classic eager (flooding) reliable broadcast: on FIRST
+// reception of a message, re-broadcast it once, then deliver.
+//
+// Guarantees on reliable channels: agreement among correct processes
+// (not uniform — a process may deliver and crash before its relay gets
+// out... actually the relay goes out first, but the relay copies can be
+// lost). On fair lossy channels even correct-process agreement breaks:
+// each process relays only once, so the channel may drop every copy of a
+// finite relay set. The paper's algorithms retransmit forever precisely
+// to beat this.
+type EagerRB struct {
+	tags      *ident.Source
+	delivered map[wire.MsgID]bool
+	wireSent  uint64
+}
+
+var _ urb.Process = (*EagerRB)(nil)
+
+// NewEagerRB builds an eager reliable broadcast process.
+func NewEagerRB(tags *ident.Source) *EagerRB {
+	return &EagerRB{tags: tags, delivered: make(map[wire.MsgID]bool)}
+}
+
+// Broadcast implements urb.Process.
+func (p *EagerRB) Broadcast(body string) (wire.MsgID, urb.Step) {
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	var out urb.Step
+	p.wireSent++
+	out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
+	p.delivered[id] = true
+	out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id})
+	return id, out
+}
+
+// Receive implements urb.Process: relay once, then deliver.
+func (p *EagerRB) Receive(m wire.Message) urb.Step {
+	var out urb.Step
+	if m.Kind != wire.KindMsg {
+		return out
+	}
+	id := m.ID()
+	if p.delivered[id] {
+		return out
+	}
+	p.delivered[id] = true
+	p.wireSent++
+	out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id)) // relay first
+	out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id})
+	return out
+}
+
+// Tick implements urb.Process: eager RB has no periodic task.
+func (p *EagerRB) Tick() urb.Step { return urb.Step{} }
+
+// Stats implements urb.Process.
+func (p *EagerRB) Stats() urb.Stats {
+	return urb.Stats{Delivered: len(p.delivered), WireSent: p.wireSent}
+}
+
+// IDed is the classic NON-anonymous majority URB (Hadzilacos & Toueg
+// style, adapted to fair lossy channels): processes have identifiers, an
+// acknowledgement carries the acker's identity, and a message is
+// delivered once a majority of DISTINCT IDENTIFIERS acknowledged it.
+// Task 1 retransmits forever, exactly like Algorithm 1.
+//
+// It exists to isolate the cost of anonymity: Algorithm 1 replaces the
+// 8-byte identity with a 16-byte random tag_ack pinned per message —
+// same message count, slightly larger ACKs, plus the (vanishing) tag
+// collision risk. Experiment F7 measures the difference.
+//
+// The identity is encoded in the wire ACK's AckTag as {Hi: idSentinel,
+// Lo: id}; the codec and channels are reused unchanged.
+type IDed struct {
+	id        int
+	n         int
+	msgs      []wire.MsgID
+	have      map[wire.MsgID]bool
+	acks      map[wire.MsgID]map[uint64]bool
+	delivered map[wire.MsgID]bool
+	tags      *ident.Source
+	wireSent  uint64
+}
+
+var _ urb.Process = (*IDed)(nil)
+
+// idSentinel marks an AckTag that carries a process identifier rather
+// than a random tag.
+const idSentinel = ^uint64(0)
+
+// NewIDed builds a non-anonymous URB process with the given identity.
+func NewIDed(id, n int, tags *ident.Source) *IDed {
+	return &IDed{
+		id: id, n: n, tags: tags,
+		have:      make(map[wire.MsgID]bool),
+		acks:      make(map[wire.MsgID]map[uint64]bool),
+		delivered: make(map[wire.MsgID]bool),
+	}
+}
+
+// Broadcast implements urb.Process.
+func (p *IDed) Broadcast(body string) (wire.MsgID, urb.Step) {
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	p.addMsg(id)
+	return id, urb.Step{}
+}
+
+func (p *IDed) addMsg(id wire.MsgID) {
+	if !p.have[id] {
+		p.have[id] = true
+		p.msgs = append(p.msgs, id)
+	}
+}
+
+// Receive implements urb.Process.
+func (p *IDed) Receive(m wire.Message) urb.Step {
+	var out urb.Step
+	switch m.Kind {
+	case wire.KindMsg:
+		id := m.ID()
+		p.addMsg(id)
+		// ACK with our identity — no MY_ACK set needed: the identity IS
+		// the stable acknowledgement key, which is the whole point of
+		// having identifiers.
+		p.wireSent++
+		out.Broadcasts = append(out.Broadcasts,
+			wire.NewAck(id, ident.Tag{Hi: idSentinel, Lo: uint64(p.id)}))
+	case wire.KindAck:
+		if m.AckTag.Hi != idSentinel {
+			return out
+		}
+		id := m.ID()
+		set := p.acks[id]
+		if set == nil {
+			set = make(map[uint64]bool)
+			p.acks[id] = set
+		}
+		set[m.AckTag.Lo] = true
+		if 2*len(set) > p.n && !p.delivered[id] {
+			p.delivered[id] = true
+			out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id, Fast: !p.have[id]})
+		}
+	}
+	return out
+}
+
+// Tick implements urb.Process: retransmit every known message (Task 1).
+func (p *IDed) Tick() urb.Step {
+	var out urb.Step
+	for _, id := range p.msgs {
+		p.wireSent++
+		out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
+	}
+	return out
+}
+
+// Stats implements urb.Process.
+func (p *IDed) Stats() urb.Stats {
+	entries := 0
+	for _, s := range p.acks {
+		entries += len(s)
+	}
+	return urb.Stats{
+		MsgSet:     len(p.msgs),
+		AckEntries: entries,
+		Delivered:  len(p.delivered),
+		WireSent:   p.wireSent,
+	}
+}
+
+// AnonymousRB is the paper's companion algorithm (technical report
+// EHU-KAT-IK-03-14, reference [21]): RELIABLE — not uniform — broadcast
+// in the same anonymous fair-lossy model. A process delivers a message on
+// FIRST reception and retransmits it forever (Task 1), with no
+// acknowledgements at all.
+//
+// With fair lossy channels the forever-retransmission yields agreement
+// among CORRECT processes: any correct process that received m keeps
+// broadcasting it, so every correct process eventually receives and
+// delivers m. What is lost relative to URB is exactly uniformity: a
+// process may deliver m (first reception — e.g. the broadcaster hearing
+// its own copy) and crash before any copy survives anywhere else; correct
+// processes then never deliver. Experiment T6 measures both sides of
+// that trade: RB delivers in one hop where URB waits for a majority of
+// ACKs, and RB breaks under the deliver-then-crash adversary where URB
+// holds.
+type AnonymousRB struct {
+	tags      *ident.Source
+	msgs      []wire.MsgID
+	have      map[wire.MsgID]bool
+	delivered map[wire.MsgID]bool
+	wireSent  uint64
+}
+
+var _ urb.Process = (*AnonymousRB)(nil)
+
+// NewAnonymousRB builds an anonymous reliable (non-uniform) broadcast
+// process.
+func NewAnonymousRB(tags *ident.Source) *AnonymousRB {
+	return &AnonymousRB{
+		tags:      tags,
+		have:      make(map[wire.MsgID]bool),
+		delivered: make(map[wire.MsgID]bool),
+	}
+}
+
+// Broadcast implements urb.Process: insert into the retransmission set
+// and deliver locally (first "reception" is the broadcaster's own).
+func (p *AnonymousRB) Broadcast(body string) (wire.MsgID, urb.Step) {
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	var out urb.Step
+	p.add(id)
+	p.delivered[id] = true
+	out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id})
+	return id, out
+}
+
+func (p *AnonymousRB) add(id wire.MsgID) {
+	if !p.have[id] {
+		p.have[id] = true
+		p.msgs = append(p.msgs, id)
+	}
+}
+
+// Receive implements urb.Process: deliver on first reception, then join
+// the retransmission.
+func (p *AnonymousRB) Receive(m wire.Message) urb.Step {
+	var out urb.Step
+	if m.Kind != wire.KindMsg {
+		return out
+	}
+	id := m.ID()
+	p.add(id)
+	if !p.delivered[id] {
+		p.delivered[id] = true
+		out.Deliveries = append(out.Deliveries, urb.Delivery{ID: id})
+	}
+	return out
+}
+
+// Tick implements urb.Process: retransmit everything, forever.
+func (p *AnonymousRB) Tick() urb.Step {
+	var out urb.Step
+	for _, id := range p.msgs {
+		p.wireSent++
+		out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
+	}
+	return out
+}
+
+// Stats implements urb.Process.
+func (p *AnonymousRB) Stats() urb.Stats {
+	return urb.Stats{
+		MsgSet:    len(p.msgs),
+		Delivered: len(p.delivered),
+		WireSent:  p.wireSent,
+	}
+}

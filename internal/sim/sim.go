@@ -1,0 +1,543 @@
+// Package sim is the deterministic discrete-event simulator that hosts the
+// paper's algorithms over the fair lossy channel models.
+//
+// A run is a pure function of its Config (including the seed): events are
+// ordered by (virtual time, sequence number), every random decision flows
+// from named xrand streams, and the algorithms themselves are
+// deterministic state machines. The same Config therefore replays bit-for-
+// bit, which is what makes the experiment tables in EXPERIMENTS.md
+// reproducible.
+//
+// The simulator models:
+//
+//   - n anonymous processes, each hosting one urb.Process instance fed by
+//     Receive/Tick/Broadcast events;
+//   - an n×n mesh of lossy links (internal/channel) applying per-copy
+//     drop/delay verdicts — broadcasting one wire message costs n copies,
+//     one per destination, including the sender itself (the paper's
+//     broadcast primitive includes self-delivery, and the self-link is as
+//     lossy as any other);
+//   - a crash schedule: a crashed process receives, sends and delivers
+//     nothing from its crash time on;
+//   - periodic Task-1 ticks per process, phase-shifted so processes do
+//     not run in lockstep;
+//   - an application workload: URB-broadcasts injected at scheduled
+//     times.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// Time is virtual time. The unit is abstract ("ticks"); scenarios in this
+// repository use a Task-1 period of ~10 and link delays of ~1-5.
+type Time = int64
+
+// Never marks a process that does not crash in the run.
+const Never Time = -1
+
+// Env is what a process factory receives: everything a process may use
+// without breaking anonymity, plus the bookkeeping index for wiring
+// failure detector handles (the algorithm itself must never see it).
+type Env struct {
+	// Index is the simulator's bookkeeping index for this process. It
+	// exists so the factory can bind per-process oracle handles; do not
+	// leak it into algorithm state.
+	Index int
+	// Tags is the process's private tag stream.
+	Tags *ident.Source
+	// Now reads the virtual clock (for failure detector handles).
+	Now func() Time
+}
+
+// Factory builds the algorithm instance for one process.
+type Factory func(env Env) urb.Process
+
+// ScheduledBroadcast injects one URB-broadcast into the run.
+type ScheduledBroadcast struct {
+	At   Time
+	Proc int
+	Body string
+}
+
+// Observer receives run events; the trace recorder and metrics collectors
+// implement it. All callbacks fire synchronously inside the event loop.
+type Observer interface {
+	// OnBroadcast fires when a process executes URB_broadcast.
+	OnBroadcast(t Time, proc int, id wire.MsgID)
+	// OnSend fires once per copy offered to a link. arriveAt is
+	// meaningful only when dropped is false.
+	OnSend(t Time, src, dst int, m wire.Message, dropped bool, arriveAt Time)
+	// OnReceive fires when a copy is handed to a live process.
+	OnReceive(t Time, dst int, m wire.Message)
+	// OnDeliver fires on each URB-delivery.
+	OnDeliver(t Time, proc int, d urb.Delivery)
+	// OnCrash fires when a process crashes.
+	OnCrash(t Time, proc int)
+}
+
+// Config fully describes a run.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Factory builds each process's algorithm instance.
+	Factory Factory
+	// Link is the channel model for every directed link.
+	Link channel.LinkModel
+	// Seed drives all simulator randomness (channel verdicts, tag
+	// streams, tick phases).
+	Seed uint64
+	// TickEvery is the Task-1 period. Defaults to 10.
+	TickEvery Time
+	// MaxTime stops the run unconditionally. Defaults to 10_000.
+	MaxTime Time
+	// CrashAt[i] is process i's crash time, or Never. nil means nobody
+	// crashes.
+	CrashAt []Time
+	// CrashAfterDeliveries, if non-nil, crashes process i immediately
+	// after its k-th delivery where k = CrashAfterDeliveries[i] (0 means
+	// disabled). This is the paper's "fast deliver then crash" adversary
+	// (Remark, Section III).
+	CrashAfterDeliveries []int
+	// Broadcasts is the application workload.
+	Broadcasts []ScheduledBroadcast
+	// StopWhenQuiet, when > 0, ends the run once no wire message has
+	// been sent for this long AND every pending event is a tick. This is
+	// how quiescence runs terminate before MaxTime.
+	StopWhenQuiet Time
+	// ExpectDeliveries, when > 0, ends the run once every correct
+	// process has delivered this many messages (used by latency sweeps
+	// that do not care about quiescence).
+	ExpectDeliveries int
+	// Observers receive run events.
+	Observers []Observer
+	// SampleEvery, when > 0, snapshots per-process stats periodically
+	// into Result.Samples (experiments F1/F5).
+	SampleEvery Time
+}
+
+// event kinds.
+type evKind uint8
+
+const (
+	evReceive evKind = iota
+	evTick
+	evCrash
+	evBroadcast
+	evSample
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	kind evKind
+	proc int
+	msg  wire.Message
+	body string
+}
+
+// eventHeap orders by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DeliveryAt is one URB-delivery with its virtual time.
+type DeliveryAt struct {
+	ID   wire.MsgID
+	At   Time
+	Fast bool
+}
+
+// BroadcastAt is one URB-broadcast with its origin (ground truth for the
+// property checkers; the algorithms never see origins).
+type BroadcastAt struct {
+	ID   wire.MsgID
+	Proc int
+	At   Time
+}
+
+// Sample is a periodic snapshot for the time-series experiments.
+type Sample struct {
+	At Time
+	// Stats[i] is process i's algorithm state sizes at the sample time.
+	Stats []urb.Stats
+	// CumSent is the cumulative number of copies offered to the network.
+	CumSent uint64
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Deliveries[i] lists process i's URB-deliveries in order.
+	Deliveries [][]DeliveryAt
+	// Broadcasts lists every URB-broadcast with its ground-truth origin.
+	Broadcasts []BroadcastAt
+	// Crashed[i] reports whether process i crashed during the run.
+	Crashed []bool
+	// EndTime is the virtual time at which the run stopped.
+	EndTime Time
+	// LastSend is the virtual time of the last copy offered to the
+	// network (quiescence metric).
+	LastSend Time
+	// Quiescent reports that the run ended via StopWhenQuiet.
+	Quiescent bool
+	// Net is the channel mesh statistics.
+	Net channel.Stats
+	// ProcStats[i] is process i's final algorithm state sizes.
+	ProcStats []urb.Stats
+	// Samples is the periodic time series (empty unless SampleEvery>0).
+	Samples []Sample
+}
+
+// Engine executes one run.
+type Engine struct {
+	cfg    Config
+	now    Time
+	seq    uint64
+	heap   eventHeap
+	net    *channel.Network
+	procs  []urb.Process
+	crash  []bool
+	result Result
+	// pendingWire counts queued evReceive events; quiescence detection
+	// needs to know whether non-tick events remain.
+	pendingWire int
+	delivered   []int
+	// Obligation tracking for the convergence stop: a message must be
+	// delivered by every live process iff its broadcaster is still live
+	// or someone already delivered it (a faulty sender's message that
+	// nobody delivered may legally vanish — URB imposes nothing then).
+	remainingBroadcasts int
+	msgOrigin           map[wire.MsgID]int
+	deliveredSomewhere  map[wire.MsgID]bool
+	deliveredAt         []map[wire.MsgID]bool
+	// aliveTouched[id]: some live process received a MSG or ACK about
+	// id, so the message can still propagate and stays obliged even if
+	// its broadcaster crashed. inFlightMsg[id] counts queued copies.
+	aliveTouched map[wire.MsgID]bool
+	inFlightMsg  map[wire.MsgID]int
+}
+
+// NewEngine validates cfg and builds the run.
+func NewEngine(cfg Config) *Engine {
+	if cfg.N < 1 {
+		panic("sim: N must be >= 1")
+	}
+	if cfg.Factory == nil {
+		panic("sim: Factory is required")
+	}
+	if cfg.Link == nil {
+		panic("sim: Link is required")
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 10_000
+	}
+	if cfg.CrashAt != nil && len(cfg.CrashAt) != cfg.N {
+		panic("sim: CrashAt length mismatch")
+	}
+	if cfg.CrashAfterDeliveries != nil && len(cfg.CrashAfterDeliveries) != cfg.N {
+		panic("sim: CrashAfterDeliveries length mismatch")
+	}
+	e := &Engine{
+		cfg:                 cfg,
+		net:                 channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "net")),
+		procs:               make([]urb.Process, cfg.N),
+		crash:               make([]bool, cfg.N),
+		delivered:           make([]int, cfg.N),
+		remainingBroadcasts: len(cfg.Broadcasts),
+		msgOrigin:           make(map[wire.MsgID]int),
+		deliveredSomewhere:  make(map[wire.MsgID]bool),
+		deliveredAt:         make([]map[wire.MsgID]bool, cfg.N),
+		aliveTouched:        make(map[wire.MsgID]bool),
+		inFlightMsg:         make(map[wire.MsgID]int),
+	}
+	for i := range e.deliveredAt {
+		e.deliveredAt[i] = make(map[wire.MsgID]bool)
+	}
+	e.result.Deliveries = make([][]DeliveryAt, cfg.N)
+	e.result.Crashed = make([]bool, cfg.N)
+	tagRoot := xrand.SplitLabeled(cfg.Seed, "tags")
+	for i := 0; i < cfg.N; i++ {
+		env := Env{
+			Index: i,
+			Tags:  ident.NewSource(tagRoot.Split()),
+			Now:   func() Time { return e.now },
+		}
+		e.procs[i] = cfg.Factory(env)
+	}
+	// Phase-shift the first tick of each process so the mesh does not
+	// operate in lockstep.
+	phase := xrand.SplitLabeled(cfg.Seed, "phase")
+	for i := 0; i < cfg.N; i++ {
+		e.push(&event{at: 1 + phase.Int63n(cfg.TickEvery), kind: evTick, proc: i})
+	}
+	for i, at := range cfg.CrashAt {
+		if at != Never && at >= 0 {
+			e.push(&event{at: at, kind: evCrash, proc: i})
+		}
+	}
+	for _, b := range cfg.Broadcasts {
+		if b.Proc < 0 || b.Proc >= cfg.N {
+			panic(fmt.Sprintf("sim: broadcast proc %d out of range", b.Proc))
+		}
+		e.push(&event{at: b.At, kind: evBroadcast, proc: b.Proc, body: b.Body})
+	}
+	if cfg.SampleEvery > 0 {
+		e.push(&event{at: 0, kind: evSample})
+	}
+	return e
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, ev)
+	if ev.kind == evReceive {
+		e.pendingWire++
+		if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+			e.inFlightMsg[ev.msg.ID()]++
+		}
+	}
+}
+
+// Now returns the current virtual time (exposed for FD handles).
+func (e *Engine) Now() Time { return e.now }
+
+// Process returns the algorithm instance at index i (test hook).
+func (e *Engine) Process(i int) urb.Process { return e.procs[i] }
+
+// Network exposes the mesh (test hook).
+func (e *Engine) Network() *channel.Network { return e.net }
+
+// broadcastCopies offers one wire message to every destination link.
+func (e *Engine) broadcastCopies(src int, m wire.Message) {
+	size := m.EncodedSize()
+	for dst := 0; dst < e.cfg.N; dst++ {
+		v := e.net.Send(e.now, src, dst, size)
+		arrive := Time(0)
+		if !v.Drop {
+			d := v.Delay
+			if d < 1 {
+				d = 1
+			}
+			arrive = e.now + d
+			e.push(&event{at: arrive, kind: evReceive, proc: dst, msg: m})
+		}
+		for _, o := range e.cfg.Observers {
+			o.OnSend(e.now, src, dst, m, v.Drop, arrive)
+		}
+	}
+	e.result.LastSend = e.now
+}
+
+// absorb handles one Step from a process.
+func (e *Engine) absorb(proc int, s urb.Step) {
+	for _, d := range s.Deliveries {
+		e.result.Deliveries[proc] = append(e.result.Deliveries[proc],
+			DeliveryAt{ID: d.ID, At: e.now, Fast: d.Fast})
+		e.delivered[proc]++
+		e.deliveredSomewhere[d.ID] = true
+		e.deliveredAt[proc][d.ID] = true
+		for _, o := range e.cfg.Observers {
+			o.OnDeliver(e.now, proc, d)
+		}
+	}
+	// Crash-after-delivery adversary: the crash lands between the
+	// delivery and any further protocol action, which is exactly the
+	// fast-deliver-then-crash scenario of the paper's remark.
+	if e.cfg.CrashAfterDeliveries != nil && !e.crash[proc] {
+		if k := e.cfg.CrashAfterDeliveries[proc]; k > 0 && e.delivered[proc] >= k {
+			e.doCrash(proc)
+			return // broadcasts die with the process
+		}
+	}
+	for _, m := range s.Broadcasts {
+		e.broadcastCopies(proc, m)
+	}
+}
+
+func (e *Engine) doCrash(proc int) {
+	if e.crash[proc] {
+		return
+	}
+	e.crash[proc] = true
+	e.result.Crashed[proc] = true
+	for _, o := range e.cfg.Observers {
+		o.OnCrash(e.now, proc)
+	}
+}
+
+// allCorrectDelivered reports whether every live process has delivered at
+// least want messages.
+func (e *Engine) allCorrectDelivered(want int) bool {
+	for i := 0; i < e.cfg.N; i++ {
+		if e.crash[i] {
+			continue
+		}
+		if e.delivered[i] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// converged reports that no delivery obligation remains: every scheduled
+// broadcast has been resolved (issued, or its broadcaster crashed first),
+// and every live process has delivered every message that is still
+// obliged — i.e. whose broadcaster is live, or that somebody delivered.
+// A faulty sender's message that nobody delivered is not an obligation:
+// URB permits it to vanish.
+func (e *Engine) converged() bool {
+	if e.remainingBroadcasts > 0 {
+		return false
+	}
+	for id, origin := range e.msgOrigin {
+		if e.crash[origin] && !e.deliveredSomewhere[id] &&
+			!e.aliveTouched[id] && e.inFlightMsg[id] == 0 {
+			// The message died with its sender: no live process ever saw
+			// it and no copy is in flight. It obliges nothing.
+			continue
+		}
+		for p := 0; p < e.cfg.N; p++ {
+			if e.crash[p] {
+				continue
+			}
+			if !e.deliveredAt[p][id] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// deliveryStopMet combines the two convergence criteria used by the stop
+// conditions.
+func (e *Engine) deliveryStopMet() bool {
+	return e.allCorrectDelivered(e.cfg.ExpectDeliveries) || e.converged()
+}
+
+// Run executes the event loop and returns the result.
+func (e *Engine) Run() Result {
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.kind == evReceive {
+			e.pendingWire--
+			if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+				e.inFlightMsg[ev.msg.ID()]--
+			}
+		}
+		if ev.at > e.cfg.MaxTime {
+			e.now = e.cfg.MaxTime
+			break
+		}
+		e.now = ev.at
+		switch ev.kind {
+		case evReceive:
+			if e.crash[ev.proc] {
+				break
+			}
+			if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+				e.aliveTouched[ev.msg.ID()] = true
+			}
+			for _, o := range e.cfg.Observers {
+				o.OnReceive(e.now, ev.proc, ev.msg)
+			}
+			e.absorb(ev.proc, e.procs[ev.proc].Receive(ev.msg))
+		case evTick:
+			if e.crash[ev.proc] {
+				break
+			}
+			e.absorb(ev.proc, e.procs[ev.proc].Tick())
+			if !e.crash[ev.proc] { // absorb may have crashed it
+				e.push(&event{at: e.now + e.cfg.TickEvery, kind: evTick, proc: ev.proc})
+			}
+		case evCrash:
+			e.doCrash(ev.proc)
+		case evBroadcast:
+			e.remainingBroadcasts--
+			if e.crash[ev.proc] {
+				break
+			}
+			id, s := e.procs[ev.proc].Broadcast(ev.body)
+			e.result.Broadcasts = append(e.result.Broadcasts,
+				BroadcastAt{ID: id, Proc: ev.proc, At: e.now})
+			e.msgOrigin[id] = ev.proc
+			for _, o := range e.cfg.Observers {
+				o.OnBroadcast(e.now, ev.proc, id)
+			}
+			e.absorb(ev.proc, s)
+		case evSample:
+			e.takeSample()
+			e.push(&event{at: e.now + e.cfg.SampleEvery, kind: evSample})
+		}
+
+		// ExpectDeliveries alone stops the run early; when StopWhenQuiet
+		// is also set the run continues until it is quiet as well (the
+		// quiescence experiments need both conditions).
+		if e.cfg.ExpectDeliveries > 0 && e.cfg.StopWhenQuiet == 0 && e.deliveryStopMet() {
+			break
+		}
+		if e.cfg.StopWhenQuiet > 0 && e.pendingWire == 0 &&
+			e.now-e.result.LastSend >= e.cfg.StopWhenQuiet &&
+			(e.cfg.ExpectDeliveries == 0 || e.deliveryStopMet()) {
+			e.result.Quiescent = true
+			break
+		}
+	}
+	e.result.EndTime = e.now
+	e.result.Net = e.net.Stats()
+	e.result.ProcStats = make([]urb.Stats, e.cfg.N)
+	for i, p := range e.procs {
+		e.result.ProcStats[i] = p.Stats()
+	}
+	return e.result
+}
+
+func (e *Engine) takeSample() {
+	s := Sample{At: e.now, Stats: make([]urb.Stats, e.cfg.N), CumSent: e.net.Stats().Sent}
+	for i, p := range e.procs {
+		s.Stats[i] = p.Stats()
+	}
+	e.result.Samples = append(e.result.Samples, s)
+}
+
+// CorrectSet derives the []bool correctness vector from a crash schedule
+// (convenience for building failure detector oracles).
+func CorrectSet(n int, crashAt []Time, crashAfterDeliveries []int) []bool {
+	correct := make([]bool, n)
+	for i := range correct {
+		correct[i] = true
+		if crashAt != nil && crashAt[i] != Never && crashAt[i] >= 0 {
+			correct[i] = false
+		}
+		if crashAfterDeliveries != nil && crashAfterDeliveries[i] > 0 {
+			correct[i] = false
+		}
+	}
+	return correct
+}

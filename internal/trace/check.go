@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"fmt"
+
+	"anonurb/internal/sim"
+	"anonurb/internal/wire"
+)
+
+// Violation describes one property failure found by a checker.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return v.Property + ": " + v.Detail }
+
+// Report is the outcome of checking one run.
+type Report struct {
+	Violations []Violation
+	// Broadcast counts distinct URB-broadcast messages.
+	Broadcast int
+	// FastDeliveries counts deliveries that happened before any MSG copy
+	// arrived at the deliverer.
+	FastDeliveries int
+	// TotalDeliveries counts all deliveries.
+	TotalDeliveries int
+}
+
+// OK reports whether no property was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns the first violation as an error, or nil.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return r.Violations[0]
+}
+
+func (r *Report) add(property, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Property: property,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Checker verifies a recorded run against the URB properties. n is the
+// system size; crashed[i] gives the run's ground-truth crash outcomes
+// (a process that never crashed in the run counts as correct, per the
+// paper's definition of correctness in a run).
+type Checker struct {
+	n       int
+	crashed []bool
+	// CheckConvergent enables the eventual properties (validity,
+	// agreement), which are only meaningful if the run was given enough
+	// time to converge.
+	CheckConvergent bool
+}
+
+// NewChecker builds a checker for a run over n processes.
+func NewChecker(n int, crashed []bool) *Checker {
+	return &Checker{n: n, crashed: crashed, CheckConvergent: true}
+}
+
+// Check runs every applicable property check.
+func (c *Checker) Check(events []Event) *Report {
+	rep := &Report{}
+
+	type deliveryKey struct {
+		proc int
+		id   wire.MsgID
+	}
+	broadcastIDs := make(map[wire.MsgID]int) // id -> origin proc
+	broadcastAt := make(map[wire.MsgID]sim.Time)
+	deliveredBy := make(map[wire.MsgID]map[int]bool)
+	deliveryCount := make(map[deliveryKey]int)
+	crashedAt := make(map[int]sim.Time)
+	// Channel accounting: copies offered per (dst, encoded message) vs
+	// copies received — receives must never exceed surviving sends
+	// (channels neither create nor duplicate messages).
+	type linkKey struct {
+		dst int
+		enc string
+	}
+	offered := make(map[linkKey]int)
+	received := make(map[linkKey]int)
+	sawWire := false
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindBroadcast:
+			if prev, dup := broadcastIDs[e.ID]; dup {
+				rep.add("tag-uniqueness",
+					"message %v broadcast twice (p%d then p%d): tag collision",
+					e.ID, prev, e.Proc)
+			}
+			broadcastIDs[e.ID] = e.Proc
+			broadcastAt[e.ID] = e.At
+			rep.Broadcast++
+		case KindDeliver:
+			rep.TotalDeliveries++
+			if e.Fast {
+				rep.FastDeliveries++
+			}
+			k := deliveryKey{proc: e.Proc, id: e.ID}
+			deliveryCount[k]++
+			if deliveryCount[k] > 1 {
+				rep.add("uniform-integrity",
+					"p%d delivered %v %d times", e.Proc, e.ID, deliveryCount[k])
+			}
+			if _, known := broadcastIDs[e.ID]; !known {
+				rep.add("uniform-integrity",
+					"p%d delivered %v which was never URB-broadcast", e.Proc, e.ID)
+			}
+			if bt, ok := broadcastAt[e.ID]; ok && e.At < bt {
+				rep.add("causality", "p%d delivered %v at %d before its broadcast at %d",
+					e.Proc, e.ID, e.At, bt)
+			}
+			if deliveredBy[e.ID] == nil {
+				deliveredBy[e.ID] = make(map[int]bool)
+			}
+			deliveredBy[e.ID][e.Proc] = true
+		case KindCrash:
+			crashedAt[e.Proc] = e.At
+		case KindSend:
+			sawWire = true
+			if !e.Dropped {
+				offered[linkKey{dst: e.Dst, enc: string(e.Msg.Encode(nil))}]++
+			}
+		case KindReceive:
+			received[linkKey{dst: e.Proc, enc: string(e.Msg.Encode(nil))}]++
+		}
+	}
+
+	// No process acts after its crash.
+	for _, e := range events {
+		if at, dead := crashedAt[e.Proc]; dead && e.At > at &&
+			(e.Kind == KindDeliver || e.Kind == KindBroadcast || e.Kind == KindSend) {
+			rep.add("crash-model", "p%d %s at %d after crashing at %d",
+				e.Proc, e.Kind, e.At, at)
+		}
+	}
+
+	if sawWire {
+		for k, got := range received {
+			if sent := offered[k]; got > sent {
+				rep.add("channel-integrity",
+					"p%d received %d copies of a message but only %d survived the link",
+					k.dst, got, sent)
+			}
+		}
+	}
+
+	if c.CheckConvergent {
+		// Validity: a correct broadcaster delivers its own message.
+		for id, origin := range broadcastIDs {
+			if c.crashed[origin] {
+				continue
+			}
+			if !deliveredBy[id][origin] {
+				rep.add("validity", "correct broadcaster p%d never delivered its own %v",
+					origin, id)
+			}
+		}
+		// Uniform agreement: if anyone delivered id, every correct
+		// process delivered id.
+		for id, procs := range deliveredBy {
+			if len(procs) == 0 {
+				continue
+			}
+			for p := 0; p < c.n; p++ {
+				if c.crashed[p] {
+					continue
+				}
+				if !procs[p] {
+					rep.add("uniform-agreement",
+						"%v delivered by %d process(es) but correct p%d never delivered it",
+						id, len(procs), p)
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// CheckResult is a convenience wrapper: run the checker against a
+// sim.Result (no wire events needed).
+func CheckResult(res sim.Result) *Report {
+	n := len(res.Deliveries)
+	c := NewChecker(n, res.Crashed)
+	var events []Event
+	for _, b := range res.Broadcasts {
+		events = append(events, Event{At: b.At, Kind: KindBroadcast, Proc: b.Proc, ID: b.ID})
+	}
+	for p, ds := range res.Deliveries {
+		for _, d := range ds {
+			events = append(events, Event{At: d.At, Kind: KindDeliver, Proc: p, ID: d.ID, Fast: d.Fast})
+		}
+	}
+	return c.Check(events)
+}

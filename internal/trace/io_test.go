@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/sim"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+func sampleEvents() []Event {
+	m := id(1, "hello")
+	ack := wire.NewLabeledAck(m, ident.Tag{Hi: 5, Lo: 5},
+		[]ident.Tag{{Hi: 7, Lo: 7}, {Hi: 8, Lo: 8}})
+	return []Event{
+		{At: 1, Kind: KindBroadcast, Proc: 0, ID: m},
+		{At: 2, Kind: KindSend, Proc: 0, Dst: 1, Msg: wire.NewMsg(m)},
+		{At: 3, Kind: KindSend, Proc: 0, Dst: 2, Msg: wire.NewMsg(m), Dropped: true},
+		{At: 4, Kind: KindReceive, Proc: 1, Msg: wire.NewMsg(m)},
+		{At: 5, Kind: KindSend, Proc: 1, Dst: 0, Msg: ack},
+		{At: 6, Kind: KindDeliver, Proc: 1, ID: m, Fast: true},
+		{At: 7, Kind: KindCrash, Proc: 2},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := Write(&buf, 3, []bool{false, false, true}, events); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 3 || len(h.Crashed) != 3 || !h.Crashed[2] {
+		t.Fatalf("header %+v", h)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		w, g := events[i], got[i]
+		if w.At != g.At || w.Kind != g.Kind || w.Proc != g.Proc || w.Dst != g.Dst ||
+			w.Dropped != g.Dropped || w.Fast != g.Fast || w.ID != g.ID {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, w, g)
+		}
+		if !w.Msg.Equal(g.Msg) && (w.Kind == KindSend || w.Kind == KindReceive) {
+			t.Fatalf("event %d message mismatch", i)
+		}
+	}
+}
+
+func TestTraceReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty", "", "empty"},
+		{"garbage header", "not json\n", "bad header"},
+		{"bad version", `{"version":9,"n":1,"crashed":[false]}` + "\n", "version"},
+		{"inconsistent", `{"version":1,"n":2,"crashed":[false]}` + "\n", "inconsistent"},
+		{"bad event", `{"version":1,"n":1,"crashed":[false]}` + "\nnope\n", "line 2"},
+		{"bad kind", `{"version":1,"n":1,"crashed":[false]}` + "\n" + `{"kind":99}` + "\n", "unknown kind"},
+	}
+	for _, c := range cases {
+		_, _, err := Read(strings.NewReader(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTraceRoundTripCheckerAgrees(t *testing.T) {
+	// Round-tripping a real run through the file format must not change
+	// the checker's verdict.
+	const n = 4
+	rec := NewRecorder(Options{Wire: true})
+	res := sim.NewEngine(sim.Config{
+		N: n,
+		Factory: func(env sim.Env) urb.Process {
+			return urb.NewMajority(n, env.Tags, urb.Config{})
+		},
+		Link:             channel.Bernoulli{P: 0.2, D: channel.UniformDelay{Min: 1, Max: 4}},
+		Seed:             31,
+		MaxTime:          20_000,
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: "io"}},
+		Observers:        []sim.Observer{rec},
+		ExpectDeliveries: 1,
+	}).Run()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, n, res.Crashed, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := NewChecker(n, res.Crashed).Check(rec.Events())
+	after := NewChecker(h.N, h.Crashed).Check(events)
+	if before.OK() != after.OK() ||
+		before.TotalDeliveries != after.TotalDeliveries ||
+		before.Broadcast != after.Broadcast ||
+		before.FastDeliveries != after.FastDeliveries {
+		t.Fatalf("verdicts diverged: %+v vs %+v", before, after)
+	}
+}
+
+func TestWriteResultWithoutRecorder(t *testing.T) {
+	const n = 3
+	res := sim.NewEngine(sim.Config{
+		N: n,
+		Factory: func(env sim.Env) urb.Process {
+			return urb.NewMajority(n, env.Tags, urb.Config{})
+		},
+		Link:             channel.Reliable{D: channel.FixedDelay(1)},
+		Seed:             32,
+		MaxTime:          5_000,
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: "x"}},
+		ExpectDeliveries: 1,
+	}).Run()
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewChecker(h.N, h.Crashed).Check(events)
+	if !rep.OK() || rep.Broadcast != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}

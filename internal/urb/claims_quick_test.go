@@ -1,0 +1,164 @@
+package urb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// TestQuiescentClaimsConsistencyQuick is the property-based test of the
+// D1 bookkeeping: after ANY sequence of (possibly repeated, refreshed,
+// shrunk) ACKs, the derived claim counters must equal the reference
+// computed from scratch — claims[ℓ] = |{ackers whose latest set ∋ ℓ}|.
+func TestQuiescentClaimsConsistencyQuick(t *testing.T) {
+	// An op encodes (acker index 0..7, label bitmap over 5 labels).
+	type op struct {
+		Acker  uint8
+		Labels uint8
+	}
+	labels := make([]ident.Tag, 5)
+	for i := range labels {
+		labels[i] = ident.Tag{Hi: uint64(i) + 1, Lo: 50}
+	}
+	ackers := make([]ident.Tag, 8)
+	for i := range ackers {
+		ackers[i] = ident.Tag{Hi: uint64(i) + 100, Lo: 60}
+	}
+	id := wire.MsgID{Tag: ident.Tag{Hi: 999, Lo: 1}, Body: "prop"}
+	// A detector with huge numbers so nothing ever delivers or retires:
+	// pure bookkeeping.
+	var never fd.View
+	for _, l := range labels {
+		never = append(never, fd.Pair{Label: l, Number: 1 << 30})
+	}
+	never = fd.Normalize(never)
+
+	f := func(ops []op) bool {
+		p := NewQuiescent(fd.Static{Theta: never, Star: never}, ident.NewSource(xrand.New(1)), Config{})
+		latest := map[ident.Tag]uint8{} // reference: acker → latest bitmap
+		for _, o := range ops {
+			acker := ackers[int(o.Acker)%len(ackers)]
+			bitmap := o.Labels & 0x1f
+			var set []ident.Tag
+			for b := 0; b < 5; b++ {
+				if bitmap&(1<<b) != 0 {
+					set = append(set, labels[b])
+				}
+			}
+			p.Receive(wire.NewLabeledAck(id, acker, set))
+			latest[acker] = bitmap
+		}
+		// Reference counts from scratch.
+		for b, l := range labels {
+			want := 0
+			for _, bm := range latest {
+				if bm&(1<<b) != 0 {
+					want++
+				}
+			}
+			if got := p.Claims(id, l); got != want {
+				t.Logf("label %d: got %d want %d (ops=%v)", b, got, want, ops)
+				return false
+			}
+		}
+		return p.Ackers(id) == len(latest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMajorityAckSetConsistencyQuick: the distinct-acker count equals the
+// reference for any sequence of (possibly duplicated) ACKs across
+// multiple messages.
+func TestMajorityAckSetConsistencyQuick(t *testing.T) {
+	type op struct {
+		Msg   uint8
+		Acker uint8
+	}
+	ids := make([]wire.MsgID, 4)
+	for i := range ids {
+		ids[i] = wire.MsgID{Tag: ident.Tag{Hi: uint64(i) + 1, Lo: 70}, Body: "q"}
+	}
+	ackers := make([]ident.Tag, 16)
+	for i := range ackers {
+		ackers[i] = ident.Tag{Hi: uint64(i) + 200, Lo: 80}
+	}
+	f := func(ops []op) bool {
+		// Threshold beyond reach: pure bookkeeping.
+		p := NewMajorityThreshold(64, 64, ident.NewSource(xrand.New(2)), Config{})
+		ref := map[wire.MsgID]map[ident.Tag]bool{}
+		for _, o := range ops {
+			id := ids[int(o.Msg)%len(ids)]
+			ack := ackers[int(o.Acker)%len(ackers)]
+			p.Receive(wire.NewAck(id, ack))
+			if ref[id] == nil {
+				ref[id] = map[ident.Tag]bool{}
+			}
+			ref[id][ack] = true
+		}
+		for _, id := range ids {
+			if p.AckCount(id) != len(ref[id]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuiescentPurgeIdempotentQuick: purging stale labels twice changes
+// nothing the second time, for arbitrary ACK histories (purge runs on
+// every tick, so idempotence matters).
+func TestQuiescentPurgeIdempotentQuick(t *testing.T) {
+	labels := make([]ident.Tag, 6)
+	for i := range labels {
+		labels[i] = ident.Tag{Hi: uint64(i) + 1, Lo: 90}
+	}
+	// Views keep only even labels; odd labels are stale and get purged.
+	kept := fd.Normalize(fd.View{
+		{Label: labels[0], Number: 1 << 30},
+		{Label: labels[2], Number: 1 << 30},
+		{Label: labels[4], Number: 1 << 30},
+	})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 7, Lo: 7}, Body: "purge"}
+
+	f := func(bitmaps []uint8) bool {
+		p := NewQuiescent(fd.Static{Theta: kept, Star: kept}, ident.NewSource(xrand.New(3)), Config{})
+		for i, bm := range bitmaps {
+			var set []ident.Tag
+			for b := 0; b < 6; b++ {
+				if bm&(1<<b) != 0 {
+					set = append(set, labels[b])
+				}
+			}
+			acker := ident.Tag{Hi: uint64(i) + 300, Lo: 91}
+			p.Receive(wire.NewLabeledAck(id, acker, set))
+		}
+		p.Tick() // first purge
+		snapshot := make([]int, 6)
+		for b, l := range labels {
+			snapshot[b] = p.Claims(id, l)
+		}
+		// Stale (odd) labels must be gone.
+		if snapshot[1] != 0 || snapshot[3] != 0 || snapshot[5] != 0 {
+			return false
+		}
+		p.Tick() // second purge must be a no-op for claims
+		for b, l := range labels {
+			if p.Claims(id, l) != snapshot[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

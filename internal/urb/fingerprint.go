@@ -1,0 +1,119 @@
+package urb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+)
+
+// Fingerprinter is implemented by process types that can produce a
+// canonical, behaviour-complete digest of their state: two instances with
+// equal fingerprints react identically to any future input sequence. The
+// bounded model checker (internal/explore) uses fingerprints to merge
+// states reached by different interleavings.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+var (
+	_ Fingerprinter = (*Majority)(nil)
+	_ Fingerprinter = (*Quiescent)(nil)
+)
+
+// fpWriter accumulates canonical key/value fragments.
+type fpWriter struct {
+	b strings.Builder
+}
+
+func (w *fpWriter) section(name string) { fmt.Fprintf(&w.b, "|%s:", name) }
+
+func (w *fpWriter) sortedIDs(ids []wire.MsgID) {
+	keys := make([]string, len(ids))
+	for i, id := range ids {
+		keys[i] = id.Tag.String() + "~" + id.Body
+	}
+	sort.Strings(keys)
+	w.b.WriteString(strings.Join(keys, ","))
+}
+
+func (w *fpWriter) sortedTags(tags []ident.Tag) {
+	keys := make([]string, len(tags))
+	for i, t := range tags {
+		keys[i] = t.String()
+	}
+	sort.Strings(keys)
+	w.b.WriteString(strings.Join(keys, ","))
+}
+
+// commonFingerprint digests the state shared by both algorithms.
+func (c *common) commonFingerprint(w *fpWriter) {
+	w.section("draws")
+	fmt.Fprintf(&w.b, "%d", c.tags.Draws())
+	w.section("msgs")
+	w.sortedIDs(c.msgs.snapshotIDs())
+	w.section("mine")
+	keys := make([]string, 0, len(c.mine))
+	for id, ack := range c.mine {
+		keys = append(keys, id.Tag.String()+"~"+id.Body+"="+ack.String())
+	}
+	sort.Strings(keys)
+	w.b.WriteString(strings.Join(keys, ","))
+	w.section("delivered")
+	ids := make([]wire.MsgID, 0, len(c.delivered))
+	for id := range c.delivered {
+		ids = append(ids, id)
+	}
+	w.sortedIDs(ids)
+	w.section("saw")
+	ids = ids[:0]
+	for id := range c.sawMsg {
+		ids = append(ids, id)
+	}
+	w.sortedIDs(ids)
+}
+
+// Fingerprint implements Fingerprinter.
+func (p *Majority) Fingerprint() string {
+	var w fpWriter
+	w.b.WriteString("majority")
+	w.section("n")
+	fmt.Fprintf(&w.b, "%d/%d", p.n, p.threshold)
+	p.commonFingerprint(&w)
+	w.section("acks")
+	keys := make([]string, 0, len(p.acks))
+	for id, set := range p.acks {
+		var inner fpWriter
+		inner.sortedTags(set.Slice())
+		keys = append(keys, id.Tag.String()+"~"+id.Body+"={"+inner.b.String()+"}")
+	}
+	sort.Strings(keys)
+	w.b.WriteString(strings.Join(keys, ","))
+	return w.b.String()
+}
+
+// Fingerprint implements Fingerprinter.
+func (p *Quiescent) Fingerprint() string {
+	var w fpWriter
+	w.b.WriteString("quiescent")
+	p.commonFingerprint(&w)
+	w.section("retired")
+	fmt.Fprintf(&w.b, "%d", p.retired)
+	w.section("acks")
+	keys := make([]string, 0, len(p.acks))
+	for id, st := range p.acks {
+		ackers := make([]string, 0, len(st.ackerOrder))
+		for _, acker := range st.ackerOrder {
+			var inner fpWriter
+			inner.sortedTags(st.byAcker[acker].Slice())
+			ackers = append(ackers, acker.String()+"->{"+inner.b.String()+"}")
+		}
+		sort.Strings(ackers)
+		keys = append(keys, id.Tag.String()+"~"+id.Body+"=["+strings.Join(ackers, ";")+"]")
+	}
+	sort.Strings(keys)
+	w.b.WriteString(strings.Join(keys, ","))
+	return w.b.String()
+}

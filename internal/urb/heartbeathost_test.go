@@ -1,0 +1,141 @@
+package urb
+
+import (
+	"testing"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+func TestHeartbeatHostEmitsBeats(t *testing.T) {
+	now := int64(0)
+	h := NewHeartbeatHost(ident.NewSource(xrand.New(1)), 100, 2, func() int64 { return now }, Config{})
+	s := h.Tick() // tick 1: beatEvery=2, no beat yet
+	beats := 0
+	for _, m := range s.Broadcasts {
+		if m.Kind == wire.KindBeat {
+			beats++
+		}
+	}
+	if beats != 0 {
+		t.Fatal("beat emitted too early")
+	}
+	s = h.Tick() // tick 2: beat
+	beats = 0
+	for _, m := range s.Broadcasts {
+		if m.Kind == wire.KindBeat {
+			beats++
+			if m.Tag != h.Detector().Label() {
+				t.Fatal("beat carries wrong label")
+			}
+		}
+	}
+	if beats != 1 || h.BeatsSent() != 1 {
+		t.Fatalf("beats %d sent %d", beats, h.BeatsSent())
+	}
+}
+
+func TestHeartbeatHostRoutesBeatsToDetector(t *testing.T) {
+	now := int64(0)
+	h := NewHeartbeatHost(ident.NewSource(xrand.New(2)), 100, 1, func() int64 { return now }, Config{})
+	peer := ident.Tag{Hi: 42, Lo: 42}
+	s := h.Receive(wire.NewBeat(peer))
+	if len(s.Broadcasts)+len(s.Deliveries) != 0 {
+		t.Fatal("beat must not reach the algorithm")
+	}
+	if !h.Detector().ATheta().Has(peer) {
+		t.Fatal("detector did not hear the beat")
+	}
+}
+
+func TestHeartbeatHostEndToEnd(t *testing.T) {
+	// Three hosts on a lossless in-test pump with a manual clock:
+	// heartbeats flow, the views converge, a broadcast is delivered by
+	// all, and the ALGORITHM traffic goes quiet while beats continue.
+	now := int64(0)
+	clock := func() int64 { return now }
+	const n = 3
+	root := xrand.New(77)
+	hosts := make([]*HeartbeatHost, n)
+	procs := make([]Process, n)
+	for i := range hosts {
+		hosts[i] = NewHeartbeatHost(ident.NewSource(root.Split()), 200, 1, clock, Config{})
+		procs[i] = hosts[i]
+	}
+	pm := newPump(t, procs...)
+
+	// Let the detectors stabilise: a few beat rounds.
+	for r := 0; r < 3; r++ {
+		now += 10
+		pm.round()
+	}
+	for i, h := range hosts {
+		if got := len(h.Detector().ATheta()); got != n {
+			t.Fatalf("host %d detector sees %d labels, want %d", i, got, n)
+		}
+	}
+
+	pm.broadcast(0, "via-heartbeats")
+	for r := 0; r < 6; r++ {
+		now += 10
+		pm.round()
+	}
+	for i := range hosts {
+		if got := len(pm.deliveredIDs(i)); got != 1 {
+			t.Fatalf("host %d delivered %d", i, got)
+		}
+		if st := hosts[i].Inner().Stats(); st.MsgSet != 0 {
+			t.Fatalf("host %d algorithm not quiescent: %d in MSG", i, st.MsgSet)
+		}
+	}
+	// Beats keep flowing (detector traffic is not quiescent, by design).
+	before := hosts[0].BeatsSent()
+	now += 10
+	pm.round()
+	if hosts[0].BeatsSent() != before+1 {
+		t.Fatal("beats should continue after algorithm quiescence")
+	}
+}
+
+func TestHeartbeatHostCrashDetection(t *testing.T) {
+	// Two hosts; one crashes. After the timeout the survivor's views
+	// drop the dead label, and a message broadcast afterwards still
+	// retires (quiescence with a real detector).
+	now := int64(0)
+	clock := func() int64 { return now }
+	root := xrand.New(88)
+	a := NewHeartbeatHost(ident.NewSource(root.Split()), 50, 1, clock, Config{})
+	b := NewHeartbeatHost(ident.NewSource(root.Split()), 50, 1, clock, Config{})
+	pm := newPump(t, a, b)
+
+	for r := 0; r < 3; r++ {
+		now += 10
+		pm.round()
+	}
+	if len(a.Detector().ATheta()) != 2 {
+		t.Fatal("precondition: both trusted")
+	}
+	// b crashes; its beats stop.
+	pm.crash(1)
+	for r := 0; r < 8; r++ {
+		now += 10
+		pm.round()
+	}
+	if a.Detector().ATheta().Has(b.Detector().Label()) {
+		t.Fatal("survivor still trusts the dead host after timeout")
+	}
+	// The survivor can still broadcast, deliver on its own evidence
+	// (|Correct| = 1) and retire.
+	pm.broadcast(0, "alone")
+	for r := 0; r < 6; r++ {
+		now += 10
+		pm.round()
+	}
+	if got := len(pm.deliveredIDs(0)); got != 1 {
+		t.Fatalf("survivor delivered %d", got)
+	}
+	if st := a.Inner().Stats(); st.MsgSet != 0 || st.Retired != 1 {
+		t.Fatalf("survivor did not retire: %+v", st)
+	}
+}

@@ -1,0 +1,194 @@
+package urb
+
+import (
+	"fmt"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+)
+
+// Majority is Algorithm 1: uniform reliable broadcast in
+// AAS_F[n,t | t < n/2] — anonymous processes, fair lossy channels, no
+// failure detector, assuming a majority of correct processes.
+//
+// The idea (Section III): every process retransmits every message it
+// knows forever (Task 1). On each reception of (MSG, m, tag) a process
+// (re-)broadcasts an acknowledgement (ACK, m, tag, tag_ack) whose tag_ack
+// is a random value drawn once per (m, tag) and then pinned in MY_ACK.
+// Distinct tag_acks therefore count distinct processes without revealing
+// identities, and a process URB-delivers m once it has collected a
+// majority (> n/2) of distinct tag_acks for it: with t < n/2 at least one
+// of those ackers is correct, and that correct process retransmits m
+// forever, so every correct process eventually receives and delivers m.
+//
+// The algorithm is non-quiescent: MSG_i never shrinks and Task 1 never
+// stops. Experiment F1 measures exactly that.
+type Majority struct {
+	common
+	n         int
+	threshold int
+	// acks is the paper's ALL_ACK_i: for every message, the set of
+	// distinct tag_acks received. ackOrder remembers first-seen order so
+	// iteration is deterministic.
+	acks     map[wire.MsgID]*ident.Set
+	ackOrder []wire.MsgID
+}
+
+var _ Process = (*Majority)(nil)
+
+// NewMajority builds an Algorithm 1 process for a system of n processes.
+// The process knows n (the paper's deliver guard "majority of (m,tag,−)"
+// needs it) but has no identity. tags must be a per-process stream.
+func NewMajority(n int, tags *ident.Source, cfg Config) *Majority {
+	return NewMajorityThreshold(n, n/2+1, tags, cfg)
+}
+
+// NewMajorityThreshold builds an Algorithm 1 process whose delivery guard
+// requires the given number of distinct tag_acks instead of the strict
+// majority n/2+1.
+//
+// Lowering the threshold below the majority is UNSAFE — it is provided to
+// reenact the Theorem 2 impossibility construction (experiment T2), where
+// a hypothetical algorithm delivering on evidence from only ⌈n/2⌉
+// processes violates uniform agreement when those processes all crash and
+// the fair lossy channels lose their finitely many copies.
+func NewMajorityThreshold(n, threshold int, tags *ident.Source, cfg Config) *Majority {
+	if n < 1 {
+		panic(fmt.Sprintf("urb: invalid system size %d", n))
+	}
+	if threshold < 1 || threshold > n {
+		panic(fmt.Sprintf("urb: invalid threshold %d for n=%d", threshold, n))
+	}
+	return &Majority{
+		common:    newCommon(cfg, tags),
+		n:         n,
+		threshold: threshold,
+		acks:      make(map[wire.MsgID]*ident.Set),
+	}
+}
+
+// Broadcast implements URB_broadcast(m) (lines 4-6): draw a fresh tag,
+// insert (m, tag) into MSG_i. Transmission happens in Task 1 (or
+// immediately under the EagerFirstSend ablation).
+func (p *Majority) Broadcast(body string) (wire.MsgID, Step) {
+	var out Step
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	p.msgs.add(id)
+	p.sawMsg[id] = true
+	if p.cfg.EagerFirstSend {
+		p.send(&out, wire.NewMsg(id))
+	}
+	return id, out
+}
+
+// Receive dispatches on the message kind (lines 7-27).
+func (p *Majority) Receive(m wire.Message) Step {
+	switch m.Kind {
+	case wire.KindMsg:
+		return p.receiveMsg(m)
+	case wire.KindAck:
+		return p.receiveAck(m)
+	default:
+		// Unknown kinds (e.g. failure detector heartbeats multiplexed on
+		// the same mesh) are not for us; ignore.
+		return Step{}
+	}
+}
+
+// receiveMsg handles (MSG, m, tag) (lines 7-17).
+func (p *Majority) receiveMsg(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	p.sawMsg[id] = true
+	if p.msgs.add(id) && p.cfg.EagerFirstSend {
+		// First time we learn of m from the network: start retransmitting
+		// (Task 1 covers it; eager mode also forwards at once).
+		p.send(&out, wire.NewMsg(id))
+	}
+	ack, known := p.mine[id]
+	if !known {
+		// First reception: draw the unique tag_ack for (m, tag) and pin
+		// it (lines 14-15). It must never change afterwards; uniform
+		// integrity counts distinct ackers by distinct tag_acks.
+		ack = p.tags.Next()
+		p.mine[id] = ack
+	}
+	// Acknowledge every reception (lines 11-12 / 16): retransmissions of
+	// the ACK are what overcome ACK loss on fair lossy channels.
+	p.send(&out, wire.NewAck(id, ack))
+	return out
+}
+
+// receiveAck handles (ACK, m, tag, tag_ack) (lines 18-27).
+func (p *Majority) receiveAck(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	set, ok := p.acks[id]
+	if !ok {
+		set = ident.NewSet()
+		p.acks[id] = set
+		p.ackOrder = append(p.ackOrder, id)
+	}
+	set.Add(m.AckTag) // idempotent (lines 19-21)
+	p.checkDeliver(&out, id)
+	return out
+}
+
+// checkDeliver applies the guard of lines 22-26: a majority of distinct
+// tag_acks — strictly more than n/2 (or the configured threshold for the
+// impossibility reenactment).
+func (p *Majority) checkDeliver(out *Step, id wire.MsgID) {
+	set, ok := p.acks[id]
+	if !ok {
+		return
+	}
+	if set.Len() >= p.threshold {
+		p.deliverOnce(out, id)
+	}
+}
+
+// Tick is one pass of Task 1 (lines 28-32): retransmit every message in
+// MSG_i. The set never shrinks, which is why Algorithm 1 is not
+// quiescent.
+func (p *Majority) Tick() Step {
+	var out Step
+	for _, id := range p.msgs.snapshotIDs() {
+		p.send(&out, wire.NewMsg(id))
+	}
+	if p.cfg.CheckOnTick {
+		for _, id := range p.ackOrder {
+			p.checkDeliver(&out, id)
+		}
+	}
+	return out
+}
+
+// Stats implements Process.
+func (p *Majority) Stats() Stats {
+	entries := 0
+	for _, s := range p.acks {
+		entries += s.Len()
+	}
+	return Stats{
+		MsgSet:     p.msgs.len(),
+		MyAcks:     len(p.mine),
+		AckEntries: entries,
+		Delivered:  len(p.delivered),
+		WireSent:   p.wireSent,
+	}
+}
+
+// AckCount reports how many distinct tag_acks have been seen for id
+// (test hook).
+func (p *Majority) AckCount(id wire.MsgID) int {
+	if s, ok := p.acks[id]; ok {
+		return s.Len()
+	}
+	return 0
+}
+
+// HasDelivered reports whether id has been URB-delivered locally.
+func (p *Majority) HasDelivered(id wire.MsgID) bool { return p.delivered[id] }
+
+// KnowsMsg reports whether id is in MSG_i (test hook).
+func (p *Majority) KnowsMsg(id wire.MsgID) bool { return p.msgs.has(id) }

@@ -1,0 +1,258 @@
+package urb
+
+import (
+	"testing"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+func newMaj(t *testing.T, n int, cfg Config) *Majority {
+	t.Helper()
+	return NewMajority(n, ident.NewSource(xrand.New(uint64(n)*7+1)), cfg)
+}
+
+func TestMajorityBroadcastFillsMsgSet(t *testing.T) {
+	p := newMaj(t, 5, Config{})
+	_, s := p.Broadcast("hello")
+	if len(s.Broadcasts) != 0 {
+		t.Fatal("paper-faithful mode must not transmit from URB_broadcast")
+	}
+	if p.Stats().MsgSet != 1 {
+		t.Fatalf("MsgSet %d, want 1", p.Stats().MsgSet)
+	}
+	tick := p.Tick()
+	if len(tick.Broadcasts) != 1 || tick.Broadcasts[0].Kind != wire.KindMsg {
+		t.Fatalf("Task 1 should emit exactly the MSG, got %v", tick.Broadcasts)
+	}
+	if tick.Broadcasts[0].Body != "hello" {
+		t.Fatalf("body %q", tick.Broadcasts[0].Body)
+	}
+}
+
+func TestMajorityEagerFirstSend(t *testing.T) {
+	p := newMaj(t, 5, Config{EagerFirstSend: true})
+	_, s := p.Broadcast("now")
+	if len(s.Broadcasts) != 1 || s.Broadcasts[0].Kind != wire.KindMsg {
+		t.Fatal("eager mode must transmit immediately")
+	}
+}
+
+func TestMajorityAckPinnedPerMessage(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: "m"}
+	s1 := p.Receive(wire.NewMsg(id))
+	if len(s1.Broadcasts) != 1 || s1.Broadcasts[0].Kind != wire.KindAck {
+		t.Fatalf("first reception must ACK, got %v", s1.Broadcasts)
+	}
+	ack1 := s1.Broadcasts[0].AckTag
+	s2 := p.Receive(wire.NewMsg(id))
+	ack2 := s2.Broadcasts[0].AckTag
+	if ack1 != ack2 {
+		t.Fatal("tag_ack must be pinned per (m,tag) — MY_ACK broken")
+	}
+	// A different message gets a different tag_ack.
+	other := wire.MsgID{Tag: ident.Tag{Hi: 2, Lo: 2}, Body: "m"}
+	s3 := p.Receive(wire.NewMsg(other))
+	if s3.Broadcasts[0].AckTag == ack1 {
+		t.Fatal("distinct messages must get distinct tag_acks")
+	}
+	if p.Stats().MyAcks != 2 {
+		t.Fatalf("MyAcks %d, want 2", p.Stats().MyAcks)
+	}
+}
+
+func TestMajorityDeliversOnMajorityOfDistinctAcks(t *testing.T) {
+	p := newMaj(t, 5, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: "x"}
+	acks := []ident.Tag{{Hi: 1, Lo: 1}, {Hi: 2, Lo: 2}, {Hi: 3, Lo: 3}}
+	// Two distinct acks: 2*2 = 4 <= 5, no delivery.
+	s := p.Receive(wire.NewAck(id, acks[0]))
+	if len(s.Deliveries) != 0 {
+		t.Fatal("premature delivery at 1 ack")
+	}
+	s = p.Receive(wire.NewAck(id, acks[1]))
+	if len(s.Deliveries) != 0 {
+		t.Fatal("premature delivery at 2 acks (n=5)")
+	}
+	// Duplicate ack must not count twice.
+	s = p.Receive(wire.NewAck(id, acks[1]))
+	if len(s.Deliveries) != 0 {
+		t.Fatal("duplicate tag_ack counted twice")
+	}
+	if p.AckCount(id) != 2 {
+		t.Fatalf("AckCount %d, want 2", p.AckCount(id))
+	}
+	// Third distinct ack: 2*3 = 6 > 5 → deliver.
+	s = p.Receive(wire.NewAck(id, acks[2]))
+	if len(s.Deliveries) != 1 || s.Deliveries[0].ID != id {
+		t.Fatalf("expected delivery, got %v", s.Deliveries)
+	}
+	if !p.HasDelivered(id) {
+		t.Fatal("HasDelivered")
+	}
+}
+
+func TestMajorityIntegrityDeliversAtMostOnce(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: "x"}
+	total := 0
+	for i := 0; i < 10; i++ {
+		s := p.Receive(wire.NewAck(id, ident.Tag{Hi: uint64(i) + 1, Lo: 5}))
+		total += len(s.Deliveries)
+	}
+	if total != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", total)
+	}
+}
+
+func TestMajorityFastDeliveryFlag(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 7, Lo: 7}, Body: "fast"}
+	// Deliver purely from ACKs: the process never saw the MSG.
+	p.Receive(wire.NewAck(id, ident.Tag{Hi: 1, Lo: 1}))
+	s := p.Receive(wire.NewAck(id, ident.Tag{Hi: 2, Lo: 2}))
+	if len(s.Deliveries) != 1 || !s.Deliveries[0].Fast {
+		t.Fatalf("expected fast delivery, got %v", s.Deliveries)
+	}
+
+	// Control: reception of MSG first clears the flag.
+	q := newMaj(t, 3, Config{})
+	id2 := wire.MsgID{Tag: ident.Tag{Hi: 8, Lo: 8}, Body: "slow"}
+	q.Receive(wire.NewMsg(id2))
+	q.Receive(wire.NewAck(id2, ident.Tag{Hi: 1, Lo: 1}))
+	s = q.Receive(wire.NewAck(id2, ident.Tag{Hi: 2, Lo: 2}))
+	if len(s.Deliveries) != 1 || s.Deliveries[0].Fast {
+		t.Fatalf("expected ordinary delivery, got %v", s.Deliveries)
+	}
+}
+
+func TestMajorityNonQuiescent(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	_, _ = p.Broadcast("m1")
+	p.Receive(wire.NewMsg(wire.MsgID{Tag: ident.Tag{Hi: 5, Lo: 5}, Body: "m2"}))
+	for i := 0; i < 50; i++ {
+		s := p.Tick()
+		if len(s.Broadcasts) != 2 {
+			t.Fatalf("tick %d emitted %d, want 2 — Algorithm 1 must never stop", i, len(s.Broadcasts))
+		}
+	}
+	if p.Stats().MsgSet != 2 || p.Stats().Retired != 0 {
+		t.Fatalf("stats %+v", p.Stats())
+	}
+}
+
+func TestMajorityIgnoresForeignKinds(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	s := p.Receive(wire.Message{Kind: wire.Kind(99), Body: "junk", Tag: ident.Tag{Hi: 1}})
+	if len(s.Broadcasts)+len(s.Deliveries) != 0 {
+		t.Fatal("unknown kinds must be ignored")
+	}
+}
+
+func TestMajorityPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMajority(0, ident.NewSource(xrand.New(1)), Config{})
+}
+
+func TestMajorityClusterAllDeliver(t *testing.T) {
+	// Five processes over the lossless pump: everything everyone
+	// broadcasts is delivered exactly once by everyone.
+	const n = 5
+	tags := tagsFor(101, n)
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = NewMajority(n, tags[i], Config{})
+	}
+	pm := newPump(t, procs...)
+	pm.broadcast(0, "a")
+	pm.broadcast(2, "b")
+	pm.broadcast(4, "c")
+	pm.run(3)
+	for i := 0; i < n; i++ {
+		ids := pm.deliveredIDs(i)
+		if len(ids) != 3 {
+			t.Fatalf("p%d delivered %d messages, want 3", i, len(ids))
+		}
+		bodies := map[string]int{}
+		for _, id := range ids {
+			bodies[id.Body]++
+		}
+		for _, b := range []string{"a", "b", "c"} {
+			if bodies[b] != 1 {
+				t.Fatalf("p%d delivered %q %d times", i, b, bodies[b])
+			}
+		}
+	}
+}
+
+func TestMajorityClusterAgreementUnderCrash(t *testing.T) {
+	// n=5, t=2 (< n/2): two processes crash right after the broadcast has
+	// been queued; the three survivors must still deliver.
+	const n = 5
+	tags := tagsFor(202, n)
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = NewMajority(n, tags[i], Config{})
+	}
+	pm := newPump(t, procs...)
+	pm.broadcast(0, "survivor")
+	pm.round() // first dissemination round
+	pm.crash(3)
+	pm.crash(4)
+	pm.run(3)
+	for i := 0; i < 3; i++ {
+		if len(pm.deliveredIDs(i)) != 1 {
+			t.Fatalf("correct p%d failed to deliver", i)
+		}
+	}
+}
+
+func TestMajorityStallsWithoutMajority(t *testing.T) {
+	// n=4 and only 2 live ackers: 2*2 = 4 is not > 4, so nobody may
+	// deliver — this is the blocking behaviour Theorem 2 says is
+	// unavoidable, not a liveness bug.
+	const n = 4
+	tags := tagsFor(303, n)
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = NewMajority(n, tags[i], Config{})
+	}
+	pm := newPump(t, procs...)
+	pm.crash(2)
+	pm.crash(3)
+	pm.broadcast(0, "stuck")
+	pm.run(5)
+	for i := 0; i < 2; i++ {
+		if len(pm.deliveredIDs(i)) != 0 {
+			t.Fatalf("p%d delivered without a majority of acks", i)
+		}
+	}
+}
+
+func TestMajorityCheckOnTick(t *testing.T) {
+	p := newMaj(t, 3, Config{CheckOnTick: true})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 4, Lo: 4}, Body: "x"}
+	p.Receive(wire.NewAck(id, ident.Tag{Hi: 1, Lo: 1}))
+	p.Receive(wire.NewAck(id, ident.Tag{Hi: 2, Lo: 2}))
+	// Already delivered on receipt; tick must not deliver again.
+	s := p.Tick()
+	if len(s.Deliveries) != 0 {
+		t.Fatal("tick re-delivered")
+	}
+}
+
+func TestMajorityStatsWireSent(t *testing.T) {
+	p := newMaj(t, 3, Config{})
+	_, _ = p.Broadcast("a")
+	p.Tick()
+	p.Tick()
+	if got := p.Stats().WireSent; got != 2 {
+		t.Fatalf("WireSent %d, want 2", got)
+	}
+}

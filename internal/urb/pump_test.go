@@ -1,0 +1,103 @@
+package urb
+
+import (
+	"testing"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// pump is a minimal lossless in-test network: it runs a set of Process
+// instances to convergence by delivering every broadcast to every process
+// (FIFO), interleaved with ticks. It exists so the urb package's unit
+// tests need no simulator; lossy and adversarial schedules are exercised
+// in internal/sim's tests.
+type pump struct {
+	t     *testing.T
+	procs []Process
+	queue []wire.Message
+	// deliveries[i] accumulates URB-deliveries at process i.
+	deliveries [][]Delivery
+	crashed    []bool
+}
+
+func newPump(t *testing.T, procs ...Process) *pump {
+	return &pump{
+		t:          t,
+		procs:      procs,
+		deliveries: make([][]Delivery, len(procs)),
+		crashed:    make([]bool, len(procs)),
+	}
+}
+
+func (p *pump) absorb(i int, s Step) {
+	p.deliveries[i] = append(p.deliveries[i], s.Deliveries...)
+	p.queue = append(p.queue, s.Broadcasts...)
+}
+
+// broadcast has process i URB-broadcast body.
+func (p *pump) broadcast(i int, body string) {
+	_, s := p.procs[i].Broadcast(body)
+	p.absorb(i, s)
+}
+
+// crash removes process i from all future activity.
+func (p *pump) crash(i int) { p.crashed[i] = true }
+
+// drain delivers queued wire messages to every live process until the
+// queue is empty, bounding total work.
+func (p *pump) drain() {
+	const maxWork = 1 << 20
+	work := 0
+	for len(p.queue) > 0 {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		for i, proc := range p.procs {
+			if p.crashed[i] {
+				continue
+			}
+			p.absorb(i, proc.Receive(m))
+			if work++; work > maxWork {
+				p.t.Fatal("pump: message storm, protocol not converging")
+			}
+		}
+	}
+}
+
+// round ticks every live process once and drains.
+func (p *pump) round() {
+	for i, proc := range p.procs {
+		if p.crashed[i] {
+			continue
+		}
+		p.absorb(i, proc.Tick())
+	}
+	p.drain()
+}
+
+// run executes k rounds.
+func (p *pump) run(k int) {
+	for i := 0; i < k; i++ {
+		p.round()
+	}
+}
+
+// deliveredIDs returns the IDs delivered at process i, in order.
+func (p *pump) deliveredIDs(i int) []wire.MsgID {
+	out := make([]wire.MsgID, len(p.deliveries[i]))
+	for j, d := range p.deliveries[i] {
+		out[j] = d.ID
+	}
+	return out
+}
+
+// tagsFor builds n independent tag sources for tests.
+func tagsFor(seed uint64, n int) []*ident.Source {
+	root := xrand.New(seed)
+	out := make([]*ident.Source, n)
+	for i := range out {
+		out[i] = ident.NewSource(root.Split())
+	}
+	return out
+}

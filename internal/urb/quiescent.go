@@ -1,0 +1,344 @@
+package urb
+
+import (
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+)
+
+// Quiescent is Algorithm 2: quiescent uniform reliable broadcast in
+// AAS_F[n,t | AΘ, AP*] — any number of processes may crash, and
+// eventually no process sends any message.
+//
+// Mechanics (Section VI): MSG dissemination and per-message pinned
+// tag_acks work as in Algorithm 1, but each ACK additionally carries the
+// label set the acker currently reads from its AΘ module:
+//
+//	(ACK, m, tag, tag_ack, labels)
+//
+// For every message the receiver maintains, per acker (tag_ack), the
+// label set from that acker's latest ACK, and derives
+//
+//	claims[label] = number of distinct ackers whose latest ACK claims label.
+//
+// Delivery guard (paper line 46): m is URB-deliverable once some
+// (label, number) pair in the local AΘ view satisfies
+// claims[label] >= number. Safety: the ackers claiming label form a
+// subset of S(label), and AΘ-accuracy guarantees any number-sized subset
+// of S(label) contains a correct process — so a correct process has
+// received m and will retransmit it forever (until retirement).
+//
+// Retirement guard (paper line 55): a delivered message is deleted from
+// the retransmission set MSG_i once, for every (label, number) pair in
+// the local AP* view, claims[label] >= number, and no acker still claims
+// a label outside the AP* view. Post-GST the AP* view is exactly the
+// correct processes' labels with number = |Correct|, and — because the
+// failure detector only reveals a label to its owner and to correct
+// processes — the claimants of a correct label are correct processes, so
+// the guard certifies that every correct process has ACKed (hence
+// received) m. Every correct process therefore delivers m on its own
+// evidence, and retransmission can stop: the algorithm is quiescent.
+//
+// Deviations D1-D4 from the garbled published listing are documented in
+// DESIGN.md §2 and at the relevant code below.
+type Quiescent struct {
+	common
+	det fd.Detector
+	// per-message ACK bookkeeping, insertion-ordered for determinism.
+	acks     map[wire.MsgID]*ackState
+	ackOrder []wire.MsgID
+	retired  int
+}
+
+// ackState is the paper's ALL_ACK / all_labels / label_counter bundle for
+// one message.
+type ackState struct {
+	// byAcker maps tag_ack → label set of that acker's latest ACK
+	// (the paper's all_labels[(m,tag), tag_ack]).
+	byAcker map[ident.Tag]*ident.Set
+	// ackerOrder is the first-seen order of tag_acks.
+	ackerOrder []ident.Tag
+	// claims maps label → number of ackers currently claiming it
+	// (the paper's label_counter[(m,tag), label]).
+	claims map[ident.Tag]int
+}
+
+func newAckState() *ackState {
+	return &ackState{
+		byAcker: make(map[ident.Tag]*ident.Set),
+		claims:  make(map[ident.Tag]int),
+	}
+}
+
+// bump increments a label's claim count.
+func (a *ackState) bump(label ident.Tag) {
+	a.claims[label]++
+}
+
+// drop decrements a label's claim count.
+func (a *ackState) drop(label ident.Tag) {
+	if c := a.claims[label]; c > 0 {
+		a.claims[label] = c - 1
+	}
+}
+
+// update applies the latest ACK from one acker with *replacement*
+// semantics (deviation D1): labels newly claimed are counted up, labels
+// no longer claimed are counted down. This realises the paper's cases
+// "repeated ACK with more labels" (lines 34-37) and "repeated ACK with
+// fewer labels" (lines 38-44) in one well-defined rule. Returns true if
+// the acker is new.
+func (a *ackState) update(acker ident.Tag, labels []ident.Tag) bool {
+	cur, known := a.byAcker[acker]
+	if !known {
+		s := ident.NewSet()
+		for _, l := range labels {
+			if s.Add(l) {
+				a.bump(l)
+			}
+		}
+		a.byAcker[acker] = s
+		a.ackerOrder = append(a.ackerOrder, acker)
+		return true
+	}
+	next := ident.NewSet(labels...)
+	// Count up the additions.
+	for _, l := range next.Slice() {
+		if !cur.Has(l) {
+			a.bump(l)
+		}
+	}
+	// Count down the removals.
+	for _, l := range cur.Slice() {
+		if !next.Has(l) {
+			a.drop(l)
+		}
+	}
+	a.byAcker[acker] = next
+	return false
+}
+
+// purge removes every claimed label for which keep returns false
+// (deviation D4: stale labels of crashed processes frozen inside ACKs
+// from ackers that will never refresh — e.g. the crashed process's own
+// ACK — would otherwise block the retirement guard forever). Safe
+// because AP* perpetually contains every correct process's label, so a
+// label absent from both current views can only belong to a crashed
+// process.
+func (a *ackState) purge(keep func(ident.Tag) bool) {
+	for _, acker := range a.ackerOrder {
+		set := a.byAcker[acker]
+		for _, l := range append([]ident.Tag(nil), set.Slice()...) {
+			if !keep(l) {
+				set.Remove(l)
+				a.drop(l)
+			}
+		}
+	}
+}
+
+// ackers returns the number of distinct tag_acks seen.
+func (a *ackState) ackers() int { return len(a.ackerOrder) }
+
+var _ Process = (*Quiescent)(nil)
+
+// NewQuiescent builds an Algorithm 2 process. Unlike Algorithm 1 it does
+// not need to know n: the failure detector's numbers replace the majority
+// threshold. tags must be a per-process stream; det is the process's
+// failure detector handle (AΘ and AP* views).
+func NewQuiescent(det fd.Detector, tags *ident.Source, cfg Config) *Quiescent {
+	return &Quiescent{
+		common: newCommon(cfg, tags),
+		det:    det,
+		acks:   make(map[wire.MsgID]*ackState),
+	}
+}
+
+// Broadcast implements URB_broadcast(m) (lines 4-6).
+func (p *Quiescent) Broadcast(body string) (wire.MsgID, Step) {
+	var out Step
+	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	p.msgs.add(id)
+	p.sawMsg[id] = true
+	if p.cfg.EagerFirstSend {
+		p.send(&out, wire.NewMsg(id))
+	}
+	return id, out
+}
+
+// Receive dispatches on kind (lines 7-51).
+func (p *Quiescent) Receive(m wire.Message) Step {
+	switch m.Kind {
+	case wire.KindMsg:
+		return p.receiveMsg(m)
+	case wire.KindAck:
+		return p.receiveAck(m)
+	default:
+		return Step{}
+	}
+}
+
+// receiveMsg handles (MSG, m, tag) (lines 7-21).
+func (p *Quiescent) receiveMsg(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	p.sawMsg[id] = true
+	// Lines 8-12: (re-)insert into MSG_i only if not yet delivered; this
+	// is what keeps a retired message retired when late MSG copies
+	// straggle in.
+	if !p.msgs.has(id) && !p.delivered[id] {
+		p.msgs.add(id)
+		if p.cfg.EagerFirstSend {
+			p.send(&out, wire.NewMsg(id))
+		}
+	}
+	ack, known := p.mine[id]
+	if !known {
+		ack = p.tags.Next() // line 17: pinned forever after
+		p.mine[id] = ack
+	}
+	// Lines 13-20: every (re-)ACK carries the *current* AΘ label view, so
+	// receivers can refresh their per-acker label sets.
+	labels := p.det.ATheta().Labels().Slice()
+	p.send(&out, wire.NewLabeledAck(id, ack, labels))
+	return out
+}
+
+// receiveAck handles (ACK, m, tag, tag_ack, labels) (lines 22-51).
+func (p *Quiescent) receiveAck(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	st, ok := p.acks[id]
+	if !ok {
+		st = newAckState() // lines 23-26
+		p.acks[id] = st
+		p.ackOrder = append(p.ackOrder, id)
+	}
+	st.update(m.AckTag, m.Labels) // lines 27-45 (D1)
+	p.checkDeliver(&out, id)      // lines 46-51
+	return out
+}
+
+// checkDeliver applies the delivery guard: ∃ (label, number) ∈ AΘ with
+// claims[label] >= number (deviation D2: >= instead of =; see DESIGN.md).
+func (p *Quiescent) checkDeliver(out *Step, id wire.MsgID) {
+	if p.delivered[id] {
+		return
+	}
+	st, ok := p.acks[id]
+	if !ok {
+		return
+	}
+	for _, pair := range p.det.ATheta() {
+		if st.claims[pair.Label] >= pair.Number {
+			p.deliverOnce(out, id)
+			return
+		}
+	}
+}
+
+// retireReady evaluates the retirement guard (paper line 55, deviation
+// D3) for one delivered message against the current AP* view.
+func (p *Quiescent) retireReady(id wire.MsgID, star fd.View) bool {
+	if !p.delivered[id] {
+		return false // line 56
+	}
+	st, ok := p.acks[id]
+	if !ok {
+		return false
+	}
+	if len(star) == 0 {
+		return false // no evidence about the correct set: never retire
+	}
+	// Every pair covered: claims[label] >= number.
+	for _, pair := range star {
+		if st.claims[pair.Label] < pair.Number {
+			return false
+		}
+	}
+	// No acker still claims a label outside the AP* view (the paper's
+	// all_labels = {label | (label,-) ∈ a_p*} clause).
+	starLabels := star.Labels()
+	for _, acker := range st.ackerOrder {
+		if !st.byAcker[acker].SubsetOf(starLabels) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick is one pass of Task 1 (lines 52-61): retransmit every message
+// still in MSG_i, and retire those whose guard holds. Stale labels that
+// can no longer appear in any current view are purged first (D4) so that
+// frozen ACKs from crashed ackers cannot block retirement forever.
+func (p *Quiescent) Tick() Step {
+	var out Step
+	star := p.det.APStar()
+	theta := p.det.ATheta()
+	live := theta.Labels()
+	for _, pr := range star {
+		live.Add(pr.Label)
+	}
+	for _, id := range p.ackOrder {
+		p.acks[id].purge(live.Has)
+	}
+	if p.cfg.CheckOnTick {
+		for _, id := range p.ackOrder {
+			p.checkDeliver(&out, id)
+		}
+	}
+	for _, id := range p.msgs.snapshotIDs() {
+		if p.cfg.RetireBeforeSend && p.retireReady(id, star) {
+			p.msgs.remove(id)
+			p.retired++
+			continue
+		}
+		p.send(&out, wire.NewMsg(id)) // line 54
+		if p.retireReady(id, star) {  // lines 55-58
+			p.msgs.remove(id)
+			p.retired++
+		}
+	}
+	return out
+}
+
+// Stats implements Process.
+func (p *Quiescent) Stats() Stats {
+	entries := 0
+	for _, st := range p.acks {
+		entries += st.ackers()
+	}
+	return Stats{
+		MsgSet:     p.msgs.len(),
+		MyAcks:     len(p.mine),
+		AckEntries: entries,
+		Delivered:  len(p.delivered),
+		Retired:    p.retired,
+		WireSent:   p.wireSent,
+	}
+}
+
+// Claims reports the current claim count for (id, label) — test hook.
+func (p *Quiescent) Claims(id wire.MsgID, label ident.Tag) int {
+	if st, ok := p.acks[id]; ok {
+		return st.claims[label]
+	}
+	return 0
+}
+
+// Ackers reports how many distinct tag_acks have been seen for id.
+func (p *Quiescent) Ackers(id wire.MsgID) int {
+	if st, ok := p.acks[id]; ok {
+		return st.ackers()
+	}
+	return 0
+}
+
+// HasDelivered reports whether id has been URB-delivered locally.
+func (p *Quiescent) HasDelivered(id wire.MsgID) bool { return p.delivered[id] }
+
+// KnowsMsg reports whether id is currently in MSG_i (false once retired).
+func (p *Quiescent) KnowsMsg(id wire.MsgID) bool { return p.msgs.has(id) }
+
+// RetiredCount reports how many messages have been retired.
+func (p *Quiescent) RetiredCount() int { return p.retired }

@@ -1,0 +1,267 @@
+package urb
+
+import (
+	"fmt"
+	"testing"
+
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// chaosNet is a randomized adversarial scheduler: it holds in-flight
+// copies and, step by step, randomly delivers, drops (within a budget),
+// duplicates delivery order arbitrarily, ticks random processes and
+// crashes processes (within a budget). It then "heals": remaining copies
+// are delivered and ticks run in rounds until the system converges. The
+// URB properties must hold on every generated schedule — this is the
+// probabilistic complement of the bounded-exhaustive checker in
+// internal/explore.
+type chaosNet struct {
+	t       *testing.T
+	rng     *xrand.Source
+	procs   []Process
+	crashed []bool
+	flight  []chaosCopy
+	// deliveries[p][id] counts deliveries for the integrity check.
+	deliveries []map[wire.MsgID]int
+	dropBudget int
+}
+
+type chaosCopy struct {
+	dst int
+	msg wire.Message
+}
+
+func newChaosNet(t *testing.T, rng *xrand.Source, procs []Process, dropBudget int) *chaosNet {
+	c := &chaosNet{
+		t: t, rng: rng, procs: procs,
+		crashed:    make([]bool, len(procs)),
+		deliveries: make([]map[wire.MsgID]int, len(procs)),
+		dropBudget: dropBudget,
+	}
+	for i := range c.deliveries {
+		c.deliveries[i] = map[wire.MsgID]int{}
+	}
+	return c
+}
+
+func (c *chaosNet) absorb(p int, s Step) {
+	for _, d := range s.Deliveries {
+		c.deliveries[p][d.ID]++
+		if c.deliveries[p][d.ID] > 1 {
+			c.t.Fatalf("uniform integrity: p%d delivered %v twice", p, d.ID)
+		}
+	}
+	for _, m := range s.Broadcasts {
+		for dst := range c.procs {
+			c.flight = append(c.flight, chaosCopy{dst: dst, msg: m})
+		}
+	}
+}
+
+func (c *chaosNet) broadcast(p int, body string) wire.MsgID {
+	id, s := c.procs[p].Broadcast(body)
+	c.absorb(p, s)
+	return id
+}
+
+// chaos runs `steps` random scheduler actions.
+func (c *chaosNet) chaos(steps int) {
+	for i := 0; i < steps; i++ {
+		switch c.rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // deliver a random in-flight copy
+			if len(c.flight) == 0 {
+				continue
+			}
+			k := c.rng.Intn(len(c.flight))
+			cp := c.flight[k]
+			c.flight = append(c.flight[:k], c.flight[k+1:]...)
+			if !c.crashed[cp.dst] {
+				c.absorb(cp.dst, c.procs[cp.dst].Receive(cp.msg))
+			}
+		case 5, 6: // drop a random copy (fair lossy: budgeted)
+			if len(c.flight) == 0 || c.dropBudget <= 0 {
+				continue
+			}
+			c.dropBudget--
+			k := c.rng.Intn(len(c.flight))
+			c.flight = append(c.flight[:k], c.flight[k+1:]...)
+		default: // tick a random live process
+			p := c.rng.Intn(len(c.procs))
+			if !c.crashed[p] {
+				c.absorb(p, c.procs[p].Tick())
+			}
+		}
+		// Bound the buffer so ACK storms cannot blow up the test: excess
+		// copies are dropped from the front (more loss, still legal).
+		if len(c.flight) > 4096 {
+			c.flight = c.flight[len(c.flight)-4096:]
+		}
+	}
+}
+
+// crash kills a process mid-chaos.
+func (c *chaosNet) crash(p int) { c.crashed[p] = true }
+
+// heal delivers everything and runs tick/flush rounds until no traffic
+// remains, modelling the fair-lossy guarantee that retransmission
+// eventually succeeds.
+func (c *chaosNet) heal(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for len(c.flight) > 0 {
+			cp := c.flight[0]
+			c.flight = c.flight[1:]
+			if !c.crashed[cp.dst] {
+				c.absorb(cp.dst, c.procs[cp.dst].Receive(cp.msg))
+			}
+		}
+		for p, proc := range c.procs {
+			if !c.crashed[p] {
+				c.absorb(p, proc.Tick())
+			}
+		}
+	}
+	for len(c.flight) > 0 {
+		cp := c.flight[0]
+		c.flight = c.flight[1:]
+		if !c.crashed[cp.dst] {
+			c.absorb(cp.dst, c.procs[cp.dst].Receive(cp.msg))
+		}
+	}
+}
+
+// checkAgreement verifies that every message delivered anywhere was
+// delivered by every live process, and validity for live broadcasters.
+func (c *chaosNet) checkAgreement(obliged map[wire.MsgID]int) {
+	everDelivered := map[wire.MsgID]bool{}
+	for _, ds := range c.deliveries {
+		for id := range ds {
+			everDelivered[id] = true
+		}
+	}
+	for id, origin := range obliged {
+		if !c.crashed[origin] {
+			everDelivered[id] = true // validity obligation
+		}
+	}
+	for id := range everDelivered {
+		for p := range c.procs {
+			if c.crashed[p] {
+				continue
+			}
+			if c.deliveries[p][id] != 1 {
+				c.t.Fatalf("agreement/validity: p%d delivered %v %d times (seed case)",
+					p, id, c.deliveries[p][id])
+			}
+		}
+	}
+}
+
+func TestMajorityRandomSchedules(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := xrand.New(uint64(trial)*7919 + 3)
+			n := 3 + rng.Intn(3) // 3..5
+			tags := tagsFor(uint64(trial)+500, n)
+			procs := make([]Process, n)
+			for i := range procs {
+				procs[i] = NewMajority(n, tags[i], Config{})
+			}
+			c := newChaosNet(t, rng, procs, 200)
+
+			obliged := map[wire.MsgID]int{}
+			writers := 1 + rng.Intn(2)
+			for w := 0; w < writers; w++ {
+				id := c.broadcast(w, fmt.Sprintf("m%d", w))
+				obliged[id] = w
+			}
+			c.chaos(300)
+			// Crash a strict minority at a random point.
+			crashes := rng.Intn((n - 1) / 2 * 2) // 0..t, t = max minority... bounded below
+			if max := (n - 1) / 2; crashes > max {
+				crashes = max
+			}
+			for k := 0; k < crashes; k++ {
+				c.crash(n - 1 - k)
+			}
+			c.chaos(300)
+			c.heal(4)
+			c.checkAgreement(obliged)
+		})
+	}
+}
+
+func TestQuiescentRandomSchedules(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := xrand.New(uint64(trial)*104729 + 11)
+			n := 3 + rng.Intn(3)
+			// Any number of crashes up to n-1: Algorithm 2's whole point.
+			crashes := rng.Intn(n)
+			// The static views mirror the oracle's post-GST output for
+			// the survivors.
+			labels := make([]ident.Tag, n)
+			for i := range labels {
+				labels[i] = ident.Tag{Hi: uint64(trial)*100 + uint64(i) + 1, Lo: 3}
+			}
+			nCorrect := n - crashes
+			view := fd.View{}
+			for i := 0; i < nCorrect; i++ {
+				view = append(view, fd.Pair{Label: labels[i], Number: nCorrect})
+			}
+			view = fd.Normalize(view)
+
+			tags := tagsFor(uint64(trial)+900, n)
+			procs := make([]Process, n)
+			for i := range procs {
+				// The audience invariant (DESIGN.md §2): survivors see the
+				// survivor labels; a process that will crash sees only its
+				// own label (its frozen ACKs must not impersonate correct
+				// processes in anyone's retirement guard).
+				var det fd.Static
+				if i < nCorrect {
+					det = fd.Static{Theta: view.Clone(), Star: view.Clone()}
+				} else {
+					self := fd.Normalize(fd.View{{Label: labels[i], Number: 2}})
+					det = fd.Static{Theta: self, Star: self.Clone()}
+				}
+				procs[i] = NewQuiescent(det, tags[i], Config{})
+			}
+			c := newChaosNet(t, rng, procs, 200)
+
+			obliged := map[wire.MsgID]int{}
+			id := c.broadcast(0, "survivor-msg")
+			obliged[id] = 0
+			c.chaos(200)
+			for k := 0; k < crashes; k++ {
+				c.crash(n - 1 - k)
+			}
+			c.chaos(200)
+			c.heal(5)
+			c.checkAgreement(obliged)
+
+			// Quiescence: after healing, every live process must have
+			// retired everything and ticks must emit nothing.
+			for p, proc := range c.procs {
+				if c.crashed[p] {
+					continue
+				}
+				if s := proc.Tick(); len(s.Broadcasts) != 0 {
+					t.Fatalf("p%d not quiescent after convergence", p)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package urb is the paper's primary contribution: Uniform Reliable
+// Broadcast for anonymous asynchronous systems with fair lossy channels.
+//
+// Two algorithms are provided, exactly as in the paper:
+//
+//   - Majority (Algorithm 1): no failure detector, requires a majority of
+//     correct processes (t < n/2), non-quiescent — every process
+//     retransmits every known message forever.
+//   - Quiescent (Algorithm 2): uses the anonymous failure detectors AΘ
+//     and AP*, tolerates any number of crashes, and is quiescent —
+//     eventually no process sends messages.
+//
+// URB guarantees (Section II):
+//
+//	Validity:           a correct broadcaster eventually delivers its own
+//	                    message.
+//	Uniform agreement:  if any process (correct or not) delivers m, every
+//	                    correct process eventually delivers m.
+//	Uniform integrity:  every process delivers m at most once, and only if
+//	                    m was broadcast.
+//
+// The implementations are deterministic, single-threaded state machines:
+// the hosting runtime (the discrete-event simulator in internal/sim or the
+// goroutine runtime in internal/liverun) feeds them received messages and
+// periodic ticks, and executes the broadcasts and deliveries each Step
+// returns. The state machines receive no process identity — their only
+// inputs are messages, failure detector views and a random source — so the
+// code is structurally unable to break the anonymity assumption.
+package urb
+
+import (
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+)
+
+// Delivery is one URB-delivery handed to the application layer.
+type Delivery struct {
+	// ID identifies the delivered message (payload + tag).
+	ID wire.MsgID
+	// Fast reports the paper's "fast delivery" case: the process
+	// assembled the delivery evidence from ACKs alone, before receiving
+	// any MSG copy of the message (Remark, Section III).
+	Fast bool
+}
+
+// Step is the outcome of feeding one input to a process: wire messages to
+// broadcast to all processes (including the sender itself) and
+// URB-deliveries for the local application.
+type Step struct {
+	Broadcasts []wire.Message
+	Deliveries []Delivery
+}
+
+// merge appends o's outputs onto s.
+func (s *Step) merge(o Step) {
+	s.Broadcasts = append(s.Broadcasts, o.Broadcasts...)
+	s.Deliveries = append(s.Deliveries, o.Deliveries...)
+}
+
+// Process is the interface both algorithms implement. Implementations are
+// not safe for concurrent use: the hosting runtime serialises all calls to
+// one instance.
+type Process interface {
+	// Broadcast is URB_broadcast(m): start disseminating body. The
+	// returned MsgID is the identity (tag + body) the process assigned;
+	// the paper's primitive returns nothing, but hosting runtimes need
+	// the identity to correlate deliveries with broadcasts when
+	// measuring.
+	Broadcast(body string) (wire.MsgID, Step)
+	// Receive is receive(m): process one message that arrived on a
+	// channel.
+	Receive(m wire.Message) Step
+	// Tick runs one full iteration of the periodic retransmission task
+	// (the paper's Task 1 loop body, executed over every message in the
+	// MSG set).
+	Tick() Step
+	// Stats reports the sizes of the algorithm's internal sets, for the
+	// memory-footprint experiment (F5) and for quiescence accounting.
+	Stats() Stats
+}
+
+// Stats is a snapshot of a process's internal state sizes.
+type Stats struct {
+	// MsgSet is |MSG_i|: messages currently being retransmitted by Task 1.
+	MsgSet int
+	// MyAcks is |MY_ACK_i|: messages this process has acknowledged.
+	MyAcks int
+	// AckEntries is the total number of distinct (message, tagAck) pairs
+	// tracked (the paper's ALL_ACK_i).
+	AckEntries int
+	// Delivered is |URB_DELIVERED_i|.
+	Delivered int
+	// Retired counts messages deleted from MSG_i by the quiescence rule
+	// (Algorithm 2, line 57). Always 0 for Algorithm 1.
+	Retired int
+	// WireSent counts wire messages this process asked to broadcast.
+	WireSent uint64
+}
+
+// Config carries the knobs shared by both algorithms. The zero value is
+// the paper-faithful configuration.
+type Config struct {
+	// EagerFirstSend, when true, broadcasts a MSG immediately from
+	// URB_broadcast and from first reception instead of waiting for the
+	// next Task-1 tick. The paper's pseudocode only transmits from
+	// Task 1; eager sending is a latency ablation (DESIGN.md §5).
+	EagerFirstSend bool
+	// CheckOnTick, when true, re-evaluates the delivery guard on every
+	// tick in addition to every ACK receipt, reducing delivery latency
+	// when a failure detector view changes between ACK arrivals. The
+	// paper checks only on receipt (Algorithm 2, line 46).
+	CheckOnTick bool
+	// RetireBeforeSend, when true, evaluates Algorithm 2's retirement
+	// guard (line 55) before retransmitting a message in Task 1 rather
+	// than after, saving one final broadcast round per message. The
+	// paper broadcasts first (line 54) and then checks (line 55).
+	RetireBeforeSend bool
+}
+
+// msgEntry tracks one known application message in insertion order.
+type msgEntry struct {
+	id wire.MsgID
+}
+
+// msgSet is the paper's MSG_i: an insertion-ordered set of message
+// identities, iterated by Task 1. Insertion order (rather than map order)
+// keeps runs deterministic.
+type msgSet struct {
+	order []msgEntry
+	index map[wire.MsgID]int
+}
+
+func newMsgSet() *msgSet {
+	return &msgSet{index: make(map[wire.MsgID]int)}
+}
+
+func (s *msgSet) has(id wire.MsgID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+func (s *msgSet) add(id wire.MsgID) bool {
+	if s.has(id) {
+		return false
+	}
+	s.index[id] = len(s.order)
+	s.order = append(s.order, msgEntry{id: id})
+	return true
+}
+
+func (s *msgSet) remove(id wire.MsgID) bool {
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	copy(s.order[i:], s.order[i+1:])
+	s.order = s.order[:len(s.order)-1]
+	delete(s.index, id)
+	for j := i; j < len(s.order); j++ {
+		s.index[s.order[j].id] = j
+	}
+	return true
+}
+
+func (s *msgSet) len() int { return len(s.order) }
+
+// snapshotIDs returns the identities in insertion order; Task 1 iterates
+// over a snapshot so that removals during the pass are well-defined.
+func (s *msgSet) snapshotIDs() []wire.MsgID {
+	ids := make([]wire.MsgID, len(s.order))
+	for i, e := range s.order {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// deliveredSet is the paper's URB_DELIVERED_i.
+type deliveredSet map[wire.MsgID]bool
+
+// myAcks is the paper's MY_ACK_i: the unique tag_ack this process
+// generated for each message it has acknowledged. Once generated it never
+// changes (uniform integrity depends on this).
+type myAcks map[wire.MsgID]ident.Tag
+
+// common holds the state shared by both algorithms.
+type common struct {
+	cfg       Config
+	tags      *ident.Source
+	msgs      *msgSet
+	delivered deliveredSet
+	mine      myAcks
+	// sawMsg records messages for which a MSG copy has been received (or
+	// locally broadcast); a delivery without this is a "fast delivery".
+	sawMsg   map[wire.MsgID]bool
+	wireSent uint64
+}
+
+func newCommon(cfg Config, tags *ident.Source) common {
+	return common{
+		cfg:       cfg,
+		tags:      tags,
+		msgs:      newMsgSet(),
+		delivered: make(deliveredSet),
+		mine:      make(myAcks),
+		sawMsg:    make(map[wire.MsgID]bool),
+	}
+}
+
+// send accounts for and returns a broadcast.
+func (c *common) send(out *Step, m wire.Message) {
+	c.wireSent++
+	out.Broadcasts = append(out.Broadcasts, m)
+}
+
+// deliverOnce appends a delivery if id has not been delivered yet.
+func (c *common) deliverOnce(out *Step, id wire.MsgID) bool {
+	if c.delivered[id] {
+		return false
+	}
+	c.delivered[id] = true
+	out.Deliveries = append(out.Deliveries, Delivery{ID: id, Fast: !c.sawMsg[id]})
+	return true
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"testing"
+
+	"anonurb/internal/ident"
+)
+
+// FuzzDecode exercises the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to the exact same bytes
+// (canonicality). Runs as a normal test over the seed corpus; use
+// `go test -fuzz=FuzzDecode ./internal/wire` for continuous fuzzing.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "seed"}).Encode(nil))
+	f.Add(NewAck(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "seed"}, ident.Tag{Hi: 3, Lo: 4}).Encode(nil))
+	f.Add(NewLabeledAck(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: ""},
+		ident.Tag{Hi: 3, Lo: 4},
+		[]ident.Tag{{Hi: 5, Lo: 6}, {Hi: 7, Lo: 8}}).Encode(nil))
+	f.Add(NewBeat(ident.Tag{Hi: 9, Lo: 9}).Encode(nil))
+	f.Add([]byte{codecVersion, byte(KindAck), 0, 0, 0, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Canonicality: accepted messages round-trip to identical bytes.
+		re := m.Encode(nil)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != input %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+		// Accepted messages satisfy the structural invariants.
+		if m.Tag.Zero() {
+			t.Fatal("decoder accepted a zero tag")
+		}
+		if m.Kind == KindAck && m.AckTag.Zero() {
+			t.Fatal("decoder accepted a zero ack tag")
+		}
+	})
+}
+
+// FuzzDecodePrefixStream checks the streaming decoder: any byte string is
+// split into a prefix of valid messages plus a rejected or empty tail,
+// without panics and with progress on every step.
+func FuzzDecodePrefixStream(f *testing.F) {
+	stream := NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: "a"}).Encode(nil)
+	stream = NewBeat(ident.Tag{Hi: 2, Lo: 2}).Encode(stream)
+	f.Add(stream)
+	f.Add([]byte{1, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			m, next, err := DecodePrefix(rest)
+			if err != nil {
+				return
+			}
+			if len(next) >= len(rest) {
+				t.Fatal("DecodePrefix made no progress")
+			}
+			if m.Kind != KindMsg && m.Kind != KindAck && m.Kind != KindBeat {
+				t.Fatalf("accepted unknown kind %v", m.Kind)
+			}
+			rest = next
+		}
+	})
+}

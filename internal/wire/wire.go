@@ -1,0 +1,302 @@
+// Package wire defines the messages exchanged by the paper's algorithms
+// and a canonical binary codec for them.
+//
+// Two kinds of message travel on the network, exactly as in the paper:
+//
+//   - MSG:  (MSG, m, tag)                         — Algorithms 1 and 2
+//   - ACK:  (ACK, m, tag, tag_ack)                — Algorithm 1
+//     (ACK, m, tag, tag_ack, labels)        — Algorithm 2
+//
+// The ACK carries the payload m itself; this is what enables the "fast
+// delivery" behaviour the paper remarks on (a process may URB-deliver m
+// having seen only ACKs, never the MSG). The labels field is present only
+// for Algorithm 2 and holds the label set the acker read from its AΘ
+// module at the moment of (re-)acknowledging.
+//
+// Messages are values; the codec gives them a deterministic, versioned
+// binary form used by the live runtime, the trace files and the
+// size-accounting metrics.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"anonurb/internal/ident"
+)
+
+// Kind discriminates the two protocol messages.
+type Kind uint8
+
+const (
+	// KindMsg is the paper's MSG message: a payload under dissemination.
+	KindMsg Kind = 1
+	// KindAck is the paper's ACK message: a reception acknowledgement.
+	KindAck Kind = 2
+	// KindBeat is an ALIVE heartbeat carrying the sender's failure
+	// detector label in Tag. Not part of the paper's algorithms — it is
+	// the traffic of the heartbeat-based AΘ/AP* realisation
+	// (fd.Heartbeat), multiplexed on the same lossy mesh.
+	KindBeat Kind = 3
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindMsg:
+		return "MSG"
+	case KindAck:
+		return "ACK"
+	case KindBeat:
+		return "BEAT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// MsgID identifies an application message as the paper does: by the pair
+// (m, tag). Keying on the pair rather than the tag alone keeps the
+// implementation faithful even under (astronomically unlikely) tag
+// collisions.
+type MsgID struct {
+	Tag  ident.Tag
+	Body string
+}
+
+// String renders a short display form.
+func (id MsgID) String() string {
+	b := id.Body
+	if len(b) > 16 {
+		b = b[:16] + "…"
+	}
+	return fmt.Sprintf("%s/%q", id.Tag, b)
+}
+
+// Message is one protocol message. The zero value is not a valid message.
+type Message struct {
+	Kind Kind
+	// Body is the application payload m. Present in both kinds.
+	Body string
+	// Tag is the unique random tag the URB-broadcaster attached to m.
+	Tag ident.Tag
+	// AckTag is the acker's unique random tag for (m, tag).
+	// Only meaningful when Kind == KindAck.
+	AckTag ident.Tag
+	// Labels is the acker's current AΘ label set (Algorithm 2 only).
+	// nil for Algorithm 1 ACKs and for all MSG messages.
+	Labels []ident.Tag
+}
+
+// ID returns the application message identity (m, tag).
+func (m Message) ID() MsgID { return MsgID{Tag: m.Tag, Body: m.Body} }
+
+// NewMsg builds a MSG message.
+func NewMsg(id MsgID) Message {
+	return Message{Kind: KindMsg, Body: id.Body, Tag: id.Tag}
+}
+
+// NewAck builds an Algorithm 1 ACK message.
+func NewAck(id MsgID, ackTag ident.Tag) Message {
+	return Message{Kind: KindAck, Body: id.Body, Tag: id.Tag, AckTag: ackTag}
+}
+
+// NewBeat builds an ALIVE heartbeat for the given failure detector
+// label.
+func NewBeat(label ident.Tag) Message {
+	return Message{Kind: KindBeat, Tag: label}
+}
+
+// NewLabeledAck builds an Algorithm 2 ACK message carrying the acker's
+// current label view. The label slice is copied.
+func NewLabeledAck(id MsgID, ackTag ident.Tag, labels []ident.Tag) Message {
+	return Message{
+		Kind:   KindAck,
+		Body:   id.Body,
+		Tag:    id.Tag,
+		AckTag: ackTag,
+		Labels: append([]ident.Tag(nil), labels...),
+	}
+}
+
+// String renders a compact human-readable form for traces.
+func (m Message) String() string {
+	switch m.Kind {
+	case KindMsg:
+		return fmt.Sprintf("MSG(%s)", m.ID())
+	case KindBeat:
+		return fmt.Sprintf("BEAT(%s)", m.Tag)
+	case KindAck:
+		if m.Labels == nil {
+			return fmt.Sprintf("ACK(%s ack=%s)", m.ID(), m.AckTag)
+		}
+		return fmt.Sprintf("ACK(%s ack=%s labels=%d)", m.ID(), m.AckTag, len(m.Labels))
+	default:
+		return fmt.Sprintf("?(%d)", m.Kind)
+	}
+}
+
+// codec constants.
+const (
+	codecVersion = 1
+	headerLen    = 2 // version, kind
+	tagLen       = 16
+	// MaxBody bounds payload size accepted by the codec; generous for the
+	// workloads in this repository while preventing pathological allocs
+	// when decoding corrupt input.
+	MaxBody = 1 << 20
+	// MaxLabels bounds the label set size (n processes, so a few thousand
+	// is far beyond any scenario here).
+	MaxLabels = 1 << 16
+)
+
+// Codec errors.
+var (
+	ErrShort      = errors.New("wire: buffer too short")
+	ErrVersion    = errors.New("wire: unknown codec version")
+	ErrKind       = errors.New("wire: unknown message kind")
+	ErrOversize   = errors.New("wire: field exceeds size bound")
+	ErrTrailing   = errors.New("wire: trailing bytes after message")
+	ErrZeroTag    = errors.New("wire: zero tag on wire")
+	ErrZeroAckTag = errors.New("wire: zero ack tag on ACK")
+)
+
+func putTag(b []byte, t ident.Tag) {
+	binary.BigEndian.PutUint64(b[0:8], t.Hi)
+	binary.BigEndian.PutUint64(b[8:16], t.Lo)
+}
+
+func getTag(b []byte) ident.Tag {
+	return ident.Tag{
+		Hi: binary.BigEndian.Uint64(b[0:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+// EncodedSize returns the exact byte length Encode will produce. It is the
+// quantity the metrics layer charges as "bytes on the wire".
+func (m Message) EncodedSize() int {
+	n := headerLen + 4 + len(m.Body) + tagLen
+	if m.Kind == KindAck {
+		n += tagLen + 4 + tagLen*len(m.Labels)
+	}
+	return n
+}
+
+// Encode appends the canonical binary form of m to dst and returns the
+// extended slice.
+//
+// Layout (big endian):
+//
+//	version u8 | kind u8 | bodyLen u32 | body | tag 16B
+//	[ ackTag 16B | labelCount u32 | labels 16B each ]   (ACK only)
+func (m Message) Encode(dst []byte) []byte {
+	var scratch [4]byte
+	dst = append(dst, codecVersion, byte(m.Kind))
+	binary.BigEndian.PutUint32(scratch[:], uint32(len(m.Body)))
+	dst = append(dst, scratch[:]...)
+	dst = append(dst, m.Body...)
+	var tb [tagLen]byte
+	putTag(tb[:], m.Tag)
+	dst = append(dst, tb[:]...)
+	if m.Kind == KindAck {
+		putTag(tb[:], m.AckTag)
+		dst = append(dst, tb[:]...)
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(m.Labels)))
+		dst = append(dst, scratch[:]...)
+		for _, l := range m.Labels {
+			putTag(tb[:], l)
+			dst = append(dst, tb[:]...)
+		}
+	}
+	return dst
+}
+
+// Decode parses exactly one message from b, rejecting trailing bytes.
+func Decode(b []byte) (Message, error) {
+	m, rest, err := DecodePrefix(b)
+	if err != nil {
+		return Message{}, err
+	}
+	if len(rest) != 0 {
+		return Message{}, ErrTrailing
+	}
+	return m, nil
+}
+
+// DecodePrefix parses one message from the front of b and returns the
+// remainder, allowing streams of concatenated messages.
+func DecodePrefix(b []byte) (Message, []byte, error) {
+	if len(b) < headerLen+4 {
+		return Message{}, nil, ErrShort
+	}
+	if b[0] != codecVersion {
+		return Message{}, nil, ErrVersion
+	}
+	kind := Kind(b[1])
+	if kind != KindMsg && kind != KindAck && kind != KindBeat {
+		return Message{}, nil, ErrKind
+	}
+	bodyLen := binary.BigEndian.Uint32(b[2:6])
+	if bodyLen > MaxBody {
+		return Message{}, nil, ErrOversize
+	}
+	b = b[6:]
+	if uint32(len(b)) < bodyLen {
+		return Message{}, nil, ErrShort
+	}
+	body := string(b[:bodyLen])
+	b = b[bodyLen:]
+	if len(b) < tagLen {
+		return Message{}, nil, ErrShort
+	}
+	m := Message{Kind: kind, Body: body, Tag: getTag(b)}
+	b = b[tagLen:]
+	if m.Tag.Zero() {
+		return Message{}, nil, ErrZeroTag
+	}
+	if kind != KindAck {
+		return m, b, nil
+	}
+	if len(b) < tagLen+4 {
+		return Message{}, nil, ErrShort
+	}
+	m.AckTag = getTag(b)
+	if m.AckTag.Zero() {
+		return Message{}, nil, ErrZeroAckTag
+	}
+	b = b[tagLen:]
+	count := binary.BigEndian.Uint32(b[:4])
+	if count > MaxLabels {
+		return Message{}, nil, ErrOversize
+	}
+	b = b[4:]
+	if uint64(len(b)) < uint64(count)*tagLen {
+		return Message{}, nil, ErrShort
+	}
+	if count > 0 {
+		m.Labels = make([]ident.Tag, count)
+		for i := uint32(0); i < count; i++ {
+			m.Labels[i] = getTag(b[i*tagLen:])
+		}
+	}
+	return m, b[count*tagLen:], nil
+}
+
+// Equal reports deep equality of two messages, including label multiset
+// order (the codec preserves order, and ackers emit labels in their set's
+// insertion order, so order equality is the right notion for round-trips).
+func (m Message) Equal(o Message) bool {
+	if m.Kind != o.Kind || m.Body != o.Body || m.Tag != o.Tag || m.AckTag != o.AckTag {
+		return false
+	}
+	if len(m.Labels) != len(o.Labels) {
+		return false
+	}
+	for i := range m.Labels {
+		if m.Labels[i] != o.Labels[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/xrand"
+)
+
+func tag(h, l uint64) ident.Tag { return ident.Tag{Hi: h, Lo: l} }
+
+func TestKindString(t *testing.T) {
+	if KindMsg.String() != "MSG" || KindAck.String() != "ACK" {
+		t.Fatal("kind strings")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestRoundTripMsg(t *testing.T) {
+	m := NewMsg(MsgID{Tag: tag(3, 4), Body: "hello"})
+	enc := m.Encode(nil)
+	if len(enc) != m.EncodedSize() {
+		t.Fatalf("EncodedSize %d != len %d", m.EncodedSize(), len(enc))
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, m)
+	}
+}
+
+func TestRoundTripAck(t *testing.T) {
+	m := NewAck(MsgID{Tag: tag(1, 2), Body: "payload"}, tag(9, 9))
+	enc := m.Encode(nil)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip mismatch")
+	}
+	if got.Labels != nil {
+		t.Fatal("algorithm-1 ACK must decode with nil labels")
+	}
+}
+
+func TestRoundTripLabeledAck(t *testing.T) {
+	labels := []ident.Tag{tag(5, 5), tag(6, 6), tag(7, 7)}
+	m := NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "x"}, tag(2, 2), labels)
+	enc := m.Encode(nil)
+	if len(enc) != m.EncodedSize() {
+		t.Fatalf("EncodedSize mismatch")
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+	// NewLabeledAck must copy the label slice.
+	labels[0] = tag(99, 99)
+	if m.Labels[0] == labels[0] {
+		t.Fatal("NewLabeledAck did not copy labels")
+	}
+}
+
+func TestRoundTripEmptyBodyAndLabels(t *testing.T) {
+	m := NewLabeledAck(MsgID{Tag: tag(1, 1), Body: ""}, tag(2, 2), nil)
+	got, err := Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("empty round trip mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := NewMsg(MsgID{Tag: tag(3, 4), Body: "hello"})
+	enc := m.Encode(nil)
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"truncated header", enc[:3], ErrShort},
+		{"truncated body", enc[:8], ErrShort},
+		{"truncated tag", enc[:len(enc)-1], ErrShort},
+		{"bad version", append([]byte{99}, enc[1:]...), ErrVersion},
+		{"bad kind", append([]byte{enc[0], 77}, enc[2:]...), ErrKind},
+		{"trailing", append(append([]byte(nil), enc...), 0), ErrTrailing},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.buf); err != c.want {
+			t.Errorf("%s: err=%v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsZeroTags(t *testing.T) {
+	m := Message{Kind: KindMsg, Body: "b"} // zero Tag
+	if _, err := Decode(m.Encode(nil)); err != ErrZeroTag {
+		t.Fatalf("err=%v, want ErrZeroTag", err)
+	}
+	a := Message{Kind: KindAck, Body: "b", Tag: tag(1, 1)} // zero AckTag
+	if _, err := Decode(a.Encode(nil)); err != ErrZeroAckTag {
+		t.Fatalf("err=%v, want ErrZeroAckTag", err)
+	}
+}
+
+func TestDecodeOversizeBody(t *testing.T) {
+	// Forge a header claiming a gigantic body.
+	b := []byte{codecVersion, byte(KindMsg), 0xff, 0xff, 0xff, 0xff}
+	if _, err := Decode(b); err != ErrOversize {
+		t.Fatalf("err=%v, want ErrOversize", err)
+	}
+}
+
+func TestDecodeOversizeLabels(t *testing.T) {
+	m := NewAck(MsgID{Tag: tag(1, 1), Body: ""}, tag(2, 2))
+	enc := m.Encode(nil)
+	// The label count is the last 4 bytes for an empty-label ACK.
+	enc[len(enc)-4] = 0xff
+	enc[len(enc)-3] = 0xff
+	enc[len(enc)-2] = 0xff
+	enc[len(enc)-1] = 0xff
+	if _, err := Decode(enc); err != ErrOversize {
+		t.Fatalf("err=%v, want ErrOversize", err)
+	}
+}
+
+func TestDecodePrefixStream(t *testing.T) {
+	a := NewMsg(MsgID{Tag: tag(1, 1), Body: "one"})
+	b := NewAck(MsgID{Tag: tag(2, 2), Body: "two"}, tag(3, 3))
+	c := NewLabeledAck(MsgID{Tag: tag(4, 4), Body: "three"}, tag(5, 5), []ident.Tag{tag(6, 6)})
+	stream := a.Encode(nil)
+	stream = b.Encode(stream)
+	stream = c.Encode(stream)
+
+	want := []Message{a, b, c}
+	rest := stream
+	for i, w := range want {
+		var got Message
+		var err error
+		got, rest, err = DecodePrefix(rest)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !got.Equal(w) {
+			t.Fatalf("msg %d mismatch", i)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("stream has %d leftover bytes", len(rest))
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	rng := xrand.New(1234)
+	f := func(body string, h1, l1, h2, l2 uint64, labelCount uint8, isAck bool) bool {
+		if len(body) > 4096 {
+			body = body[:4096]
+		}
+		tg := tag(h1|1, l1) // avoid zero tag
+		var m Message
+		if isAck {
+			labels := make([]ident.Tag, labelCount%16)
+			for i := range labels {
+				labels[i] = tag(rng.Uint64()|1, rng.Uint64())
+			}
+			m = NewLabeledAck(MsgID{Tag: tg, Body: body}, tag(h2|1, l2), labels)
+		} else {
+			m = NewMsg(MsgID{Tag: tg, Body: body})
+		}
+		enc := m.Encode(nil)
+		if len(enc) != m.EncodedSize() {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return got.Equal(m) && got.ID() == m.ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruptInput(t *testing.T) {
+	// Fuzz-ish robustness: flip bytes of valid encodings and random blobs.
+	rng := xrand.New(777)
+	base := NewLabeledAck(MsgID{Tag: tag(1, 2), Body: "corrupt-me"}, tag(3, 4),
+		[]ident.Tag{tag(5, 6), tag(7, 8)}).Encode(nil)
+	for trial := 0; trial < 5000; trial++ {
+		buf := append([]byte(nil), base...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+		}
+		_, _ = Decode(buf) // must not panic
+	}
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(200))
+		for i := range buf {
+			buf[i] = byte(rng.Uint64())
+		}
+		_, _ = Decode(buf) // must not panic
+	}
+}
+
+func TestMsgIDString(t *testing.T) {
+	long := MsgID{Tag: tag(1, 1), Body: strings.Repeat("z", 50)}
+	s := long.String()
+	if len(s) > 60 {
+		t.Fatalf("MsgID.String did not truncate: %q", s)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := NewMsg(MsgID{Tag: tag(1, 1), Body: "b"})
+	if !strings.HasPrefix(m.String(), "MSG(") {
+		t.Fatalf("%q", m.String())
+	}
+	a := NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 2), []ident.Tag{tag(3, 3)})
+	if !strings.Contains(a.String(), "labels=1") {
+		t.Fatalf("%q", a.String())
+	}
+	plain := NewAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 2))
+	if strings.Contains(plain.String(), "labels") {
+		t.Fatalf("%q", plain.String())
+	}
+}
+
+func TestEqualDiscriminates(t *testing.T) {
+	base := NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 2), []ident.Tag{tag(3, 3)})
+	variants := []Message{
+		NewMsg(MsgID{Tag: tag(1, 1), Body: "b"}),
+		NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "c"}, tag(2, 2), []ident.Tag{tag(3, 3)}),
+		NewLabeledAck(MsgID{Tag: tag(1, 2), Body: "b"}, tag(2, 2), []ident.Tag{tag(3, 3)}),
+		NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 3), []ident.Tag{tag(3, 3)}),
+		NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 2), []ident.Tag{tag(3, 4)}),
+		NewLabeledAck(MsgID{Tag: tag(1, 1), Body: "b"}, tag(2, 2), nil),
+	}
+	for i, v := range variants {
+		if base.Equal(v) {
+			t.Fatalf("variant %d should differ", i)
+		}
+	}
+	if !base.Equal(base) {
+		t.Fatal("self equality")
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload generates the application-level inputs of a run: which
+// process URB-broadcasts what and when, and which processes crash and
+// when. These are the knobs the paper's motivation varies informally
+// (senders that crash, any number of crashes, messages in flight during
+// failures); the experiment harness sweeps them systematically.
+package workload
+
+import (
+	"fmt"
+
+	"anonurb/internal/sim"
+	"anonurb/internal/xrand"
+)
+
+// Broadcasts is a generator of scheduled URB-broadcasts.
+type Broadcasts interface {
+	// Generate produces the schedule for a system of n processes. The
+	// rng must be used for all randomness so runs stay reproducible.
+	Generate(n int, rng *xrand.Source) []sim.ScheduledBroadcast
+	// String describes the workload for tables.
+	String() string
+}
+
+// SingleShot is one broadcast from one process.
+type SingleShot struct {
+	At   sim.Time
+	Proc int
+	Body string
+}
+
+// Generate implements Broadcasts.
+func (w SingleShot) Generate(n int, _ *xrand.Source) []sim.ScheduledBroadcast {
+	return []sim.ScheduledBroadcast{{At: w.At, Proc: w.Proc % n, Body: w.Body}}
+}
+
+// String implements Broadcasts.
+func (w SingleShot) String() string { return fmt.Sprintf("single(p%d@%d)", w.Proc, w.At) }
+
+// MultiWriter has Writers distinct processes broadcast PerWriter messages
+// each, paced Interval apart starting at Start. Writers are the lowest
+// indices (simulator bookkeeping only; the processes themselves stay
+// anonymous).
+type MultiWriter struct {
+	Writers   int
+	PerWriter int
+	Start     sim.Time
+	Interval  sim.Time
+}
+
+// Generate implements Broadcasts.
+func (w MultiWriter) Generate(n int, _ *xrand.Source) []sim.ScheduledBroadcast {
+	writers := w.Writers
+	if writers > n {
+		writers = n
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	per := w.PerWriter
+	if per < 1 {
+		per = 1
+	}
+	interval := w.Interval
+	if interval < 1 {
+		interval = 1
+	}
+	var out []sim.ScheduledBroadcast
+	for k := 0; k < per; k++ {
+		for wr := 0; wr < writers; wr++ {
+			out = append(out, sim.ScheduledBroadcast{
+				At:   w.Start + sim.Time(k)*interval + sim.Time(wr),
+				Proc: wr,
+				Body: fmt.Sprintf("w%d-m%d", wr, k),
+			})
+		}
+	}
+	return out
+}
+
+// String implements Broadcasts.
+func (w MultiWriter) String() string {
+	return fmt.Sprintf("multi(%dx%d@%d+%d)", w.Writers, w.PerWriter, w.Start, w.Interval)
+}
+
+// Count returns the total number of broadcasts MultiWriter generates for
+// a system of n processes.
+func (w MultiWriter) Count(n int) int {
+	writers := w.Writers
+	if writers > n {
+		writers = n
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	per := w.PerWriter
+	if per < 1 {
+		per = 1
+	}
+	return writers * per
+}
+
+// PoissonWriters draws Count broadcasts with exponential inter-arrival
+// times of the given mean, each from a uniformly random process.
+type PoissonWriters struct {
+	Count     int
+	MeanGap   float64
+	Start     sim.Time
+	BodyStamp string
+}
+
+// Generate implements Broadcasts.
+func (w PoissonWriters) Generate(n int, rng *xrand.Source) []sim.ScheduledBroadcast {
+	at := float64(w.Start)
+	var out []sim.ScheduledBroadcast
+	for i := 0; i < w.Count; i++ {
+		at += rng.Exp(w.MeanGap)
+		out = append(out, sim.ScheduledBroadcast{
+			At:   sim.Time(at) + 1,
+			Proc: rng.Intn(n),
+			Body: fmt.Sprintf("%s-%d", w.BodyStamp, i),
+		})
+	}
+	return out
+}
+
+// String implements Broadcasts.
+func (w PoissonWriters) String() string {
+	return fmt.Sprintf("poisson(%d,gap=%g)", w.Count, w.MeanGap)
+}
+
+// Crashes is a generator of crash schedules.
+type Crashes interface {
+	// Generate returns CrashAt (one entry per process, sim.Never for
+	// correct processes).
+	Generate(n int, rng *xrand.Source) []sim.Time
+	// String describes the plan for tables.
+	String() string
+}
+
+// NoCrashes leaves every process correct.
+type NoCrashes struct{}
+
+// Generate implements Crashes.
+func (NoCrashes) Generate(n int, _ *xrand.Source) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Never
+	}
+	return out
+}
+
+// String implements Crashes.
+func (NoCrashes) String() string { return "none" }
+
+// CrashCount crashes Count processes (the highest indices, so writers at
+// the low indices keep their role unless Count reaches them), spread
+// between From and To.
+type CrashCount struct {
+	Count int
+	From  sim.Time
+	To    sim.Time
+}
+
+// Generate implements Crashes.
+func (c CrashCount) Generate(n int, rng *xrand.Source) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Never
+	}
+	count := c.Count
+	if count > n {
+		count = n
+	}
+	span := c.To - c.From
+	for k := 0; k < count; k++ {
+		at := c.From
+		if span > 0 {
+			at += rng.Int63n(span + 1)
+		}
+		out[n-1-k] = at
+	}
+	return out
+}
+
+// String implements Crashes.
+func (c CrashCount) String() string { return fmt.Sprintf("crash(%d@[%d,%d])", c.Count, c.From, c.To) }
+
+// MaxMinority returns the largest t compatible with Algorithm 1's
+// assumption t < n/2.
+func MaxMinority(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) / 2
+}

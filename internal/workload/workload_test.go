@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anonurb/internal/sim"
+	"anonurb/internal/xrand"
+)
+
+func TestSingleShot(t *testing.T) {
+	w := SingleShot{At: 5, Proc: 7, Body: "x"}
+	bs := w.Generate(3, xrand.New(1))
+	if len(bs) != 1 || bs[0].Proc != 1 || bs[0].At != 5 || bs[0].Body != "x" {
+		t.Fatalf("%+v", bs)
+	}
+	if w.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestMultiWriter(t *testing.T) {
+	w := MultiWriter{Writers: 3, PerWriter: 4, Start: 10, Interval: 20}
+	bs := w.Generate(5, xrand.New(1))
+	if len(bs) != 12 || w.Count(5) != 12 {
+		t.Fatalf("count %d", len(bs))
+	}
+	bodies := map[string]bool{}
+	for _, b := range bs {
+		if b.Proc < 0 || b.Proc >= 3 {
+			t.Fatalf("writer out of range: %d", b.Proc)
+		}
+		if b.At < 10 {
+			t.Fatalf("broadcast before start: %d", b.At)
+		}
+		if bodies[b.Body] {
+			t.Fatalf("duplicate body %q", b.Body)
+		}
+		bodies[b.Body] = true
+	}
+}
+
+func TestMultiWriterClamps(t *testing.T) {
+	w := MultiWriter{Writers: 10, PerWriter: 0, Start: 0, Interval: 0}
+	bs := w.Generate(2, xrand.New(1))
+	if len(bs) != 2 || w.Count(2) != 2 {
+		t.Fatalf("clamped count %d", len(bs))
+	}
+	for _, b := range bs {
+		if b.Proc >= 2 {
+			t.Fatalf("writer %d out of range", b.Proc)
+		}
+	}
+}
+
+func TestPoissonWriters(t *testing.T) {
+	w := PoissonWriters{Count: 50, MeanGap: 10, Start: 5, BodyStamp: "p"}
+	bs := w.Generate(4, xrand.New(2))
+	if len(bs) != 50 {
+		t.Fatalf("count %d", len(bs))
+	}
+	var prev sim.Time
+	bodies := map[string]bool{}
+	for _, b := range bs {
+		if b.At < prev {
+			t.Fatal("arrival times must be non-decreasing")
+		}
+		prev = b.At
+		if b.Proc < 0 || b.Proc >= 4 {
+			t.Fatalf("proc %d", b.Proc)
+		}
+		if bodies[b.Body] {
+			t.Fatalf("duplicate body %q", b.Body)
+		}
+		bodies[b.Body] = true
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	w := PoissonWriters{Count: 20, MeanGap: 5, BodyStamp: "d"}
+	a := w.Generate(3, xrand.New(7))
+	b := w.Generate(3, xrand.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestNoCrashes(t *testing.T) {
+	cs := NoCrashes{}.Generate(4, xrand.New(1))
+	for _, c := range cs {
+		if c != sim.Never {
+			t.Fatal("NoCrashes crashed someone")
+		}
+	}
+}
+
+func TestCrashCount(t *testing.T) {
+	plan := CrashCount{Count: 2, From: 10, To: 30}
+	cs := plan.Generate(5, xrand.New(3))
+	crashed := 0
+	for i, c := range cs {
+		if c == sim.Never {
+			continue
+		}
+		crashed++
+		if c < 10 || c > 30 {
+			t.Fatalf("crash time %d out of window", c)
+		}
+		if i < 3 {
+			t.Fatalf("crashed a low-index writer slot: %d", i)
+		}
+	}
+	if crashed != 2 {
+		t.Fatalf("crashed %d, want 2", crashed)
+	}
+}
+
+func TestCrashCountClamp(t *testing.T) {
+	cs := CrashCount{Count: 9, From: 1, To: 1}.Generate(3, xrand.New(4))
+	for _, c := range cs {
+		if c != 1 {
+			t.Fatalf("expected everyone to crash at 1, got %v", cs)
+		}
+	}
+}
+
+func TestMaxMinority(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 3, 15: 7}
+	for n, want := range cases {
+		if got := MaxMinority(n); got != want {
+			t.Fatalf("MaxMinority(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaxMinorityPropertyQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		t := MaxMinority(int(n))
+		// t must satisfy the paper's constraint strictly: t < n/2,
+		// and be maximal: t+1 >= n/2.
+		return 2*t < int(n) && 2*(t+1) >= int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package xrand provides small, deterministic pseudo-random sources for the
+// simulator and the algorithms.
+//
+// Everything in this repository that needs randomness draws it from an
+// xrand.Source so that a run is a pure function of its seed: the same
+// scenario with the same seed replays identically on any platform and any
+// Go release. The generator is SplitMix64 (Steele, Lea, Flood 2014), which
+// is tiny, fast, passes BigCrush when used as a 64-bit stream, and -
+// crucially - supports cheap stream splitting so that independent concerns
+// (channel loss, per-process tag generation, failure detector noise,
+// workload arrival times) consume independent streams and adding draws to
+// one concern never perturbs another.
+package xrand
+
+import "math"
+
+// Source is a deterministic 64-bit pseudo-random source. It is not safe for
+// concurrent use; give each goroutine (or each simulated process) its own
+// split stream.
+type Source struct {
+	state uint64
+}
+
+// golden is the SplitMix64 increment (2^64 / phi, rounded to odd).
+const golden = 0x9e3779b97f4a7c15
+
+// New returns a Source seeded with seed. Distinct seeds yield streams that
+// are independent for all practical purposes.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// mix is the SplitMix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+// Split derives a new independent Source from the current one. The parent
+// advances by one draw; the child is seeded by a decorrelated function of
+// that draw, so parent and child streams do not overlap in practice.
+func (s *Source) Split() *Source {
+	return &Source{state: mix(s.Uint64() ^ 0x5851f42d4c957f2d)}
+}
+
+// SplitLabeled derives an independent Source identified by a label, such
+// that the derived stream depends only on the parent seed and the label,
+// not on how many draws the parent made. Useful for attaching stable
+// streams to named concerns.
+func SplitLabeled(seed uint64, label string) *Source {
+	h := seed
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001b3
+	}
+	return &Source{state: mix(h)}
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 random bits, the standard trick.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. p <= 0 always returns false and
+// p >= 1 always returns true.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	return s.Uint64() % n
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n). It panics if
+// n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n called with n <= 0")
+	}
+	return int64(s.Uint64n(uint64(n)))
+}
+
+// Range returns a uniformly distributed int64 in [lo, hi]. It panics if
+// lo > hi.
+func (s *Source) Range(lo, hi int64) int64 {
+	if lo > hi {
+		panic("xrand: Range called with lo > hi")
+	}
+	if lo == hi {
+		return lo
+	}
+	return lo + s.Int63n(hi-lo+1)
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+// The result is capped at 64*mean to keep event horizons finite.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := -mean * math.Log(1-u)
+	if cap := 64 * mean; v > cap {
+		v = cap
+	}
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap, in the
+// manner of math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// HashStream returns a deterministic 64-bit value from a tuple of inputs.
+// It is used where a value must be a pure function of coordinates (for
+// example failure-detector noise as a function of (seed, process, epoch))
+// rather than of a stream position.
+func HashStream(parts ...uint64) uint64 {
+	h := uint64(0x8f1bbcdcbfa53e0b)
+	for _, p := range parts {
+		h ^= mix(p)
+		h *= 0x100000001b3
+		h = mix(h)
+	}
+	return h
+}

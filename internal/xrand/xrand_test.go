@@ -1,0 +1,242 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Drawing from the child must not influence the parent's future draws.
+	parentCopy := New(7)
+	_ = parentCopy.Split() // advance identically
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != parentCopy.Uint64() {
+			t.Fatalf("child draws perturbed parent stream at %d", i)
+		}
+	}
+}
+
+func TestSplitLabeledStable(t *testing.T) {
+	a := SplitLabeled(99, "channel")
+	b := SplitLabeled(99, "channel")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same label, same seed must give same stream")
+	}
+	c := SplitLabeled(99, "fd")
+	d := SplitLabeled(99, "channel")
+	d.Uint64()
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("different labels should give different streams")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean suspicious: %g", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency %g", frac)
+	}
+	if s.Bool(0) {
+		t.Fatal("Bool(0) must be false")
+	}
+	if !s.Bool(1) {
+		t.Fatal("Bool(1) must be true")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Range(-5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+	}
+	if got := s.Range(7, 7); got != 7 {
+		t.Fatalf("degenerate range: %d", got)
+	}
+}
+
+func TestExpMeanRoughlyCorrect(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Fatalf("Exp mean %g, want ~10", mean)
+	}
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestExpCapped(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100000; i++ {
+		if v := s.Exp(1); v > 64 {
+			t.Fatalf("Exp exceeded cap: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(21)
+	for trial := 0; trial < 50; trial++ {
+		p := s.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestHashStreamStableAndSpread(t *testing.T) {
+	if HashStream(1, 2, 3) != HashStream(1, 2, 3) {
+		t.Fatal("HashStream not deterministic")
+	}
+	if HashStream(1, 2, 3) == HashStream(1, 2, 4) {
+		t.Fatal("HashStream collision on adjacent inputs")
+	}
+	if HashStream(1, 2) == HashStream(2, 1) {
+		t.Fatal("HashStream must be order sensitive")
+	}
+}
+
+func TestUint64nQuick(t *testing.T) {
+	s := New(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 10000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Coarse 16-bucket chi-square check on Intn.
+	s := New(41)
+	const buckets = 16
+	const n = 160000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile ~ 37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square too large: %g (counts %v)", chi2, counts)
+	}
+}
