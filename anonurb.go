@@ -31,37 +31,57 @@
 // them received messages and periodic ticks and execute the broadcasts
 // and deliveries they return. Three hosts are provided:
 //
+//   - NewNode: the production surface — one Node per process, each on a
+//     pluggable Transport (in-process mesh, real UDP sockets, or either
+//     behind a Chaos loss injector), with a context-scoped lifecycle;
 //   - SimConfig/NewSimEngine: the deterministic discrete-event simulator
 //     used by the experiment suite (internal/sim);
-//   - StartCluster: a live goroutine runtime with lossy in-process links
-//     (internal/liverun) — see examples/;
-//   - your own event loop, for integration into real transports.
+//   - StartCluster: an index-addressed convenience wrapper that runs N
+//     nodes on an in-process mesh (internal/liverun) — see examples/.
 //
 // # Quick start
 //
-//	correct := []bool{true, true, true}
-//	oracle := anonurb.NewOracle(anonurb.OracleConfig{N: 3, Noise: anonurb.NoiseExact, Seed: 1}, correct)
-//	cluster := anonurb.StartCluster(anonurb.ClusterConfig{
-//		N: 3,
-//		Factory: func(i int, tags *anonurb.TagSource, clock func() int64) anonurb.Process {
-//			return anonurb.NewQuiescent(oracle.Handle(i, clock), tags, anonurb.Config{})
-//		},
-//		Link:      anonurb.Bernoulli{P: 0.2, D: anonurb.UniformDelay{Min: 1, Max: 5}},
-//		OnDeliver: func(d anonurb.ClusterDelivery) { fmt.Println("delivered", d.ID.Body) },
-//	})
-//	cluster.Broadcast(0, "hello, anonymous world")
+// Byte payloads in, deliveries out; the transport decides what network
+// the node lives on:
 //
-// See examples/quickstart for the complete program, DESIGN.md for the
-// architecture and EXPERIMENTS.md for the evaluation suite.
+//	const n = 3
+//	mesh := anonurb.NewMeshNetwork(anonurb.MeshConfig{
+//		N:    n,
+//		Link: anonurb.Bernoulli{P: 0.2, D: anonurb.UniformDelay{Min: 1, Max: 5}},
+//	})
+//	ctx := context.Background()
+//	nodes := make([]*anonurb.Node, n)
+//	for i := range nodes {
+//		proc := anonurb.NewMajority(n, anonurb.NewTagSource(uint64(i+1)), anonurb.Config{})
+//		nodes[i] = anonurb.NewNode(proc, mesh.Endpoint(i), anonurb.WithSeed(uint64(i)))
+//		defer nodes[i].Stop()
+//	}
+//	deliveries := nodes[0].Deliveries() // subscribe before Start
+//	for _, nd := range nodes {
+//		nd.Start(ctx)
+//	}
+//	nodes[2].Broadcast([]byte("hello, anonymous world"))
+//	d := <-deliveries
+//	fmt.Printf("node 0 URB-delivered %q\n", d.Body())
+//
+// Swap mesh.Endpoint(i) for a transport from UDPGroup to run the same
+// code over real sockets, or wrap any transport with NewChaosTransport
+// to inject simulator loss models into it. See examples/quickstart for
+// the complete program (both transports, same node code), DESIGN.md for
+// the architecture and EXPERIMENTS.md for the evaluation suite.
 package anonurb
 
 import (
+	"time"
+
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
 	"anonurb/internal/ident"
 	"anonurb/internal/liverun"
+	"anonurb/internal/node"
 	"anonurb/internal/rb"
 	"anonurb/internal/sim"
+	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
 	"anonurb/internal/xrand"
@@ -229,6 +249,95 @@ const Never = sim.Never
 // NewSimEngine builds a deterministic simulation run.
 func NewSimEngine(cfg SimConfig) *SimEngine {
 	return sim.NewEngine(cfg)
+}
+
+// Node runtime (internal/node): one process on a pluggable transport.
+type (
+	// Node hosts one Process on a Transport with a context-scoped
+	// lifecycle: Start(ctx), Broadcast([]byte), Deliveries(), Stop().
+	Node = node.Node
+	// NodeDelivery is one URB-delivery observed on a Node.
+	NodeDelivery = node.Delivery
+	// NodeOption configures a Node (WithTickEvery, WithSeed,
+	// WithObserver, WithInboxDepth).
+	NodeOption = node.Option
+	// Observer receives node events (send/receive/deliver/quiescence).
+	Observer = node.Observer
+	// NodeMetrics is an Observer aggregating node events with the
+	// internal metrics toolkit.
+	NodeMetrics = node.Metrics
+	// NodeMetricsSnapshot is a point-in-time copy of NodeMetrics.
+	NodeMetricsSnapshot = node.Snapshot
+)
+
+// Node lifecycle errors.
+var (
+	ErrNodeNotRunning     = node.ErrNotRunning
+	ErrNodeAlreadyStarted = node.ErrAlreadyStarted
+	ErrNodeBodyTooLarge   = node.ErrBodyTooLarge
+)
+
+// MaxBody is the largest payload the wire codec carries; Node.Broadcast
+// rejects longer bodies with ErrNodeBodyTooLarge.
+const MaxBody = wire.MaxBody
+
+// NewNode builds a node hosting proc on tr. The node takes ownership of
+// the transport (Stop closes it). Call Start to run it.
+func NewNode(proc Process, tr Transport, opts ...NodeOption) *Node {
+	return node.New(proc, tr, opts...)
+}
+
+// WithTickEvery sets a node's Task-1 tick period (default 10ms).
+func WithTickEvery(d time.Duration) NodeOption { return node.WithTickEvery(d) }
+
+// WithSeed seeds a node's local randomness (tick phase).
+func WithSeed(seed uint64) NodeOption { return node.WithSeed(seed) }
+
+// WithObserver installs a node event observer.
+func WithObserver(obs Observer) NodeOption { return node.WithObserver(obs) }
+
+// WithInboxDepth sets the capacity of a node's delivery queue.
+func WithInboxDepth(depth int) NodeOption { return node.WithInboxDepth(depth) }
+
+// NewNodeMetrics returns an empty metrics-collecting Observer.
+func NewNodeMetrics() *NodeMetrics { return node.NewMetrics() }
+
+// Transports (internal/transport): the swappable communication
+// substrate carrying encoded wire frames.
+type (
+	// Transport carries encoded frames from one node to every node
+	// (self included): Send, Receive, Close.
+	Transport = transport.Transport
+	// MeshNetwork joins N in-process endpoints over a lossy link mesh.
+	MeshNetwork = transport.Mesh
+	// MeshConfig describes a MeshNetwork.
+	MeshConfig = transport.MeshConfig
+	// UDPTransport is a Transport over real UDP sockets.
+	UDPTransport = transport.UDP
+	// ChaosTransport wraps another Transport with a LinkModel.
+	ChaosTransport = transport.Chaos
+	// ChaosConfig parameterises a ChaosTransport.
+	ChaosConfig = transport.ChaosConfig
+)
+
+// NewMeshNetwork builds an in-process mesh; node i's transport is
+// Endpoint(i).
+func NewMeshNetwork(cfg MeshConfig) *MeshNetwork { return transport.NewMesh(cfg) }
+
+// ListenUDP binds a UDP transport on addr (e.g. "127.0.0.1:0"); set its
+// peer set with SetPeers before sending.
+func ListenUDP(addr string, depth int) (*UDPTransport, error) {
+	return transport.ListenUDP(addr, depth)
+}
+
+// UDPGroup binds n loopback UDP transports wired into one
+// fully-connected group (self included).
+func UDPGroup(n, depth int) ([]*UDPTransport, error) { return transport.UDPGroup(n, depth) }
+
+// NewChaosTransport wraps inner with a loss/delay model, turning any
+// transport into a reproduction of any simulator loss scenario.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	return transport.NewChaos(inner, cfg)
 }
 
 // Live runtime (internal/liverun).

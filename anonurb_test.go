@@ -1,6 +1,7 @@
 package anonurb
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func TestFacadeSimulatedRun(t *testing.T) {
 		Seed:             5,
 		MaxTime:          100_000,
 		CrashAt:          []int64{Never, Never, Never, 60},
-		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: "facade"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("facade")}},
 		StopWhenQuiet:    200,
 		ExpectDeliveries: 1,
 	}).Run()
@@ -61,7 +62,7 @@ func TestFacadeLiveCluster(t *testing.T) {
 	})
 	defer cluster.Stop()
 
-	if !cluster.Broadcast(1, "live-facade") {
+	if !cluster.Broadcast(1, []byte("live-facade")) {
 		t.Fatal("broadcast refused")
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -75,6 +76,72 @@ func TestFacadeLiveCluster(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("live cluster did not converge through the facade")
+}
+
+// TestFacadeNodeAPI exercises the transport-agnostic Node surface: the
+// same node code over the in-process mesh and over real UDP sockets,
+// each behind a chaos-injected 20% Bernoulli loss.
+func TestFacadeNodeAPI(t *testing.T) {
+	const n = 3
+	run := func(t *testing.T, transports []Transport) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		nodes := make([]*Node, n)
+		inboxes := make([]<-chan NodeDelivery, n)
+		for i := range nodes {
+			proc := NewMajority(n, NewTagSource(uint64(50+i)), Config{})
+			tr := NewChaosTransport(transports[i], ChaosConfig{
+				Model: Bernoulli{P: 0.2, D: UniformDelay{Min: 0, Max: 2}},
+				Unit:  100 * time.Microsecond,
+				Seed:  uint64(i),
+			})
+			nodes[i] = NewNode(proc, tr,
+				WithTickEvery(time.Millisecond), WithSeed(uint64(i)))
+			inboxes[i] = nodes[i].Deliveries()
+			if err := nodes[i].Start(ctx); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			defer nodes[i].Stop()
+		}
+		id, err := nodes[0].Broadcast([]byte("node-facade"))
+		if err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+		for i, inbox := range inboxes {
+			select {
+			case d := <-inbox:
+				if d.ID != id {
+					t.Fatalf("node %d delivered %s want %s", i, d.ID, id)
+				}
+			case <-ctx.Done():
+				t.Fatalf("node %d never delivered", i)
+			}
+		}
+	}
+
+	t.Run("mesh", func(t *testing.T) {
+		mesh := NewMeshNetwork(MeshConfig{
+			N: n, Link: Reliable{D: FixedDelay(0)}, Unit: 100 * time.Microsecond, Seed: 3,
+		})
+		defer mesh.Close()
+		trs := make([]Transport, n)
+		for i := range trs {
+			trs[i] = mesh.Endpoint(i)
+		}
+		run(t, trs)
+	})
+	t.Run("udp", func(t *testing.T) {
+		group, err := UDPGroup(n, 0)
+		if err != nil {
+			t.Fatalf("udp group: %v", err)
+		}
+		trs := make([]Transport, n)
+		for i := range trs {
+			trs[i] = group[i]
+		}
+		run(t, trs)
+	})
 }
 
 // TestFacadeTagSource checks the exported tag constructor.

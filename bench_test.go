@@ -65,7 +65,7 @@ func BenchmarkSimulatedRun(b *testing.B) {
 			Link:             channel.Bernoulli{P: 0.2, D: channel.UniformDelay{Min: 1, Max: 5}},
 			Seed:             uint64(i),
 			MaxTime:          100_000,
-			Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "bench"}},
+			Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("bench")}},
 			StopWhenQuiet:    200,
 			ExpectDeliveries: 1,
 		}).Run()
@@ -91,7 +91,7 @@ func BenchmarkTickPeriod(b *testing.B) {
 					Seed:             uint64(i),
 					TickEvery:        period,
 					MaxTime:          100_000,
-					Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "tick"}},
+					Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("tick")}},
 					ExpectDeliveries: 1,
 				}).Run()
 				lastLatency = float64(res.EndTime)

@@ -82,8 +82,8 @@ func recordSelftest() (trace.Header, []trace.Event) {
 		MaxTime: 100_000,
 		CrashAt: []sim.Time{sim.Never, sim.Never, sim.Never, 60, 80},
 		Broadcasts: []sim.ScheduledBroadcast{
-			{At: 5, Proc: 0, Body: "selftest-a"},
-			{At: 9, Proc: 1, Body: "selftest-b"},
+			{At: 5, Proc: 0, Body: []byte("selftest-a")},
+			{At: 9, Proc: 1, Body: []byte("selftest-b")},
 		},
 		Observers:        []sim.Observer{rec},
 		ExpectDeliveries: 2,

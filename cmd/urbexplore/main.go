@@ -86,7 +86,7 @@ func main() {
 
 	start := time.Now()
 	stats, violation := explore.New(builder, bounds,
-		[]explore.Seed{{Proc: 0, Body: "m"}}, nil).Run()
+		[]explore.Seed{{Proc: 0, Body: []byte("m")}}, nil).Run()
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	fmt.Printf("visited  : %d states, %d maximal schedules, %d merged, truncated=%v (%v)\n",

@@ -26,7 +26,7 @@ func Example() {
 		Seed:             1,
 		MaxTime:          100_000,
 		CrashAt:          []int64{anonurb.Never, anonurb.Never, anonurb.Never, 60},
-		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 5, Proc: 0, Body: "hello"}},
+		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("hello")}},
 		StopWhenQuiet:    200,
 		ExpectDeliveries: 1,
 	}).Run()
@@ -54,7 +54,7 @@ func ExampleNewMajority() {
 		Link:             anonurb.Reliable{D: anonurb.FixedDelay(2)},
 		Seed:             7,
 		MaxTime:          10_000,
-		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 1, Proc: 2, Body: "majority"}},
+		Broadcasts:       []anonurb.ScheduledBroadcast{{At: 1, Proc: 2, Body: []byte("majority")}},
 		ExpectDeliveries: 1,
 	}).Run()
 

@@ -74,7 +74,7 @@ func main() {
 	for w := 0; w < posts; w++ {
 		writer := w * 2 // members 0, 2, 4
 		note := fmt.Sprintf("note-%c from an anonymous member", 'A'+w)
-		cluster.Broadcast(writer, note)
+		cluster.Broadcast(writer, []byte(note))
 	}
 	// ...and one of the writers crashes right after posting, plus two
 	// lurkers die too: 3 crashes < n/2 keeps the majority assumption.

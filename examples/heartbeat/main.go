@@ -64,7 +64,7 @@ func main() {
 	time.Sleep(100 * time.Millisecond)
 
 	fmt.Println("phase 1: broadcast with everyone alive")
-	cluster.Broadcast(0, "first")
+	cluster.Broadcast(0, []byte("first"))
 	waitAll := func(body string, want int) bool {
 		deadline := time.Now().Add(10 * time.Second)
 		for time.Now().Before(deadline) {
@@ -89,7 +89,7 @@ func main() {
 	time.Sleep(300 * time.Millisecond)
 
 	fmt.Println("phase 3: broadcast again — the smaller correct set carries it")
-	cluster.Broadcast(1, "second")
+	cluster.Broadcast(1, []byte("second"))
 	if !waitAll("second", n-1) {
 		fmt.Println("survivors did not converge (unexpected)")
 		return

@@ -51,7 +51,7 @@ func run(n int, algo harness.Algo) harness.Outcome {
 		N:                    n,
 		Algo:                 algo,
 		Link:                 theoremLink{s1: s1},
-		Workload:             workload.SingleShot{At: 2, Proc: 0, Body: "m"},
+		Workload:             workload.SingleShot{At: 2, Proc: 0, Body: []byte("m")},
 		CrashAfterDeliveries: crashAfter,
 		Seed:                 2015,
 		MaxTime:              1_500,

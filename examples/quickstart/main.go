@@ -1,6 +1,12 @@
-// Quickstart: five anonymous processes over lossy links, one of them
-// broadcasts a message, everyone delivers it exactly once — then, because
-// the quiescent algorithm is used, the whole cluster goes silent.
+// Quickstart: five anonymous processes, one broadcasts, everyone
+// URB-delivers exactly once — despite 20% of all frames being dropped by
+// a chaos-injected Bernoulli loss model.
+//
+// The same node code runs twice: first on the in-process mesh
+// transport, then on real UDP sockets over loopback. Only the transport
+// constructor changes; the algorithm, the node lifecycle and the
+// delivery plumbing are identical — that is the point of the
+// transport-agnostic Node API.
 //
 // Run with:
 //
@@ -8,83 +14,107 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"anonurb"
 )
 
-func main() {
-	const n = 5
+const (
+	n        = 5
+	lossRate = 0.2
+)
 
-	// The failure detector oracle needs to know which processes stay up
-	// for the whole run; here, everyone does.
-	correct := make([]bool, n)
-	for i := range correct {
-		correct[i] = true
-	}
-	oracle := anonurb.NewOracle(anonurb.OracleConfig{
-		N: n, Noise: anonurb.NoiseExact, Seed: 7,
-	}, correct)
-
-	var mu sync.Mutex
-	delivered := map[int]bool{}
-
-	cluster := anonurb.StartCluster(anonurb.ClusterConfig{
-		N: n,
-		Factory: func(i int, tags *anonurb.TagSource, clock func() int64) anonurb.Process {
-			// Each process gets its own detector handle and tag stream.
-			// Note the algorithm never learns i — anonymity is preserved;
-			// the index only wires up the oracle.
-			return anonurb.NewQuiescent(oracle.Handle(i, clock), tags, anonurb.Config{})
-		},
-		// 20% of all copies are lost; retransmission shrugs it off.
-		Link:      anonurb.Bernoulli{P: 0.2, D: anonurb.UniformDelay{Min: 1, Max: 5}},
-		Unit:      time.Millisecond,
-		TickEvery: 10,
-		Seed:      42,
-		OnDeliver: func(d anonurb.ClusterDelivery) {
-			mu.Lock()
-			delivered[d.Proc] = true
-			count := len(delivered)
-			mu.Unlock()
-			fmt.Printf("  process %d URB-delivered %q after %v (%d/%d)\n",
-				d.Proc, d.ID.Body, d.Elapsed.Round(time.Millisecond), count, n)
-		},
+// chaos wraps any transport in a 20% Bernoulli frame-loss model with a
+// small random delay — the quintessential fair lossy channel.
+func chaos(tr anonurb.Transport, seed uint64) anonurb.Transport {
+	return anonurb.NewChaosTransport(tr, anonurb.ChaosConfig{
+		Model: anonurb.Bernoulli{P: lossRate, D: anonurb.UniformDelay{Min: 0, Max: 2}},
+		Unit:  time.Millisecond,
+		Seed:  seed,
 	})
-	defer cluster.Stop()
+}
 
-	fmt.Println("broadcasting one message on a 20%-lossy anonymous network...")
-	cluster.Broadcast(2, "hello, anonymous world")
+// run starts one node per transport, URB-broadcasts a single message
+// from node 2, and waits until every node has delivered it. The code is
+// completely transport-agnostic.
+func run(name string, transports []anonurb.Transport) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	deadline := time.After(10 * time.Second)
-	for {
-		mu.Lock()
-		done := len(delivered) == n
-		mu.Unlock()
-		if done {
-			break
+	nodes := make([]*anonurb.Node, n)
+	inboxes := make([]<-chan anonurb.NodeDelivery, n)
+	for i := range nodes {
+		// Each process: Algorithm 1 (majority URB), its own private tag
+		// stream, no identity anywhere.
+		proc := anonurb.NewMajority(n, anonurb.NewTagSource(uint64(1000+i)), anonurb.Config{})
+		nodes[i] = anonurb.NewNode(proc, chaos(transports[i], uint64(i)),
+			anonurb.WithTickEvery(5*time.Millisecond),
+			anonurb.WithSeed(uint64(i)),
+		)
+		inboxes[i] = nodes[i].Deliveries() // subscribe before Start
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(ctx); err != nil {
+			return err
 		}
+		defer nd.Stop()
+	}
+
+	start := time.Now()
+	id, err := nodes[2].Broadcast([]byte("hello, anonymous world"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[%s] node 2 URB-broadcast %s\n", name, id)
+
+	for i, inbox := range inboxes {
 		select {
-		case <-deadline:
-			fmt.Println("timed out — this should not happen")
-			return
-		case <-time.After(5 * time.Millisecond):
+		case d := <-inbox:
+			fmt.Printf("[%s] node %d URB-delivered %q after %v (fast=%v)\n",
+				name, i, d.Body(), time.Since(start).Round(time.Millisecond), d.Fast)
+		case <-ctx.Done():
+			return fmt.Errorf("[%s] node %d never delivered: %w", name, i, ctx.Err())
 		}
 	}
+	return nil
+}
 
-	// Algorithm 2 is quiescent: wait for the traffic to stop entirely.
-	fmt.Println("all delivered; waiting for quiescence...")
-	for !cluster.QuietFor(100 * time.Millisecond) {
-		time.Sleep(10 * time.Millisecond)
+func main() {
+	// Round 1: in-process mesh transport. The mesh's own links are
+	// reliable here — all the loss comes from the chaos wrapper.
+	mesh := anonurb.NewMeshNetwork(anonurb.MeshConfig{
+		N:    n,
+		Link: anonurb.Reliable{D: anonurb.FixedDelay(0)},
+		Seed: 7,
+	})
+	meshTransports := make([]anonurb.Transport, n)
+	for i := range meshTransports {
+		meshTransports[i] = mesh.Endpoint(i)
 	}
-	sends, drops := cluster.NetStats()
-	fmt.Printf("quiescent: the network is silent. %d copies sent, %d lost to the channel.\n",
-		sends, drops)
-	for i := 0; i < n; i++ {
-		st := cluster.Stats(i)
-		fmt.Printf("  process %d: delivered=%d retired=%d, retransmission set empty=%v\n",
-			i, st.Delivered, st.Retired, st.MsgSet == 0)
+	if err := run("mesh", meshTransports); err != nil {
+		fmt.Println("mesh run failed:", err)
+		return
 	}
+
+	// Round 2: the SAME node code over real UDP sockets on loopback,
+	// still under 20% injected loss (on top of whatever the kernel
+	// drops).
+	udp, err := anonurb.UDPGroup(n, 0)
+	if err != nil {
+		fmt.Println("udp setup failed:", err)
+		return
+	}
+	udpTransports := make([]anonurb.Transport, n)
+	for i := range udpTransports {
+		udpTransports[i] = udp[i]
+	}
+	if err := run("udp", udpTransports); err != nil {
+		fmt.Println("udp run failed:", err)
+		return
+	}
+
+	fmt.Printf("\nsame node code, two networks, %d%% loss on both: URB held.\n",
+		int(lossRate*100))
 }

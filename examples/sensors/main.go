@@ -65,7 +65,7 @@ func main() {
 	fmt.Printf("sensor swarm: %d anonymous nodes, 30%% packet loss, 4 nodes about to fail\n\n", n)
 
 	// A doomed node detects something and broadcasts before dying.
-	cluster.Broadcast(2, "ALARM:overheat@zone-7")
+	cluster.Broadcast(2, []byte("ALARM:overheat@zone-7"))
 	time.Sleep(30 * time.Millisecond)
 	cluster.Crash(2)
 	fmt.Println("node 2 died right after broadcasting")

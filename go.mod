@@ -1,0 +1,3 @@
+module anonurb
+
+go 1.24

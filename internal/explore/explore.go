@@ -129,7 +129,7 @@ type Explorer struct {
 // Seed is an initial URB-broadcast injected before exploration.
 type Seed struct {
 	Proc int
-	Body string
+	Body []byte
 }
 
 // Invariant is a predicate over the exploration state, called after every

@@ -55,7 +55,7 @@ func TestExploreMajorityN2Safe(t *testing.T) {
 	// support.
 	ex := New(majBuilder(2, 2), Bounds{
 		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
-	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, nil)
 	stats, v := ex.Run()
 	if v != nil {
 		t.Fatalf("violation: %v", v)
@@ -85,7 +85,7 @@ func TestExploreMajorityN3Safe(t *testing.T) {
 	}
 	ex := New(majBuilder(3, 2), Bounds{
 		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 3, MaxStates: max,
-	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, nil)
 	stats, v := ex.Run()
 	if v != nil {
 		t.Fatalf("violation: %v", v)
@@ -101,7 +101,7 @@ func TestExploreLoweredThresholdFindsTheoremTwoViolation(t *testing.T) {
 	// unsupported — deliver on own ACK, then crash the only holder.
 	ex := New(majBuilder(2, 1), Bounds{
 		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
-	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, nil)
 	_, v := ex.Run()
 	if v == nil {
 		t.Fatal("expected the checker to find the sub-majority violation")
@@ -117,7 +117,7 @@ func TestExploreLoweredThresholdFindsTheoremTwoViolation(t *testing.T) {
 func TestExploreQuiescentN2Safe(t *testing.T) {
 	ex := New(quiBuilder(2), Bounds{
 		TicksPerProc: 1, MaxCrashes: 1, FlightCap: 4, MaxStates: 2_000_000,
-	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, nil)
 	stats, v := ex.Run()
 	if v != nil {
 		t.Fatalf("violation: %v", v)
@@ -132,7 +132,7 @@ func TestExploreCustomInvariant(t *testing.T) {
 	calls := 0
 	ex := New(majBuilder(2, 2), Bounds{
 		TicksPerProc: 1, MaxCrashes: 0, FlightCap: 2, MaxStates: 10_000,
-	}, []Seed{{Proc: 0, Body: "m"}}, func(v *StateView) string {
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, func(v *StateView) string {
 		calls++
 		if len(v.Procs) != 2 || len(v.Crashed) != 2 {
 			return "view malformed"
@@ -154,7 +154,7 @@ func TestExploreCustomInvariant(t *testing.T) {
 func TestExploreMaxStatesTruncates(t *testing.T) {
 	ex := New(majBuilder(2, 2), Bounds{
 		TicksPerProc: 3, MaxCrashes: 1, FlightCap: 6, MaxStates: 50,
-	}, []Seed{{Proc: 0, Body: "m"}}, nil)
+	}, []Seed{{Proc: 0, Body: []byte("m")}}, nil)
 	stats, v := ex.Run()
 	if v != nil {
 		t.Fatalf("violation: %v", v)

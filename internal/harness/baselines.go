@@ -37,7 +37,7 @@ func T5BaselineGuarantees(p Params) *Table {
 			Algo: algo,
 			Link: channel.SlowSink{Dst: n - 1, K: 25,
 				Then: channel.Bernoulli{P: 0.5, D: channel.UniformDelay{Min: 1, Max: 4}}},
-			Workload: workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			Workload: workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")},
 			Crashes:  crashProcZero{At: 30},
 			FD:       fd.OracleConfig{Noise: fd.NoiseExact},
 			Seed:     p.Seed + uint64(algo),

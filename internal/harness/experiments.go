@@ -155,7 +155,7 @@ func T2Impossibility(p Params) *Table {
 				N:                    n,
 				Algo:                 algo,
 				Link:                 impossibilityLink(s1),
-				Workload:             workload.SingleShot{At: 2, Proc: 0, Body: "m"},
+				Workload:             workload.SingleShot{At: 2, Proc: 0, Body: []byte("m")},
 				CrashAfterDeliveries: crashAfter,
 				Seed:                 p.Seed + uint64(n),
 				MaxTime:              2_000,
@@ -200,7 +200,7 @@ func T3CrashTolerance(p Params) *Table {
 	}
 	for _, tol := range ts {
 		crash := workload.CrashCount{Count: tol, From: 0, To: 0}
-		wl := workload.SingleShot{At: 5, Proc: 0, Body: "m"}
+		wl := workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")}
 
 		a1 := Run(Scenario{
 			Name: fmt.Sprintf("t3-alg1-t%d", tol), N: n, Algo: AlgoMajority,
@@ -259,7 +259,7 @@ func T4FDAblation(p Params) *Table {
 			Algo: AlgoQuiescent,
 			Link: channel.SlowSink{Dst: 2, K: 2000,
 				Then: channel.Bernoulli{P: 0.05, D: channel.UniformDelay{Min: 1, Max: 4}}},
-			Workload: workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			Workload: workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")},
 			Crashes:  workload.CrashCount{Count: 1, From: 150, To: 150},
 			FD: fd.OracleConfig{
 				Noise: c.noise, GST: int64(c.gst), NoisePeriod: 20, RevealToFaulty: c.reveal,

@@ -119,7 +119,7 @@ func F3MessagesVsN(p Params) *Table {
 			"alg2 copies/n^2", "alg2 quiesce time"},
 	}
 	for _, n := range ns {
-		wl := workload.SingleShot{At: 5, Proc: 0, Body: "m"}
+		wl := workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")}
 		a1 := Run(Scenario{
 			Name: fmt.Sprintf("f3-alg1-n%d", n), N: n, Algo: AlgoMajority,
 			Link: lossLink(0.2), Workload: wl,
@@ -156,7 +156,7 @@ func F4QuiescenceVsGST(p Params) *Table {
 		out := Run(Scenario{
 			Name: fmt.Sprintf("f4-gst%d", gst), N: n, Algo: AlgoQuiescent,
 			Link:     lossLink(0.2),
-			Workload: workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			Workload: workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")},
 			Crashes:  workload.CrashCount{Count: 1, From: 50, To: 50},
 			FD:       fd.OracleConfig{Noise: fd.NoiseBenign, GST: int64(gst), NoisePeriod: 25},
 			Seed:     p.Seed + uint64(gst),
@@ -263,7 +263,7 @@ func F6FastDelivery(p Params) *Table {
 		FD: fd.OracleConfig{
 			Noise: fd.NoiseExact, RevealToFaulty: 1,
 		},
-		Workload:             workload.SingleShot{At: 5, Proc: 1, Body: "m"},
+		Workload:             workload.SingleShot{At: 5, Proc: 1, Body: []byte("m")},
 		CrashAfterDeliveries: crashAfter,
 		Seed:                 p.Seed + 99,
 		MaxTime:              1_000_000,

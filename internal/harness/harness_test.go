@@ -43,7 +43,7 @@ func TestRunQuiescentScenario(t *testing.T) {
 		N:             4,
 		Algo:          AlgoQuiescent,
 		Link:          lossLink(0.15),
-		Workload:      workload.SingleShot{At: 5, Proc: 0, Body: "q"},
+		Workload:      workload.SingleShot{At: 5, Proc: 0, Body: []byte("q")},
 		Crashes:       workload.CrashCount{Count: 1, From: 70, To: 70},
 		FD:            fd.OracleConfig{Noise: fd.NoiseExact},
 		Seed:          9,
@@ -62,7 +62,7 @@ func TestRunDeterministic(t *testing.T) {
 	mk := func() Outcome {
 		return Run(Scenario{
 			Name: "det", N: 4, Algo: AlgoMajority, Link: lossLink(0.3),
-			Workload: workload.SingleShot{At: 3, Proc: 1, Body: "d"}, Seed: 55,
+			Workload: workload.SingleShot{At: 3, Proc: 1, Body: []byte("d")}, Seed: 55,
 		})
 	}
 	a, b := mk(), mk()
@@ -357,7 +357,7 @@ func TestF8HeartbeatVsOracleQuick(t *testing.T) {
 func TestReplicateAndSummarize(t *testing.T) {
 	outs := Replicate(Scenario{
 		Name: "rep", N: 4, Algo: AlgoMajority, Link: lossLink(0.2),
-		Workload: workload.SingleShot{At: 5, Proc: 0, Body: "r"}, Seed: 77,
+		Workload: workload.SingleShot{At: 5, Proc: 0, Body: []byte("r")}, Seed: 77,
 	}, 4)
 	if len(outs) != 4 {
 		t.Fatalf("replicas %d", len(outs))
@@ -384,7 +384,7 @@ func TestReplicateAndSummarize(t *testing.T) {
 func TestReplicateClampsK(t *testing.T) {
 	outs := Replicate(Scenario{
 		Name: "clamp", N: 2, Algo: AlgoMajority, Link: lossLink(0),
-		Workload: workload.SingleShot{At: 5, Proc: 0, Body: "c"}, Seed: 1,
+		Workload: workload.SingleShot{At: 5, Proc: 0, Body: []byte("c")}, Seed: 1,
 	}, 0)
 	if len(outs) != 1 {
 		t.Fatalf("k=0 should clamp to 1, got %d", len(outs))

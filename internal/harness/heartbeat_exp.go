@@ -30,7 +30,7 @@ import (
 func F8HeartbeatVsOracle(p Params) *Table {
 	const n = 5
 	horizon := pick(p, sim.Time(3_000), sim.Time(10_000))
-	wl := workload.SingleShot{At: 200, Proc: 0, Body: "m"}
+	wl := workload.SingleShot{At: 200, Proc: 0, Body: []byte("m")}
 	crashes := workload.CrashCount{Count: 1, From: 600, To: 600}
 
 	t := &Table{

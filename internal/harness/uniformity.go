@@ -67,7 +67,7 @@ func T6PriceOfUniformity(p Params) *Table {
 			Algo: algo,
 			// Copies from p0 are black-holed; everything else reliable.
 			Link:                 senderBlackhole{src: 0},
-			Workload:             workload.SingleShot{At: 5, Proc: 0, Body: "m"},
+			Workload:             workload.SingleShot{At: 5, Proc: 0, Body: []byte("m")},
 			CrashAfterDeliveries: crashAfter,
 			FD:                   fd.OracleConfig{Noise: fd.NoiseExact},
 			Seed:                 p.Seed + 71*uint64(algo),

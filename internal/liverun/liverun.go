@@ -1,23 +1,26 @@
-// Package liverun hosts the paper's algorithms on real goroutines and
-// channels: one goroutine per anonymous process, lossy links realised as
-// delayed hand-offs between them, wall-clock Task-1 ticks.
+// Package liverun hosts the paper's algorithms as a live in-process
+// cluster: N node.Node instances (one goroutine per anonymous process)
+// joined by a transport.Mesh of lossy links with wall-clock delays.
 //
 // The deterministic simulator (internal/sim) is where experiments run;
 // liverun exists to demonstrate the same state machines driving a real
-// concurrent system — the examples under examples/ are built on it. The
-// urb.Process implementations are single-threaded by contract, so each
-// node goroutine serialises every Receive/Tick/Broadcast against its own
-// instance; the only shared state is the link mesh, guarded by one mutex.
+// concurrent system — the examples under examples/ are built on it. It
+// is deliberately thin: a Cluster is nothing but N nodes on an
+// in-process transport plus index-based convenience accessors, so
+// everything it does can also be done with the node and transport
+// packages directly (see examples/quickstart for the same stack over
+// real UDP sockets).
 package liverun
 
 import (
+	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
+	"anonurb/internal/node"
+	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
 	"anonurb/internal/xrand"
@@ -28,13 +31,16 @@ import (
 // cluster's elapsed time in link-delay units.
 type Factory func(index int, tags *ident.Source, clock func() int64) urb.Process
 
-// Delivery is one URB-delivery observed by the cluster.
+// Delivery is one URB-delivery observed on the cluster.
 type Delivery struct {
 	Proc    int
 	ID      wire.MsgID
 	Fast    bool
 	Elapsed time.Duration
 }
+
+// Body returns the delivered payload as a fresh byte slice.
+func (d Delivery) Body() []byte { return d.ID.Bytes() }
 
 // Config describes a live cluster.
 type Config struct {
@@ -50,39 +56,43 @@ type Config struct {
 	Unit time.Duration
 	// TickEvery is the Task-1 period in Units. Defaults to 10.
 	TickEvery int64
-	// Seed drives the link randomness and tag streams.
+	// Seed drives the link randomness, tag streams and tick phases.
 	Seed uint64
 	// OnDeliver, if set, observes every URB-delivery. It is called from
 	// node goroutines and must be safe for concurrent use.
 	OnDeliver func(Delivery)
-	// InboxDepth bounds each node's mailbox; a full mailbox drops copies
-	// (legal: the network is lossy anyway). Defaults to 1024.
+	// InboxDepth bounds each node's mesh mailbox; a full mailbox drops
+	// copies (legal: the network is lossy anyway). Defaults to 1024.
 	InboxDepth int
 }
 
-// Cluster is a running set of live processes.
+// Cluster is a running set of live processes: N nodes on one mesh.
 type Cluster struct {
-	cfg   Config
-	start time.Time
-
-	netMu sync.Mutex
-	net   *channel.Network
-
-	nodes []*node
-	wg    sync.WaitGroup
-
-	stopped  atomic.Bool
-	lastSend atomic.Int64 // elapsed units of the most recent send
-	sends    atomic.Uint64
-	drops    atomic.Uint64
+	cfg    Config
+	start  time.Time
+	mesh   *transport.Mesh
+	nodes  []*node.Node
+	cancel context.CancelFunc
 }
 
-type node struct {
-	index   int
-	inbox   chan wire.Message
-	actions chan func(urb.Process)
-	stop    chan struct{}
-	crashed atomic.Bool
+// observer adapts node events to the cluster's delivery callback.
+type observer struct {
+	c    *Cluster
+	proc int
+}
+
+func (o observer) OnSend(wire.Message, []byte) {}
+func (o observer) OnReceive(wire.Message)      {}
+func (o observer) OnQuiescence(time.Duration)  {}
+func (o observer) OnDeliver(d node.Delivery) {
+	if o.c.cfg.OnDeliver != nil {
+		o.c.cfg.OnDeliver(Delivery{
+			Proc:    o.proc,
+			ID:      d.ID,
+			Fast:    d.Fast,
+			Elapsed: time.Since(o.c.start),
+		})
+	}
 }
 
 // Start builds and launches a cluster.
@@ -105,179 +115,86 @@ func Start(cfg Config) *Cluster {
 	c := &Cluster{
 		cfg:   cfg,
 		start: time.Now(),
-		net:   channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "live-net")),
-		nodes: make([]*node, cfg.N),
+		mesh: transport.NewMesh(transport.MeshConfig{
+			N:          cfg.N,
+			Link:       cfg.Link,
+			Unit:       cfg.Unit,
+			Seed:       cfg.Seed,
+			InboxDepth: cfg.InboxDepth,
+		}),
+		nodes: make([]*node.Node, cfg.N),
 	}
-	// Two-phase construction: every node slot and process must exist
-	// before ANY goroutine starts, because a node's first transmit reads
-	// c.nodes[dst] for every destination.
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
 	tagRoot := xrand.SplitLabeled(cfg.Seed, "live-tags")
-	procs := make([]urb.Process, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		c.nodes[i] = &node{
-			index:   i,
-			inbox:   make(chan wire.Message, cfg.InboxDepth),
-			actions: make(chan func(urb.Process), 64),
-			stop:    make(chan struct{}),
-		}
-		procs[i] = cfg.Factory(i, ident.NewSource(tagRoot.Split()), c.ElapsedUnits)
+		proc := cfg.Factory(i, ident.NewSource(tagRoot.Split()), c.ElapsedUnits)
+		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i),
+			node.WithTickEvery(time.Duration(cfg.TickEvery)*cfg.Unit),
+			node.WithSeed(xrand.HashStream(cfg.Seed, uint64(i))),
+			node.WithObserver(observer{c: c, proc: i}),
+		)
 	}
-	for i := 0; i < cfg.N; i++ {
-		c.wg.Add(1)
-		go c.loop(c.nodes[i], procs[i])
+	for _, nd := range c.nodes {
+		if err := nd.Start(ctx); err != nil {
+			panic("liverun: node start: " + err.Error())
+		}
 	}
 	return c
 }
 
+// Node returns the node hosting process proc, for direct access to the
+// node-level API.
+func (c *Cluster) Node(proc int) *node.Node { return c.nodes[proc] }
+
 // ElapsedUnits returns the cluster age in link-delay units (the live
-// counterpart of the simulator's virtual clock, e.g. for failure detector
-// handles).
+// counterpart of the simulator's virtual clock, e.g. for failure
+// detector handles). It is the mesh's clock, so QuietFor and the
+// factory clocks share one epoch.
 func (c *Cluster) ElapsedUnits() int64 {
-	return int64(time.Since(c.start) / c.cfg.Unit)
-}
-
-// loop is the node goroutine: it serialises all access to the algorithm
-// instance.
-func (c *Cluster) loop(nd *node, proc urb.Process) {
-	defer c.wg.Done()
-	ticker := time.NewTicker(time.Duration(c.cfg.TickEvery) * c.cfg.Unit)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-nd.stop:
-			return
-		case m := <-nd.inbox:
-			c.absorb(nd, proc.Receive(m))
-		case <-ticker.C:
-			c.absorb(nd, proc.Tick())
-		case f := <-nd.actions:
-			f(proc)
-		}
-	}
-}
-
-// absorb handles a Step produced by nd's algorithm.
-func (c *Cluster) absorb(nd *node, s urb.Step) {
-	for _, d := range s.Deliveries {
-		if c.cfg.OnDeliver != nil {
-			c.cfg.OnDeliver(Delivery{
-				Proc:    nd.index,
-				ID:      d.ID,
-				Fast:    d.Fast,
-				Elapsed: time.Since(c.start),
-			})
-		}
-	}
-	for _, m := range s.Broadcasts {
-		c.transmit(nd.index, m)
-	}
-}
-
-// transmit offers one wire message to every directed link; surviving
-// copies arrive later on the destinations' inboxes.
-func (c *Cluster) transmit(src int, m wire.Message) {
-	if c.stopped.Load() {
-		return
-	}
-	now := c.ElapsedUnits()
-	c.lastSend.Store(now)
-	size := m.EncodedSize()
-	for dst := 0; dst < c.cfg.N; dst++ {
-		c.netMu.Lock()
-		v := c.net.Send(now, src, dst, size)
-		c.netMu.Unlock()
-		c.sends.Add(1)
-		if v.Drop {
-			c.drops.Add(1)
-			continue
-		}
-		delay := time.Duration(v.Delay) * c.cfg.Unit
-		target := c.nodes[dst]
-		time.AfterFunc(delay, func() {
-			if c.stopped.Load() || target.crashed.Load() {
-				return
-			}
-			select {
-			case target.inbox <- m:
-			default:
-				// Mailbox overflow: the copy is lost, which the fair
-				// lossy channel model permits.
-				c.drops.Add(1)
-			}
-		})
-	}
+	return c.mesh.ElapsedUnits()
 }
 
 // Broadcast has process proc URB-broadcast body. It returns false if the
 // process has crashed or the cluster is stopped.
-func (c *Cluster) Broadcast(proc int, body string) bool {
-	nd := c.nodes[proc]
-	if c.stopped.Load() || nd.crashed.Load() {
-		return false
-	}
-	select {
-	case nd.actions <- func(p urb.Process) {
-		_, s := p.Broadcast(body)
-		c.absorb(nd, s)
-	}:
-		return true
-	case <-nd.stop:
-		return false
-	}
+func (c *Cluster) Broadcast(proc int, body []byte) bool {
+	_, err := c.nodes[proc].Broadcast(body)
+	return err == nil
 }
 
 // Crash kills process proc: it stops receiving, ticking and sending.
 func (c *Cluster) Crash(proc int) {
-	nd := c.nodes[proc]
-	if nd.crashed.CompareAndSwap(false, true) {
-		close(nd.stop)
-	}
+	c.nodes[proc].Stop()
 }
 
 // Stats fetches a process's algorithm stats, synchronised through its
-// goroutine. It returns zero stats for crashed processes.
+// node. It returns zero stats for crashed processes.
 func (c *Cluster) Stats(proc int) urb.Stats {
-	nd := c.nodes[proc]
-	if nd.crashed.Load() || c.stopped.Load() {
+	st, err := c.nodes[proc].Stats()
+	if err != nil {
 		return urb.Stats{}
 	}
-	reply := make(chan urb.Stats, 1)
-	select {
-	case nd.actions <- func(p urb.Process) { reply <- p.Stats() }:
-	case <-nd.stop:
-		return urb.Stats{}
-	}
-	select {
-	case st := <-reply:
-		return st
-	case <-nd.stop:
-		return urb.Stats{}
-	}
+	return st
 }
 
 // QuietFor reports whether no process has sent for at least d.
 func (c *Cluster) QuietFor(d time.Duration) bool {
-	quietUnits := int64(d / c.cfg.Unit)
-	return c.ElapsedUnits()-c.lastSend.Load() >= quietUnits
+	return c.mesh.QuietFor(d)
 }
 
 // NetStats returns (copies offered, copies dropped) so far.
 func (c *Cluster) NetStats() (sends, drops uint64) {
-	return c.sends.Load(), c.drops.Load()
+	return c.mesh.Stats()
 }
 
-// Stop terminates every process and waits for the goroutines to exit.
-// In-flight timers become no-ops.
+// Stop terminates every process and waits for the node goroutines to
+// exit. In-flight link timers become no-ops. Idempotent.
 func (c *Cluster) Stop() {
-	if !c.stopped.CompareAndSwap(false, true) {
-		return
-	}
+	c.cancel()
 	for _, nd := range c.nodes {
-		if nd.crashed.CompareAndSwap(false, true) {
-			close(nd.stop)
-		}
+		nd.Stop()
 	}
-	c.wg.Wait()
+	c.mesh.Close()
 }
 
 // String describes the cluster.

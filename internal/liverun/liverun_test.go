@@ -87,7 +87,7 @@ func TestLiveMajorityAllDeliver(t *testing.T) {
 	c := Start(fastCfg(n, majorityFactory(n), 0.2, col.onDeliver))
 	defer c.Stop()
 
-	if !c.Broadcast(0, "hello") || !c.Broadcast(3, "world") {
+	if !c.Broadcast(0, []byte("hello")) || !c.Broadcast(3, []byte("world")) {
 		t.Fatal("broadcast refused")
 	}
 	ok := waitFor(t, 5*time.Second, func() bool {
@@ -109,7 +109,7 @@ func TestLiveMajorityCrashTolerance(t *testing.T) {
 	c := Start(fastCfg(n, majorityFactory(n), 0.15, col.onDeliver))
 	defer c.Stop()
 
-	c.Broadcast(0, "m")
+	c.Broadcast(0, []byte("m"))
 	// Crash a minority while the message is in flight.
 	c.Crash(4)
 	ok := waitFor(t, 5*time.Second, func() bool {
@@ -118,7 +118,7 @@ func TestLiveMajorityCrashTolerance(t *testing.T) {
 	if !ok {
 		t.Fatalf("survivors did not converge: %d", col.deliveredBy("m"))
 	}
-	if c.Broadcast(4, "zombie") {
+	if c.Broadcast(4, []byte("zombie")) {
 		t.Fatal("crashed process accepted a broadcast")
 	}
 	if st := c.Stats(4); st.Delivered != 0 || st.MsgSet != 0 {
@@ -137,7 +137,7 @@ func TestLiveQuiescentDeliversAndGoesQuiet(t *testing.T) {
 	c := Start(fastCfg(n, factory, 0.1, col.onDeliver))
 	defer c.Stop()
 
-	c.Broadcast(1, "quiet-please")
+	c.Broadcast(1, []byte("quiet-please"))
 	if !waitFor(t, 5*time.Second, func() bool { return col.deliveredBy("quiet-please") == n }) {
 		t.Fatalf("not converged: %d", col.deliveredBy("quiet-please"))
 	}
@@ -156,10 +156,10 @@ func TestLiveQuiescentDeliversAndGoesQuiet(t *testing.T) {
 func TestLiveStopIdempotentAndSafe(t *testing.T) {
 	const n = 3
 	c := Start(fastCfg(n, majorityFactory(n), 0, nil))
-	c.Broadcast(0, "x")
+	c.Broadcast(0, []byte("x"))
 	c.Stop()
 	c.Stop() // idempotent
-	if c.Broadcast(0, "y") {
+	if c.Broadcast(0, []byte("y")) {
 		t.Fatal("stopped cluster accepted a broadcast")
 	}
 	if c.String() == "" {
@@ -209,7 +209,7 @@ func TestLiveConcurrentBroadcastStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < perWriter; k++ {
-				c.Broadcast(w, fmt.Sprintf("w%d-%d", w, k))
+				c.Broadcast(w, []byte(fmt.Sprintf("w%d-%d", w, k)))
 				time.Sleep(time.Millisecond)
 			}
 		}()
@@ -244,7 +244,7 @@ func TestLiveQuiescentHeartbeatStack(t *testing.T) {
 
 	// Let detectors learn each other.
 	time.Sleep(30 * time.Millisecond)
-	c.Broadcast(0, "hb-live")
+	c.Broadcast(0, []byte("hb-live"))
 	if !waitFor(t, 10*time.Second, func() bool { return col.deliveredBy("hb-live") == n }) {
 		t.Fatalf("heartbeat stack did not converge: %d", col.deliveredBy("hb-live"))
 	}

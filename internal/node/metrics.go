@@ -1,0 +1,126 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anonurb/internal/metrics"
+	"anonurb/internal/wire"
+)
+
+// Metrics is an Observer that aggregates node events with the
+// internal/metrics toolkit: message/byte counters per wire kind, a frame
+// size histogram, and a delivery latency histogram measured from the
+// collector's creation (suitable for single-shot experiments where one
+// broadcast starts the clock).
+//
+// One Metrics value may be shared by every node of a cluster; it is safe
+// for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	start       time.Time
+	sentFrames  uint64
+	recvFrames  uint64
+	sentBytes   uint64
+	sentByKind  map[wire.Kind]uint64
+	deliveries  uint64
+	fast        uint64
+	quiescences uint64
+
+	frameSize  *metrics.Histogram // bytes per sent frame
+	deliverLat *metrics.Histogram // ms from collector creation to delivery
+}
+
+var _ Observer = (*Metrics)(nil)
+
+// NewMetrics returns an empty collector; the delivery latency clock
+// starts now.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		sentByKind: make(map[wire.Kind]uint64),
+		frameSize:  metrics.NewHistogram(),
+		deliverLat: metrics.NewHistogram(),
+	}
+}
+
+// OnSend implements Observer.
+func (c *Metrics) OnSend(m wire.Message, frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sentFrames++
+	c.sentBytes += uint64(len(frame))
+	c.sentByKind[m.Kind]++
+	c.frameSize.Observe(int64(len(frame)))
+}
+
+// OnReceive implements Observer.
+func (c *Metrics) OnReceive(wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recvFrames++
+}
+
+// OnDeliver implements Observer.
+func (c *Metrics) OnDeliver(d Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deliveries++
+	if d.Fast {
+		c.fast++
+	}
+	c.deliverLat.Observe(d.At.Sub(c.start).Milliseconds())
+}
+
+// OnQuiescence implements Observer.
+func (c *Metrics) OnQuiescence(time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quiescences++
+}
+
+// Snapshot is a point-in-time copy of the collector's aggregates.
+type Snapshot struct {
+	SentFrames  uint64
+	RecvFrames  uint64
+	SentBytes   uint64
+	SentByKind  map[wire.Kind]uint64
+	Deliveries  uint64
+	Fast        uint64
+	Quiescences uint64
+	// FrameSize is mean/p50/p99/max of sent frame sizes in bytes.
+	FrameSize string
+	// DeliverLatencyMs is mean/p50/p99/max of delivery latencies in
+	// milliseconds since the collector was created.
+	DeliverLatencyMs string
+}
+
+// Snapshot returns the current aggregates.
+func (c *Metrics) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byKind := make(map[wire.Kind]uint64, len(c.sentByKind))
+	for k, v := range c.sentByKind {
+		byKind[k] = v
+	}
+	return Snapshot{
+		SentFrames:       c.sentFrames,
+		RecvFrames:       c.recvFrames,
+		SentBytes:        c.sentBytes,
+		SentByKind:       byKind,
+		Deliveries:       c.deliveries,
+		Fast:             c.fast,
+		Quiescences:      c.quiescences,
+		FrameSize:        c.frameSize.Summary(),
+		DeliverLatencyMs: c.deliverLat.Summary(),
+	}
+}
+
+// String renders a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("sent=%d (%dB) recv=%d delivered=%d (fast=%d) quiescences=%d frame=%s latms=%s",
+		s.SentFrames, s.SentBytes, s.RecvFrames, s.Deliveries, s.Fast, s.Quiescences,
+		s.FrameSize, s.DeliverLatencyMs)
+}

@@ -1,0 +1,396 @@
+// Package node hosts one URB algorithm instance (urb.Process) on a
+// Transport: the paper's "process" realised as a runtime object with a
+// context-scoped lifecycle.
+//
+// A Node owns one goroutine that serialises every interaction with the
+// algorithm state machine — received frames, periodic Task-1 ticks, and
+// application broadcasts — exactly as the urb.Process contract requires.
+// At the transport boundary the node encodes outgoing wire.Messages with
+// the canonical codec (internal/wire) and decodes inbound frames,
+// dropping undecodable ones (a garbled frame is indistinguishable from a
+// lost one, and fair lossy channels may lose anything).
+//
+// The transport is swappable (internal/transport): the same Node code
+// runs on the in-process Mesh, on real UDP sockets, or on either wrapped
+// in a Chaos loss injector.
+package node
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// Lifecycle errors.
+var (
+	// ErrNotRunning is returned by operations that need a started,
+	// unstopped node.
+	ErrNotRunning = errors.New("node: not running")
+	// ErrAlreadyStarted is returned by a second Start.
+	ErrAlreadyStarted = errors.New("node: already started")
+	// ErrBodyTooLarge is returned by Broadcast for payloads the wire
+	// codec cannot carry (len > wire.MaxBody). Rejecting here preserves
+	// liveness: an uncarryable message would otherwise be retransmitted
+	// forever without any transport being able to deliver it.
+	ErrBodyTooLarge = errors.New("node: payload exceeds wire.MaxBody")
+)
+
+// Delivery is one URB-delivery handed to the application.
+type Delivery struct {
+	// ID identifies the delivered message (payload + tag).
+	ID wire.MsgID
+	// Fast reports the paper's fast-delivery case (evidence from ACKs
+	// alone, no MSG copy seen).
+	Fast bool
+	// At is the wall-clock delivery time.
+	At time.Time
+}
+
+// Body returns the delivered payload as a fresh byte slice.
+func (d Delivery) Body() []byte { return d.ID.Bytes() }
+
+// Observer receives node events. Callbacks fire synchronously on the
+// node's goroutine: keep them fast, and synchronise externally if one
+// Observer is shared between nodes.
+type Observer interface {
+	// OnSend fires once per wire message handed to the transport, with
+	// its encoded frame.
+	OnSend(m wire.Message, frame []byte)
+	// OnReceive fires once per inbound frame that decoded to a wire
+	// message, before the algorithm processes it.
+	OnReceive(m wire.Message)
+	// OnDeliver fires on each URB-delivery.
+	OnDeliver(d Delivery)
+	// OnQuiescence fires when the node transitions into quiescence: a
+	// Task-1 tick produced no retransmissions and nothing else was sent
+	// since the previous tick (having sent before). idle is the time
+	// since the node's last send. The event re-arms after the next send,
+	// so a quiescent algorithm (Algorithm 2) fires it once per silence.
+	OnQuiescence(idle time.Duration)
+}
+
+// node run states.
+const (
+	stateNew int32 = iota
+	stateRunning
+	stateStopped
+)
+
+// options collects the functional options of NewNode.
+type options struct {
+	tickEvery  time.Duration
+	seed       uint64
+	observer   Observer
+	inboxDepth int
+}
+
+// Option configures a Node.
+type Option func(*options)
+
+// WithTickEvery sets the Task-1 tick period (default 10ms).
+func WithTickEvery(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.tickEvery = d
+		}
+	}
+}
+
+// WithSeed seeds the node's local randomness — currently the phase shift
+// of the first tick, which keeps a cluster of nodes from ticking in
+// lockstep. Nodes with different seeds get different phases.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithObserver installs an event observer.
+func WithObserver(obs Observer) Option {
+	return func(o *options) { o.observer = obs }
+}
+
+// WithInboxDepth sets the capacity of the Deliveries queue (default
+// 256). When the queue is full the node applies backpressure: it stops
+// processing until the application drains (or the context is
+// cancelled). Deliveries are never silently dropped.
+func WithInboxDepth(depth int) Option {
+	return func(o *options) {
+		if depth > 0 {
+			o.inboxDepth = depth
+		}
+	}
+}
+
+// Node hosts one urb.Process on a Transport.
+type Node struct {
+	proc urb.Process
+	tr   transport.Transport
+	opt  options
+
+	deliveries chan Delivery
+	subscribed atomic.Bool
+	actions    chan func(urb.Process)
+
+	// lifeMu serialises lifecycle transitions (Start/Stop); state is
+	// additionally atomic so hot paths can read it without the lock.
+	lifeMu sync.Mutex
+	state  atomic.Int32
+	cancel context.CancelFunc
+	done   chan struct{}
+	ctx    context.Context // set by loop; read only on the loop goroutine
+
+	sentFrames atomic.Uint64
+	recvFrames atomic.Uint64
+	badFrames  atomic.Uint64
+	lastSend   atomic.Int64 // unix nanos; 0 = never sent
+}
+
+// New builds a node hosting proc on tr. The node takes ownership of the
+// transport: Stop closes it. Start must be called before the node does
+// anything.
+func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
+	if proc == nil || tr == nil {
+		panic("node: process and transport are required")
+	}
+	o := options{tickEvery: 10 * time.Millisecond, inboxDepth: 256}
+	for _, f := range opts {
+		f(&o)
+	}
+	return &Node{
+		proc:       proc,
+		tr:         tr,
+		opt:        o,
+		deliveries: make(chan Delivery, o.inboxDepth),
+		actions:    make(chan func(urb.Process), 64),
+		done:       make(chan struct{}),
+	}
+}
+
+// Start launches the node goroutine. The node runs until Stop is called
+// or ctx is cancelled; either way the transport is closed and the
+// Deliveries channel is closed once the loop has drained.
+func (n *Node) Start(ctx context.Context) error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+	switch n.state.Load() {
+	case stateRunning:
+		return ErrAlreadyStarted
+	case stateStopped:
+		return ErrNotRunning
+	}
+	ctx, n.cancel = context.WithCancel(ctx)
+	n.state.Store(stateRunning)
+	go n.loop(ctx)
+	return nil
+}
+
+// Deliveries returns the channel of URB-deliveries. Subscribe (call
+// this) before Start to observe every delivery; deliveries before the
+// first call are dropped from the queue's point of view (observers still
+// see them). The channel is closed when the node stops.
+func (n *Node) Deliveries() <-chan Delivery {
+	n.subscribed.Store(true)
+	return n.deliveries
+}
+
+// Broadcast submits URB_broadcast(body) to the node and returns the
+// message identity the algorithm assigned. The payload bytes are copied;
+// the caller may reuse the slice. It fails with ErrNotRunning once the
+// node has stopped.
+func (n *Node) Broadcast(body []byte) (wire.MsgID, error) {
+	if len(body) > wire.MaxBody {
+		return wire.MsgID{}, ErrBodyTooLarge
+	}
+	if n.state.Load() != stateRunning {
+		return wire.MsgID{}, ErrNotRunning
+	}
+	var id wire.MsgID
+	if err := n.call(func(p urb.Process) func() {
+		var s urb.Step
+		id, s = p.Broadcast(body)
+		return func() { n.absorb(s) }
+	}); err != nil {
+		return wire.MsgID{}, err
+	}
+	return id, nil
+}
+
+// call runs f on the node goroutine and waits for it to return; f's
+// writes are visible to the caller afterwards (the reply channel is the
+// synchronisation point). A non-nil after-hook returned by f runs on
+// the node goroutine once the caller has been released — Broadcast
+// absorbs its Step there, so a delivery-queue backpressure stall cannot
+// deadlock a caller that is also the Deliveries drainer.
+func (n *Node) call(f func(p urb.Process) func()) error {
+	reply := make(chan struct{})
+	act := func(p urb.Process) {
+		after := f(p)
+		close(reply)
+		if after != nil {
+			after()
+		}
+	}
+	select {
+	case n.actions <- act:
+	case <-n.done:
+		return ErrNotRunning
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-n.done:
+		return ErrNotRunning
+	}
+}
+
+// Stats fetches the algorithm's internal set sizes, synchronised through
+// the node goroutine.
+func (n *Node) Stats() (urb.Stats, error) {
+	if n.state.Load() != stateRunning {
+		return urb.Stats{}, ErrNotRunning
+	}
+	var st urb.Stats
+	if err := n.call(func(p urb.Process) func() {
+		st = p.Stats()
+		return nil
+	}); err != nil {
+		return urb.Stats{}, err
+	}
+	return st, nil
+}
+
+// Stop terminates the node, closes its transport and waits for the
+// goroutine to exit. Idempotent; safe to call on a never-started node.
+func (n *Node) Stop() error {
+	n.lifeMu.Lock()
+	switch n.state.Load() {
+	case stateNew:
+		// Never started: no goroutine, but release the transport and
+		// close the delivery channel so consumers unblock.
+		n.state.Store(stateStopped)
+		close(n.done)
+		close(n.deliveries)
+		n.lifeMu.Unlock()
+		return n.tr.Close()
+	case stateRunning:
+		n.state.Store(stateStopped)
+		cancel := n.cancel
+		n.lifeMu.Unlock()
+		cancel()
+		<-n.done
+		return nil
+	default:
+		n.lifeMu.Unlock()
+		<-n.done
+		return nil
+	}
+}
+
+// QuietFor reports whether the node has sent nothing for at least d
+// (false until the first send).
+func (n *Node) QuietFor(d time.Duration) bool {
+	last := n.lastSend.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) >= d
+}
+
+// FrameStats returns (frames sent, frames received, undecodable frames
+// discarded).
+func (n *Node) FrameStats() (sent, received, bad uint64) {
+	return n.sentFrames.Load(), n.recvFrames.Load(), n.badFrames.Load()
+}
+
+// loop is the node goroutine: the single thread that touches proc.
+func (n *Node) loop(ctx context.Context) {
+	defer func() {
+		n.state.Store(stateStopped)
+		// Release the derived context even when the loop exits on its
+		// own (e.g. the transport's receive channel closed) — otherwise
+		// the registration on a long-lived parent context would leak.
+		n.cancel()
+		n.tr.Close()
+		close(n.done)
+		close(n.deliveries)
+	}()
+	n.ctx = ctx
+
+	// Phase-shift the first tick so a cluster of nodes does not run in
+	// lockstep (the simulator does the same).
+	phase := time.Duration(xrand.SplitLabeled(n.opt.seed, "node-phase").Int63n(int64(n.opt.tickEvery))) + 1
+	tick := time.NewTimer(phase)
+	defer tick.Stop()
+
+	var sentAtLastTick uint64
+	quiet := false
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame, ok := <-n.tr.Receive():
+			if !ok {
+				return
+			}
+			m, err := wire.Decode(frame)
+			if err != nil {
+				// Garbled frame: drop it, as the lossy channel could have.
+				n.badFrames.Add(1)
+				continue
+			}
+			n.recvFrames.Add(1)
+			if n.opt.observer != nil {
+				n.opt.observer.OnReceive(m)
+			}
+			n.absorb(n.proc.Receive(m))
+		case <-tick.C:
+			n.absorb(n.proc.Tick())
+			tick.Reset(n.opt.tickEvery)
+			sent := n.sentFrames.Load()
+			if sent == sentAtLastTick && sent > 0 {
+				if !quiet {
+					quiet = true
+					if n.opt.observer != nil {
+						idle := time.Since(time.Unix(0, n.lastSend.Load()))
+						n.opt.observer.OnQuiescence(idle)
+					}
+				}
+			} else {
+				quiet = false
+			}
+			sentAtLastTick = n.sentFrames.Load()
+		case f := <-n.actions:
+			f(n.proc)
+		}
+	}
+}
+
+// absorb executes one Step: deliveries to the application, broadcasts to
+// the transport. Runs on the node goroutine only.
+func (n *Node) absorb(s urb.Step) {
+	for _, d := range s.Deliveries {
+		del := Delivery{ID: d.ID, Fast: d.Fast, At: time.Now()}
+		if n.opt.observer != nil {
+			n.opt.observer.OnDeliver(del)
+		}
+		if n.subscribed.Load() {
+			select {
+			case n.deliveries <- del:
+			case <-n.ctx.Done():
+				return
+			}
+		}
+	}
+	for _, m := range s.Broadcasts {
+		frame := m.Encode(nil)
+		if n.opt.observer != nil {
+			n.opt.observer.OnSend(m, frame)
+		}
+		n.tr.Send(frame)
+		n.sentFrames.Add(1)
+		n.lastSend.Store(time.Now().UnixNano())
+	}
+}

@@ -38,8 +38,8 @@ func NewBestEffort(tags *ident.Source) *BestEffort {
 }
 
 // Broadcast implements urb.Process: transmit once, immediately.
-func (p *BestEffort) Broadcast(body string) (wire.MsgID, urb.Step) {
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+func (p *BestEffort) Broadcast(body []byte) (wire.MsgID, urb.Step) {
+	id := wire.NewMsgID(p.tags.Next(), body)
 	p.wireSent++
 	var out urb.Step
 	out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
@@ -101,8 +101,8 @@ func NewEagerRB(tags *ident.Source) *EagerRB {
 }
 
 // Broadcast implements urb.Process.
-func (p *EagerRB) Broadcast(body string) (wire.MsgID, urb.Step) {
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+func (p *EagerRB) Broadcast(body []byte) (wire.MsgID, urb.Step) {
+	id := wire.NewMsgID(p.tags.Next(), body)
 	var out urb.Step
 	p.wireSent++
 	out.Broadcasts = append(out.Broadcasts, wire.NewMsg(id))
@@ -177,8 +177,8 @@ func NewIDed(id, n int, tags *ident.Source) *IDed {
 }
 
 // Broadcast implements urb.Process.
-func (p *IDed) Broadcast(body string) (wire.MsgID, urb.Step) {
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+func (p *IDed) Broadcast(body []byte) (wire.MsgID, urb.Step) {
+	id := wire.NewMsgID(p.tags.Next(), body)
 	p.addMsg(id)
 	return id, urb.Step{}
 }
@@ -284,8 +284,8 @@ func NewAnonymousRB(tags *ident.Source) *AnonymousRB {
 
 // Broadcast implements urb.Process: insert into the retransmission set
 // and deliver locally (first "reception" is the broadcaster's own).
-func (p *AnonymousRB) Broadcast(body string) (wire.MsgID, urb.Step) {
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+func (p *AnonymousRB) Broadcast(body []byte) (wire.MsgID, urb.Step) {
+	id := wire.NewMsgID(p.tags.Next(), body)
 	var out urb.Step
 	p.add(id)
 	p.delivered[id] = true

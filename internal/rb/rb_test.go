@@ -32,7 +32,7 @@ func TestBestEffortDeliversOnceOnReception(t *testing.T) {
 
 func TestBestEffortBroadcastSelfDelivers(t *testing.T) {
 	p := NewBestEffort(src(2))
-	id, s := p.Broadcast("x")
+	id, s := p.Broadcast([]byte("x"))
 	if len(s.Broadcasts) != 1 || s.Broadcasts[0].Kind != wire.KindMsg {
 		t.Fatal("must transmit exactly once")
 	}
@@ -96,7 +96,7 @@ func TestIDedMajorityByIdentity(t *testing.T) {
 
 func TestIDedRetransmitsForever(t *testing.T) {
 	p := NewIDed(1, 3, src(6))
-	p.Broadcast("m")
+	p.Broadcast([]byte("m"))
 	for i := 0; i < 10; i++ {
 		if len(p.Tick().Broadcasts) != 1 {
 			t.Fatal("IDed URB must retransmit like Algorithm 1")
@@ -131,7 +131,7 @@ func TestBestEffortLosesAgreementUnderLoss(t *testing.T) {
 		Link:       channel.Bernoulli{P: 0.6, D: channel.FixedDelay(2)},
 		Seed:       12,
 		MaxTime:    2_000,
-		Broadcasts: []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "m"}},
+		Broadcasts: []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("m")}},
 	}).Run()
 	got := 0
 	for _, ds := range res.Deliveries {
@@ -162,7 +162,7 @@ func TestEagerRBConvergesOnReliableChannels(t *testing.T) {
 		Link:             channel.Reliable{D: channel.FixedDelay(2)},
 		Seed:             13,
 		MaxTime:          2_000,
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "m"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("m")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	rep := trace.CheckResult(res)
@@ -185,7 +185,7 @@ func TestIDedConvergesUnderLossAndCrashes(t *testing.T) {
 		Seed:             14,
 		MaxTime:          50_000,
 		CrashAt:          []sim.Time{sim.Never, sim.Never, sim.Never, sim.Never, 40},
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "m"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("m")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	rep := trace.CheckResult(res)
@@ -216,7 +216,7 @@ func TestAnonymousRBDeliverOnFirstReception(t *testing.T) {
 
 func TestAnonymousRBBroadcasterSelfDelivers(t *testing.T) {
 	p := NewAnonymousRB(src(8))
-	id, s := p.Broadcast("mine")
+	id, s := p.Broadcast([]byte("mine"))
 	if len(s.Deliveries) != 1 || s.Deliveries[0].ID != id {
 		t.Fatal("broadcaster must deliver its own message immediately")
 	}
@@ -251,7 +251,7 @@ func TestAnonymousRBCorrectAgreementUnderLoss(t *testing.T) {
 		Link:             channel.Bernoulli{P: 0.4, D: channel.UniformDelay{Min: 1, Max: 4}},
 		Seed:             41,
 		MaxTime:          100_000,
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: "rb"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("rb")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	for i, ds := range res.Deliveries {

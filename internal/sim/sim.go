@@ -64,7 +64,7 @@ type Factory func(env Env) urb.Process
 type ScheduledBroadcast struct {
 	At   Time
 	Proc int
-	Body string
+	Body []byte
 }
 
 // Observer receives run events; the trace recorder and metrics collectors
@@ -140,7 +140,7 @@ type event struct {
 	kind evKind
 	proc int
 	msg  wire.Message
-	body string
+	body []byte
 }
 
 // eventHeap orders by (at, seq).

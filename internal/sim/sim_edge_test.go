@@ -19,7 +19,7 @@ func TestEngineBroadcastFromCrashedProcSkipped(t *testing.T) {
 		Seed:             21,
 		MaxTime:          5_000,
 		CrashAt:          []Time{5, Never, Never},
-		Broadcasts:       []ScheduledBroadcast{{At: 10, Proc: 0, Body: "never-sent"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 10, Proc: 0, Body: []byte("never-sent")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	if len(res.Broadcasts) != 0 {
@@ -46,7 +46,7 @@ func TestEngineVanishedFaultySenderMessage(t *testing.T) {
 		Seed:             22,
 		MaxTime:          5_000,
 		CrashAt:          []Time{30, Never, Never, Never},
-		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: "vanishes"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("vanishes")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	if len(res.Broadcasts) != 1 {
@@ -68,7 +68,7 @@ func TestEngineObligationSurvivesSenderCrashWhenReceived(t *testing.T) {
 		Seed:             23,
 		MaxTime:          50_000,
 		CrashAt:          []Time{25, Never, Never, Never},
-		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: "outlives-sender"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("outlives-sender")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	for i := 1; i < 4; i++ {
@@ -105,7 +105,7 @@ func TestEngineTickPhasesDiffer(t *testing.T) {
 	obs := &firstSendObserver{firstSend: map[int]Time{}}
 	bcasts := make([]ScheduledBroadcast, 8)
 	for i := range bcasts {
-		bcasts[i] = ScheduledBroadcast{At: 0, Proc: i, Body: string(rune('a' + i))}
+		bcasts[i] = ScheduledBroadcast{At: 0, Proc: i, Body: []byte(string(rune('a' + i)))}
 	}
 	NewEngine(Config{
 		N:          8,
@@ -151,7 +151,7 @@ func TestEngineCrashAtTimeZero(t *testing.T) {
 		Seed:       26,
 		MaxTime:    200,
 		CrashAt:    []Time{0, Never},
-		Broadcasts: []ScheduledBroadcast{{At: 1, Proc: 1, Body: "x"}},
+		Broadcasts: []ScheduledBroadcast{{At: 1, Proc: 1, Body: []byte("x")}},
 	}).Run()
 	if !res.Crashed[0] {
 		t.Fatal("crash at 0 not applied")

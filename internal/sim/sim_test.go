@@ -36,8 +36,8 @@ func TestEngineMajorityLossless(t *testing.T) {
 		Seed:    1,
 		MaxTime: 2000,
 		Broadcasts: []ScheduledBroadcast{
-			{At: 5, Proc: 0, Body: "alpha"},
-			{At: 7, Proc: 3, Body: "beta"},
+			{At: 5, Proc: 0, Body: []byte("alpha")},
+			{At: 7, Proc: 3, Body: []byte("beta")},
 		},
 		ExpectDeliveries: 2,
 	}).Run()
@@ -67,8 +67,8 @@ func TestEngineMajorityUnderLossAndCrashes(t *testing.T) {
 		MaxTime: 3000, // no early stop: crashes must actually fire
 		CrashAt: crash,
 		Broadcasts: []ScheduledBroadcast{
-			{At: 5, Proc: 1, Body: "from-a-faulty-sender"},
-			{At: 9, Proc: 0, Body: "from-a-correct-sender"},
+			{At: 5, Proc: 1, Body: []byte("from-a-faulty-sender")},
+			{At: 9, Proc: 0, Body: []byte("from-a-correct-sender")},
 		},
 	}).Run()
 	for i := 0; i < n; i++ {
@@ -94,8 +94,8 @@ func TestEngineDeterministicReplay(t *testing.T) {
 			MaxTime: 3000,
 			CrashAt: []Time{Never, 50, Never, Never, Never},
 			Broadcasts: []ScheduledBroadcast{
-				{At: 3, Proc: 0, Body: "x"},
-				{At: 11, Proc: 2, Body: "y"},
+				{At: 3, Proc: 0, Body: []byte("x")},
+				{At: 11, Proc: 2, Body: []byte("y")},
 			},
 			ExpectDeliveries: 2,
 		}).Run()
@@ -129,8 +129,8 @@ func TestEngineQuiescentExactOracle(t *testing.T) {
 		MaxTime: 50_000,
 		CrashAt: crash,
 		Broadcasts: []ScheduledBroadcast{
-			{At: 5, Proc: 0, Body: "one"},
-			{At: 9, Proc: 3, Body: "two"},
+			{At: 5, Proc: 0, Body: []byte("one")},
+			{At: 9, Proc: 3, Body: []byte("two")},
 		},
 		StopWhenQuiet:    200,
 		ExpectDeliveries: 2,
@@ -170,7 +170,7 @@ func TestEngineQuiescentWithGSTAndNoise(t *testing.T) {
 			MaxTime: 100_000,
 			CrashAt: crash,
 			Broadcasts: []ScheduledBroadcast{
-				{At: 5, Proc: 0, Body: "pre-gst"},
+				{At: 5, Proc: 0, Body: []byte("pre-gst")},
 			},
 			StopWhenQuiet:    300,
 			ExpectDeliveries: 1,
@@ -197,7 +197,7 @@ func TestEngineMajorityNeverQuiesces(t *testing.T) {
 		Link:             channel.Reliable{D: channel.FixedDelay(1)},
 		Seed:             3,
 		MaxTime:          5000,
-		Broadcasts:       []ScheduledBroadcast{{At: 2, Proc: 0, Body: "forever"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 2, Proc: 0, Body: []byte("forever")}},
 		StopWhenQuiet:    500,
 		ExpectDeliveries: 0,
 	}).Run()
@@ -234,7 +234,7 @@ func TestEngineFastDeliverThenCrashAdversary(t *testing.T) {
 		Seed:                 11,
 		MaxTime:              50_000,
 		CrashAfterDeliveries: crashAfter,
-		Broadcasts:           []ScheduledBroadcast{{At: 5, Proc: 1, Body: "doomed-sender"}},
+		Broadcasts:           []ScheduledBroadcast{{At: 5, Proc: 1, Body: []byte("doomed-sender")}},
 		StopWhenQuiet:        200,
 		ExpectDeliveries:     1,
 	}).Run()
@@ -262,7 +262,7 @@ func TestEngineSampling(t *testing.T) {
 		Link:        channel.Reliable{D: channel.FixedDelay(1)},
 		Seed:        4,
 		MaxTime:     500,
-		Broadcasts:  []ScheduledBroadcast{{At: 2, Proc: 0, Body: "s"}},
+		Broadcasts:  []ScheduledBroadcast{{At: 2, Proc: 0, Body: []byte("s")}},
 		SampleEvery: 50,
 	}).Run()
 	if len(res.Samples) < 8 {
@@ -292,7 +292,7 @@ func TestEngineSingleProcess(t *testing.T) {
 		Link:             lossy(0.5),
 		Seed:             6,
 		MaxTime:          10_000,
-		Broadcasts:       []ScheduledBroadcast{{At: 1, Proc: 0, Body: "solo"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 1, Proc: 0, Body: []byte("solo")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	if len(res.Deliveries[0]) != 1 {
@@ -326,7 +326,7 @@ func TestEngineObserverPlumbing(t *testing.T) {
 		Seed:             8,
 		MaxTime:          5000,
 		CrashAt:          []Time{Never, Never, 100},
-		Broadcasts:       []ScheduledBroadcast{{At: 2, Proc: 0, Body: "watch"}},
+		Broadcasts:       []ScheduledBroadcast{{At: 2, Proc: 0, Body: []byte("watch")}},
 		Observers:        []Observer{obs},
 		ExpectDeliveries: 1,
 	}).Run()
@@ -367,7 +367,7 @@ func TestEngineConfigValidation(t *testing.T) {
 	})
 	mustPanic("BroadcastProc", func() {
 		NewEngine(Config{N: 1, Factory: okFactory, Link: link,
-			Broadcasts: []ScheduledBroadcast{{At: 1, Proc: 9, Body: "x"}}})
+			Broadcasts: []ScheduledBroadcast{{At: 1, Proc: 9, Body: []byte("x")}}})
 	})
 }
 

@@ -31,13 +31,15 @@ type jsonTag struct {
 func toJSONTag(t ident.Tag) jsonTag   { return jsonTag{Hi: t.Hi, Lo: t.Lo} }
 func fromJSONTag(t jsonTag) ident.Tag { return ident.Tag{Hi: t.Hi, Lo: t.Lo} }
 
-// jsonEvent serialises an Event.
+// jsonEvent serialises an Event. Body is a byte slice so that JSON
+// encoding (base64) round-trips arbitrary payload bytes — a plain JSON
+// string would mangle non-UTF-8 payloads into U+FFFD.
 type jsonEvent struct {
 	At      int64     `json:"at"`
 	Kind    uint8     `json:"kind"`
 	Proc    int       `json:"proc"`
 	Dst     int       `json:"dst,omitempty"`
-	Body    string    `json:"body,omitempty"`
+	Body    []byte    `json:"body,omitempty"`
 	Tag     jsonTag   `json:"tag,omitempty"`
 	MsgKind uint8     `json:"mk,omitempty"`
 	AckTag  jsonTag   `json:"ack,omitempty"`
@@ -46,7 +48,18 @@ type jsonEvent struct {
 	Fast    bool      `json:"fast,omitempty"`
 }
 
-const fileVersion = 1
+// fileVersion 2: the body field became base64-encoded bytes (arbitrary
+// payloads); version 1 stored it as a JSON string and cannot represent
+// non-UTF-8 bodies. Write emits version 2; Read also accepts version 1
+// (old bodies are valid JSON strings and convert losslessly).
+const fileVersion = 2
+
+// jsonEventV1 reads a version-1 event: identical layout except the body
+// is a plain JSON string.
+type jsonEventV1 struct {
+	jsonEvent
+	Body string `json:"body,omitempty"`
+}
 
 // Write streams a header and events to w.
 func Write(w io.Writer, n int, crashed []bool, events []Event) error {
@@ -62,7 +75,7 @@ func Write(w io.Writer, n int, crashed []bool, events []Event) error {
 		}
 		switch e.Kind {
 		case KindBroadcast, KindDeliver:
-			je.Body = e.ID.Body
+			je.Body = e.ID.Bytes()
 			je.Tag = toJSONTag(e.ID.Tag)
 		case KindSend, KindReceive:
 			je.Body = e.Msg.Body
@@ -91,7 +104,7 @@ func Read(r io.Reader) (Header, []Event, error) {
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
 		return Header{}, nil, fmt.Errorf("trace: bad header: %w", err)
 	}
-	if h.Version != fileVersion {
+	if h.Version != fileVersion && h.Version != 1 {
 		return Header{}, nil, fmt.Errorf("trace: unsupported version %d", h.Version)
 	}
 	if h.N < 1 || len(h.Crashed) != h.N {
@@ -103,7 +116,15 @@ func Read(r io.Reader) (Header, []Event, error) {
 	for sc.Scan() {
 		line++
 		var je jsonEvent
-		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+		if h.Version == 1 {
+			// v1 stored the body as a plain JSON string; convert.
+			var v1 jsonEventV1
+			if err := json.Unmarshal(sc.Bytes(), &v1); err != nil {
+				return Header{}, nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			je = v1.jsonEvent
+			je.Body = []byte(v1.Body)
+		} else if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
 			return Header{}, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		e := Event{
@@ -112,7 +133,7 @@ func Read(r io.Reader) (Header, []Event, error) {
 		}
 		switch e.Kind {
 		case KindBroadcast, KindDeliver:
-			e.ID = wire.MsgID{Tag: fromJSONTag(je.Tag), Body: je.Body}
+			e.ID = wire.NewMsgID(fromJSONTag(je.Tag), je.Body)
 		case KindSend, KindReceive:
 			e.Msg = wire.Message{
 				Kind: wire.Kind(je.MsgKind), Body: je.Body,

@@ -64,9 +64,9 @@ func TestTraceReadErrors(t *testing.T) {
 		{"empty", "", "empty"},
 		{"garbage header", "not json\n", "bad header"},
 		{"bad version", `{"version":9,"n":1,"crashed":[false]}` + "\n", "version"},
-		{"inconsistent", `{"version":1,"n":2,"crashed":[false]}` + "\n", "inconsistent"},
-		{"bad event", `{"version":1,"n":1,"crashed":[false]}` + "\nnope\n", "line 2"},
-		{"bad kind", `{"version":1,"n":1,"crashed":[false]}` + "\n" + `{"kind":99}` + "\n", "unknown kind"},
+		{"inconsistent", `{"version":2,"n":2,"crashed":[false]}` + "\n", "inconsistent"},
+		{"bad event", `{"version":2,"n":1,"crashed":[false]}` + "\nnope\n", "line 2"},
+		{"bad kind", `{"version":2,"n":1,"crashed":[false]}` + "\n" + `{"kind":99}` + "\n", "unknown kind"},
 	}
 	for _, c := range cases {
 		_, _, err := Read(strings.NewReader(c.data))
@@ -89,7 +89,7 @@ func TestTraceRoundTripCheckerAgrees(t *testing.T) {
 		Link:             channel.Bernoulli{P: 0.2, D: channel.UniformDelay{Min: 1, Max: 4}},
 		Seed:             31,
 		MaxTime:          20_000,
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: "io"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: []byte("io")}},
 		Observers:        []sim.Observer{rec},
 		ExpectDeliveries: 1,
 	}).Run()
@@ -122,7 +122,7 @@ func TestWriteResultWithoutRecorder(t *testing.T) {
 		Link:             channel.Reliable{D: channel.FixedDelay(1)},
 		Seed:             32,
 		MaxTime:          5_000,
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: "x"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: []byte("x")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	var buf bytes.Buffer

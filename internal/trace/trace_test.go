@@ -218,7 +218,7 @@ func TestRecorderEndToEnd(t *testing.T) {
 		Seed:             13,
 		MaxTime:          20_000,
 		CrashAt:          []sim.Time{sim.Never, sim.Never, sim.Never, 60},
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: "hello"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 0, Body: []byte("hello")}},
 		Observers:        []sim.Observer{rec},
 		ExpectDeliveries: 1,
 	}).Run()
@@ -249,7 +249,7 @@ func TestCheckResultConvenience(t *testing.T) {
 		Link:             channel.Reliable{D: channel.FixedDelay(1)},
 		Seed:             14,
 		MaxTime:          5000,
-		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 1, Body: "x"}},
+		Broadcasts:       []sim.ScheduledBroadcast{{At: 3, Proc: 1, Body: []byte("x")}},
 		ExpectDeliveries: 1,
 	}).Run()
 	rep := CheckResult(res)

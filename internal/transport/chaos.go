@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/xrand"
+)
+
+// ChaosConfig parameterises a Chaos wrapper.
+type ChaosConfig struct {
+	// Model judges every outbound frame (required). Per-link state
+	// (burst state, attempt counters) is tracked exactly as the
+	// simulator's mesh tracks it. The wrapper presents itself to the
+	// model as the single directed link (Src, Dst): index-independent
+	// models (Bernoulli, GilbertElliott, DropFirst, Reliable) behave
+	// exactly as in the simulator, while index-dependent models
+	// (Partition, SlowSink, Script) see only that one link — set Src and
+	// Dst to the indices you want the wrapper to impersonate, or use
+	// Mesh for true per-destination behaviour.
+	Model channel.LinkModel
+	// Src and Dst are the link identity reported to the model for every
+	// frame. Default 0,0.
+	Src, Dst int
+	// Unit converts the model's abstract delay units into wall-clock
+	// time. Defaults to 1ms.
+	Unit time.Duration
+	// Seed drives the model's randomness.
+	Seed uint64
+}
+
+// Chaos wraps another Transport and applies a channel.LinkModel to every
+// outbound frame: the model may drop the frame or delay it before it
+// reaches the inner transport. This turns any transport — including real
+// UDP sockets — into a reproduction of a simulator loss scenario.
+//
+// The model judges each frame once, before fan-out, as the single
+// directed link (cfg.Src, cfg.Dst): a dropped frame is lost towards
+// every destination, which is a legal (if bursty) fair lossy channel as
+// long as the model itself is fair. Per-destination independent loss —
+// and the full index-dependent behaviour of models like Partition or
+// SlowSink — is what Mesh provides; wrap each node's transport in its
+// own Chaos (distinct seeds) to decorrelate senders.
+type Chaos struct {
+	inner Transport
+	cfg   ChaosConfig
+	start time.Time
+
+	judgeMu sync.Mutex
+	net     *channel.Network // holds the one link's attempt counters + burst state
+
+	closed atomic.Bool
+	drops  atomic.Uint64
+	sends  atomic.Uint64
+}
+
+var _ Transport = (*Chaos)(nil)
+
+// NewChaos wraps inner with the given loss model.
+func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
+	if inner == nil {
+		panic("transport: chaos inner transport is required")
+	}
+	if cfg.Model == nil {
+		panic("transport: chaos Model is required")
+	}
+	if cfg.Unit <= 0 {
+		cfg.Unit = time.Millisecond
+	}
+	if cfg.Src < 0 || cfg.Dst < 0 {
+		panic("transport: chaos Src/Dst must be >= 0")
+	}
+	// The mesh is sized just large enough to contain the impersonated
+	// link; only that one link is ever used.
+	n := cfg.Src + 1
+	if cfg.Dst >= n {
+		n = cfg.Dst + 1
+	}
+	return &Chaos{
+		inner: inner,
+		cfg:   cfg,
+		start: time.Now(),
+		net:   channel.NewNetwork(n, cfg.Model, xrand.SplitLabeled(cfg.Seed, "chaos")),
+	}
+}
+
+// Send implements Transport: judge the frame, then drop it, forward it
+// at once, or forward it after the model's delay.
+func (c *Chaos) Send(frame []byte) {
+	if c.closed.Load() {
+		return
+	}
+	c.sends.Add(1)
+	now := int64(time.Since(c.start) / c.cfg.Unit)
+	c.judgeMu.Lock()
+	v := c.net.Send(now, c.cfg.Src, c.cfg.Dst, len(frame))
+	c.judgeMu.Unlock()
+	if v.Drop {
+		c.drops.Add(1)
+		return
+	}
+	if v.Delay <= 0 {
+		c.inner.Send(frame)
+		return
+	}
+	time.AfterFunc(time.Duration(v.Delay)*c.cfg.Unit, func() {
+		if !c.closed.Load() {
+			c.inner.Send(frame)
+		}
+	})
+}
+
+// Receive implements Transport: inbound frames pass through untouched.
+func (c *Chaos) Receive() <-chan []byte { return c.inner.Receive() }
+
+// Close implements Transport: closes the wrapped transport.
+func (c *Chaos) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return c.inner.Close()
+}
+
+// Stats returns (frames judged, frames dropped) by the model so far.
+func (c *Chaos) Stats() (sends, drops uint64) {
+	return c.sends.Load(), c.drops.Load()
+}
+
+// String describes the wrapper.
+func (c *Chaos) String() string {
+	return fmt.Sprintf("chaos(%s)->%v", c.cfg.Model, c.inner)
+}

@@ -1,0 +1,268 @@
+package transport_test
+
+// The transport conformance suite: every Transport implementation must
+// deliver frames to all endpoints (under loss, given retransmission),
+// honour the Close contract, leak no goroutines, and carry frames
+// byte-for-byte (wire codec canonicality). It runs against Mesh (lossy
+// and reliable), UDP over loopback, and Chaos wrapping each of them.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/transport"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// fixture builds a connected group of n transports plus a cleanup.
+type fixture struct {
+	name string
+	make func(t *testing.T, n int) ([]transport.Transport, func())
+}
+
+func meshGroup(link channel.LinkModel) func(t *testing.T, n int) ([]transport.Transport, func()) {
+	return func(t *testing.T, n int) ([]transport.Transport, func()) {
+		t.Helper()
+		m := transport.NewMesh(transport.MeshConfig{
+			N: n, Link: link, Unit: 100 * time.Microsecond, Seed: 11,
+		})
+		trs := make([]transport.Transport, n)
+		for i := range trs {
+			trs[i] = m.Endpoint(i)
+		}
+		return trs, func() { m.Close() }
+	}
+}
+
+func udpGroup() func(t *testing.T, n int) ([]transport.Transport, func()) {
+	return func(t *testing.T, n int) ([]transport.Transport, func()) {
+		t.Helper()
+		group, err := transport.UDPGroup(n, 0)
+		if err != nil {
+			t.Fatalf("udp group: %v", err)
+		}
+		trs := make([]transport.Transport, n)
+		for i := range trs {
+			trs[i] = group[i]
+		}
+		return trs, func() {
+			for _, u := range group {
+				u.Close()
+			}
+		}
+	}
+}
+
+// chaosOver wraps every member of an inner fixture in its own Chaos
+// transport (distinct seeds decorrelate the senders).
+func chaosOver(inner func(t *testing.T, n int) ([]transport.Transport, func()), model channel.LinkModel) func(t *testing.T, n int) ([]transport.Transport, func()) {
+	return func(t *testing.T, n int) ([]transport.Transport, func()) {
+		t.Helper()
+		trs, cleanup := inner(t, n)
+		out := make([]transport.Transport, n)
+		for i := range trs {
+			out[i] = transport.NewChaos(trs[i], transport.ChaosConfig{
+				Model: model,
+				Unit:  100 * time.Microsecond,
+				Seed:  uint64(100 + i),
+			})
+		}
+		return out, cleanup
+	}
+}
+
+func fixtures() []fixture {
+	lossy := channel.Bernoulli{P: 0.2, D: channel.UniformDelay{Min: 0, Max: 3}}
+	reliable := channel.Reliable{D: channel.FixedDelay(0)}
+	return []fixture{
+		{name: "mesh-reliable", make: meshGroup(reliable)},
+		{name: "mesh-lossy", make: meshGroup(lossy)},
+		{name: "udp", make: udpGroup()},
+		{name: "chaos-mesh", make: chaosOver(meshGroup(reliable), lossy)},
+		{name: "chaos-udp", make: chaosOver(udpGroup(), lossy)},
+	}
+}
+
+// testFrame returns the canonical encoding of a distinctive message,
+// with arbitrary (non-UTF-8, zero-byte-containing) payload bytes.
+func testFrame(seq uint64) ([]byte, wire.Message) {
+	m := wire.Message{
+		Kind: wire.KindMsg,
+		Body: []byte{0xff, 0x00, 0xfe, byte(seq), byte(seq >> 8)},
+		Tag:  ident.Tag{Hi: 0xdead, Lo: seq + 1},
+	}
+	return m.Encode(nil), m
+}
+
+// TestConformanceBroadcastReachesAll: a frame retransmitted forever
+// reaches every endpoint, including the sender itself — the fair lossy
+// channel contract every algorithm in this repository is built on.
+func TestConformanceBroadcastReachesAll(t *testing.T) {
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			const n = 3
+			trs, cleanup := fx.make(t, n)
+			defer cleanup()
+
+			frame, want := testFrame(7)
+			got := make(chan int, n)
+			for i := 0; i < n; i++ {
+				i := i
+				go func() {
+					for raw := range trs[i].Receive() {
+						m, err := wire.Decode(raw)
+						if err != nil {
+							t.Errorf("endpoint %d: undecodable frame: %v", i, err)
+							return
+						}
+						if m.Equal(want) {
+							got <- i
+							return
+						}
+					}
+				}()
+			}
+
+			// Retransmit until everyone has it (Task-1 style).
+			deadline := time.After(10 * time.Second)
+			seen := make(map[int]bool)
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for len(seen) < n {
+				select {
+				case i := <-got:
+					seen[i] = true
+				case <-tick.C:
+					trs[0].Send(frame)
+				case <-deadline:
+					t.Fatalf("only %d/%d endpoints received the frame", len(seen), n)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceCloseSemantics: Close is idempotent, closes the
+// Receive channel, and turns Send into a no-op.
+func TestConformanceCloseSemantics(t *testing.T) {
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			trs, cleanup := fx.make(t, 2)
+			defer cleanup()
+
+			frame, _ := testFrame(1)
+			if err := trs[0].Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := trs[0].Close(); err != nil {
+				t.Fatalf("second close: %v", err)
+			}
+			trs[0].Send(frame) // must not panic
+
+			// The receive channel must close (buffered frames may drain
+			// first).
+			deadline := time.After(5 * time.Second)
+			for {
+				select {
+				case _, ok := <-trs[0].Receive():
+					if !ok {
+						return
+					}
+				case <-deadline:
+					t.Fatal("receive channel did not close")
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceNoGoroutineLeak: building and closing a group leaves no
+// goroutines behind.
+func TestConformanceNoGoroutineLeak(t *testing.T) {
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			for round := 0; round < 3; round++ {
+				trs, cleanup := fx.make(t, 3)
+				frame, _ := testFrame(uint64(round))
+				for _, tr := range trs {
+					tr.Send(frame)
+				}
+				for _, tr := range trs {
+					tr.Close()
+				}
+				cleanup()
+			}
+			// Timers and readers need a moment to unwind.
+			var after int
+			for i := 0; i < 50; i++ {
+				time.Sleep(10 * time.Millisecond)
+				after = runtime.NumGoroutine()
+				if after <= before {
+					return
+				}
+			}
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		})
+	}
+}
+
+// TestConformanceFrameCanonicality: frames cross every transport
+// byte-for-byte — whatever arrives decodes (via the canonical codec) to
+// exactly the message that was sent, for MSG, ACK-with-labels and BEAT
+// kinds, including empty and non-UTF-8 bodies.
+func TestConformanceFrameCanonicality(t *testing.T) {
+	rng := xrand.New(99)
+	tags := ident.NewSource(rng)
+	msgs := []wire.Message{
+		wire.NewMsg(wire.NewMsgID(tags.Next(), []byte{0x80, 0x81, 0x00})),
+		wire.NewMsg(wire.NewMsgID(tags.Next(), nil)), // empty body
+		wire.NewLabeledAck(wire.NewMsgID(tags.Next(), []byte("plain")),
+			tags.Next(), []ident.Tag{tags.Next(), tags.Next()}),
+		wire.NewBeat(tags.Next()),
+	}
+	for _, fx := range fixtures() {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			trs, cleanup := fx.make(t, 2)
+			defer cleanup()
+
+			for wi, want := range msgs {
+				frame := want.Encode(nil)
+				deadline := time.After(10 * time.Second)
+				tick := time.NewTicker(2 * time.Millisecond)
+				found := false
+				for !found {
+					select {
+					case raw, ok := <-trs[1].Receive():
+						if !ok {
+							t.Fatalf("msg %d: receive channel closed", wi)
+						}
+						m, err := wire.Decode(raw)
+						if err != nil {
+							t.Fatalf("msg %d: corrupt frame on the wire: %v", wi, err)
+						}
+						if m.Equal(want) {
+							found = true
+						}
+					case <-tick.C:
+						trs[0].Send(frame)
+					case <-deadline:
+						t.Fatalf("msg %d (%s) never arrived", wi, want)
+					}
+				}
+				tick.Stop()
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/xrand"
+)
+
+// MeshConfig describes an in-process mesh of N endpoints.
+type MeshConfig struct {
+	// N is the number of endpoints (processes).
+	N int
+	// Link is the loss/delay model applied to every directed link,
+	// including each endpoint's self-link (required).
+	Link channel.LinkModel
+	// Unit converts the link model's abstract delay units into wall-clock
+	// time. Defaults to 1ms.
+	Unit time.Duration
+	// Seed drives the link randomness.
+	Seed uint64
+	// InboxDepth bounds each endpoint's inbound frame queue; a full queue
+	// drops frames (legal: the network is lossy anyway). Defaults to 1024.
+	InboxDepth int
+}
+
+// Mesh is the in-process transport: N endpoints joined by an n×n mesh of
+// fair lossy links (channel.Network), link delays realised with real
+// timers. It is the Transport the live cluster runtime runs on, and the
+// live counterpart of the deterministic simulator's network.
+type Mesh struct {
+	cfg   MeshConfig
+	start time.Time
+
+	netMu sync.Mutex
+	net   *channel.Network
+
+	eps    []*meshEndpoint
+	closed atomic.Bool
+
+	lastSend atomic.Int64 // elapsed units of the most recent send
+	sends    atomic.Uint64
+	drops    atomic.Uint64
+}
+
+// meshEndpoint is one node's handle on the mesh.
+type meshEndpoint struct {
+	mesh  *Mesh
+	index int
+
+	mu     sync.Mutex // guards inbox close against in-flight timer offers
+	closed bool
+	inbox  chan []byte
+}
+
+var _ Transport = (*meshEndpoint)(nil)
+
+// NewMesh builds a mesh. Endpoints are retrieved with Endpoint.
+func NewMesh(cfg MeshConfig) *Mesh {
+	if cfg.N < 1 {
+		panic("transport: mesh N must be >= 1")
+	}
+	if cfg.Link == nil {
+		panic("transport: mesh Link is required")
+	}
+	if cfg.Unit <= 0 {
+		cfg.Unit = time.Millisecond
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 1024
+	}
+	m := &Mesh{
+		cfg:   cfg,
+		start: time.Now(),
+		net:   channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "mesh-net")),
+		eps:   make([]*meshEndpoint, cfg.N),
+	}
+	for i := range m.eps {
+		m.eps[i] = &meshEndpoint{
+			mesh:  m,
+			index: i,
+			inbox: make(chan []byte, cfg.InboxDepth),
+		}
+	}
+	return m
+}
+
+// N returns the number of endpoints.
+func (m *Mesh) N() int { return m.cfg.N }
+
+// Endpoint returns endpoint i's Transport. Closing it detaches that
+// endpoint only (its peers keep running); Close on the mesh closes all.
+func (m *Mesh) Endpoint(i int) Transport { return m.eps[i] }
+
+// ElapsedUnits returns the mesh age in link-delay units (the live
+// counterpart of the simulator's virtual clock, e.g. for failure
+// detector handles).
+func (m *Mesh) ElapsedUnits() int64 {
+	return int64(time.Since(m.start) / m.cfg.Unit)
+}
+
+// QuietFor reports whether no endpoint has sent for at least d.
+func (m *Mesh) QuietFor(d time.Duration) bool {
+	quietUnits := int64(d / m.cfg.Unit)
+	return m.ElapsedUnits()-m.lastSend.Load() >= quietUnits
+}
+
+// Stats returns (copies offered, copies dropped) so far. A broadcast of
+// one frame offers N copies, one per directed link.
+func (m *Mesh) Stats() (sends, drops uint64) {
+	return m.sends.Load(), m.drops.Load()
+}
+
+// Close closes every endpoint. Idempotent.
+func (m *Mesh) Close() error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, ep := range m.eps {
+		ep.Close()
+	}
+	return nil
+}
+
+// String describes the mesh.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh(n=%d, link=%s, unit=%s)", m.cfg.N, m.cfg.Link, m.cfg.Unit)
+}
+
+// broadcast offers one frame to every directed link out of src;
+// surviving copies arrive later on the destinations' inboxes. The frame
+// slice is shared across destinations, which is safe because receivers
+// treat frames as read-only (the node layer decodes by copy).
+func (m *Mesh) broadcast(src int, frame []byte) {
+	if m.closed.Load() {
+		return
+	}
+	now := m.ElapsedUnits()
+	m.lastSend.Store(now)
+	for dst := 0; dst < m.cfg.N; dst++ {
+		m.netMu.Lock()
+		v := m.net.Send(now, src, dst, len(frame))
+		m.netMu.Unlock()
+		m.sends.Add(1)
+		if v.Drop {
+			m.drops.Add(1)
+			continue
+		}
+		target := m.eps[dst]
+		delay := time.Duration(v.Delay) * m.cfg.Unit
+		if delay <= 0 {
+			target.deliver(frame)
+			continue
+		}
+		time.AfterFunc(delay, func() { target.deliver(frame) })
+	}
+}
+
+// deliver hands a frame to the endpoint's inbox unless it is closed; a
+// full inbox drops the frame (counted as a mesh drop).
+func (e *meshEndpoint) deliver(frame []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.mesh.closed.Load() {
+		return
+	}
+	if !offer(e.inbox, frame) {
+		e.mesh.drops.Add(1)
+	}
+}
+
+// Send implements Transport.
+func (e *meshEndpoint) Send(frame []byte) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	e.mesh.broadcast(e.index, frame)
+}
+
+// Receive implements Transport.
+func (e *meshEndpoint) Receive() <-chan []byte { return e.inbox }
+
+// Close implements Transport: the endpoint stops sending and its frame
+// channel is closed after any buffered frames are drained by the reader.
+func (e *meshEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.inbox)
+	}
+	return nil
+}

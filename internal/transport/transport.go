@@ -1,0 +1,61 @@
+// Package transport defines the communication substrate a node runs on:
+// a Transport carries encoded wire frames (see internal/wire) from one
+// node to every node in the system, including the sender itself — the
+// paper's anonymous broadcast primitive.
+//
+// Three implementations ship with the repository:
+//
+//   - Mesh: N in-process endpoints over the simulator's channel.LinkModel
+//     mesh (internal/channel), delays realised with real timers. This is
+//     what the live cluster runtime (internal/liverun) runs on.
+//   - UDP: real sockets. UDP datagrams are unreliable, unordered and
+//     unduplicated-by-assumption — a fair lossy channel out of the box.
+//   - Chaos: a wrapper applying any channel.LinkModel (Bernoulli,
+//     Gilbert–Elliott, DropFirst, …) to another transport, so every
+//     simulator loss scenario can be replayed against real sockets.
+//
+// Transports carry opaque frames; they never inspect the payload. The
+// node layer (internal/node) encodes and decodes wire.Message values at
+// the boundary, so a frame on any transport is the canonical codec form
+// and corrupt frames are rejected by wire.Decode, never delivered.
+package transport
+
+// Transport carries encoded wire frames between one node and all nodes
+// of the system (including the sender: the broadcast primitive is
+// self-inclusive, and the self-link is as lossy as any other).
+//
+// Semantics:
+//
+//   - Send enqueues one frame for broadcast and returns without waiting
+//     for delivery. The transport takes ownership of the slice; the
+//     caller must not modify it afterwards. Frames may be dropped,
+//     delayed and reordered arbitrarily — every transport here is at
+//     most fair lossy, and the algorithms are built for exactly that.
+//   - Receive returns the inbound frame channel. Received frames are
+//     READ-ONLY and may be shared between receivers (the mesh hands the
+//     same slice to every endpoint); consumers must decode by copy and
+//     never mutate a frame (wire.Decode already copies). The channel is
+//     closed after Close; ranging over it terminates.
+//   - Close releases the transport's resources. It is idempotent. After
+//     Close, Send is a silent no-op (a closed endpoint is
+//     indistinguishable from a crashed one).
+//
+// Implementations must make Send and Close safe to call concurrently
+// with each other and with channel receives.
+type Transport interface {
+	Send(frame []byte)
+	Receive() <-chan []byte
+	Close() error
+}
+
+// offer pushes a frame into an inbox without blocking; a full inbox
+// drops the frame, which the fair lossy channel model permits. It
+// reports whether the frame was accepted.
+func offer(inbox chan []byte, frame []byte) bool {
+	select {
+	case inbox <- frame:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxUDPFrame is the largest frame a UDP transport sends or receives:
+// the real IPv4 UDP payload ceiling (65535 - 8 UDP - 20 IP header
+// bytes). With the wire codec's MaxBody, worst-case MSG frames always
+// fit, and worst-case labeled ACK frames fit for systems up to ~250
+// processes; beyond that, oversized ACKs count as permanent channel
+// loss (see Send), which violates fairness — keep payloads small in
+// very large systems.
+const MaxUDPFrame = 65507
+
+// UDP is a Transport over real UDP sockets. Each node owns one socket;
+// Send writes the frame as one datagram to every peer address (the node
+// itself included — the broadcast primitive is self-inclusive, so the
+// peer set must contain the local address).
+//
+// UDP is fair lossy out of the box: datagrams may be dropped, reordered
+// or delayed by the network stack, and a datagram retransmitted forever
+// eventually gets through on any functioning path. Nothing in this
+// repository assumes more.
+type UDP struct {
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	peers []*net.UDPAddr
+
+	inbox     chan []byte
+	closed    atomic.Bool
+	done      chan struct{}
+	oversized atomic.Uint64
+}
+
+var _ Transport = (*UDP)(nil)
+
+// ListenUDP binds a UDP socket on addr (e.g. "127.0.0.1:0") and starts
+// its reader. Peers must be set with SetPeers before the first Send.
+// depth bounds the inbound frame queue (<=0 means 1024).
+func ListenUDP(addr string, depth int) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	if depth <= 0 {
+		depth = 1024
+	}
+	u := &UDP{
+		conn:  conn,
+		inbox: make(chan []byte, depth),
+		done:  make(chan struct{}),
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound address (with the concrete port when the
+// listen address asked for :0).
+func (u *UDP) LocalAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetPeers replaces the broadcast peer set. Include the local address:
+// the URB broadcast primitive delivers to the sender too.
+func (u *UDP) SetPeers(peers ...*net.UDPAddr) {
+	cp := append([]*net.UDPAddr(nil), peers...)
+	u.mu.Lock()
+	u.peers = cp
+	u.mu.Unlock()
+}
+
+// readLoop pumps datagrams into the inbox until the socket closes.
+func (u *UDP) readLoop() {
+	defer close(u.inbox)
+	buf := make([]byte, MaxUDPFrame)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			if u.closed.Load() || errors.Is(err, net.ErrClosed) {
+				// Deliberate Close: the endpoint is gone.
+				close(u.done)
+				return
+			}
+			// Transient read error (e.g. ICMP port-unreachable surfaced
+			// as a read error on some platforms when a peer dies): treat
+			// it as channel loss and keep reading — one crashed peer
+			// must not kill the survivors' transports.
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		// A full inbox drops the frame, like any lossy channel.
+		offer(u.inbox, frame)
+	}
+}
+
+// Send implements Transport: one datagram per peer. Write errors are
+// treated as channel loss. Frames over MaxUDPFrame cannot travel as one
+// datagram and are dropped (counted in Oversized); the wire codec's
+// MaxBody keeps protocol frames below that for any realistic label-set
+// size (labels are one per process), so this only fires for
+// non-protocol traffic or pathological systems.
+func (u *UDP) Send(frame []byte) {
+	if u.closed.Load() {
+		return
+	}
+	if len(frame) > MaxUDPFrame {
+		u.oversized.Add(1)
+		return
+	}
+	u.mu.Lock()
+	peers := u.peers
+	u.mu.Unlock()
+	for _, p := range peers {
+		_, _ = u.conn.WriteToUDP(frame, p)
+	}
+}
+
+// Receive implements Transport.
+func (u *UDP) Receive() <-chan []byte { return u.inbox }
+
+// Oversized reports how many frames Send refused because they exceeded
+// MaxUDPFrame.
+func (u *UDP) Oversized() uint64 { return u.oversized.Load() }
+
+// Close implements Transport: closes the socket and waits for the
+// reader to finish (so no goroutine outlives Close).
+func (u *UDP) Close() error {
+	if !u.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := u.conn.Close()
+	<-u.done
+	return err
+}
+
+// String describes the transport.
+func (u *UDP) String() string {
+	u.mu.Lock()
+	peers := len(u.peers)
+	u.mu.Unlock()
+	return fmt.Sprintf("udp(%s, %d peers)", u.conn.LocalAddr(), peers)
+}
+
+// UDPGroup binds n loopback sockets and wires each one's peer set to the
+// whole group (self included): a ready-to-use n-process cluster over
+// real sockets. Closing any member detaches it; close all when done.
+func UDPGroup(n, depth int) ([]*UDP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: UDPGroup n must be >= 1")
+	}
+	group := make([]*UDP, 0, n)
+	addrs := make([]*net.UDPAddr, 0, n)
+	for i := 0; i < n; i++ {
+		u, err := ListenUDP("127.0.0.1:0", depth)
+		if err != nil {
+			for _, g := range group {
+				g.Close()
+			}
+			return nil, err
+		}
+		group = append(group, u)
+		addrs = append(addrs, u.LocalAddr())
+	}
+	for _, u := range group {
+		u.SetPeers(addrs...)
+	}
+	return group, nil
+}

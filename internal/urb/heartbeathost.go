@@ -67,7 +67,7 @@ func (h *HeartbeatHost) Detector() *fd.Heartbeat { return h.hb }
 func (h *HeartbeatHost) BeatsSent() uint64 { return h.beatsSent }
 
 // Broadcast implements Process.
-func (h *HeartbeatHost) Broadcast(body string) (wire.MsgID, Step) {
+func (h *HeartbeatHost) Broadcast(body []byte) (wire.MsgID, Step) {
 	return h.inner.Broadcast(body)
 }
 

@@ -70,9 +70,9 @@ func NewMajorityThreshold(n, threshold int, tags *ident.Source, cfg Config) *Maj
 // Broadcast implements URB_broadcast(m) (lines 4-6): draw a fresh tag,
 // insert (m, tag) into MSG_i. Transmission happens in Task 1 (or
 // immediately under the EagerFirstSend ablation).
-func (p *Majority) Broadcast(body string) (wire.MsgID, Step) {
+func (p *Majority) Broadcast(body []byte) (wire.MsgID, Step) {
 	var out Step
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
 	if p.cfg.EagerFirstSend {

@@ -1,6 +1,7 @@
 package urb
 
 import (
+	"bytes"
 	"testing"
 
 	"anonurb/internal/ident"
@@ -15,7 +16,7 @@ func newMaj(t *testing.T, n int, cfg Config) *Majority {
 
 func TestMajorityBroadcastFillsMsgSet(t *testing.T) {
 	p := newMaj(t, 5, Config{})
-	_, s := p.Broadcast("hello")
+	_, s := p.Broadcast([]byte("hello"))
 	if len(s.Broadcasts) != 0 {
 		t.Fatal("paper-faithful mode must not transmit from URB_broadcast")
 	}
@@ -26,14 +27,14 @@ func TestMajorityBroadcastFillsMsgSet(t *testing.T) {
 	if len(tick.Broadcasts) != 1 || tick.Broadcasts[0].Kind != wire.KindMsg {
 		t.Fatalf("Task 1 should emit exactly the MSG, got %v", tick.Broadcasts)
 	}
-	if tick.Broadcasts[0].Body != "hello" {
+	if !bytes.Equal(tick.Broadcasts[0].Body, []byte("hello")) {
 		t.Fatalf("body %q", tick.Broadcasts[0].Body)
 	}
 }
 
 func TestMajorityEagerFirstSend(t *testing.T) {
 	p := newMaj(t, 5, Config{EagerFirstSend: true})
-	_, s := p.Broadcast("now")
+	_, s := p.Broadcast([]byte("now"))
 	if len(s.Broadcasts) != 1 || s.Broadcasts[0].Kind != wire.KindMsg {
 		t.Fatal("eager mode must transmit immediately")
 	}
@@ -130,7 +131,7 @@ func TestMajorityFastDeliveryFlag(t *testing.T) {
 
 func TestMajorityNonQuiescent(t *testing.T) {
 	p := newMaj(t, 3, Config{})
-	_, _ = p.Broadcast("m1")
+	_, _ = p.Broadcast([]byte("m1"))
 	p.Receive(wire.NewMsg(wire.MsgID{Tag: ident.Tag{Hi: 5, Lo: 5}, Body: "m2"}))
 	for i := 0; i < 50; i++ {
 		s := p.Tick()
@@ -145,7 +146,7 @@ func TestMajorityNonQuiescent(t *testing.T) {
 
 func TestMajorityIgnoresForeignKinds(t *testing.T) {
 	p := newMaj(t, 3, Config{})
-	s := p.Receive(wire.Message{Kind: wire.Kind(99), Body: "junk", Tag: ident.Tag{Hi: 1}})
+	s := p.Receive(wire.Message{Kind: wire.Kind(99), Body: []byte("junk"), Tag: ident.Tag{Hi: 1}})
 	if len(s.Broadcasts)+len(s.Deliveries) != 0 {
 		t.Fatal("unknown kinds must be ignored")
 	}
@@ -249,7 +250,7 @@ func TestMajorityCheckOnTick(t *testing.T) {
 
 func TestMajorityStatsWireSent(t *testing.T) {
 	p := newMaj(t, 3, Config{})
-	_, _ = p.Broadcast("a")
+	_, _ = p.Broadcast([]byte("a"))
 	p.Tick()
 	p.Tick()
 	if got := p.Stats().WireSent; got != 2 {

@@ -38,7 +38,7 @@ func (p *pump) absorb(i int, s Step) {
 
 // broadcast has process i URB-broadcast body.
 func (p *pump) broadcast(i int, body string) {
-	_, s := p.procs[i].Broadcast(body)
+	_, s := p.procs[i].Broadcast([]byte(body))
 	p.absorb(i, s)
 }
 

@@ -155,9 +155,9 @@ func NewQuiescent(det fd.Detector, tags *ident.Source, cfg Config) *Quiescent {
 }
 
 // Broadcast implements URB_broadcast(m) (lines 4-6).
-func (p *Quiescent) Broadcast(body string) (wire.MsgID, Step) {
+func (p *Quiescent) Broadcast(body []byte) (wire.MsgID, Step) {
 	var out Step
-	id := wire.MsgID{Tag: p.tags.Next(), Body: body}
+	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
 	if p.cfg.EagerFirstSend {

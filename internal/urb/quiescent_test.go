@@ -128,7 +128,7 @@ func TestQuiescentRetirement(t *testing.T) {
 	// claim both labels and the message is delivered, Task 1 retires it.
 	det := staticFD(fd.Pair{Label: lbl(1), Number: 2}, fd.Pair{Label: lbl(2), Number: 2})
 	p := newQui(t, det, Config{})
-	_, s := p.Broadcast("m")
+	_, s := p.Broadcast([]byte("m"))
 	id := wire.MsgID{Tag: ident.Tag{}, Body: "m"}
 	// Recover the id from the first tick's MSG.
 	s = p.Tick()
@@ -164,7 +164,7 @@ func TestQuiescentRetirement(t *testing.T) {
 func TestQuiescentRetireBeforeSendSavesARound(t *testing.T) {
 	det := staticFD(fd.Pair{Label: lbl(1), Number: 1})
 	p := newQui(t, det, Config{RetireBeforeSend: true})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1)}))
@@ -181,7 +181,7 @@ func TestQuiescentRetireBeforeSendSavesARound(t *testing.T) {
 func TestQuiescentRetirementBlockedByUncoveredPair(t *testing.T) {
 	det := staticFD(fd.Pair{Label: lbl(1), Number: 1}, fd.Pair{Label: lbl(2), Number: 1})
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	// Only lbl(1) is ever claimed; lbl(2) stays uncovered.
@@ -205,7 +205,7 @@ func TestQuiescentRetirementBlockedByForeignLabel(t *testing.T) {
 	star := fd.Normalize(fd.View{{Label: lbl(1), Number: 1}})
 	det := fd.Static{Theta: theta, Star: star}
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1), lbl(7)}))
@@ -228,7 +228,7 @@ func TestQuiescentPurgeUnblocksRetirement(t *testing.T) {
 		StarFn:  func() fd.View { return view },
 	}
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	// The crashed acker's only ACK, claiming its own label.
@@ -253,7 +253,7 @@ func TestQuiescentPurgeUnblocksRetirement(t *testing.T) {
 func TestQuiescentLateMsgDoesNotResurrect(t *testing.T) {
 	det := staticFD(fd.Pair{Label: lbl(1), Number: 1})
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1)}))
@@ -313,7 +313,7 @@ func TestQuiescentEmptyAPStarNeverRetires(t *testing.T) {
 		Star:  nil,
 	}
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("m")
+	_, _ = p.Broadcast([]byte("m"))
 	s := p.Tick()
 	id := s.Broadcasts[0].ID()
 	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1)}))
@@ -327,7 +327,7 @@ func TestQuiescentEmptyAPStarNeverRetires(t *testing.T) {
 
 func TestQuiescentIgnoresForeignKinds(t *testing.T) {
 	p := newQui(t, staticFD(), Config{})
-	s := p.Receive(wire.Message{Kind: wire.Kind(42), Body: "junk", Tag: ident.Tag{Hi: 1}})
+	s := p.Receive(wire.Message{Kind: wire.Kind(42), Body: []byte("junk"), Tag: ident.Tag{Hi: 1}})
 	if len(s.Broadcasts)+len(s.Deliveries) != 0 {
 		t.Fatal("unknown kinds must be ignored")
 	}
@@ -380,8 +380,8 @@ func TestQuiescentClusterConvergesAndQuiesces(t *testing.T) {
 func TestQuiescentStatsShape(t *testing.T) {
 	det := staticFD(fd.Pair{Label: lbl(1), Number: 1})
 	p := newQui(t, det, Config{})
-	_, _ = p.Broadcast("a")
-	_, _ = p.Broadcast("b")
+	_, _ = p.Broadcast([]byte("a"))
+	_, _ = p.Broadcast([]byte("b"))
 	st := p.Stats()
 	if st.MsgSet != 2 || st.Delivered != 0 || st.MyAcks != 0 {
 		t.Fatalf("stats %+v", st)

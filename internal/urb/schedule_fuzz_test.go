@@ -62,7 +62,7 @@ func (c *chaosNet) absorb(p int, s Step) {
 }
 
 func (c *chaosNet) broadcast(p int, body string) wire.MsgID {
-	id, s := c.procs[p].Broadcast(body)
+	id, s := c.procs[p].Broadcast([]byte(body))
 	c.absorb(p, s)
 	return id
 }

@@ -43,6 +43,9 @@ type Delivery struct {
 	Fast bool
 }
 
+// Body returns the delivered payload as a fresh byte slice.
+func (d Delivery) Body() []byte { return d.ID.Bytes() }
+
 // Step is the outcome of feeding one input to a process: wire messages to
 // broadcast to all processes (including the sender itself) and
 // URB-deliveries for the local application.
@@ -62,11 +65,12 @@ func (s *Step) merge(o Step) {
 // one instance.
 type Process interface {
 	// Broadcast is URB_broadcast(m): start disseminating body. The
-	// returned MsgID is the identity (tag + body) the process assigned;
-	// the paper's primitive returns nothing, but hosting runtimes need
-	// the identity to correlate deliveries with broadcasts when
-	// measuring.
-	Broadcast(body string) (wire.MsgID, Step)
+	// payload is arbitrary bytes (copied on entry; the caller may reuse
+	// the slice). The returned MsgID is the identity (tag + body) the
+	// process assigned; the paper's primitive returns nothing, but
+	// hosting runtimes need the identity to correlate deliveries with
+	// broadcasts when measuring.
+	Broadcast(body []byte) (wire.MsgID, Step)
 	// Receive is receive(m): process one message that arrived on a
 	// channel.
 	Receive(m wire.Message) Step

@@ -19,6 +19,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -59,10 +60,24 @@ func (k Kind) String() string {
 // (m, tag). Keying on the pair rather than the tag alone keeps the
 // implementation faithful even under (astronomically unlikely) tag
 // collisions.
+//
+// Body is stored as an immutable byte-string so that MsgID stays
+// comparable (it keys every set in the algorithms). It carries the raw
+// payload bytes verbatim — any bytes, including non-UTF-8 and the empty
+// payload. Use Bytes to get the payload back as a byte slice.
 type MsgID struct {
 	Tag  ident.Tag
 	Body string
 }
+
+// NewMsgID builds a MsgID from a payload byte slice. The bytes are copied
+// (into the immutable Body string), so the caller may reuse body.
+func NewMsgID(tag ident.Tag, body []byte) MsgID {
+	return MsgID{Tag: tag, Body: string(body)}
+}
+
+// Bytes returns the payload as a fresh byte slice.
+func (id MsgID) Bytes() []byte { return []byte(id.Body) }
 
 // String renders a short display form.
 func (id MsgID) String() string {
@@ -76,8 +91,9 @@ func (id MsgID) String() string {
 // Message is one protocol message. The zero value is not a valid message.
 type Message struct {
 	Kind Kind
-	// Body is the application payload m. Present in both kinds.
-	Body string
+	// Body is the application payload m, as raw bytes. Present in both
+	// kinds. Receivers treat it as immutable once a message is built.
+	Body []byte
 	// Tag is the unique random tag the URB-broadcaster attached to m.
 	Tag ident.Tag
 	// AckTag is the acker's unique random tag for (m, tag).
@@ -89,16 +105,16 @@ type Message struct {
 }
 
 // ID returns the application message identity (m, tag).
-func (m Message) ID() MsgID { return MsgID{Tag: m.Tag, Body: m.Body} }
+func (m Message) ID() MsgID { return MsgID{Tag: m.Tag, Body: string(m.Body)} }
 
 // NewMsg builds a MSG message.
 func NewMsg(id MsgID) Message {
-	return Message{Kind: KindMsg, Body: id.Body, Tag: id.Tag}
+	return Message{Kind: KindMsg, Body: []byte(id.Body), Tag: id.Tag}
 }
 
 // NewAck builds an Algorithm 1 ACK message.
 func NewAck(id MsgID, ackTag ident.Tag) Message {
-	return Message{Kind: KindAck, Body: id.Body, Tag: id.Tag, AckTag: ackTag}
+	return Message{Kind: KindAck, Body: []byte(id.Body), Tag: id.Tag, AckTag: ackTag}
 }
 
 // NewBeat builds an ALIVE heartbeat for the given failure detector
@@ -112,7 +128,7 @@ func NewBeat(label ident.Tag) Message {
 func NewLabeledAck(id MsgID, ackTag ident.Tag, labels []ident.Tag) Message {
 	return Message{
 		Kind:   KindAck,
-		Body:   id.Body,
+		Body:   []byte(id.Body),
 		Tag:    id.Tag,
 		AckTag: ackTag,
 		Labels: append([]ident.Tag(nil), labels...),
@@ -141,10 +157,15 @@ const (
 	codecVersion = 1
 	headerLen    = 2 // version, kind
 	tagLen       = 16
-	// MaxBody bounds payload size accepted by the codec; generous for the
-	// workloads in this repository while preventing pathological allocs
-	// when decoding corrupt input.
-	MaxBody = 1 << 20
+	// MaxBody bounds payload size accepted by the codec. It is sized so
+	// that worst-case MSG frames — and labeled ACK frames for systems up
+	// to ~250 processes — fit in one UDP datagram (the transport with
+	// the smallest frame budget, 65507 bytes): a larger bound would let
+	// a broadcast encode fine and then be unsendable on UDP forever,
+	// silently breaking the fair-lossy liveness assumption. Still
+	// generous for the workloads in this repository, and it keeps
+	// pathological allocs bounded when decoding corrupt input.
+	MaxBody = 60 << 10
 	// MaxLabels bounds the label set size (n processes, so a few thousand
 	// is far beyond any scenario here).
 	MaxLabels = 1 << 16
@@ -245,7 +266,10 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 	if uint32(len(b)) < bodyLen {
 		return Message{}, nil, ErrShort
 	}
-	body := string(b[:bodyLen])
+	var body []byte
+	if bodyLen > 0 {
+		body = append(body, b[:bodyLen]...)
+	}
 	b = b[bodyLen:]
 	if len(b) < tagLen {
 		return Message{}, nil, ErrShort
@@ -287,7 +311,7 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 // order (the codec preserves order, and ackers emit labels in their set's
 // insertion order, so order equality is the right notion for round-trips).
 func (m Message) Equal(o Message) bool {
-	if m.Kind != o.Kind || m.Body != o.Body || m.Tag != o.Tag || m.AckTag != o.AckTag {
+	if m.Kind != o.Kind || !bytes.Equal(m.Body, o.Body) || m.Tag != o.Tag || m.AckTag != o.AckTag {
 		return false
 	}
 	if len(m.Labels) != len(o.Labels) {

@@ -107,11 +107,11 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodeRejectsZeroTags(t *testing.T) {
-	m := Message{Kind: KindMsg, Body: "b"} // zero Tag
+	m := Message{Kind: KindMsg, Body: []byte("b")} // zero Tag
 	if _, err := Decode(m.Encode(nil)); err != ErrZeroTag {
 		t.Fatalf("err=%v, want ErrZeroTag", err)
 	}
-	a := Message{Kind: KindAck, Body: "b", Tag: tag(1, 1)} // zero AckTag
+	a := Message{Kind: KindAck, Body: []byte("b"), Tag: tag(1, 1)} // zero AckTag
 	if _, err := Decode(a.Encode(nil)); err != ErrZeroAckTag {
 		t.Fatalf("err=%v, want ErrZeroAckTag", err)
 	}

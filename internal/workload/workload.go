@@ -25,7 +25,7 @@ type Broadcasts interface {
 type SingleShot struct {
 	At   sim.Time
 	Proc int
-	Body string
+	Body []byte
 }
 
 // Generate implements Broadcasts.
@@ -70,7 +70,7 @@ func (w MultiWriter) Generate(n int, _ *xrand.Source) []sim.ScheduledBroadcast {
 			out = append(out, sim.ScheduledBroadcast{
 				At:   w.Start + sim.Time(k)*interval + sim.Time(wr),
 				Proc: wr,
-				Body: fmt.Sprintf("w%d-m%d", wr, k),
+				Body: fmt.Appendf(nil, "w%d-m%d", wr, k),
 			})
 		}
 	}
@@ -117,7 +117,7 @@ func (w PoissonWriters) Generate(n int, rng *xrand.Source) []sim.ScheduledBroadc
 		out = append(out, sim.ScheduledBroadcast{
 			At:   sim.Time(at) + 1,
 			Proc: rng.Intn(n),
-			Body: fmt.Sprintf("%s-%d", w.BodyStamp, i),
+			Body: fmt.Appendf(nil, "%s-%d", w.BodyStamp, i),
 		})
 	}
 	return out

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
@@ -9,9 +10,9 @@ import (
 )
 
 func TestSingleShot(t *testing.T) {
-	w := SingleShot{At: 5, Proc: 7, Body: "x"}
+	w := SingleShot{At: 5, Proc: 7, Body: []byte("x")}
 	bs := w.Generate(3, xrand.New(1))
-	if len(bs) != 1 || bs[0].Proc != 1 || bs[0].At != 5 || bs[0].Body != "x" {
+	if len(bs) != 1 || bs[0].Proc != 1 || bs[0].At != 5 || !bytes.Equal(bs[0].Body, []byte("x")) {
 		t.Fatalf("%+v", bs)
 	}
 	if w.String() == "" {
@@ -33,10 +34,10 @@ func TestMultiWriter(t *testing.T) {
 		if b.At < 10 {
 			t.Fatalf("broadcast before start: %d", b.At)
 		}
-		if bodies[b.Body] {
+		if bodies[string(b.Body)] {
 			t.Fatalf("duplicate body %q", b.Body)
 		}
-		bodies[b.Body] = true
+		bodies[string(b.Body)] = true
 	}
 }
 
@@ -69,10 +70,10 @@ func TestPoissonWriters(t *testing.T) {
 		if b.Proc < 0 || b.Proc >= 4 {
 			t.Fatalf("proc %d", b.Proc)
 		}
-		if bodies[b.Body] {
+		if bodies[string(b.Body)] {
 			t.Fatalf("duplicate body %q", b.Body)
 		}
-		bodies[b.Body] = true
+		bodies[string(b.Body)] = true
 	}
 }
 
@@ -81,7 +82,7 @@ func TestPoissonDeterministic(t *testing.T) {
 	a := w.Generate(3, xrand.New(7))
 	b := w.Generate(3, xrand.New(7))
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].At != b[i].At || a[i].Proc != b[i].Proc || !bytes.Equal(a[i].Body, b[i].Body) {
 			t.Fatal("not deterministic")
 		}
 	}
