@@ -281,6 +281,11 @@ var (
 // rejects longer bodies with ErrNodeBodyTooLarge.
 const MaxBody = wire.MaxBody
 
+// MaxUDPFrame is the UDP transport's frame budget (the real IPv4
+// datagram payload ceiling); it is also the default mesh frame budget,
+// so batch framing behaves identically on both transports.
+const MaxUDPFrame = transport.MaxUDPFrame
+
 // NewNode builds a node hosting proc on tr. The node takes ownership of
 // the transport (Stop closes it). Call Start to run it.
 func NewNode(proc Process, tr Transport, opts ...NodeOption) *Node {
@@ -298,6 +303,17 @@ func WithObserver(obs Observer) NodeOption { return node.WithObserver(obs) }
 
 // WithInboxDepth sets the capacity of a node's delivery queue.
 func WithInboxDepth(depth int) NodeOption { return node.WithInboxDepth(depth) }
+
+// WithBatching enables or disables batched sending (default enabled):
+// all broadcasts of one algorithm step are coalesced into concatenated
+// batch frames no larger than the transport's FrameBudget. Batch
+// framing adds zero bytes; disabling restores one frame per wire
+// message. Receiving handles batch frames in both modes.
+func WithBatching(enabled bool) NodeOption { return node.WithBatching(enabled) }
+
+// WithEncodeCacheSize bounds the node's per-message encode cache, which
+// serves the byte-identical MSG frames Task 1 retransmits every tick.
+func WithEncodeCacheSize(entries int) NodeOption { return node.WithEncodeCacheSize(entries) }
 
 // NewNodeMetrics returns an empty metrics-collecting Observer.
 func NewNodeMetrics() *NodeMetrics { return node.NewMetrics() }

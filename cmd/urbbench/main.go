@@ -1,21 +1,33 @@
-// Command urbbench regenerates the full evaluation suite: every table
+// Command urbbench regenerates the evaluation artefacts.
+//
+// Default mode regenerates the full simulator suite: every table
 // (T1-T4) and figure (F1-F6) listed in DESIGN.md §4, printed as aligned
 // text (default) or CSV.
+//
+// Batching mode (-batching) instead runs the live-runtime batching
+// benchmark: each workload of the {majority, quiescent} × {mesh, udp} ×
+// n matrix runs twice — batched sending off, then on — and the frames,
+// bytes and allocations per URB-delivered message are compared. The
+// JSON written with -out is what BENCH_batching.json records.
 //
 // Usage:
 //
 //	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
+//	urbbench -batching [-quick] [-seed N] [-out BENCH_batching.json]
 //
 // The output of a full run is what EXPERIMENTS.md records.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"anonurb/internal/bench"
 	"anonurb/internal/harness"
 )
 
@@ -24,7 +36,21 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 2015, "base seed for every experiment (2015: the paper's year)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F2); empty = all")
+	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
+	out := flag.String("out", "", "with -batching: write the results as JSON to this file")
 	flag.Parse()
+
+	if *batching {
+		if *csv || *only != "" {
+			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite, not -batching (use -out for machine-readable JSON)")
+			os.Exit(2)
+		}
+		os.Exit(runBatching(*seed, *quick, *out))
+	}
+	if *out != "" {
+		fmt.Fprintln(os.Stderr, "urbbench: -out applies only to -batching mode")
+		os.Exit(2)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -53,4 +79,88 @@ func main() {
 		fmt.Fprintf(os.Stderr, "urbbench: no experiment matched %q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// batchingReport is the JSON document -batching -out writes.
+type batchingReport struct {
+	Schema      string             `json:"schema"`
+	Seed        uint64             `json:"seed"`
+	Quick       bool               `json:"quick"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	GeneratedAt string             `json:"generated_at"`
+	Comparisons []bench.Comparison `json:"comparisons"`
+}
+
+// runBatching executes the batching benchmark matrix and returns the
+// process exit code.
+func runBatching(seed uint64, quick bool, out string) int {
+	// Warm the runtime before measuring: netpoll init (first UDP
+	// socket), timer wheels and heap growth are one-time costs that
+	// would otherwise land in the first cell's allocation delta —
+	// always on its unbatched run, biasing AllocsRatio.
+	for _, net := range []bench.Net{bench.NetMesh, bench.NetUDP} {
+		_, _ = bench.Run(bench.Workload{
+			Algo: bench.AlgoMajority, Net: net, N: 3, Messages: 1,
+			Batching: true, TickEvery: 5 * time.Millisecond, SteadyTicks: 1,
+			Seed: seed, Timeout: 30 * time.Second,
+		})
+	}
+
+	matrix := bench.Matrix(seed, quick)
+	report := batchingReport{
+		Schema:      "anonurb-bench-batching/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Printf("%-22s %10s %10s %9s %9s %9s %10s\n",
+		"workload", "frames/d", "frames/d", "frames", "bytes", "allocs", "oversized")
+	fmt.Printf("%-22s %10s %10s %9s %9s %9s %10s\n",
+		"", "(off)", "(on)", "improv.", "ratio", "ratio", "(on)")
+	failed := false
+	for _, w := range matrix {
+		start := time.Now()
+		c, err := bench.Compare(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: %s: %v\n", w, err)
+			failed = true
+			continue
+		}
+		offFrames, onFrames := c.Off.SteadyFramesPerDelivery, c.On.SteadyFramesPerDelivery
+		if w.Algo == bench.AlgoQuiescent {
+			offFrames, onFrames = c.Off.FramesPerDelivery, c.On.FramesPerDelivery
+		}
+		fmt.Printf("%-22s %10.1f %10.1f %8.2fx %9.4f %9.3f %10d   (%v)\n",
+			c.Name, offFrames, onFrames, c.FramesImprovement, c.BytesRatio,
+			c.AllocsRatio, c.On.Oversized, time.Since(start).Round(time.Millisecond))
+		report.Comparisons = append(report.Comparisons, c)
+	}
+
+	// Write whatever completed even when some workloads failed: hours of
+	// measurement should not vanish because one cell timed out.
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d comparisons)\n", out, len(report.Comparisons))
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// quickWorkload is a small, fast workload for tests.
+func quickWorkload(algo Algo, net Net) Workload {
+	return Workload{
+		Algo:        algo,
+		Net:         net,
+		N:           5,
+		Messages:    4,
+		Batching:    true,
+		TickEvery:   5 * time.Millisecond,
+		SteadyTicks: 5,
+		Seed:        2015,
+		Timeout:     30 * time.Second,
+	}
+}
+
+// TestRunAllCells: every {algo} × {net} cell completes, delivers
+// everywhere, and produces sane counters.
+func TestRunAllCells(t *testing.T) {
+	for _, algo := range []Algo{AlgoMajority, AlgoQuiescent} {
+		for _, net := range []Net{NetMesh, NetUDP} {
+			algo, net := algo, net
+			t.Run(fmt.Sprintf("%s-%s", algo, net), func(t *testing.T) {
+				res, err := Run(quickWorkload(algo, net))
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.Deliveries != 5*4 {
+					t.Fatalf("deliveries=%d, want 20", res.Deliveries)
+				}
+				if res.SentFrames == 0 || res.SentMsgs == 0 || res.SentBytes == 0 {
+					t.Fatalf("empty counters: %+v", res)
+				}
+				if res.SentFrames > res.SentMsgs {
+					t.Fatalf("more frames than messages: %d > %d", res.SentFrames, res.SentMsgs)
+				}
+				if res.Oversized != 0 {
+					t.Fatalf("oversized frames on %s: %d", net, res.Oversized)
+				}
+				if res.FramesPerDelivery <= 0 || res.BytesPerDelivery <= 0 {
+					t.Fatalf("derived metrics missing: %+v", res)
+				}
+				if algo == AlgoQuiescent && !res.Quiesced {
+					t.Fatal("quiescent cluster never went quiet")
+				}
+				if algo == AlgoMajority && res.SteadyFrames <= 0 {
+					t.Fatal("majority run has no steady-state window")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchingReducesFrames: the core claim — on a steady-state mesh
+// workload, batching cuts frames per delivered message by at least 2×
+// without inflating bytes per delivery. (The checked-in
+// BENCH_batching.json asserts the same at n=25; this guards the
+// property at CI scale.)
+func TestBatchingReducesFrames(t *testing.T) {
+	w := quickWorkload(AlgoMajority, NetMesh)
+	c, err := Compare(w)
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if c.FramesImprovement < 2 {
+		t.Fatalf("frames improvement %.2fx < 2x (on=%.2f off=%.2f frames/delivery)",
+			c.FramesImprovement, c.On.SteadyFramesPerDelivery, c.Off.SteadyFramesPerDelivery)
+	}
+	// Batch framing is pure concatenation; allow only sampling noise.
+	if c.BytesRatio > 1.02 {
+		t.Fatalf("batched run inflated bytes per delivery: ratio %.4f", c.BytesRatio)
+	}
+	if hits := c.On.CacheHits; hits == 0 {
+		t.Fatal("encode cache never hit during steady-state retransmission")
+	}
+}
+
+// TestBatchingUDPNoOversized: batched frames must respect the UDP
+// datagram budget — the Oversized counter stays at zero.
+func TestBatchingUDPNoOversized(t *testing.T) {
+	res, err := Run(quickWorkload(AlgoMajority, NetUDP))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Oversized != 0 {
+		t.Fatalf("UDP dropped %d oversized frames; batches must stay within FrameBudget", res.Oversized)
+	}
+}
+
+// benchCells runs one workload per benchmark op, reporting the derived
+// per-delivery metrics. Use:
+//
+//	go test -bench=Batching -benchtime=1x ./internal/bench
+func benchCell(b *testing.B, algo Algo, net Net, batching bool) {
+	b.Helper()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		w := quickWorkload(algo, net)
+		w.Batching = batching
+		w.Seed = 2015 + uint64(i)
+		res, err := Run(w)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.FramesPerDelivery, "frames/delivery")
+	b.ReportMetric(last.BytesPerDelivery, "bytes/delivery")
+	b.ReportMetric(last.AllocsPerDelivery, "allocs/delivery")
+	b.ReportMetric(last.MsgsPerFrame, "msgs/frame")
+}
+
+func BenchmarkBatchingMajorityMeshOn(b *testing.B)   { benchCell(b, AlgoMajority, NetMesh, true) }
+func BenchmarkBatchingMajorityMeshOff(b *testing.B)  { benchCell(b, AlgoMajority, NetMesh, false) }
+func BenchmarkBatchingMajorityUDPOn(b *testing.B)    { benchCell(b, AlgoMajority, NetUDP, true) }
+func BenchmarkBatchingMajorityUDPOff(b *testing.B)   { benchCell(b, AlgoMajority, NetUDP, false) }
+func BenchmarkBatchingQuiescentMeshOn(b *testing.B)  { benchCell(b, AlgoQuiescent, NetMesh, true) }
+func BenchmarkBatchingQuiescentMeshOff(b *testing.B) { benchCell(b, AlgoQuiescent, NetMesh, false) }
+func BenchmarkBatchingQuiescentUDPOn(b *testing.B)   { benchCell(b, AlgoQuiescent, NetUDP, true) }
+func BenchmarkBatchingQuiescentUDPOff(b *testing.B)  { benchCell(b, AlgoQuiescent, NetUDP, false) }

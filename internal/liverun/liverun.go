@@ -168,7 +168,9 @@ func (c *Cluster) Crash(proc int) {
 }
 
 // Stats fetches a process's algorithm stats, synchronised through its
-// node. It returns zero stats for crashed processes.
+// node. For crashed (stopped) processes it returns the final snapshot
+// taken when the node exited, so post-run quiescence and memory
+// accounting keeps working.
 func (c *Cluster) Stats(proc int) urb.Stats {
 	st, err := c.nodes[proc].Stats()
 	if err != nil {

@@ -10,10 +10,15 @@ import (
 )
 
 // Metrics is an Observer that aggregates node events with the
-// internal/metrics toolkit: message/byte counters per wire kind, a frame
-// size histogram, and a delivery latency histogram measured from the
-// collector's creation (suitable for single-shot experiments where one
-// broadcast starts the clock).
+// internal/metrics toolkit: message/byte counters per wire kind, a
+// per-message encoded-size histogram, and a delivery latency histogram
+// measured from the collector's creation (suitable for single-shot
+// experiments where one broadcast starts the clock).
+//
+// It counts wire messages, not transport frames: OnSend fires once per
+// message, and with batching several messages share one frame. Summing
+// message bytes still equals bytes on the wire exactly (batch framing
+// is pure concatenation); for frame counts ask Node.FrameStats.
 //
 // One Metrics value may be shared by every node of a cluster; it is safe
 // for concurrent use.
@@ -21,15 +26,15 @@ type Metrics struct {
 	mu sync.Mutex
 
 	start       time.Time
-	sentFrames  uint64
-	recvFrames  uint64
+	sentMsgs    uint64
+	recvMsgs    uint64
 	sentBytes   uint64
 	sentByKind  map[wire.Kind]uint64
 	deliveries  uint64
 	fast        uint64
 	quiescences uint64
 
-	frameSize  *metrics.Histogram // bytes per sent frame
+	msgSize    *metrics.Histogram // encoded bytes per sent wire message
 	deliverLat *metrics.Histogram // ms from collector creation to delivery
 }
 
@@ -41,26 +46,26 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		start:      time.Now(),
 		sentByKind: make(map[wire.Kind]uint64),
-		frameSize:  metrics.NewHistogram(),
+		msgSize:    metrics.NewHistogram(),
 		deliverLat: metrics.NewHistogram(),
 	}
 }
 
 // OnSend implements Observer.
-func (c *Metrics) OnSend(m wire.Message, frame []byte) {
+func (c *Metrics) OnSend(m wire.Message, encoded []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sentFrames++
-	c.sentBytes += uint64(len(frame))
+	c.sentMsgs++
+	c.sentBytes += uint64(len(encoded))
 	c.sentByKind[m.Kind]++
-	c.frameSize.Observe(int64(len(frame)))
+	c.msgSize.Observe(int64(len(encoded)))
 }
 
 // OnReceive implements Observer.
 func (c *Metrics) OnReceive(wire.Message) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.recvFrames++
+	c.recvMsgs++
 }
 
 // OnDeliver implements Observer.
@@ -81,20 +86,32 @@ func (c *Metrics) OnQuiescence(time.Duration) {
 	c.quiescences++
 }
 
-// Snapshot is a point-in-time copy of the collector's aggregates.
+// Snapshot is a point-in-time copy of the collector's aggregates. All
+// counts are wire messages (see the Metrics doc); SentBytes is exact
+// bytes on the wire in both batching modes.
 type Snapshot struct {
-	SentFrames  uint64
-	RecvFrames  uint64
+	SentMsgs    uint64
+	RecvMsgs    uint64
 	SentBytes   uint64
 	SentByKind  map[wire.Kind]uint64
 	Deliveries  uint64
 	Fast        uint64
 	Quiescences uint64
-	// FrameSize is mean/p50/p99/max of sent frame sizes in bytes.
-	FrameSize string
+	// MsgSize is mean/p50/p99/max of sent per-message encoded sizes in
+	// bytes.
+	MsgSize string
 	// DeliverLatencyMs is mean/p50/p99/max of delivery latencies in
 	// milliseconds since the collector was created.
 	DeliverLatencyMs string
+}
+
+// SentBytesTotal returns just the wire-byte counter. Unlike Snapshot it
+// does no histogram summarising, so it is cheap enough for polling
+// loops that sample the collector while a cluster is sending.
+func (c *Metrics) SentBytesTotal() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentBytes
 }
 
 // Snapshot returns the current aggregates.
@@ -106,21 +123,21 @@ func (c *Metrics) Snapshot() Snapshot {
 		byKind[k] = v
 	}
 	return Snapshot{
-		SentFrames:       c.sentFrames,
-		RecvFrames:       c.recvFrames,
+		SentMsgs:         c.sentMsgs,
+		RecvMsgs:         c.recvMsgs,
 		SentBytes:        c.sentBytes,
 		SentByKind:       byKind,
 		Deliveries:       c.deliveries,
 		Fast:             c.fast,
 		Quiescences:      c.quiescences,
-		FrameSize:        c.frameSize.Summary(),
+		MsgSize:          c.msgSize.Summary(),
 		DeliverLatencyMs: c.deliverLat.Summary(),
 	}
 }
 
 // String renders a one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("sent=%d (%dB) recv=%d delivered=%d (fast=%d) quiescences=%d frame=%s latms=%s",
-		s.SentFrames, s.SentBytes, s.RecvFrames, s.Deliveries, s.Fast, s.Quiescences,
-		s.FrameSize, s.DeliverLatencyMs)
+	return fmt.Sprintf("sent=%d (%dB) recv=%d delivered=%d (fast=%d) quiescences=%d msg=%s latms=%s",
+		s.SentMsgs, s.SentBytes, s.RecvMsgs, s.Deliveries, s.Fast, s.Quiescences,
+		s.MsgSize, s.DeliverLatencyMs)
 }

@@ -61,10 +61,17 @@ func (d Delivery) Body() []byte { return d.ID.Bytes() }
 // Observer is shared between nodes.
 type Observer interface {
 	// OnSend fires once per wire message handed to the transport, with
-	// its encoded frame.
-	OnSend(m wire.Message, frame []byte)
-	// OnReceive fires once per inbound frame that decoded to a wire
-	// message, before the algorithm processes it.
+	// that message's encoded bytes. When batching is enabled several
+	// messages may travel in one transport frame; encoded is then the
+	// message's own sub-slice of the batch frame, so summing
+	// len(encoded) over OnSend calls still equals bytes on the wire
+	// exactly (batch framing adds zero overhead). The slice is only
+	// valid during the callback.
+	OnSend(m wire.Message, encoded []byte)
+	// OnReceive fires once per inbound wire message, before the
+	// algorithm processes it — a batch frame fires it once per message
+	// it carries. Frames nothing decoded from fire nothing (they count
+	// in FrameStats' bad column instead).
 	OnReceive(m wire.Message)
 	// OnDeliver fires on each URB-delivery.
 	OnDeliver(d Delivery)
@@ -89,6 +96,8 @@ type options struct {
 	seed       uint64
 	observer   Observer
 	inboxDepth int
+	batching   bool
+	cacheSize  int
 }
 
 // Option configures a Node.
@@ -127,6 +136,32 @@ func WithInboxDepth(depth int) Option {
 	}
 }
 
+// WithBatching enables or disables batched sending (default enabled).
+// When enabled, all broadcasts of one algorithm Step — a Task-1 tick's
+// retransmissions, or the ACK replies to one inbound batch — are
+// coalesced into as few transport frames as the transport's FrameBudget
+// allows; batch framing is pure concatenation, so this reduces frame
+// count (and per-frame cost: syscalls, channel ops, allocations)
+// without adding a single byte. When disabled, every wire message
+// travels in its own frame — the pre-batching behaviour, kept for
+// comparison benchmarks and for peers that cannot split batch frames.
+// Receiving is always batch-capable in both modes.
+func WithBatching(enabled bool) Option {
+	return func(o *options) { o.batching = enabled }
+}
+
+// WithEncodeCacheSize bounds the node's per-MsgID encode cache (default
+// wire.DefaultEncodeCacheSize entries). The cache serves the byte-
+// identical MSG frames Task 1 retransmits every tick without
+// re-encoding them; size it to the expected |MSG_i| working set.
+func WithEncodeCacheSize(entries int) Option {
+	return func(o *options) {
+		if entries > 0 {
+			o.cacheSize = entries
+		}
+	}
+}
+
 // Node hosts one urb.Process on a Transport.
 type Node struct {
 	proc urb.Process
@@ -139,16 +174,29 @@ type Node struct {
 
 	// lifeMu serialises lifecycle transitions (Start/Stop); state is
 	// additionally atomic so hot paths can read it without the lock.
-	lifeMu sync.Mutex
-	state  atomic.Int32
-	cancel context.CancelFunc
-	done   chan struct{}
-	ctx    context.Context // set by loop; read only on the loop goroutine
+	lifeMu  sync.Mutex
+	state   atomic.Int32
+	started atomic.Bool // ever Started (stays true after Stop)
+	cancel  context.CancelFunc
+	done    chan struct{}
+	ctx     context.Context // set by loop; read only on the loop goroutine
 
 	sentFrames atomic.Uint64
+	sentMsgs   atomic.Uint64
 	recvFrames atomic.Uint64
+	recvMsgs   atomic.Uint64
 	badFrames  atomic.Uint64
 	lastSend   atomic.Int64 // unix nanos; 0 = never sent
+
+	// cache and budget belong to the loop goroutine (absorb path).
+	cache  *wire.EncodeCache
+	budget int
+
+	// finalStats is the algorithm's last Stats snapshot, taken on the
+	// node goroutine as the loop exits (or by a never-started Stop) and
+	// published by the close of done: every close(done) site writes it
+	// first, so any reader that has observed done closed may read it.
+	finalStats urb.Stats
 }
 
 // New builds a node hosting proc on tr. The node takes ownership of the
@@ -158,7 +206,7 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 	if proc == nil || tr == nil {
 		panic("node: process and transport are required")
 	}
-	o := options{tickEvery: 10 * time.Millisecond, inboxDepth: 256}
+	o := options{tickEvery: 10 * time.Millisecond, inboxDepth: 256, batching: true}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -169,6 +217,8 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 		deliveries: make(chan Delivery, o.inboxDepth),
 		actions:    make(chan func(urb.Process), 64),
 		done:       make(chan struct{}),
+		cache:      wire.NewEncodeCache(o.cacheSize),
+		budget:     tr.FrameBudget(),
 	}
 }
 
@@ -186,6 +236,7 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 	ctx, n.cancel = context.WithCancel(ctx)
 	n.state.Store(stateRunning)
+	n.started.Store(true)
 	go n.loop(ctx)
 	return nil
 }
@@ -250,19 +301,46 @@ func (n *Node) call(f func(p urb.Process) func()) error {
 }
 
 // Stats fetches the algorithm's internal set sizes, synchronised through
-// the node goroutine.
+// the node goroutine. After Stop (or context cancellation) it returns
+// the final snapshot taken as the loop exited, so post-run accounting —
+// quiescence and memory experiments — keeps working on a stopped node.
+// It fails with ErrNotRunning only before Start.
 func (n *Node) Stats() (urb.Stats, error) {
-	if n.state.Load() != stateRunning {
-		return urb.Stats{}, ErrNotRunning
+	for {
+		if n.state.Load() == stateRunning {
+			var st urb.Stats
+			if err := n.call(func(p urb.Process) func() {
+				st = p.Stats()
+				return nil
+			}); err == nil {
+				return st, nil
+			}
+			// The node stopped while we were asking: fall through to
+			// the final snapshot (published by the close of done).
+		}
+		if !n.started.Load() {
+			select {
+			case <-n.done:
+				// Stopped without ever starting: Stop published the
+				// initial stats.
+				return n.finalStats, nil
+			default:
+				return urb.Stats{}, ErrNotRunning // never started
+			}
+		}
+		if n.state.Load() == stateRunning {
+			// A concurrent Start won the race with our first state read:
+			// the node is running after all — retry the live path rather
+			// than parking on done for the node's whole lifetime.
+			continue
+		}
+		// Started and no longer running: the loop closes done right
+		// after publishing finalStats, so this wait is bounded — it
+		// only blocks during the brief shutdown window between the loop
+		// leaving stateRunning and closing done.
+		<-n.done
+		return n.finalStats, nil
 	}
-	var st urb.Stats
-	if err := n.call(func(p urb.Process) func() {
-		st = p.Stats()
-		return nil
-	}); err != nil {
-		return urb.Stats{}, err
-	}
-	return st, nil
 }
 
 // Stop terminates the node, closes its transport and waits for the
@@ -272,8 +350,10 @@ func (n *Node) Stop() error {
 	switch n.state.Load() {
 	case stateNew:
 		// Never started: no goroutine, but release the transport and
-		// close the delivery channel so consumers unblock.
+		// close the delivery channel so consumers unblock. The algorithm
+		// never ran, so its initial stats are the final ones.
 		n.state.Store(stateStopped)
+		n.finalStats = n.proc.Stats()
 		close(n.done)
 		close(n.deliveries)
 		n.lifeMu.Unlock()
@@ -299,16 +379,36 @@ func (n *Node) QuietFor(d time.Duration) bool {
 	return last != 0 && time.Since(time.Unix(0, last)) >= d
 }
 
-// FrameStats returns (frames sent, frames received, undecodable frames
-// discarded).
+// FrameStats returns (frames sent, frames received, frames discarded
+// because no message decoded from them). A frame is one transport send;
+// with batching enabled it may carry several wire messages, so frame
+// counts are ≤ the message counts of MessageStats.
 func (n *Node) FrameStats() (sent, received, bad uint64) {
 	return n.sentFrames.Load(), n.recvFrames.Load(), n.badFrames.Load()
+}
+
+// MessageStats returns (wire messages sent, wire messages received).
+// Unlike FrameStats it counts protocol messages, independent of how
+// many were coalesced per transport frame.
+func (n *Node) MessageStats() (sent, received uint64) {
+	return n.sentMsgs.Load(), n.recvMsgs.Load()
+}
+
+// EncodeCacheStats returns the node's encode cache (hits, misses).
+// Like the other counter accessors it is safe to call while the node
+// runs (the counters are atomic).
+func (n *Node) EncodeCacheStats() (hits, misses uint64) {
+	return n.cache.Stats()
 }
 
 // loop is the node goroutine: the single thread that touches proc.
 func (n *Node) loop(ctx context.Context) {
 	defer func() {
 		n.state.Store(stateStopped)
+		// Snapshot the algorithm's final stats so post-run accounting
+		// (quiescence and memory experiments) survives Stop. Published
+		// to other goroutines by the close of done below.
+		n.finalStats = n.proc.Stats()
 		// Release the derived context even when the loop exits on its
 		// own (e.g. the transport's receive channel closed) — otherwise
 		// the registration on a long-lived parent context would leak.
@@ -335,17 +435,41 @@ func (n *Node) loop(ctx context.Context) {
 			if !ok {
 				return
 			}
-			m, err := wire.Decode(frame)
-			if err != nil {
-				// Garbled frame: drop it, as the lossy channel could have.
+			// A frame carries one message or a whole batch — pure
+			// concatenation either way, so DecodePrefix splits it. Each
+			// message feeds the algorithm individually; the resulting
+			// Steps are merged so the replies (e.g. the ACKs to a batch
+			// of MSGs) can leave as one batch in turn. A corrupt tail
+			// drops the remainder only — fair lossy channels may lose
+			// anything, including half a batch.
+			var step urb.Step
+			decoded := false
+			rest := frame
+			for len(rest) > 0 {
+				m, next, err := wire.DecodePrefix(rest)
+				if err != nil {
+					// Garbled (remainder of the) frame: drop it, as the
+					// lossy channel could have.
+					break
+				}
+				rest = next
+				decoded = true
+				n.recvMsgs.Add(1)
+				if n.opt.observer != nil {
+					n.opt.observer.OnReceive(m)
+				}
+				step.Merge(n.proc.Receive(m))
+			}
+			// Every inbound frame lands in exactly one counter: received
+			// if at least one message decoded from it (a corrupt tail
+			// loses only the tail), bad otherwise (empty frames
+			// included).
+			if decoded {
+				n.recvFrames.Add(1)
+			} else {
 				n.badFrames.Add(1)
-				continue
 			}
-			n.recvFrames.Add(1)
-			if n.opt.observer != nil {
-				n.opt.observer.OnReceive(m)
-			}
-			n.absorb(n.proc.Receive(m))
+			n.absorb(step)
 		case <-tick.C:
 			n.absorb(n.proc.Tick())
 			tick.Reset(n.opt.tickEvery)
@@ -370,6 +494,12 @@ func (n *Node) loop(ctx context.Context) {
 
 // absorb executes one Step: deliveries to the application, broadcasts to
 // the transport. Runs on the node goroutine only.
+//
+// Broadcasts are coalesced into batch frames up to the transport's
+// frame budget (batching mode), or sent one frame per message
+// (unbatched mode). Either way every message's bytes come from the
+// per-MsgID encode cache, so a steady-state Task-1 tick copies cached
+// MSG frames instead of re-encoding each body.
 func (n *Node) absorb(s urb.Step) {
 	for _, d := range s.Deliveries {
 		del := Delivery{ID: d.ID, Fast: d.Fast, At: time.Now()}
@@ -384,13 +514,38 @@ func (n *Node) absorb(s urb.Step) {
 			}
 		}
 	}
-	for _, m := range s.Broadcasts {
-		frame := m.Encode(nil)
-		if n.opt.observer != nil {
-			n.opt.observer.OnSend(m, frame)
+	if len(s.Broadcasts) == 0 {
+		return
+	}
+	var frame []byte
+	flush := func() {
+		if len(frame) == 0 {
+			return
 		}
 		n.tr.Send(frame)
 		n.sentFrames.Add(1)
 		n.lastSend.Store(time.Now().UnixNano())
+		frame = nil
 	}
+	for _, m := range s.Broadcasts {
+		// Split before appending when the next message would push the
+		// batch over the transport budget (wire.SplitsBatch, the same
+		// rule EncodeBatch packs with). A message too large for the
+		// budget on its own still travels alone, exactly as before
+		// batching existed (the transport decides its fate: UDP counts
+		// it Oversized, the mesh carries it).
+		if wire.SplitsBatch(len(frame), m, n.budget) {
+			flush()
+		}
+		start := len(frame)
+		frame = n.cache.AppendEncoded(frame, m)
+		n.sentMsgs.Add(1)
+		if n.opt.observer != nil {
+			n.opt.observer.OnSend(m, frame[start:])
+		}
+		if !n.opt.batching {
+			flush()
+		}
+	}
+	flush()
 }

@@ -254,7 +254,7 @@ func TestNodeObserverAndQuiescence(t *testing.T) {
 		}
 	}
 	snap := metrics.Snapshot()
-	if snap.SentFrames == 0 || snap.RecvFrames == 0 || snap.Deliveries != uint64(n) ||
+	if snap.SentMsgs == 0 || snap.RecvMsgs == 0 || snap.Deliveries != uint64(n) ||
 		snap.Quiescences == 0 || snap.SentBytes == 0 {
 		t.Fatalf("metrics snapshot incomplete: %s", snap)
 	}
@@ -331,4 +331,291 @@ func (g *garblingTransport) Send(frame []byte) {
 		bad[0] ^= 0xff
 	}
 	g.Transport.Send(bad)
+}
+
+// TestNodeURBDeliversEverywhereUnbatched: the full delivery path also
+// holds with batching disabled (one frame per wire message).
+func TestNodeURBDeliversEverywhereUnbatched(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	const n = 4
+	nodes, inboxes, _ := startMajorityCluster(t, ctx, n, node.WithBatching(false))
+
+	body := []byte("unbatched")
+	id, err := nodes[0].Broadcast(body)
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	for i, inbox := range inboxes {
+		select {
+		case d := <-inbox:
+			if d.ID != id || !bytes.Equal(d.Body(), body) {
+				t.Fatalf("node %d delivered wrong message", i)
+			}
+		case <-ctx.Done():
+			t.Fatalf("node %d never delivered", i)
+		}
+	}
+	for i, nd := range nodes {
+		sentFrames, _, _ := nd.FrameStats()
+		sentMsgs, _ := nd.MessageStats()
+		if sentFrames != sentMsgs {
+			t.Fatalf("node %d unbatched: %d frames for %d messages, want equal", i, sentFrames, sentMsgs)
+		}
+	}
+}
+
+// TestNodeBatchingCoalescesFrames: with several messages in MSG_i, a
+// batching node's Task-1 tick sends fewer frames than messages, every
+// frame stays within the transport budget, and an unbatched twin sends
+// exactly one frame per message. The receiving side splits batches back
+// into individual messages.
+func TestNodeBatchingCoalescesFrames(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		name := "batched"
+		if !batched {
+			name = "unbatched"
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			mesh := transport.NewMesh(transport.MeshConfig{
+				N: 1, Link: channel.Reliable{D: channel.FixedDelay(0)},
+				Unit: 100 * time.Microsecond, Seed: 3,
+			})
+			nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(4)), urb.Config{}),
+				mesh.Endpoint(0),
+				node.WithTickEvery(time.Millisecond),
+				node.WithBatching(batched),
+			)
+			inbox := nd.Deliveries()
+			if err := nd.Start(ctx); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			defer func() { nd.Stop(); mesh.Close() }()
+
+			const k = 8
+			for i := 0; i < k; i++ {
+				if _, err := nd.Broadcast([]byte{byte(i), 0xff, 0x00}); err != nil {
+					t.Fatalf("broadcast %d: %v", i, err)
+				}
+			}
+			for i := 0; i < k; i++ {
+				select {
+				case <-inbox:
+				case <-ctx.Done():
+					t.Fatalf("only %d/%d self-deliveries", i, k)
+				}
+			}
+			// Let several full ticks of steady-state retransmission run.
+			time.Sleep(30 * time.Millisecond)
+			nd.Stop()
+
+			sentFrames, recvFrames, _ := nd.FrameStats()
+			sentMsgs, recvMsgs := nd.MessageStats()
+			if sentMsgs == 0 || recvMsgs == 0 {
+				t.Fatal("no traffic recorded")
+			}
+			if batched {
+				// Steady-state ticks carry k MSGs plus ACK replies per
+				// inbound batch; frames must be well below messages.
+				if sentFrames*2 > sentMsgs {
+					t.Fatalf("batching ineffective: %d frames for %d messages", sentFrames, sentMsgs)
+				}
+				if recvMsgs <= recvFrames {
+					t.Fatalf("receive side never split a batch: %d msgs from %d frames", recvMsgs, recvFrames)
+				}
+				hits, _ := nd.EncodeCacheStats()
+				if hits == 0 {
+					t.Fatal("encode cache never hit across steady-state ticks")
+				}
+			} else if sentFrames != sentMsgs {
+				t.Fatalf("unbatched node coalesced: %d frames for %d messages", sentFrames, sentMsgs)
+			}
+		})
+	}
+}
+
+// TestNodeBatchRespectsFrameBudget: batch frames never exceed the
+// transport's budget, verified against a mesh with a tiny budget via an
+// inspecting transport wrapper.
+func TestNodeBatchRespectsFrameBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	const budget = 96
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N: 1, Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: 100 * time.Microsecond, FrameBudget: budget,
+	})
+	insp := &inspectingTransport{Transport: mesh.Endpoint(0)}
+	nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(11)), urb.Config{}),
+		insp, node.WithTickEvery(time.Millisecond))
+	if err := nd.Start(ctx); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer func() { nd.Stop(); mesh.Close() }()
+
+	for i := 0; i < 10; i++ {
+		if _, err := nd.Broadcast([]byte("budget-test-payload")); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	nd.Stop()
+
+	frames, maxLen, batchedFrames := insp.snapshot()
+	if frames == 0 {
+		t.Fatal("no frames sent")
+	}
+	if maxLen > budget {
+		t.Fatalf("a frame of %dB exceeded the %dB budget", maxLen, budget)
+	}
+	if batchedFrames == 0 {
+		t.Fatal("no multi-message frames under a budget that fits several messages")
+	}
+}
+
+// inspectingTransport records the size of every sent frame.
+type inspectingTransport struct {
+	transport.Transport
+	mu      sync.Mutex
+	frames  int
+	maxLen  int
+	batched int // frames carrying more than one message
+}
+
+func (it *inspectingTransport) Send(frame []byte) {
+	it.mu.Lock()
+	it.frames++
+	if len(frame) > it.maxLen {
+		it.maxLen = len(frame)
+	}
+	if ms, err := wire.DecodeBatch(frame); err == nil && len(ms) > 1 {
+		it.batched++
+	}
+	it.mu.Unlock()
+	it.Transport.Send(frame)
+}
+
+func (it *inspectingTransport) snapshot() (frames, maxLen, batched int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.frames, it.maxLen, it.batched
+}
+
+// TestNodeStatsAfterStop: Stats keeps answering after Stop with the
+// final algorithm snapshot (post-run accounting), and still refuses
+// before Start.
+func TestNodeStatsAfterStop(t *testing.T) {
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N: 1, Link: channel.Reliable{D: channel.FixedDelay(0)}, Unit: time.Millisecond,
+	})
+	defer mesh.Close()
+	nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(2)), urb.Config{}),
+		mesh.Endpoint(0), node.WithTickEvery(time.Millisecond))
+
+	if _, err := nd.Stats(); err != node.ErrNotRunning {
+		t.Fatalf("stats before start: %v, want ErrNotRunning", err)
+	}
+	if err := nd.Start(context.Background()); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if _, err := nd.Broadcast([]byte("final")); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if err := nd.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	st, err := nd.Stats()
+	if err != nil {
+		t.Fatalf("stats after stop: %v", err)
+	}
+	if st.MsgSet != 1 {
+		t.Fatalf("final stats lost the broadcast: %+v", st)
+	}
+}
+
+// TestNodeStatsAfterStopNeverStarted: a stopped-but-never-started node
+// reports its (empty) initial stats rather than erroring forever.
+func TestNodeStatsAfterStopNeverStarted(t *testing.T) {
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N: 1, Link: channel.Reliable{D: channel.FixedDelay(0)},
+	})
+	defer mesh.Close()
+	nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(2)), urb.Config{}),
+		mesh.Endpoint(0))
+	if err := nd.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	st, err := nd.Stats()
+	if err != nil {
+		t.Fatalf("stats after stop-before-start: %v", err)
+	}
+	if st.MsgSet != 0 || st.Delivered != 0 {
+		t.Fatalf("unexpected non-zero stats: %+v", st)
+	}
+}
+
+// TestNodeQuietForBothTransports: Node.QuietFor is false until the
+// node's first send, then eventually true once sends stop — over both
+// the mesh and real UDP sockets (Mesh.QuietFor shares the semantics;
+// see the transport package's TestMeshQuietForSemantics).
+func TestNodeQuietForBothTransports(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(t *testing.T) (transport.Transport, func())
+	}{
+		{"mesh", func(t *testing.T) (transport.Transport, func()) {
+			m := transport.NewMesh(transport.MeshConfig{
+				N: 1, Link: channel.Reliable{D: channel.FixedDelay(0)}, Unit: time.Millisecond,
+			})
+			return m.Endpoint(0), func() { m.Close() }
+		}},
+		{"udp", func(t *testing.T) (transport.Transport, func()) {
+			group, err := transport.UDPGroup(1, 0)
+			if err != nil {
+				t.Fatalf("udp group: %v", err)
+			}
+			return group[0], func() { group[0].Close() }
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			tr, cleanup := tc.make(t)
+			defer cleanup()
+			// An empty Majority process never sends on its own: ticks
+			// retransmit an empty MSG set.
+			nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(5)), urb.Config{}),
+				tr, node.WithTickEvery(time.Millisecond))
+			if err := nd.Start(ctx); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			defer nd.Stop()
+
+			time.Sleep(10 * time.Millisecond) // several empty ticks
+			if nd.QuietFor(time.Millisecond) {
+				t.Fatal("QuietFor true before the first send")
+			}
+			if _, err := nd.Broadcast([]byte("wake")); err != nil {
+				t.Fatalf("broadcast: %v", err)
+			}
+			// Majority retransmits forever, so silence only follows Stop;
+			// lastSend keeps answering on a stopped node.
+			time.Sleep(5 * time.Millisecond)
+			nd.Stop()
+			if nd.QuietFor(time.Hour) {
+				t.Fatal("QuietFor(1h) true right after sends")
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for !nd.QuietFor(5 * time.Millisecond) {
+				if time.Now().After(deadline) {
+					t.Fatal("QuietFor never became true after the node stopped sending")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
 }

@@ -116,6 +116,10 @@ func (c *Chaos) Send(frame []byte) {
 // Receive implements Transport: inbound frames pass through untouched.
 func (c *Chaos) Receive() <-chan []byte { return c.inner.Receive() }
 
+// FrameBudget implements Transport: chaos adds no framing of its own,
+// so the wrapped transport's budget applies.
+func (c *Chaos) FrameBudget() int { return c.inner.FrameBudget() }
+
 // Close implements Transport: closes the wrapped transport.
 func (c *Chaos) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {

@@ -25,6 +25,13 @@ type MeshConfig struct {
 	// InboxDepth bounds each endpoint's inbound frame queue; a full queue
 	// drops frames (legal: the network is lossy anyway). Defaults to 1024.
 	InboxDepth int
+	// FrameBudget is the batch frame size hint every endpoint reports
+	// (Transport.FrameBudget). The mesh itself carries frames of any
+	// size; the budget exists so batching senders behave identically on
+	// the mesh and on size-limited transports. 0 defaults to
+	// MaxUDPFrame (UDP parity); negative means unbounded (endpoints
+	// report 0).
+	FrameBudget int
 }
 
 // Mesh is the in-process transport: N endpoints joined by an n×n mesh of
@@ -72,6 +79,11 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 1024
 	}
+	if cfg.FrameBudget == 0 {
+		cfg.FrameBudget = MaxUDPFrame
+	} else if cfg.FrameBudget < 0 {
+		cfg.FrameBudget = 0 // unbounded
+	}
 	m := &Mesh{
 		cfg:   cfg,
 		start: time.Now(),
@@ -102,8 +114,14 @@ func (m *Mesh) ElapsedUnits() int64 {
 	return int64(time.Since(m.start) / m.cfg.Unit)
 }
 
-// QuietFor reports whether no endpoint has sent for at least d.
+// QuietFor reports whether no endpoint has sent for at least d — false
+// until the first send, matching Node.QuietFor: a mesh nobody has ever
+// used is idle, not quiescent, and quiescence experiments must not
+// count it as converged.
 func (m *Mesh) QuietFor(d time.Duration) bool {
+	if m.sends.Load() == 0 {
+		return false
+	}
 	quietUnits := int64(d / m.cfg.Unit)
 	return m.ElapsedUnits()-m.lastSend.Load() >= quietUnits
 }
@@ -185,6 +203,9 @@ func (e *meshEndpoint) Send(frame []byte) {
 
 // Receive implements Transport.
 func (e *meshEndpoint) Receive() <-chan []byte { return e.inbox }
+
+// FrameBudget implements Transport: the mesh-wide configured budget.
+func (e *meshEndpoint) FrameBudget() int { return e.mesh.cfg.FrameBudget }
 
 // Close implements Transport: the endpoint stops sending and its frame
 // channel is closed after any buffered frames are drained by the reader.

@@ -39,12 +39,19 @@ package transport
 //   - Close releases the transport's resources. It is idempotent. After
 //     Close, Send is a silent no-op (a closed endpoint is
 //     indistinguishable from a crashed one).
+//   - FrameBudget reports the largest frame (in bytes) one Send can
+//     carry, or 0 for no bound. It is a static hint for senders that
+//     coalesce several wire messages into one batch frame (the node
+//     runtime does): batches built within the budget are never refused
+//     for size. UDP reports the datagram ceiling MaxUDPFrame; the mesh
+//     budget is configurable; Chaos reports its inner transport's.
 //
 // Implementations must make Send and Close safe to call concurrently
 // with each other and with channel receives.
 type Transport interface {
 	Send(frame []byte)
 	Receive() <-chan []byte
+	FrameBudget() int
 	Close() error
 }
 

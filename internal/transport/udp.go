@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MaxUDPFrame is the largest frame a UDP transport sends or receives:
@@ -16,6 +17,17 @@ import (
 // loss (see Send), which violates fairness — keep payloads small in
 // very large systems.
 const MaxUDPFrame = 65507
+
+// readLoop error backoff bounds: after consecutive read errors that are
+// not a deliberate Close, the reader sleeps readBackoffFloor, doubling
+// up to readBackoffCeil, and resets on the next successful read. A
+// platform that surfaces a persistent socket error (e.g. an ICMP storm,
+// or a misconfigured interface) therefore costs a bounded poll rate
+// instead of a 100%-CPU spin.
+const (
+	readBackoffFloor = time.Millisecond
+	readBackoffCeil  = 100 * time.Millisecond
+)
 
 // UDP is a Transport over real UDP sockets. Each node owns one socket;
 // Send writes the frame as one datagram to every peer address (the node
@@ -28,12 +40,16 @@ const MaxUDPFrame = 65507
 // repository assumes more.
 type UDP struct {
 	conn *net.UDPConn
+	// readFrom is the socket read the loop polls; an indirection so the
+	// error-backoff path is testable without a real broken socket.
+	readFrom func(p []byte) (int, error)
 
 	mu    sync.Mutex
 	peers []*net.UDPAddr
 
 	inbox     chan []byte
 	closed    atomic.Bool
+	quit      chan struct{} // closed by Close: wakes a backoff sleep early
 	done      chan struct{}
 	oversized atomic.Uint64
 }
@@ -58,7 +74,12 @@ func ListenUDP(addr string, depth int) (*UDP, error) {
 	u := &UDP{
 		conn:  conn,
 		inbox: make(chan []byte, depth),
+		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
+	}
+	u.readFrom = func(p []byte) (int, error) {
+		n, _, err := conn.ReadFromUDP(p)
+		return n, err
 	}
 	go u.readLoop()
 	return u, nil
@@ -79,22 +100,41 @@ func (u *UDP) SetPeers(peers ...*net.UDPAddr) {
 
 // readLoop pumps datagrams into the inbox until the socket closes.
 func (u *UDP) readLoop() {
+	defer close(u.done)
 	defer close(u.inbox)
 	buf := make([]byte, MaxUDPFrame)
+	var backoff time.Duration
 	for {
-		n, _, err := u.conn.ReadFromUDP(buf)
+		n, err := u.readFrom(buf)
 		if err != nil {
 			if u.closed.Load() || errors.Is(err, net.ErrClosed) {
 				// Deliberate Close: the endpoint is gone.
-				close(u.done)
 				return
 			}
 			// Transient read error (e.g. ICMP port-unreachable surfaced
 			// as a read error on some platforms when a peer dies): treat
 			// it as channel loss and keep reading — one crashed peer
-			// must not kill the survivors' transports.
+			// must not kill the survivors' transports. Consecutive
+			// errors back off exponentially (bounded) so a persistent
+			// error degrades to a slow poll, not a 100%-CPU spin.
+			if backoff == 0 {
+				backoff = readBackoffFloor
+			} else if backoff < readBackoffCeil {
+				backoff *= 2
+				if backoff > readBackoffCeil {
+					backoff = readBackoffCeil
+				}
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-u.quit:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
 			continue
 		}
+		backoff = 0
 		if n == 0 {
 			continue
 		}
@@ -130,6 +170,9 @@ func (u *UDP) Send(frame []byte) {
 // Receive implements Transport.
 func (u *UDP) Receive() <-chan []byte { return u.inbox }
 
+// FrameBudget implements Transport: the UDP datagram payload ceiling.
+func (u *UDP) FrameBudget() int { return MaxUDPFrame }
+
 // Oversized reports how many frames Send refused because they exceeded
 // MaxUDPFrame.
 func (u *UDP) Oversized() uint64 { return u.oversized.Load() }
@@ -140,6 +183,7 @@ func (u *UDP) Close() error {
 	if !u.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(u.quit) // wake the reader if it is sleeping in error backoff
 	err := u.conn.Close()
 	<-u.done
 	return err

@@ -1,0 +1,163 @@
+package transport
+
+// White-box tests for the UDP reader's error handling: a persistent
+// non-Close read error must degrade to a bounded-rate poll (backoff),
+// never a busy spin, and Close must wake a sleeping reader promptly.
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+)
+
+// newLoopUDP builds a UDP whose readLoop polls readFrom instead of a
+// real socket (conn stays nil; only readLoop runs). readFrom receives
+// the UDP so fakes can consult the closed flag, as a real socket
+// implicitly does.
+func newLoopUDP(readFrom func(u *UDP, p []byte) (int, error)) *UDP {
+	u := &UDP{
+		inbox: make(chan []byte, 16),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	u.readFrom = func(p []byte) (int, error) { return readFrom(u, p) }
+	go u.readLoop()
+	return u
+}
+
+// stopLoopUDP performs the reader-relevant half of Close.
+func stopLoopUDP(t *testing.T, u *UDP) {
+	t.Helper()
+	if u.closed.CompareAndSwap(false, true) {
+		close(u.quit)
+	}
+	select {
+	case <-u.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("readLoop did not exit")
+	}
+}
+
+// TestUDPReadLoopErrorBackoff: a persistent read error must not spin.
+// Regression test: the loop used to `continue` straight back into the
+// failing read, burning 100% CPU until the process died.
+func TestUDPReadLoopErrorBackoff(t *testing.T) {
+	var calls atomic.Uint64
+	u := newLoopUDP(func(_ *UDP, p []byte) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("persistent failure")
+	})
+	defer stopLoopUDP(t, u)
+
+	const window = 300 * time.Millisecond
+	time.Sleep(window)
+	got := calls.Load()
+	// With a 1ms floor doubling to a 100ms ceiling, 300ms admits well
+	// under 20 reads; a busy spin would log millions. The bound is loose
+	// (scheduler noise) but catastrophically far from spin territory.
+	if got > 64 {
+		t.Fatalf("readLoop made %d reads in %v under a persistent error: busy spin (want bounded backoff)", got, window)
+	}
+	if got == 0 {
+		t.Fatal("readLoop never polled the socket")
+	}
+}
+
+// TestUDPReadLoopBackoffRecovers: the backoff resets after a successful
+// read — errors slow the reader down only while they persist.
+func TestUDPReadLoopBackoffRecovers(t *testing.T) {
+	var calls atomic.Uint64
+	frame := []byte{1, 2, 3}
+	u := newLoopUDP(func(u *UDP, p []byte) (int, error) {
+		if u.closed.Load() {
+			return 0, net.ErrClosed // a real socket fails after Close
+		}
+		n := calls.Add(1)
+		if n <= 4 { // a short error burst, then a healthy socket
+			return 0, errors.New("transient failure")
+		}
+		copy(p, frame)
+		return len(frame), nil
+	})
+	defer stopLoopUDP(t, u)
+
+	select {
+	case got := <-u.inbox:
+		if len(got) != len(frame) {
+			t.Fatalf("frame mangled after recovery: %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never recovered from the error burst")
+	}
+}
+
+// TestUDPReadLoopCloseWakesBackoff: Close must not wait out a pending
+// backoff sleep — the quit channel wakes the reader immediately.
+func TestUDPReadLoopCloseWakesBackoff(t *testing.T) {
+	entered := make(chan struct{}, 1024)
+	u := newLoopUDP(func(u *UDP, p []byte) (int, error) {
+		if u.closed.Load() {
+			return 0, net.ErrClosed
+		}
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		return 0, errors.New("always failing")
+	})
+	<-entered // the loop is running and about to sleep
+	start := time.Now()
+	stopLoopUDP(t, u)
+	if waited := time.Since(start); waited > 2*readBackoffCeil {
+		t.Fatalf("close waited %v on a backing-off reader, want prompt wake-up", waited)
+	}
+}
+
+// TestUDPReadLoopClosedError: a read error after Close (or net.ErrClosed
+// at any time) terminates the loop and closes the channels.
+func TestUDPReadLoopClosedError(t *testing.T) {
+	u := newLoopUDP(func(_ *UDP, p []byte) (int, error) {
+		return 0, net.ErrClosed
+	})
+	select {
+	case <-u.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("readLoop did not exit on net.ErrClosed")
+	}
+	if _, ok := <-u.inbox; ok {
+		t.Fatal("inbox must be closed after the reader exits")
+	}
+}
+
+// TestMeshQuietForSemantics: QuietFor is false until the first send and
+// matches Node.QuietFor's "false until the first send" contract. A
+// never-sending mesh must not report quiescence — it would corrupt
+// quiescence experiments that poll QuietFor for convergence.
+func TestMeshQuietForSemantics(t *testing.T) {
+	m := NewMesh(MeshConfig{N: 2, Link: channel.Reliable{D: channel.FixedDelay(0)}, Unit: time.Millisecond})
+	defer m.Close()
+
+	if m.QuietFor(0) {
+		t.Fatal("mesh with no sends reported QuietFor(0)=true")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if m.QuietFor(time.Millisecond) {
+		t.Fatal("idle-but-unused mesh reported quiescence")
+	}
+
+	m.Endpoint(0).Send([]byte{1, 2, 3})
+	if m.QuietFor(time.Hour) {
+		t.Fatal("QuietFor(1h) true immediately after a send")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.QuietFor(10 * time.Millisecond) {
+		if time.Now().After(deadline) {
+			t.Fatal("QuietFor never became true after sends stopped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

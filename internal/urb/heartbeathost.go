@@ -89,7 +89,7 @@ func (h *HeartbeatHost) Tick() Step {
 		h.beatsSent++
 		out.Broadcasts = append(out.Broadcasts, wire.NewBeat(h.hb.Label()))
 	}
-	out.merge(h.inner.Tick())
+	out.Merge(h.inner.Tick())
 	return out
 }
 

@@ -75,10 +75,16 @@ func (a *ackState) bump(label ident.Tag) {
 	a.claims[label]++
 }
 
-// drop decrements a label's claim count.
+// drop decrements a label's claim count, deleting the entry at zero —
+// a missing key reads as 0 everywhere, and keeping it would leak one
+// map key per dead label forever (the same monotonic growth the D4
+// acker drop exists to stop).
 func (a *ackState) drop(label ident.Tag) {
-	if c := a.claims[label]; c > 0 {
+	switch c := a.claims[label]; {
+	case c > 1:
 		a.claims[label] = c - 1
+	case c == 1:
+		delete(a.claims, label)
 	}
 }
 
@@ -125,7 +131,16 @@ func (a *ackState) update(acker ident.Tag, labels []ident.Tag) bool {
 // because AP* perpetually contains every correct process's label, so a
 // label absent from both current views can only belong to a crashed
 // process.
+//
+// Ackers whose label set the purge empties are dropped entirely: an
+// empty set contributes nothing to any claim count, passes every
+// subset check, and would never be refreshed (its owner is crashed) —
+// keeping the entry would only grow byAcker/ackerOrder monotonically
+// and tax every retireReady scan with dead ackers forever. If the
+// acker was wrongly suspected and re-ACKs later, update re-admits it
+// as a fresh acker with identical claim accounting.
 func (a *ackState) purge(keep func(ident.Tag) bool) {
+	kept := a.ackerOrder[:0]
 	for _, acker := range a.ackerOrder {
 		set := a.byAcker[acker]
 		for _, l := range append([]ident.Tag(nil), set.Slice()...) {
@@ -134,7 +149,13 @@ func (a *ackState) purge(keep func(ident.Tag) bool) {
 				a.drop(l)
 			}
 		}
+		if set.Len() == 0 {
+			delete(a.byAcker, acker)
+			continue
+		}
+		kept = append(kept, acker)
 	}
+	a.ackerOrder = kept
 }
 
 // ackers returns the number of distinct tag_acks seen.

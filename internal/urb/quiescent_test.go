@@ -394,3 +394,90 @@ func TestQuiescentStatsShape(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+// TestQuiescentPurgeDropsDeadAckers: the D4 purge must delete acker
+// entries whose entire label set belonged to crashed processes — not
+// just empty their sets — so byAcker/ackerOrder stop growing and
+// retireReady stops scanning dead ackers forever. Retirement must still
+// hold afterwards.
+func TestQuiescentPurgeDropsDeadAckers(t *testing.T) {
+	// Live view: labels 1 and 2, each needing 2 claimants. Label 3's
+	// owner has crashed: it appears in no current view.
+	det := staticFD(fd.Pair{Label: lbl(1), Number: 2}, fd.Pair{Label: lbl(2), Number: 2})
+	p := newQui(t, det, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: "m"}
+
+	// The message is known (so Task 1 retransmits and may retire it).
+	p.Receive(wire.NewMsg(id))
+	// Two live ackers claim both live labels; the crashed process's own
+	// frozen ACK claims only its stale label 3.
+	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1), lbl(2)}))
+	p.Receive(wire.NewLabeledAck(id, lbl(101), []ident.Tag{lbl(1), lbl(2)}))
+	p.Receive(wire.NewLabeledAck(id, lbl(102), []ident.Tag{lbl(3)}))
+
+	if !p.HasDelivered(id) {
+		t.Fatal("delivery guard should have fired (claims[l1]=2 >= 2)")
+	}
+	if p.Ackers(id) != 3 {
+		t.Fatalf("ackers=%d before purge, want 3", p.Ackers(id))
+	}
+
+	// Tick purges stale labels; the dead acker's set empties, so the
+	// entry itself must go, and retirement must still succeed (all AP*
+	// pairs covered, no remaining acker claims outside AP*).
+	p.Tick()
+	if p.Ackers(id) != 2 {
+		t.Fatalf("ackers=%d after purge, want 2 (dead acker entry kept)", p.Ackers(id))
+	}
+	if p.KnowsMsg(id) {
+		t.Fatal("message not retired after purge")
+	}
+	if p.RetiredCount() != 1 {
+		t.Fatalf("retired=%d, want 1", p.RetiredCount())
+	}
+	if st := p.Stats(); st.AckEntries != 2 {
+		t.Fatalf("AckEntries=%d, want 2 after dead-acker drop", st.AckEntries)
+	}
+}
+
+// TestQuiescentPurgedAckerReadmitted: a dropped acker that turns out to
+// be alive (it re-ACKs with a live label) is re-admitted with correct
+// claim accounting.
+func TestQuiescentPurgedAckerReadmitted(t *testing.T) {
+	det := staticFD(fd.Pair{Label: lbl(1), Number: 99})
+	p := newQui(t, det, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: "m"}
+
+	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(7)})) // stale-only
+	p.Tick()                                                         // purge drops the acker
+	if p.Ackers(id) != 0 {
+		t.Fatalf("ackers=%d after purge, want 0", p.Ackers(id))
+	}
+	p.Receive(wire.NewLabeledAck(id, lbl(100), []ident.Tag{lbl(1)}))
+	if p.Ackers(id) != 1 || p.Claims(id, lbl(1)) != 1 {
+		t.Fatalf("re-admitted acker mis-accounted: ackers=%d claims=%d",
+			p.Ackers(id), p.Claims(id, lbl(1)))
+	}
+}
+
+// TestQuiescentClaimsMapDoesNotLeakDeadLabels: a claim count that drops
+// to zero removes its map entry entirely — purged stale labels must not
+// accumulate as permanent zero-valued keys.
+func TestQuiescentClaimsMapDoesNotLeakDeadLabels(t *testing.T) {
+	det := staticFD(fd.Pair{Label: lbl(1), Number: 99})
+	p := newQui(t, det, Config{})
+	id := wire.MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: "m"}
+
+	// 64 ackers, each claiming a distinct stale label plus the live one.
+	for i := uint64(0); i < 64; i++ {
+		p.Receive(wire.NewLabeledAck(id, lbl(100+i), []ident.Tag{lbl(1), lbl(200 + i)}))
+	}
+	p.Tick() // purge: every stale label dies; ackers keep {lbl(1)}
+	st := p.acks[id]
+	if len(st.claims) != 1 {
+		t.Fatalf("claims map holds %d keys after purge, want 1 (dead labels leaked)", len(st.claims))
+	}
+	if st.claims[lbl(1)] != 64 {
+		t.Fatalf("live label count corrupted: %d", st.claims[lbl(1)])
+	}
+}

@@ -54,8 +54,11 @@ type Step struct {
 	Deliveries []Delivery
 }
 
-// merge appends o's outputs onto s.
-func (s *Step) merge(o Step) {
+// Merge appends o's outputs onto s. Hosting runtimes use it to coalesce
+// the Steps of several inputs processed back-to-back (e.g. all messages
+// of one inbound batch frame) so the combined broadcasts can travel as
+// one batch.
+func (s *Step) Merge(o Step) {
 	s.Broadcasts = append(s.Broadcasts, o.Broadcasts...)
 	s.Deliveries = append(s.Deliveries, o.Deliveries...)
 }

@@ -1,0 +1,178 @@
+package wire
+
+// Batch framing: a batch frame is nothing but the concatenation of
+// canonical single-message encodings — there is no extra header, length
+// prefix or checksum, so batching adds exactly zero bytes of overhead to
+// the wire and any batch frame decodes with DecodePrefix one message at
+// a time. EncodeBatch/DecodeBatch are the packing helpers the node
+// runtime and the benchmarks use; EncodeCache removes the per-tick
+// re-encoding cost of Task-1 retransmission (the same MSG frames are
+// encoded again on every tick, forever, in steady state).
+
+import (
+	"sync/atomic"
+
+	"anonurb/internal/ident"
+)
+
+// DefaultEncodeCacheSize is the entry bound EncodeCache uses when built
+// with a non-positive capacity. Entries are one encoded MSG frame each
+// (tens of bytes for typical payloads), so the default is cheap.
+const DefaultEncodeCacheSize = 1024
+
+// EncodeBatch packs the canonical encodings of msgs into as few
+// concatenated batch frames as possible, none exceeding budget bytes
+// (budget <= 0 means no bound: everything lands in one frame). Messages
+// are packed greedily in order; a message whose encoding alone exceeds
+// the budget is emitted as its own (oversized) frame — the caller
+// decides whether its transport can carry it, exactly as for a single
+// encoded message today.
+func EncodeBatch(msgs []Message, budget int) [][]byte {
+	if len(msgs) == 0 {
+		return nil
+	}
+	var frames [][]byte
+	var cur []byte
+	for _, m := range msgs {
+		if SplitsBatch(len(cur), m, budget) {
+			frames = append(frames, cur)
+			cur = nil
+		}
+		cur = m.Encode(cur)
+	}
+	if len(cur) > 0 {
+		frames = append(frames, cur)
+	}
+	return frames
+}
+
+// SplitsBatch is the greedy packing rule shared by EncodeBatch and
+// batching senders (the node runtime): appending m to a batch frame
+// currently curLen bytes long must start a new frame iff the frame is
+// non-empty and would exceed budget (<= 0: no bound). A message whose
+// encoding alone exceeds the budget therefore still travels, alone.
+func SplitsBatch(curLen int, m Message, budget int) bool {
+	return budget > 0 && curLen > 0 && curLen+m.EncodedSize() > budget
+}
+
+// DecodeBatch parses a batch frame — one or more concatenated canonical
+// message encodings — into its messages. It is strict: an empty frame,
+// a corrupt message anywhere in the stream, or trailing garbage rejects
+// the whole batch (receivers that want the valid prefix of a damaged
+// frame use DecodePrefix directly, as the node runtime does).
+func DecodeBatch(frame []byte) ([]Message, error) {
+	if len(frame) == 0 {
+		return nil, ErrShort
+	}
+	var msgs []Message
+	rest := frame
+	for len(rest) > 0 {
+		m, next, err := DecodePrefix(rest)
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, m)
+		rest = next
+	}
+	return msgs, nil
+}
+
+// EncodeCache memoises canonical MSG encodings by MsgID. MSG frames are
+// a pure function of the message identity and Task 1 retransmits the
+// same identities tick after tick, so a steady-state tick can append
+// cached bytes instead of re-encoding every body. ACK frames carry the
+// acker's current label view (they change between sends) and BEAT
+// frames are two tags — neither is cached.
+//
+// The cache is bounded: once capacity entries are held, the oldest entry
+// is evicted first (retired messages age out on their own). It is not
+// safe for concurrent use — every node owns its own cache — except for
+// Stats, whose counters are atomic so monitors may poll them while the
+// owner encodes.
+type EncodeCache struct {
+	capacity int
+	// entries is keyed tag-first, then body: indexing the inner map
+	// with string(m.Body) lets the compiler elide the string conversion
+	// on lookups, so a cache hit — the per-tick steady-state path —
+	// allocates nothing.
+	entries map[ident.Tag]map[string][]byte
+	count   int
+	// order is a FIFO of cached ids; head indexes the oldest live entry
+	// (the slice is compacted when the dead prefix grows large). Every
+	// slot is live when popped: entries are unique and removed only by
+	// eviction, which consumes the slot.
+	order []MsgID
+	head  int
+
+	hits, misses atomic.Uint64
+}
+
+// NewEncodeCache builds a cache bounded to capacity entries
+// (DefaultEncodeCacheSize if capacity <= 0).
+func NewEncodeCache(capacity int) *EncodeCache {
+	if capacity <= 0 {
+		capacity = DefaultEncodeCacheSize
+	}
+	return &EncodeCache{
+		capacity: capacity,
+		entries:  make(map[ident.Tag]map[string][]byte, capacity),
+	}
+}
+
+// AppendEncoded appends m's canonical encoding to dst and returns the
+// extended slice, serving MSG encodings from the cache when possible.
+// The cached bytes are copied into dst; the cache never aliases caller
+// memory.
+func (c *EncodeCache) AppendEncoded(dst []byte, m Message) []byte {
+	if m.Kind != KindMsg {
+		return m.Encode(dst)
+	}
+	if enc, ok := c.entries[m.Tag][string(m.Body)]; ok {
+		c.hits.Add(1)
+		return append(dst, enc...)
+	}
+	c.misses.Add(1)
+	enc := m.Encode(make([]byte, 0, m.EncodedSize()))
+	if c.count >= c.capacity {
+		c.evictOldest()
+	}
+	byBody, ok := c.entries[m.Tag]
+	if !ok {
+		byBody = make(map[string][]byte, 1)
+		c.entries[m.Tag] = byBody
+	}
+	byBody[string(m.Body)] = enc
+	c.count++
+	c.order = append(c.order, m.ID())
+	return append(dst, enc...)
+}
+
+// evictOldest removes the oldest cached entry.
+func (c *EncodeCache) evictOldest() {
+	if c.head >= len(c.order) {
+		return
+	}
+	id := c.order[c.head]
+	c.head++
+	if byBody, ok := c.entries[id.Tag]; ok {
+		if _, ok := byBody[id.Body]; ok {
+			delete(byBody, id.Body)
+			c.count--
+			if len(byBody) == 0 {
+				delete(c.entries, id.Tag)
+			}
+		}
+	}
+	// Compact the consumed prefix once it dominates the slice.
+	if c.head > len(c.order)/2 && c.head > 64 {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// Len reports the number of cached encodings.
+func (c *EncodeCache) Len() int { return c.count }
+
+// Stats reports (cache hits, cache misses) so far. Safe to call
+// concurrently with the owner's AppendEncoded.
+func (c *EncodeCache) Stats() (hits, misses uint64) { return c.hits.Load(), c.misses.Load() }

@@ -46,21 +46,40 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
-// FuzzDecodePrefixStream checks the streaming decoder: any byte string is
-// split into a prefix of valid messages plus a rejected or empty tail,
-// without panics and with progress on every step.
+// FuzzDecodePrefixStream checks the streaming decoder on concatenated
+// message streams — the exact format batch frames travel in: any byte
+// string is split into a prefix of valid messages plus a rejected or
+// empty tail, without panics, with progress on every step, and with
+// every accepted prefix message re-encoding canonically.
 func FuzzDecodePrefixStream(f *testing.F) {
 	stream := NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: "a"}).Encode(nil)
 	stream = NewBeat(ident.Tag{Hi: 2, Lo: 2}).Encode(stream)
 	f.Add(stream)
 	f.Add([]byte{1, 1, 0})
 
+	// Concatenated batch of every message kind (a full batch frame).
+	batch := NewMsg(MsgID{Tag: ident.Tag{Hi: 3, Lo: 1}, Body: "batched"}).Encode(nil)
+	batch = NewAck(MsgID{Tag: ident.Tag{Hi: 3, Lo: 1}, Body: "batched"}, ident.Tag{Hi: 4, Lo: 1}).Encode(batch)
+	batch = NewLabeledAck(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
+		ident.Tag{Hi: 6, Lo: 1}, []ident.Tag{{Hi: 7, Lo: 1}}).Encode(batch)
+	batch = NewBeat(ident.Tag{Hi: 8, Lo: 1}).Encode(batch)
+	f.Add(batch)
+	// Truncated batch: two messages with the tail of the second cut off.
+	f.Add(batch[:len(batch)-7])
+	// Valid batch followed by trailing garbage.
+	f.Add(append(append([]byte{}, batch...), 0xde, 0xad, 0xbe, 0xef))
+	// Garbage injected between two valid messages.
+	mid := NewMsg(MsgID{Tag: ident.Tag{Hi: 9, Lo: 1}, Body: "x"}).Encode(nil)
+	mid = append(mid, 0x00, 0x99)
+	f.Add(NewBeat(ident.Tag{Hi: 10, Lo: 1}).Encode(mid))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rest := data
+		consumed := 0
 		for len(rest) > 0 {
 			m, next, err := DecodePrefix(rest)
 			if err != nil {
-				return
+				break
 			}
 			if len(next) >= len(rest) {
 				t.Fatal("DecodePrefix made no progress")
@@ -68,7 +87,84 @@ func FuzzDecodePrefixStream(f *testing.F) {
 			if m.Kind != KindMsg && m.Kind != KindAck && m.Kind != KindBeat {
 				t.Fatalf("accepted unknown kind %v", m.Kind)
 			}
+			// Canonicality per member: the consumed bytes are exactly the
+			// message's re-encoding.
+			re := m.Encode(nil)
+			used := len(rest) - len(next)
+			if used != len(re) {
+				t.Fatalf("prefix consumed %dB but re-encodes to %dB", used, len(re))
+			}
+			for i := range re {
+				if re[i] != rest[i] {
+					t.Fatalf("re-encode differs at byte %d of stream offset %d", i, consumed)
+				}
+			}
+			consumed += used
 			rest = next
+		}
+		// DecodeBatch must agree with the manual walk: it accepts exactly
+		// the streams the walk fully consumes.
+		msgs, err := DecodeBatch(data)
+		fullyConsumed := len(data) > 0 && len(rest) == 0
+		if fullyConsumed != (err == nil) {
+			t.Fatalf("DecodeBatch err=%v disagrees with DecodePrefix walk (fully consumed=%v)", err, fullyConsumed)
+		}
+		if err == nil && len(msgs) == 0 {
+			t.Fatal("DecodeBatch accepted a stream but returned no messages")
+		}
+	})
+}
+
+// FuzzBatchRoundTrip drives EncodeBatch/DecodeBatch with fuzzer-chosen
+// payload splits and budgets: every packing must round-trip, respect the
+// budget (lone oversized messages aside), and add zero byte overhead.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), []byte("world"), 40)
+	f.Add([]byte{}, []byte{0xff, 0x00}, 0)
+	f.Add([]byte("a"), []byte("b"), 1)
+
+	f.Fuzz(func(t *testing.T, b1, b2 []byte, budget int) {
+		if len(b1) > MaxBody || len(b2) > MaxBody {
+			return
+		}
+		msgs := []Message{
+			NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: string(b1)}),
+			NewLabeledAck(MsgID{Tag: ident.Tag{Hi: 2, Lo: 1}, Body: string(b2)},
+				ident.Tag{Hi: 3, Lo: 1}, []ident.Tag{{Hi: 4, Lo: 1}}),
+			NewBeat(ident.Tag{Hi: 5, Lo: 1}),
+		}
+		total := 0
+		for _, m := range msgs {
+			total += m.EncodedSize()
+		}
+		frames := EncodeBatch(msgs, budget)
+		sum := 0
+		var got []Message
+		for _, fr := range frames {
+			sum += len(fr)
+			part, err := DecodeBatch(fr)
+			if err != nil {
+				t.Fatalf("produced frame does not decode: %v", err)
+			}
+			// Only a lone message whose encoding alone exceeds the budget
+			// may produce an over-budget frame.
+			if budget > 0 && len(fr) > budget &&
+				(len(part) != 1 || part[0].EncodedSize() <= budget) {
+				t.Fatalf("frame of %dB (%d messages) exceeds budget %d without being a lone oversized message",
+					len(fr), len(part), budget)
+			}
+			got = append(got, part...)
+		}
+		if sum != total {
+			t.Fatalf("frames sum to %dB, want %dB", sum, total)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("round-tripped %d messages, want %d", len(got), len(msgs))
+		}
+		for i := range msgs {
+			if !got[i].Equal(msgs[i]) {
+				t.Fatalf("message %d mangled in batch round-trip", i)
+			}
 		}
 	})
 }
