@@ -334,6 +334,10 @@ type (
 	ChaosTransport = transport.Chaos
 	// ChaosConfig parameterises a ChaosTransport.
 	ChaosConfig = transport.ChaosConfig
+	// OverflowCounter is implemented by transports that count inbound
+	// frames shed on a full inbox (receiver-side saturation, distinct
+	// from link loss). See Node.InboxOverflows.
+	OverflowCounter = transport.OverflowCounter
 )
 
 // NewMeshNetwork builds an in-process mesh; node i's transport is

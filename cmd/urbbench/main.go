@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F2); empty = all")
 	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
 	out := flag.String("out", "", "with -batching: write the results as JSON to this file")
+	baseline := flag.String("baseline", "", "with -batching: fail if frames-per-delivery regresses >25% against this checked-in results file")
 	flag.Parse()
 
 	if *batching {
@@ -45,10 +47,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite, not -batching (use -out for machine-readable JSON)")
 			os.Exit(2)
 		}
-		os.Exit(runBatching(*seed, *quick, *out))
+		os.Exit(runBatching(*seed, *quick, *out, *baseline))
 	}
-	if *out != "" {
-		fmt.Fprintln(os.Stderr, "urbbench: -out applies only to -batching mode")
+	if *out != "" || *baseline != "" {
+		fmt.Fprintln(os.Stderr, "urbbench: -out and -baseline apply only to -batching mode")
 		os.Exit(2)
 	}
 
@@ -81,7 +83,9 @@ func main() {
 	}
 }
 
-// batchingReport is the JSON document -batching -out writes.
+// batchingReport is the JSON document -batching -out writes. Schema v2
+// adds the ack-encoding comparisons and the ack_bytes / inbox_overflows
+// counters inside every result.
 type batchingReport struct {
 	Schema      string             `json:"schema"`
 	Seed        uint64             `json:"seed"`
@@ -92,11 +96,14 @@ type batchingReport struct {
 	NumCPU      int                `json:"num_cpu"`
 	GeneratedAt string             `json:"generated_at"`
 	Comparisons []bench.Comparison `json:"comparisons"`
+	// AckEncoding compares delta against full-set labeled ACKs on the
+	// quiescent cells (DESIGN.md §8).
+	AckEncoding []bench.AckComparison `json:"ack_encoding,omitempty"`
 }
 
 // runBatching executes the batching benchmark matrix and returns the
 // process exit code.
-func runBatching(seed uint64, quick bool, out string) int {
+func runBatching(seed uint64, quick bool, out, baseline string) int {
 	// Warm the runtime before measuring: netpoll init (first UDP
 	// socket), timer wheels and heap growth are one-time costs that
 	// would otherwise land in the first cell's allocation delta —
@@ -111,7 +118,7 @@ func runBatching(seed uint64, quick bool, out string) int {
 
 	matrix := bench.Matrix(seed, quick)
 	report := batchingReport{
-		Schema:      "anonurb-bench-batching/v1",
+		Schema:      "anonurb-bench-batching/v2",
 		Seed:        seed,
 		Quick:       quick,
 		GoVersion:   runtime.Version(),
@@ -144,6 +151,52 @@ func runBatching(seed uint64, quick bool, out string) int {
 		report.Comparisons = append(report.Comparisons, c)
 	}
 
+	// Ack-encoding phase: delta versus full-set labeled ACKs on the
+	// quiescent cells (batching on in both runs). The batching phase
+	// above already measured each cell's batched delta run — reuse it
+	// instead of re-executing the workload (the large quiescent cells
+	// cost real wall-clock).
+	measured := make(map[string]bench.Result, len(report.Comparisons))
+	for _, c := range report.Comparisons {
+		if c.On.Workload.Algo == bench.AlgoQuiescent {
+			measured[c.Name] = c.On
+		}
+	}
+	fmt.Printf("\n%-22s %12s %12s %9s %9s %10s %10s\n",
+		"ack encoding", "ackB/d", "ackB/d", "ackB", "frames", "quiesce", "overflows")
+	fmt.Printf("%-22s %12s %12s %9s %9s %10s %10s\n",
+		"", "(full)", "(delta)", "improv.", "improv.", "improv.", "full→delta")
+	for _, w := range bench.AckMatrix(seed, quick) {
+		start := time.Now()
+		var a bench.AckComparison
+		var err error
+		if delta, ok := measured[fmt.Sprintf("%s/%s/n=%d", w.Algo, w.Net, w.N)]; ok {
+			a, err = bench.CompareAckEncodingAgainst(w, delta)
+		} else {
+			a, err = bench.CompareAckEncoding(w)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: ack-encoding %s: %v\n", w, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-22s %12.1f %12.1f %8.2fx %8.2fx %9.2fx %5d→%-5d (%v)\n",
+			a.Name, a.FullSet.AckBytesPerDelivery, a.Delta.AckBytesPerDelivery,
+			a.AckBytesImprovement, a.FramesImprovement, a.QuiescenceImprovement,
+			a.FullSet.InboxOverflows, a.Delta.InboxOverflows,
+			time.Since(start).Round(time.Millisecond))
+		report.AckEncoding = append(report.AckEncoding, a)
+	}
+
+	if baseline != "" {
+		if err := checkBaseline(baseline, report); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: baseline regression: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("\nno frames-per-delivery regression >%d%% against %s\n", int(regressionTolerance*100-100), baseline)
+		}
+	}
+
 	// Write whatever completed even when some workloads failed: hours of
 	// measurement should not vanish because one cell timed out.
 	if out != "" {
@@ -163,4 +216,66 @@ func runBatching(seed uint64, quick bool, out string) int {
 		return 1
 	}
 	return 0
+}
+
+// regressionTolerance is the frames-per-delivery ratio above which a
+// cell counts as regressed against the checked-in baseline: >25% worse
+// fails. Generous enough for shared-runner noise on the quick matrix,
+// tight enough to catch a broken batching or delta-ACK pipeline (whose
+// regressions are multiples, not percentages).
+const regressionTolerance = 1.25
+
+// onFramesBasis is the frames-per-delivery figure a comparison is
+// gated on: the steady-state window for Majority (its totals include
+// an unbounded dissemination phase), whole-run for Quiescent (its
+// steady state is silence).
+func onFramesBasis(c bench.Comparison) float64 {
+	if c.On.Workload.Algo == bench.AlgoQuiescent {
+		return c.On.FramesPerDelivery
+	}
+	return c.On.SteadyFramesPerDelivery
+}
+
+// checkBaseline compares the current run's batched frames-per-delivery
+// against the checked-in results file, cell by cell on the name
+// intersection (a quick run gates against the quick-sized subset of the
+// full baseline matrix).
+func checkBaseline(path string, cur batchingReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base batchingReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]bench.Comparison, len(base.Comparisons))
+	for _, c := range base.Comparisons {
+		byName[c.Name] = c
+	}
+	var regressions []string
+	checked := 0
+	for _, c := range cur.Comparisons {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		bv, cv := onFramesBasis(b), onFramesBasis(c)
+		if bv <= 0 || cv <= 0 {
+			continue
+		}
+		checked++
+		if cv > bv*regressionTolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f frames/delivery vs baseline %.2f (+%.0f%%)",
+				c.Name, cv, bv, (cv/bv-1)*100))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no overlapping cells between this run and %s", path)
+	}
+	if len(regressions) > 0 {
+		return errors.New(strings.Join(regressions, "; "))
+	}
+	return nil
 }

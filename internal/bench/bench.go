@@ -10,6 +10,13 @@
 // bounded by the transport's FrameBudget; since batch framing is pure
 // concatenation it changes frame counts, never byte counts.
 //
+// Bytes are accounted per wire-message class: Result.AckBytes isolates
+// the ACK-family cost (full-set, delta and resync frames) from MSG
+// dissemination, and CompareAckEncoding measures Algorithm 2's delta
+// ACK encoding (DESIGN.md §8) against the paper-literal full-set form
+// it replaces. Result.InboxOverflows counts receiver-side load
+// shedding, the direct saturation signal.
+//
 // A Workload runs in two phases. The dissemination phase broadcasts
 // Messages payloads round-robin and waits until every node has
 // delivered all of them. Then, for the non-quiescent Majority
@@ -71,6 +78,14 @@ type Workload struct {
 	Payload int `json:"payload"`
 	// Batching selects the node sending mode under measurement.
 	Batching bool `json:"batching"`
+	// FullSetAcks makes the Quiescent algorithm attach the full AΘ label
+	// set to every ACK (the paper-literal wire form) instead of the
+	// delta encoding that is the benchmark default (DESIGN.md §8). The
+	// full-set form is the baseline the delta encoding is measured
+	// against; it is what saturated the n=100 cells (~1.6 KB per ACK,
+	// one re-ACK per MSG reception). Ignored by Majority, whose ACKs are
+	// constant-size.
+	FullSetAcks bool `json:"full_set_acks,omitempty"`
 	// TickEvery is the Task-1 period (default 20ms).
 	TickEvery time.Duration `json:"tick_every_ns"`
 	// SteadyTicks sizes the Majority steady-state sample window, in
@@ -91,7 +106,11 @@ func (w Workload) String() string {
 	if w.Batching {
 		mode = "on"
 	}
-	return fmt.Sprintf("%s/%s/n=%d/batch=%s", w.Algo, w.Net, w.N, mode)
+	s := fmt.Sprintf("%s/%s/n=%d/batch=%s", w.Algo, w.Net, w.N, mode)
+	if w.Algo == AlgoQuiescent && w.FullSetAcks {
+		s += "/acks=full"
+	}
+	return s
 }
 
 // Result is one workload's measurement.
@@ -99,15 +118,23 @@ type Result struct {
 	Workload Workload `json:"workload"`
 
 	// Run-wide totals, cluster-wide, from process start to sample end.
-	Deliveries uint64  `json:"deliveries"`
-	SentFrames uint64  `json:"sent_frames"`
-	SentMsgs   uint64  `json:"sent_msgs"`
-	SentBytes  uint64  `json:"sent_bytes"`
-	RecvFrames uint64  `json:"recv_frames"`
-	RecvMsgs   uint64  `json:"recv_msgs"`
-	Oversized  uint64  `json:"oversized"`
-	Allocs     uint64  `json:"allocs"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
+	Deliveries uint64 `json:"deliveries"`
+	SentFrames uint64 `json:"sent_frames"`
+	SentMsgs   uint64 `json:"sent_msgs"`
+	SentBytes  uint64 `json:"sent_bytes"`
+	// AckBytes is the ACK-family slice of SentBytes (full-set ACKs,
+	// delta ACKs and resync requests): Algorithm 2's dominant wire cost,
+	// tracked separately so the delta encoding's win is measurable.
+	AckBytes uint64 `json:"ack_bytes"`
+	// InboxOverflows counts inbound frames the transports shed on full
+	// inboxes — the direct saturation signal (a saturated cell sheds
+	// load here; a healthy one counts zero).
+	InboxOverflows uint64  `json:"inbox_overflows"`
+	RecvFrames     uint64  `json:"recv_frames"`
+	RecvMsgs       uint64  `json:"recv_msgs"`
+	Oversized      uint64  `json:"oversized"`
+	Allocs         uint64  `json:"allocs"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
 	// Quiesced reports whether the cluster reached silence (Quiescent
 	// algorithm only; always false for Majority, which never quiesces).
 	Quiesced     bool    `json:"quiesced"`
@@ -125,10 +152,11 @@ type Result struct {
 
 	// Derived metrics. Deliveries is the denominator everywhere: the
 	// N*Messages URB-deliveries this workload sustains.
-	FramesPerDelivery float64 `json:"frames_per_delivery"`
-	BytesPerDelivery  float64 `json:"bytes_per_delivery"`
-	AllocsPerDelivery float64 `json:"allocs_per_delivery"`
-	MsgsPerFrame      float64 `json:"msgs_per_frame"`
+	FramesPerDelivery   float64 `json:"frames_per_delivery"`
+	BytesPerDelivery    float64 `json:"bytes_per_delivery"`
+	AckBytesPerDelivery float64 `json:"ack_bytes_per_delivery"`
+	AllocsPerDelivery   float64 `json:"allocs_per_delivery"`
+	MsgsPerFrame        float64 `json:"msgs_per_frame"`
 	// Steady variants: the per-delivery cost of keeping the cluster in
 	// steady state for the sample window (Majority only).
 	SteadyFramesPerDelivery float64 `json:"steady_frames_per_delivery,omitempty"`
@@ -138,7 +166,7 @@ type Result struct {
 
 // counters is one cluster-wide counter sample.
 type counters struct {
-	frames, msgs, bytes uint64
+	frames, msgs, bytes, ackBytes uint64
 }
 
 // Run executes one workload and returns its measurement.
@@ -223,7 +251,8 @@ func Run(w Workload) (Result, error) {
 		case AlgoMajority:
 			proc = urb.NewMajority(w.N, ident.NewSource(tagRoot.Split()), urb.Config{})
 		case AlgoQuiescent:
-			proc = urb.NewQuiescent(oracle.Handle(i, clock), ident.NewSource(tagRoot.Split()), urb.Config{})
+			proc = urb.NewQuiescent(oracle.Handle(i, clock), ident.NewSource(tagRoot.Split()),
+				urb.Config{DeltaAcks: !w.FullSetAcks})
 		default:
 			return Result{}, fmt.Errorf("bench: unknown algo %q", w.Algo)
 		}
@@ -308,11 +337,15 @@ func Run(w Workload) (Result, error) {
 			m, _ := nd.MessageStats()
 			c.frames += f
 			c.msgs += m
+			_, ack, _ := nd.ByteStats()
+			c.ackBytes += ack
 		}
 		// SentBytesTotal, not Snapshot: the sampler polls every
 		// millisecond while the cluster is sending, and a full Snapshot
 		// summarises histograms under the observer mutex every node's
-		// send path needs — the measurement would perturb itself.
+		// send path needs — the measurement would perturb itself. The
+		// ack split comes from the nodes' atomic counters for the same
+		// reason.
 		c.bytes = metrics.SentBytesTotal()
 		return c
 	}
@@ -385,6 +418,7 @@ func Run(w Workload) (Result, error) {
 	res.SentFrames = final.frames
 	res.SentMsgs = final.msgs
 	res.SentBytes = final.bytes
+	res.AckBytes = final.ackBytes
 	for _, nd := range nodes {
 		_, rf, _ := nd.FrameStats()
 		_, rm := nd.MessageStats()
@@ -393,6 +427,9 @@ func Run(w Workload) (Result, error) {
 		h, m := nd.EncodeCacheStats()
 		res.CacheHits += h
 		res.CacheMisses += m
+		if ov, ok := nd.InboxOverflows(); ok {
+			res.InboxOverflows += ov
+		}
 	}
 	for _, u := range udps {
 		res.Oversized += u.Oversized()
@@ -403,6 +440,7 @@ func Run(w Workload) (Result, error) {
 	del := float64(res.Deliveries)
 	res.FramesPerDelivery = float64(res.SentFrames) / del
 	res.BytesPerDelivery = float64(res.SentBytes) / del
+	res.AckBytesPerDelivery = float64(res.AckBytes) / del
 	res.AllocsPerDelivery = float64(res.Allocs) / del
 	if res.SentFrames > 0 {
 		res.MsgsPerFrame = float64(res.SentMsgs) / float64(res.SentFrames)
@@ -458,6 +496,97 @@ func Matrix(seed uint64, quick bool) []Workload {
 					Timeout:     s.timeout,
 				})
 			}
+		}
+	}
+	return ws
+}
+
+// AckComparison pairs a full-set-ACK and a delta-ACK run of one
+// Quiescent workload (batching on in both): the measurement of the
+// incremental labeled-ACK encoding (DESIGN.md §8) against the
+// paper-literal wire form it replaces.
+type AckComparison struct {
+	Name string `json:"name"`
+	// Delta is the run with the incremental encoding (the default);
+	// FullSet is the paper-literal full-set baseline.
+	Delta   Result `json:"delta"`
+	FullSet Result `json:"full_set"`
+	// AckBytesImprovement is how many times fewer ACK bytes per
+	// delivered message the delta encoding needs. >= 5 at n=100 is the
+	// bar this optimisation sets for itself.
+	AckBytesImprovement float64 `json:"ack_bytes_improvement"`
+	// FramesImprovement is the same ratio for transport frames per
+	// delivered message (rate-limited re-ACKs shrink the frame count on
+	// top of the byte count).
+	FramesImprovement float64 `json:"frames_improvement"`
+	// QuiescenceImprovement is full-set quiescence time over delta
+	// quiescence time: how much sooner the cluster falls silent once
+	// label-set processing stops being the bottleneck.
+	QuiescenceImprovement float64 `json:"quiescence_improvement"`
+}
+
+// CompareAckEncoding runs w (a Quiescent workload) with full-set ACKs
+// and then with delta ACKs — batching on in both, same seed — and
+// derives the improvement ratios. Runs that failed to reach genuine
+// quiescence are rejected: their totals describe a truncated run.
+func CompareAckEncoding(w Workload) (AckComparison, error) {
+	if w.Algo != AlgoQuiescent {
+		return AckComparison{}, fmt.Errorf("bench: ack-encoding comparison needs the quiescent algorithm, got %q", w.Algo)
+	}
+	w.Batching = true
+	w.FullSetAcks = false
+	delta, err := Run(w)
+	if err != nil {
+		return AckComparison{}, err
+	}
+	return CompareAckEncodingAgainst(w, delta)
+}
+
+// CompareAckEncodingAgainst is CompareAckEncoding reusing an
+// already-measured delta run of w (batching on, FullSetAcks off, same
+// seed) — the batching matrix has usually just produced exactly that
+// run, and re-executing a large quiescent cell costs real wall-clock.
+// Only the full-set baseline is run here.
+func CompareAckEncodingAgainst(w Workload, delta Result) (AckComparison, error) {
+	if w.Algo != AlgoQuiescent {
+		return AckComparison{}, fmt.Errorf("bench: ack-encoding comparison needs the quiescent algorithm, got %q", w.Algo)
+	}
+	w.Batching = true
+	w.FullSetAcks = true
+	full, err := Run(w)
+	if err != nil {
+		return AckComparison{}, err
+	}
+	if !full.Quiesced || !delta.Quiesced {
+		return AckComparison{}, fmt.Errorf("bench: %s did not quiesce within its timeout (full=%v delta=%v)",
+			w, full.Quiesced, delta.Quiesced)
+	}
+	c := AckComparison{
+		Name:    fmt.Sprintf("%s/%s/n=%d", w.Algo, w.Net, w.N),
+		Delta:   delta,
+		FullSet: full,
+	}
+	if delta.AckBytesPerDelivery > 0 {
+		c.AckBytesImprovement = full.AckBytesPerDelivery / delta.AckBytesPerDelivery
+	}
+	if delta.FramesPerDelivery > 0 {
+		c.FramesImprovement = full.FramesPerDelivery / delta.FramesPerDelivery
+	}
+	if delta.QuiescenceMS > 0 {
+		c.QuiescenceImprovement = full.QuiescenceMS / delta.QuiescenceMS
+	}
+	return c, nil
+}
+
+// AckMatrix returns the ack-encoding comparison workloads: the
+// Quiescent cells of the batching matrix, whose full-set baselines are
+// exactly the runs the saturation caveat in EXPERIMENTS.md was about.
+// quick trims to CI sizes as Matrix does.
+func AckMatrix(seed uint64, quick bool) []Workload {
+	var ws []Workload
+	for _, w := range Matrix(seed, quick) {
+		if w.Algo == AlgoQuiescent {
+			ws = append(ws, w)
 		}
 	}
 	return ws

@@ -82,6 +82,41 @@ func TestBatchingReducesFrames(t *testing.T) {
 	}
 }
 
+// TestAckEncodingReducesAckBytes: the delta encoding's core claim at CI
+// scale — a quiescent mesh workload spends measurably fewer ACK bytes
+// per delivered message than the full-set baseline, with both runs
+// reaching genuine quiescence. (The checked-in BENCH_batching.json
+// asserts the ≥5× bar at n=100; at n=5 the full sets are small, so the
+// gate here is conservative.)
+func TestAckEncodingReducesAckBytes(t *testing.T) {
+	a, err := CompareAckEncoding(quickWorkload(AlgoQuiescent, NetMesh))
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if !a.Delta.Quiesced || !a.FullSet.Quiesced {
+		t.Fatal("comparison accepted a non-quiescent run")
+	}
+	if a.Delta.AckBytes == 0 || a.FullSet.AckBytes == 0 {
+		t.Fatalf("ack byte counters empty: delta=%d full=%d", a.Delta.AckBytes, a.FullSet.AckBytes)
+	}
+	if a.AckBytesImprovement < 1.2 {
+		t.Fatalf("ack bytes improvement %.2fx < 1.2x (full=%.1f delta=%.1f ackB/delivery)",
+			a.AckBytesImprovement, a.FullSet.AckBytesPerDelivery, a.Delta.AckBytesPerDelivery)
+	}
+	// Sanity on the split: ACK bytes never exceed total bytes.
+	if a.Delta.AckBytes > a.Delta.SentBytes || a.FullSet.AckBytes > a.FullSet.SentBytes {
+		t.Fatalf("ack bytes exceed totals: %+v / %+v", a.Delta, a.FullSet)
+	}
+}
+
+// TestCompareAckEncodingRejectsMajority: the comparison is specifically
+// about Algorithm 2's labeled ACKs.
+func TestCompareAckEncodingRejectsMajority(t *testing.T) {
+	if _, err := CompareAckEncoding(quickWorkload(AlgoMajority, NetMesh)); err == nil {
+		t.Fatal("majority workload accepted")
+	}
+}
+
 // TestBatchingUDPNoOversized: batched frames must respect the UDP
 // datagram budget — the Oversized counter stays at zero.
 func TestBatchingUDPNoOversized(t *testing.T) {

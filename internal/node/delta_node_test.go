@@ -1,0 +1,161 @@
+package node_test
+
+// End-to-end checks for the delta-ACK pipeline at the node layer: a
+// quiescent cluster acknowledging incrementally still URB-delivers
+// everywhere and falls silent, the per-class byte split accounts for
+// every wire byte, and inbox-overflow counting is reachable through the
+// node.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/node"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// startQuiescentCluster launches n quiescent-URB nodes (delta ACKs per
+// cfg) on a mesh with the given link model.
+func startQuiescentCluster(t *testing.T, ctx context.Context, n int, cfg urb.Config, link channel.LinkModel, obs node.Observer) ([]*node.Node, []<-chan node.Delivery, *transport.Mesh) {
+	t.Helper()
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    n,
+		Link: link,
+		Unit: 100 * time.Microsecond,
+		Seed: 77,
+	})
+	correct := make([]bool, n)
+	for i := range correct {
+		correct[i] = true
+	}
+	oracle := fd.NewOracle(fd.OracleConfig{N: n, Noise: fd.NoiseExact, Seed: 7}, correct)
+	start := time.Now()
+	clock := func() int64 { return int64(time.Since(start) / time.Millisecond) }
+	tagRoot := xrand.SplitLabeled(44, "delta-node-tags")
+	nodes := make([]*node.Node, n)
+	inboxes := make([]<-chan node.Delivery, n)
+	for i := range nodes {
+		proc := urb.NewQuiescent(oracle.Handle(i, clock), ident.NewSource(tagRoot.Split()), cfg)
+		opts := []node.Option{node.WithTickEvery(2 * time.Millisecond), node.WithSeed(uint64(i))}
+		if obs != nil {
+			opts = append(opts, node.WithObserver(obs))
+		}
+		nodes[i] = node.New(proc, mesh.Endpoint(i), opts...)
+		inboxes[i] = nodes[i].Deliveries()
+	}
+	for _, nd := range nodes {
+		if err := nd.Start(ctx); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		mesh.Close()
+	})
+	return nodes, inboxes, mesh
+}
+
+func TestNodeDeltaAcksDeliverAndQuiesce(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const n, msgs = 4, 3
+	metrics := node.NewMetrics()
+	nodes, inboxes, _ := startQuiescentCluster(t, ctx, n,
+		urb.Config{DeltaAcks: true},
+		channel.Bernoulli{P: 0.1, D: channel.UniformDelay{Min: 0, Max: 2}},
+		metrics)
+
+	for i := 0; i < msgs; i++ {
+		if _, err := nodes[i%n].Broadcast([]byte{byte('a' + i)}); err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+	}
+	for i, inbox := range inboxes {
+		for k := 0; k < msgs; k++ {
+			select {
+			case <-inbox:
+			case <-ctx.Done():
+				t.Fatalf("node %d delivered %d/%d before timeout", i, k, msgs)
+			}
+		}
+	}
+	// The cluster must still reach quiescence with incremental ACKs.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		quiet := true
+		for _, nd := range nodes {
+			if !nd.QuietFor(50 * time.Millisecond) {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never quiesced under delta ACKs")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Byte accounting: the per-node class split must cover every byte the
+	// shared observer saw, and the ACK slice must be delta frames.
+	var msgB, ackB, otherB uint64
+	for _, nd := range nodes {
+		m, a, o := nd.ByteStats()
+		msgB += m
+		ackB += a
+		otherB += o
+	}
+	snap := metrics.Snapshot()
+	if msgB+ackB+otherB != snap.SentBytes {
+		t.Fatalf("byte split %d+%d+%d != observer total %d", msgB, ackB, otherB, snap.SentBytes)
+	}
+	if ackB != snap.SentAckBytes {
+		t.Fatalf("node ack bytes %d != observer ack bytes %d", ackB, snap.SentAckBytes)
+	}
+	if msgB == 0 || ackB == 0 {
+		t.Fatalf("degenerate run: msgBytes=%d ackBytes=%d", msgB, ackB)
+	}
+	if snap.SentByKind[wire.KindAck] != 0 {
+		t.Fatalf("delta-mode cluster sent %d full-set ACKs", snap.SentByKind[wire.KindAck])
+	}
+	if snap.SentByKind[wire.KindAckDelta] == 0 {
+		t.Fatal("delta-mode cluster sent no delta ACKs")
+	}
+	if got := snap.SentBytesByKind[wire.KindAckDelta] + snap.SentBytesByKind[wire.KindAckReq]; got != snap.SentAckBytes {
+		t.Fatalf("bytes-by-kind ack slices %d != ack total %d", got, snap.SentAckBytes)
+	}
+}
+
+func TestNodeInboxOverflowsSurfaced(t *testing.T) {
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:          1,
+		Link:       channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:       time.Millisecond,
+		InboxDepth: 1,
+	})
+	defer mesh.Close()
+	nd := node.New(urb.NewMajority(1, ident.NewSource(xrand.New(1)), urb.Config{}), mesh.Endpoint(0))
+	defer nd.Stop()
+	// Saturate the un-started node's inbox (nothing drains it).
+	for i := 0; i < 5; i++ {
+		mesh.Endpoint(0).Send([]byte{byte(i)})
+	}
+	got, ok := nd.InboxOverflows()
+	if !ok {
+		t.Fatal("mesh-hosted node cannot report inbox overflows")
+	}
+	if want := uint64(4); got != want {
+		t.Fatalf("overflows = %d, want %d", got, want)
+	}
+}

@@ -30,6 +30,7 @@ type Metrics struct {
 	recvMsgs    uint64
 	sentBytes   uint64
 	sentByKind  map[wire.Kind]uint64
+	bytesByKind map[wire.Kind]uint64
 	deliveries  uint64
 	fast        uint64
 	quiescences uint64
@@ -44,10 +45,11 @@ var _ Observer = (*Metrics)(nil)
 // starts now.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:      time.Now(),
-		sentByKind: make(map[wire.Kind]uint64),
-		msgSize:    metrics.NewHistogram(),
-		deliverLat: metrics.NewHistogram(),
+		start:       time.Now(),
+		sentByKind:  make(map[wire.Kind]uint64),
+		bytesByKind: make(map[wire.Kind]uint64),
+		msgSize:     metrics.NewHistogram(),
+		deliverLat:  metrics.NewHistogram(),
 	}
 }
 
@@ -58,6 +60,7 @@ func (c *Metrics) OnSend(m wire.Message, encoded []byte) {
 	c.sentMsgs++
 	c.sentBytes += uint64(len(encoded))
 	c.sentByKind[m.Kind]++
+	c.bytesByKind[m.Kind] += uint64(len(encoded))
 	c.msgSize.Observe(int64(len(encoded)))
 }
 
@@ -90,13 +93,21 @@ func (c *Metrics) OnQuiescence(time.Duration) {
 // counts are wire messages (see the Metrics doc); SentBytes is exact
 // bytes on the wire in both batching modes.
 type Snapshot struct {
-	SentMsgs    uint64
-	RecvMsgs    uint64
-	SentBytes   uint64
-	SentByKind  map[wire.Kind]uint64
-	Deliveries  uint64
-	Fast        uint64
-	Quiescences uint64
+	SentMsgs  uint64
+	RecvMsgs  uint64
+	SentBytes uint64
+	// SentAckBytes is the ACK-family slice of SentBytes (full-set ACKs,
+	// delta ACKs and resync requests) — the wire cost of Algorithm 2's
+	// acknowledgement path, measured separately from MSG dissemination.
+	// Derived from SentBytesByKind at snapshot time.
+	SentAckBytes uint64
+	SentByKind   map[wire.Kind]uint64
+	// SentBytesByKind splits SentBytes per wire kind, the byte-currency
+	// companion of SentByKind's message counts.
+	SentBytesByKind map[wire.Kind]uint64
+	Deliveries      uint64
+	Fast            uint64
+	Quiescences     uint64
 	// MsgSize is mean/p50/p99/max of sent per-message encoded sizes in
 	// bytes.
 	MsgSize string
@@ -122,11 +133,21 @@ func (c *Metrics) Snapshot() Snapshot {
 	for k, v := range c.sentByKind {
 		byKind[k] = v
 	}
+	bytesByKind := make(map[wire.Kind]uint64, len(c.bytesByKind))
+	var ackBytes uint64
+	for k, v := range c.bytesByKind {
+		bytesByKind[k] = v
+		if k.IsAck() {
+			ackBytes += v
+		}
+	}
 	return Snapshot{
 		SentMsgs:         c.sentMsgs,
 		RecvMsgs:         c.recvMsgs,
 		SentBytes:        c.sentBytes,
+		SentAckBytes:     ackBytes,
 		SentByKind:       byKind,
+		SentBytesByKind:  bytesByKind,
 		Deliveries:       c.deliveries,
 		Fast:             c.fast,
 		Quiescences:      c.quiescences,
@@ -137,7 +158,7 @@ func (c *Metrics) Snapshot() Snapshot {
 
 // String renders a one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("sent=%d (%dB) recv=%d delivered=%d (fast=%d) quiescences=%d msg=%s latms=%s",
-		s.SentMsgs, s.SentBytes, s.RecvMsgs, s.Deliveries, s.Fast, s.Quiescences,
+	return fmt.Sprintf("sent=%d (%dB, ack %dB) recv=%d delivered=%d (fast=%d) quiescences=%d msg=%s latms=%s",
+		s.SentMsgs, s.SentBytes, s.SentAckBytes, s.RecvMsgs, s.Deliveries, s.Fast, s.Quiescences,
 		s.MsgSize, s.DeliverLatencyMs)
 }

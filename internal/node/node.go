@@ -188,6 +188,15 @@ type Node struct {
 	badFrames  atomic.Uint64
 	lastSend   atomic.Int64 // unix nanos; 0 = never sent
 
+	// Per-class byte counters: MSG dissemination vs the ACK family
+	// (full, delta, resync) vs everything else (beats). Splitting at the
+	// send path is what lets benchmarks measure the labeled-ACK cost of
+	// Algorithm 2 — the hottest wire path — separately from payload
+	// dissemination.
+	sentMsgBytes   atomic.Uint64
+	sentAckBytes   atomic.Uint64
+	sentOtherBytes atomic.Uint64
+
 	// cache and budget belong to the loop goroutine (absorb path).
 	cache  *wire.EncodeCache
 	budget int
@@ -394,6 +403,22 @@ func (n *Node) MessageStats() (sent, received uint64) {
 	return n.sentMsgs.Load(), n.recvMsgs.Load()
 }
 
+// ByteStats returns the bytes this node handed to the transport, split
+// by wire-message class: MSG dissemination, the ACK family (full-set,
+// delta and resync frames), and everything else (heartbeats). The sum
+// equals exact bytes on the wire in both batching modes (batch framing
+// adds zero bytes). Safe to poll while the node runs.
+func (n *Node) ByteStats() (msgBytes, ackBytes, otherBytes uint64) {
+	return n.sentMsgBytes.Load(), n.sentAckBytes.Load(), n.sentOtherBytes.Load()
+}
+
+// InboxOverflows reports how many inbound frames this node's transport
+// discarded because its inbox was full — the receiver-side saturation
+// signal — or false when the transport cannot count overflows.
+func (n *Node) InboxOverflows() (uint64, bool) {
+	return transport.Overflows(n.tr)
+}
+
 // EncodeCacheStats returns the node's encode cache (hits, misses).
 // Like the other counter accessors it is safe to call while the node
 // runs (the counters are atomic).
@@ -540,6 +565,14 @@ func (n *Node) absorb(s urb.Step) {
 		start := len(frame)
 		frame = n.cache.AppendEncoded(frame, m)
 		n.sentMsgs.Add(1)
+		switch {
+		case m.Kind == wire.KindMsg:
+			n.sentMsgBytes.Add(uint64(len(frame) - start))
+		case m.Kind.IsAck():
+			n.sentAckBytes.Add(uint64(len(frame) - start))
+		default:
+			n.sentOtherBytes.Add(uint64(len(frame) - start))
+		}
 		if n.opt.observer != nil {
 			n.opt.observer.OnSend(m, frame[start:])
 		}

@@ -313,13 +313,23 @@ func NewEngine(cfg Config) *Engine {
 	return e
 }
 
+// carriesMsg reports whether a wire message references an application
+// message and can advance its fate at the receiver: MSG copies and the
+// whole ACK family (full-set, delta and resync frames all carry the
+// body; a labeled ACK can trigger fast delivery, and a resync request
+// elicits the snapshot that can). Beats reference no message. The
+// convergence bookkeeping (inFlightMsg/aliveTouched) keys on this.
+func carriesMsg(m wire.Message) bool {
+	return m.Kind == wire.KindMsg || m.Kind.IsAck()
+}
+
 func (e *Engine) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.heap, ev)
 	if ev.kind == evReceive {
 		e.pendingWire++
-		if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+		if carriesMsg(ev.msg) {
 			e.inFlightMsg[ev.msg.ID()]++
 		}
 	}
@@ -447,7 +457,7 @@ func (e *Engine) Run() Result {
 		ev := heap.Pop(&e.heap).(*event)
 		if ev.kind == evReceive {
 			e.pendingWire--
-			if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+			if carriesMsg(ev.msg) {
 				e.inFlightMsg[ev.msg.ID()]--
 			}
 		}
@@ -461,7 +471,7 @@ func (e *Engine) Run() Result {
 			if e.crash[ev.proc] {
 				break
 			}
-			if ev.msg.Kind == wire.KindMsg || ev.msg.Kind == wire.KindAck {
+			if carriesMsg(ev.msg) {
 				e.aliveTouched[ev.msg.ID()] = true
 			}
 			for _, o := range e.cfg.Observers {

@@ -58,12 +58,16 @@ type meshEndpoint struct {
 	mesh  *Mesh
 	index int
 
-	mu     sync.Mutex // guards inbox close against in-flight timer offers
-	closed bool
-	inbox  chan []byte
+	mu        sync.Mutex // guards inbox close against in-flight timer offers
+	closed    bool
+	inbox     chan []byte
+	overflows atomic.Uint64
 }
 
-var _ Transport = (*meshEndpoint)(nil)
+var (
+	_ Transport       = (*meshEndpoint)(nil)
+	_ OverflowCounter = (*meshEndpoint)(nil)
+)
 
 // NewMesh builds a mesh. Endpoints are retrieved with Endpoint.
 func NewMesh(cfg MeshConfig) *Mesh {
@@ -127,9 +131,22 @@ func (m *Mesh) QuietFor(d time.Duration) bool {
 }
 
 // Stats returns (copies offered, copies dropped) so far. A broadcast of
-// one frame offers N copies, one per directed link.
+// one frame offers N copies, one per directed link. Drops include both
+// link-model verdicts and inbox overflows; Overflows isolates the
+// latter.
 func (m *Mesh) Stats() (sends, drops uint64) {
 	return m.sends.Load(), m.drops.Load()
+}
+
+// Overflows reports how many frame copies were discarded mesh-wide
+// because a destination endpoint's inbox was full — load shedding by
+// saturated receivers, as opposed to the link model's loss verdicts.
+func (m *Mesh) Overflows() uint64 {
+	var n uint64
+	for _, ep := range m.eps {
+		n += ep.overflows.Load()
+	}
+	return n
 }
 
 // Close closes every endpoint. Idempotent.
@@ -187,8 +204,13 @@ func (e *meshEndpoint) deliver(frame []byte) {
 	}
 	if !offer(e.inbox, frame) {
 		e.mesh.drops.Add(1)
+		e.overflows.Add(1)
 	}
 }
+
+// Overflows implements OverflowCounter: frames this endpoint discarded
+// on a full inbox.
+func (e *meshEndpoint) Overflows() uint64 { return e.overflows.Load() }
 
 // Send implements Transport.
 func (e *meshEndpoint) Send(frame []byte) {

@@ -1,0 +1,157 @@
+package transport_test
+
+// Inbox-overflow accounting: a saturated receiver sheds whole frames,
+// and the counters added for the saturation experiments must see every
+// shed frame — distinctly from link-model loss.
+
+import (
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/transport"
+)
+
+func TestMeshOverflowCounted(t *testing.T) {
+	m := transport.NewMesh(transport.MeshConfig{
+		N:          2,
+		Link:       channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:       time.Millisecond,
+		Seed:       1,
+		InboxDepth: 2,
+	})
+	defer m.Close()
+	sender := m.Endpoint(0)
+
+	const sends = 10
+	for i := 0; i < sends; i++ {
+		sender.Send([]byte{byte(i)})
+	}
+	// Zero-delay reliable links deliver synchronously: each Send offered
+	// 2 copies (one per endpoint), each inbox holds 2 — the remaining
+	// 2*(sends-2) copies overflowed.
+	want := uint64(2 * (sends - 2))
+	if got := m.Overflows(); got != want {
+		t.Fatalf("mesh overflows = %d, want %d", got, want)
+	}
+	for i := 0; i < 2; i++ {
+		got, ok := transport.Overflows(m.Endpoint(i))
+		if !ok {
+			t.Fatalf("endpoint %d does not count overflows", i)
+		}
+		if got != uint64(sends-2) {
+			t.Fatalf("endpoint %d overflows = %d, want %d", i, got, sends-2)
+		}
+	}
+	// Overflow drops are included in the mesh's lossy-drop accounting
+	// too (they are legal channel loss), on top of the overflow split.
+	if _, drops := m.Stats(); drops != want {
+		t.Fatalf("mesh drops = %d, want %d (reliable links: every drop is an overflow)", drops, want)
+	}
+}
+
+func TestMeshNoOverflowWhenDrained(t *testing.T) {
+	m := transport.NewMesh(transport.MeshConfig{
+		N:          1,
+		Link:       channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:       time.Millisecond,
+		Seed:       1,
+		InboxDepth: 64,
+	})
+	defer m.Close()
+	ep := m.Endpoint(0)
+	for i := 0; i < 32; i++ {
+		ep.Send([]byte{byte(i)})
+	}
+	if got := m.Overflows(); got != 0 {
+		t.Fatalf("overflows = %d on an under-capacity run", got)
+	}
+}
+
+func TestUDPOverflowCounted(t *testing.T) {
+	group, err := transport.UDPGroup(1, 1) // inbox depth 1
+	if err != nil {
+		t.Fatalf("udp group: %v", err)
+	}
+	u := group[0]
+	defer u.Close()
+
+	const sends = 20
+	for i := 0; i < sends; i++ {
+		u.Send([]byte{byte(i)})
+	}
+	// The reader needs a moment to pull the datagrams off the socket;
+	// nobody drains the inbox, so all but one datagram that arrive must
+	// overflow. UDP may itself lose datagrams, so only a lower bound of
+	// arrivals is guaranteed — require at least one overflow and
+	// consistency with what was received.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if u.Overflows() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, ok := transport.Overflows(u)
+	if !ok {
+		t.Fatal("UDP does not count overflows")
+	}
+	if got == 0 {
+		t.Fatal("no overflow counted despite a full depth-1 inbox")
+	}
+	if got > sends {
+		t.Fatalf("overflows = %d exceeds sends = %d", got, sends)
+	}
+}
+
+// countlessTransport is a Transport with no overflow accounting.
+type countlessTransport struct{ inbox chan []byte }
+
+func (c *countlessTransport) Send([]byte)            {}
+func (c *countlessTransport) Receive() <-chan []byte { return c.inbox }
+func (c *countlessTransport) FrameBudget() int       { return 0 }
+func (c *countlessTransport) Close() error           { return nil }
+
+// TestChaosDoesNotFakeOverflowCapability: a Chaos wrapper around a
+// transport that cannot count overflows must report "cannot count",
+// not a misleading zero — a saturation experiment reading (0, true)
+// would conclude "no load shedding" about drops nobody measured.
+func TestChaosDoesNotFakeOverflowCapability(t *testing.T) {
+	inner := &countlessTransport{inbox: make(chan []byte)}
+	c := transport.NewChaos(inner, transport.ChaosConfig{
+		Model: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:  time.Millisecond,
+	})
+	if _, ok := transport.Overflows(c); ok {
+		t.Fatal("chaos claimed overflow counting for a counterless inner transport")
+	}
+	if _, ok := transport.Overflows(inner); ok {
+		t.Fatal("counterless transport claimed overflow counting")
+	}
+}
+
+func TestChaosDelegatesOverflows(t *testing.T) {
+	m := transport.NewMesh(transport.MeshConfig{
+		N:          1,
+		Link:       channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:       time.Millisecond,
+		Seed:       1,
+		InboxDepth: 1,
+	})
+	defer m.Close()
+	c := transport.NewChaos(m.Endpoint(0), transport.ChaosConfig{
+		Model: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:  time.Millisecond,
+		Seed:  2,
+	})
+	for i := 0; i < 5; i++ {
+		c.Send([]byte{byte(i)})
+	}
+	got, ok := transport.Overflows(c)
+	if !ok {
+		t.Fatal("chaos does not delegate overflow counting")
+	}
+	if want := uint64(4); got != want {
+		t.Fatalf("chaos overflows = %d, want %d", got, want)
+	}
+}

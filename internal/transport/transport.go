@@ -55,6 +55,40 @@ type Transport interface {
 	Close() error
 }
 
+// OverflowCounter is implemented by transports that can report how many
+// inbound frames they discarded because the receiver's inbox was full.
+// Overflow drops are legal — a fair lossy channel may lose anything —
+// but they are *load shedding*, not network loss: a saturated receiver
+// sheds whole frames, and with batching each shed frame may carry many
+// messages. Distinguishing them from modelled link loss is what lets
+// experiments observe saturation directly instead of inferring it from
+// noisy ratios (see EXPERIMENTS.md). Mesh endpoints and UDP implement
+// it; Chaos wrappers are transparent to the Overflows helper below;
+// Node.InboxOverflows surfaces it.
+type OverflowCounter interface {
+	// Overflows reports inbound frames dropped on a full inbox so far.
+	Overflows() uint64
+}
+
+// Overflows reports tr's inbox-overflow drop count, or (0, false) when
+// the transport cannot count overflows. Chaos wrappers are unwrapped:
+// chaos has no inbox of its own, so the capability — and the count —
+// is its inner transport's. A Chaos around a transport that cannot
+// count therefore correctly reports false, not a misleading zero.
+func Overflows(tr Transport) (uint64, bool) {
+	for {
+		c, ok := tr.(*Chaos)
+		if !ok {
+			break
+		}
+		tr = c.inner
+	}
+	if oc, ok := tr.(OverflowCounter); ok {
+		return oc.Overflows(), true
+	}
+	return 0, false
+}
+
 // offer pushes a frame into an inbox without blocking; a full inbox
 // drops the frame, which the fair lossy channel model permits. It
 // reports whether the frame was accepted.

@@ -52,9 +52,13 @@ type UDP struct {
 	quit      chan struct{} // closed by Close: wakes a backoff sleep early
 	done      chan struct{}
 	oversized atomic.Uint64
+	overflows atomic.Uint64
 }
 
-var _ Transport = (*UDP)(nil)
+var (
+	_ Transport       = (*UDP)(nil)
+	_ OverflowCounter = (*UDP)(nil)
+)
 
 // ListenUDP binds a UDP socket on addr (e.g. "127.0.0.1:0") and starts
 // its reader. Peers must be set with SetPeers before the first Send.
@@ -140,8 +144,12 @@ func (u *UDP) readLoop() {
 		}
 		frame := make([]byte, n)
 		copy(frame, buf[:n])
-		// A full inbox drops the frame, like any lossy channel.
-		offer(u.inbox, frame)
+		// A full inbox drops the frame, like any lossy channel — but
+		// count it: overflow is the receiver shedding load, and the
+		// saturation experiments need to see it.
+		if !offer(u.inbox, frame) {
+			u.overflows.Add(1)
+		}
 	}
 }
 
@@ -176,6 +184,10 @@ func (u *UDP) FrameBudget() int { return MaxUDPFrame }
 // Oversized reports how many frames Send refused because they exceeded
 // MaxUDPFrame.
 func (u *UDP) Oversized() uint64 { return u.oversized.Load() }
+
+// Overflows implements OverflowCounter: datagrams read from the socket
+// but discarded because the inbox was full.
+func (u *UDP) Overflows() uint64 { return u.overflows.Load() }
 
 // Close implements Transport: closes the socket and waits for the
 // reader to finish (so no goroutine outlives Close).

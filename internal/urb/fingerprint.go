@@ -106,14 +106,55 @@ func (p *Quiescent) Fingerprint() string {
 	for id, st := range p.acks {
 		ackers := make([]string, 0, len(st.ackerOrder))
 		for _, acker := range st.ackerOrder {
+			v := st.byAcker[acker]
 			var inner fpWriter
-			inner.sortedTags(st.byAcker[acker].Slice())
-			ackers = append(ackers, acker.String()+"->{"+inner.b.String()+"}")
+			inner.sortedTags(v.labels.Slice())
+			ackers = append(ackers, fmt.Sprintf("%s@%d/%t->{%s}", acker, v.epoch, v.synced, inner.b.String()))
 		}
 		sort.Strings(ackers)
 		keys = append(keys, id.Tag.String()+"~"+id.Body+"=["+strings.Join(ackers, ";")+"]")
 	}
 	sort.Strings(keys)
 	w.b.WriteString(strings.Join(keys, ","))
+	// The delta-path rate limiters and the sender ledger are keyed to
+	// the tick counter; folding them in unconditionally would needlessly
+	// split states that behave identically (the monotonic tick counter
+	// alone would make every state unique). But the gate must be on the
+	// *state*, not the config flag: reception of delta frames and resync
+	// answering are always on, so even a full-set-mode process can hold
+	// a populated ledger or pending request limiters — and two states
+	// differing only in a still-owed resync must not merge.
+	deltaState := p.cfg.DeltaAcks || len(p.ackSend) > 0
+	if !deltaState {
+		for _, st := range p.acks {
+			if len(st.reqTick) > 0 {
+				deltaState = true
+				break
+			}
+		}
+	}
+	if deltaState {
+		w.section("ticks")
+		fmt.Fprintf(&w.b, "%d", p.ticks)
+		w.section("ledger")
+		keys = keys[:0]
+		for id, st := range p.ackSend {
+			var inner fpWriter
+			inner.sortedTags(st.sent.Slice())
+			keys = append(keys, fmt.Sprintf("%s~%s@%d/%d/%d={%s}",
+				id.Tag, id.Body, st.epoch, st.reAckTick, st.snapTick, inner.b.String()))
+		}
+		sort.Strings(keys)
+		w.b.WriteString(strings.Join(keys, ","))
+		w.section("reqs")
+		keys = keys[:0]
+		for id, st := range p.acks {
+			for acker, tick := range st.reqTick {
+				keys = append(keys, fmt.Sprintf("%s~%s/%s=%d", id.Tag, id.Body, acker, tick))
+			}
+		}
+		sort.Strings(keys)
+		w.b.WriteString(strings.Join(keys, ","))
+	}
 	return w.b.String()
 }

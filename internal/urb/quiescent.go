@@ -39,8 +39,14 @@ import (
 // received) m. Every correct process therefore delivers m on its own
 // evidence, and retransmission can stop: the algorithm is quiescent.
 //
-// Deviations D1-D4 from the garbled published listing are documented in
-// DESIGN.md §2 and at the relevant code below.
+// With Config.DeltaAcks the labels travel incrementally (deviation D5,
+// DESIGN.md §8): the acker's set is sent once and then only its
+// epoch-numbered differences, with gaps repaired by a resync
+// request/response. The claim bookkeeping below is driven to the exact
+// same states either way; reception of every wire form is always on.
+//
+// Deviations D1-D5 from the garbled published listing are documented in
+// DESIGN.md §2/§8 and at the relevant code below.
 type Quiescent struct {
 	common
 	det fd.Detector
@@ -48,24 +54,74 @@ type Quiescent struct {
 	acks     map[wire.MsgID]*ackState
 	ackOrder []wire.MsgID
 	retired  int
+	// ticks counts Task-1 passes; the delta-ACK path's per-tick rate
+	// limiters compare against it.
+	ticks uint64
+	// ackSend is the delta-ACK sender ledger: for every message this
+	// process has acknowledged, the label set and epoch of its last
+	// labeled ACK (nil entries never exist; the map is only populated in
+	// DeltaAcks mode).
+	ackSend map[wire.MsgID]*ackSendState
+}
+
+// ackSendState is one message's entry in the acker-side delta ledger.
+type ackSendState struct {
+	// epoch numbers this acker's label-set versions for the message,
+	// starting at 1 with the first labeled ACK.
+	epoch uint64
+	// sent is the label set as of epoch — what every in-sync receiver
+	// holds for this (message, acker).
+	sent *ident.Set
+	// reAckTick-1 is the tick at which the last unchanged re-ACK was
+	// sent (0 = never), the D5 rate limiter: at most one unchanged
+	// re-ACK per message per tick, instead of one per MSG reception.
+	reAckTick uint64
+	// snapTick-1 is the tick of the last snapshot broadcast (0 = never).
+	// Snapshots answer resync requests; since every send is a broadcast,
+	// one snapshot per tick serves every requester at once.
+	snapTick uint64
+}
+
+// ackerView is one acker's entry in the receiver-side bookkeeping: the
+// label set from its latest applied ACK plus the delta-stream position.
+type ackerView struct {
+	labels *ident.Set
+	// epoch is the last applied delta epoch (0 for legacy full-set ACKs,
+	// which carry no epoch).
+	epoch uint64
+	// synced reports whether labels is known to equal the acker's ledger
+	// at epoch, i.e. whether the next delta may be folded in. Legacy
+	// full-set ACKs leave it false (no epoch to sequence against); the
+	// D4 purge clears it when it locally removes labels the acker still
+	// claims remotely.
+	synced bool
 }
 
 // ackState is the paper's ALL_ACK / all_labels / label_counter bundle for
 // one message.
 type ackState struct {
-	// byAcker maps tag_ack → label set of that acker's latest ACK
+	// byAcker maps tag_ack → that acker's latest applied view
 	// (the paper's all_labels[(m,tag), tag_ack]).
-	byAcker map[ident.Tag]*ident.Set
+	byAcker map[ident.Tag]*ackerView
 	// ackerOrder is the first-seen order of tag_acks.
 	ackerOrder []ident.Tag
 	// claims maps label → number of ackers currently claiming it
 	// (the paper's label_counter[(m,tag), label]).
 	claims map[ident.Tag]int
+	// reqTick rate-limits resync requests: reqTick[acker]-1 is the tick
+	// of the last request for that acker's stream (at most one per
+	// (message, acker) per tick). An entry only constrains its own tick,
+	// so the per-tick purge clears the whole map — nothing accumulates
+	// across ticks (in particular not for ackers that crashed before
+	// ever answering), and re-requesting next tick is exactly the
+	// intended repair cadence. The snapshot that repairs a stream clears
+	// its entry within the tick too.
+	reqTick map[ident.Tag]uint64
 }
 
 func newAckState() *ackState {
 	return &ackState{
-		byAcker: make(map[ident.Tag]*ident.Set),
+		byAcker: make(map[ident.Tag]*ackerView),
 		claims:  make(map[ident.Tag]int),
 	}
 }
@@ -88,13 +144,14 @@ func (a *ackState) drop(label ident.Tag) {
 	}
 }
 
-// update applies the latest ACK from one acker with *replacement*
+// replace applies a complete label set from one acker with *replacement*
 // semantics (deviation D1): labels newly claimed are counted up, labels
 // no longer claimed are counted down. This realises the paper's cases
 // "repeated ACK with more labels" (lines 34-37) and "repeated ACK with
-// fewer labels" (lines 38-44) in one well-defined rule. Returns true if
-// the acker is new.
-func (a *ackState) update(acker ident.Tag, labels []ident.Tag) bool {
+// fewer labels" (lines 38-44) in one well-defined rule. epoch/synced
+// record the delta-stream position the set corresponds to (0/false for
+// legacy full-set ACKs). Returns true if the acker is new.
+func (a *ackState) replace(acker ident.Tag, labels []ident.Tag, epoch uint64, synced bool) bool {
 	cur, known := a.byAcker[acker]
 	if !known {
 		s := ident.NewSet()
@@ -103,25 +160,48 @@ func (a *ackState) update(acker ident.Tag, labels []ident.Tag) bool {
 				a.bump(l)
 			}
 		}
-		a.byAcker[acker] = s
+		a.byAcker[acker] = &ackerView{labels: s, epoch: epoch, synced: synced}
 		a.ackerOrder = append(a.ackerOrder, acker)
 		return true
 	}
 	next := ident.NewSet(labels...)
 	// Count up the additions.
 	for _, l := range next.Slice() {
-		if !cur.Has(l) {
+		if !cur.labels.Has(l) {
 			a.bump(l)
 		}
 	}
 	// Count down the removals.
-	for _, l := range cur.Slice() {
+	for _, l := range cur.labels.Slice() {
 		if !next.Has(l) {
 			a.drop(l)
 		}
 	}
-	a.byAcker[acker] = next
+	cur.labels = next
+	cur.epoch = epoch
+	cur.synced = synced
 	return false
+}
+
+// applyDelta folds one delta into an in-sync acker view: removals first,
+// then additions (so a label adversarially present in both lists ends up
+// claimed — a deterministic rule; canonical senders keep the lists
+// disjoint). Folding (+A, −R) into a view equal to the acker's set at
+// epoch−1 yields exactly the acker's set at epoch, so every bump/drop
+// here is one the full-set replace would also have performed: the two
+// paths are state-for-state equivalent.
+func (a *ackState) applyDelta(v *ackerView, epoch uint64, adds, dels []ident.Tag) {
+	for _, l := range dels {
+		if v.labels.Remove(l) {
+			a.drop(l)
+		}
+	}
+	for _, l := range adds {
+		if v.labels.Add(l) {
+			a.bump(l)
+		}
+	}
+	v.epoch = epoch
 }
 
 // purge removes every claimed label for which keep returns false
@@ -137,19 +217,33 @@ func (a *ackState) update(acker ident.Tag, labels []ident.Tag) bool {
 // subset check, and would never be refreshed (its owner is crashed) —
 // keeping the entry would only grow byAcker/ackerOrder monotonically
 // and tax every retireReady scan with dead ackers forever. If the
-// acker was wrongly suspected and re-ACKs later, update re-admits it
-// as a fresh acker with identical claim accounting.
+// acker was wrongly suspected and re-ACKs later, the algorithm
+// re-admits it as a fresh acker with identical claim accounting.
+//
+// A purge that removes labels from a surviving view also clears its
+// synced bit: the local copy no longer matches the acker's ledger, so
+// subsequent deltas cannot be folded in — the next one triggers a
+// resync, and the acker's snapshot restores any label the purge removed
+// wrongly (a label that returns to the views pre-GST). Without this,
+// the delta path could lose a wrongly-purged label forever, because a
+// delta sender — unlike the paper's full-set re-ACKs — never resends
+// labels it believes the receiver already has.
 func (a *ackState) purge(keep func(ident.Tag) bool) {
+	// Last tick's resync-request limiters are spent; dropping the map
+	// wholesale is what keeps it from accumulating entries for ackers
+	// that never got admitted (e.g. crashed before their snapshot).
+	a.reqTick = nil
 	kept := a.ackerOrder[:0]
 	for _, acker := range a.ackerOrder {
-		set := a.byAcker[acker]
-		for _, l := range append([]ident.Tag(nil), set.Slice()...) {
+		v := a.byAcker[acker]
+		for _, l := range append([]ident.Tag(nil), v.labels.Slice()...) {
 			if !keep(l) {
-				set.Remove(l)
+				v.labels.Remove(l)
 				a.drop(l)
+				v.synced = false
 			}
 		}
-		if set.Len() == 0 {
+		if v.labels.Len() == 0 {
 			delete(a.byAcker, acker)
 			continue
 		}
@@ -169,9 +263,10 @@ var _ Process = (*Quiescent)(nil)
 // failure detector handle (AΘ and AP* views).
 func NewQuiescent(det fd.Detector, tags *ident.Source, cfg Config) *Quiescent {
 	return &Quiescent{
-		common: newCommon(cfg, tags),
-		det:    det,
-		acks:   make(map[wire.MsgID]*ackState),
+		common:  newCommon(cfg, tags),
+		det:     det,
+		acks:    make(map[wire.MsgID]*ackState),
+		ackSend: make(map[wire.MsgID]*ackSendState),
 	}
 }
 
@@ -194,6 +289,10 @@ func (p *Quiescent) Receive(m wire.Message) Step {
 		return p.receiveMsg(m)
 	case wire.KindAck:
 		return p.receiveAck(m)
+	case wire.KindAckDelta:
+		return p.receiveAckDelta(m)
+	case wire.KindAckReq:
+		return p.receiveAckResync(m)
 	default:
 		return Step{}
 	}
@@ -219,25 +318,167 @@ func (p *Quiescent) receiveMsg(m wire.Message) Step {
 		p.mine[id] = ack
 	}
 	// Lines 13-20: every (re-)ACK carries the *current* AΘ label view, so
-	// receivers can refresh their per-acker label sets.
-	labels := p.det.ATheta().Labels().Slice()
-	p.send(&out, wire.NewLabeledAck(id, ack, labels))
+	// receivers can refresh their per-acker label sets. In delta mode the
+	// view travels incrementally instead (D5).
+	labels := p.det.ATheta().Labels()
+	if !p.cfg.DeltaAcks {
+		p.send(&out, wire.NewLabeledAck(id, ack, labels.Slice()))
+		return out
+	}
+	p.sendDeltaAck(&out, id, ack, labels)
 	return out
 }
 
-// receiveAck handles (ACK, m, tag, tag_ack, labels) (lines 22-51).
+// sendDeltaAck emits the D5 incremental form of the line 13-20 ACK:
+// a snapshot the first time, a (+adds, −dels) delta when the AΘ label
+// view changed since the last ACK for id, and an empty re-ACK — at most
+// one per tick — when it did not. The caller passes ownership of labels
+// (a fresh set from View.Labels).
+func (p *Quiescent) sendDeltaAck(out *Step, id wire.MsgID, ack ident.Tag, labels *ident.Set) {
+	st, known := p.ackSend[id]
+	if !known {
+		st = &ackSendState{epoch: 1, sent: labels, snapTick: p.ticks + 1, reAckTick: p.ticks + 1}
+		p.ackSend[id] = st
+		p.send(out, wire.NewAckSnapshot(id, ack, 1, labels.Slice()))
+		return
+	}
+	if !labels.Equal(st.sent) {
+		var adds, dels []ident.Tag
+		for _, l := range labels.Slice() {
+			if !st.sent.Has(l) {
+				adds = append(adds, l)
+			}
+		}
+		for _, l := range st.sent.Slice() {
+			if !labels.Has(l) {
+				dels = append(dels, l)
+			}
+		}
+		st.epoch++
+		st.sent = labels
+		st.reAckTick = p.ticks + 1
+		p.send(out, wire.NewAckDelta(id, ack, st.epoch, adds, dels))
+		return
+	}
+	// Unchanged set: re-ACK at most once per tick (D5 rate limit). The
+	// re-ACK still matters — it carries the payload for fast delivery
+	// and lets receivers that never saw this acker detect the stream
+	// and request a resync — but once per tick is as often as Task-1
+	// retransmission can need it.
+	if st.reAckTick == p.ticks+1 {
+		return
+	}
+	st.reAckTick = p.ticks + 1
+	p.send(out, wire.NewAckDelta(id, ack, st.epoch, nil, nil))
+}
+
+// receiveAck handles the full-set form (ACK, m, tag, tag_ack, labels)
+// (lines 22-51). The set replaces the acker's view wholesale; it carries
+// no epoch, so the view is left unsynced and a subsequent delta from the
+// same acker resynchronises via snapshot first.
 func (p *Quiescent) receiveAck(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	st := p.ackStateFor(id)
+	st.replace(m.AckTag, m.Labels, 0, false) // lines 27-45 (D1)
+	p.checkDeliver(&out, id)                 // lines 46-51
+	return out
+}
+
+// receiveAckDelta handles the incremental form (D5). Snapshots replace;
+// in-sequence deltas fold into the claim counters; anything else — an
+// epoch gap, an unknown or unsynced acker — leaves the claims untouched
+// and asks the acker for a snapshot (rate-limited per (message, acker)
+// per tick).
+func (p *Quiescent) receiveAckDelta(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	st := p.ackStateFor(id)
+	v := st.byAcker[m.AckTag]
+	if m.Flags&wire.AckFlagSnapshot != 0 {
+		// A snapshot is authoritative for its epoch: apply unless we
+		// provably hold that epoch or a later one.
+		if v == nil || !v.synced || m.Epoch > v.epoch {
+			st.replace(m.AckTag, m.Labels, m.Epoch, true)
+			delete(st.reqTick, m.AckTag)
+		}
+	} else {
+		// An epoch only ever advances together with a set change, so a
+		// change-delta always carries at least one label; an *empty*
+		// delta is the unchanged re-ACK, stamped with the sender's
+		// current epoch. An empty delta ahead of our epoch therefore
+		// proves we missed the change-delta that advanced it — folding
+		// it would mark us synced at an epoch whose change we never
+		// applied, silently diverging forever. Only non-empty deltas may
+		// advance the stream.
+		change := len(m.Labels) > 0 || len(m.DelLabels) > 0
+		switch {
+		case v != nil && v.synced && m.Epoch == v.epoch+1 && change:
+			st.applyDelta(v, m.Epoch, m.Labels, m.DelLabels)
+		case v != nil && v.synced && m.Epoch <= v.epoch:
+			// Stale or duplicated delta: already reflected, ignore.
+		default:
+			// Gap, unknown acker, or a view the purge desynced: the delta
+			// cannot be folded safely. Ask for a snapshot.
+			if st.reqTick[m.AckTag] != p.ticks+1 {
+				if st.reqTick == nil {
+					st.reqTick = make(map[ident.Tag]uint64)
+				}
+				st.reqTick[m.AckTag] = p.ticks + 1
+				p.send(&out, wire.NewAckResync(id, m.AckTag))
+			}
+		}
+	}
+	// Line 46 runs on *every* ACK reception, not only on ones that
+	// changed the claims: the guard reads the live AΘ view, so a stale
+	// or empty re-ACK can still enable a delivery the view's numbers
+	// dropping has unblocked — exactly as the full-set path re-checks on
+	// every re-ACK.
+	p.checkDeliver(&out, id)
+	return out
+}
+
+// receiveAckResync answers a resync request addressed to this process's
+// tag_ack for the message: broadcast a snapshot of the current ledger
+// (refreshing it against the live AΘ view first), at most once per
+// message per tick — every send is a broadcast, so one snapshot serves
+// all requesters.
+func (p *Quiescent) receiveAckResync(m wire.Message) Step {
+	var out Step
+	id := m.ID()
+	ack, known := p.mine[id]
+	if !known || ack != m.AckTag {
+		return out // someone else's stream (or a message we never ACKed)
+	}
+	st, known := p.ackSend[id]
+	if known && st.snapTick == p.ticks+1 {
+		return out
+	}
+	if !known {
+		// Our ACK for id predates delta mode (or was sent by the full-set
+		// path): open the ledger now with a fresh snapshot.
+		st = &ackSendState{epoch: 1, sent: p.det.ATheta().Labels()}
+		p.ackSend[id] = st
+	} else if labels := p.det.ATheta().Labels(); !labels.Equal(st.sent) {
+		st.epoch++
+		st.sent = labels
+	}
+	st.snapTick = p.ticks + 1
+	st.reAckTick = p.ticks + 1 // the snapshot doubles as this tick's re-ACK
+	p.send(&out, wire.NewAckSnapshot(id, ack, st.epoch, st.sent.Slice()))
+	return out
+}
+
+// ackStateFor returns (creating on demand) the per-message ACK
+// bookkeeping (lines 23-26).
+func (p *Quiescent) ackStateFor(id wire.MsgID) *ackState {
 	st, ok := p.acks[id]
 	if !ok {
-		st = newAckState() // lines 23-26
+		st = newAckState()
 		p.acks[id] = st
 		p.ackOrder = append(p.ackOrder, id)
 	}
-	st.update(m.AckTag, m.Labels) // lines 27-45 (D1)
-	p.checkDeliver(&out, id)      // lines 46-51
-	return out
+	return st
 }
 
 // checkDeliver applies the delivery guard: ∃ (label, number) ∈ AΘ with
@@ -281,7 +522,7 @@ func (p *Quiescent) retireReady(id wire.MsgID, star fd.View) bool {
 	// all_labels = {label | (label,-) ∈ a_p*} clause).
 	starLabels := star.Labels()
 	for _, acker := range st.ackerOrder {
-		if !st.byAcker[acker].SubsetOf(starLabels) {
+		if !st.byAcker[acker].labels.SubsetOf(starLabels) {
 			return false
 		}
 	}
@@ -294,6 +535,7 @@ func (p *Quiescent) retireReady(id wire.MsgID, star fd.View) bool {
 // frozen ACKs from crashed ackers cannot block retirement forever.
 func (p *Quiescent) Tick() Step {
 	var out Step
+	p.ticks++
 	star := p.det.APStar()
 	theta := p.det.ATheta()
 	live := theta.Labels()

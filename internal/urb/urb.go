@@ -122,6 +122,20 @@ type Config struct {
 	// than after, saving one final broadcast round per message. The
 	// paper broadcasts first (line 54) and then checks (line 55).
 	RetireBeforeSend bool
+	// DeltaAcks, when true, makes Algorithm 2 acknowledge incrementally
+	// (deviation D5, DESIGN.md §8): instead of attaching the full AΘ
+	// label set to every ACK on every MSG reception, an acker sends its
+	// set once (a snapshot ACKΔ) and thereafter only epoch-numbered
+	// differences when the set changes, with unchanged re-ACKs
+	// rate-limited to one per message per Task-1 tick. Receivers detect
+	// epoch gaps and repair them with a resync request the acker answers
+	// with a fresh snapshot. The claim bookkeeping this drives is
+	// state-for-state equivalent to the full-set path (tested by
+	// TestQuiescentDeltaEquivalence); only the wire representation and
+	// re-ACK frequency change. The paper's listing resends the full set
+	// every time, so this is off in the paper-faithful zero value.
+	// Receiving delta ACKs is always supported, whatever this is set to.
+	DeltaAcks bool
 }
 
 // msgEntry tracks one known application message in insertion order.

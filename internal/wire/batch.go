@@ -84,6 +84,10 @@ func DecodeBatch(frame []byte) ([]Message, error) {
 // acker's current label view (they change between sends) and BEAT
 // frames are two tags — neither is cached.
 //
+// Delta ACKs (KindAckDelta) are position-dependent — the same identity
+// encodes differently at every epoch — so, like full labeled ACKs, they
+// are never cached.
+//
 // The cache is bounded: once capacity entries are held, the oldest entry
 // is evicted first (retired messages age out on their own). It is not
 // safe for concurrent use — every node owns its own cache — except for

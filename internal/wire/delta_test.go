@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"anonurb/internal/ident"
+)
+
+func deltaID() MsgID {
+	return MsgID{Tag: ident.Tag{Hi: 0xaa, Lo: 0xbb}, Body: "payload"}
+}
+
+func TestAckDeltaRoundTrip(t *testing.T) {
+	cases := []Message{
+		NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, nil, nil),
+		NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 7,
+			[]ident.Tag{{Hi: 3, Lo: 1}, {Hi: 3, Lo: 2}}, []ident.Tag{{Hi: 4, Lo: 1}}),
+		NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, ^uint64(0),
+			nil, []ident.Tag{{Hi: 4, Lo: 1}}),
+		NewAckSnapshot(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 3,
+			[]ident.Tag{{Hi: 5, Lo: 1}, {Hi: 5, Lo: 2}, {Hi: 5, Lo: 3}}),
+		NewAckSnapshot(MsgID{Tag: ident.Tag{Hi: 9, Lo: 9}, Body: ""}, ident.Tag{Hi: 1, Lo: 2}, 1, nil),
+		NewAckResync(deltaID(), ident.Tag{Hi: 6, Lo: 6}),
+	}
+	for i, m := range cases {
+		enc := m.Encode(nil)
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("case %d: EncodedSize %d != encoded %d", i, m.EncodedSize(), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("case %d: round-trip mismatch:\n got %v\nwant %v", i, got, m)
+		}
+	}
+}
+
+func TestAckDeltaConstructorsCopySlices(t *testing.T) {
+	adds := []ident.Tag{{Hi: 1, Lo: 1}}
+	dels := []ident.Tag{{Hi: 2, Lo: 2}}
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 3, Lo: 3}, 2, adds, dels)
+	adds[0] = ident.Tag{Hi: 9, Lo: 9}
+	dels[0] = ident.Tag{Hi: 9, Lo: 9}
+	if m.Labels[0] != (ident.Tag{Hi: 1, Lo: 1}) || m.DelLabels[0] != (ident.Tag{Hi: 2, Lo: 2}) {
+		t.Fatal("constructor aliased caller slices")
+	}
+	labels := []ident.Tag{{Hi: 4, Lo: 4}}
+	s := NewAckSnapshot(deltaID(), ident.Tag{Hi: 3, Lo: 3}, 1, labels)
+	labels[0] = ident.Tag{Hi: 9, Lo: 9}
+	if s.Labels[0] != (ident.Tag{Hi: 4, Lo: 4}) {
+		t.Fatal("snapshot constructor aliased caller slice")
+	}
+}
+
+func TestAckDeltaRejectsZeroEpoch(t *testing.T) {
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, nil, nil)
+	m.Epoch = 0
+	if _, err := Decode(m.Encode(nil)); !errors.Is(err, ErrZeroEpoch) {
+		t.Fatalf("want ErrZeroEpoch, got %v", err)
+	}
+}
+
+func TestAckDeltaRejectsUnknownFlags(t *testing.T) {
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, nil, nil)
+	m.Flags = 0x80
+	if _, err := Decode(m.Encode(nil)); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("want ErrBadFlags, got %v", err)
+	}
+}
+
+func TestAckDeltaRejectsSnapshotWithRemovals(t *testing.T) {
+	m := NewAckSnapshot(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, []ident.Tag{{Hi: 3, Lo: 3}})
+	m.DelLabels = []ident.Tag{{Hi: 4, Lo: 4}}
+	if _, err := Decode(m.Encode(nil)); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("want ErrBadFlags, got %v", err)
+	}
+}
+
+func TestAckDeltaRejectsZeroAckTag(t *testing.T) {
+	m := NewAckDelta(deltaID(), ident.Tag{}, 1, nil, nil)
+	if _, err := Decode(m.Encode(nil)); !errors.Is(err, ErrZeroAckTag) {
+		t.Fatalf("want ErrZeroAckTag, got %v", err)
+	}
+	r := NewAckResync(deltaID(), ident.Tag{})
+	if _, err := Decode(r.Encode(nil)); !errors.Is(err, ErrZeroAckTag) {
+		t.Fatalf("resync: want ErrZeroAckTag, got %v", err)
+	}
+}
+
+func TestAckDeltaTruncationsRejected(t *testing.T) {
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 5,
+		[]ident.Tag{{Hi: 3, Lo: 1}}, []ident.Tag{{Hi: 4, Lo: 1}, {Hi: 4, Lo: 2}})
+	enc := m.Encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:len(enc)-cut]); err == nil {
+			t.Fatalf("truncation of %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestAckDeltaOversizedLabelCountRejected(t *testing.T) {
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, nil, nil)
+	enc := m.Encode(nil)
+	// The add-count field sits right after body|tag|ackTag|epoch|flags.
+	off := headerLen + 4 + len(m.Body) + tagLen + tagLen + 8 + 1
+	enc[off] = 0xff // count = 0xff000000 > MaxLabels
+	if _, err := Decode(enc); !errors.Is(err, ErrOversize) {
+		t.Fatalf("want ErrOversize, got %v", err)
+	}
+}
+
+// TestAckDeltaOverlappingSetsDecode: the decoder is permissive about a
+// label appearing in both the add and the remove list (the algorithm
+// layer defines the fold order); it must round-trip canonically.
+func TestAckDeltaOverlappingSetsDecode(t *testing.T) {
+	shared := ident.Tag{Hi: 7, Lo: 7}
+	m := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 2,
+		[]ident.Tag{shared, {Hi: 8, Lo: 8}}, []ident.Tag{shared})
+	got, err := Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("overlapping delta mangled in round-trip")
+	}
+}
+
+func TestAckDeltaInsideBatch(t *testing.T) {
+	msgs := []Message{
+		NewMsg(deltaID()),
+		NewAckSnapshot(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 1, []ident.Tag{{Hi: 5, Lo: 5}}),
+		NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 2, []ident.Tag{{Hi: 6, Lo: 6}}, nil),
+		NewAckResync(deltaID(), ident.Tag{Hi: 1, Lo: 2}),
+		NewLabeledAck(deltaID(), ident.Tag{Hi: 2, Lo: 2}, []ident.Tag{{Hi: 5, Lo: 5}}),
+	}
+	frames := EncodeBatch(msgs, 0)
+	if len(frames) != 1 {
+		t.Fatalf("unbudgeted batch split into %d frames", len(frames))
+	}
+	got, err := DecodeBatch(frames[0])
+	if err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("batch returned %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !got[i].Equal(msgs[i]) {
+			t.Fatalf("batch member %d mangled", i)
+		}
+	}
+}
+
+// TestAckDeltaSizeAdvantage pins the point of the encoding: an unchanged
+// re-ACK and a small delta are an order of magnitude smaller than the
+// full-set ACK they replace at n=100.
+func TestAckDeltaSizeAdvantage(t *testing.T) {
+	labels := make([]ident.Tag, 100)
+	for i := range labels {
+		labels[i] = ident.Tag{Hi: uint64(i) + 1, Lo: 1}
+	}
+	full := NewLabeledAck(deltaID(), ident.Tag{Hi: 1, Lo: 2}, labels)
+	empty := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 5, nil, nil)
+	small := NewAckDelta(deltaID(), ident.Tag{Hi: 1, Lo: 2}, 6, labels[:1], labels[1:2])
+	if empty.EncodedSize()*10 >= full.EncodedSize() {
+		t.Fatalf("empty delta %dB not ≫ smaller than full ACK %dB", empty.EncodedSize(), full.EncodedSize())
+	}
+	if small.EncodedSize()*10 >= full.EncodedSize() {
+		t.Fatalf("±1 delta %dB not ≫ smaller than full ACK %dB", small.EncodedSize(), full.EncodedSize())
+	}
+}

@@ -20,6 +20,23 @@ func FuzzDecode(f *testing.F) {
 		[]ident.Tag{{Hi: 5, Lo: 6}, {Hi: 7, Lo: 8}}).Encode(nil))
 	f.Add(NewBeat(ident.Tag{Hi: 9, Lo: 9}).Encode(nil))
 	f.Add([]byte{codecVersion, byte(KindAck), 0, 0, 0, 255})
+	// Delta-ACK forms: plain delta, overlapping +/- sets, epoch at the
+	// overflow boundary, snapshot, resync request, and a truncated delta.
+	f.Add(NewAckDelta(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "d"},
+		ident.Tag{Hi: 3, Lo: 4}, 2,
+		[]ident.Tag{{Hi: 5, Lo: 6}}, []ident.Tag{{Hi: 7, Lo: 8}}).Encode(nil))
+	f.Add(NewAckDelta(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "overlap"},
+		ident.Tag{Hi: 3, Lo: 4}, 3,
+		[]ident.Tag{{Hi: 5, Lo: 6}, {Hi: 5, Lo: 7}}, []ident.Tag{{Hi: 5, Lo: 6}}).Encode(nil))
+	f.Add(NewAckDelta(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: ""},
+		ident.Tag{Hi: 3, Lo: 4}, ^uint64(0), nil, nil).Encode(nil))
+	f.Add(NewAckSnapshot(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "s"},
+		ident.Tag{Hi: 3, Lo: 4}, 1, []ident.Tag{{Hi: 5, Lo: 6}}).Encode(nil))
+	f.Add(NewAckResync(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "r"},
+		ident.Tag{Hi: 3, Lo: 4}).Encode(nil))
+	trunc := NewAckDelta(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "t"},
+		ident.Tag{Hi: 3, Lo: 4}, 4, []ident.Tag{{Hi: 5, Lo: 6}}, nil).Encode(nil)
+	f.Add(trunc[:len(trunc)-9])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
@@ -40,8 +57,22 @@ func FuzzDecode(f *testing.F) {
 		if m.Tag.Zero() {
 			t.Fatal("decoder accepted a zero tag")
 		}
-		if m.Kind == KindAck && m.AckTag.Zero() {
-			t.Fatal("decoder accepted a zero ack tag")
+		switch m.Kind {
+		case KindAck, KindAckDelta, KindAckReq:
+			if m.AckTag.Zero() {
+				t.Fatal("decoder accepted a zero ack tag")
+			}
+		}
+		if m.Kind == KindAckDelta {
+			if m.Epoch == 0 {
+				t.Fatal("decoder accepted a zero epoch")
+			}
+			if m.Flags&^AckFlagSnapshot != 0 {
+				t.Fatal("decoder accepted unknown flag bits")
+			}
+			if m.Flags&AckFlagSnapshot != 0 && len(m.DelLabels) != 0 {
+				t.Fatal("decoder accepted a snapshot carrying removals")
+			}
 		}
 	})
 }
@@ -62,10 +93,18 @@ func FuzzDecodePrefixStream(f *testing.F) {
 	batch = NewAck(MsgID{Tag: ident.Tag{Hi: 3, Lo: 1}, Body: "batched"}, ident.Tag{Hi: 4, Lo: 1}).Encode(batch)
 	batch = NewLabeledAck(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
 		ident.Tag{Hi: 6, Lo: 1}, []ident.Tag{{Hi: 7, Lo: 1}}).Encode(batch)
+	batch = NewAckSnapshot(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
+		ident.Tag{Hi: 6, Lo: 1}, 1, []ident.Tag{{Hi: 7, Lo: 1}}).Encode(batch)
+	batch = NewAckDelta(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
+		ident.Tag{Hi: 6, Lo: 1}, 2, []ident.Tag{{Hi: 7, Lo: 2}}, []ident.Tag{{Hi: 7, Lo: 1}}).Encode(batch)
+	batch = NewAckResync(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
+		ident.Tag{Hi: 6, Lo: 1}).Encode(batch)
 	batch = NewBeat(ident.Tag{Hi: 8, Lo: 1}).Encode(batch)
 	f.Add(batch)
-	// Truncated batch: two messages with the tail of the second cut off.
+	// Truncated batch: messages with the tail of the last cut off.
 	f.Add(batch[:len(batch)-7])
+	// Truncation landing inside a delta frame's label arrays.
+	f.Add(batch[:len(batch)-40])
 	// Valid batch followed by trailing garbage.
 	f.Add(append(append([]byte{}, batch...), 0xde, 0xad, 0xbe, 0xef))
 	// Garbage injected between two valid messages.
@@ -84,7 +123,9 @@ func FuzzDecodePrefixStream(f *testing.F) {
 			if len(next) >= len(rest) {
 				t.Fatal("DecodePrefix made no progress")
 			}
-			if m.Kind != KindMsg && m.Kind != KindAck && m.Kind != KindBeat {
+			switch m.Kind {
+			case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+			default:
 				t.Fatalf("accepted unknown kind %v", m.Kind)
 			}
 			// Canonicality per member: the consumed bytes are exactly the
@@ -131,6 +172,9 @@ func FuzzBatchRoundTrip(f *testing.F) {
 			NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: string(b1)}),
 			NewLabeledAck(MsgID{Tag: ident.Tag{Hi: 2, Lo: 1}, Body: string(b2)},
 				ident.Tag{Hi: 3, Lo: 1}, []ident.Tag{{Hi: 4, Lo: 1}}),
+			NewAckDelta(MsgID{Tag: ident.Tag{Hi: 2, Lo: 1}, Body: string(b1)},
+				ident.Tag{Hi: 3, Lo: 1}, uint64(len(b2))+1,
+				[]ident.Tag{{Hi: 4, Lo: 2}}, []ident.Tag{{Hi: 4, Lo: 1}}),
 			NewBeat(ident.Tag{Hi: 5, Lo: 1}),
 		}
 		total := 0

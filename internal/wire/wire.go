@@ -13,6 +13,24 @@
 // for Algorithm 2 and holds the label set the acker read from its AΘ
 // module at the moment of (re-)acknowledging.
 //
+// Two further kinds realise the incremental labeled-ACK encoding of
+// DESIGN.md §8 (a wire-level optimisation, not a new algorithm — every
+// Algorithm 2 state transition they cause is one the full-set ACK above
+// also causes):
+//
+//   - ACKΔ:   (ACK, m, tag, tag_ack, epoch, +labels, −labels)
+//   - ACKREQ: (ACKREQ, m, tag, tag_ack)
+//
+// An acker's label set changes rarely, so resending it whole on every
+// (re-)ACK is almost pure waste — at n=100 that is ~1.6 KB per ACK and
+// O(n²) label traffic per tick. An ACKΔ instead carries the difference
+// against the acker's previous ACK, under a per-(message, acker)
+// monotonic epoch so receivers detect gaps; a gap (or any divergence) is
+// repaired by broadcasting an ACKREQ naming the acker's tag_ack, which
+// the acker answers with a snapshot ACKΔ (the Snapshot flag: +labels is
+// the complete set at that epoch). Full-set ACKs remain valid wire
+// frames, so mixed traffic keeps decoding.
+//
 // Messages are values; the codec gives them a deterministic, versioned
 // binary form used by the live runtime, the trace files and the
 // size-accounting metrics.
@@ -23,6 +41,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 
 	"anonurb/internal/ident"
 )
@@ -40,7 +59,31 @@ const (
 	// the traffic of the heartbeat-based AΘ/AP* realisation
 	// (fd.Heartbeat), multiplexed on the same lossy mesh.
 	KindBeat Kind = 3
+	// KindAckDelta is the incremental Algorithm 2 ACK (DESIGN.md §8): it
+	// carries the acker's label-set change since its previous ACK for the
+	// same message — additions in Labels, removals in DelLabels — under a
+	// per-(message, acker) monotonic Epoch. With the Snapshot flag set it
+	// instead carries the complete set at Epoch (removals empty), the
+	// form that answers a KindAckReq resync.
+	KindAckDelta Kind = 4
+	// KindAckReq asks the acker owning AckTag to rebroadcast a snapshot
+	// ACKΔ for (Body, Tag): the receiver of a delta stream sends it when
+	// it detects an epoch gap. Like every message it is broadcast; only
+	// the process whose tag_ack matches responds, so anonymity holds.
+	KindAckReq Kind = 5
 )
+
+// AckFlagSnapshot marks a KindAckDelta whose Labels field is the acker's
+// complete label set at Epoch rather than a difference. Snapshot deltas
+// carry no removals.
+const AckFlagSnapshot uint8 = 1 << 0
+
+// IsAck reports whether k belongs to the acknowledgement family — the
+// full-set ACK, the delta ACK, or the resync request. The byte-accounting
+// layers use it to attribute wire cost to the ACK path as a whole.
+func (k Kind) IsAck() bool {
+	return k == KindAck || k == KindAckDelta || k == KindAckReq
+}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -51,6 +94,10 @@ func (k Kind) String() string {
 		return "ACK"
 	case KindBeat:
 		return "BEAT"
+	case KindAckDelta:
+		return "ACKΔ"
+	case KindAckReq:
+		return "ACKREQ"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -96,12 +143,23 @@ type Message struct {
 	Body []byte
 	// Tag is the unique random tag the URB-broadcaster attached to m.
 	Tag ident.Tag
-	// AckTag is the acker's unique random tag for (m, tag).
-	// Only meaningful when Kind == KindAck.
+	// AckTag is the acker's unique random tag for (m, tag). Meaningful
+	// for KindAck and KindAckDelta (the sender's tag_ack) and for
+	// KindAckReq (the tag_ack whose owner is asked to resync).
 	AckTag ident.Tag
-	// Labels is the acker's current AΘ label set (Algorithm 2 only).
-	// nil for Algorithm 1 ACKs and for all MSG messages.
+	// Labels is the acker's current AΘ label set (Algorithm 2 full-set
+	// ACKs), or — for KindAckDelta — the labels added since the previous
+	// epoch (the complete set when the Snapshot flag is set). nil for
+	// Algorithm 1 ACKs and for all MSG messages.
 	Labels []ident.Tag
+	// DelLabels is the labels removed since the previous epoch
+	// (KindAckDelta without the Snapshot flag only).
+	DelLabels []ident.Tag
+	// Epoch is the per-(message, acker) monotonic delta-stream position
+	// (KindAckDelta only; epochs start at 1, 0 is reserved).
+	Epoch uint64
+	// Flags carries KindAckDelta modifiers (AckFlagSnapshot).
+	Flags uint8
 }
 
 // ID returns the application message identity (m, tag).
@@ -135,6 +193,44 @@ func NewLabeledAck(id MsgID, ackTag ident.Tag, labels []ident.Tag) Message {
 	}
 }
 
+// NewAckDelta builds an incremental Algorithm 2 ACK: adds/dels are the
+// labels gained/lost since the acker's previous ACK for id (both slices
+// are copied; either may be empty — an empty delta is the unchanged
+// re-ACK). epoch must be >= 1 and exceed the previous ACK's epoch by
+// exactly one when the set changed, or equal it for an unchanged re-ACK.
+func NewAckDelta(id MsgID, ackTag ident.Tag, epoch uint64, adds, dels []ident.Tag) Message {
+	return Message{
+		Kind:      KindAckDelta,
+		Body:      []byte(id.Body),
+		Tag:       id.Tag,
+		AckTag:    ackTag,
+		Epoch:     epoch,
+		Labels:    append([]ident.Tag(nil), adds...),
+		DelLabels: append([]ident.Tag(nil), dels...),
+	}
+}
+
+// NewAckSnapshot builds a snapshot ACKΔ: labels is the acker's complete
+// label set at epoch. It both opens a delta stream (the acker's first
+// labeled ACK) and answers a KindAckReq resync.
+func NewAckSnapshot(id MsgID, ackTag ident.Tag, epoch uint64, labels []ident.Tag) Message {
+	return Message{
+		Kind:   KindAckDelta,
+		Body:   []byte(id.Body),
+		Tag:    id.Tag,
+		AckTag: ackTag,
+		Epoch:  epoch,
+		Flags:  AckFlagSnapshot,
+		Labels: append([]ident.Tag(nil), labels...),
+	}
+}
+
+// NewAckResync builds the resync request for the delta stream of ackTag
+// on message id.
+func NewAckResync(id MsgID, ackTag ident.Tag) Message {
+	return Message{Kind: KindAckReq, Body: []byte(id.Body), Tag: id.Tag, AckTag: ackTag}
+}
+
 // String renders a compact human-readable form for traces.
 func (m Message) String() string {
 	switch m.Kind {
@@ -147,6 +243,13 @@ func (m Message) String() string {
 			return fmt.Sprintf("ACK(%s ack=%s)", m.ID(), m.AckTag)
 		}
 		return fmt.Sprintf("ACK(%s ack=%s labels=%d)", m.ID(), m.AckTag, len(m.Labels))
+	case KindAckDelta:
+		if m.Flags&AckFlagSnapshot != 0 {
+			return fmt.Sprintf("ACKΔ(%s ack=%s epoch=%d snapshot=%d)", m.ID(), m.AckTag, m.Epoch, len(m.Labels))
+		}
+		return fmt.Sprintf("ACKΔ(%s ack=%s epoch=%d +%d -%d)", m.ID(), m.AckTag, m.Epoch, len(m.Labels), len(m.DelLabels))
+	case KindAckReq:
+		return fmt.Sprintf("ACKREQ(%s ack=%s)", m.ID(), m.AckTag)
 	default:
 		return fmt.Sprintf("?(%d)", m.Kind)
 	}
@@ -180,6 +283,8 @@ var (
 	ErrTrailing   = errors.New("wire: trailing bytes after message")
 	ErrZeroTag    = errors.New("wire: zero tag on wire")
 	ErrZeroAckTag = errors.New("wire: zero ack tag on ACK")
+	ErrZeroEpoch  = errors.New("wire: zero epoch on delta ACK")
+	ErrBadFlags   = errors.New("wire: malformed delta ACK flags")
 )
 
 func putTag(b []byte, t ident.Tag) {
@@ -198,8 +303,13 @@ func getTag(b []byte) ident.Tag {
 // quantity the metrics layer charges as "bytes on the wire".
 func (m Message) EncodedSize() int {
 	n := headerLen + 4 + len(m.Body) + tagLen
-	if m.Kind == KindAck {
+	switch m.Kind {
+	case KindAck:
 		n += tagLen + 4 + tagLen*len(m.Labels)
+	case KindAckDelta:
+		n += tagLen + 8 + 1 + 4 + tagLen*len(m.Labels) + 4 + tagLen*len(m.DelLabels)
+	case KindAckReq:
+		n += tagLen
 	}
 	return n
 }
@@ -211,24 +321,43 @@ func (m Message) EncodedSize() int {
 //
 //	version u8 | kind u8 | bodyLen u32 | body | tag 16B
 //	[ ackTag 16B | labelCount u32 | labels 16B each ]   (ACK only)
+//	[ ackTag 16B | epoch u64 | flags u8
+//	  | addCount u32 | adds 16B each
+//	  | delCount u32 | dels 16B each ]                  (ACKΔ only)
+//	[ ackTag 16B ]                                      (ACKREQ only)
 func (m Message) Encode(dst []byte) []byte {
-	var scratch [4]byte
+	var scratch [8]byte
 	dst = append(dst, codecVersion, byte(m.Kind))
-	binary.BigEndian.PutUint32(scratch[:], uint32(len(m.Body)))
-	dst = append(dst, scratch[:]...)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(m.Body)))
+	dst = append(dst, scratch[:4]...)
 	dst = append(dst, m.Body...)
 	var tb [tagLen]byte
 	putTag(tb[:], m.Tag)
 	dst = append(dst, tb[:]...)
-	if m.Kind == KindAck {
-		putTag(tb[:], m.AckTag)
-		dst = append(dst, tb[:]...)
-		binary.BigEndian.PutUint32(scratch[:], uint32(len(m.Labels)))
-		dst = append(dst, scratch[:]...)
-		for _, l := range m.Labels {
+	appendTags := func(tags []ident.Tag) {
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(tags)))
+		dst = append(dst, scratch[:4]...)
+		for _, l := range tags {
 			putTag(tb[:], l)
 			dst = append(dst, tb[:]...)
 		}
+	}
+	switch m.Kind {
+	case KindAck:
+		putTag(tb[:], m.AckTag)
+		dst = append(dst, tb[:]...)
+		appendTags(m.Labels)
+	case KindAckDelta:
+		putTag(tb[:], m.AckTag)
+		dst = append(dst, tb[:]...)
+		binary.BigEndian.PutUint64(scratch[:8], m.Epoch)
+		dst = append(dst, scratch[:8]...)
+		dst = append(dst, m.Flags)
+		appendTags(m.Labels)
+		appendTags(m.DelLabels)
+	case KindAckReq:
+		putTag(tb[:], m.AckTag)
+		dst = append(dst, tb[:]...)
 	}
 	return dst
 }
@@ -255,7 +384,9 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 		return Message{}, nil, ErrVersion
 	}
 	kind := Kind(b[1])
-	if kind != KindMsg && kind != KindAck && kind != KindBeat {
+	switch kind {
+	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+	default:
 		return Message{}, nil, ErrKind
 	}
 	bodyLen := binary.BigEndian.Uint32(b[2:6])
@@ -279,10 +410,11 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 	if m.Tag.Zero() {
 		return Message{}, nil, ErrZeroTag
 	}
-	if kind != KindAck {
+	if kind == KindMsg || kind == KindBeat {
 		return m, b, nil
 	}
-	if len(b) < tagLen+4 {
+	// All ACK forms carry the acker tag next.
+	if len(b) < tagLen {
 		return Message{}, nil, ErrShort
 	}
 	m.AckTag = getTag(b)
@@ -290,21 +422,61 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 		return Message{}, nil, ErrZeroAckTag
 	}
 	b = b[tagLen:]
-	count := binary.BigEndian.Uint32(b[:4])
-	if count > MaxLabels {
-		return Message{}, nil, ErrOversize
+	if kind == KindAckReq {
+		return m, b, nil
 	}
-	b = b[4:]
-	if uint64(len(b)) < uint64(count)*tagLen {
-		return Message{}, nil, ErrShort
+	if kind == KindAckDelta {
+		if len(b) < 8+1 {
+			return Message{}, nil, ErrShort
+		}
+		m.Epoch = binary.BigEndian.Uint64(b[:8])
+		if m.Epoch == 0 {
+			return Message{}, nil, ErrZeroEpoch
+		}
+		m.Flags = b[8]
+		if m.Flags&^AckFlagSnapshot != 0 {
+			return Message{}, nil, ErrBadFlags
+		}
+		b = b[9:]
 	}
-	if count > 0 {
-		m.Labels = make([]ident.Tag, count)
-		for i := uint32(0); i < count; i++ {
-			m.Labels[i] = getTag(b[i*tagLen:])
+	readTags := func() ([]ident.Tag, error) {
+		if len(b) < 4 {
+			return nil, ErrShort
+		}
+		count := binary.BigEndian.Uint32(b[:4])
+		if count > MaxLabels {
+			return nil, ErrOversize
+		}
+		b = b[4:]
+		if uint64(len(b)) < uint64(count)*tagLen {
+			return nil, ErrShort
+		}
+		var tags []ident.Tag
+		if count > 0 {
+			tags = make([]ident.Tag, count)
+			for i := uint32(0); i < count; i++ {
+				tags[i] = getTag(b[i*tagLen:])
+			}
+		}
+		b = b[count*tagLen:]
+		return tags, nil
+	}
+	var err error
+	if m.Labels, err = readTags(); err != nil {
+		return Message{}, nil, err
+	}
+	if kind == KindAckDelta {
+		if m.DelLabels, err = readTags(); err != nil {
+			return Message{}, nil, err
+		}
+		// A snapshot is a complete set, not a difference: removals are
+		// structurally meaningless there and canonical encoders never
+		// emit them, so the decoder rejects the combination.
+		if m.Flags&AckFlagSnapshot != 0 && len(m.DelLabels) != 0 {
+			return Message{}, nil, ErrBadFlags
 		}
 	}
-	return m, b[count*tagLen:], nil
+	return m, b, nil
 }
 
 // Equal reports deep equality of two messages, including label multiset
@@ -314,13 +486,8 @@ func (m Message) Equal(o Message) bool {
 	if m.Kind != o.Kind || !bytes.Equal(m.Body, o.Body) || m.Tag != o.Tag || m.AckTag != o.AckTag {
 		return false
 	}
-	if len(m.Labels) != len(o.Labels) {
+	if m.Epoch != o.Epoch || m.Flags != o.Flags {
 		return false
 	}
-	for i := range m.Labels {
-		if m.Labels[i] != o.Labels[i] {
-			return false
-		}
-	}
-	return true
+	return slices.Equal(m.Labels, o.Labels) && slices.Equal(m.DelLabels, o.DelLabels)
 }
