@@ -81,6 +81,7 @@ import (
 	"anonurb/internal/node"
 	"anonurb/internal/rb"
 	"anonurb/internal/sim"
+	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
@@ -101,7 +102,24 @@ type (
 	// Config carries the algorithm knobs; the zero value is the
 	// paper-faithful configuration.
 	Config = urb.Config
+	// Snapshotter is the state export/import surface of the durable
+	// algorithms (DESIGN.md §9).
+	Snapshotter = urb.Snapshotter
+	// DurableProcess is the full crash-recovery contract: Process plus
+	// snapshot export/import, WAL replay and the post-recovery Rejoin.
+	// Both paper algorithms and the heartbeat host implement it.
+	DurableProcess = urb.Durable
+	// DurableEvent is one write-ahead record (delivery, tag_ack pin or
+	// local broadcast).
+	DurableEvent = urb.DurableEvent
+	// SnapshotInfo summarises a verified state snapshot.
+	SnapshotInfo = urb.SnapshotInfo
 )
+
+// VerifySnapshot decodes a durable-state snapshot, recomputes its state
+// fingerprint and checks it against the embedded digest (what
+// `urbcheck -snapshot` runs).
+func VerifySnapshot(data []byte) (SnapshotInfo, error) { return urb.VerifySnapshot(data) }
 
 // NewMajority builds the paper's Algorithm 1 (majority-based URB, no
 // failure detector, non-quiescent) for a system of n processes.
@@ -317,6 +335,52 @@ func WithEncodeCacheSize(entries int) NodeOption { return node.WithEncodeCacheSi
 
 // NewNodeMetrics returns an empty metrics-collecting Observer.
 func NewNodeMetrics() *NodeMetrics { return node.NewMetrics() }
+
+// Durable state (internal/store + the node recovery path, DESIGN.md §9).
+type (
+	// Store persists a node's durable URB state: compacted snapshots
+	// plus a write-ahead log of deliveries, tag_ack pins and local
+	// broadcasts.
+	Store = store.Store
+	// MemStore is the in-memory Store (tests and simulations).
+	MemStore = store.Mem
+	// FileStore is the file-backed Store: snapshot.bin (atomic
+	// replacement) and wal.log (append-only, checksummed, torn-tail
+	// tolerant) in one directory per process.
+	FileStore = store.File
+	// StoreStats reports a store's size counters.
+	StoreStats = store.Stats
+	// NodeStoreStats reports a node's durability activity.
+	NodeStoreStats = node.StoreStats
+)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// OpenFileStore opens (creating if needed) a file-backed store
+// directory.
+func OpenFileStore(dir string) (*FileStore, error) { return store.OpenFile(dir) }
+
+// WithStore makes a node durable: durable events are write-ahead-logged
+// to st and the state machine is checkpointed on the WithCheckpointEvery
+// cadence. The process must implement DurableProcess and st must be
+// empty (a populated store is a restart — use RecoverNode); NewNode
+// panics on either violation.
+func WithStore(st Store) NodeOption { return node.WithStore(st) }
+
+// WithCheckpointEvery sets a durable node's checkpoint cadence (default
+// 1s). Shorter cadences bound the WAL replayed at recovery.
+func WithCheckpointEvery(d time.Duration) NodeOption { return node.WithCheckpointEvery(d) }
+
+// RecoverNode rebuilds a node from its durable state: proc must be a
+// freshly constructed process with the same constructor parameters (and
+// tag-stream seed) as the crashed one; the store's snapshot is restored
+// into it, the WAL replayed, and the returned node — once started —
+// resumes where its predecessor stopped: it re-delivers nothing it
+// delivered and re-acks under the tag_acks it pinned.
+func RecoverNode(proc Process, st Store, tr Transport, opts ...NodeOption) (*Node, error) {
+	return node.Recover(proc, st, tr, opts...)
+}
 
 // Transports (internal/transport): the swappable communication
 // substrate carrying encoded wire frames.

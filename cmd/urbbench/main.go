@@ -10,10 +10,18 @@
 // bytes and allocations per URB-delivered message are compared. The
 // JSON written with -out is what BENCH_batching.json records.
 //
+// Recovery mode (-recovery) measures the durable-state subsystem
+// (DESIGN.md §9): checkpoint and WAL overhead per delivered message
+// while a file-backed node runs, and the restart cost — recovery latency
+// vs WAL length, catch-up time, zero re-deliveries — when it is killed
+// and restarted from its store. The JSON written with -out is what
+// BENCH_recovery.json records.
+//
 // Usage:
 //
 //	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
 //	urbbench -batching [-quick] [-seed N] [-out BENCH_batching.json]
+//	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
 //
 // The output of a full run is what EXPERIMENTS.md records.
 package main
@@ -38,19 +46,33 @@ func main() {
 	seed := flag.Uint64("seed", 2015, "base seed for every experiment (2015: the paper's year)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F2); empty = all")
 	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
-	out := flag.String("out", "", "with -batching: write the results as JSON to this file")
+	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
+	out := flag.String("out", "", "with -batching or -recovery: write the results as JSON to this file")
 	baseline := flag.String("baseline", "", "with -batching: fail if frames-per-delivery regresses >25% against this checked-in results file")
 	flag.Parse()
 
-	if *batching {
+	if *batching && *recovery {
+		fmt.Fprintln(os.Stderr, "urbbench: pick one of -batching and -recovery")
+		os.Exit(2)
+	}
+	if *batching || *recovery {
 		if *csv || *only != "" {
-			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite, not -batching (use -out for machine-readable JSON)")
+			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite (use -out for machine-readable JSON)")
 			os.Exit(2)
 		}
+	}
+	if *batching {
 		os.Exit(runBatching(*seed, *quick, *out, *baseline))
 	}
+	if *recovery {
+		if *baseline != "" {
+			fmt.Fprintln(os.Stderr, "urbbench: -baseline applies only to -batching mode")
+			os.Exit(2)
+		}
+		os.Exit(runRecovery(*seed, *quick, *out))
+	}
 	if *out != "" || *baseline != "" {
-		fmt.Fprintln(os.Stderr, "urbbench: -out and -baseline apply only to -batching mode")
+		fmt.Fprintln(os.Stderr, "urbbench: -out and -baseline apply only to -batching/-recovery modes")
 		os.Exit(2)
 	}
 
@@ -211,6 +233,73 @@ func runBatching(seed uint64, quick bool, out, baseline string) int {
 			return 1
 		}
 		fmt.Printf("\nwrote %s (%d comparisons)\n", out, len(report.Comparisons))
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// recoveryReport is the JSON document -recovery -out writes.
+type recoveryReport struct {
+	Schema      string                 `json:"schema"`
+	Seed        uint64                 `json:"seed"`
+	Quick       bool                   `json:"quick"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	NumCPU      int                    `json:"num_cpu"`
+	GeneratedAt string                 `json:"generated_at"`
+	Results     []bench.RecoveryResult `json:"results"`
+}
+
+// runRecovery executes the crash-recovery benchmark matrix and returns
+// the process exit code.
+func runRecovery(seed uint64, quick bool, out string) int {
+	report := recoveryReport{
+		Schema:      "anonurb-bench-recovery/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-36s %8s %9s %9s %8s %9s %9s %7s\n",
+		"workload", "ckptB/d", "walB/d", "walRecs", "snapB", "recovMS", "catchMS", "redeliv")
+	failed := false
+	for _, w := range bench.RecoveryMatrix(seed, quick) {
+		start := time.Now()
+		r, err := bench.RunRecovery(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: %s: %v\n", w, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-36s %8.1f %9.1f %9d %8d %9.2f %9.2f %7d   (%v)\n",
+			w, r.CheckpointBytesPerDelivery, r.WALBytesPerDelivery,
+			r.WALRecordsReplayed, r.SnapshotBytesReplayed,
+			r.RecoveryMS, r.CatchupMS, r.Redelivered,
+			time.Since(start).Round(time.Millisecond))
+		if r.Redelivered != 0 {
+			fmt.Fprintf(os.Stderr, "urbbench: %s: recovered node re-delivered %d messages\n", w, r.Redelivered)
+			failed = true
+		}
+		report.Results = append(report.Results, r)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d results)\n", out, len(report.Results))
 	}
 	if failed {
 		return 1

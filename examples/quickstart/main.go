@@ -38,21 +38,30 @@ func chaos(tr anonurb.Transport, seed uint64) anonurb.Transport {
 
 // run starts one node per transport, URB-broadcasts a single message
 // from node 2, and waits until every node has delivered it. The code is
-// completely transport-agnostic.
+// completely transport-agnostic. Node 0 additionally runs durable
+// (WithStore): its deliveries and tag_ack pins are write-ahead-logged
+// and its state checkpointed, so a crashed node 0 could be restarted
+// with anonurb.RecoverNode — see examples/recovery for that full story.
 func run(name string, transports []anonurb.Transport) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
+	st := anonurb.NewMemStore()
 	nodes := make([]*anonurb.Node, n)
 	inboxes := make([]<-chan anonurb.NodeDelivery, n)
 	for i := range nodes {
 		// Each process: Algorithm 1 (majority URB), its own private tag
 		// stream, no identity anywhere.
 		proc := anonurb.NewMajority(n, anonurb.NewTagSource(uint64(1000+i)), anonurb.Config{})
-		nodes[i] = anonurb.NewNode(proc, chaos(transports[i], uint64(i)),
-			anonurb.WithTickEvery(5*time.Millisecond),
+		opts := []anonurb.NodeOption{
+			anonurb.WithTickEvery(5 * time.Millisecond),
 			anonurb.WithSeed(uint64(i)),
-		)
+		}
+		if i == 0 {
+			opts = append(opts, anonurb.WithStore(st),
+				anonurb.WithCheckpointEvery(10*time.Millisecond))
+		}
+		nodes[i] = anonurb.NewNode(proc, chaos(transports[i], uint64(i)), opts...)
 		inboxes[i] = nodes[i].Deliveries() // subscribe before Start
 	}
 	for _, nd := range nodes {
@@ -78,6 +87,15 @@ func run(name string, transports []anonurb.Transport) error {
 			return fmt.Errorf("[%s] node %d never delivered: %w", name, i, ctx.Err())
 		}
 	}
+	ss := nodes[0].StoreStats()
+	if err := ss.Err; err != nil {
+		return fmt.Errorf("[%s] durable node store error: %w", name, err)
+	}
+	if ss.WALAppends == 0 {
+		return fmt.Errorf("[%s] durable node logged nothing", name)
+	}
+	fmt.Printf("[%s] node 0 persisted its state along the way: %d WAL records (%dB), %d checkpoint(s)\n",
+		name, ss.WALAppends, ss.WALBytes, ss.Checkpoints)
 	return nil
 }
 

@@ -1,0 +1,224 @@
+// Recovery: a durable node is killed mid-run and restarted from its
+// on-disk store — it re-delivers nothing it already delivered, catches
+// up on everything it missed, and keeps acknowledging under the same
+// anonymous tag_acks as before the crash. All of it under a
+// chaos-injected 20% frame loss, because crash-recovery that only works
+// on reliable links is not worth having.
+//
+// The durable state is DESIGN.md §9's store: an append-only write-ahead
+// log of deliveries/pins/broadcasts plus periodic compacted snapshots,
+// in one directory the restarted process points back at.
+//
+// Run with:
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"anonurb"
+)
+
+const (
+	n        = 5
+	lossRate = 0.2
+	durable  = 2 // the node that crashes and recovers
+)
+
+// chaos wraps a transport in Bernoulli frame loss with small delays.
+func chaos(tr anonurb.Transport, seed uint64) anonurb.Transport {
+	return anonurb.NewChaosTransport(tr, anonurb.ChaosConfig{
+		Model: anonurb.Bernoulli{P: lossRate, D: anonurb.UniformDelay{Min: 0, Max: 2}},
+		Unit:  time.Millisecond,
+		Seed:  seed,
+	})
+}
+
+// delivered tracks per-node delivery counts per message, so re-delivery
+// would be caught immediately.
+type delivered struct {
+	mu sync.Mutex
+	m  map[int]map[string]int
+}
+
+func (d *delivered) add(node int, body []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.m == nil {
+		d.m = make(map[int]map[string]int)
+	}
+	if d.m[node] == nil {
+		d.m[node] = make(map[string]int)
+	}
+	d.m[node][string(body)]++
+}
+
+func (d *delivered) count(node int, body string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m[node][body]
+}
+
+func (d *delivered) waitFor(ctx context.Context, node int, body string) error {
+	for {
+		if d.count(node, body) >= 1 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("node %d never delivered %q: %w", node, body, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Println("recovery example failed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	dir, err := os.MkdirTemp("", "anonurb-recovery-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := anonurb.OpenFileStore(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	mesh := anonurb.NewMeshNetwork(anonurb.MeshConfig{
+		N:    n,
+		Link: anonurb.Reliable{D: anonurb.FixedDelay(0)},
+		Seed: 11,
+	})
+	defer mesh.Close()
+
+	log := &delivered{}
+	mkProc := func(i int) anonurb.Process {
+		// Same seed per index: a recovered process must rebuild its tag
+		// stream from the same seed so it resumes, not impersonates.
+		return anonurb.NewMajority(n, anonurb.NewTagSource(uint64(2000+i)), anonurb.Config{})
+	}
+	track := func(i int, nd *anonurb.Node) {
+		inbox := nd.Deliveries()
+		go func() {
+			for d := range inbox {
+				log.add(i, d.Body())
+			}
+		}()
+	}
+
+	nodes := make([]*anonurb.Node, n)
+	for i := range nodes {
+		opts := []anonurb.NodeOption{
+			anonurb.WithTickEvery(5 * time.Millisecond),
+			anonurb.WithSeed(uint64(i)),
+		}
+		if i == durable {
+			opts = append(opts, anonurb.WithStore(st),
+				anonurb.WithCheckpointEvery(20*time.Millisecond))
+		}
+		nodes[i] = anonurb.NewNode(mkProc(i), chaos(mesh.Endpoint(i), uint64(i)), opts...)
+		track(i, nodes[i])
+		if err := nodes[i].Start(ctx); err != nil {
+			return err
+		}
+		defer nodes[i].Stop()
+	}
+
+	// Phase 1: everyone (the durable node included) delivers a message.
+	if _, err := nodes[0].Broadcast([]byte("before the crash")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := log.waitFor(ctx, i, "before the crash"); err != nil {
+			return err
+		}
+	}
+	// Give the checkpoint cadence a beat so the crash lands after a
+	// snapshot (recovery then replays snapshot + WAL, not WAL alone).
+	for nodes[durable].StoreStats().Checkpoints == 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("no checkpoint: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	ss := nodes[durable].StoreStats()
+	fmt.Printf("phase 1: all %d nodes delivered %q (node %d durably: %d WAL records, %d checkpoint(s))\n",
+		n, "before the crash", durable, ss.WALAppends, ss.Checkpoints)
+
+	// Phase 2: kill the durable node; the survivors keep going.
+	nodes[durable].Stop()
+	fmt.Printf("phase 2: node %d crashed\n", durable)
+	if _, err := nodes[0].Broadcast([]byte("while it was down")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if i == durable {
+			continue
+		}
+		if err := log.waitFor(ctx, i, "while it was down"); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: restart it from the store. Same constructor parameters,
+	// same tag seed, a fresh endpoint on the same mesh slot.
+	rec, err := anonurb.RecoverNode(mkProc(durable), st, chaos(mesh.Reopen(durable), 77),
+		anonurb.WithTickEvery(5*time.Millisecond),
+		anonurb.WithSeed(uint64(durable)),
+		anonurb.WithCheckpointEvery(20*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	snapBytes, walRecords := rec.RecoveryStats()
+	fmt.Printf("phase 3: node %d recovered (snapshot %dB + %d WAL records replayed)\n",
+		durable, snapBytes, walRecords)
+	track(durable, rec)
+	if err := rec.Start(ctx); err != nil {
+		return err
+	}
+	defer rec.Stop()
+
+	// It catches up on what it missed and serves new traffic.
+	if err := log.waitFor(ctx, durable, "while it was down"); err != nil {
+		return err
+	}
+	if _, err := rec.Broadcast([]byte("back in business")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := log.waitFor(ctx, i, "back in business"); err != nil {
+			return err
+		}
+	}
+
+	// The verdict: across the restart, nothing was delivered twice.
+	for _, body := range []string{"before the crash", "while it was down", "back in business"} {
+		for i := 0; i < n; i++ {
+			if c := log.count(i, body); c > 1 {
+				return fmt.Errorf("node %d delivered %q %d times", i, body, c)
+			}
+		}
+	}
+	if c := log.count(durable, "before the crash"); c != 1 {
+		return fmt.Errorf("node %d delivered the pre-crash message %d times across the restart", durable, c)
+	}
+	fmt.Printf("\nnode %d crashed, recovered from disk, re-delivered nothing, caught up on "+
+		"everything — under %d%% frame loss. URB held across the restart.\n", durable, int(lossRate*100))
+	return nil
+}

@@ -126,6 +126,11 @@ type Result struct {
 	// delta ACKs and resync requests): Algorithm 2's dominant wire cost,
 	// tracked separately so the delta encoding's win is measurable.
 	AckBytes uint64 `json:"ack_bytes"`
+	// BeatBytes is the BEAT/heartbeat slice of SentBytes — zero for the
+	// oracle-backed workloads here, but plumbed so heartbeat-stack runs
+	// have the baseline the ROADMAP's BEAT delta-encoding follow-up
+	// needs.
+	BeatBytes uint64 `json:"beat_bytes"`
 	// InboxOverflows counts inbound frames the transports shed on full
 	// inboxes — the direct saturation signal (a saturated cell sheds
 	// load here; a healthy one counts zero).
@@ -166,7 +171,7 @@ type Result struct {
 
 // counters is one cluster-wide counter sample.
 type counters struct {
-	frames, msgs, bytes, ackBytes uint64
+	frames, msgs, bytes, ackBytes, beatBytes uint64
 }
 
 // Run executes one workload and returns its measurement.
@@ -337,8 +342,9 @@ func Run(w Workload) (Result, error) {
 			m, _ := nd.MessageStats()
 			c.frames += f
 			c.msgs += m
-			_, ack, _ := nd.ByteStats()
+			_, ack, beat, _ := nd.ByteStats()
 			c.ackBytes += ack
+			c.beatBytes += beat
 		}
 		// SentBytesTotal, not Snapshot: the sampler polls every
 		// millisecond while the cluster is sending, and a full Snapshot
@@ -419,6 +425,7 @@ func Run(w Workload) (Result, error) {
 	res.SentMsgs = final.msgs
 	res.SentBytes = final.bytes
 	res.AckBytes = final.ackBytes
+	res.BeatBytes = final.beatBytes
 	for _, nd := range nodes {
 		_, rf, _ := nd.FrameStats()
 		_, rm := nd.MessageStats()

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunRecoverySmoke runs one small recovery workload end to end and
+// sanity-checks the measurement invariants.
+func TestRunRecoverySmoke(t *testing.T) {
+	res, err := RunRecovery(RecoveryWorkload{
+		Algo:            AlgoMajority,
+		N:               3,
+		Messages:        4,
+		CheckpointEvery: 10 * time.Millisecond,
+		Seed:            2015,
+		Timeout:         60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redelivered != 0 {
+		t.Fatalf("recovered node re-delivered %d messages", res.Redelivered)
+	}
+	if res.Deliveries != 12 {
+		t.Fatalf("deliveries = %d, want 12", res.Deliveries)
+	}
+	if res.WALAppends == 0 || res.WALBytesPerDelivery <= 0 {
+		t.Fatalf("WAL accounting empty: %+v", res)
+	}
+	if res.RecoveryMS <= 0 || res.CatchupMS <= 0 {
+		t.Fatalf("latency accounting empty: %+v", res)
+	}
+	if res.SnapshotBytesReplayed == 0 && res.WALRecordsReplayed == 0 {
+		t.Fatal("recovery replayed nothing — the durable node persisted no state")
+	}
+}
+
+// TestRunRecoveryWALOnly: with checkpointing effectively disabled the
+// restart replays the full WAL.
+func TestRunRecoveryWALOnly(t *testing.T) {
+	res, err := RunRecovery(RecoveryWorkload{
+		Algo:            AlgoMajority,
+		N:               3,
+		Messages:        4,
+		CheckpointEvery: time.Hour,
+		Seed:            2015,
+		Timeout:         60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 0 {
+		t.Fatalf("wal-only run checkpointed %d times", res.Checkpoints)
+	}
+	if res.WALRecordsReplayed == 0 {
+		t.Fatal("wal-only recovery replayed no records")
+	}
+	if res.Redelivered != 0 {
+		t.Fatalf("re-delivered %d", res.Redelivered)
+	}
+}
+
+// TestRunRecoveryQuiescent: the oracle counts the durable node as
+// correct, so the cluster blocks on it while it is down and completes
+// after recovery — the strictest catch-up path.
+func TestRunRecoveryQuiescent(t *testing.T) {
+	res, err := RunRecovery(RecoveryWorkload{
+		Algo:            AlgoQuiescent,
+		N:               3,
+		Messages:        3,
+		CheckpointEvery: 10 * time.Millisecond,
+		Seed:            7,
+		Timeout:         60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Redelivered != 0 {
+		t.Fatalf("re-delivered %d", res.Redelivered)
+	}
+}

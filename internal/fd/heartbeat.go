@@ -70,6 +70,50 @@ func NewHeartbeat(label ident.Tag, timeout int64, clock func() int64) *Heartbeat
 // messages by the hosting runtime).
 func (h *Heartbeat) Label() ident.Tag { return h.label }
 
+// Timeout returns the trust timeout the detector was built with
+// (snapshot-compatibility checks need it).
+func (h *Heartbeat) Timeout() int64 { return h.timeout }
+
+// Relabel replaces the detector's own label. It exists for crash
+// recovery: the label is the process's persistent anonymous identity
+// towards its peers, so a process restored from a snapshot must adopt
+// the label it beat under before the crash rather than the fresh one its
+// reconstruction drew.
+func (h *Heartbeat) Relabel(label ident.Tag) { h.label = label }
+
+// HeardLabel is one entry of the detector's heard map: a label and the
+// clock time it was last heard (snapshot support for crash-recovery
+// hosts).
+type HeardLabel struct {
+	Label ident.Tag
+	At    int64
+}
+
+// Heard returns every label ever heard, in first-heard order, with its
+// last-heard time.
+func (h *Heartbeat) Heard() []HeardLabel {
+	out := make([]HeardLabel, 0, len(h.order))
+	for _, l := range h.order {
+		out = append(out, HeardLabel{Label: l, At: h.lastHeard[l]})
+	}
+	return out
+}
+
+// RestoreHeard replaces the heard map wholesale with the given entries
+// (in first-heard order). Crash-recovery hosts use it to reload a
+// snapshot; entries whose times predate the restarted clock's epoch
+// simply read as expired, the conservative outcome.
+func (h *Heartbeat) RestoreHeard(entries []HeardLabel) {
+	h.lastHeard = make(map[ident.Tag]int64, len(entries))
+	h.order = h.order[:0]
+	for _, e := range entries {
+		if _, known := h.lastHeard[e.Label]; !known {
+			h.order = append(h.order, e.Label)
+		}
+		h.lastHeard[e.Label] = e.At
+	}
+}
+
 // Hear records an ALIVE(label) reception.
 func (h *Heartbeat) Hear(label ident.Tag) {
 	if _, known := h.lastHeard[label]; !known {

@@ -82,6 +82,22 @@ func (s *Source) Next() Tag {
 // what lets the model checker fingerprint process states.
 func (s *Source) Draws() uint64 { return s.draws }
 
+// SkipTo fast-forwards the stream until Draws() == draws by discarding
+// tags. It is how a process restored from a snapshot resynchronises a
+// fresh Source (built from the same seed) with the stream position the
+// snapshot recorded, so post-recovery draws do not re-issue tags already
+// pinned on the wire. It fails if the stream is already past draws —
+// a Source cannot rewind.
+func (s *Source) SkipTo(draws uint64) error {
+	if s.draws > draws {
+		return fmt.Errorf("ident: source at draw %d cannot rewind to %d", s.draws, draws)
+	}
+	for s.draws < draws {
+		s.Next()
+	}
+	return nil
+}
+
 // Registry tracks every tag drawn across a whole run so tests and the
 // harness can assert global uniqueness (the paper's assumption) and count
 // collisions if an adversarial source is plugged in.

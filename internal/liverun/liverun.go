@@ -20,6 +20,7 @@ import (
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
 	"anonurb/internal/node"
+	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
@@ -64,6 +65,15 @@ type Config struct {
 	// InboxDepth bounds each node's mesh mailbox; a full mailbox drops
 	// copies (legal: the network is lossy anyway). Defaults to 1024.
 	InboxDepth int
+	// Stores[i], when non-nil, makes process i durable: its node
+	// write-ahead-logs deliveries/pins/broadcasts to the store and
+	// checkpoints on the CheckpointEvery cadence, and Cluster.Recover can
+	// restart it after a Crash. Requires the Factory to build
+	// urb.Durable processes for stored indices.
+	Stores []store.Store
+	// CheckpointEvery is the durable nodes' checkpoint cadence (default
+	// 1s; see node.WithCheckpointEvery).
+	CheckpointEvery time.Duration
 }
 
 // Cluster is a running set of live processes: N nodes on one mesh.
@@ -72,7 +82,11 @@ type Cluster struct {
 	start  time.Time
 	mesh   *transport.Mesh
 	nodes  []*node.Node
+	ctx    context.Context
 	cancel context.CancelFunc
+	// tagClones[i] is process i's tag stream frozen at creation, for
+	// rebuilding an identical stream on recovery.
+	tagClones []*xrand.Source
 }
 
 // observer adapts node events to the cluster's delivery callback.
@@ -124,16 +138,18 @@ func Start(cfg Config) *Cluster {
 		}),
 		nodes: make([]*node.Node, cfg.N),
 	}
+	if cfg.Stores != nil && len(cfg.Stores) != cfg.N {
+		panic("liverun: Stores length mismatch")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	c.cancel = cancel
+	c.ctx, c.cancel = ctx, cancel
+	c.tagClones = make([]*xrand.Source, cfg.N)
 	tagRoot := xrand.SplitLabeled(cfg.Seed, "live-tags")
 	for i := 0; i < cfg.N; i++ {
-		proc := cfg.Factory(i, ident.NewSource(tagRoot.Split()), c.ElapsedUnits)
-		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i),
-			node.WithTickEvery(time.Duration(cfg.TickEvery)*cfg.Unit),
-			node.WithSeed(xrand.HashStream(cfg.Seed, uint64(i))),
-			node.WithObserver(observer{c: c, proc: i}),
-		)
+		src := tagRoot.Split()
+		c.tagClones[i] = src.Clone()
+		proc := cfg.Factory(i, ident.NewSource(src), c.ElapsedUnits)
+		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i), c.nodeOptions(i)...)
 	}
 	for _, nd := range c.nodes {
 		if err := nd.Start(ctx); err != nil {
@@ -143,9 +159,48 @@ func Start(cfg Config) *Cluster {
 	return c
 }
 
+// nodeOptions assembles one process's node options (shared by Start and
+// Recover so a restarted node is configured like its predecessor).
+func (c *Cluster) nodeOptions(proc int) []node.Option {
+	opts := []node.Option{
+		node.WithTickEvery(time.Duration(c.cfg.TickEvery) * c.cfg.Unit),
+		node.WithSeed(xrand.HashStream(c.cfg.Seed, uint64(proc))),
+		node.WithObserver(observer{c: c, proc: proc}),
+	}
+	if c.cfg.Stores != nil && c.cfg.Stores[proc] != nil {
+		opts = append(opts, node.WithStore(c.cfg.Stores[proc]))
+		if c.cfg.CheckpointEvery > 0 {
+			opts = append(opts, node.WithCheckpointEvery(c.cfg.CheckpointEvery))
+		}
+	}
+	return opts
+}
+
 // Node returns the node hosting process proc, for direct access to the
 // node-level API.
 func (c *Cluster) Node(proc int) *node.Node { return c.nodes[proc] }
+
+// Recover restarts a crashed (Stop-ed) durable process from its store:
+// a fresh algorithm instance is built by the cluster factory over a
+// clone of the original tag stream, the snapshot and WAL are merged into
+// it, the process rejoins the mesh on a fresh endpoint, and it resumes
+// ACKing and retransmitting — re-delivering nothing it delivered before
+// the crash. It fails if the process was never given a store or is
+// still running.
+func (c *Cluster) Recover(proc int) error {
+	if c.cfg.Stores == nil || c.cfg.Stores[proc] == nil {
+		return fmt.Errorf("liverun: proc %d has no store", proc)
+	}
+	// A still-running node must be crashed first; Stop is idempotent.
+	c.nodes[proc].Stop()
+	p := c.cfg.Factory(proc, ident.NewSource(c.tagClones[proc].Clone()), c.ElapsedUnits)
+	nd, err := node.Recover(p, c.cfg.Stores[proc], c.mesh.Reopen(proc), c.nodeOptions(proc)...)
+	if err != nil {
+		return err
+	}
+	c.nodes[proc] = nd
+	return nd.Start(c.ctx)
+}
 
 // ElapsedUnits returns the cluster age in link-delay units (the live
 // counterpart of the simulator's virtual clock, e.g. for failure

@@ -109,16 +109,17 @@ func TestNodeDeltaAcksDeliverAndQuiesce(t *testing.T) {
 
 	// Byte accounting: the per-node class split must cover every byte the
 	// shared observer saw, and the ACK slice must be delta frames.
-	var msgB, ackB, otherB uint64
+	var msgB, ackB, beatB, otherB uint64
 	for _, nd := range nodes {
-		m, a, o := nd.ByteStats()
+		m, a, b, o := nd.ByteStats()
 		msgB += m
 		ackB += a
+		beatB += b
 		otherB += o
 	}
 	snap := metrics.Snapshot()
-	if msgB+ackB+otherB != snap.SentBytes {
-		t.Fatalf("byte split %d+%d+%d != observer total %d", msgB, ackB, otherB, snap.SentBytes)
+	if msgB+ackB+beatB+otherB != snap.SentBytes {
+		t.Fatalf("byte split %d+%d+%d+%d != observer total %d", msgB, ackB, beatB, otherB, snap.SentBytes)
 	}
 	if ackB != snap.SentAckBytes {
 		t.Fatalf("node ack bytes %d != observer ack bytes %d", ackB, snap.SentAckBytes)

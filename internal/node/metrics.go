@@ -101,7 +101,12 @@ type Snapshot struct {
 	// acknowledgement path, measured separately from MSG dissemination.
 	// Derived from SentBytesByKind at snapshot time.
 	SentAckBytes uint64
-	SentByKind   map[wire.Kind]uint64
+	// SentBeatBytes is the BEAT/heartbeat slice of SentBytes — the
+	// failure-detector traffic of the oracle-free stack, derived from
+	// SentBytesByKind at snapshot time. It is the baseline measurement
+	// for the ROADMAP's BEAT delta-encoding follow-up.
+	SentBeatBytes uint64
+	SentByKind    map[wire.Kind]uint64
 	// SentBytesByKind splits SentBytes per wire kind, the byte-currency
 	// companion of SentByKind's message counts.
 	SentBytesByKind map[wire.Kind]uint64
@@ -134,11 +139,14 @@ func (c *Metrics) Snapshot() Snapshot {
 		byKind[k] = v
 	}
 	bytesByKind := make(map[wire.Kind]uint64, len(c.bytesByKind))
-	var ackBytes uint64
+	var ackBytes, beatBytes uint64
 	for k, v := range c.bytesByKind {
 		bytesByKind[k] = v
-		if k.IsAck() {
+		switch {
+		case k.IsAck():
 			ackBytes += v
+		case k == wire.KindBeat:
+			beatBytes += v
 		}
 	}
 	return Snapshot{
@@ -146,6 +154,7 @@ func (c *Metrics) Snapshot() Snapshot {
 		RecvMsgs:         c.recvMsgs,
 		SentBytes:        c.sentBytes,
 		SentAckBytes:     ackBytes,
+		SentBeatBytes:    beatBytes,
 		SentByKind:       byKind,
 		SentBytesByKind:  bytesByKind,
 		Deliveries:       c.deliveries,
@@ -158,7 +167,7 @@ func (c *Metrics) Snapshot() Snapshot {
 
 // String renders a one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("sent=%d (%dB, ack %dB) recv=%d delivered=%d (fast=%d) quiescences=%d msg=%s latms=%s",
-		s.SentMsgs, s.SentBytes, s.SentAckBytes, s.RecvMsgs, s.Deliveries, s.Fast, s.Quiescences,
+	return fmt.Sprintf("sent=%d (%dB, ack %dB, beat %dB) recv=%d delivered=%d (fast=%d) quiescences=%d msg=%s latms=%s",
+		s.SentMsgs, s.SentBytes, s.SentAckBytes, s.SentBeatBytes, s.RecvMsgs, s.Deliveries, s.Fast, s.Quiescences,
 		s.MsgSize, s.DeliverLatencyMs)
 }

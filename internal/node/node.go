@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
@@ -92,12 +93,24 @@ const (
 
 // options collects the functional options of NewNode.
 type options struct {
-	tickEvery  time.Duration
-	seed       uint64
-	observer   Observer
-	inboxDepth int
-	batching   bool
-	cacheSize  int
+	tickEvery       time.Duration
+	seed            uint64
+	observer        Observer
+	inboxDepth      int
+	batching        bool
+	cacheSize       int
+	store           store.Store
+	checkpointEvery time.Duration
+	// recovered marks a node built by Recover, whose store legitimately
+	// holds the predecessor's state at construction time.
+	recovered bool
+}
+
+// withRecovered is the internal option Recover uses to bypass New's
+// populated-store refusal (the store holding state is the whole point
+// there).
+func withRecovered() Option {
+	return func(o *options) { o.recovered = true }
 }
 
 // Option configures a Node.
@@ -162,6 +175,33 @@ func WithEncodeCacheSize(entries int) Option {
 	}
 }
 
+// WithStore makes the node durable (DESIGN.md §9): durable events —
+// deliveries, tag_ack pins, local broadcasts — are written ahead to st's
+// WAL before the node acts on the Step that produced them, and the full
+// state machine is checkpointed to st on the WithCheckpointEvery cadence
+// (compacting the WAL). A node built this way can be restarted with
+// Recover. The process must implement urb.Durable (both paper algorithms
+// and the heartbeat host do), and the store must be empty — a store
+// already holding state is a restart, which must go through Recover;
+// New panics on either violation. The node does not
+// take ownership of the store — Stop leaves it open so a supervisor can
+// Recover from it.
+func WithStore(st store.Store) Option {
+	return func(o *options) { o.store = st }
+}
+
+// WithCheckpointEvery sets the checkpoint cadence (default 1s). Shorter
+// cadences bound the WAL replayed at recovery; longer ones amortise the
+// snapshot cost. Checkpoints ride the Task-1 tick, so the effective
+// cadence is quantised to WithTickEvery.
+func WithCheckpointEvery(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.checkpointEvery = d
+		}
+	}
+}
+
 // Node hosts one urb.Process on a Transport.
 type Node struct {
 	proc urb.Process
@@ -189,17 +229,34 @@ type Node struct {
 	lastSend   atomic.Int64 // unix nanos; 0 = never sent
 
 	// Per-class byte counters: MSG dissemination vs the ACK family
-	// (full, delta, resync) vs everything else (beats). Splitting at the
-	// send path is what lets benchmarks measure the labeled-ACK cost of
-	// Algorithm 2 — the hottest wire path — separately from payload
-	// dissemination.
+	// (full, delta, resync) vs BEAT heartbeats vs everything else.
+	// Splitting at the send path is what lets benchmarks measure the
+	// labeled-ACK cost of Algorithm 2 — the hottest wire path —
+	// separately from payload dissemination, and gives the heartbeat
+	// traffic of F8-style runs its own baseline (the ROADMAP's BEAT
+	// delta-encoding follow-up needs one).
 	sentMsgBytes   atomic.Uint64
 	sentAckBytes   atomic.Uint64
+	sentBeatBytes  atomic.Uint64
 	sentOtherBytes atomic.Uint64
+
+	// Durability counters (store path; zero without WithStore).
+	checkpoints     atomic.Uint64
+	checkpointBytes atomic.Uint64
+	walAppends      atomic.Uint64
+	walBytes        atomic.Uint64
+	storeErrMu      sync.Mutex
+	storeErr        error
+	storeBroken     atomic.Bool
 
 	// cache and budget belong to the loop goroutine (absorb path).
 	cache  *wire.EncodeCache
 	budget int
+
+	// recoveredSnap/recoveredWAL record what Recover replayed to build
+	// this node (zero for New-built nodes). Written before Start.
+	recoveredSnap int
+	recoveredWAL  int
 
 	// finalStats is the algorithm's last Stats snapshot, taken on the
 	// node goroutine as the loop exits (or by a never-started Stop) and
@@ -215,9 +272,23 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 	if proc == nil || tr == nil {
 		panic("node: process and transport are required")
 	}
-	o := options{tickEvery: 10 * time.Millisecond, inboxDepth: 256, batching: true}
+	o := options{tickEvery: 10 * time.Millisecond, inboxDepth: 256, batching: true,
+		checkpointEvery: time.Second}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.store != nil {
+		if _, ok := proc.(urb.Durable); !ok {
+			panic("node: WithStore requires a urb.Durable process")
+		}
+		if st := o.store.Stats(); !o.recovered && (st.SnapshotBytes > 0 || st.WALRecords > 0) {
+			// A populated store under a fresh process is almost certainly
+			// a restart that should have gone through Recover: running on
+			// would re-pin already-acked messages under fresh tags
+			// (phantom ackers) and interleave two incarnations' WAL
+			// records behind one snapshot. Refuse loudly.
+			panic("node: store already holds durable state; restart with node.Recover, not New")
+		}
 	}
 	return &Node{
 		proc:       proc,
@@ -405,11 +476,80 @@ func (n *Node) MessageStats() (sent, received uint64) {
 
 // ByteStats returns the bytes this node handed to the transport, split
 // by wire-message class: MSG dissemination, the ACK family (full-set,
-// delta and resync frames), and everything else (heartbeats). The sum
-// equals exact bytes on the wire in both batching modes (batch framing
-// adds zero bytes). Safe to poll while the node runs.
-func (n *Node) ByteStats() (msgBytes, ackBytes, otherBytes uint64) {
-	return n.sentMsgBytes.Load(), n.sentAckBytes.Load(), n.sentOtherBytes.Load()
+// delta and resync frames), BEAT heartbeats, and everything else
+// (future kinds). The sum equals exact bytes on the wire in both
+// batching modes (batch framing adds zero bytes). Safe to poll while
+// the node runs.
+func (n *Node) ByteStats() (msgBytes, ackBytes, beatBytes, otherBytes uint64) {
+	return n.sentMsgBytes.Load(), n.sentAckBytes.Load(), n.sentBeatBytes.Load(), n.sentOtherBytes.Load()
+}
+
+// StoreStats describes the node's durability activity (all zero without
+// WithStore).
+type StoreStats struct {
+	// Checkpoints and CheckpointBytes count snapshots saved and their
+	// cumulative payload bytes.
+	Checkpoints     uint64
+	CheckpointBytes uint64
+	// WALAppends and WALBytes count write-ahead records and their
+	// cumulative payload bytes (across compactions).
+	WALAppends uint64
+	WALBytes   uint64
+	// Err is the first store error, if any. After an error the node
+	// stops persisting (and keeps serving): a half-written durable state
+	// is worse than a clearly stale one, and the error is surfaced here
+	// for the supervisor to act on.
+	Err error
+}
+
+// StoreStats returns the durability counters. Safe to call while the
+// node runs.
+func (n *Node) StoreStats() StoreStats {
+	n.storeErrMu.Lock()
+	err := n.storeErr
+	n.storeErrMu.Unlock()
+	return StoreStats{
+		Checkpoints:     n.checkpoints.Load(),
+		CheckpointBytes: n.checkpointBytes.Load(),
+		WALAppends:      n.walAppends.Load(),
+		WALBytes:        n.walBytes.Load(),
+		Err:             err,
+	}
+}
+
+// failStore records the first store error and stops further persistence.
+func (n *Node) failStore(err error) {
+	n.storeErrMu.Lock()
+	if n.storeErr == nil {
+		n.storeErr = err
+	}
+	n.storeErrMu.Unlock()
+	n.storeBroken.Store(true)
+}
+
+// walAppend writes one durable event ahead of the action it guards.
+// Runs on the node goroutine.
+func (n *Node) walAppend(ev urb.DurableEvent) {
+	rec := ev.EncodeWAL()
+	if err := n.opt.store.AppendWAL(rec); err != nil {
+		n.failStore(err)
+		return
+	}
+	n.walAppends.Add(1)
+	n.walBytes.Add(uint64(len(rec)))
+}
+
+// checkpoint snapshots the state machine into the store (compacting the
+// WAL). Runs on the node goroutine.
+func (n *Node) checkpoint() {
+	d := n.proc.(urb.Durable) // validated in New
+	snap := d.Snapshot()
+	if err := n.opt.store.SaveSnapshot(snap); err != nil {
+		n.failStore(err)
+		return
+	}
+	n.checkpoints.Add(1)
+	n.checkpointBytes.Add(uint64(len(snap)))
 }
 
 // InboxOverflows reports how many inbound frames this node's transport
@@ -452,6 +592,8 @@ func (n *Node) loop(ctx context.Context) {
 
 	var sentAtLastTick uint64
 	quiet := false
+	lastCheckpoint := time.Now()
+	walAtCheckpoint := n.walAppends.Load()
 	for {
 		select {
 		case <-ctx.Done():
@@ -498,6 +640,16 @@ func (n *Node) loop(ctx context.Context) {
 		case <-tick.C:
 			n.absorb(n.proc.Tick())
 			tick.Reset(n.opt.tickEvery)
+			// Checkpoint on cadence, but only when the WAL grew since the
+			// last one: an idle (e.g. quiescent) node re-snapshotting an
+			// unchanged state would be pure churn.
+			if n.opt.store != nil && !n.storeBroken.Load() &&
+				time.Since(lastCheckpoint) >= n.opt.checkpointEvery &&
+				n.walAppends.Load() != walAtCheckpoint {
+				n.checkpoint()
+				lastCheckpoint = time.Now()
+				walAtCheckpoint = n.walAppends.Load()
+			}
 			sent := n.sentFrames.Load()
 			if sent == sentAtLastTick && sent > 0 {
 				if !quiet {
@@ -526,6 +678,19 @@ func (n *Node) loop(ctx context.Context) {
 // per-MsgID encode cache, so a steady-state Task-1 tick copies cached
 // MSG frames instead of re-encoding each body.
 func (n *Node) absorb(s urb.Step) {
+	// Write-ahead: pins, broadcasts and deliveries reach the WAL before
+	// the node acts on the Step — before the ACK carrying a fresh tag_ack
+	// leaves, and before a delivery is exposed to the application. A
+	// crash after the WAL write but before the action loses nothing; a
+	// crash before it loses an event the outside world never saw.
+	if n.opt.store != nil && !n.storeBroken.Load() {
+		for _, ev := range s.Durable {
+			n.walAppend(ev)
+		}
+		for _, d := range s.Deliveries {
+			n.walAppend(urb.DeliverEvent(d))
+		}
+	}
 	for _, d := range s.Deliveries {
 		del := Delivery{ID: d.ID, Fast: d.Fast, At: time.Now()}
 		if n.opt.observer != nil {
@@ -570,6 +735,8 @@ func (n *Node) absorb(s urb.Step) {
 			n.sentMsgBytes.Add(uint64(len(frame) - start))
 		case m.Kind.IsAck():
 			n.sentAckBytes.Add(uint64(len(frame) - start))
+		case m.Kind == wire.KindBeat:
+			n.sentBeatBytes.Add(uint64(len(frame) - start))
 		default:
 			n.sentOtherBytes.Add(uint64(len(frame) - start))
 		}

@@ -1,0 +1,77 @@
+package node
+
+import (
+	"fmt"
+
+	"anonurb/internal/store"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+)
+
+// Recover rebuilds a node from its durable state (DESIGN.md §9): the
+// store's snapshot is restored into proc, the WAL appended since that
+// snapshot is replayed on top, and the result is a node that — once
+// started — resumes ACKing and retransmitting where its predecessor
+// stopped instead of rejoining amnesiac. In particular it re-delivers
+// nothing it already delivered and re-acks under the tag_acks it already
+// pinned (uniformity and integrity across the restart).
+//
+// proc must be a freshly constructed process with the same constructor
+// parameters as the crashed one, its tag Source built from the same seed
+// at stream position zero — Restore fast-forwards it so post-recovery
+// draws continue the predecessor's stream. tr is a fresh transport
+// endpoint (the crashed node closed its own).
+//
+// Recover checkpoints the merged state back into the store before
+// returning, so the replayed WAL is compacted and a crash loop cannot
+// grow it without bound. The returned node keeps persisting to st; call
+// Start to resume operation.
+func Recover(proc urb.Process, st store.Store, tr transport.Transport, opts ...Option) (*Node, error) {
+	d, ok := proc.(urb.Durable)
+	if !ok {
+		return nil, fmt.Errorf("node: %T does not implement urb.Durable", proc)
+	}
+	snap, wal, err := st.Load()
+	if err != nil {
+		return nil, fmt.Errorf("node: recover load: %w", err)
+	}
+	if snap != nil {
+		if err := d.Restore(snap); err != nil {
+			return nil, fmt.Errorf("node: recover snapshot: %w", err)
+		}
+	}
+	replayed := 0
+	for i, raw := range wal {
+		rec, err := urb.DecodeWALRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("node: recover wal record %d/%d: %w", i+1, len(wal), err)
+		}
+		if err := d.ApplyWAL(rec); err != nil {
+			return nil, fmt.Errorf("node: recover wal record %d/%d: %w", i+1, len(wal), err)
+		}
+		replayed++
+	}
+	// New incarnation: outbound stream numbering (delta-ACK epochs) must
+	// dominate anything the predecessor sent in the lost post-checkpoint
+	// window.
+	d.Rejoin()
+	n := New(proc, tr, append(opts, WithStore(st), withRecovered())...)
+	// Compact: the recovered state becomes the new baseline snapshot, so
+	// the next recovery replays only what happens after this one.
+	fresh := d.Snapshot()
+	if err := st.SaveSnapshot(fresh); err != nil {
+		return nil, fmt.Errorf("node: recover checkpoint: %w", err)
+	}
+	n.checkpoints.Add(1)
+	n.checkpointBytes.Add(uint64(len(fresh)))
+	n.recoveredWAL = replayed
+	n.recoveredSnap = len(snap)
+	return n, nil
+}
+
+// RecoveryStats reports what the Recover that built this node replayed:
+// the snapshot payload size and the number of WAL records merged on top
+// (both zero for nodes built with New).
+func (n *Node) RecoveryStats() (snapshotBytes, walRecords int) {
+	return n.recoveredSnap, n.recoveredWAL
+}

@@ -1,0 +1,297 @@
+package node
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/store"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// collect drains deliveries until want distinct IDs arrived or the
+// deadline passes.
+func collect(t *testing.T, ch <-chan Delivery, want int, deadline time.Duration) map[wire.MsgID]int {
+	t.Helper()
+	got := make(map[wire.MsgID]int)
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for len(got) < want {
+		select {
+		case d, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got[d.ID]++
+		case <-timer.C:
+			return got
+		}
+	}
+	return got
+}
+
+// TestNodeCrashRecover is the end-to-end node-layer recovery check: a
+// durable node is killed mid-run and restarted via Recover; it must
+// re-deliver nothing, catch up on messages broadcast while it was down,
+// and keep serving from the state it persisted.
+func TestNodeCrashRecover(t *testing.T) {
+	const n = 3
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    n,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+		Seed: 42,
+	})
+	defer mesh.Close()
+
+	st := store.NewMem()
+	mkProc := func(i int) urb.Process {
+		return urb.NewMajority(n, ident.NewSource(xrand.New(uint64(1000+i))), urb.Config{})
+	}
+	nodes := make([]*Node, n)
+	inboxes := make([]<-chan Delivery, n)
+	for i := 0; i < n; i++ {
+		opts := []Option{WithTickEvery(2 * time.Millisecond), WithSeed(uint64(i))}
+		if i == 0 {
+			opts = append(opts, WithStore(st), WithCheckpointEvery(5*time.Millisecond))
+		}
+		nodes[i] = New(mkProc(i), mesh.Endpoint(i), opts...)
+		inboxes[i] = nodes[i].Deliveries()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, nd := range nodes {
+		if err := nd.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer nd.Stop()
+	}
+
+	// Phase 1: one message delivered everywhere, durably on node 0.
+	m1, err := nodes[0].Broadcast([]byte("before-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := collect(t, inboxes[i], 1, 5*time.Second); got[m1] != 1 {
+			t.Fatalf("node %d: m1 deliveries = %v", i, got)
+		}
+	}
+	// Let at least one checkpoint land (cadence 5ms, rides 2ms ticks).
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].StoreStats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint before crash: %+v", nodes[0].StoreStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ss := nodes[0].StoreStats()
+	if ss.WALAppends == 0 || ss.Err != nil {
+		t.Fatalf("store stats before crash: %+v", ss)
+	}
+
+	// Crash node 0.
+	nodes[0].Stop()
+
+	// The survivors make progress while it is down (n=3 majority needs
+	// only 2 ackers).
+	m2, err := nodes[1].Broadcast([]byte("while-down"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if got := collect(t, inboxes[i], 1, 5*time.Second); got[m2] != 1 {
+			t.Fatalf("node %d: m2 deliveries = %v", i, got)
+		}
+	}
+
+	// Recover node 0: same constructor parameters, same tag seed, fresh
+	// mesh endpoint.
+	rec, err := Recover(mkProc(0), st, mesh.Reopen(0),
+		WithTickEvery(2*time.Millisecond), WithSeed(0), WithCheckpointEvery(5*time.Millisecond))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	snapBytes, walRecs := rec.RecoveryStats()
+	if snapBytes == 0 {
+		t.Fatal("recovery replayed no snapshot despite checkpoints")
+	}
+	_ = walRecs // may be zero if the last checkpoint caught everything
+	inbox := rec.Deliveries()
+	if err := rec.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Stop()
+
+	// It catches up on m2 — and must NOT re-deliver m1.
+	got := collect(t, inbox, 1, 10*time.Second)
+	if got[m2] != 1 {
+		t.Fatalf("recovered node did not catch up on m2: %v", got)
+	}
+	if got[m1] != 0 {
+		t.Fatalf("recovered node re-delivered m1: %v", got)
+	}
+	// Give it a little longer: still no m1.
+	select {
+	case d := <-inbox:
+		t.Fatalf("unexpected post-recovery delivery %v", d.ID)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// And it serves new broadcasts from its recovered state.
+	m3, err := rec.Broadcast([]byte("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if got := collect(t, inboxes[i], 1, 5*time.Second); got[m3] != 1 {
+			t.Fatalf("node %d: m3 deliveries = %v", i, got)
+		}
+	}
+	if got := collect(t, inbox, 1, 5*time.Second); got[m3] != 1 {
+		t.Fatalf("recovered node did not deliver its own m3: %v", got)
+	}
+	if err := rec.StoreStats().Err; err != nil {
+		t.Fatalf("store error after recovery: %v", err)
+	}
+}
+
+// TestNodeRecoverUniformityAcrossRestart pins the acceptance criterion
+// directly at the algorithm boundary: everything the predecessor
+// delivered is delivered (not re-delivered) in the successor, and the
+// successor keeps retransmitting it.
+func TestNodeRecoverUniformityAcrossRestart(t *testing.T) {
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    1,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+		Seed: 7,
+	})
+	defer mesh.Close()
+	st := store.NewMem()
+
+	proc := urb.NewMajority(1, ident.NewSource(xrand.New(5)), urb.Config{})
+	nd := New(proc, mesh.Endpoint(0), WithStore(st), WithTickEvery(time.Millisecond))
+	inbox := nd.Deliveries()
+	ctx := context.Background()
+	if err := nd.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id, err := nd.Broadcast([]byte("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, inbox, 1, 5*time.Second); got[id] != 1 {
+		t.Fatalf("solo delivery missing: %v", got)
+	}
+	nd.Stop() // crash — WAL has the broadcast and the delivery, maybe no checkpoint
+
+	rec, err := Recover(urb.NewMajority(1, ident.NewSource(xrand.New(5)), urb.Config{}),
+		st, mesh.Reopen(0), WithTickEvery(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbox2 := rec.Deliveries()
+	if err := rec.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Stop()
+	select {
+	case d := <-inbox2:
+		t.Fatalf("recovered solo node re-delivered %v", d.ID)
+	case <-time.After(30 * time.Millisecond):
+	}
+	st2, err := rec.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Delivered != 1 || st2.MsgSet != 1 {
+		t.Fatalf("recovered state lost the delivery or the MSG set: %+v", st2)
+	}
+}
+
+// TestNodeStoreErrorDegradesLoudly: a failing store stops persistence,
+// surfaces the error, and the node keeps serving.
+func TestNodeStoreErrorDegradesLoudly(t *testing.T) {
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    1,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+		Seed: 9,
+	})
+	defer mesh.Close()
+	st := store.NewMem()
+	st.Close() // every write will fail
+
+	nd := New(urb.NewMajority(1, ident.NewSource(xrand.New(3)), urb.Config{}),
+		mesh.Endpoint(0), WithStore(st), WithTickEvery(time.Millisecond))
+	inbox := nd.Deliveries()
+	if err := nd.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	id, err := nd.Broadcast([]byte("served-anyway"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, inbox, 1, 5*time.Second); got[id] != 1 {
+		t.Fatalf("node stopped serving on store failure: %v", got)
+	}
+	if nd.StoreStats().Err == nil {
+		t.Fatal("store failure not surfaced")
+	}
+}
+
+// TestNewPanicsOnNonDurableStore: WithStore demands a urb.Durable
+// process at construction, not at the first failed checkpoint.
+func TestNewPanicsOnNonDurableStore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted WithStore for a non-durable process")
+		}
+	}()
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    1,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+	})
+	defer mesh.Close()
+	New(nonDurable{}, mesh.Endpoint(0), WithStore(store.NewMem()))
+}
+
+// TestNewRefusesPopulatedStore: a store that already holds durable
+// state means this is a restart, and a restart through New (instead of
+// Recover) would re-pin acked messages under fresh tags and interleave
+// two incarnations' WAL records. New must refuse loudly.
+func TestNewRefusesPopulatedStore(t *testing.T) {
+	st := store.NewMem()
+	if err := st.AppendWAL([]byte("previous incarnation")); err != nil {
+		t.Fatal(err)
+	}
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    1,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+	})
+	defer mesh.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted WithStore on a populated store")
+		}
+	}()
+	New(urb.NewMajority(1, ident.NewSource(xrand.New(1)), urb.Config{}),
+		mesh.Endpoint(0), WithStore(st))
+}
+
+// nonDurable is a Process without the Durable surface.
+type nonDurable struct{}
+
+func (nonDurable) Broadcast(body []byte) (wire.MsgID, urb.Step) { return wire.MsgID{}, urb.Step{} }
+func (nonDurable) Receive(wire.Message) urb.Step                { return urb.Step{} }
+func (nonDurable) Tick() urb.Step                               { return urb.Step{} }
+func (nonDurable) Stats() urb.Stats                             { return urb.Stats{} }

@@ -31,6 +31,7 @@ import (
 
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
+	"anonurb/internal/store"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
 	"anonurb/internal/xrand"
@@ -83,6 +84,14 @@ type Observer interface {
 	OnCrash(t Time, proc int)
 }
 
+// RecoverObserver is the optional extension observers implement to see
+// crash-recovery events (kept separate so existing Observer
+// implementations stay source-compatible).
+type RecoverObserver interface {
+	// OnRecover fires when a crashed process restarts from its store.
+	OnRecover(t Time, proc int)
+}
+
 // Config fully describes a run.
 type Config struct {
 	// N is the number of processes.
@@ -101,6 +110,23 @@ type Config struct {
 	// CrashAt[i] is process i's crash time, or Never. nil means nobody
 	// crashes.
 	CrashAt []Time
+	// Stores[i], when non-nil, persists process i's durable events
+	// (write-ahead, as they happen) and periodic checkpoints, and is what
+	// RecoverAt restarts the process from. Requires the factory to build
+	// urb.Durable processes for stored indices.
+	Stores []store.Store
+	// CheckpointEvery, when > 0, snapshots every live stored process on
+	// this virtual-time cadence (compacting its WAL). 0 means the WAL
+	// alone carries recovery.
+	CheckpointEvery Time
+	// RecoverAt[i], when not Never, restarts process i at that time from
+	// Stores[i]: a fresh process is built by the factory (with a tag
+	// stream cloned from the original's seed), the snapshot is restored,
+	// the WAL replayed, and the process resumes receiving, ticking and
+	// sending. Requires CrashAt[i] < RecoverAt[i] and Stores[i] != nil.
+	// A recovered process counts as correct: the convergence stop holds
+	// it to every delivery obligation.
+	RecoverAt []Time
 	// CrashAfterDeliveries, if non-nil, crashes process i immediately
 	// after its k-th delivery where k = CrashAfterDeliveries[i] (0 means
 	// disabled). This is the paper's "fast deliver then crash" adversary
@@ -132,6 +158,8 @@ const (
 	evCrash
 	evBroadcast
 	evSample
+	evCheckpoint
+	evRecover
 )
 
 type event struct {
@@ -194,8 +222,13 @@ type Result struct {
 	Deliveries [][]DeliveryAt
 	// Broadcasts lists every URB-broadcast with its ground-truth origin.
 	Broadcasts []BroadcastAt
-	// Crashed[i] reports whether process i crashed during the run.
+	// Crashed[i] reports whether process i crashed during the run and
+	// stayed down. A process that crashed and later recovered reports
+	// false here (it is correct in the crash-recovery reading) and true
+	// in Recovered.
 	Crashed []bool
+	// Recovered[i] reports whether process i restarted from its store.
+	Recovered []bool
 	// EndTime is the virtual time at which the run stopped.
 	EndTime Time
 	// LastSend is the virtual time of the last copy offered to the
@@ -238,6 +271,10 @@ type Engine struct {
 	// its broadcaster crashed. inFlightMsg[id] counts queued copies.
 	aliveTouched map[wire.MsgID]bool
 	inFlightMsg  map[wire.MsgID]int
+	// tagClones[i] is process i's tag stream frozen at creation, so a
+	// recovery can hand the factory an identical stream for the restored
+	// process to fast-forward.
+	tagClones []*xrand.Source
 }
 
 // NewEngine validates cfg and builds the run.
@@ -263,6 +300,25 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.CrashAfterDeliveries != nil && len(cfg.CrashAfterDeliveries) != cfg.N {
 		panic("sim: CrashAfterDeliveries length mismatch")
 	}
+	if cfg.Stores != nil && len(cfg.Stores) != cfg.N {
+		panic("sim: Stores length mismatch")
+	}
+	if cfg.RecoverAt != nil {
+		if len(cfg.RecoverAt) != cfg.N {
+			panic("sim: RecoverAt length mismatch")
+		}
+		for i, at := range cfg.RecoverAt {
+			if at == Never || at < 0 {
+				continue
+			}
+			if cfg.Stores == nil || cfg.Stores[i] == nil {
+				panic(fmt.Sprintf("sim: RecoverAt[%d] without a store", i))
+			}
+			if cfg.CrashAt == nil || cfg.CrashAt[i] == Never || cfg.CrashAt[i] >= at {
+				panic(fmt.Sprintf("sim: RecoverAt[%d]=%d must follow a crash", i, at))
+			}
+		}
+	}
 	e := &Engine{
 		cfg:                 cfg,
 		net:                 channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "net")),
@@ -281,11 +337,15 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.result.Deliveries = make([][]DeliveryAt, cfg.N)
 	e.result.Crashed = make([]bool, cfg.N)
+	e.result.Recovered = make([]bool, cfg.N)
 	tagRoot := xrand.SplitLabeled(cfg.Seed, "tags")
+	e.tagClones = make([]*xrand.Source, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		src := tagRoot.Split()
+		e.tagClones[i] = src.Clone()
 		env := Env{
 			Index: i,
-			Tags:  ident.NewSource(tagRoot.Split()),
+			Tags:  ident.NewSource(src),
 			Now:   func() Time { return e.now },
 		}
 		e.procs[i] = cfg.Factory(env)
@@ -309,6 +369,16 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.SampleEvery > 0 {
 		e.push(&event{at: 0, kind: evSample})
+	}
+	if cfg.CheckpointEvery > 0 && cfg.Stores != nil {
+		e.push(&event{at: cfg.CheckpointEvery, kind: evCheckpoint})
+	}
+	if cfg.RecoverAt != nil {
+		for i, at := range cfg.RecoverAt {
+			if at != Never && at >= 0 {
+				e.push(&event{at: at, kind: evRecover, proc: i})
+			}
+		}
 	}
 	return e
 }
@@ -367,6 +437,25 @@ func (e *Engine) broadcastCopies(src int, m wire.Message) {
 
 // absorb handles one Step from a process.
 func (e *Engine) absorb(proc int, s urb.Step) {
+	// Write-ahead: durable events and deliveries reach the process's
+	// store before the Step's broadcasts reach the network or the
+	// deliveries reach the result (the same discipline the live node
+	// applies). Store errors are fatal in the simulator — a sim store is
+	// in-memory or a test fixture, and silent degradation would make a
+	// recovery test pass vacuously.
+	if e.cfg.Stores != nil && e.cfg.Stores[proc] != nil {
+		st := e.cfg.Stores[proc]
+		for _, ev := range s.Durable {
+			if err := st.AppendWAL(ev.EncodeWAL()); err != nil {
+				panic(fmt.Sprintf("sim: proc %d wal append: %v", proc, err))
+			}
+		}
+		for _, d := range s.Deliveries {
+			if err := st.AppendWAL(urb.DeliverEvent(d).EncodeWAL()); err != nil {
+				panic(fmt.Sprintf("sim: proc %d wal append: %v", proc, err))
+			}
+		}
+	}
 	for _, d := range s.Deliveries {
 		e.result.Deliveries[proc] = append(e.result.Deliveries[proc],
 			DeliveryAt{ID: d.ID, At: e.now, Fast: d.Fast})
@@ -504,6 +593,11 @@ func (e *Engine) Run() Result {
 		case evSample:
 			e.takeSample()
 			e.push(&event{at: e.now + e.cfg.SampleEvery, kind: evSample})
+		case evCheckpoint:
+			e.takeCheckpoints()
+			e.push(&event{at: e.now + e.cfg.CheckpointEvery, kind: evCheckpoint})
+		case evRecover:
+			e.doRecover(ev.proc)
 		}
 
 		// ExpectDeliveries alone stops the run early; when StopWhenQuiet
@@ -526,6 +620,83 @@ func (e *Engine) Run() Result {
 		e.result.ProcStats[i] = p.Stats()
 	}
 	return e.result
+}
+
+// takeCheckpoints snapshots every live stored process (compacting its
+// WAL), the simulator's counterpart of the node's checkpoint cadence.
+func (e *Engine) takeCheckpoints() {
+	for i, st := range e.cfg.Stores {
+		if st == nil || e.crash[i] {
+			continue
+		}
+		d, ok := e.procs[i].(urb.Durable)
+		if !ok {
+			panic(fmt.Sprintf("sim: proc %d has a store but is not urb.Durable", i))
+		}
+		if err := st.SaveSnapshot(d.Snapshot()); err != nil {
+			panic(fmt.Sprintf("sim: proc %d checkpoint: %v", i, err))
+		}
+	}
+}
+
+// doRecover restarts a crashed process from its store: the factory
+// builds a fresh instance over a clone of the original tag stream, the
+// snapshot is restored, the WAL replayed, and the process resumes
+// ticking. From here on the process counts as correct — the convergence
+// stop holds it to every delivery obligation, which is exactly the
+// crash-recovery uniformity claim the recovery tests assert.
+func (e *Engine) doRecover(proc int) {
+	if !e.crash[proc] {
+		panic(fmt.Sprintf("sim: recover of live proc %d", proc))
+	}
+	st := e.cfg.Stores[proc]
+	snap, wal, err := st.Load()
+	if err != nil {
+		panic(fmt.Sprintf("sim: proc %d recover load: %v", proc, err))
+	}
+	env := Env{
+		Index: proc,
+		Tags:  ident.NewSource(e.tagClones[proc].Clone()),
+		Now:   func() Time { return e.now },
+	}
+	p := e.cfg.Factory(env)
+	d, ok := p.(urb.Durable)
+	if !ok {
+		panic(fmt.Sprintf("sim: proc %d factory does not build urb.Durable processes", proc))
+	}
+	if snap != nil {
+		if err := d.Restore(snap); err != nil {
+			panic(fmt.Sprintf("sim: proc %d restore: %v", proc, err))
+		}
+	}
+	for i, raw := range wal {
+		rec, err := urb.DecodeWALRecord(raw)
+		if err != nil {
+			panic(fmt.Sprintf("sim: proc %d wal record %d: %v", proc, i, err))
+		}
+		if err := d.ApplyWAL(rec); err != nil {
+			panic(fmt.Sprintf("sim: proc %d wal replay %d: %v", proc, i, err))
+		}
+	}
+	// New incarnation (delta-ACK epoch rebasing; see urb.Durable.Rejoin),
+	// then compact, as the live Recover does: the merged state is the new
+	// baseline.
+	d.Rejoin()
+	if err := st.SaveSnapshot(d.Snapshot()); err != nil {
+		panic(fmt.Sprintf("sim: proc %d recovery checkpoint: %v", proc, err))
+	}
+	e.procs[proc] = p
+	e.crash[proc] = false
+	e.result.Crashed[proc] = false
+	e.result.Recovered[proc] = true
+	for _, o := range e.cfg.Observers {
+		if ro, ok := o.(RecoverObserver); ok {
+			ro.OnRecover(e.now, proc)
+		}
+	}
+	// Resume the tick chain the crash cut (next period, not immediately:
+	// a restart takes at least a beat).
+	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evTick, proc: proc})
 }
 
 func (e *Engine) takeSample() {

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File layout. The snapshot file is
+//
+//	magic "AURBSNAP" | version u8 | payloadLen u32 | payload | crc32 u32
+//
+// written to a temp file, fsynced and renamed into place: readers see
+// either the old snapshot or the new one, never a half-written mix (a
+// temp file left behind by a crash is ignored and overwritten). The WAL
+// file is a sequence of records
+//
+//	recLen u32 | crc32(payload) u32 | payload
+//
+// appended with a single write each (fsynced per append unless the
+// store was opened with OpenFileNoSync). Replay stops at the first record
+// whose frame is cut short or whose checksum fails — a torn tail from a
+// crash mid-append — and truncates the file there, so the next append
+// extends a clean log. crc32 (Castagnoli) catches the partial writes and
+// bit rot this layer is responsible for; end-to-end state corruption is
+// additionally caught by the urb snapshot codec's fingerprint digest.
+const (
+	snapMagic    = "AURBSNAP"
+	snapFileVer  = 1
+	snapFileName = "snapshot.bin"
+	walFileName  = "wal.log"
+
+	walFrameLen = 8 // recLen u32 | crc u32
+	// maxWALRecord bounds a single record's claimed length: a frame
+	// whose length field exceeds it is treated as a tear, bounding the
+	// allocation a corrupt length can force. Generous: records are an
+	// encoded MsgID plus a few fixed fields, and bodies are capped by
+	// wire.MaxBody (60 KiB).
+	maxWALRecord = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSnapshotFile is wrapped by snapshot-file integrity failures. A
+// corrupt snapshot is NOT silently dropped (unlike a torn WAL tail, it
+// is not an expected crash artefact): recovery must fail loudly rather
+// than restart amnesiac.
+var ErrSnapshotFile = errors.New("store: snapshot file corrupt")
+
+// File is the file-backed Store: one directory per process, holding
+// snapshot.bin and wal.log.
+type File struct {
+	mu     sync.Mutex
+	dir    string
+	wal    *os.File
+	sync   bool
+	stats  Stats
+	closed bool
+}
+
+var _ Store = (*File)(nil)
+
+// OpenFile opens (creating if needed) the store directory. The WAL is
+// opened for appending; an existing store's counters are primed from the
+// files so Stats reflects reality after a restart.
+//
+// Every WAL append is fsynced: the write-ahead contract — the outside
+// world never sees an event the store could lose — must hold across OS
+// crashes and power loss, not just process crashes. A lost tag_ack pin,
+// for instance, would make the recovered process ack under a second
+// identity (the phantom-acker over-counting of DESIGN.md §9). Use
+// OpenFileNoSync when that window is acceptable.
+func OpenFile(dir string) (*File, error) {
+	return openFile(dir, true)
+}
+
+// OpenFileNoSync is OpenFile without the per-append fsync: appends land
+// in the OS page cache and survive process crashes but may be lost to an
+// OS crash or power failure. For workloads where the ~per-append fsync
+// cost dominates and machine-level durability is provided elsewhere (or
+// genuinely not needed).
+func OpenFileNoSync(dir string) (*File, error) {
+	return openFile(dir, false)
+}
+
+func openFile(dir string, sync bool) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &File{dir: dir, wal: wal, sync: sync}
+	if info, err := os.Stat(s.snapPath()); err == nil && info.Size() > 0 {
+		// Approximate (includes framing); Load refines it to the payload.
+		s.stats.SnapshotBytes = uint64(info.Size())
+	}
+	if err := s.primeWALStats(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *File) snapPath() string { return filepath.Join(s.dir, snapFileName) }
+
+// primeWALStats scans the existing WAL once so counters are meaningful
+// before the first Load, and positions the append offset at the end of
+// the valid prefix (truncating any torn tail left by a crash).
+func (s *File) primeWALStats() error {
+	recs, valid, err := scanWAL(s.wal)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(valid); err != nil {
+		return fmt.Errorf("store: truncate torn wal tail: %w", err)
+	}
+	if _, err := s.wal.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, r := range recs {
+		s.stats.WALRecords++
+		s.stats.WALBytes += uint64(len(r))
+	}
+	return nil
+}
+
+// scanWAL reads every whole, checksummed record from the start of f and
+// returns them with the byte offset where the valid prefix ends.
+func scanWAL(f *os.File) ([][]byte, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	var (
+		recs  [][]byte
+		valid int64
+		head  [walFrameLen]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, head[:]); err != nil {
+			// EOF or a frame header cut short: end of the valid prefix.
+			return recs, valid, nil
+		}
+		n := binary.BigEndian.Uint32(head[0:4])
+		crc := binary.BigEndian.Uint32(head[4:8])
+		if n > maxWALRecord {
+			return recs, valid, nil // corrupt length: treat as a tear
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, valid, nil // record body cut short: tear
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return recs, valid, nil // half-written or rotted: tear
+		}
+		recs = append(recs, payload)
+		valid += walFrameLen + int64(n)
+	}
+}
+
+// SaveSnapshot implements Store: write-temp + fsync + rename, then reset
+// the WAL. See the compaction contract in the package doc for the crash
+// window between the two steps.
+func (s *File) SaveSnapshot(snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var buf []byte
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapFileVer)
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], uint32(len(snap)))
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, snap...)
+	binary.BigEndian.PutUint32(scratch[:], crc32.Checksum(snap, crcTable))
+	buf = append(buf, scratch[:]...)
+
+	tmp, err := os.CreateTemp(s.dir, snapFileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.snapPath()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.sync {
+		// Persist the rename itself: without a directory fsync the new
+		// name may not survive a power loss even though the data would.
+		if d, err := os.Open(s.dir); err == nil {
+			_ = d.Sync() // best-effort: not all filesystems support it
+			d.Close()
+		}
+	}
+	// Compact: the WAL restarts after the snapshot. Truncate-in-place
+	// keeps the already-open append handle valid.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: compact wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.stats.SnapshotBytes = uint64(len(snap))
+	s.stats.SnapshotSaves++
+	s.stats.WALRecords, s.stats.WALBytes = 0, 0
+	return nil
+}
+
+// AppendWAL implements Store. One write syscall per record keeps the
+// torn-tail window to a single record, which is exactly what Load's
+// replay tolerates; the per-append fsync (unless OpenFileNoSync)
+// extends the write-ahead guarantee to OS crashes and power loss.
+func (s *File) AppendWAL(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(rec) > maxWALRecord {
+		return fmt.Errorf("store: wal record %d bytes exceeds bound %d", len(rec), maxWALRecord)
+	}
+	frame := make([]byte, walFrameLen+len(rec))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(rec, crcTable))
+	copy(frame[walFrameLen:], rec)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.stats.WALRecords++
+	s.stats.WALBytes += uint64(len(rec))
+	return nil
+}
+
+// Load implements Store. The WAL's valid prefix is returned and any torn
+// tail truncated; a corrupt snapshot file is an error (recovery must not
+// silently restart from nothing when durable state existed).
+func (s *File) Load() ([]byte, [][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	snap, err := s.loadSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, valid, err := scanWAL(s.wal)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.wal.Truncate(valid); err != nil {
+		return nil, nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+	}
+	if _, err := s.wal.Seek(valid, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s.stats.WALRecords = uint64(len(recs))
+	s.stats.WALBytes = 0
+	for _, r := range recs {
+		s.stats.WALBytes += uint64(len(r))
+	}
+	if snap != nil {
+		s.stats.SnapshotBytes = uint64(len(snap))
+	}
+	return snap, recs, nil
+}
+
+// loadSnapshot reads and verifies snapshot.bin; a missing file is a nil
+// snapshot (a store that never checkpointed).
+func (s *File) loadSnapshot() ([]byte, error) {
+	data, err := os.ReadFile(s.snapPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return ParseSnapshotFile(data)
+}
+
+// IsSnapshotFile reports whether data begins with the snapshot
+// container magic (tooling uses it to distinguish container files from
+// raw snapshot payloads).
+func IsSnapshotFile(data []byte) bool {
+	return len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic
+}
+
+// ParseSnapshotFile verifies a snapshot container (the snapshot.bin
+// format) and returns its payload. Exposed for tooling
+// (cmd/urbcheck -snapshot) so integrity reporting matches what recovery
+// would accept.
+func ParseSnapshotFile(data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic)+1+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSnapshotFile, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotFile)
+	}
+	if data[len(snapMagic)] != snapFileVer {
+		return nil, fmt.Errorf("%w: unknown container version %d", ErrSnapshotFile, data[len(snapMagic)])
+	}
+	body := data[len(snapMagic)+1:]
+	n := binary.BigEndian.Uint32(body[:4])
+	if uint64(n)+8 != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: length %d in a %d-byte file", ErrSnapshotFile, n, len(data))
+	}
+	payload := body[4 : 4+n]
+	crc := binary.BigEndian.Uint32(body[4+n:])
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotFile)
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// Stats implements Store.
+func (s *File) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close implements Store.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// Dir returns the store's directory (for tooling and logs).
+func (s *File) Dir() string { return s.dir }

@@ -1,0 +1,171 @@
+// Package store is the durable-state engine of the crash-recovery
+// extension (DESIGN.md §9): it persists a process's URB state as periodic
+// compacted snapshots plus an append-only write-ahead log of the events
+// that must never be lost between checkpoints (deliveries, tag_ack pins,
+// local broadcasts — see internal/urb's DurableEvent).
+//
+// The engine stores opaque byte blobs: the snapshot payload is the
+// canonical urb state codec's output and WAL records are encoded
+// urb.DurableEvents, but nothing here depends on either — the store
+// layers framing, checksums and crash-safety below the codecs, exactly
+// as internal/wire sits below the algorithms.
+//
+// Two implementations:
+//
+//   - Mem: an in-memory store for tests and simulations. Deterministic,
+//     no I/O, supports fault injection (torn tails) for replay tests.
+//   - File: a directory holding snapshot.bin and wal.log. Snapshots
+//     replace atomically (write temp, fsync, rename); the WAL is
+//     append-only with per-record CRC framing and tolerates a torn tail
+//     on replay — a crash mid-append loses at most the record being
+//     written, never the prefix.
+//
+// Compaction contract: SaveSnapshot atomically installs the new snapshot
+// and then resets the WAL, so Load returns a snapshot plus only the
+// records appended after it. If a crash lands between the snapshot
+// rename and the WAL reset, Load returns records the snapshot already
+// covers — harmless, because WAL replay is idempotent by design (the urb
+// ApplyWAL operations are set inserts).
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Store persists one process's durable state.
+//
+// Implementations must serialise their own operations (hosts call them
+// from one goroutine, but recovery tooling may probe concurrently).
+type Store interface {
+	// SaveSnapshot atomically replaces the stored snapshot with snap and
+	// compacts the WAL: records logged before this call are no longer
+	// returned by Load.
+	SaveSnapshot(snap []byte) error
+	// AppendWAL durably appends one record after the current snapshot.
+	AppendWAL(rec []byte) error
+	// Load returns the latest snapshot (nil if none was ever saved) and
+	// the WAL records appended since it, in append order. A torn tail —
+	// a final record cut short or failing its checksum — is dropped, not
+	// an error: the loss window is exactly the record being written when
+	// the crash hit. File-backed stores truncate the tear so subsequent
+	// appends extend a clean log.
+	Load() (snap []byte, wal [][]byte, err error)
+	// Stats reports the store's size counters.
+	Stats() Stats
+	// Close releases the store's resources. A closed store rejects
+	// further writes.
+	Close() error
+}
+
+// Stats are a store's size counters, the raw material of the recovery
+// benchmarks (checkpoint bytes per delivery, WAL length at crash).
+type Stats struct {
+	// SnapshotBytes is the size of the current snapshot payload.
+	SnapshotBytes uint64
+	// SnapshotSaves counts SaveSnapshot calls that succeeded.
+	SnapshotSaves uint64
+	// WALRecords and WALBytes describe the live WAL (records appended
+	// since the last snapshot; bytes are payload bytes, excluding
+	// framing).
+	WALRecords uint64
+	WALBytes   uint64
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Mem is the in-memory Store used by tests and simulations.
+type Mem struct {
+	mu     sync.Mutex
+	snap   []byte
+	wal    [][]byte
+	stats  Stats
+	closed bool
+	// tornTail, when set, makes the next Load behave as if the final
+	// record had been half-written: the last WAL record is dropped (fault
+	// injection for replay tests; cleared by the Load that honours it).
+	tornTail bool
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// SaveSnapshot implements Store.
+func (m *Mem) SaveSnapshot(snap []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.snap = append([]byte(nil), snap...)
+	m.wal = nil
+	m.stats.SnapshotBytes = uint64(len(snap))
+	m.stats.SnapshotSaves++
+	m.stats.WALRecords, m.stats.WALBytes = 0, 0
+	return nil
+}
+
+// AppendWAL implements Store.
+func (m *Mem) AppendWAL(rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.wal = append(m.wal, append([]byte(nil), rec...))
+	m.stats.WALRecords++
+	m.stats.WALBytes += uint64(len(rec))
+	return nil
+}
+
+// Load implements Store.
+func (m *Mem) Load() ([]byte, [][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, ErrClosed
+	}
+	wal := m.wal
+	if m.tornTail && len(wal) > 0 {
+		m.stats.WALRecords--
+		m.stats.WALBytes -= uint64(len(wal[len(wal)-1]))
+		wal = wal[:len(wal)-1]
+		m.wal = wal
+		m.tornTail = false
+	}
+	var snap []byte
+	if m.snap != nil {
+		snap = append([]byte(nil), m.snap...)
+	}
+	out := make([][]byte, len(wal))
+	for i, r := range wal {
+		out[i] = append([]byte(nil), r...)
+	}
+	return snap, out, nil
+}
+
+// TearTail makes the next Load drop the final WAL record, simulating a
+// crash mid-append (fault injection for recovery tests).
+func (m *Mem) TearTail() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tornTail = true
+}
+
+// Stats implements Store.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close implements Store.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

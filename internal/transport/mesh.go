@@ -45,8 +45,12 @@ type Mesh struct {
 	netMu sync.Mutex
 	net   *channel.Network
 
-	eps    []*meshEndpoint
-	closed atomic.Bool
+	epMu sync.RWMutex // guards eps slots against Reopen replacement
+	eps  []*meshEndpoint
+	// shedOverflows accumulates the overflow counts of endpoints replaced
+	// by Reopen, so the mesh-wide total survives node restarts.
+	shedOverflows atomic.Uint64
+	closed        atomic.Bool
 
 	lastSend atomic.Int64 // elapsed units of the most recent send
 	sends    atomic.Uint64
@@ -109,7 +113,32 @@ func (m *Mesh) N() int { return m.cfg.N }
 
 // Endpoint returns endpoint i's Transport. Closing it detaches that
 // endpoint only (its peers keep running); Close on the mesh closes all.
-func (m *Mesh) Endpoint(i int) Transport { return m.eps[i] }
+func (m *Mesh) Endpoint(i int) Transport {
+	m.epMu.RLock()
+	defer m.epMu.RUnlock()
+	return m.eps[i]
+}
+
+// Reopen replaces endpoint i with a fresh one and returns it: the
+// crash-recovery path. A node owns (and on Stop closes) its endpoint, so
+// a restarted node needs a new handle on the same mesh slot; frames
+// already in flight to the old endpoint are dropped, exactly as a lossy
+// link may drop anything. The old endpoint's overflow count is folded
+// into the mesh-wide total.
+func (m *Mesh) Reopen(i int) Transport {
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	old := m.eps[i]
+	old.Close()
+	m.shedOverflows.Add(old.overflows.Load())
+	ep := &meshEndpoint{
+		mesh:  m,
+		index: i,
+		inbox: make(chan []byte, m.cfg.InboxDepth),
+	}
+	m.eps[i] = ep
+	return ep
+}
 
 // ElapsedUnits returns the mesh age in link-delay units (the live
 // counterpart of the simulator's virtual clock, e.g. for failure
@@ -142,7 +171,9 @@ func (m *Mesh) Stats() (sends, drops uint64) {
 // because a destination endpoint's inbox was full — load shedding by
 // saturated receivers, as opposed to the link model's loss verdicts.
 func (m *Mesh) Overflows() uint64 {
-	var n uint64
+	m.epMu.RLock()
+	defer m.epMu.RUnlock()
+	n := m.shedOverflows.Load()
 	for _, ep := range m.eps {
 		n += ep.overflows.Load()
 	}
@@ -154,6 +185,8 @@ func (m *Mesh) Close() error {
 	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	m.epMu.RLock()
+	defer m.epMu.RUnlock()
 	for _, ep := range m.eps {
 		ep.Close()
 	}
@@ -184,7 +217,9 @@ func (m *Mesh) broadcast(src int, frame []byte) {
 			m.drops.Add(1)
 			continue
 		}
+		m.epMu.RLock()
 		target := m.eps[dst]
+		m.epMu.RUnlock()
 		delay := time.Duration(v.Delay) * m.cfg.Unit
 		if delay <= 0 {
 			target.deliver(frame)

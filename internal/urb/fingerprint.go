@@ -124,7 +124,7 @@ func (p *Quiescent) Fingerprint() string {
 	// answering are always on, so even a full-set-mode process can hold
 	// a populated ledger or pending request limiters — and two states
 	// differing only in a still-owed resync must not merge.
-	deltaState := p.cfg.DeltaAcks || len(p.ackSend) > 0
+	deltaState := p.cfg.DeltaAcks || len(p.ackSend) > 0 || p.epochFloor > 0
 	if !deltaState {
 		for _, st := range p.acks {
 			if len(st.reqTick) > 0 {
@@ -136,6 +136,8 @@ func (p *Quiescent) Fingerprint() string {
 	if deltaState {
 		w.section("ticks")
 		fmt.Fprintf(&w.b, "%d", p.ticks)
+		w.section("floor")
+		fmt.Fprintf(&w.b, "%d", p.epochFloor)
 		w.section("ledger")
 		keys = keys[:0]
 		for id, st := range p.ackSend {

@@ -75,6 +75,8 @@ func (p *Majority) Broadcast(body []byte) (wire.MsgID, Step) {
 	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
+	out.Durable = append(out.Durable,
+		DurableEvent{Kind: WALBroadcast, ID: id, Draws: p.tags.Draws()})
 	if p.cfg.EagerFirstSend {
 		p.send(&out, wire.NewMsg(id))
 	}
@@ -109,9 +111,14 @@ func (p *Majority) receiveMsg(m wire.Message) Step {
 	if !known {
 		// First reception: draw the unique tag_ack for (m, tag) and pin
 		// it (lines 14-15). It must never change afterwards; uniform
-		// integrity counts distinct ackers by distinct tag_acks.
+		// integrity counts distinct ackers by distinct tag_acks — which
+		// is also why the pin is a durable event: a recovered process
+		// acking under a fresh tag_ack would count as a phantom second
+		// acker.
 		ack = p.tags.Next()
 		p.mine[id] = ack
+		out.Durable = append(out.Durable,
+			DurableEvent{Kind: WALPin, ID: id, Ack: ack, Draws: p.tags.Draws()})
 	}
 	// Acknowledge every reception (lines 11-12 / 16): retransmissions of
 	// the ACK are what overcome ACK loss on fair lossy channels.

@@ -62,6 +62,14 @@ type Quiescent struct {
 	// labeled ACK (nil entries never exist; the map is only populated in
 	// DeltaAcks mode).
 	ackSend map[wire.MsgID]*ackSendState
+	// epochFloor is the delta-stream incarnation base (DESIGN.md §9):
+	// every ledger entry opened after a crash-recovery Rejoin starts at
+	// epochFloor+1, which dominates every epoch the process's previous
+	// incarnation can have sent. Without it, a recovered acker would
+	// re-open streams at epoch 1 and receivers still synced at the
+	// (lost) higher pre-crash epochs would discard its ACKs as stale —
+	// forever. 0 for a process that never recovered.
+	epochFloor uint64
 }
 
 // ackSendState is one message's entry in the acker-side delta ledger.
@@ -276,6 +284,8 @@ func (p *Quiescent) Broadcast(body []byte) (wire.MsgID, Step) {
 	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
+	out.Durable = append(out.Durable,
+		DurableEvent{Kind: WALBroadcast, ID: id, Draws: p.tags.Draws()})
 	if p.cfg.EagerFirstSend {
 		p.send(&out, wire.NewMsg(id))
 	}
@@ -316,6 +326,10 @@ func (p *Quiescent) receiveMsg(m wire.Message) Step {
 	if !known {
 		ack = p.tags.Next() // line 17: pinned forever after
 		p.mine[id] = ack
+		// Durable: the pin must survive a crash so the recovered process
+		// re-acks under the same anonymous identity (DESIGN.md §9).
+		out.Durable = append(out.Durable,
+			DurableEvent{Kind: WALPin, ID: id, Ack: ack, Draws: p.tags.Draws()})
 	}
 	// Lines 13-20: every (re-)ACK carries the *current* AΘ label view, so
 	// receivers can refresh their per-acker label sets. In delta mode the
@@ -337,9 +351,9 @@ func (p *Quiescent) receiveMsg(m wire.Message) Step {
 func (p *Quiescent) sendDeltaAck(out *Step, id wire.MsgID, ack ident.Tag, labels *ident.Set) {
 	st, known := p.ackSend[id]
 	if !known {
-		st = &ackSendState{epoch: 1, sent: labels, snapTick: p.ticks + 1, reAckTick: p.ticks + 1}
+		st = &ackSendState{epoch: p.epochFloor + 1, sent: labels, snapTick: p.ticks + 1, reAckTick: p.ticks + 1}
 		p.ackSend[id] = st
-		p.send(out, wire.NewAckSnapshot(id, ack, 1, labels.Slice()))
+		p.send(out, wire.NewAckSnapshot(id, ack, st.epoch, labels.Slice()))
 		return
 	}
 	if !labels.Equal(st.sent) {
@@ -457,7 +471,7 @@ func (p *Quiescent) receiveAckResync(m wire.Message) Step {
 	if !known {
 		// Our ACK for id predates delta mode (or was sent by the full-set
 		// path): open the ledger now with a fresh snapshot.
-		st = &ackSendState{epoch: 1, sent: p.det.ATheta().Labels()}
+		st = &ackSendState{epoch: p.epochFloor + 1, sent: p.det.ATheta().Labels()}
 		p.ackSend[id] = st
 	} else if labels := p.det.ATheta().Labels(); !labels.Equal(st.sent) {
 		st.epoch++

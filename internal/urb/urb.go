@@ -47,11 +47,19 @@ type Delivery struct {
 func (d Delivery) Body() []byte { return d.ID.Bytes() }
 
 // Step is the outcome of feeding one input to a process: wire messages to
-// broadcast to all processes (including the sender itself) and
-// URB-deliveries for the local application.
+// broadcast to all processes (including the sender itself), URB-deliveries
+// for the local application, and durable events a persisting host must
+// write ahead (hosts without a store ignore them).
 type Step struct {
 	Broadcasts []wire.Message
 	Deliveries []Delivery
+	// Durable lists the state transitions of this Step that a
+	// crash-recovery host must persist before acting on the rest of the
+	// Step (DESIGN.md §9): new URB-broadcasts and newly pinned tag_acks.
+	// Deliveries are durable events too, but they already travel in
+	// Deliveries; hosts log both. Empty unless the Step pinned or
+	// broadcast something, so non-persisting hosts pay one nil slice.
+	Durable []DurableEvent
 }
 
 // Merge appends o's outputs onto s. Hosting runtimes use it to coalesce
@@ -61,6 +69,7 @@ type Step struct {
 func (s *Step) Merge(o Step) {
 	s.Broadcasts = append(s.Broadcasts, o.Broadcasts...)
 	s.Deliveries = append(s.Deliveries, o.Deliveries...)
+	s.Durable = append(s.Durable, o.Durable...)
 }
 
 // Process is the interface both algorithms implement. Implementations are

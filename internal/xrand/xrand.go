@@ -50,6 +50,14 @@ func (s *Source) Split() *Source {
 	return &Source{state: mix(s.Uint64() ^ 0x5851f42d4c957f2d)}
 }
 
+// Clone returns an independent copy of the Source at its current stream
+// position: both copies produce the same future values. Crash-recovery
+// hosts clone a process's stream at creation so a restarted process can
+// replay the exact tag sequence its predecessor drew.
+func (s *Source) Clone() *Source {
+	return &Source{state: s.state}
+}
+
 // SplitLabeled derives an independent Source identified by a label, such
 // that the derived stream depends only on the parent seed and the label,
 // not on how many draws the parent made. Useful for attaching stable
