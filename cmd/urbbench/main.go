@@ -23,6 +23,10 @@
 //	urbbench -batching [-quick] [-seed N] [-out BENCH_batching.json]
 //	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
 //
+// Every mode accepts -cpuprofile and -memprofile, writing pprof
+// profiles of the run so perf work can attach evidence without ad-hoc
+// harnesses (the heap profile is written at exit, after a forced GC).
+//
 // The output of a full run is what EXPERIMENTS.md records.
 package main
 
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,32 +53,68 @@ func main() {
 	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
 	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
 	out := flag.String("out", "", "with -batching or -recovery: write the results as JSON to this file")
-	baseline := flag.String("baseline", "", "with -batching: fail if frames-per-delivery regresses >25% against this checked-in results file")
+	baseline := flag.String("baseline", "", "with -batching: fail if frames-, allocs- or beat-bytes-per-delivery regresses >25% against this checked-in results file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// exit routes every termination through the profile writers (the
+	// benchmark modes return codes rather than calling os.Exit directly,
+	// so deferred writers would be skipped).
+	exit := func(code int) {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "urbbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // profile retained state, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "urbbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		os.Exit(code)
+	}
 
 	if *batching && *recovery {
 		fmt.Fprintln(os.Stderr, "urbbench: pick one of -batching and -recovery")
-		os.Exit(2)
+		exit(2)
 	}
 	if *batching || *recovery {
 		if *csv || *only != "" {
 			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite (use -out for machine-readable JSON)")
-			os.Exit(2)
+			exit(2)
 		}
 	}
 	if *batching {
-		os.Exit(runBatching(*seed, *quick, *out, *baseline))
+		exit(runBatching(*seed, *quick, *out, *baseline))
 	}
 	if *recovery {
 		if *baseline != "" {
 			fmt.Fprintln(os.Stderr, "urbbench: -baseline applies only to -batching mode")
-			os.Exit(2)
+			exit(2)
 		}
-		os.Exit(runRecovery(*seed, *quick, *out))
+		exit(runRecovery(*seed, *quick, *out))
 	}
 	if *out != "" || *baseline != "" {
 		fmt.Fprintln(os.Stderr, "urbbench: -out and -baseline apply only to -batching/-recovery modes")
-		os.Exit(2)
+		exit(2)
 	}
 
 	want := map[string]bool{}
@@ -101,13 +142,15 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "urbbench: no experiment matched %q\n", *only)
-		os.Exit(2)
+		exit(2)
 	}
 }
 
 // batchingReport is the JSON document -batching -out writes. Schema v2
-// adds the ack-encoding comparisons and the ack_bytes / inbox_overflows
-// counters inside every result.
+// added the ack-encoding comparisons and the ack_bytes /
+// inbox_overflows counters inside every result; schema v3 adds the
+// compaction and beat-encoding comparisons plus the steady-state
+// heap/retained-label counters (DESIGN.md §10).
 type batchingReport struct {
 	Schema      string             `json:"schema"`
 	Seed        uint64             `json:"seed"`
@@ -121,6 +164,12 @@ type batchingReport struct {
 	// AckEncoding compares delta against full-set labeled ACKs on the
 	// quiescent cells (DESIGN.md §8).
 	AckEncoding []bench.AckComparison `json:"ack_encoding,omitempty"`
+	// Compaction compares compacted against uncompacted steady state on
+	// the mesh quiescent cells (DESIGN.md §10).
+	Compaction []bench.CompactionComparison `json:"compaction,omitempty"`
+	// BeatEncoding compares delta against legacy beat streams on the
+	// heartbeat-stack cells (DESIGN.md §10).
+	BeatEncoding []bench.BeatComparison `json:"beat_encoding,omitempty"`
 }
 
 // runBatching executes the batching benchmark matrix and returns the
@@ -140,7 +189,7 @@ func runBatching(seed uint64, quick bool, out, baseline string) int {
 
 	matrix := bench.Matrix(seed, quick)
 	report := batchingReport{
-		Schema:      "anonurb-bench-batching/v2",
+		Schema:      "anonurb-bench-batching/v3",
 		Seed:        seed,
 		Quick:       quick,
 		GoVersion:   runtime.Version(),
@@ -210,12 +259,61 @@ func runBatching(seed uint64, quick bool, out, baseline string) int {
 		report.AckEncoding = append(report.AckEncoding, a)
 	}
 
+	// Compaction phase: compacted versus uncompacted steady state on the
+	// mesh quiescent cells. The batching phase's batched delta runs are
+	// the compacted side — reuse them.
+	fmt.Printf("\n%-22s %12s %12s %9s %9s %9s %9s\n",
+		"compaction", "labels", "labels", "storage", "heap", "allocs", "quiesce")
+	fmt.Printf("%-22s %12s %12s %9s %9s %9s %9s\n",
+		"", "(plain)", "(compact)", "improv.", "ratio", "ratio", "ratio")
+	for _, w := range bench.CompactionMatrix(seed, quick) {
+		start := time.Now()
+		var cc bench.CompactionComparison
+		var err error
+		if compacted, ok := measured[fmt.Sprintf("%s/%s/n=%d", w.Algo, w.Net, w.N)]; ok {
+			cc, err = bench.CompareCompactionAgainst(w, compacted)
+		} else {
+			cc, err = bench.CompareCompaction(w)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: compaction %s: %v\n", w, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-22s %12d %12d %8.2fx %9.3f %9.3f %9.3f   (%v)\n",
+			cc.Name, cc.Uncompacted.AckLabelStorage, cc.Compacted.AckLabelStorage,
+			cc.LabelStorageImprovement, cc.HeapRatio, cc.AllocsRatio, cc.QuiescenceRatio,
+			time.Since(start).Round(time.Millisecond))
+		report.Compaction = append(report.Compaction, cc)
+	}
+
+	// Beat-encoding phase: the heartbeat stack's steady detector traffic,
+	// delta BEATΔ streams versus legacy full beats (DESIGN.md §10).
+	fmt.Printf("\n%-22s %12s %12s %9s %9s %9s\n",
+		"beat encoding", "beatB/win", "beatB/win", "beatB", "frameB", "frameB")
+	fmt.Printf("%-22s %12s %12s %9s %9s %9s\n",
+		"", "(legacy)", "(delta)", "improv.", "(legacy)", "(delta)")
+	for _, w := range bench.BeatMatrix(seed, quick) {
+		start := time.Now()
+		bc, err := bench.CompareBeatEncoding(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: beat-encoding %s: %v\n", w, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-22s %12.0f %12.0f %8.2fx %9.1f %9.1f   (%v)\n",
+			bc.Name, bc.Legacy.SteadyBeatBytes, bc.Delta.SteadyBeatBytes,
+			bc.BeatBytesImprovement, bc.LegacyBeatFrameB, bc.DeltaBeatFrameB,
+			time.Since(start).Round(time.Millisecond))
+		report.BeatEncoding = append(report.BeatEncoding, bc)
+	}
+
 	if baseline != "" {
 		if err := checkBaseline(baseline, report); err != nil {
 			fmt.Fprintf(os.Stderr, "urbbench: baseline regression: %v\n", err)
 			failed = true
 		} else {
-			fmt.Printf("\nno frames-per-delivery regression >%d%% against %s\n", int(regressionTolerance*100-100), baseline)
+			fmt.Printf("\nno frames/allocs/beat-bytes per-delivery regression >%d%% against %s\n", int(regressionTolerance*100-100), baseline)
 		}
 	}
 
@@ -325,10 +423,12 @@ func onFramesBasis(c bench.Comparison) float64 {
 	return c.On.SteadyFramesPerDelivery
 }
 
-// checkBaseline compares the current run's batched frames-per-delivery
-// against the checked-in results file, cell by cell on the name
-// intersection (a quick run gates against the quick-sized subset of the
-// full baseline matrix).
+// checkBaseline compares the current run's batched frames-per-delivery,
+// allocs-per-delivery and steady beat-bytes against the checked-in
+// results file, cell by cell on the name intersection (a quick run
+// gates against the quick-sized subset of the full baseline matrix).
+// Metrics the baseline file does not carry (older schemas) are skipped,
+// so the gate tightens as the baseline is regenerated.
 func checkBaseline(path string, cur batchingReport) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -338,27 +438,41 @@ func checkBaseline(path string, cur batchingReport) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
+	var regressions []string
+	checked := 0
+	gate := func(name, metric string, baseV, curV float64) {
+		if baseV <= 0 || curV <= 0 {
+			return
+		}
+		checked++
+		if curV > baseV*regressionTolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f %s vs baseline %.2f (+%.0f%%)",
+				name, curV, metric, baseV, (curV/baseV-1)*100))
+		}
+	}
 	byName := make(map[string]bench.Comparison, len(base.Comparisons))
 	for _, c := range base.Comparisons {
 		byName[c.Name] = c
 	}
-	var regressions []string
-	checked := 0
 	for _, c := range cur.Comparisons {
 		b, ok := byName[c.Name]
 		if !ok {
 			continue
 		}
-		bv, cv := onFramesBasis(b), onFramesBasis(c)
-		if bv <= 0 || cv <= 0 {
+		gate(c.Name, "frames/delivery", onFramesBasis(b), onFramesBasis(c))
+		gate(c.Name, "allocs/delivery", b.On.AllocsPerDelivery, c.On.AllocsPerDelivery)
+	}
+	beatByName := make(map[string]bench.BeatComparison, len(base.BeatEncoding))
+	for _, b := range base.BeatEncoding {
+		beatByName[b.Name] = b
+	}
+	for _, c := range cur.BeatEncoding {
+		b, ok := beatByName[c.Name]
+		if !ok {
 			continue
 		}
-		checked++
-		if cv > bv*regressionTolerance {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.2f frames/delivery vs baseline %.2f (+%.0f%%)",
-				c.Name, cv, bv, (cv/bv-1)*100))
-		}
+		gate(c.Name, "beatB/window", b.Delta.SteadyBeatBytes, c.Delta.SteadyBeatBytes)
 	}
 	if checked == 0 {
 		return fmt.Errorf("no overlapping cells between this run and %s", path)

@@ -49,10 +49,13 @@ import (
 // Algo selects the URB algorithm under measurement.
 type Algo string
 
-// The two paper algorithms.
+// The two paper algorithms, plus the full heartbeat stack (Algorithm 2
+// over fd.Heartbeat instead of the oracle — the only workload with BEAT
+// traffic, which is what the beat-encoding comparison measures).
 const (
 	AlgoMajority  Algo = "majority"
 	AlgoQuiescent Algo = "quiescent"
+	AlgoHeartbeat Algo = "heartbeat"
 )
 
 // Net selects the transport under measurement.
@@ -86,6 +89,17 @@ type Workload struct {
 	// one re-ACK per MSG reception). Ignored by Majority, whose ACKs are
 	// constant-size.
 	FullSetAcks bool `json:"full_set_acks,omitempty"`
+	// NoCompaction disables post-delivery claim compaction (DESIGN.md
+	// §10), which — like the delta encoding — is the benchmark default.
+	// The uncompacted form is the baseline the steady-state heap and
+	// retained-label measurements are compared against. Ignored by
+	// Majority.
+	NoCompaction bool `json:"no_compaction,omitempty"`
+	// LegacyBeats makes heartbeat workloads emit full 22-byte ALIVE
+	// beats instead of the delta beat streams that are the benchmark
+	// default (DESIGN.md §10): the baseline of the beat-encoding
+	// comparison. Ignored by the oracle-backed algorithms (no beats).
+	LegacyBeats bool `json:"legacy_beats,omitempty"`
 	// TickEvery is the Task-1 period (default 20ms).
 	TickEvery time.Duration `json:"tick_every_ns"`
 	// SteadyTicks sizes the Majority steady-state sample window, in
@@ -107,8 +121,14 @@ func (w Workload) String() string {
 		mode = "on"
 	}
 	s := fmt.Sprintf("%s/%s/n=%d/batch=%s", w.Algo, w.Net, w.N, mode)
-	if w.Algo == AlgoQuiescent && w.FullSetAcks {
+	if w.Algo != AlgoMajority && w.FullSetAcks {
 		s += "/acks=full"
+	}
+	if w.Algo != AlgoMajority && w.NoCompaction {
+		s += "/compact=off"
+	}
+	if w.Algo == AlgoHeartbeat && w.LegacyBeats {
+		s += "/beats=legacy"
 	}
 	return s
 }
@@ -141,11 +161,25 @@ type Result struct {
 	Allocs         uint64  `json:"allocs"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	// Quiesced reports whether the cluster reached silence (Quiescent
-	// algorithm only; always false for Majority, which never quiesces).
+	// algorithm only; for heartbeat workloads it reports ALGORITHM
+	// quiescence — every MSG set drained — since detector beats continue
+	// by design; always false for Majority, which never quiesces).
 	Quiesced     bool    `json:"quiesced"`
 	QuiescenceMS float64 `json:"quiescence_ms,omitempty"`
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
+
+	// Steady-state memory, sampled once the cluster is quiescent (or the
+	// steady window closes): HeapAlloc after a forced GC, plus the
+	// algorithms' retained ACK bookkeeping — the acker views held and
+	// the label slots they store logically vs physically (compaction
+	// collapses the latter; DESIGN.md §10). The checked-in numbers are
+	// what makes the compaction win a measured fact, not a claim.
+	SteadyHeapAlloc uint64 `json:"steady_heap_alloc"`
+	AckViews        uint64 `json:"ack_views"`
+	AckLabels       uint64 `json:"ack_labels"`
+	AckLabelStorage uint64 `json:"ack_label_storage"`
+	CompactedMsgs   uint64 `json:"compacted_msgs,omitempty"`
 
 	// Steady-state window (Majority only): counter deltas over the
 	// sample window, normalised to exactly the targeted number of wire
@@ -155,13 +189,22 @@ type Result struct {
 	SteadyMsgs   float64 `json:"steady_msgs,omitempty"`
 	SteadyBytes  float64 `json:"steady_bytes,omitempty"`
 
+	// Steady-state beat window (heartbeat workloads only): beat bytes
+	// over a SteadyTicks-sized window once the algorithm has quiesced —
+	// the traffic class that never stops, normalised per beat so the
+	// delta encoding's per-frame saving is read off directly.
+	SteadyBeatBytes  float64 `json:"steady_beat_bytes,omitempty"`
+	SteadyBeats      float64 `json:"steady_beats,omitempty"`
+	SteadyBeatFrameB float64 `json:"steady_beat_frame_bytes,omitempty"`
+
 	// Derived metrics. Deliveries is the denominator everywhere: the
 	// N*Messages URB-deliveries this workload sustains.
-	FramesPerDelivery   float64 `json:"frames_per_delivery"`
-	BytesPerDelivery    float64 `json:"bytes_per_delivery"`
-	AckBytesPerDelivery float64 `json:"ack_bytes_per_delivery"`
-	AllocsPerDelivery   float64 `json:"allocs_per_delivery"`
-	MsgsPerFrame        float64 `json:"msgs_per_frame"`
+	FramesPerDelivery    float64 `json:"frames_per_delivery"`
+	BytesPerDelivery     float64 `json:"bytes_per_delivery"`
+	AckBytesPerDelivery  float64 `json:"ack_bytes_per_delivery"`
+	BeatBytesPerDelivery float64 `json:"beat_bytes_per_delivery,omitempty"`
+	AllocsPerDelivery    float64 `json:"allocs_per_delivery"`
+	MsgsPerFrame         float64 `json:"msgs_per_frame"`
 	// Steady variants: the per-delivery cost of keeping the cluster in
 	// steady state for the sample window (Majority only).
 	SteadyFramesPerDelivery float64 `json:"steady_frames_per_delivery,omitempty"`
@@ -257,7 +300,20 @@ func Run(w Workload) (Result, error) {
 			proc = urb.NewMajority(w.N, ident.NewSource(tagRoot.Split()), urb.Config{})
 		case AlgoQuiescent:
 			proc = urb.NewQuiescent(oracle.Handle(i, clock), ident.NewSource(tagRoot.Split()),
-				urb.Config{DeltaAcks: !w.FullSetAcks})
+				urb.Config{DeltaAcks: !w.FullSetAcks, CompactDelivered: !w.NoCompaction})
+		case AlgoHeartbeat:
+			// The full Section VI stack: Algorithm 2 over fd.Heartbeat,
+			// ALIVE beats multiplexed on the same transport. The trust
+			// timeout is generous against the tick period — the mesh here
+			// is loss-free and the bench measures steady-state wire cost,
+			// not detector robustness.
+			timeout := int64(50 * w.TickEvery / time.Millisecond)
+			if timeout < 50 {
+				timeout = 50
+			}
+			proc = urb.NewHeartbeatHost(ident.NewSource(tagRoot.Split()), timeout, 1, clock,
+				urb.Config{DeltaAcks: !w.FullSetAcks, CompactDelivered: !w.NoCompaction,
+					DeltaBeats: !w.LegacyBeats})
 		default:
 			return Result{}, fmt.Errorf("bench: unknown algo %q", w.Algo)
 		}
@@ -413,7 +469,65 @@ func Run(w Workload) (Result, error) {
 			}
 			time.Sleep(time.Millisecond)
 		}
+	case AlgoHeartbeat:
+		// Beats never stop, so transport silence never happens: algorithm
+		// quiescence is every node's MSG set draining (all messages
+		// delivered AND retired everywhere).
+		deadline := time.Now().Add(w.Timeout)
+		for {
+			quiet := true
+			for _, nd := range nodes {
+				st, err := nd.Stats()
+				if err != nil || st.MsgSet != 0 {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				res.Quiesced = true
+				res.QuiescenceMS = float64(time.Since(start)) / float64(time.Millisecond)
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if res.Quiesced {
+			// Steady beat window: the quiescent cluster's only traffic is
+			// the detector's, N beats per tick. Conditioning on message
+			// count (not wall time) makes the legacy and delta encodings
+			// directly comparable, exactly as the batching windows do.
+			c0 := sample()
+			target := uint64(w.SteadyTicks) * uint64(w.N)
+			beatDeadline := time.Now().Add(w.Timeout)
+			var c1 counters
+			for {
+				c1 = sample()
+				if c1.msgs-c0.msgs >= target {
+					break
+				}
+				if time.Now().After(beatDeadline) {
+					return Result{}, fmt.Errorf("bench: beat window starved: %d/%d msgs (%s)",
+						c1.msgs-c0.msgs, target, w)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			scale := float64(target) / float64(c1.msgs-c0.msgs)
+			res.SteadyBeats = float64(target)
+			res.SteadyBeatBytes = float64(c1.beatBytes-c0.beatBytes) * scale
+			if res.SteadyBeats > 0 {
+				res.SteadyBeatFrameB = res.SteadyBeatBytes / res.SteadyBeats
+			}
+		}
 	}
+
+	// Steady-state memory: force a GC so the sample reads retained
+	// state, not garbage awaiting collection.
+	runtime.GC()
+	var steadyMem runtime.MemStats
+	runtime.ReadMemStats(&steadyMem)
+	res.SteadyHeapAlloc = steadyMem.HeapAlloc
 
 	// --- teardown and totals -----------------------------------------
 	stopAll()
@@ -437,6 +551,12 @@ func Run(w Workload) (Result, error) {
 		if ov, ok := nd.InboxOverflows(); ok {
 			res.InboxOverflows += ov
 		}
+		if st, err := nd.Stats(); err == nil {
+			res.AckViews += uint64(st.AckEntries)
+			res.AckLabels += uint64(st.AckLabels)
+			res.AckLabelStorage += uint64(st.AckLabelStorage)
+			res.CompactedMsgs += uint64(st.CompactedMsgs)
+		}
 	}
 	for _, u := range udps {
 		res.Oversized += u.Oversized()
@@ -448,6 +568,7 @@ func Run(w Workload) (Result, error) {
 	res.FramesPerDelivery = float64(res.SentFrames) / del
 	res.BytesPerDelivery = float64(res.SentBytes) / del
 	res.AckBytesPerDelivery = float64(res.AckBytes) / del
+	res.BeatBytesPerDelivery = float64(res.BeatBytes) / del
 	res.AllocsPerDelivery = float64(res.Allocs) / del
 	if res.SentFrames > 0 {
 		res.MsgsPerFrame = float64(res.SentMsgs) / float64(res.SentFrames)
@@ -595,6 +716,176 @@ func AckMatrix(seed uint64, quick bool) []Workload {
 		if w.Algo == AlgoQuiescent {
 			ws = append(ws, w)
 		}
+	}
+	return ws
+}
+
+// CompactionComparison pairs a compacted and an uncompacted run of one
+// Quiescent workload (batching + delta ACKs on in both): the
+// measurement of post-delivery claim compaction and the retirement
+// index (DESIGN.md §10).
+type CompactionComparison struct {
+	Name string `json:"name"`
+	// Compacted is the run with CompactDelivered (the default);
+	// Uncompacted is the label-matrix baseline.
+	Compacted   Result `json:"compacted"`
+	Uncompacted Result `json:"uncompacted"`
+	// LabelStorageImprovement is how many times fewer label slots the
+	// compacted steady state retains (uncompacted AckLabelStorage over
+	// compacted; the logical AckLabels are equal by equivalence).
+	LabelStorageImprovement float64 `json:"label_storage_improvement"`
+	// HeapRatio is compacted steady-state HeapAlloc over uncompacted
+	// (< 1 is a win; the whole-process heap dilutes the per-structure
+	// collapse, so LabelStorageImprovement is the sharper number).
+	HeapRatio float64 `json:"heap_ratio_compacted_over_uncompacted"`
+	// AllocsRatio is compacted allocations per delivery over uncompacted.
+	AllocsRatio float64 `json:"allocs_ratio_compacted_over_uncompacted"`
+	// QuiescenceRatio is compacted quiescence time over uncompacted
+	// (must hover at or below 1: compaction may not slow the endgame).
+	QuiescenceRatio float64 `json:"quiescence_ratio_compacted_over_uncompacted"`
+}
+
+// CompareCompactionAgainst runs w uncompacted and derives the ratios
+// against an already-measured compacted run (batching + delta ACKs on,
+// same seed).
+func CompareCompactionAgainst(w Workload, compacted Result) (CompactionComparison, error) {
+	if w.Algo != AlgoQuiescent {
+		return CompactionComparison{}, fmt.Errorf("bench: compaction comparison needs the quiescent algorithm, got %q", w.Algo)
+	}
+	w.Batching = true
+	w.FullSetAcks = false
+	w.NoCompaction = true
+	plain, err := Run(w)
+	if err != nil {
+		return CompactionComparison{}, err
+	}
+	if !plain.Quiesced || !compacted.Quiesced {
+		return CompactionComparison{}, fmt.Errorf("bench: %s did not quiesce within its timeout (plain=%v compacted=%v)",
+			w, plain.Quiesced, compacted.Quiesced)
+	}
+	c := CompactionComparison{
+		Name:        fmt.Sprintf("%s/%s/n=%d", w.Algo, w.Net, w.N),
+		Compacted:   compacted,
+		Uncompacted: plain,
+	}
+	if compacted.AckLabelStorage > 0 {
+		c.LabelStorageImprovement = float64(plain.AckLabelStorage) / float64(compacted.AckLabelStorage)
+	}
+	if plain.SteadyHeapAlloc > 0 {
+		c.HeapRatio = float64(compacted.SteadyHeapAlloc) / float64(plain.SteadyHeapAlloc)
+	}
+	if plain.AllocsPerDelivery > 0 {
+		c.AllocsRatio = compacted.AllocsPerDelivery / plain.AllocsPerDelivery
+	}
+	if plain.QuiescenceMS > 0 {
+		c.QuiescenceRatio = compacted.QuiescenceMS / plain.QuiescenceMS
+	}
+	return c, nil
+}
+
+// CompareCompaction is CompareCompactionAgainst running the compacted
+// side itself.
+func CompareCompaction(w Workload) (CompactionComparison, error) {
+	if w.Algo != AlgoQuiescent {
+		return CompactionComparison{}, fmt.Errorf("bench: compaction comparison needs the quiescent algorithm, got %q", w.Algo)
+	}
+	w.Batching = true
+	w.FullSetAcks = false
+	w.NoCompaction = false
+	compacted, err := Run(w)
+	if err != nil {
+		return CompactionComparison{}, err
+	}
+	return CompareCompactionAgainst(w, compacted)
+}
+
+// BeatComparison pairs a delta-beat and a legacy-beat run of one
+// heartbeat workload: the measurement of the BEATΔ encoding (DESIGN.md
+// §10) on the one traffic class a quiescent cluster pays forever.
+type BeatComparison struct {
+	Name string `json:"name"`
+	// Delta is the run with BEATΔ streams (the default); Legacy beats
+	// full 22-byte ALIVE frames.
+	Delta  Result `json:"delta"`
+	Legacy Result `json:"legacy"`
+	// BeatBytesImprovement is how many times fewer beat bytes the delta
+	// encoding pays over the same steady window.
+	BeatBytesImprovement float64 `json:"beat_bytes_improvement"`
+	// BeatFrameBytes reports the measured steady per-beat frame size,
+	// legacy vs delta (22 vs 15 on an idle stream).
+	LegacyBeatFrameB float64 `json:"legacy_beat_frame_bytes"`
+	DeltaBeatFrameB  float64 `json:"delta_beat_frame_bytes"`
+}
+
+// CompareBeatEncoding runs w (a heartbeat workload) with delta beats
+// and then with legacy beats — batching on, same seed — and derives the
+// steady-window improvement.
+func CompareBeatEncoding(w Workload) (BeatComparison, error) {
+	if w.Algo != AlgoHeartbeat {
+		return BeatComparison{}, fmt.Errorf("bench: beat-encoding comparison needs the heartbeat stack, got %q", w.Algo)
+	}
+	w.Batching = true
+	w.LegacyBeats = false
+	delta, err := Run(w)
+	if err != nil {
+		return BeatComparison{}, err
+	}
+	w.LegacyBeats = true
+	legacy, err := Run(w)
+	if err != nil {
+		return BeatComparison{}, err
+	}
+	if !delta.Quiesced || !legacy.Quiesced {
+		return BeatComparison{}, fmt.Errorf("bench: %s algorithm traffic did not quiesce (delta=%v legacy=%v)",
+			w, delta.Quiesced, legacy.Quiesced)
+	}
+	c := BeatComparison{
+		Name:             fmt.Sprintf("%s/%s/n=%d", w.Algo, w.Net, w.N),
+		Delta:            delta,
+		Legacy:           legacy,
+		LegacyBeatFrameB: legacy.SteadyBeatFrameB,
+		DeltaBeatFrameB:  delta.SteadyBeatFrameB,
+	}
+	if delta.SteadyBeatBytes > 0 {
+		c.BeatBytesImprovement = legacy.SteadyBeatBytes / delta.SteadyBeatBytes
+	}
+	return c, nil
+}
+
+// CompactionMatrix returns the compaction comparison workloads: the
+// mesh Quiescent cells of the batching matrix (the n=100 cell is the
+// acceptance benchmark — steady-state heap and allocs per delivery must
+// drop there).
+func CompactionMatrix(seed uint64, quick bool) []Workload {
+	var ws []Workload
+	for _, w := range Matrix(seed, quick) {
+		if w.Algo == AlgoQuiescent && w.Net == NetMesh {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// BeatMatrix returns the beat-encoding comparison workloads: heartbeat
+// stacks on the mesh. quick trims to the n=5 cell.
+func BeatMatrix(seed uint64, quick bool) []Workload {
+	sizes := []int{5, 25}
+	if quick {
+		sizes = []int{5}
+	}
+	var ws []Workload
+	for _, n := range sizes {
+		ws = append(ws, Workload{
+			Algo:        AlgoHeartbeat,
+			Net:         NetMesh,
+			N:           n,
+			Messages:    4,
+			Batching:    true,
+			TickEvery:   20 * time.Millisecond,
+			SteadyTicks: 32,
+			Seed:        seed,
+			Timeout:     120 * time.Second,
+		})
 	}
 	return ws
 }

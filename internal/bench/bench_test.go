@@ -117,6 +117,68 @@ func TestCompareAckEncodingRejectsMajority(t *testing.T) {
 	}
 }
 
+// TestCompactionReducesLabelStorage: the compaction claim at CI scale —
+// a quiescent mesh cell retains fewer physical label slots compacted
+// than uncompacted, at identical logical bookkeeping and without
+// slowing quiescence pathologically.
+func TestCompactionReducesLabelStorage(t *testing.T) {
+	c, err := CompareCompaction(quickWorkload(AlgoQuiescent, NetMesh))
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if c.Compacted.AckLabels != c.Uncompacted.AckLabels {
+		t.Fatalf("logical labels diverged: compacted=%d uncompacted=%d (equivalence broken)",
+			c.Compacted.AckLabels, c.Uncompacted.AckLabels)
+	}
+	if c.Compacted.CompactedMsgs == 0 {
+		t.Fatal("compacted run compacted nothing")
+	}
+	if c.LabelStorageImprovement < 1.5 {
+		t.Fatalf("label storage improvement %.2fx < 1.5x (uncompacted=%d compacted=%d)",
+			c.LabelStorageImprovement, c.Uncompacted.AckLabelStorage, c.Compacted.AckLabelStorage)
+	}
+	if c.Uncompacted.SteadyHeapAlloc == 0 || c.Compacted.SteadyHeapAlloc == 0 {
+		t.Fatal("steady heap sample missing")
+	}
+}
+
+// TestHeartbeatCellRuns: the heartbeat stack completes the bench
+// workload end to end — deliveries everywhere, algorithm quiescence,
+// beat bytes measured.
+func TestHeartbeatCellRuns(t *testing.T) {
+	res, err := Run(quickWorkload(AlgoHeartbeat, NetMesh))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Deliveries != 5*4 {
+		t.Fatalf("deliveries=%d, want 20", res.Deliveries)
+	}
+	if !res.Quiesced {
+		t.Fatal("heartbeat algorithm traffic never quiesced")
+	}
+	if res.BeatBytes == 0 || res.SteadyBeatBytes <= 0 {
+		t.Fatalf("beat accounting empty: total=%d steady=%.1f", res.BeatBytes, res.SteadyBeatBytes)
+	}
+}
+
+// TestBeatEncodingReducesBeatBytes: the BEATΔ claim at CI scale — over
+// the same steady window, delta beat streams cost measurably fewer
+// bytes than legacy full beats (22B → 15B per steady frame ≈ 1.47×).
+func TestBeatEncodingReducesBeatBytes(t *testing.T) {
+	c, err := CompareBeatEncoding(quickWorkload(AlgoHeartbeat, NetMesh))
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if c.BeatBytesImprovement < 1.3 {
+		t.Fatalf("beat bytes improvement %.2fx < 1.3x (legacy=%.1f delta=%.1f steady beatB)",
+			c.BeatBytesImprovement, c.Legacy.SteadyBeatBytes, c.Delta.SteadyBeatBytes)
+	}
+	if c.DeltaBeatFrameB >= c.LegacyBeatFrameB {
+		t.Fatalf("delta beat frames (%.1fB) not smaller than legacy (%.1fB)",
+			c.DeltaBeatFrameB, c.LegacyBeatFrameB)
+	}
+}
+
 // TestBatchingUDPNoOversized: batched frames must respect the UDP
 // datagram budget — the Oversized counter stays at zero.
 func TestBatchingUDPNoOversized(t *testing.T) {

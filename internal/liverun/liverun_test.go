@@ -234,10 +234,21 @@ func TestLiveConcurrentBroadcastStress(t *testing.T) {
 
 func TestLiveQuiescentHeartbeatStack(t *testing.T) {
 	// The oracle-free live stack: heartbeat hosts over the cluster.
+	testLiveHeartbeatStack(t, urb.Config{})
+}
+
+func TestLiveQuiescentHeartbeatStackDeltaBeats(t *testing.T) {
+	// The full steady-state configuration over a lossy mesh: delta ACKs,
+	// post-delivery compaction, and BEATΔ streams — lost beat snapshots
+	// must heal through the BEATREQ path for the detectors to converge.
+	testLiveHeartbeatStack(t, urb.Config{DeltaAcks: true, CompactDelivered: true, DeltaBeats: true})
+}
+
+func testLiveHeartbeatStack(t *testing.T, cfg urb.Config) {
 	const n = 3
 	col := newCollector()
 	factory := func(_ int, tags *ident.Source, clock func() int64) urb.Process {
-		return urb.NewHeartbeatHost(tags, 200, 1, clock, urb.Config{})
+		return urb.NewHeartbeatHost(tags, 200, 1, clock, cfg)
 	}
 	c := Start(fastCfg(n, factory, 0.1, col.onDeliver))
 	defer c.Stop()

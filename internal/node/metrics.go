@@ -145,7 +145,7 @@ func (c *Metrics) Snapshot() Snapshot {
 		switch {
 		case k.IsAck():
 			ackBytes += v
-		case k == wire.KindBeat:
+		case k.IsBeat():
 			beatBytes += v
 		}
 	}

@@ -735,7 +735,7 @@ func (n *Node) absorb(s urb.Step) {
 			n.sentMsgBytes.Add(uint64(len(frame) - start))
 		case m.Kind.IsAck():
 			n.sentAckBytes.Add(uint64(len(frame) - start))
-		case m.Kind == wire.KindBeat:
+		case m.Kind.IsBeat():
 			n.sentBeatBytes.Add(uint64(len(frame) - start))
 		default:
 			n.sentOtherBytes.Add(uint64(len(frame) - start))

@@ -84,6 +84,19 @@ func TestSimCrashRecoverMajority(t *testing.T) {
 // pinned tag_acks and the cluster still retires everything and falls
 // silent.
 func TestSimCrashRecoverQuiescent(t *testing.T) {
+	// Paper-shaped bookkeeping, then the full steady-state configuration
+	// (delta ACKs + post-delivery compaction): crash-recovery must
+	// restore either representation — compacted snapshots restore shared
+	// interned sets — and reach the same quiescent endgame.
+	t.Run("delta", func(t *testing.T) {
+		testSimCrashRecoverQuiescent(t, urb.Config{DeltaAcks: true})
+	})
+	t.Run("delta+compact", func(t *testing.T) {
+		testSimCrashRecoverQuiescent(t, urb.Config{DeltaAcks: true, CompactDelivered: true})
+	})
+}
+
+func testSimCrashRecoverQuiescent(t *testing.T, cfg urb.Config) {
 	const n = 4
 	correct := make([]bool, n)
 	for i := range correct {
@@ -99,8 +112,7 @@ func TestSimCrashRecoverQuiescent(t *testing.T) {
 		Factory: func(env Env) urb.Process {
 			// eng is nil while NewEngine builds the processes; the clock
 			// closure is only invoked during Run, after the assignment.
-			return urb.NewQuiescent(oracle.Handle(env.Index, func() int64 { return eng.Now() }), env.Tags,
-				urb.Config{DeltaAcks: true})
+			return urb.NewQuiescent(oracle.Handle(env.Index, func() int64 { return eng.Now() }), env.Tags, cfg)
 		},
 		Link:            channel.Bernoulli{P: 0.15, D: channel.UniformDelay{Min: 1, Max: 3}},
 		Seed:            7,

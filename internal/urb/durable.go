@@ -132,8 +132,16 @@ func DeliverEvent(d Delivery) DurableEvent {
 
 // Snapshot codec constants. The codec is versioned independently of the
 // wire codec: state layouts and frame layouts evolve separately.
+//
+// Version 2 (DESIGN.md §10) replaced the label matrices of version 1
+// with a compact form: each Quiescent message's acker views reference a
+// per-snapshot table of distinct label sets, so a quiescent steady
+// state — where every acker's view is the same set — persists that set
+// once instead of once per (message, acker); heartbeat-host snapshots
+// additionally carry the delta-beat stream position. Version 1
+// snapshots are rejected with ErrSnapshotVersion.
 const (
-	snapVersion = 1
+	snapVersion = 2
 	walVersion  = 1
 
 	snapKindMajority  = 1
@@ -372,6 +380,12 @@ func cfgFlags(c Config) uint8 {
 	if c.DeltaAcks {
 		f |= 1 << 3
 	}
+	if c.CompactDelivered {
+		f |= 1 << 4
+	}
+	if c.DeltaBeats {
+		f |= 1 << 5
+	}
 	return f
 }
 
@@ -383,6 +397,8 @@ func cfgFromFlags(f uint8) Config {
 		CheckOnTick:      f&(1<<1) != 0,
 		RetireBeforeSend: f&(1<<2) != 0,
 		DeltaAcks:        f&(1<<3) != 0,
+		CompactDelivered: f&(1<<4) != 0,
+		DeltaBeats:       f&(1<<5) != 0,
 	}
 }
 
@@ -585,7 +601,13 @@ func (p *Majority) Rejoin() {}
 
 // --- Quiescent ------------------------------------------------------------
 
-// Snapshot implements Snapshotter.
+// Snapshot implements Snapshotter. The version-2 form is compact
+// (DESIGN.md §10): acker views reference a table of distinct label sets
+// instead of each embedding its own copy, so persisting a quiescent
+// steady state costs kilobytes where the version-1 label matrices cost
+// one set per (message, acker). The table is built at encode time from
+// the sets' values, so compacted and uncompacted processes with equal
+// state produce snapshots of equal shape.
 func (p *Quiescent) Snapshot() []byte {
 	var w stateWriter
 	w.u8(snapVersion)
@@ -594,17 +616,51 @@ func (p *Quiescent) Snapshot() []byte {
 	w.u64(uint64(p.retired))
 	w.u64(p.ticks)
 	w.u64(p.epochFloor)
+	// First pass: assign set-table indices in deterministic first-use
+	// order over the (ackOrder, ackerOrder) walk.
+	tableIdx := make(map[string]uint32)
+	var tableSets []*ident.Set
+	refOf := func(s *ident.Set) uint32 {
+		k := setKey(s)
+		if i, ok := tableIdx[k]; ok {
+			return i
+		}
+		i := uint32(len(tableSets))
+		tableIdx[k] = i
+		tableSets = append(tableSets, s)
+		return i
+	}
+	type viewRef struct {
+		acker  ident.Tag
+		epoch  uint64
+		synced bool
+		ref    uint32
+	}
+	views := make(map[wire.MsgID][]viewRef, len(p.ackOrder))
+	for _, id := range p.ackOrder {
+		st := p.acks[id]
+		vs := make([]viewRef, 0, len(st.ackerOrder))
+		for _, acker := range st.ackerOrder {
+			v := st.byAcker[acker]
+			vs = append(vs, viewRef{acker: acker, epoch: v.epoch, synced: v.synced, ref: refOf(v.labels)})
+		}
+		views[id] = vs
+	}
+	w.u32(uint32(len(tableSets)))
+	for _, s := range tableSets {
+		w.tags(s.Slice())
+	}
 	w.u32(uint32(len(p.ackOrder)))
 	for _, id := range p.ackOrder {
 		w.msgID(id)
 		st := p.acks[id]
-		w.u32(uint32(len(st.ackerOrder)))
-		for _, acker := range st.ackerOrder {
-			v := st.byAcker[acker]
-			w.tag(acker)
+		vs := views[id]
+		w.u32(uint32(len(vs)))
+		for _, v := range vs {
+			w.tag(v.acker)
 			w.u64(v.epoch)
 			w.boolean(v.synced)
-			w.tags(v.labels.Slice())
+			w.u32(v.ref)
 		}
 		reqs := make([]ident.Tag, 0, len(st.reqTick))
 		for acker := range st.reqTick {
@@ -643,27 +699,51 @@ func (p *Quiescent) Restore(data []byte) error {
 	retired := r.u64()
 	ticks := r.u64()
 	epochFloor := r.u64()
+	// Set table: the distinct label sets the acker views reference.
+	tableCnt := r.count(4)
+	if r.err != nil {
+		return r.err
+	}
+	table := make([][]ident.Tag, 0, tableCnt)
+	for i := 0; i < tableCnt; i++ {
+		table = append(table, r.tagList())
+		if r.err != nil {
+			return r.err
+		}
+	}
 	cnt := r.count(20 + 8)
 	if r.err != nil {
 		return r.err
 	}
+	sets := setIntern{}
 	acks := make(map[wire.MsgID]*ackState, cnt)
 	ackOrder := make([]wire.MsgID, 0, cnt)
 	for i := 0; i < cnt; i++ {
 		id := r.msgID()
 		st := newAckState()
+		st.compacted = p.cfg.CompactDelivered && p.delivered[id]
 		ackers := r.count(16 + 8 + 1 + 4)
 		for j := 0; j < ackers; j++ {
 			acker := r.tag()
 			epoch := r.u64()
 			synced := r.boolean()
-			labels := r.tagList()
+			ref := r.u32()
 			if r.err != nil {
 				return r.err
 			}
-			// replace reproduces byAcker, ackerOrder and the derived claim
-			// counters exactly as live reception built them.
-			st.replace(acker, labels, epoch, synced)
+			if int(ref) >= len(table) {
+				return fmt.Errorf("%w: acker set ref %d beyond table of %d", ErrSnapshotMismatch, ref, len(table))
+			}
+			if _, dup := st.byAcker[acker]; dup {
+				return fmt.Errorf("%w: duplicate acker in snapshot", ErrSnapshotMismatch)
+			}
+			v := &ackerView{labels: ident.NewSet(table[ref]...), epoch: epoch, synced: synced}
+			for _, l := range v.labels.Slice() {
+				st.bump(l)
+			}
+			st.byAcker[acker] = v
+			st.ackerOrder = append(st.ackerOrder, acker)
+			st.internView(&sets, v)
 		}
 		reqs := r.count(16 + 8)
 		for j := 0; j < reqs; j++ {
@@ -680,6 +760,10 @@ func (p *Quiescent) Restore(data []byte) error {
 		if r.err != nil {
 			return r.err
 		}
+		// Everything is dirty after a restore: the first Tick must run a
+		// full purge + retirement pass against whatever views the new
+		// incarnation's detector reports.
+		st.dirty = true
 		acks[id] = st
 		ackOrder = append(ackOrder, id)
 	}
@@ -704,9 +788,11 @@ func (p *Quiescent) Restore(data []byte) error {
 	p.retired = int(retired)
 	p.ticks = ticks
 	p.epochFloor = epochFloor
+	p.sets = sets
 	p.acks = acks
 	p.ackOrder = ackOrder
 	p.ackSend = ackSend
+	p.lastViewKey = ""
 	if snapDigest(data[:len(data)-8], p.Fingerprint()) != digest {
 		return ErrSnapshotCorrupt
 	}
@@ -736,7 +822,17 @@ func (p *Quiescent) ApplyWAL(rec DurableEvent) error {
 	// until the retirement guard passes again — safe, and required for
 	// uniform agreement); a pin or broadcast for an already-delivered
 	// message respects the same guard live reception applies.
-	return p.applyCommonWAL(rec, rec.Kind != WALDeliver)
+	err := p.applyCommonWAL(rec, rec.Kind != WALDeliver)
+	if err == nil && rec.Kind == WALDeliver {
+		// The replayed delivery makes the message retirement-eligible
+		// (and compactable) exactly as a live delivery would.
+		if st, ok := p.acks[rec.ID]; ok {
+			st.dirty = true
+			p.compactState(st)
+		}
+	}
+	p.lastViewKey = ""
+	return err
 }
 
 // --- HeartbeatHost --------------------------------------------------------
@@ -753,6 +849,14 @@ func (h *HeartbeatHost) Fingerprint() string {
 	fmt.Fprintf(&w.b, "%d", h.tickCount)
 	w.section("beats")
 	fmt.Fprintf(&w.b, "%d", h.beatsSent)
+	w.section("beatreqs")
+	fmt.Fprintf(&w.b, "%d", h.beatReqsSent)
+	w.section("beatstream")
+	fmt.Fprintf(&w.b, "%d/%t", h.beatEpoch, h.beatSnapSent)
+	// The receiver-side beat stream tables and the per-tick request
+	// limiter are deliberately excluded: they are soft wire-level caches
+	// (losing them costs one BEATREQ/snapshot exchange, which the
+	// protocol self-heals), kept out of snapshots for the same reason.
 	w.section("heard")
 	heard := h.hb.Heard()
 	keys := make([]string, len(heard))
@@ -776,6 +880,9 @@ func (h *HeartbeatHost) Fingerprint() string {
 // clock's units; restarting with a clock that resumes from zero makes
 // every heard label look stale until the next beat — exactly the
 // conservative reading (a recovering process re-learns who is alive).
+// The delta-beat receiver tables are deliberately absent: they are soft
+// wire-level caches the BEATREQ path rebuilds (one exchange per
+// stream), mirroring how the node's encode cache survives nothing.
 func (h *HeartbeatHost) Snapshot() []byte {
 	var w stateWriter
 	w.u8(snapVersion)
@@ -785,6 +892,9 @@ func (h *HeartbeatHost) Snapshot() []byte {
 	w.u64(uint64(h.hb.Timeout()))
 	w.u64(uint64(h.tickCount))
 	w.u64(h.beatsSent)
+	w.u64(h.beatReqsSent)
+	w.u32(h.beatEpoch)
+	w.boolean(h.beatSnapSent)
 	heard := h.hb.Heard()
 	w.u32(uint32(len(heard)))
 	for _, e := range heard {
@@ -814,6 +924,9 @@ func (h *HeartbeatHost) Restore(data []byte) error {
 	timeout := int64(r.u64())
 	tickCount := r.u64()
 	beatsSent := r.u64()
+	beatReqsSent := r.u64()
+	beatEpoch := r.u32()
+	beatSnapSent := r.boolean()
 	n := r.count(16 + 8)
 	if r.err != nil {
 		return r.err
@@ -836,6 +949,9 @@ func (h *HeartbeatHost) Restore(data []byte) error {
 		return fmt.Errorf("%w: snapshot beatEvery=%d/timeout=%d, host has %d/%d",
 			ErrSnapshotMismatch, beatEvery, timeout, h.beatEvery, h.hb.Timeout())
 	}
+	if beatEpoch == 0 {
+		return fmt.Errorf("%w: zero beat epoch", ErrSnapshotMismatch)
+	}
 	if err := h.inner.Restore(inner); err != nil {
 		return err
 	}
@@ -843,6 +959,12 @@ func (h *HeartbeatHost) Restore(data []byte) error {
 	h.hb.RestoreHeard(heard)
 	h.tickCount = int(tickCount)
 	h.beatsSent = beatsSent
+	h.beatReqsSent = beatReqsSent
+	h.beatEpoch = beatEpoch
+	h.beatSnapSent = beatSnapSent
+	h.streams = nil // soft receiver state: rebuilt via BEATREQ
+	h.beatReqTick = nil
+	h.beatSnapTick = 0
 	if snapDigest(data[:len(data)-8], h.Fingerprint()) != digest {
 		return ErrSnapshotCorrupt
 	}
@@ -857,7 +979,27 @@ func (h *HeartbeatHost) ApplyWAL(rec DurableEvent) error { return h.inner.ApplyW
 // Rejoin implements Durable (the detector label is deliberately NOT
 // rebased: it is the process's persistent identity, and beats refresh
 // peers' trust in it the moment the recovered host resumes ticking).
-func (h *HeartbeatHost) Rejoin() { h.inner.Rejoin() }
+// The beat stream epoch IS rebased — its low 16 bits count announcement
+// changes within an incarnation, and the bump puts the recovered stream
+// above anything the lost post-checkpoint window can have sent (the
+// delta-ACK incarnation rule of DESIGN.md §9 applied to beats) — and the
+// next beat re-snapshots so receivers resynchronise without a BEATREQ.
+func (h *HeartbeatHost) Rejoin() {
+	if inc := h.beatEpoch >> 16; inc < 0xffff {
+		h.beatEpoch = (inc+1)<<16 | 1
+	} else {
+		// Incarnation space exhausted (65,536 rejoins): saturate rather
+		// than wrap — a wrapped epoch would regress below what receivers
+		// hold and their stale-beat path would resync forever. At the
+		// ceiling the stream stops rebasing; receivers synced at max
+		// accept equal-epoch refreshes, and any announcement change lost
+		// in the final crash window heals through the ordinary
+		// BEATREQ/snapshot path.
+		h.beatEpoch = 1<<32 - 1
+	}
+	h.beatSnapSent = false
+	h.inner.Rejoin()
+}
 
 // HeardLabel aliases the detector-layer entry the host snapshot carries.
 type HeardLabel = fd.HeardLabel
@@ -987,6 +1129,7 @@ func VerifySnapshot(data []byte) (SnapshotInfo, error) {
 		// Peek the host parameters and the inner quiescent config so the
 		// constructed host passes the restore-time compatibility checks.
 		// Layout: label(16) beatEvery(4) timeout(8) tick(8) beats(8)
+		// beatReqs(8) beatEpoch(4) beatSnapSent(1)
 		// heardCount(4) + heard entries(24 each) | innerLen(4) | inner...
 		peek := &stateReader{b: r.b}
 		peek.tag()
@@ -994,6 +1137,9 @@ func VerifySnapshot(data []byte) (SnapshotInfo, error) {
 		timeout := int64(peek.u64())
 		peek.u64()
 		peek.u64()
+		peek.u64()
+		peek.u32()
+		peek.u8()
 		hn := peek.count(16 + 8)
 		for i := 0; i < hn; i++ {
 			peek.tag()

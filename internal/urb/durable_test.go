@@ -30,12 +30,16 @@ func buildMajority(seed uint64) *Majority {
 // engaged: ledger entries, epochs, synced and unsynced views, a pending
 // resync limiter, a purge, a retirement.
 func buildQuiescent(seed uint64, delta bool) *Quiescent {
+	return buildQuiescentCfg(seed, Config{DeltaAcks: delta})
+}
+
+func buildQuiescentCfg(seed uint64, cfg Config) *Quiescent {
 	view := fd.Normalize(fd.View{{Label: lbl(1), Number: 2}, {Label: lbl(2), Number: 2}})
 	det := &fd.Func{
 		ThetaFn: func() fd.View { return view },
 		StarFn:  func() fd.View { return view },
 	}
-	p := NewQuiescent(det, ident.NewSource(xrand.New(seed)), Config{DeltaAcks: delta})
+	p := NewQuiescent(det, ident.NewSource(xrand.New(seed)), cfg)
 	p.Broadcast([]byte("alpha"))
 	id := wire.MsgID{Tag: ident.Tag{Hi: 7, Lo: 7}, Body: "beta"}
 	p.Receive(wire.NewMsg(id))
@@ -377,7 +381,12 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(buildMajority(41).Snapshot())
 	f.Add(buildQuiescent(43, true).Snapshot())
 	f.Add(buildQuiescent(43, false).Snapshot())
+	f.Add(buildQuiescentCfg(44, Config{DeltaAcks: true, CompactDelivered: true}).Snapshot())
 	f.Add(buildHeartbeatHost(47).Snapshot())
+	hd := NewHeartbeatHost(ident.NewSource(xrand.New(48)), 50, 1, func() int64 { return 0 },
+		Config{DeltaAcks: true, DeltaBeats: true, CompactDelivered: true})
+	hd.Tick() // snapshot beat sent: beatSnapSent persists true
+	f.Add(hd.Snapshot())
 	f.Add([]byte{})
 	f.Add([]byte{snapVersion, snapKindQuiescent})
 	f.Fuzz(func(t *testing.T, data []byte) {

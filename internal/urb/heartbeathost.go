@@ -30,6 +30,14 @@ import (
 // detector traffic — beats never stop, exactly like the heartbeat-based
 // quiescence literature the paper builds on (Aguilera, Chen, Toueg). The
 // Stats and the harness count the two kinds separately.
+//
+// With Config.DeltaBeats the never-stopping traffic shrinks (DESIGN.md
+// §10): the host announces its label once in a snapshot BEATΔ and then
+// beats 15-byte refreshes; receivers that miss the snapshot (or detect
+// an epoch gap, or a ref collision) broadcast a BEATREQ the owner
+// answers with a fresh snapshot — the detector-layer mirror of the D5
+// delta-ACK discipline. Reception of every beat form is always on, so
+// delta and legacy hosts interoperate.
 type HeartbeatHost struct {
 	inner *Quiescent
 	hb    *fd.Heartbeat
@@ -37,6 +45,48 @@ type HeartbeatHost struct {
 	beatEvery int
 	tickCount int
 	beatsSent uint64
+	// beatReqsSent counts BEATREQ resync requests (detector repair
+	// traffic, reported in Stats.WireSent but not in BeatsSent).
+	beatReqsSent uint64
+
+	// --- delta-beat sender state (Config.DeltaBeats) ------------------
+	// beatEpoch versions the announced label set, starting at 1. The
+	// low 16 bits count announcement changes within an incarnation, the
+	// high bits are bumped by Rejoin so a recovered host's stream never
+	// regresses below epochs its predecessor sent after the checkpoint.
+	beatEpoch uint32
+	// beatSnapSent records that the current announcement went out as a
+	// snapshot at least once; refreshes suffice until it changes.
+	beatSnapSent bool
+	// beatSnapTick-1 is the tick of the last snapshot broadcast (0 =
+	// never): one snapshot per tick serves every requester at once.
+	beatSnapTick int
+
+	// --- delta-beat receiver state (always on) ------------------------
+	// streams maps a beat stream ref to what its snapshots taught us.
+	// Soft wire-level state: losing it (e.g. across a crash-recovery
+	// restart) costs one BEATREQ/snapshot exchange per stream, so it is
+	// deliberately not part of snapshots or fingerprints.
+	streams map[uint64]*beatStream
+	// beatReqTick rate-limits BEATREQs per ref per tick; dropped
+	// wholesale on Tick, like ackState.reqTick.
+	beatReqTick map[uint64]int
+}
+
+// beatStream is one sender's beat stream as a receiver tracks it.
+type beatStream struct {
+	// labels is the announced set the stream's latest applied snapshot
+	// or change delta established; refreshes re-Hear exactly these.
+	labels []ident.Tag
+	// key is labels' canonical identity (collision detection).
+	key string
+	// epoch is the announcement version the labels correspond to.
+	epoch uint32
+	// ambiguous marks a ref two different streams collided on (same
+	// epoch, different sets): the mapping can no longer attribute
+	// refreshes, so liveness flows through snapshots only — which carry
+	// full labels and therefore never mis-attribute.
+	ambiguous bool
 }
 
 var _ Process = (*HeartbeatHost)(nil)
@@ -54,6 +104,7 @@ func NewHeartbeatHost(tags *ident.Source, timeout int64, beatEvery int, clock fu
 		inner:     NewQuiescent(hb, tags, cfg),
 		hb:        hb,
 		beatEvery: beatEvery,
+		beatEpoch: 1,
 	}
 }
 
@@ -66,6 +117,16 @@ func (h *HeartbeatHost) Detector() *fd.Heartbeat { return h.hb }
 // BeatsSent reports how many ALIVE messages this host has emitted.
 func (h *HeartbeatHost) BeatsSent() uint64 { return h.beatsSent }
 
+// beatRef is the host's own beat stream reference.
+func (h *HeartbeatHost) beatRef() uint64 { return wire.BeatRef(h.hb.Label()) }
+
+// announced is the host's current announcement: its own detector label.
+// (The wire format carries whole sets so richer detectors — e.g.
+// recovery-aware ones vouching for restarted labels — can reuse it.)
+func (h *HeartbeatHost) announced() []ident.Tag {
+	return []ident.Tag{h.hb.Label()}
+}
+
 // Broadcast implements Process.
 func (h *HeartbeatHost) Broadcast(body []byte) (wire.MsgID, Step) {
 	return h.inner.Broadcast(body)
@@ -74,20 +135,160 @@ func (h *HeartbeatHost) Broadcast(body []byte) (wire.MsgID, Step) {
 // Receive implements Process: beats feed the detector, the rest feeds
 // the algorithm.
 func (h *HeartbeatHost) Receive(m wire.Message) Step {
-	if m.Kind == wire.KindBeat {
+	switch m.Kind {
+	case wire.KindBeat:
 		h.hb.Hear(m.Tag)
 		return Step{}
+	case wire.KindBeatDelta:
+		return h.receiveBeatDelta(m)
+	case wire.KindBeatReq:
+		return h.receiveBeatReq(m)
 	}
 	return h.inner.Receive(m)
+}
+
+// receiveBeatDelta feeds one incremental beat into the detector.
+//
+// Attribution rule: a snapshot (or an applied change delta) names its
+// labels explicitly, so Hear-ing them is always sound. A refresh names
+// only the ref; its labels are Heard only while the local mapping is
+// unambiguous and epoch-synchronised — otherwise the host asks for a
+// snapshot instead of guessing, so a collided or stale mapping can delay
+// liveness refreshes (repaired within a tick) but never mis-attribute
+// them. That preserves the fd.Heartbeat accuracy argument untouched.
+func (h *HeartbeatHost) receiveBeatDelta(m wire.Message) Step {
+	var out Step
+	st := h.streams[m.Ref]
+	epoch := uint32(m.Epoch)
+	switch {
+	case m.Flags&wire.BeatFlagSnapshot != 0:
+		for _, l := range m.Labels {
+			h.hb.Hear(l)
+		}
+		key := beatSetKey(m.Labels)
+		switch {
+		case st == nil:
+			if h.streams == nil {
+				h.streams = make(map[uint64]*beatStream)
+			}
+			h.streams[m.Ref] = &beatStream{
+				labels: append([]ident.Tag(nil), m.Labels...),
+				key:    key, epoch: epoch,
+			}
+		case st.ambiguous:
+			// Mapping stays unusable; the labels above were still Heard.
+		case epoch > st.epoch:
+			st.labels = append(st.labels[:0], m.Labels...)
+			st.key = key
+			st.epoch = epoch
+		case epoch == st.epoch && key != st.key:
+			// Two streams share this ref: same epoch, different sets.
+			st.ambiguous = true
+		}
+	case m.Flags&wire.BeatFlagDelta != 0:
+		switch {
+		case st != nil && !st.ambiguous && epoch < st.epoch:
+			// Our mapping is ahead of the frame: either a delayed
+			// duplicate (harmless to re-request — the answer is
+			// rate-limited) or a second stream colliding on this ref at a
+			// lower epoch, whose liveness would starve if we stayed
+			// silent. Ask for a snapshot; snapshots carry full labels and
+			// therefore attribute soundly either way.
+			h.beatResync(&out, m.Ref)
+		case st != nil && !st.ambiguous && epoch == st.epoch+1:
+			// In sequence: fold removals then additions, mirroring
+			// ackState.applyDelta.
+			next := make([]ident.Tag, 0, len(st.labels)+len(m.Labels))
+			for _, l := range st.labels {
+				if !tagIn(m.DelLabels, l) {
+					next = append(next, l)
+				}
+			}
+			for _, l := range m.Labels {
+				if !tagIn(next, l) {
+					next = append(next, l)
+				}
+			}
+			st.labels = next
+			st.key = beatSetKey(next)
+			st.epoch = epoch
+			for _, l := range st.labels {
+				h.hb.Hear(l)
+			}
+		case st != nil && !st.ambiguous && epoch == st.epoch:
+			// Duplicate of the delta that produced our state: ignore.
+		default:
+			h.beatResync(&out, m.Ref)
+		}
+	default: // refresh
+		switch {
+		case st != nil && !st.ambiguous && epoch == st.epoch:
+			for _, l := range st.labels {
+				h.hb.Hear(l)
+			}
+		default:
+			// Unknown ref, ambiguous ref, epoch gap — or a refresh BEHIND
+			// our mapping, which is either a delayed duplicate or a
+			// second stream colliding on this ref at a lower epoch. The
+			// latter would starve silently if ignored, so every
+			// unattributable beat asks for a snapshot (rate-limited per
+			// ref per tick; snapshots carry full labels and attribute
+			// soundly whatever the cause).
+			h.beatResync(&out, m.Ref)
+		}
+	}
+	return out
+}
+
+// beatResync broadcasts a BEATREQ for ref, at most once per ref per
+// tick.
+func (h *HeartbeatHost) beatResync(out *Step, ref uint64) {
+	if h.beatReqTick[ref] == h.tickCount+1 {
+		return
+	}
+	if h.beatReqTick == nil {
+		h.beatReqTick = make(map[uint64]int)
+	}
+	h.beatReqTick[ref] = h.tickCount + 1
+	h.beatReqsSent++
+	out.Broadcasts = append(out.Broadcasts, wire.NewBeatResync(ref))
+}
+
+// receiveBeatReq answers a resync request for this host's own beat
+// stream with a snapshot, at most once per tick (every send is a
+// broadcast, so one snapshot serves all requesters). Hosts beating in
+// legacy mode never opened a stream and stay silent.
+func (h *HeartbeatHost) receiveBeatReq(m wire.Message) Step {
+	var out Step
+	if !h.inner.cfg.DeltaBeats || m.Ref != h.beatRef() {
+		return out
+	}
+	if h.beatSnapTick == h.tickCount+1 {
+		return out
+	}
+	h.beatSnapTick = h.tickCount + 1
+	h.beatSnapSent = true
+	h.beatsSent++ // the answer is an ALIVE announcement like any beat
+	out.Broadcasts = append(out.Broadcasts, wire.NewBeatSnapshot(h.beatRef(), h.beatEpoch, h.announced()))
+	return out
 }
 
 // Tick implements Process: emit the periodic ALIVE, then run Task 1.
 func (h *HeartbeatHost) Tick() Step {
 	var out Step
 	h.tickCount++
+	h.beatReqTick = nil
 	if h.tickCount%h.beatEvery == 0 {
 		h.beatsSent++
-		out.Broadcasts = append(out.Broadcasts, wire.NewBeat(h.hb.Label()))
+		if !h.inner.cfg.DeltaBeats {
+			out.Broadcasts = append(out.Broadcasts, wire.NewBeat(h.hb.Label()))
+		} else if !h.beatSnapSent {
+			h.beatSnapSent = true
+			h.beatSnapTick = h.tickCount + 1
+			out.Broadcasts = append(out.Broadcasts, wire.NewBeatSnapshot(h.beatRef(), h.beatEpoch, h.announced()))
+		} else {
+			out.Broadcasts = append(out.Broadcasts, wire.NewBeatRefresh(h.beatRef(), h.beatEpoch))
+		}
 	}
 	out.Merge(h.inner.Tick())
 	return out
@@ -98,6 +299,22 @@ func (h *HeartbeatHost) Tick() Step {
 // algorithm traffic from detector traffic.
 func (h *HeartbeatHost) Stats() Stats {
 	st := h.inner.Stats()
-	st.WireSent += h.beatsSent
+	st.WireSent += h.beatsSent + h.beatReqsSent
 	return st
+}
+
+// beatSetKey renders a label list's order-insensitive identity.
+func beatSetKey(labels []ident.Tag) string {
+	return setKey(ident.NewSet(labels...))
+}
+
+// tagIn reports membership in a small slice (beat announcements hold a
+// handful of labels at most; a map would cost more than it saves).
+func tagIn(tags []ident.Tag, t ident.Tag) bool {
+	for _, u := range tags {
+		if u == t {
+			return true
+		}
+	}
+	return false
 }

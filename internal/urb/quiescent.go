@@ -70,6 +70,21 @@ type Quiescent struct {
 	// (lost) higher pre-crash epochs would discard its ACKs as stale —
 	// forever. 0 for a process that never recovered.
 	epochFloor uint64
+	// sets interns the shared label sets of compacted acker views
+	// (Config.CompactDelivered, DESIGN.md §10).
+	sets setIntern
+	// lastViewKey caches the canonical key of the detector views Tick
+	// last evaluated every message against; together with the per-state
+	// dirty flags it forms the retirement index: a Tick under unchanged
+	// views re-purges and re-evaluates only messages whose ACK state
+	// changed since the last pass — for every other message both
+	// operations are provably no-ops. "" (the initial and post-restore
+	// value) forces a full pass. Deliberately excluded from snapshots
+	// and fingerprints: like the rate limiters it is derived pacing
+	// state, and the exclusion is sound because skipped work is always a
+	// no-op (fingerprint-equal states behave identically whether they
+	// skip or re-evaluate).
+	lastViewKey string
 }
 
 // ackSendState is one message's entry in the acker-side delta ledger.
@@ -94,6 +109,11 @@ type ackSendState struct {
 // label set from its latest applied ACK plus the delta-stream position.
 type ackerView struct {
 	labels *ident.Set
+	// entry is the intern-table entry labels is shared through, nil for
+	// an exclusively owned set. A shared set is immutable: every
+	// mutation path copies first (and the compacted state re-interns the
+	// result), so sharing never changes what the view reads.
+	entry *setEntry
 	// epoch is the last applied delta epoch (0 for legacy full-set ACKs,
 	// which carry no epoch).
 	epoch uint64
@@ -125,6 +145,16 @@ type ackState struct {
 	// intended repair cadence. The snapshot that repairs a stream clears
 	// its entry within the tick too.
 	reqTick map[ident.Tag]uint64
+	// dirty marks that the claim counters or acker membership changed
+	// since Tick last evaluated this message (it is set by every
+	// bump/drop, acker addition and label-set mutation, and by the
+	// message's own delivery). Tick clears it after the purge +
+	// retirement pass; while it stays clear under unchanged detector
+	// views, both operations are no-ops and are skipped.
+	dirty bool
+	// compacted marks that this message's views run on interned shared
+	// sets (delivered under Config.CompactDelivered).
+	compacted bool
 }
 
 func newAckState() *ackState {
@@ -137,6 +167,7 @@ func newAckState() *ackState {
 // bump increments a label's claim count.
 func (a *ackState) bump(label ident.Tag) {
 	a.claims[label]++
+	a.dirty = true
 }
 
 // drop decrements a label's claim count, deleting the entry at zero —
@@ -144,11 +175,44 @@ func (a *ackState) bump(label ident.Tag) {
 // map key per dead label forever (the same monotonic growth the D4
 // acker drop exists to stop).
 func (a *ackState) drop(label ident.Tag) {
+	a.dirty = true
 	switch c := a.claims[label]; {
 	case c > 1:
 		a.claims[label] = c - 1
 	case c == 1:
 		delete(a.claims, label)
+	}
+}
+
+// internView moves a view's exclusively owned set into the intern table
+// (compacted messages only); the view's set pointer becomes the shared
+// canonical copy.
+func (a *ackState) internView(in *setIntern, v *ackerView) {
+	if !a.compacted || v.entry != nil {
+		return
+	}
+	v.entry = in.intern(v.labels)
+	v.labels = v.entry.labels
+}
+
+// disownView gives a view exclusive, mutable ownership of its set:
+// shared sets are cloned first (copy-on-write).
+func (a *ackState) disownView(in *setIntern, v *ackerView) {
+	if v.entry == nil {
+		return
+	}
+	s := v.labels.Clone()
+	in.release(v.entry)
+	v.entry = nil
+	v.labels = s
+}
+
+// dropView releases a view's interned set, if any (the view is being
+// deleted or its set replaced wholesale).
+func (a *ackState) dropView(in *setIntern, v *ackerView) {
+	if v.entry != nil {
+		in.release(v.entry)
+		v.entry = nil
 	}
 }
 
@@ -159,7 +223,7 @@ func (a *ackState) drop(label ident.Tag) {
 // fewer labels" (lines 38-44) in one well-defined rule. epoch/synced
 // record the delta-stream position the set corresponds to (0/false for
 // legacy full-set ACKs). Returns true if the acker is new.
-func (a *ackState) replace(acker ident.Tag, labels []ident.Tag, epoch uint64, synced bool) bool {
+func (a *ackState) replace(in *setIntern, acker ident.Tag, labels []ident.Tag, epoch uint64, synced bool) bool {
 	cur, known := a.byAcker[acker]
 	if !known {
 		s := ident.NewSet()
@@ -168,11 +232,31 @@ func (a *ackState) replace(acker ident.Tag, labels []ident.Tag, epoch uint64, sy
 				a.bump(l)
 			}
 		}
-		a.byAcker[acker] = &ackerView{labels: s, epoch: epoch, synced: synced}
+		v := &ackerView{labels: s, epoch: epoch, synced: synced}
+		a.byAcker[acker] = v
 		a.ackerOrder = append(a.ackerOrder, acker)
+		a.dirty = true // membership changed even if the set is empty
+		a.internView(in, v)
 		return true
 	}
 	next := ident.NewSet(labels...)
+	// Unchanged-set fast path: a steady-state re-ACK replaces the set
+	// with an equal one, so the diff accounting below would walk both
+	// sets to change nothing. Only the stream position moves.
+	if next.Len() == cur.labels.Len() {
+		same := true
+		for _, l := range next.Slice() {
+			if !cur.labels.Has(l) {
+				same = false
+				break
+			}
+		}
+		if same {
+			cur.epoch = epoch
+			cur.synced = synced
+			return false
+		}
+	}
 	// Count up the additions.
 	for _, l := range next.Slice() {
 		if !cur.labels.Has(l) {
@@ -185,9 +269,11 @@ func (a *ackState) replace(acker ident.Tag, labels []ident.Tag, epoch uint64, sy
 			a.drop(l)
 		}
 	}
+	a.dropView(in, cur)
 	cur.labels = next
 	cur.epoch = epoch
 	cur.synced = synced
+	a.internView(in, cur)
 	return false
 }
 
@@ -198,7 +284,30 @@ func (a *ackState) replace(acker ident.Tag, labels []ident.Tag, epoch uint64, sy
 // epoch−1 yields exactly the acker's set at epoch, so every bump/drop
 // here is one the full-set replace would also have performed: the two
 // paths are state-for-state equivalent.
-func (a *ackState) applyDelta(v *ackerView, epoch uint64, adds, dels []ident.Tag) {
+func (a *ackState) applyDelta(in *setIntern, v *ackerView, epoch uint64, adds, dels []ident.Tag) {
+	if v.entry != nil {
+		// Copy-on-write, but only when the delta changes membership —
+		// an in-place no-op delta (e.g. removals of absent labels) must
+		// not break the sharing.
+		mutates := false
+		for _, l := range dels {
+			if v.labels.Has(l) {
+				mutates = true
+				break
+			}
+		}
+		if !mutates {
+			for _, l := range adds {
+				if !v.labels.Has(l) {
+					mutates = true
+					break
+				}
+			}
+		}
+		if mutates {
+			a.disownView(in, v)
+		}
+	}
 	for _, l := range dels {
 		if v.labels.Remove(l) {
 			a.drop(l)
@@ -210,6 +319,7 @@ func (a *ackState) applyDelta(v *ackerView, epoch uint64, adds, dels []ident.Tag
 		}
 	}
 	v.epoch = epoch
+	a.internView(in, v)
 }
 
 // purge removes every claimed label for which keep returns false
@@ -236,14 +346,95 @@ func (a *ackState) applyDelta(v *ackerView, epoch uint64, adds, dels []ident.Tag
 // the delta path could lose a wrongly-purged label forever, because a
 // delta sender — unlike the paper's full-set re-ACKs — never resends
 // labels it believes the receiver already has.
-func (a *ackState) purge(keep func(ident.Tag) bool) {
+// purgedEntry memoises one interned set's purge outcome within a single
+// purge pass: the labels the live view kills and the entry the
+// survivors re-intern to (nil when the set empties). Views sharing an
+// entry share the outcome, so a view-shift purge over thousands of
+// compacted views pays the set arithmetic once per distinct set.
+type purgedEntry struct {
+	removed []ident.Tag
+	to      *setEntry
+}
+
+func (a *ackState) purge(in *setIntern, keep func(ident.Tag) bool) {
 	// Last tick's resync-request limiters are spent; dropping the map
 	// wholesale is what keeps it from accumulating entries for ackers
 	// that never got admitted (e.g. crashed before their snapshot).
 	a.reqTick = nil
+	var memo map[*setEntry]purgedEntry
 	kept := a.ackerOrder[:0]
 	for _, acker := range a.ackerOrder {
 		v := a.byAcker[acker]
+		if v.entry != nil {
+			// Shared set: compute (or reuse) the entry's purge outcome.
+			pe, ok := memo[v.entry]
+			if !ok {
+				for _, l := range v.entry.labels.Slice() {
+					if !keep(l) {
+						pe.removed = append(pe.removed, l)
+					}
+				}
+				if n := len(pe.removed); n > 0 && n < v.entry.labels.Len() {
+					next := ident.NewSet()
+					for _, l := range v.entry.labels.Slice() {
+						if keep(l) {
+							next.Add(l)
+						}
+					}
+					pe.to = in.intern(next)
+					// The intern above took the memo's own reference; it is
+					// released when the pass ends (each surviving view takes
+					// its own below), keeping the entry alive meanwhile.
+				}
+				if memo == nil {
+					memo = make(map[*setEntry]purgedEntry)
+				}
+				memo[v.entry] = pe
+			}
+			if len(pe.removed) == 0 {
+				if v.entry.labels.Len() == 0 {
+					// Empty-set ackers are dropped (nothing claims, never
+					// refreshed), shared or not.
+					in.release(v.entry)
+					v.entry = nil
+					delete(a.byAcker, acker)
+					continue
+				}
+				kept = append(kept, acker)
+				continue
+			}
+			for _, l := range pe.removed {
+				a.drop(l)
+			}
+			in.release(v.entry)
+			if pe.to == nil { // the whole set was stale: drop the acker
+				v.entry = nil
+				delete(a.byAcker, acker)
+				continue
+			}
+			pe.to.refs++
+			v.entry = pe.to
+			v.labels = pe.to.labels
+			v.synced = false
+			kept = append(kept, acker)
+			continue
+		}
+		// Exclusive set: scan before touching (steady state is no-op).
+		stale := false
+		for _, l := range v.labels.Slice() {
+			if !keep(l) {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			if v.labels.Len() == 0 {
+				delete(a.byAcker, acker)
+				continue
+			}
+			kept = append(kept, acker)
+			continue
+		}
 		for _, l := range append([]ident.Tag(nil), v.labels.Slice()...) {
 			if !keep(l) {
 				v.labels.Remove(l)
@@ -255,9 +446,13 @@ func (a *ackState) purge(keep func(ident.Tag) bool) {
 			delete(a.byAcker, acker)
 			continue
 		}
+		a.internView(in, v)
 		kept = append(kept, acker)
 	}
 	a.ackerOrder = kept
+	for _, pe := range memo {
+		in.release(pe.to) // release(nil) is a no-op
+	}
 }
 
 // ackers returns the number of distinct tag_acks seen.
@@ -394,8 +589,8 @@ func (p *Quiescent) receiveAck(m wire.Message) Step {
 	var out Step
 	id := m.ID()
 	st := p.ackStateFor(id)
-	st.replace(m.AckTag, m.Labels, 0, false) // lines 27-45 (D1)
-	p.checkDeliver(&out, id)                 // lines 46-51
+	st.replace(&p.sets, m.AckTag, m.Labels, 0, false) // lines 27-45 (D1)
+	p.checkDeliver(&out, id)                          // lines 46-51
 	return out
 }
 
@@ -407,13 +602,26 @@ func (p *Quiescent) receiveAck(m wire.Message) Step {
 func (p *Quiescent) receiveAckDelta(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	// Delivered-message fast path: the steady state of a quiescent
+	// cluster is delivered messages absorbing unchanged re-ACKs (empty
+	// deltas at the acker's current epoch) once per tick until
+	// retirement. For those nothing below can change — the delta is
+	// stale-or-duplicate for the view and the delivery guard is already
+	// satisfied — so return before touching the claim machinery.
+	if p.delivered[id] && m.Flags == 0 && len(m.Labels) == 0 && len(m.DelLabels) == 0 {
+		if st, ok := p.acks[id]; ok {
+			if v := st.byAcker[m.AckTag]; v != nil && v.synced && m.Epoch <= v.epoch {
+				return out
+			}
+		}
+	}
 	st := p.ackStateFor(id)
 	v := st.byAcker[m.AckTag]
 	if m.Flags&wire.AckFlagSnapshot != 0 {
 		// A snapshot is authoritative for its epoch: apply unless we
 		// provably hold that epoch or a later one.
 		if v == nil || !v.synced || m.Epoch > v.epoch {
-			st.replace(m.AckTag, m.Labels, m.Epoch, true)
+			st.replace(&p.sets, m.AckTag, m.Labels, m.Epoch, true)
 			delete(st.reqTick, m.AckTag)
 		}
 	} else {
@@ -428,7 +636,7 @@ func (p *Quiescent) receiveAckDelta(m wire.Message) Step {
 		change := len(m.Labels) > 0 || len(m.DelLabels) > 0
 		switch {
 		case v != nil && v.synced && m.Epoch == v.epoch+1 && change:
-			st.applyDelta(v, m.Epoch, m.Labels, m.DelLabels)
+			st.applyDelta(&p.sets, v, m.Epoch, m.Labels, m.DelLabels)
 		case v != nil && v.synced && m.Epoch <= v.epoch:
 			// Stale or duplicated delta: already reflected, ignore.
 		default:
@@ -489,6 +697,11 @@ func (p *Quiescent) ackStateFor(id wire.MsgID) *ackState {
 	st, ok := p.acks[id]
 	if !ok {
 		st = newAckState()
+		// Straggler ACKs for an already-delivered (possibly retired)
+		// message open their state directly in compacted form.
+		if p.cfg.CompactDelivered && p.delivered[id] {
+			st.compacted = true
+		}
 		p.acks[id] = st
 		p.ackOrder = append(p.ackOrder, id)
 	}
@@ -508,8 +721,43 @@ func (p *Quiescent) checkDeliver(out *Step, id wire.MsgID) {
 	for _, pair := range p.det.ATheta() {
 		if st.claims[pair.Label] >= pair.Number {
 			p.deliverOnce(out, id)
+			// Delivery makes the message retirement-eligible: the next
+			// Tick must evaluate it even under unchanged views.
+			st.dirty = true
+			p.compactState(st)
 			return
 		}
+	}
+}
+
+// compactState switches a delivered message's acker views onto interned
+// shared sets (Config.CompactDelivered, DESIGN.md §10). Idempotent; a
+// no-op when compaction is off.
+//
+// The dominant case at delivery time is every acker holding the same
+// post-GST view, so the canonical key (a sort plus a string build) is
+// computed once: runs of views equal to the previously interned set
+// take a reference directly.
+func (p *Quiescent) compactState(st *ackState) {
+	if st.compacted || !p.cfg.CompactDelivered {
+		return
+	}
+	st.compacted = true
+	var last *setEntry
+	for _, acker := range st.ackerOrder {
+		v := st.byAcker[acker]
+		if v.entry != nil {
+			last = v.entry
+			continue
+		}
+		if last != nil && v.labels.Equal(last.labels) {
+			last.refs++
+			v.entry = last
+			v.labels = last.labels
+			continue
+		}
+		st.internView(&p.sets, v)
+		last = v.entry
 	}
 }
 
@@ -543,55 +791,134 @@ func (p *Quiescent) retireReady(id wire.MsgID, star fd.View) bool {
 	return true
 }
 
+// viewKey renders the detector views' canonical identity: every label
+// and number of both views, each view length-prefixed so the encoding
+// is injective (a separator byte alone would let a label containing it
+// shift the theta/star boundary). Tick caches it to detect view
+// changes between passes (the retirement index).
+func viewKey(theta, star fd.View) string {
+	b := make([]byte, 0, 24*(len(theta)+len(star))+8)
+	render := func(v fd.View) {
+		n := uint32(len(v))
+		b = append(b, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+		for _, pr := range v {
+			b = appendTagBytes(b, pr.Label)
+			m := uint64(pr.Number)
+			b = append(b,
+				byte(m>>56), byte(m>>48), byte(m>>40), byte(m>>32),
+				byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+		}
+	}
+	render(theta)
+	render(star)
+	return string(b)
+}
+
 // Tick is one pass of Task 1 (lines 52-61): retransmit every message
 // still in MSG_i, and retire those whose guard holds. Stale labels that
 // can no longer appear in any current view are purged first (D4) so that
 // frozen ACKs from crashed ackers cannot block retirement forever.
+//
+// The retirement index (DESIGN.md §10) bounds the pass: the D4 purge and
+// the retirement guard are deterministic functions of a message's ACK
+// state and the detector views, so when the views match the previous
+// pass and a message's ACK state has not changed since (dirty unset),
+// re-running them provably reproduces the previous outcome — a no-op
+// purge and a false guard (had it been true, the message would already
+// be retired). Tick therefore skips both for clean messages; MSG
+// retransmission itself is never skipped, it is the protocol.
 func (p *Quiescent) Tick() Step {
 	var out Step
 	p.ticks++
 	star := p.det.APStar()
 	theta := p.det.ATheta()
-	live := theta.Labels()
-	for _, pr := range star {
-		live.Add(pr.Label)
-	}
-	for _, id := range p.ackOrder {
-		p.acks[id].purge(live.Has)
+	key := viewKey(theta, star)
+	full := key != p.lastViewKey
+	p.lastViewKey = key
+	if full {
+		live := theta.Labels()
+		for _, pr := range star {
+			live.Add(pr.Label)
+		}
+		for _, id := range p.ackOrder {
+			p.acks[id].purge(&p.sets, live.Has)
+		}
+	} else {
+		var live *ident.Set // built lazily: dirty messages are rare
+		for _, id := range p.ackOrder {
+			st := p.acks[id]
+			if !st.dirty {
+				continue
+			}
+			if live == nil {
+				live = theta.Labels()
+				for _, pr := range star {
+					live.Add(pr.Label)
+				}
+			}
+			st.purge(&p.sets, live.Has)
+		}
 	}
 	if p.cfg.CheckOnTick {
 		for _, id := range p.ackOrder {
-			p.checkDeliver(&out, id)
+			if st := p.acks[id]; full || st.dirty {
+				p.checkDeliver(&out, id)
+			}
 		}
 	}
 	for _, id := range p.msgs.snapshotIDs() {
-		if p.cfg.RetireBeforeSend && p.retireReady(id, star) {
+		ready := false
+		if p.delivered[id] {
+			st := p.acks[id]
+			if full || (st != nil && st.dirty) {
+				ready = p.retireReady(id, star)
+			}
+		}
+		// The guard's outcome cannot change between the two retirement
+		// sites of one pass (line 54 sends mutate nothing it reads), so
+		// one evaluation serves both.
+		if ready && p.cfg.RetireBeforeSend {
 			p.msgs.remove(id)
 			p.retired++
 			continue
 		}
 		p.send(&out, wire.NewMsg(id)) // line 54
-		if p.retireReady(id, star) {  // lines 55-58
+		if ready {                    // lines 55-58
 			p.msgs.remove(id)
 			p.retired++
 		}
+	}
+	for _, id := range p.ackOrder {
+		p.acks[id].dirty = false
 	}
 	return out
 }
 
 // Stats implements Process.
 func (p *Quiescent) Stats() Stats {
-	entries := 0
+	entries, logical, exclusive, compacted := 0, 0, 0, 0
 	for _, st := range p.acks {
 		entries += st.ackers()
+		if st.compacted {
+			compacted++
+		}
+		for _, v := range st.byAcker {
+			logical += v.labels.Len()
+			if v.entry == nil {
+				exclusive += v.labels.Len()
+			}
+		}
 	}
 	return Stats{
-		MsgSet:     p.msgs.len(),
-		MyAcks:     len(p.mine),
-		AckEntries: entries,
-		Delivered:  len(p.delivered),
-		Retired:    p.retired,
-		WireSent:   p.wireSent,
+		MsgSet:          p.msgs.len(),
+		MyAcks:          len(p.mine),
+		AckEntries:      entries,
+		Delivered:       len(p.delivered),
+		Retired:         p.retired,
+		WireSent:        p.wireSent,
+		AckLabels:       logical,
+		AckLabelStorage: exclusive + p.sets.storage(),
+		CompactedMsgs:   compacted,
 	}
 }
 

@@ -111,6 +111,20 @@ type Stats struct {
 	Retired int
 	// WireSent counts wire messages this process asked to broadcast.
 	WireSent uint64
+	// AckLabels is the logical label count retained across all acker
+	// views: what the paper's all_labels bookkeeping holds, and what an
+	// uncompacted Algorithm 2 process physically stores. 0 for
+	// Algorithm 1 (its ACKs carry no labels).
+	AckLabels int
+	// AckLabelStorage is the label count physically stored: with
+	// Config.CompactDelivered the views of delivered messages share
+	// interned sets, so in steady state this collapses to roughly one
+	// set per distinct detector view instead of one per (message,
+	// acker). Equal to AckLabels when compaction is off.
+	AckLabelStorage int
+	// CompactedMsgs counts messages whose acker views run compacted
+	// (delivered messages under Config.CompactDelivered).
+	CompactedMsgs int
 }
 
 // Config carries the knobs shared by both algorithms. The zero value is
@@ -145,6 +159,26 @@ type Config struct {
 	// every time, so this is off in the paper-faithful zero value.
 	// Receiving delta ACKs is always supported, whatever this is set to.
 	DeltaAcks bool
+	// CompactDelivered, when true, compacts a message's per-acker label
+	// views once the message is URB-delivered (DESIGN.md §10): the views
+	// collapse onto refcount-interned shared sets (copy-on-write), so a
+	// quiescent steady state stores each distinct detector view roughly
+	// once instead of once per (message, acker). Compaction is applied
+	// only post-delivery, where uniformity is already secured locally;
+	// the claim counters and every guard decision are bit-identical to
+	// the uncompacted bookkeeping (TestQuiescentCompactionEquivalence).
+	// Off in the paper-faithful zero value purely because the paper
+	// stores the matrices literally.
+	CompactDelivered bool
+	// DeltaBeats, when true, makes a HeartbeatHost announce its detector
+	// label incrementally (DESIGN.md §10): a snapshot BEATΔ opens the
+	// beat stream, steady-state ALIVE refreshes then travel as 15-byte
+	// epoch-stamped BEATΔ frames instead of 22-byte full-label beats,
+	// and receivers repair unknown refs or epoch gaps with a BEATREQ the
+	// owner answers with a fresh snapshot — the detector-layer mirror of
+	// the D5 ACK discipline. Receiving all beat forms is always on.
+	// Ignored by the bare algorithms (beats are host traffic).
+	DeltaBeats bool
 }
 
 // msgEntry tracks one known application message in insertion order.

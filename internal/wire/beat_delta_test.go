@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"anonurb/internal/ident"
+)
+
+func TestBeatRefNonZeroAndStable(t *testing.T) {
+	a := ident.Tag{Hi: 1, Lo: 2}
+	if BeatRef(a) == 0 {
+		t.Fatal("BeatRef returned the reserved zero value")
+	}
+	if BeatRef(a) != BeatRef(a) {
+		t.Fatal("BeatRef is not a pure function of the label")
+	}
+	if BeatRef(a) == BeatRef(ident.Tag{Hi: 2, Lo: 1}) {
+		t.Fatal("trivially distinct labels collided")
+	}
+}
+
+func TestBeatDeltaRoundTrip(t *testing.T) {
+	ref := BeatRef(ident.Tag{Hi: 7, Lo: 7})
+	cases := []Message{
+		NewBeatRefresh(ref, 1),
+		NewBeatRefresh(ref, 1<<32-1),
+		NewBeatSnapshot(ref, 1, []ident.Tag{{Hi: 1, Lo: 1}, {Hi: 2, Lo: 2}}),
+		NewBeatSnapshot(ref, 3, nil),
+		NewBeatChange(ref, 2, []ident.Tag{{Hi: 3, Lo: 3}}, []ident.Tag{{Hi: 1, Lo: 1}}),
+		// Overlapping add/remove sets are structurally legal on the wire
+		// (receivers resolve them deterministically).
+		NewBeatChange(ref, 4, []ident.Tag{{Hi: 5, Lo: 5}}, []ident.Tag{{Hi: 5, Lo: 5}}),
+		NewBeatChange(ref, 5, nil, nil),
+		NewBeatResync(ref),
+	}
+	for i, m := range cases {
+		enc := m.Encode(nil)
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("case %d: EncodedSize %d != encoded %d", i, m.EncodedSize(), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("case %d: round-trip mismatch:\n got %v\nwant %v", i, got, m)
+		}
+	}
+}
+
+func TestBeatRefreshIsSmallerThanLegacyBeat(t *testing.T) {
+	label := ident.Tag{Hi: 9, Lo: 9}
+	legacy := NewBeat(label).EncodedSize()
+	refresh := NewBeatRefresh(BeatRef(label), 1).EncodedSize()
+	req := NewBeatResync(BeatRef(label)).EncodedSize()
+	if refresh >= legacy {
+		t.Fatalf("refresh beat (%dB) not smaller than legacy beat (%dB)", refresh, legacy)
+	}
+	if req >= legacy {
+		t.Fatalf("beat resync (%dB) not smaller than legacy beat (%dB)", req, legacy)
+	}
+}
+
+func TestBeatDeltaRejectsMalformed(t *testing.T) {
+	ref := BeatRef(ident.Tag{Hi: 7, Lo: 7})
+	check := func(name string, b []byte, want error) {
+		t.Helper()
+		if _, err := Decode(b); !errors.Is(err, want) {
+			t.Fatalf("%s: err=%v, want %v", name, err, want)
+		}
+	}
+	// Zero epoch.
+	m := NewBeatRefresh(ref, 1)
+	b := m.Encode(nil)
+	binary.BigEndian.PutUint32(b[3:7], 0)
+	check("zero epoch", b, ErrZeroEpoch)
+	// Zero ref.
+	b = NewBeatRefresh(ref, 1).Encode(nil)
+	binary.BigEndian.PutUint64(b[7:15], 0)
+	check("zero ref", b, ErrZeroRef)
+	// Zero ref on a resync request.
+	b = NewBeatResync(ref).Encode(nil)
+	binary.BigEndian.PutUint64(b[2:10], 0)
+	check("zero req ref", b, ErrZeroRef)
+	// Unknown flag bits, and snapshot+delta together.
+	b = NewBeatRefresh(ref, 1).Encode(nil)
+	b[2] = 1 << 4
+	check("unknown flags", b, ErrBadFlags)
+	b = NewBeatSnapshot(ref, 1, nil).Encode(nil)
+	b[2] = BeatFlagSnapshot | BeatFlagDelta
+	check("snapshot+delta flags", b, ErrBadFlags)
+	// Truncations at every boundary of a change delta.
+	full := NewBeatChange(ref, 2, []ident.Tag{{Hi: 1, Lo: 1}}, []ident.Tag{{Hi: 2, Lo: 2}}).Encode(nil)
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Oversized label count.
+	b = NewBeatSnapshot(ref, 1, nil).Encode(nil)
+	binary.BigEndian.PutUint32(b[15:19], MaxLabels+1)
+	check("oversized count", b, ErrOversize)
+}
+
+func TestBeatDeltaInBatches(t *testing.T) {
+	ref := BeatRef(ident.Tag{Hi: 7, Lo: 7})
+	msgs := []Message{
+		NewMsg(MsgID{Tag: ident.Tag{Hi: 1, Lo: 1}, Body: "x"}),
+		NewBeatSnapshot(ref, 1, []ident.Tag{{Hi: 7, Lo: 7}}),
+		NewBeatRefresh(ref, 1),
+		NewBeatResync(ref),
+		NewBeat(ident.Tag{Hi: 7, Lo: 7}),
+	}
+	var frame []byte
+	for _, m := range msgs {
+		frame = m.Encode(frame)
+	}
+	got, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatalf("batched beat deltas do not decode: %v", err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !got[i].Equal(msgs[i]) {
+			t.Fatalf("message %d mangled in batch", i)
+		}
+	}
+}

@@ -37,6 +37,18 @@ func FuzzDecode(f *testing.F) {
 	trunc := NewAckDelta(MsgID{Tag: ident.Tag{Hi: 1, Lo: 2}, Body: "t"},
 		ident.Tag{Hi: 3, Lo: 4}, 4, []ident.Tag{{Hi: 5, Lo: 6}}, nil).Encode(nil)
 	f.Add(trunc[:len(trunc)-9])
+	// Beat-delta forms, next to the delta-ACK corpus above: refresh,
+	// snapshot, change with overlapping +/- sets, resync request, epoch
+	// at the u32 boundary, and a truncated snapshot.
+	beatRef := BeatRef(ident.Tag{Hi: 11, Lo: 12})
+	f.Add(NewBeatRefresh(beatRef, 1).Encode(nil))
+	f.Add(NewBeatRefresh(beatRef, 1<<32-1).Encode(nil))
+	f.Add(NewBeatSnapshot(beatRef, 1, []ident.Tag{{Hi: 13, Lo: 14}}).Encode(nil))
+	f.Add(NewBeatChange(beatRef, 2,
+		[]ident.Tag{{Hi: 13, Lo: 14}, {Hi: 13, Lo: 15}}, []ident.Tag{{Hi: 13, Lo: 14}}).Encode(nil))
+	f.Add(NewBeatResync(beatRef).Encode(nil))
+	beatTrunc := NewBeatSnapshot(beatRef, 3, []ident.Tag{{Hi: 13, Lo: 14}}).Encode(nil)
+	f.Add(beatTrunc[:len(beatTrunc)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
@@ -53,8 +65,9 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("re-encode differs at byte %d", i)
 			}
 		}
-		// Accepted messages satisfy the structural invariants.
-		if m.Tag.Zero() {
+		// Accepted messages satisfy the structural invariants. The compact
+		// beat-family kinds carry a Ref instead of a Tag (checked below).
+		if m.Tag.Zero() && m.Kind != KindBeatDelta && m.Kind != KindBeatReq {
 			t.Fatal("decoder accepted a zero tag")
 		}
 		switch m.Kind {
@@ -73,6 +86,27 @@ func FuzzDecode(f *testing.F) {
 			if m.Flags&AckFlagSnapshot != 0 && len(m.DelLabels) != 0 {
 				t.Fatal("decoder accepted a snapshot carrying removals")
 			}
+		}
+		if m.Kind == KindBeatDelta {
+			if m.Epoch == 0 || m.Epoch > uint64(BeatEpochMax) {
+				t.Fatalf("decoder accepted beat epoch %d", m.Epoch)
+			}
+			if m.Ref == 0 {
+				t.Fatal("decoder accepted a zero beat ref")
+			}
+			if m.Flags&^(BeatFlagSnapshot|BeatFlagDelta) != 0 ||
+				m.Flags == BeatFlagSnapshot|BeatFlagDelta {
+				t.Fatal("decoder accepted malformed beat flags")
+			}
+			if m.Flags == 0 && (len(m.Labels) != 0 || len(m.DelLabels) != 0) {
+				t.Fatal("refresh beat carries labels")
+			}
+			if m.Flags&BeatFlagSnapshot != 0 && len(m.DelLabels) != 0 {
+				t.Fatal("snapshot beat carries removals")
+			}
+		}
+		if m.Kind == KindBeatReq && m.Ref == 0 {
+			t.Fatal("decoder accepted a zero beat req ref")
 		}
 	})
 }
@@ -100,6 +134,10 @@ func FuzzDecodePrefixStream(f *testing.F) {
 	batch = NewAckResync(MsgID{Tag: ident.Tag{Hi: 5, Lo: 1}, Body: ""},
 		ident.Tag{Hi: 6, Lo: 1}).Encode(batch)
 	batch = NewBeat(ident.Tag{Hi: 8, Lo: 1}).Encode(batch)
+	batch = NewBeatSnapshot(BeatRef(ident.Tag{Hi: 8, Lo: 1}), 1,
+		[]ident.Tag{{Hi: 8, Lo: 1}}).Encode(batch)
+	batch = NewBeatRefresh(BeatRef(ident.Tag{Hi: 8, Lo: 1}), 1).Encode(batch)
+	batch = NewBeatResync(BeatRef(ident.Tag{Hi: 8, Lo: 1})).Encode(batch)
 	f.Add(batch)
 	// Truncated batch: messages with the tail of the last cut off.
 	f.Add(batch[:len(batch)-7])
@@ -124,7 +162,8 @@ func FuzzDecodePrefixStream(f *testing.F) {
 				t.Fatal("DecodePrefix made no progress")
 			}
 			switch m.Kind {
-			case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+			case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq,
+				KindBeatDelta, KindBeatReq:
 			default:
 				t.Fatalf("accepted unknown kind %v", m.Kind)
 			}
@@ -176,6 +215,10 @@ func FuzzBatchRoundTrip(f *testing.F) {
 				ident.Tag{Hi: 3, Lo: 1}, uint64(len(b2))+1,
 				[]ident.Tag{{Hi: 4, Lo: 2}}, []ident.Tag{{Hi: 4, Lo: 1}}),
 			NewBeat(ident.Tag{Hi: 5, Lo: 1}),
+			NewBeatSnapshot(BeatRef(ident.Tag{Hi: 5, Lo: 1}), uint32(len(b1))+1,
+				[]ident.Tag{{Hi: 5, Lo: 1}}),
+			NewBeatRefresh(BeatRef(ident.Tag{Hi: 5, Lo: 1}), uint32(len(b1))+1),
+			NewBeatResync(BeatRef(ident.Tag{Hi: 5, Lo: 1})),
 		}
 		total := 0
 		for _, m := range msgs {

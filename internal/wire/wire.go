@@ -71,6 +71,28 @@ const (
 	// it detects an epoch gap. Like every message it is broadcast; only
 	// the process whose tag_ack matches responds, so anonymity holds.
 	KindAckReq Kind = 5
+	// KindBeatDelta is the incremental heartbeat (DESIGN.md §10): the
+	// detector-layer sibling of KindAckDelta. A beating host owns one
+	// beat stream, identified by Ref (a 64-bit digest of its permanent
+	// detector label, see BeatRef) and versioned by Epoch (bumped when
+	// the announced label set changes). Three forms, discriminated by
+	// Flags:
+	//
+	//   - snapshot (BeatFlagSnapshot): Labels is the complete announced
+	//     set at Epoch — opens a stream and answers a KindBeatReq.
+	//   - change delta (BeatFlagDelta): Labels/DelLabels are the labels
+	//     announced/withdrawn since Epoch-1.
+	//   - refresh (no flags): the announcement is unchanged at Epoch and
+	//     its labels are alive — the steady-state form, and the point of
+	//     the kind: it carries no label list and no 16-byte label at
+	//     all, so the forever-repeating ALIVE traffic shrinks from the
+	//     22-byte KindBeat frame to 15 bytes.
+	KindBeatDelta Kind = 6
+	// KindBeatReq asks the owner of beat stream Ref to rebroadcast a
+	// snapshot BEATΔ: sent on an epoch gap, an unknown ref, or a ref two
+	// streams collided on. Broadcast like everything else; only the
+	// owner responds.
+	KindBeatReq Kind = 7
 )
 
 // AckFlagSnapshot marks a KindAckDelta whose Labels field is the acker's
@@ -78,11 +100,35 @@ const (
 // carry no removals.
 const AckFlagSnapshot uint8 = 1 << 0
 
+// KindBeatDelta flags. Exactly one of Snapshot and Delta may be set; a
+// frame with neither is a refresh and carries no label lists.
+const (
+	// BeatFlagSnapshot marks a BEATΔ whose Labels field is the complete
+	// announced set at Epoch (DelLabels absent).
+	BeatFlagSnapshot uint8 = 1 << 0
+	// BeatFlagDelta marks a BEATΔ carrying the announcement's change
+	// since Epoch-1: Labels added, DelLabels withdrawn.
+	BeatFlagDelta uint8 = 1 << 1
+)
+
+// BeatEpochMax bounds BEATΔ epochs: they travel as 32 bits (beat
+// announcements change approximately never, so a u64 would waste 4
+// bytes of every refresh frame forever).
+const BeatEpochMax = 1<<32 - 1
+
 // IsAck reports whether k belongs to the acknowledgement family — the
 // full-set ACK, the delta ACK, or the resync request. The byte-accounting
 // layers use it to attribute wire cost to the ACK path as a whole.
 func (k Kind) IsAck() bool {
 	return k == KindAck || k == KindAckDelta || k == KindAckReq
+}
+
+// IsBeat reports whether k belongs to the heartbeat family — the legacy
+// full beat, the delta beat, or the beat resync request. The
+// byte-accounting layers use it to attribute wire cost to the detector
+// traffic as a whole.
+func (k Kind) IsBeat() bool {
+	return k == KindBeat || k == KindBeatDelta || k == KindBeatReq
 }
 
 // String implements fmt.Stringer.
@@ -98,6 +144,10 @@ func (k Kind) String() string {
 		return "ACKΔ"
 	case KindAckReq:
 		return "ACKREQ"
+	case KindBeatDelta:
+		return "BEATΔ"
+	case KindBeatReq:
+		return "BEATREQ"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -156,10 +206,16 @@ type Message struct {
 	// (KindAckDelta without the Snapshot flag only).
 	DelLabels []ident.Tag
 	// Epoch is the per-(message, acker) monotonic delta-stream position
-	// (KindAckDelta only; epochs start at 1, 0 is reserved).
+	// (KindAckDelta; epochs start at 1, 0 is reserved) or the beat
+	// stream's announcement version (KindBeatDelta; 32 bits on the wire,
+	// same reservation).
 	Epoch uint64
-	// Flags carries KindAckDelta modifiers (AckFlagSnapshot).
+	// Flags carries KindAckDelta modifiers (AckFlagSnapshot) or
+	// KindBeatDelta modifiers (BeatFlagSnapshot, BeatFlagDelta).
 	Flags uint8
+	// Ref is the beat stream reference (KindBeatDelta and KindBeatReq
+	// only): BeatRef of the beating host's permanent detector label.
+	Ref uint64
 }
 
 // ID returns the application message identity (m, tag).
@@ -231,6 +287,69 @@ func NewAckResync(id MsgID, ackTag ident.Tag) Message {
 	return Message{Kind: KindAckReq, Body: []byte(id.Body), Tag: id.Tag, AckTag: ackTag}
 }
 
+// BeatRef derives a beat stream's 64-bit wire reference from its owner's
+// permanent detector label (FNV-1a over the label's canonical 16 bytes).
+// The full label travels only in snapshots; refreshes carry the
+// reference. Zero is reserved as "absent", so the astronomically
+// unlikely zero digest maps to 1; genuine cross-label collisions are
+// handled by receivers (a collided ref degrades to snapshot-only
+// attribution, it never mis-attributes liveness).
+func BeatRef(label ident.Tag) uint64 {
+	// Inlined FNV-1a 64 over the 16 big-endian label bytes.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (label.Hi >> uint(shift) & 0xff)) * prime64
+	}
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (label.Lo >> uint(shift) & 0xff)) * prime64
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// NewBeatSnapshot builds a snapshot BEATΔ: labels is the stream's
+// complete announced set at epoch (copied). It opens the stream and
+// answers a KindBeatReq.
+func NewBeatSnapshot(ref uint64, epoch uint32, labels []ident.Tag) Message {
+	return Message{
+		Kind:   KindBeatDelta,
+		Ref:    ref,
+		Epoch:  uint64(epoch),
+		Flags:  BeatFlagSnapshot,
+		Labels: append([]ident.Tag(nil), labels...),
+	}
+}
+
+// NewBeatChange builds a change-delta BEATΔ: adds/dels are the labels
+// announced/withdrawn since epoch-1 (both copied).
+func NewBeatChange(ref uint64, epoch uint32, adds, dels []ident.Tag) Message {
+	return Message{
+		Kind:      KindBeatDelta,
+		Ref:       ref,
+		Epoch:     uint64(epoch),
+		Flags:     BeatFlagDelta,
+		Labels:    append([]ident.Tag(nil), adds...),
+		DelLabels: append([]ident.Tag(nil), dels...),
+	}
+}
+
+// NewBeatRefresh builds the steady-state BEATΔ: the announcement is
+// unchanged at epoch and its labels are alive. 15 bytes on the wire.
+func NewBeatRefresh(ref uint64, epoch uint32) Message {
+	return Message{Kind: KindBeatDelta, Ref: ref, Epoch: uint64(epoch)}
+}
+
+// NewBeatResync builds the resync request for beat stream ref.
+func NewBeatResync(ref uint64) Message {
+	return Message{Kind: KindBeatReq, Ref: ref}
+}
+
 // String renders a compact human-readable form for traces.
 func (m Message) String() string {
 	switch m.Kind {
@@ -250,6 +369,17 @@ func (m Message) String() string {
 		return fmt.Sprintf("ACKΔ(%s ack=%s epoch=%d +%d -%d)", m.ID(), m.AckTag, m.Epoch, len(m.Labels), len(m.DelLabels))
 	case KindAckReq:
 		return fmt.Sprintf("ACKREQ(%s ack=%s)", m.ID(), m.AckTag)
+	case KindBeatDelta:
+		switch {
+		case m.Flags&BeatFlagSnapshot != 0:
+			return fmt.Sprintf("BEATΔ(ref=%016x epoch=%d snapshot=%d)", m.Ref, m.Epoch, len(m.Labels))
+		case m.Flags&BeatFlagDelta != 0:
+			return fmt.Sprintf("BEATΔ(ref=%016x epoch=%d +%d -%d)", m.Ref, m.Epoch, len(m.Labels), len(m.DelLabels))
+		default:
+			return fmt.Sprintf("BEATΔ(ref=%016x epoch=%d)", m.Ref, m.Epoch)
+		}
+	case KindBeatReq:
+		return fmt.Sprintf("BEATREQ(ref=%016x)", m.Ref)
 	default:
 		return fmt.Sprintf("?(%d)", m.Kind)
 	}
@@ -285,6 +415,7 @@ var (
 	ErrZeroAckTag = errors.New("wire: zero ack tag on ACK")
 	ErrZeroEpoch  = errors.New("wire: zero epoch on delta ACK")
 	ErrBadFlags   = errors.New("wire: malformed delta ACK flags")
+	ErrZeroRef    = errors.New("wire: zero beat stream ref")
 )
 
 func putTag(b []byte, t ident.Tag) {
@@ -302,6 +433,21 @@ func getTag(b []byte) ident.Tag {
 // EncodedSize returns the exact byte length Encode will produce. It is the
 // quantity the metrics layer charges as "bytes on the wire".
 func (m Message) EncodedSize() int {
+	// The beat-family incremental kinds have their own compact layouts:
+	// no body, no 16-byte tag (that omission is their entire point).
+	switch m.Kind {
+	case KindBeatDelta:
+		n := headerLen + 1 + 4 + 8
+		if m.Flags&BeatFlagSnapshot != 0 {
+			n += 4 + tagLen*len(m.Labels)
+		}
+		if m.Flags&BeatFlagDelta != 0 {
+			n += 4 + tagLen*len(m.Labels) + 4 + tagLen*len(m.DelLabels)
+		}
+		return n
+	case KindBeatReq:
+		return headerLen + 8
+	}
 	n := headerLen + 4 + len(m.Body) + tagLen
 	switch m.Kind {
 	case KindAck:
@@ -325,15 +471,19 @@ func (m Message) EncodedSize() int {
 //	  | addCount u32 | adds 16B each
 //	  | delCount u32 | dels 16B each ]                  (ACKΔ only)
 //	[ ackTag 16B ]                                      (ACKREQ only)
+//
+// The beat-family incremental kinds use their own compact layouts (no
+// body, no tag):
+//
+//	version u8 | kind u8 | flags u8 | epoch u32 | ref u64
+//	  [ addCount u32 | adds 16B each ]                  (BEATΔ snapshot)
+//	  [ addCount u32 | adds 16B each
+//	    | delCount u32 | dels 16B each ]                (BEATΔ change)
+//	version u8 | kind u8 | ref u64                      (BEATREQ)
 func (m Message) Encode(dst []byte) []byte {
 	var scratch [8]byte
 	dst = append(dst, codecVersion, byte(m.Kind))
-	binary.BigEndian.PutUint32(scratch[:4], uint32(len(m.Body)))
-	dst = append(dst, scratch[:4]...)
-	dst = append(dst, m.Body...)
 	var tb [tagLen]byte
-	putTag(tb[:], m.Tag)
-	dst = append(dst, tb[:]...)
 	appendTags := func(tags []ident.Tag) {
 		binary.BigEndian.PutUint32(scratch[:4], uint32(len(tags)))
 		dst = append(dst, scratch[:4]...)
@@ -342,6 +492,30 @@ func (m Message) Encode(dst []byte) []byte {
 			dst = append(dst, tb[:]...)
 		}
 	}
+	switch m.Kind {
+	case KindBeatDelta:
+		dst = append(dst, m.Flags)
+		binary.BigEndian.PutUint32(scratch[:4], uint32(m.Epoch))
+		dst = append(dst, scratch[:4]...)
+		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
+		dst = append(dst, scratch[:8]...)
+		if m.Flags&BeatFlagSnapshot != 0 {
+			appendTags(m.Labels)
+		}
+		if m.Flags&BeatFlagDelta != 0 {
+			appendTags(m.Labels)
+			appendTags(m.DelLabels)
+		}
+		return dst
+	case KindBeatReq:
+		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
+		return append(dst, scratch[:8]...)
+	}
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(m.Body)))
+	dst = append(dst, scratch[:4]...)
+	dst = append(dst, m.Body...)
+	putTag(tb[:], m.Tag)
+	dst = append(dst, tb[:]...)
 	switch m.Kind {
 	case KindAck:
 		putTag(tb[:], m.AckTag)
@@ -377,7 +551,7 @@ func Decode(b []byte) (Message, error) {
 // DecodePrefix parses one message from the front of b and returns the
 // remainder, allowing streams of concatenated messages.
 func DecodePrefix(b []byte) (Message, []byte, error) {
-	if len(b) < headerLen+4 {
+	if len(b) < headerLen {
 		return Message{}, nil, ErrShort
 	}
 	if b[0] != codecVersion {
@@ -386,8 +560,13 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 	kind := Kind(b[1])
 	switch kind {
 	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+	case KindBeatDelta, KindBeatReq:
+		return decodeBeatPrefix(kind, b[headerLen:])
 	default:
 		return Message{}, nil, ErrKind
+	}
+	if len(b) < headerLen+4 {
+		return Message{}, nil, ErrShort
 	}
 	bodyLen := binary.BigEndian.Uint32(b[2:6])
 	if bodyLen > MaxBody {
@@ -479,6 +658,76 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 	return m, b, nil
 }
 
+// decodeBeatPrefix parses the compact beat-family layouts; b starts
+// right after the two header bytes.
+func decodeBeatPrefix(kind Kind, b []byte) (Message, []byte, error) {
+	m := Message{Kind: kind}
+	if kind == KindBeatReq {
+		if len(b) < 8 {
+			return Message{}, nil, ErrShort
+		}
+		m.Ref = binary.BigEndian.Uint64(b[:8])
+		if m.Ref == 0 {
+			return Message{}, nil, ErrZeroRef
+		}
+		return m, b[8:], nil
+	}
+	if len(b) < 1+4+8 {
+		return Message{}, nil, ErrShort
+	}
+	m.Flags = b[0]
+	m.Epoch = uint64(binary.BigEndian.Uint32(b[1:5]))
+	m.Ref = binary.BigEndian.Uint64(b[5:13])
+	b = b[13:]
+	if m.Flags&^(BeatFlagSnapshot|BeatFlagDelta) != 0 ||
+		m.Flags == BeatFlagSnapshot|BeatFlagDelta {
+		return Message{}, nil, ErrBadFlags
+	}
+	if m.Epoch == 0 {
+		return Message{}, nil, ErrZeroEpoch
+	}
+	if m.Ref == 0 {
+		return Message{}, nil, ErrZeroRef
+	}
+	readTags := func() ([]ident.Tag, error) {
+		if len(b) < 4 {
+			return nil, ErrShort
+		}
+		count := binary.BigEndian.Uint32(b[:4])
+		if count > MaxLabels {
+			return nil, ErrOversize
+		}
+		b = b[4:]
+		if uint64(len(b)) < uint64(count)*tagLen {
+			return nil, ErrShort
+		}
+		var tags []ident.Tag
+		if count > 0 {
+			tags = make([]ident.Tag, count)
+			for i := uint32(0); i < count; i++ {
+				tags[i] = getTag(b[i*tagLen:])
+			}
+		}
+		b = b[count*tagLen:]
+		return tags, nil
+	}
+	var err error
+	if m.Flags&BeatFlagSnapshot != 0 {
+		if m.Labels, err = readTags(); err != nil {
+			return Message{}, nil, err
+		}
+	}
+	if m.Flags&BeatFlagDelta != 0 {
+		if m.Labels, err = readTags(); err != nil {
+			return Message{}, nil, err
+		}
+		if m.DelLabels, err = readTags(); err != nil {
+			return Message{}, nil, err
+		}
+	}
+	return m, b, nil
+}
+
 // Equal reports deep equality of two messages, including label multiset
 // order (the codec preserves order, and ackers emit labels in their set's
 // insertion order, so order equality is the right notion for round-trips).
@@ -486,7 +735,7 @@ func (m Message) Equal(o Message) bool {
 	if m.Kind != o.Kind || !bytes.Equal(m.Body, o.Body) || m.Tag != o.Tag || m.AckTag != o.AckTag {
 		return false
 	}
-	if m.Epoch != o.Epoch || m.Flags != o.Flags {
+	if m.Epoch != o.Epoch || m.Flags != o.Flags || m.Ref != o.Ref {
 		return false
 	}
 	return slices.Equal(m.Labels, o.Labels) && slices.Equal(m.DelLabels, o.DelLabels)
