@@ -74,6 +74,7 @@ package anonurb
 import (
 	"time"
 
+	"anonurb/internal/admit"
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
 	"anonurb/internal/ident"
@@ -178,6 +179,16 @@ type (
 // NewTagSource returns a tag stream seeded from seed.
 func NewTagSource(seed uint64) *TagSource {
 	return ident.NewSource(xrand.New(seed))
+}
+
+// NewFlowTagSource returns a tag stream whose tags all carry flow as
+// their Hi half (Lo stays a fresh draw per tag), giving every broadcast
+// a per-process flow key the admission stage can classify on with zero
+// wire changes. This trades linkability for fairness — all of one
+// process's broadcasts share a visible prefix — and is strictly opt-in;
+// NewTagSource keeps full anonymity. flow must be nonzero.
+func NewFlowTagSource(flow, seed uint64) *TagSource {
+	return ident.NewFlowSource(flow, xrand.New(seed))
 }
 
 // Failure detectors (internal/fd).
@@ -332,6 +343,29 @@ func WithBatching(enabled bool) NodeOption { return node.WithBatching(enabled) }
 // WithEncodeCacheSize bounds the node's per-message encode cache, which
 // serves the byte-identical MSG frames Task 1 retransmits every tick.
 func WithEncodeCacheSize(entries int) NodeOption { return node.WithEncodeCacheSize(entries) }
+
+// Flow-fairness admission (internal/admit, DESIGN.md §11).
+type (
+	// AdmitConfig parameterises a node's admission stage: per-flow fair
+	// share (Rate bytes/s, Burst bytes), demotion Penalty, lane depths,
+	// tracked-flow table size, and the FIFO measurement baseline.
+	AdmitConfig = admit.Config
+	// AdmitStats is an admission stage's counter snapshot.
+	AdmitStats = admit.Stats
+	// AdmitFlowStats is one demoted flow's accounting within AdmitStats.
+	AdmitFlowStats = admit.FlowStats
+)
+
+// WithAdmission interposes a flow-fairness admission stage between a
+// node's transport and its inbox: traffic is classified per broadcaster
+// flow (see NewFlowTagSource), heavy hitters exceeding cfg's fair share
+// are demoted to a droppable low-priority lane, and everyone else's
+// MSG/ACK frames keep flowing. Admission only drops or reorders before
+// the algorithm sees a message — behaviour a fair lossy channel was
+// always allowed — so D1–D5 are untouched (DESIGN.md §11). Inspect the
+// stage with Node.AdmitStats, per-flow deliveries with
+// Node.FlowDeliveries.
+func WithAdmission(cfg AdmitConfig) NodeOption { return node.WithAdmission(cfg) }
 
 // NewNodeMetrics returns an empty metrics-collecting Observer.
 func NewNodeMetrics() *NodeMetrics { return node.NewMetrics() }

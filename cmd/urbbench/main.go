@@ -17,11 +17,20 @@
 // and restarted from its store. The JSON written with -out is what
 // BENCH_recovery.json records.
 //
+// Fairness mode (-fairness) runs the flow-fairness admission benchmark
+// (DESIGN.md §11): every scenario of the fairness matrix — uniform
+// controls, Zipf, burst trains, adversarial flood — runs twice, FIFO
+// admission then fair admission, and the deadline-bounded victim losses
+// are compared. The JSON written with -out is what BENCH_fairness.json
+// records.
+//
 // Usage:
 //
 //	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
+//	urbbench -list
 //	urbbench -batching [-quick] [-seed N] [-out BENCH_batching.json]
 //	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
+//	urbbench -fairness [-quick] [-seed N] [-out BENCH_fairness.json]
 //
 // Every mode accepts -cpuprofile and -memprofile, writing pprof
 // profiles of the run so perf work can attach evidence without ad-hoc
@@ -52,7 +61,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. T1,F2); empty = all")
 	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
 	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
-	out := flag.String("out", "", "with -batching or -recovery: write the results as JSON to this file")
+	fairness := flag.Bool("fairness", false, "run the flow-fairness admission benchmark matrix instead of the table/figure suite")
+	list := flag.Bool("list", false, "list the available modes and exit")
+	out := flag.String("out", "", "with a benchmark mode: write the results as JSON to this file")
 	baseline := flag.String("baseline", "", "with -batching: fail if frames-, allocs- or beat-bytes-per-delivery regresses >25% against this checked-in results file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -92,29 +103,63 @@ func main() {
 		os.Exit(code)
 	}
 
-	if *batching && *recovery {
-		fmt.Fprintln(os.Stderr, "urbbench: pick one of -batching and -recovery")
+	// Mode dispatch. Exactly one mode may be selected, and leftover
+	// positional arguments are an error: a typo like `urbbench batching`
+	// or `urbbench -batching -recovery` must fail loudly, not silently
+	// run the (expensive) default suite or an arbitrary winner.
+	modes := []struct {
+		name string
+		on   bool
+		desc string
+	}{
+		{"suite", !*batching && !*recovery && !*fairness, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
+		{"-batching", *batching, "live-runtime batching benchmark (BENCH_batching.json)"},
+		{"-recovery", *recovery, "durable-state crash-recovery benchmark (BENCH_recovery.json)"},
+		{"-fairness", *fairness, "flow-fairness admission benchmark (BENCH_fairness.json)"},
+	}
+	if *list {
+		for _, m := range modes {
+			fmt.Printf("%-10s %s\n", m.name, m.desc)
+		}
+		exit(0)
+	}
+	usage := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "urbbench: "+format+"\n", a...)
+		fmt.Fprintln(os.Stderr, "usage: urbbench [-quick] [-seed N] [mode flag]; urbbench -list shows modes")
 		exit(2)
 	}
-	if *batching || *recovery {
+	var selected []string
+	for _, m := range modes[1:] {
+		if m.on {
+			selected = append(selected, m.name)
+		}
+	}
+	if len(selected) > 1 {
+		usage("conflicting modes %s: pick one", strings.Join(selected, " "))
+	}
+	if flag.NArg() > 0 {
+		usage("unexpected arguments %q (modes are flags, e.g. -%s)",
+			flag.Args(), strings.TrimPrefix(flag.Arg(0), "-"))
+	}
+	if len(selected) == 1 {
 		if *csv || *only != "" {
-			fmt.Fprintln(os.Stderr, "urbbench: -csv and -only apply to the table/figure suite (use -out for machine-readable JSON)")
-			exit(2)
+			usage("-csv and -only apply to the table/figure suite (use -out for machine-readable JSON)")
+		}
+		if *baseline != "" && !*batching {
+			usage("-baseline applies only to -batching mode")
 		}
 	}
 	if *batching {
 		exit(runBatching(*seed, *quick, *out, *baseline))
 	}
 	if *recovery {
-		if *baseline != "" {
-			fmt.Fprintln(os.Stderr, "urbbench: -baseline applies only to -batching mode")
-			exit(2)
-		}
 		exit(runRecovery(*seed, *quick, *out))
 	}
+	if *fairness {
+		exit(runFairness(*seed, *quick, *out))
+	}
 	if *out != "" || *baseline != "" {
-		fmt.Fprintln(os.Stderr, "urbbench: -out and -baseline apply only to -batching/-recovery modes")
-		exit(2)
+		usage("-out and -baseline apply only to the benchmark modes")
 	}
 
 	want := map[string]bool{}
@@ -398,6 +443,88 @@ func runRecovery(seed uint64, quick bool, out string) int {
 			return 1
 		}
 		fmt.Printf("\nwrote %s (%d results)\n", out, len(report.Results))
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// fairnessReport is the JSON document -fairness -out writes.
+type fairnessReport struct {
+	Schema      string                     `json:"schema"`
+	Seed        uint64                     `json:"seed"`
+	Quick       bool                       `json:"quick"`
+	GoVersion   string                     `json:"go_version"`
+	GOOS        string                     `json:"goos"`
+	GOARCH      string                     `json:"goarch"`
+	NumCPU      int                        `json:"num_cpu"`
+	GeneratedAt string                     `json:"generated_at"`
+	Comparisons []bench.FairnessComparison `json:"comparisons"`
+}
+
+// runFairness executes the flow-fairness benchmark matrix and returns
+// the process exit code. Beyond running the matrix it enforces the
+// design's own bars: the uniform controls must show zero damage and
+// zero demotions, and the flood must show the fair stage protecting the
+// victims (fewer deadline losses than the FIFO baseline).
+func runFairness(seed uint64, quick bool, out string) int {
+	report := fairnessReport{
+		Schema:      "anonurb-bench-fairness/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-16s %14s %14s %9s %9s %9s %8s\n",
+		"scenario", "victim lost", "victim lost", "improv.", "demoted", "false", "split")
+	fmt.Printf("%-16s %14s %14s %9s %9s %9s %8s\n",
+		"", "(fifo)", "(fair)", "", "flows", "demot.", "frames")
+	failed := false
+	for _, sc := range bench.FairnessMatrix(seed, quick) {
+		start := time.Now()
+		c, err := bench.CompareFairness(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: fairness %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-16s %8d/%-5d %8d/%-5d %8.1fx %9d %9d %8d   (%v)\n",
+			sc.Name,
+			c.Baseline.VictimLost, c.Baseline.VictimExpected,
+			c.FairRun.VictimLost, c.FairRun.VictimExpected,
+			c.VictimLossImprovement, c.FairRun.DemotedFlows,
+			c.FairRun.FalseDemotions, c.FairRun.SplitFrames,
+			time.Since(start).Round(time.Millisecond))
+		switch {
+		case strings.HasPrefix(sc.Name, "uniform") && !c.ZeroDamage:
+			fmt.Fprintf(os.Stderr, "urbbench: fairness %s: fair stage damaged a uniform workload: %+v\n", sc.Name, c.FairRun)
+			failed = true
+		case c.FairRun.FalseDemotions != 0:
+			fmt.Fprintf(os.Stderr, "urbbench: fairness %s: %d false demotions\n", sc.Name, c.FairRun.FalseDemotions)
+			failed = true
+		case sc.Name == "flood" && c.FairRun.VictimLost >= c.Baseline.VictimLost && c.Baseline.VictimLost > 0:
+			fmt.Fprintf(os.Stderr, "urbbench: fairness %s: fair stage did not protect victims (%d lost vs %d)\n",
+				sc.Name, c.FairRun.VictimLost, c.Baseline.VictimLost)
+			failed = true
+		}
+		report.Comparisons = append(report.Comparisons, c)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d comparisons)\n", out, len(report.Comparisons))
 	}
 	if failed {
 		return 1

@@ -8,16 +8,28 @@
 //	urbsim -n 7 -algo majority -loss 0.3 -crashes 3 -msgs 4
 //	urbsim -n 5 -algo quiescent -loss 0.2 -crashes 4 -gst 200 -noise benign
 //	urbsim -n 4 -algo lowered -loss 0 -v   # unsafe threshold, watch it break
+//
+// Record/replay (DESIGN.md §11): -record writes the run's broadcast
+// schedule to a compact trace file; -replay drives a scenario from such
+// a file instead of the built-in workload (same trace + same seed =
+// byte-identical deliveries — the printed delivery digest line is what
+// CI diffs):
+//
+//	urbsim -n 5 -seed 7 -record run.sched
+//	urbsim -replay run.sched -seed 7        # identical digest every time
+//	urbsim -replay run.sched -speed 2       # same schedule, twice the pace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
 	"anonurb/internal/harness"
+	"anonurb/internal/replay"
 	"anonurb/internal/sim"
 	"anonurb/internal/trace"
 	"anonurb/internal/workload"
@@ -39,7 +51,15 @@ func main() {
 	traceOut := flag.String("trace", "", "write the run trace (JSONL) to this file for urbcheck")
 	timeline := flag.Bool("timeline", false, "print an event timeline (broadcast/deliver/crash)")
 	timelineWire := flag.Bool("timeline-wire", false, "include send/receive events in the timeline")
+	record := flag.String("record", "", "record the run's broadcast schedule to this trace file")
+	replayFrom := flag.String("replay", "", "replay the broadcast schedule from this trace file instead of the built-in workload")
+	speed := flag.Float64("speed", 1, "with -replay: time-scale the schedule (2 = twice as fast)")
 	flag.Parse()
+
+	if *record != "" && *replayFrom != "" {
+		fmt.Fprintln(os.Stderr, "urbsim: -record and -replay conflict: replaying a trace while recording it again is a no-op copy")
+		os.Exit(2)
+	}
 
 	var a harness.Algo
 	switch *algo {
@@ -72,17 +92,38 @@ func main() {
 		rec = trace.NewRecorder(trace.Options{Wire: *traceOut != "" || *timelineWire})
 		observers = []sim.Observer{rec}
 	}
+	var schedRec *replay.Recorder
+	if *record != "" {
+		schedRec = replay.NewRecorder()
+		observers = append(observers, schedRec)
+	}
+
+	var wl workload.Broadcasts = workload.MultiWriter{
+		Writers: 1, PerWriter: *msgs, Start: 5, Interval: 30,
+	}
+	if *replayFrom != "" {
+		sched, err := replay.ReadFile(*replayFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: read %s: %v\n", *replayFrom, err)
+			os.Exit(2)
+		}
+		// The trace's proc indices only make sense at the recorded
+		// cluster size, so -replay pins n.
+		if *n != sched.N {
+			fmt.Printf("replay   : n=%d from %s overrides -n %d\n", sched.N, *replayFrom, *n)
+			*n = sched.N
+		}
+		wl = replay.Replayer{Schedule: sched, Speed: *speed}
+	}
 
 	scen := harness.Scenario{
-		Name:      "urbsim",
-		Observers: observers,
-		N:         *n,
-		Algo:      a,
-		Link:      channel.Bernoulli{P: *loss, D: channel.UniformDelay{Min: 1, Max: *delayMax}},
-		FD:        fd.OracleConfig{Noise: nm, GST: *gst, NoisePeriod: 25},
-		Workload: workload.MultiWriter{
-			Writers: 1, PerWriter: *msgs, Start: 5, Interval: 30,
-		},
+		Name:          "urbsim",
+		Observers:     observers,
+		N:             *n,
+		Algo:          a,
+		Link:          channel.Bernoulli{P: *loss, D: channel.UniformDelay{Min: 1, Max: *delayMax}},
+		FD:            fd.OracleConfig{Noise: nm, GST: *gst, NoisePeriod: 25},
+		Workload:      wl,
 		Crashes:       workload.CrashCount{Count: *crashes, From: *crashAt, To: *crashAt},
 		Seed:          *seed,
 		MaxTime:       sim.Time(*maxTime),
@@ -100,6 +141,10 @@ func main() {
 		out.Result.Net.Bytes)
 	fmt.Printf("delivery : issued=%d deliveredAll=%v latency mean/p50/p99/max = %s fast=%.1f%%\n",
 		out.Issued, out.DeliveredAll, out.Latency.Summary(), 100*out.FastFraction)
+	// The digest covers every process's ordered delivery sequence
+	// (proc, time, message id): two runs print the same digest iff their
+	// deliveries are identical. CI's replay smoke diffs this line.
+	fmt.Printf("digest   : %016x\n", deliveryDigest(out.Result.Deliveries))
 
 	if out.Report.OK() {
 		fmt.Println("checks   : validity ok, uniform agreement ok, uniform integrity ok")
@@ -135,6 +180,14 @@ func main() {
 		fmt.Printf("trace    : %d events written to %s\n", len(rec.Events()), *traceOut)
 	}
 
+	if schedRec != nil {
+		if err := schedRec.Schedule(*n).WriteFile(*record); err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("schedule : %d broadcasts written to %s\n", schedRec.Len(), *record)
+	}
+
 	if *verbose {
 		for p, ds := range out.Result.Deliveries {
 			status := "correct"
@@ -154,6 +207,19 @@ func main() {
 	if !out.Report.OK() {
 		os.Exit(1)
 	}
+}
+
+// deliveryDigest folds every process's ordered delivery sequence into
+// one 64-bit FNV-1a value, so identical runs can be compared by one
+// printed line instead of full -v dumps.
+func deliveryDigest(deliveries [][]sim.DeliveryAt) uint64 {
+	h := fnv.New64a()
+	for p, ds := range deliveries {
+		for _, d := range ds {
+			fmt.Fprintf(h, "p%d t%d %s %v\n", p, d.At, d.ID, d.Fast)
+		}
+	}
+	return h.Sum64()
 }
 
 func max1(f float64) float64 {

@@ -1,0 +1,413 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"anonurb/internal/admit"
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/node"
+	"anonurb/internal/replay"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/workload"
+	"anonurb/internal/xrand"
+)
+
+// FairnessScenario describes one fairness measurement: a (possibly
+// skewed) broadcast schedule driven against a live Majority cluster
+// twice — once behind a FIFO admission stage (the baseline) and once
+// behind the fair one — with deliveries counted per broadcaster flow
+// against a hard deadline.
+//
+// The damage metric is deadline-bounded: a delivery that has not
+// happened by Window is lost. That is the application's view of
+// overload — a saturated inbox loses deliveries both by shedding frames
+// and by queueing them behind a flood (head-of-line blocking), and a
+// deadline charges both. The paper's eventual-delivery guarantees are
+// untouched either way (admission is just another fair-lossy link); what
+// the bench measures is who pays for the overload within a window.
+type FairnessScenario struct {
+	Name string `json:"name"`
+	// N is the cluster size.
+	N int `json:"n"`
+	// Workload generates the schedule (virtual times in Unit ticks).
+	Workload workload.Broadcasts `json:"-"`
+	// WorkloadDesc mirrors Workload.String() into the JSON artifact.
+	WorkloadDesc string `json:"workload"`
+	// Unit converts the schedule's virtual time to wall clock.
+	Unit time.Duration `json:"unit_ns"`
+	// TickEvery is the Task-1 period.
+	TickEvery time.Duration `json:"tick_every_ns"`
+	// Admission parameterises the fair stage; the baseline runs the same
+	// stage in FIFO mode with the same total lane budget.
+	Admission admit.Config `json:"admission"`
+	// Window is the delivery deadline, measured from when driving
+	// starts.
+	Window time.Duration `json:"window_ns"`
+	// HotProcs are the processes the scenario itself makes heavy (the
+	// flood's flooder, a Zipf head). Demoting one of their flows is a
+	// true positive; demoting anyone else's is a false demotion.
+	HotProcs []int `json:"hot_procs"`
+	// Seed drives the schedule, tag streams and tick phases.
+	Seed uint64 `json:"seed"`
+}
+
+// FairnessResult is one run (one admission mode) of a scenario.
+type FairnessResult struct {
+	Fair bool `json:"fair"`
+	// Expected/Delivered/Lost split deliveries between victim flows
+	// (procs outside HotProcs) and hot flows. Lost is measured at the
+	// deadline: expected minus delivered.
+	VictimExpected  uint64 `json:"victim_expected"`
+	VictimDelivered uint64 `json:"victim_delivered"`
+	VictimLost      uint64 `json:"victim_lost"`
+	HotExpected     uint64 `json:"hot_expected"`
+	HotDelivered    uint64 `json:"hot_delivered"`
+	HotLost         uint64 `json:"hot_lost"`
+	// Demotions counts admitted→demoted flow transitions cluster-wide;
+	// DemotedFlows is the distinct flows ever demoted anywhere;
+	// FalseDemotions is how many of those belong to no hot proc.
+	Demotions      uint64 `json:"demotions"`
+	DemotedFlows   int    `json:"demoted_flows"`
+	FalseDemotions int    `json:"false_demotions"`
+	// HighDrops/LowDrops are cluster-wide lane sheds (high = admitted
+	// traffic lost, low = intended shedding); SplitFrames counts
+	// mixed-verdict frames split per-flow; InboxOverflows is the nodes'
+	// total overflow view (lanes + inner transport).
+	HighDrops      uint64 `json:"high_drops"`
+	LowDrops       uint64 `json:"low_drops"`
+	SplitFrames    uint64 `json:"split_frames"`
+	InboxOverflows uint64 `json:"inbox_overflows"`
+	// Completed reports whether every expected delivery (hot included)
+	// happened before the deadline; ElapsedMS is the run's wall time.
+	Completed bool    `json:"completed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// FairnessComparison pairs the FIFO baseline and the fair run of one
+// scenario.
+type FairnessComparison struct {
+	Scenario FairnessScenario `json:"scenario"`
+	Baseline FairnessResult   `json:"baseline"`
+	FairRun  FairnessResult   `json:"fair"`
+	// VictimLossImprovement is baseline victim deliveries lost over fair
+	// victim deliveries lost, with the denominator clamped to 1 — when
+	// the fair run loses nothing the ratio is a lower bound. This is the
+	// damage metric of the acceptance criterion (≥5 on the flood).
+	VictimLossImprovement float64 `json:"victim_loss_improvement"`
+	// ZeroDamage reports the uniform-scenario bar: the fair run lost no
+	// deliveries at all (victim or hot) and demoted nobody.
+	ZeroDamage bool `json:"zero_damage"`
+}
+
+// fairnessFlow derives process i's pinned flow key for a scenario.
+func fairnessFlow(seed uint64, i int) uint64 {
+	f := xrand.HashStream(seed, 0xFA17, uint64(i))
+	if f == 0 {
+		f = 1
+	}
+	return f
+}
+
+// RunFairness executes one scenario under one admission mode. The
+// baseline (fair=false) runs the identical pipeline with detection off
+// and the same total lane budget, so the only varying factor is the
+// detector's verdict.
+func RunFairness(sc FairnessScenario, fair bool) (FairnessResult, error) {
+	if sc.N < 2 {
+		return FairnessResult{}, fmt.Errorf("bench: fairness needs N >= 2")
+	}
+	if sc.Workload == nil {
+		return FairnessResult{}, fmt.Errorf("bench: fairness needs a workload")
+	}
+	if sc.Unit <= 0 {
+		sc.Unit = time.Millisecond
+	}
+	if sc.TickEvery <= 0 {
+		sc.TickEvery = 5 * time.Millisecond
+	}
+	if sc.Window <= 0 {
+		sc.Window = 2 * time.Second
+	}
+	cfg := sc.Admission.WithDefaults()
+	if !fair {
+		// Same stage, same total buffering, detection off: the exact
+		// measurement baseline.
+		cfg.FIFO = true
+		cfg.HighDepth = cfg.HighDepth + cfg.LowDepth
+		cfg.LowDepth = 1
+	}
+
+	// The schedule is generated once per run from a labeled stream, so
+	// both modes of a scenario drive byte-identical broadcast sequences.
+	sched := sc.Workload.Generate(sc.N, xrand.SplitLabeled(sc.Seed, "fairness-workload"))
+	perProc := make([]*replay.Schedule, sc.N)
+	msgsByProc := make([]uint64, sc.N)
+	for i := range perProc {
+		perProc[i] = &replay.Schedule{N: sc.N}
+	}
+	for _, b := range sched {
+		p := b.Proc % sc.N
+		msgsByProc[p]++
+		perProc[p].Entries = append(perProc[p].Entries, replay.Entry{
+			At: b.At, Proc: p, Size: len(b.Body), Digest: replay.BodyDigest(b.Body),
+		})
+	}
+	total := uint64(len(sched)) * uint64(sc.N)
+
+	hot := make(map[int]bool, len(sc.HotProcs))
+	for _, p := range sc.HotProcs {
+		hot[p%sc.N] = true
+	}
+	flows := make([]uint64, sc.N)
+	flowProc := make(map[uint64]int, sc.N)
+	for i := range flows {
+		flows[i] = fairnessFlow(sc.Seed, i)
+		flowProc[flows[i]] = i
+	}
+
+	// Reliable zero-delay links and a deep inner inbox: overload must
+	// land on the admission stage's lanes (where it is observable and,
+	// in fair mode, selective), not on a second shedding point below it.
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:          sc.N,
+		Link:       channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:       time.Millisecond,
+		Seed:       sc.Seed,
+		InboxDepth: 1 << 15,
+	})
+	defer mesh.Close()
+
+	nodes := make([]*node.Node, sc.N)
+	tagRoot := xrand.SplitLabeled(sc.Seed, "fairness-tags")
+	for i := 0; i < sc.N; i++ {
+		proc := urb.NewMajority(sc.N, ident.NewFlowSource(flows[i], tagRoot.Split()), urb.Config{})
+		nodes[i] = node.New(proc, mesh.Endpoint(i),
+			node.WithTickEvery(sc.TickEvery),
+			node.WithSeed(xrand.HashStream(sc.Seed, uint64(i))),
+			node.WithBatching(true),
+			node.WithAdmission(cfg),
+		)
+	}
+	stopAll := func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}
+	defer stopAll()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, nd := range nodes {
+		if err := nd.Start(ctx); err != nil {
+			return FairnessResult{}, fmt.Errorf("bench: fairness start: %w", err)
+		}
+	}
+
+	// Drive each process's slice of the schedule from its own goroutine:
+	// a saturated node then stalls only its own injection (as a real
+	// overloaded producer would), never the victims'.
+	start := time.Now()
+	deadline := start.Add(sc.Window)
+	driveCtx, cancelDrive := context.WithDeadline(ctx, deadline)
+	defer cancelDrive()
+	var drivers sync.WaitGroup
+	for i := 0; i < sc.N; i++ {
+		if len(perProc[i].Entries) == 0 {
+			continue
+		}
+		drivers.Add(1)
+		go func(i int) {
+			defer drivers.Done()
+			// Broadcast errors mean the run is tearing down; drops are
+			// accounted as lost deliveries by the deadline arithmetic.
+			_ = replay.Drive(driveCtx, perProc[i], sc.N, sc.Unit, 1, func(proc int, body []byte) error {
+				_, err := nodes[proc].Broadcast(body)
+				return err
+			})
+		}(i)
+	}
+
+	// Wait for full delivery or the deadline, whichever first.
+	delivered := func() uint64 {
+		var sum uint64
+		for _, nd := range nodes {
+			for _, c := range nd.FlowDeliveries() {
+				sum += c
+			}
+		}
+		return sum
+	}
+	completed := false
+	for time.Now().Before(deadline) {
+		if delivered() >= total {
+			completed = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancelDrive()
+	drivers.Wait()
+
+	res := FairnessResult{Fair: fair, Completed: completed,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond)}
+	demoted := make(map[uint64]bool)
+	for _, nd := range nodes {
+		for f, c := range nd.FlowDeliveries() {
+			p, ok := flowProc[f]
+			if !ok {
+				continue
+			}
+			if hot[p] {
+				res.HotDelivered += c
+			} else {
+				res.VictimDelivered += c
+			}
+		}
+		if st, ok := nd.AdmitStats(); ok {
+			res.Demotions += st.Demotions
+			res.HighDrops += st.HighDrops
+			res.LowDrops += st.LowDrops
+			res.SplitFrames += st.SplitFrames
+			for _, fs := range st.Flows {
+				if fs.Demoted {
+					demoted[fs.Flow] = true
+				}
+			}
+		}
+		if ov, ok := nd.InboxOverflows(); ok {
+			res.InboxOverflows += ov
+		}
+	}
+	res.DemotedFlows = len(demoted)
+	for f := range demoted {
+		p, ok := flowProc[f]
+		if !ok || !hot[p] {
+			res.FalseDemotions++
+		}
+	}
+	for p := 0; p < sc.N; p++ {
+		exp := msgsByProc[p] * uint64(sc.N)
+		if hot[p] {
+			res.HotExpected += exp
+		} else {
+			res.VictimExpected += exp
+		}
+	}
+	res.VictimLost = res.VictimExpected - min(res.VictimExpected, res.VictimDelivered)
+	res.HotLost = res.HotExpected - min(res.HotExpected, res.HotDelivered)
+	return res, nil
+}
+
+// CompareFairness runs a scenario in both admission modes and derives
+// the damage metrics.
+func CompareFairness(sc FairnessScenario) (FairnessComparison, error) {
+	if sc.Workload != nil {
+		sc.WorkloadDesc = sc.Workload.String()
+	}
+	base, err := RunFairness(sc, false)
+	if err != nil {
+		return FairnessComparison{}, err
+	}
+	fair, err := RunFairness(sc, true)
+	if err != nil {
+		return FairnessComparison{}, err
+	}
+	c := FairnessComparison{Scenario: sc, Baseline: base, FairRun: fair}
+	c.VictimLossImprovement = float64(base.VictimLost) / float64(max(fair.VictimLost, 1))
+	c.ZeroDamage = fair.VictimLost == 0 && fair.HotLost == 0 && fair.Demotions == 0
+	return c, nil
+}
+
+// FairnessMatrix returns the standard fairness scenarios: two uniform
+// controls (no flow may be demoted, nothing may be lost), a Zipf-skewed
+// schedule, a burst-train schedule, and the adversarial flood — the
+// acceptance cell, where the baseline's victim losses must exceed the
+// fair run's by ≥5×. quick trims sizes and windows to CI scale.
+func FairnessMatrix(seed uint64, quick bool) []FairnessScenario {
+	n := 8
+	window := 2500 * time.Millisecond
+	floodCount := 300
+	floodPayload := 4 << 10
+	if quick {
+		n = 6
+		window = 1500 * time.Millisecond
+		floodCount = 200
+	}
+	// Rate sits an order of magnitude above the heaviest legitimate flow
+	// in the matrix (a Zipf head or multi-train burst owner peaks near
+	// 5-12 MB/s once Majority's retransmission sets are full) and two
+	// orders below the flood (~800 MB/s), so skew alone never demotes
+	// while the flood trips within its first tick. Burst absorbs tens of
+	// milliseconds of clumped legitimate arrivals (scheduler stalls
+	// charge several ticks at once); the flood exceeds it in one frame
+	// batch regardless.
+	admission := admit.Config{
+		Rate:      32 << 20,
+		Burst:     1 << 20,
+		Penalty:   300 * time.Millisecond,
+		HighDepth: 192,
+		LowDepth:  64,
+		Flows:     256,
+	}
+	uniformWindow := window
+	return []FairnessScenario{
+		{
+			Name: "uniform-multi", N: n,
+			Workload:  workload.MultiWriter{Writers: n, PerWriter: 3, Start: 1, Interval: 12},
+			Unit:      time.Millisecond,
+			TickEvery: 5 * time.Millisecond,
+			Admission: admission,
+			Window:    uniformWindow,
+			Seed:      seed,
+		},
+		{
+			Name: "uniform-poisson", N: n,
+			Workload:  workload.PoissonWriters{Count: 3 * n, MeanGap: 6, Start: 1, BodyStamp: "p"},
+			Unit:      time.Millisecond,
+			TickEvery: 5 * time.Millisecond,
+			Admission: admission,
+			Window:    uniformWindow,
+			Seed:      seed + 1,
+		},
+		{
+			Name: "zipf", N: n,
+			Workload:  workload.ZipfWriters{Count: 5 * n, S: 1.2, MeanGap: 4, Payload: 96},
+			Unit:      time.Millisecond,
+			TickEvery: 5 * time.Millisecond,
+			Admission: admission,
+			Window:    window,
+			// The Zipf head lands on rank 0 by construction; its flow may
+			// legitimately trip the detector under a harsh Rate, so rank 0
+			// is classified hot rather than victim.
+			HotProcs: []int{0},
+			Seed:     seed + 2,
+		},
+		{
+			Name: "burst", N: n,
+			Workload: workload.BurstTrains{Trains: 5, PerTrain: 8, Spacing: 1, Gap: 60,
+				Payload: 128},
+			Unit:      time.Millisecond,
+			TickEvery: 5 * time.Millisecond,
+			Admission: admission,
+			Window:    window,
+			Seed:      seed + 3,
+		},
+		{
+			Name: "flood", N: n,
+			Workload: workload.Flood{Flooder: 0, Count: floodCount, Spacing: 2,
+				Payload: floodPayload, VictimMsgs: 4, VictimSize: 32},
+			Unit:      time.Millisecond,
+			TickEvery: 5 * time.Millisecond,
+			Admission: admission,
+			Window:    window,
+			HotProcs:  []int{0},
+			Seed:      seed + 4,
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"testing"
+
+	"anonurb/internal/admit"
+	"anonurb/internal/workload"
+)
+
+// findScenario pulls one scenario of the quick matrix by name.
+func findScenario(t *testing.T, name string) FairnessScenario {
+	t.Helper()
+	for _, sc := range FairnessMatrix(7, true) {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %q not in matrix", name)
+	return FairnessScenario{}
+}
+
+// TestFairnessUniformZeroDamage: on a uniform workload the fair stage
+// must be invisible — nothing lost, nobody demoted. This is the
+// false-positive bar of the acceptance criteria.
+func TestFairnessUniformZeroDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive live-cluster bench")
+	}
+	c, err := CompareFairness(findScenario(t, "uniform-multi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: %+v", c.Baseline)
+	t.Logf("fair:     %+v", c.FairRun)
+	if !c.ZeroDamage {
+		t.Errorf("uniform workload damaged by fair admission: fair=%+v", c.FairRun)
+	}
+	if c.FairRun.FalseDemotions != 0 {
+		t.Errorf("false demotions on uniform workload: %d", c.FairRun.FalseDemotions)
+	}
+}
+
+// TestFairnessFloodProtectsVictims: under the adversarial flood the fair
+// stage must never do worse by the victims than FIFO, and must demote
+// only the flooder. (The ≥5× improvement of the acceptance criteria is
+// asserted by the checked-in BENCH_fairness.json, not here — CI machines
+// are too noisy for a hard ratio gate.)
+func TestFairnessFloodProtectsVictims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive live-cluster bench")
+	}
+	c, err := CompareFairness(findScenario(t, "flood"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: %+v", c.Baseline)
+	t.Logf("fair:     %+v", c.FairRun)
+	t.Logf("victim loss improvement: %.1fx", c.VictimLossImprovement)
+	if c.FairRun.VictimLost > c.Baseline.VictimLost {
+		t.Errorf("fair mode lost more victim deliveries (%d) than FIFO baseline (%d)",
+			c.FairRun.VictimLost, c.Baseline.VictimLost)
+	}
+	if c.FairRun.FalseDemotions != 0 {
+		t.Errorf("false demotions under flood: %d", c.FairRun.FalseDemotions)
+	}
+}
+
+// TestRunFairnessValidates covers the argument checks.
+func TestRunFairnessValidates(t *testing.T) {
+	if _, err := RunFairness(FairnessScenario{N: 1}, true); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := RunFairness(FairnessScenario{N: 4}, true); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+// TestFairnessMatrixShape sanity-checks the matrix contents.
+func TestFairnessMatrixShape(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		m := FairnessMatrix(3, quick)
+		if len(m) != 5 {
+			t.Fatalf("quick=%v: got %d scenarios, want 5", quick, len(m))
+		}
+		for _, sc := range m {
+			if sc.Workload == nil || sc.N < 2 || sc.Window <= 0 {
+				t.Errorf("quick=%v: malformed scenario %+v", quick, sc)
+			}
+		}
+		flood := m[len(m)-1]
+		if _, ok := flood.Workload.(workload.Flood); !ok {
+			t.Errorf("quick=%v: last scenario is not the flood", quick)
+		}
+		if len(flood.HotProcs) == 0 {
+			t.Errorf("quick=%v: flood has no hot procs", quick)
+		}
+	}
+}
+
+// TestFairnessBaselineBudget: the FIFO baseline must carry the fair
+// stage's total lane budget, so buffering is held equal across modes.
+func TestFairnessBaselineBudget(t *testing.T) {
+	cfg := admit.Config{HighDepth: 100, LowDepth: 40}.WithDefaults()
+	if cfg.HighDepth != 100 || cfg.LowDepth != 40 {
+		t.Fatalf("WithDefaults rewrote explicit depths: %+v", cfg)
+	}
+	if d := (admit.Config{}).WithDefaults(); d.HighDepth <= 0 || d.LowDepth <= 0 ||
+		d.Rate <= 0 || d.Burst <= 0 || d.Penalty <= 0 || d.Flows <= 0 {
+		t.Fatalf("WithDefaults left zero fields: %+v", d)
+	}
+}

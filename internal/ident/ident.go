@@ -57,6 +57,7 @@ func (t Tag) String() string {
 // seed, so runs replay identically.
 type Source struct {
 	rng   *xrand.Source
+	flow  uint64
 	draws uint64
 }
 
@@ -66,11 +67,35 @@ func NewSource(rng *xrand.Source) *Source {
 	return &Source{rng: rng}
 }
 
+// NewFlowSource returns a Source whose tags all share flow as their Hi
+// half, with the Lo half drawn fresh per tag. Pinning the Hi half gives
+// every message a broadcaster-scoped flow key that travels in the tag
+// itself — through MSG retransmissions and the whole ACK family — with
+// zero wire-format changes, which is what the admission stage
+// (internal/admit) classifies on. Uniqueness is preserved (Lo is a
+// 64-bit fresh draw), but linkability is not: all of one process's
+// broadcasts share a visible prefix, a deliberate trade of anonymity for
+// fairness that deployments opt into per node. flow must be nonzero.
+func NewFlowSource(flow uint64, rng *xrand.Source) *Source {
+	if flow == 0 {
+		panic("ident: flow source requires a nonzero flow")
+	}
+	return &Source{rng: rng, flow: flow}
+}
+
+// Flow returns the pinned Hi half, or 0 for an unpinned Source.
+func (s *Source) Flow() uint64 { return s.flow }
+
 // Next draws a fresh tag. It never returns the zero Tag.
 func (s *Source) Next() Tag {
 	s.draws++
 	for {
-		t := Tag{Hi: s.rng.Uint64(), Lo: s.rng.Uint64()}
+		var t Tag
+		if s.flow != 0 {
+			t = Tag{Hi: s.flow, Lo: s.rng.Uint64()}
+		} else {
+			t = Tag{Hi: s.rng.Uint64(), Lo: s.rng.Uint64()}
+		}
 		if !t.Zero() {
 			return t
 		}

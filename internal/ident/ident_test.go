@@ -228,3 +228,47 @@ func TestSetPropertyAddRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlowSourcePinsHi(t *testing.T) {
+	s := NewFlowSource(0xF1, xrand.New(4))
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		tag := s.Next()
+		if tag.Hi != 0xF1 {
+			t.Fatalf("draw %d: Hi %#x, want pinned 0xF1", i, tag.Hi)
+		}
+		if seen[tag.Lo] {
+			t.Fatalf("draw %d: Lo %#x repeated", i, tag.Lo)
+		}
+		seen[tag.Lo] = true
+	}
+	if s.Flow() != 0xF1 {
+		t.Fatalf("Flow() = %#x, want 0xF1", s.Flow())
+	}
+	if NewSource(xrand.New(4)).Flow() != 0 {
+		t.Fatal("unpinned source reports a flow")
+	}
+}
+
+func TestFlowSourceRejectsZeroFlow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("flow 0 accepted; it is the always-admitted beat lane")
+		}
+	}()
+	NewFlowSource(0, xrand.New(1))
+}
+
+func TestFlowSourceSkipToResync(t *testing.T) {
+	a := NewFlowSource(0x77, xrand.New(9))
+	for i := 0; i < 5; i++ {
+		a.Next()
+	}
+	b := NewFlowSource(0x77, xrand.New(9))
+	if err := b.SkipTo(a.Draws()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.Next(), a.Next(); got != want {
+		t.Fatalf("resynced source diverged: %v vs %v", got, want)
+	}
+}

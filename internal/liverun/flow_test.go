@@ -1,0 +1,90 @@
+package liverun
+
+import (
+	"testing"
+	"time"
+
+	"anonurb/internal/admit"
+	"anonurb/internal/channel"
+)
+
+// TestClusterFlowPinningAndAdmission: a cluster with pinned flows and a
+// (generous) admission stage attributes every delivery to the
+// broadcaster's flow, exposes per-flow counters on every node, and
+// demotes nobody when traffic is polite.
+func TestClusterFlowPinningAndAdmission(t *testing.T) {
+	const n = 4
+	flows := []uint64{0xA1, 0xB2, 0xC3, 0xD4}
+	cfg := admit.Config{Rate: 64 << 20, Burst: 4 << 20}
+	c := Start(Config{
+		N:         n,
+		Factory:   majorityFactory(n),
+		Link:      channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:      time.Millisecond,
+		TickEvery: 5,
+		Seed:      17,
+		Flows:     flows,
+		Admission: &cfg,
+	})
+	defer c.Stop()
+
+	for p := 0; p < n; p++ {
+		if !c.Broadcast(p, []byte{byte(p), 1}) || !c.Broadcast(p, []byte{byte(p), 2}) {
+			t.Fatalf("broadcast from %d failed", p)
+		}
+	}
+	// Every node must deliver 2 messages from each of the 4 flows.
+	ok := waitFor(t, 5*time.Second, func() bool {
+		for p := 0; p < n; p++ {
+			fd := c.Node(p).FlowDeliveries()
+			for _, f := range flows {
+				if fd[f] != 2 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatalf("flow deliveries incomplete: %v", c.Node(0).FlowDeliveries())
+	}
+	for p := 0; p < n; p++ {
+		st, present := c.Node(p).AdmitStats()
+		if !present {
+			t.Fatalf("node %d has no admission stage", p)
+		}
+		if st.Demotions != 0 || len(st.Flows) != 0 {
+			t.Fatalf("node %d demoted polite traffic: %+v", p, st)
+		}
+		if st.AdmittedMsgs == 0 {
+			t.Fatalf("node %d admitted nothing", p)
+		}
+	}
+}
+
+// TestClusterWithoutFlows: nil Flows keeps full anonymity — every
+// delivery lands under a distinct per-message flow key.
+func TestClusterWithoutFlows(t *testing.T) {
+	const n = 3
+	c := Start(Config{
+		N:       n,
+		Factory: majorityFactory(n),
+		Link:    channel.Reliable{D: channel.FixedDelay(0)},
+		Unit:    time.Millisecond,
+		Seed:    18,
+	})
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		if !c.Broadcast(0, []byte{9, byte(i)}) {
+			t.Fatal("broadcast failed")
+		}
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		return len(c.Node(1).FlowDeliveries()) == 3
+	}) {
+		t.Fatalf("per-message flows collapsed: %v", c.Node(1).FlowDeliveries())
+	}
+	if _, present := c.Node(0).AdmitStats(); present {
+		t.Fatal("admission stage present without configuration")
+	}
+}

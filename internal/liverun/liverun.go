@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"time"
 
+	"anonurb/internal/admit"
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
 	"anonurb/internal/node"
+	"anonurb/internal/replay"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
@@ -74,6 +76,15 @@ type Config struct {
 	// CheckpointEvery is the durable nodes' checkpoint cadence (default
 	// 1s; see node.WithCheckpointEvery).
 	CheckpointEvery time.Duration
+	// Flows[i], when nonzero, pins process i's broadcast tags to that
+	// flow key (ident.NewFlowSource): all of i's broadcasts share
+	// Tag.Hi == Flows[i], which is what the admission stage classifies
+	// on. nil or a zero entry leaves the process fully anonymous
+	// (per-message flows).
+	Flows []uint64
+	// Admission, when non-nil, interposes a flow-fairness admission
+	// stage in front of every node's inbox (node.WithAdmission).
+	Admission *admit.Config
 }
 
 // Cluster is a running set of live processes: N nodes on one mesh.
@@ -141,6 +152,9 @@ func Start(cfg Config) *Cluster {
 	if cfg.Stores != nil && len(cfg.Stores) != cfg.N {
 		panic("liverun: Stores length mismatch")
 	}
+	if cfg.Flows != nil && len(cfg.Flows) != cfg.N {
+		panic("liverun: Flows length mismatch")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c.ctx, c.cancel = ctx, cancel
 	c.tagClones = make([]*xrand.Source, cfg.N)
@@ -148,7 +162,7 @@ func Start(cfg Config) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		src := tagRoot.Split()
 		c.tagClones[i] = src.Clone()
-		proc := cfg.Factory(i, ident.NewSource(src), c.ElapsedUnits)
+		proc := cfg.Factory(i, c.tagSource(i, src), c.ElapsedUnits)
 		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i), c.nodeOptions(i)...)
 	}
 	for _, nd := range c.nodes {
@@ -159,6 +173,16 @@ func Start(cfg Config) *Cluster {
 	return c
 }
 
+// tagSource builds process proc's tag source over src, flow-pinned when
+// the cluster configures a flow for it (shared by Start and Recover so
+// a restarted process re-derives the same tag stream).
+func (c *Cluster) tagSource(proc int, src *xrand.Source) *ident.Source {
+	if c.cfg.Flows != nil && c.cfg.Flows[proc] != 0 {
+		return ident.NewFlowSource(c.cfg.Flows[proc], src)
+	}
+	return ident.NewSource(src)
+}
+
 // nodeOptions assembles one process's node options (shared by Start and
 // Recover so a restarted node is configured like its predecessor).
 func (c *Cluster) nodeOptions(proc int) []node.Option {
@@ -166,6 +190,9 @@ func (c *Cluster) nodeOptions(proc int) []node.Option {
 		node.WithTickEvery(time.Duration(c.cfg.TickEvery) * c.cfg.Unit),
 		node.WithSeed(xrand.HashStream(c.cfg.Seed, uint64(proc))),
 		node.WithObserver(observer{c: c, proc: proc}),
+	}
+	if c.cfg.Admission != nil {
+		opts = append(opts, node.WithAdmission(*c.cfg.Admission))
 	}
 	if c.cfg.Stores != nil && c.cfg.Stores[proc] != nil {
 		opts = append(opts, node.WithStore(c.cfg.Stores[proc]))
@@ -193,7 +220,7 @@ func (c *Cluster) Recover(proc int) error {
 	}
 	// A still-running node must be crashed first; Stop is idempotent.
 	c.nodes[proc].Stop()
-	p := c.cfg.Factory(proc, ident.NewSource(c.tagClones[proc].Clone()), c.ElapsedUnits)
+	p := c.cfg.Factory(proc, c.tagSource(proc, c.tagClones[proc].Clone()), c.ElapsedUnits)
 	nd, err := node.Recover(p, c.cfg.Stores[proc], c.mesh.Reopen(proc), c.nodeOptions(proc)...)
 	if err != nil {
 		return err
@@ -215,6 +242,17 @@ func (c *Cluster) ElapsedUnits() int64 {
 func (c *Cluster) Broadcast(proc int, body []byte) bool {
 	_, err := c.nodes[proc].Broadcast(body)
 	return err == nil
+}
+
+// Play replays a recorded schedule against the cluster at unit pace
+// (speed scales the rate as in replay.Drive): each entry URB-broadcasts
+// from its recorded process when its wall-clock moment arrives. It
+// blocks until the last entry is driven or ctx is cancelled.
+func (c *Cluster) Play(ctx context.Context, s *replay.Schedule, unit time.Duration, speed float64) error {
+	return replay.Drive(ctx, s, c.cfg.N, unit, speed, func(proc int, body []byte) error {
+		_, err := c.nodes[proc].Broadcast(body)
+		return err
+	})
 }
 
 // Crash kills process proc: it stops receiving, ticking and sending.

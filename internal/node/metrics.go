@@ -34,6 +34,11 @@ type Metrics struct {
 	deliveries  uint64
 	fast        uint64
 	quiescences uint64
+	// deliveriesByFlow counts deliveries per broadcaster flow
+	// (wire.FlowOf of the delivered tag) — the observability half of the
+	// fairness work: a skewed delivery distribution is visible here
+	// without any bench harness.
+	deliveriesByFlow map[uint64]uint64
 
 	msgSize    *metrics.Histogram // encoded bytes per sent wire message
 	deliverLat *metrics.Histogram // ms from collector creation to delivery
@@ -45,11 +50,12 @@ var _ Observer = (*Metrics)(nil)
 // starts now.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:       time.Now(),
-		sentByKind:  make(map[wire.Kind]uint64),
-		bytesByKind: make(map[wire.Kind]uint64),
-		msgSize:     metrics.NewHistogram(),
-		deliverLat:  metrics.NewHistogram(),
+		start:            time.Now(),
+		sentByKind:       make(map[wire.Kind]uint64),
+		bytesByKind:      make(map[wire.Kind]uint64),
+		deliveriesByFlow: make(map[uint64]uint64),
+		msgSize:          metrics.NewHistogram(),
+		deliverLat:       metrics.NewHistogram(),
 	}
 }
 
@@ -79,6 +85,7 @@ func (c *Metrics) OnDeliver(d Delivery) {
 	if d.Fast {
 		c.fast++
 	}
+	c.deliveriesByFlow[wire.FlowOf(d.ID.Tag)]++
 	c.deliverLat.Observe(d.At.Sub(c.start).Milliseconds())
 }
 
@@ -112,7 +119,11 @@ type Snapshot struct {
 	SentBytesByKind map[wire.Kind]uint64
 	Deliveries      uint64
 	Fast            uint64
-	Quiescences     uint64
+	// DeliveriesByFlow splits Deliveries per broadcaster flow
+	// (wire.FlowOf) — one entry per broadcaster under flow-pinned tag
+	// sources, one per message otherwise.
+	DeliveriesByFlow map[uint64]uint64
+	Quiescences      uint64
 	// MsgSize is mean/p50/p99/max of sent per-message encoded sizes in
 	// bytes.
 	MsgSize string
@@ -149,6 +160,10 @@ func (c *Metrics) Snapshot() Snapshot {
 			beatBytes += v
 		}
 	}
+	byFlow := make(map[uint64]uint64, len(c.deliveriesByFlow))
+	for f, v := range c.deliveriesByFlow {
+		byFlow[f] = v
+	}
 	return Snapshot{
 		SentMsgs:         c.sentMsgs,
 		RecvMsgs:         c.recvMsgs,
@@ -159,6 +174,7 @@ func (c *Metrics) Snapshot() Snapshot {
 		SentBytesByKind:  bytesByKind,
 		Deliveries:       c.deliveries,
 		Fast:             c.fast,
+		DeliveriesByFlow: byFlow,
 		Quiescences:      c.quiescences,
 		MsgSize:          c.msgSize.Summary(),
 		DeliverLatencyMs: c.deliverLat.Summary(),

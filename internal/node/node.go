@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anonurb/internal/admit"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
@@ -101,6 +102,7 @@ type options struct {
 	cacheSize       int
 	store           store.Store
 	checkpointEvery time.Duration
+	admission       *admit.Config
 	// recovered marks a node built by Recover, whose store legitimately
 	// holds the predecessor's state at construction time.
 	recovered bool
@@ -202,11 +204,41 @@ func WithCheckpointEvery(d time.Duration) Option {
 	}
 }
 
+// WithAdmission interposes a flow-fairness admission stage (DESIGN.md
+// §11, internal/admit) between the transport and the node's inbox: each
+// inbound message is classified by broadcaster flow (wire.FlowOf of its
+// broadcast tag), metered against a per-flow leaky bucket, and demoted
+// to a droppable low-priority lane when its flow exceeds its fair
+// share. Admission only drops or reorders traffic *before* the
+// algorithm absorbs it — something the fair lossy channel was always
+// allowed to do — so the paper's properties are untouched; what it buys
+// is that one hot broadcaster can no longer evict everyone else's
+// MSG/ACK frames from a finite inbox. The node takes ownership of the
+// stage exactly as it does of the raw transport.
+//
+// Flow classification is only meaningful when broadcasters pin their
+// tags' Hi halves (ident.NewFlowSource); unpinned broadcasters degrade
+// to one flow per message, which admission treats as a crowd of small
+// flows (never demoted at any sane Rate).
+func WithAdmission(cfg admit.Config) Option {
+	return func(o *options) { o.admission = &cfg }
+}
+
 // Node hosts one urb.Process on a Transport.
 type Node struct {
 	proc urb.Process
 	tr   transport.Transport
 	opt  options
+
+	// admission is the admit stage wrapped around the raw transport
+	// (nil without WithAdmission); tr is then the stage itself.
+	admission *admit.Transport
+
+	// flowMu guards flowDeliveries: per-broadcaster-flow delivery
+	// counts, keyed by wire.FlowOf of the delivered tag. Written on the
+	// node goroutine, read by FlowDeliveries.
+	flowMu         sync.Mutex
+	flowDeliveries map[uint64]uint64
 
 	deliveries chan Delivery
 	subscribed atomic.Bool
@@ -277,6 +309,11 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 	for _, f := range opts {
 		f(&o)
 	}
+	var stage *admit.Transport
+	if o.admission != nil {
+		stage = admit.Wrap(tr, *o.admission)
+		tr = stage
+	}
 	if o.store != nil {
 		if _, ok := proc.(urb.Durable); !ok {
 			panic("node: WithStore requires a urb.Durable process")
@@ -291,14 +328,16 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 		}
 	}
 	return &Node{
-		proc:       proc,
-		tr:         tr,
-		opt:        o,
-		deliveries: make(chan Delivery, o.inboxDepth),
-		actions:    make(chan func(urb.Process), 64),
-		done:       make(chan struct{}),
-		cache:      wire.NewEncodeCache(o.cacheSize),
-		budget:     tr.FrameBudget(),
+		proc:           proc,
+		tr:             tr,
+		opt:            o,
+		admission:      stage,
+		flowDeliveries: make(map[uint64]uint64),
+		deliveries:     make(chan Delivery, o.inboxDepth),
+		actions:        make(chan func(urb.Process), 64),
+		done:           make(chan struct{}),
+		cache:          wire.NewEncodeCache(o.cacheSize),
+		budget:         tr.FrameBudget(),
 	}
 }
 
@@ -554,9 +593,35 @@ func (n *Node) checkpoint() {
 
 // InboxOverflows reports how many inbound frames this node's transport
 // discarded because its inbox was full — the receiver-side saturation
-// signal — or false when the transport cannot count overflows.
+// signal — or false when the transport cannot count overflows. With an
+// admission stage installed, lane sheds count as overflow too (they are
+// the same phenomenon, moved to where it can be selective).
 func (n *Node) InboxOverflows() (uint64, bool) {
 	return transport.Overflows(n.tr)
+}
+
+// FlowDeliveries returns this node's URB-delivery counts per
+// broadcaster flow (wire.FlowOf of the delivered tag). For nodes whose
+// peers pin flow tags (ident.NewFlowSource) the map has one entry per
+// broadcaster; unpinned peers contribute one entry per delivered
+// message. The returned map is a copy; safe to call while running.
+func (n *Node) FlowDeliveries() map[uint64]uint64 {
+	n.flowMu.Lock()
+	defer n.flowMu.Unlock()
+	out := make(map[uint64]uint64, len(n.flowDeliveries))
+	for f, c := range n.flowDeliveries {
+		out[f] = c
+	}
+	return out
+}
+
+// AdmitStats returns the admission stage's accounting, or false when
+// the node was built without WithAdmission.
+func (n *Node) AdmitStats() (admit.Stats, bool) {
+	if n.admission == nil {
+		return admit.Stats{}, false
+	}
+	return n.admission.Stats(), true
 }
 
 // EncodeCacheStats returns the node's encode cache (hits, misses).
@@ -693,6 +758,9 @@ func (n *Node) absorb(s urb.Step) {
 	}
 	for _, d := range s.Deliveries {
 		del := Delivery{ID: d.ID, Fast: d.Fast, At: time.Now()}
+		n.flowMu.Lock()
+		n.flowDeliveries[wire.FlowOf(d.ID.Tag)]++
+		n.flowMu.Unlock()
 		if n.opt.observer != nil {
 			n.opt.observer.OnDeliver(del)
 		}

@@ -1,0 +1,74 @@
+package replay
+
+import (
+	"sync"
+
+	"anonurb/internal/sim"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+// Recorder captures a run's broadcast schedule. It implements
+// sim.Observer, so plugging it into a simulator scenario (or a harness
+// Observers list) records every URB_broadcast the run executes; live
+// drivers that call node.Broadcast themselves record through Observe
+// instead (the live node layer has no broadcast observer — the caller
+// is the broadcaster, so the caller records).
+//
+// A Recorder is safe for concurrent use: live clusters broadcast from
+// many goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe records one broadcast: proc URB-broadcast body at virtual
+// time at. Live drivers map wall-clock time to virtual time with
+// whatever unit they replay at (Drive uses the same convention).
+func (r *Recorder) Observe(at sim.Time, proc int, body []byte) {
+	r.mu.Lock()
+	r.entries = append(r.entries, Entry{
+		At:     at,
+		Proc:   proc,
+		Size:   len(body),
+		Digest: BodyDigest(body),
+	})
+	r.mu.Unlock()
+}
+
+// OnBroadcast implements sim.Observer.
+func (r *Recorder) OnBroadcast(t sim.Time, proc int, id wire.MsgID) {
+	r.Observe(t, proc, []byte(id.Body))
+}
+
+// OnSend implements sim.Observer (no-op; wire traffic is not schedule).
+func (r *Recorder) OnSend(sim.Time, int, int, wire.Message, bool, sim.Time) {}
+
+// OnReceive implements sim.Observer (no-op).
+func (r *Recorder) OnReceive(sim.Time, int, wire.Message) {}
+
+// OnDeliver implements sim.Observer (no-op).
+func (r *Recorder) OnDeliver(sim.Time, int, urb.Delivery) {}
+
+// OnCrash implements sim.Observer (no-op).
+func (r *Recorder) OnCrash(sim.Time, int) {}
+
+// Len reports how many broadcasts have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Schedule snapshots the recording as a Schedule for a system of n
+// processes. The entries are copied; recording may continue.
+func (r *Recorder) Schedule(n int) *Schedule {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Schedule{N: n, Entries: append([]Entry(nil), r.entries...)}
+}

@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"anonurb/internal/sim"
+	"anonurb/internal/workload"
+	"anonurb/internal/xrand"
+)
+
+// Replayer plays a recorded Schedule back as a workload: it implements
+// workload.Broadcasts, so a captured trace plugs into every driver a
+// generator does — simulator scenarios, the harness, the benchmarks.
+//
+// Replays are deterministic end to end: the schedule is data, payloads
+// are pure functions of their recorded (digest, size), and the
+// simulator is a pure function of its inputs — so the same trace under
+// the same seed produces byte-identical deliveries, run after run.
+type Replayer struct {
+	Schedule *Schedule
+	// Speed rescales the schedule's pace: 2 halves every inter-arrival
+	// gap (twice the recorded rate), 0.5 doubles it. 0 means 1.
+	Speed float64
+}
+
+var _ workload.Broadcasts = Replayer{}
+
+// Generate implements workload.Broadcasts. The rng is unused — a replay
+// has no randomness left in it. Entries recorded for a larger system
+// than n fold onto the available processes (proc mod n).
+func (r Replayer) Generate(n int, _ *xrand.Source) []sim.ScheduledBroadcast {
+	speed := r.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	out := make([]sim.ScheduledBroadcast, 0, len(r.Schedule.Entries))
+	for _, e := range r.Schedule.Entries {
+		out = append(out, sim.ScheduledBroadcast{
+			At:   sim.Time(float64(e.At)/speed) + 1,
+			Proc: e.Proc % n,
+			Body: e.Body(),
+		})
+	}
+	return out
+}
+
+// String implements workload.Broadcasts.
+func (r Replayer) String() string {
+	speed := r.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	return fmt.Sprintf("replay(%d entries,n=%d,x%g)", len(r.Schedule.Entries), r.Schedule.N, speed)
+}
+
+// Drive plays a schedule against a live cluster at a target rate: for
+// each entry, when its wall-clock moment arrives — recorded virtual
+// time × unit ÷ speed from the call — it invokes broadcast(proc, body).
+// Entries are driven in time order regardless of recorded order. It
+// returns the first broadcast error, ctx's error if cancelled, or nil
+// after the last entry is driven.
+func Drive(ctx context.Context, s *Schedule, n int, unit time.Duration, speed float64, broadcast func(proc int, body []byte) error) error {
+	if speed <= 0 {
+		speed = 1
+	}
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	order := make([]Entry, len(s.Entries))
+	copy(order, s.Entries)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].At < order[j].At })
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for _, e := range order {
+		due := start.Add(time.Duration(float64(e.At) * float64(unit) / speed))
+		if wait := time.Until(due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := broadcast(e.Proc%n, e.Body()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"anonurb/internal/sim"
+)
+
+func testSchedule() *Schedule {
+	s := &Schedule{N: 5}
+	bodies := [][]byte{[]byte("alpha"), []byte("beta"), {}, bytes.Repeat([]byte{7}, 300)}
+	for i, b := range bodies {
+		s.Entries = append(s.Entries, Entry{
+			At:     sim.Time(i * 13),
+			Proc:   i % 5,
+			Size:   len(b),
+			Digest: BodyDigest(b),
+		})
+	}
+	return s
+}
+
+// TestScheduleRoundTrip: Write then Read must reproduce the schedule
+// exactly.
+func TestScheduleRoundTrip(t *testing.T) {
+	s := testSchedule()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != s.N || !reflect.DeepEqual(got.Entries, s.Entries) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+// TestScheduleFileRoundTrip covers the file-path convenience pair.
+func TestScheduleFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.sched")
+	s := testSchedule()
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+// TestScheduleEmpty: a zero-entry schedule must survive the trip too.
+func TestScheduleEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Schedule{N: 3}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || len(got.Entries) != 0 {
+		t.Fatalf("empty schedule mangled: %+v", got)
+	}
+}
+
+// encoded returns the serialised test schedule's lines.
+func encoded(t *testing.T) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := testSchedule().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+func tryRead(lines []string) error {
+	_, err := Read(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	return err
+}
+
+// TestScheduleCorruption: every way a trace file can be damaged in
+// transit must be detected — truncated header, torn tail, flipped CRC,
+// flipped payload byte, trailing garbage.
+func TestScheduleCorruption(t *testing.T) {
+	lines := encoded(t)
+
+	if err := tryRead(nil); !errors.Is(err, ErrHeader) {
+		t.Errorf("empty file: %v", err)
+	}
+	if err := tryRead([]string{"not a header at all"}); !errors.Is(err, ErrHeader) {
+		t.Errorf("garbage header: %v", err)
+	}
+	// Torn tail: the header pre-declares the count, so dropping the last
+	// entry line is detected even though every surviving line is valid.
+	if err := tryRead(lines[:len(lines)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("torn tail: %v", err)
+	}
+	// CRC flip on an entry line.
+	flipped := append([]string(nil), lines...)
+	last := flipped[1]
+	if strings.HasSuffix(last, "0") {
+		flipped[1] = last[:len(last)-1] + "1"
+	} else {
+		flipped[1] = last[:len(last)-1] + "0"
+	}
+	if err := tryRead(flipped); !errors.Is(err, ErrCRC) {
+		t.Errorf("entry CRC flip: %v", err)
+	}
+	// Payload flip: damage the entry text, keep its CRC.
+	damaged := append([]string(nil), lines...)
+	damaged[2] = strings.Replace(damaged[2], " ", "  ", 1)
+	if err := tryRead(damaged); !errors.Is(err, ErrCRC) {
+		t.Errorf("payload flip: %v", err)
+	}
+	// Header CRC flip.
+	hdr := append([]string(nil), lines...)
+	if strings.HasSuffix(hdr[0], "0") {
+		hdr[0] = hdr[0][:len(hdr[0])-1] + "1"
+	} else {
+		hdr[0] = hdr[0][:len(hdr[0])-1] + "0"
+	}
+	if err := tryRead(hdr); !errors.Is(err, ErrCRC) {
+		t.Errorf("header CRC flip: %v", err)
+	}
+	// Trailing garbage after the declared count.
+	extra := append(append([]string(nil), lines...), lines[1])
+	if err := tryRead(extra); !errors.Is(err, ErrTrailing) {
+		t.Errorf("trailing line: %v", err)
+	}
+	// Future format version, with a valid CRC so the version check is
+	// what actually fires.
+	future := append([]string(nil), lines...)
+	text := strings.Replace(future[0][:strings.LastIndex(future[0], " crc=")], " v1 ", " v9 ", 1)
+	future[0] = fmt.Sprintf("%s crc=%08x", text, lineCRC(text))
+	if err := tryRead(future); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: %v", err)
+	}
+}
+
+// TestBodyRegeneration: Entry.Body is a pure function of (digest, size)
+// — equal entries regenerate identical bodies, different digests
+// diverge.
+func TestBodyRegeneration(t *testing.T) {
+	e := Entry{Size: 64, Digest: BodyDigest([]byte("seed"))}
+	a, b := e.Body(), e.Body()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Body not deterministic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("Body length %d, want 64", len(a))
+	}
+	other := Entry{Size: 64, Digest: BodyDigest([]byte("other"))}
+	if bytes.Equal(a, other.Body()) {
+		t.Fatal("different digests produced identical bodies")
+	}
+	if got := (Entry{Size: 0, Digest: 1}).Body(); len(got) != 0 {
+		t.Fatal("zero-size body not empty")
+	}
+}
+
+// FuzzScheduleDecode: arbitrary bytes must never panic the decoder, and
+// every accepted input must re-encode to an equivalent schedule.
+func FuzzScheduleDecode(f *testing.F) {
+	var buf bytes.Buffer
+	_ = testSchedule().Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("anonurb-sched v1 n=2 count=0 crc=00000000\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("anonurb-sched"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Write(&out); err != nil {
+			t.Fatalf("accepted schedule failed to re-encode: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded schedule rejected: %v", err)
+		}
+		if again.N != s.N || len(again.Entries) != len(s.Entries) {
+			t.Fatalf("re-encode changed the schedule: %+v vs %+v", again, s)
+		}
+	})
+}

@@ -116,6 +116,9 @@ func (c *Chaos) Send(frame []byte) {
 // Receive implements Transport: inbound frames pass through untouched.
 func (c *Chaos) Receive() <-chan []byte { return c.inner.Receive() }
 
+// Inner implements Wrapper: chaos decorates the returned transport.
+func (c *Chaos) Inner() Transport { return c.inner }
+
 // FrameBudget implements Transport: chaos adds no framing of its own,
 // so the wrapped transport's budget applies.
 func (c *Chaos) FrameBudget() int { return c.inner.FrameBudget() }

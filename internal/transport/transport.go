@@ -70,21 +70,31 @@ type OverflowCounter interface {
 	Overflows() uint64
 }
 
+// Wrapper is implemented by transports that decorate another transport
+// (Chaos, the admission stage in internal/admit, future shims). The
+// Overflows helper unwraps through it to find a counting transport.
+type Wrapper interface {
+	// Inner returns the wrapped transport.
+	Inner() Transport
+}
+
 // Overflows reports tr's inbox-overflow drop count, or (0, false) when
-// the transport cannot count overflows. Chaos wrappers are unwrapped:
-// chaos has no inbox of its own, so the capability — and the count —
-// is its inner transport's. A Chaos around a transport that cannot
-// count therefore correctly reports false, not a misleading zero.
+// the transport cannot count overflows. A wrapper that counts overflows
+// itself (an admission stage's lane drops are overflow) answers
+// directly; wrappers without an inbox of their own (Chaos) are unwrapped
+// until a counting transport is found. A wrapper chain over a transport
+// that cannot count therefore correctly reports false, not a misleading
+// zero.
 func Overflows(tr Transport) (uint64, bool) {
-	for {
-		c, ok := tr.(*Chaos)
+	for tr != nil {
+		if oc, ok := tr.(OverflowCounter); ok {
+			return oc.Overflows(), true
+		}
+		w, ok := tr.(Wrapper)
 		if !ok {
 			break
 		}
-		tr = c.inner
-	}
-	if oc, ok := tr.(OverflowCounter); ok {
-		return oc.Overflows(), true
+		tr = w.Inner()
 	}
 	return 0, false
 }

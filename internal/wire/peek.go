@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"anonurb/internal/ident"
+)
+
+// FlowOf extracts the flow key of a broadcast tag: its Hi half. Nodes
+// built with a flow-pinned tag source (ident.NewFlowSource) share one Hi
+// across all their broadcasts, so the key groups a broadcaster's whole
+// output; unpinned nodes degrade gracefully to one flow per message.
+func FlowOf(t ident.Tag) uint64 { return t.Hi }
+
+// PeekFlow scans the first encoded message in b without decoding it and
+// returns its kind, its flow key, and its exact encoded size, so callers
+// can split batch frames into per-message (or per-run) subslices with
+// zero allocation and route each by flow. It is the admission stage's
+// classifier (internal/admit): peeking costs a few length checks and two
+// 8-byte loads where DecodePrefix would copy the body and label sets.
+//
+// The flow key is the broadcast Tag's Hi half for KindMsg and the whole
+// ACK family (MSG retransmissions and every ACK form carry the original
+// message's Tag, so a message and all traffic it induces share one key).
+// Beat-family messages and the legacy KindBeat — detector traffic, not
+// attributable to any broadcaster — report flow 0, which admission always
+// admits.
+//
+// PeekFlow validates only what it needs to walk the frame: version,
+// kind, and the declared lengths against len(b) and the codec bounds.
+// A frame it accepts can still fail full DecodePrefix validation (zero
+// tags, bad flags); that is the consumer's check. Errors are the codec's
+// (ErrShort, ErrVersion, ErrKind, ErrOversize).
+func PeekFlow(b []byte) (kind Kind, flow uint64, size int, err error) {
+	if len(b) < headerLen {
+		return 0, 0, 0, ErrShort
+	}
+	if b[0] != codecVersion {
+		return 0, 0, 0, ErrVersion
+	}
+	kind = Kind(b[1])
+	o := headerLen
+	// need reports whether n more bytes exist past offset o.
+	need := func(n int) bool { return uint64(len(b)) >= uint64(o)+uint64(n) }
+	// skipTags walks one count-prefixed tag list.
+	skipTags := func() error {
+		if !need(4) {
+			return ErrShort
+		}
+		count := binary.BigEndian.Uint32(b[o:])
+		if count > MaxLabels {
+			return ErrOversize
+		}
+		o += 4
+		if !need(int(count) * tagLen) {
+			return ErrShort
+		}
+		o += int(count) * tagLen
+		return nil
+	}
+	switch kind {
+	case KindBeatReq:
+		if !need(8) {
+			return 0, 0, 0, ErrShort
+		}
+		return kind, 0, o + 8, nil
+	case KindBeatDelta:
+		if !need(1 + 4 + 8) {
+			return 0, 0, 0, ErrShort
+		}
+		flags := b[o]
+		o += 1 + 4 + 8
+		if flags&BeatFlagSnapshot != 0 {
+			if err := skipTags(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		if flags&BeatFlagDelta != 0 {
+			if err := skipTags(); err != nil {
+				return 0, 0, 0, err
+			}
+			if err := skipTags(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		return kind, 0, o, nil
+	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+	default:
+		return 0, 0, 0, ErrKind
+	}
+	if !need(4) {
+		return 0, 0, 0, ErrShort
+	}
+	bodyLen := binary.BigEndian.Uint32(b[o:])
+	if bodyLen > MaxBody {
+		return 0, 0, 0, ErrOversize
+	}
+	o += 4
+	if !need(int(bodyLen) + tagLen) {
+		return 0, 0, 0, ErrShort
+	}
+	o += int(bodyLen)
+	hi := binary.BigEndian.Uint64(b[o:])
+	o += tagLen
+	if kind != KindBeat {
+		// KindBeat's Tag is a detector label, not a broadcast tag; its
+		// Hi half is no broadcaster's flow key.
+		flow = hi
+	}
+	switch kind {
+	case KindMsg, KindBeat:
+		return kind, flow, o, nil
+	}
+	// ACK family: acker tag next.
+	if !need(tagLen) {
+		return 0, 0, 0, ErrShort
+	}
+	o += tagLen
+	switch kind {
+	case KindAckReq:
+		return kind, flow, o, nil
+	case KindAckDelta:
+		if !need(8 + 1) {
+			return 0, 0, 0, ErrShort
+		}
+		o += 8 + 1
+		if err := skipTags(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := skipTags(); err != nil {
+			return 0, 0, 0, err
+		}
+		return kind, flow, o, nil
+	default: // KindAck
+		if err := skipTags(); err != nil {
+			return 0, 0, 0, err
+		}
+		return kind, flow, o, nil
+	}
+}
