@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTool builds the urbvet binary once per test run and returns its
+// path.
+var buildTool = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "urbvet")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "urbvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", &buildError{out: out, err: err}
+	}
+	return bin, nil
+})
+
+type buildError struct {
+	out []byte
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + string(e.out) }
+
+func tool(t *testing.T) string {
+	t.Helper()
+	bin, err := buildTool()
+	if err != nil {
+		t.Fatalf("building urbvet: %v", err)
+	}
+	return bin
+}
+
+// runTool runs the built binary in dir and returns exit code + output.
+func runTool(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(tool(t), args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running urbvet: %v", err)
+	}
+	return code, buf.String()
+}
+
+// TestBrokenModuleFails is the red-path guarantee: on a module whose
+// urb package reads the wall clock, the tool exits non-zero and names
+// the offence.
+func TestBrokenModuleFails(t *testing.T) {
+	code, out := runTool(t, filepath.Join("testdata", "broken"), "./...")
+	if code != 2 {
+		t.Fatalf("urbvet on broken module: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "time.Now") {
+		t.Errorf("output does not name the time.Now violation:\n%s", out)
+	}
+	if !strings.Contains(out, "determinism") {
+		t.Errorf("output does not name the determinism analyzer:\n%s", out)
+	}
+}
+
+// TestVersionAndFlags checks the two probes the go command sends before
+// trusting a vettool.
+func TestVersionAndFlags(t *testing.T) {
+	code, out := runTool(t, ".", "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full: exit %d\n%s", code, out)
+	}
+	if !strings.HasPrefix(out, "urbvet version ") || !strings.Contains(out, "buildID=") {
+		t.Errorf("-V=full output %q lacks the name/version/buildID shape go vet hashes", out)
+	}
+	code, out = runTool(t, ".", "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("-flags: exit %d, output %q; want 0 and []", code, out)
+	}
+}
+
+// TestOwnModuleClean runs the standalone tool over this repository —
+// the same gate CI applies via go vet.
+func TestOwnModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full module from source")
+	}
+	code, out := runTool(t, "../..", "./...")
+	if code != 0 {
+		t.Fatalf("urbvet on own module: exit %d\n%s", code, out)
+	}
+}
+
+// TestGoVetVettool exercises the unitchecker protocol end to end:
+// `go vet -vettool=urbvet` over the broken fixture module must fail,
+// and over a single clean package of this module must pass.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build machinery")
+	}
+	bin := tool(t)
+
+	run := func(dir string, pkgs ...string) (int, string) {
+		args := append([]string{"vet", "-vettool=" + bin}, pkgs...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running go vet: %v", err)
+		}
+		return code, buf.String()
+	}
+
+	code, out := run(filepath.Join("testdata", "broken"), "./...")
+	if code == 0 {
+		t.Errorf("go vet -vettool on broken module: exit 0, want non-zero\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now") {
+		t.Errorf("go vet output does not name the time.Now violation:\n%s", out)
+	}
+
+	code, out = run("../..", "./internal/wire")
+	if code != 0 {
+		t.Errorf("go vet -vettool on internal/wire: exit %d\n%s", code, out)
+	}
+}

@@ -1,0 +1,13 @@
+// Package urb is a deliberately broken fixture: its package path ends
+// in "urb", so the determinism analyzer treats it as deterministic
+// code, and Tick reads the wall clock without a //urbvet:wallclock
+// justification. cmd/urbvet's tests assert the binary exits non-zero
+// here.
+package urb
+
+import "time"
+
+// Tick leaks wall-clock time into supposedly deterministic state.
+func Tick() int64 {
+	return time.Now().UnixNano()
+}

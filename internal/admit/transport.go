@@ -42,11 +42,12 @@ type Transport struct {
 	lowDrops      atomic.Uint64
 	splitFrames   atomic.Uint64
 
-	// flowMu guards the demoted-flow set and per-flow drop attribution,
+	flowMu sync.Mutex
+	// demotedFlows is the set of flows ever demoted; guarded by flowMu,
 	// written by the ingest goroutine and read by Stats.
-	flowMu       sync.Mutex
 	demotedFlows map[uint64]struct{}
-	flowDrops    map[uint64]uint64
+	// flowDrops attributes low-lane drops to flows; guarded by flowMu.
+	flowDrops map[uint64]uint64
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -55,6 +56,8 @@ var _ transport.OverflowCounter = (*Transport)(nil)
 // Wrap builds an admission stage around inner and starts its pipeline.
 // The stage takes ownership of inner: closing the stage closes it, and
 // inner's Receive must not be consumed elsewhere.
+//
+//urbvet:wallclock pins the epoch the leaky buckets' nano clock counts from
 func Wrap(inner transport.Transport, cfg Config) *Transport {
 	if inner == nil {
 		panic("admit: inner transport is required")
@@ -110,6 +113,9 @@ func (t *Transport) ingest() {
 // (the overwhelmingly common case — a batch is one sender's tick, and a
 // flood's batches are flood through and through) travels as a single
 // subslice with zero per-message cost beyond the peek.
+//
+//urbvet:wallclock bucket leak rates are bytes per real second; EARDet meters arrival time, not algorithm time
+//urb:hotpath
 func (t *Transport) classify(frame []byte) {
 	if t.cfg.FIFO {
 		t.offer(frame, false, 0)

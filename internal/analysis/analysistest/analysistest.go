@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "…"` expectations, the same
+// contract as golang.org/x/tools/go/analysis/analysistest but built on
+// the repo's stdlib-only loader. Fixtures live GOPATH-style under
+// <testdata>/src/<importpath>; a line expecting diagnostics carries one
+// `// want` comment with one double-quoted substring per expected
+// diagnostic on that line.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"anonurb/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads each fixture package and applies a, reporting unmatched
+// expectations and unexpected diagnostics through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(analysis.TreeResolver(testdata + "/src"))
+	for _, pkgPath := range pkgPaths {
+		lp, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgPath, err)
+			continue
+		}
+		diags, err := analysis.RunAll(lp, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		check(t, lp, a, pkgPath, diags)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func check(t *testing.T, lp *analysis.LoadedPackage, a *analysis.Analyzer, pkgPath string, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects := collectWants(t, lp)
+	for _, d := range diags {
+		pos := lp.Fset.Position(d.Pos)
+		found := false
+		for i := range expects {
+			e := &expects[i]
+			if e.matched || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, e.substr) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, a.Name, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected %s diagnostic containing %q, got none",
+				e.file, e.line, a.Name, e.substr)
+		}
+	}
+	_ = pkgPath
+}
+
+// collectWants extracts every `// want "…" ["…"]` expectation from the
+// fixture's comments.
+func collectWants(t *testing.T, lp *analysis.LoadedPackage) []expectation {
+	t.Helper()
+	var expects []expectation
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				expects = append(expects, parseWant(t, lp, c)...)
+			}
+		}
+	}
+	return expects
+}
+
+func parseWant(t *testing.T, lp *analysis.LoadedPackage, c *ast.Comment) []expectation {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := lp.Fset.Position(c.Slash)
+	var expects []expectation
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Errorf("%s: malformed want comment near %q", pos, rest)
+			return expects
+		}
+		end := strings.Index(rest[1:], `"`)
+		if end < 0 {
+			t.Errorf("%s: unterminated want string", pos)
+			return expects
+		}
+		expects = append(expects, expectation{
+			file:   pos.Filename,
+			line:   pos.Line,
+			substr: rest[1 : 1+end],
+		})
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return expects
+}

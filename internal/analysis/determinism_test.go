@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"anonurb/internal/analysis"
+	"anonurb/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism,
+		"determinism/urb", "determinism/transport")
+}

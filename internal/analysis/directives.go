@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one machine-readable comment of the form
+// `//urbvet:<name> <arg>` or `//urb:<name> <arg>`. The analyzers use a
+// small fixed vocabulary:
+//
+//	//urbvet:partial <why>      switch over wire.Kind is deliberately partial
+//	//urbvet:wallclock <why>    function may read wall clocks / arm timers
+//	//urbvet:unordered <why>    map iteration order provably cannot leak
+//	//urbvet:locked <mu>        caller holds <mu>; checked at the call sites
+//	//urbvet:unguarded <why>    access is safe without the lock (say why)
+//	//urb:hotpath               function is on the zero-alloc hot path
+//
+// `//urbvet:wallclock` requires its <why> (an unjustified clock site is
+// still flagged); the other arguments are convention, caught in review.
+type Directive struct {
+	Name string // "urbvet:partial", "urb:hotpath", ...
+	Arg  string // rest of the comment line, trimmed
+	Pos  token.Pos
+}
+
+// fileDirectives indexes one file's directives by line, plus the set of
+// lines covered by any comment so statement-level lookups can walk up
+// through a contiguous comment block.
+type fileDirectives struct {
+	byLine       map[int][]Directive
+	commentLines map[int]bool
+}
+
+// parseDirective extracts a directive from one comment's raw text, or
+// returns false.
+func parseDirective(text string) (name, arg string, ok bool) {
+	for _, prefix := range [...]string{"//urbvet:", "//urb:"} {
+		if !strings.HasPrefix(text, prefix) {
+			continue
+		}
+		rest := text[len(prefix):]
+		name = prefix[2:] // drop the slashes, keep the namespace
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			return name + rest[:i], strings.TrimSpace(rest[i:]), true
+		}
+		return name + rest, "", true
+	}
+	return "", "", false
+}
+
+// directives returns (building on first use) the directive index for f.
+func (p *Pass) directives(f *ast.File) *fileDirectives {
+	if p.dirIndex == nil {
+		p.dirIndex = make(map[*ast.File]*fileDirectives)
+	}
+	if fd, ok := p.dirIndex[f]; ok {
+		return fd
+	}
+	fd := &fileDirectives{
+		byLine:       make(map[int][]Directive),
+		commentLines: make(map[int]bool),
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			pos := p.Fset.Position(c.Slash)
+			end := p.Fset.Position(c.End())
+			for l := pos.Line; l <= end.Line; l++ {
+				fd.commentLines[l] = true
+			}
+			if name, arg, ok := parseDirective(c.Text); ok {
+				fd.byLine[pos.Line] = append(fd.byLine[pos.Line],
+					Directive{Name: name, Arg: arg, Pos: c.Slash})
+			}
+		}
+	}
+	p.dirIndex[f] = fd
+	return fd
+}
+
+// StmtDirective finds a directive named name attached to node: on the
+// node's own line (a trailing comment) or in the contiguous comment
+// block immediately above it.
+func (p *Pass) StmtDirective(f *ast.File, node ast.Node, name string) (Directive, bool) {
+	fd := p.directives(f)
+	line := p.Fset.Position(node.Pos()).Line
+	if d, ok := findDirective(fd.byLine[line], name); ok {
+		return d, true
+	}
+	for l := line - 1; fd.commentLines[l]; l-- {
+		if d, ok := findDirective(fd.byLine[l], name); ok {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective finds a directive named name in fn's doc comment.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	if fn.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range fn.Doc.List {
+		if n, arg, ok := parseDirective(c.Text); ok && n == name {
+			return Directive{Name: n, Arg: arg, Pos: c.Slash}, true
+		}
+	}
+	return Directive{}, false
+}
+
+func findDirective(list []Directive, name string) (Directive, bool) {
+	for _, d := range list {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// enclosingFunc returns the innermost function declaration whose body
+// contains pos, or nil. Analyzer opt-outs are function-granular, so
+// positions inside closures resolve to the declared function they live
+// in.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil &&
+			fn.Body.Pos() <= pos && pos <= fn.Body.End() {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy turns the repo's `// guarded by <mu>` field comments (node,
+// transport, admit — DESIGN.md §6, §12) into a checked annotation. A
+// read or write of an annotated field is legal only in a function that
+//
+//   - locks the named mutex (calls <something>.<mu>.Lock or .RLock), or
+//   - is annotated `//urbvet:locked <mu>` (the caller holds it), or
+//   - constructs the owning struct with a composite literal (no one
+//     else can see the value yet), or
+//   - is annotated `//urbvet:unguarded <why>` (a real happens-before
+//     argument, e.g. goroutine creation order — say which).
+//
+// It also checks the companion convention: a field whose comment claims
+// it is atomic must actually have a sync/atomic type. "Atomic by
+// comment" plain fields are exactly the kind of invariant the sharded
+// engine work cannot afford to carry unchecked.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "accesses to `// guarded by <mu>` fields must hold the named mutex (or carry an explicit opt-out)",
+	Run:  runGuardedBy,
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`\bguarded by (\w+)\b`)
+	atomicRe    = regexp.MustCompile(`(?i)\batomic\b`)
+)
+
+// guardedField records one annotated field and its guarding mutex name.
+type guardedField struct {
+	mu    string
+	owner *types.Named
+}
+
+func runGuardedBy(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, f, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields indexes every struct field carrying a
+// `// guarded by <mu>` comment, and flags atomic-comment lies on the
+// way through.
+func collectGuardedFields(pass *Pass) map[types.Object]guardedField {
+	guarded := make(map[types.Object]guardedField)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner, _ := namedType(pass.TypesInfo.Defs[ts.Name].Type())
+			for _, field := range st.Fields.List {
+				doc := fieldCommentText(field)
+				if doc == "" {
+					continue
+				}
+				m := guardedByRe.FindStringSubmatch(doc)
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if m != nil {
+						guarded[obj] = guardedField{mu: m[1], owner: owner}
+					} else if atomicRe.MatchString(doc) && !isAtomicType(obj.Type()) {
+						pass.Reportf(name.Pos(),
+							"field %s is documented as atomic but has plain type %s: use a sync/atomic type so the claim is structural",
+							name.Name, obj.Type())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func fieldCommentText(field *ast.Field) string {
+	var parts []string
+	if field.Doc != nil {
+		parts = append(parts, field.Doc.Text())
+	}
+	if field.Comment != nil {
+		parts = append(parts, field.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func checkGuardedAccesses(pass *Pass, f *ast.File, fn *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	// The opt-outs and the lock set are function-granular: one scan of
+	// the body answers "which mutexes does fn ever lock" and "which
+	// structs does fn construct".
+	var (
+		lockedSet   map[string]bool
+		constructed map[*types.Named]bool
+		scanned     bool
+	)
+	_, hasUnguarded := FuncDirective(fn, "urbvet:unguarded")
+	lockedDir, hasLocked := FuncDirective(fn, "urbvet:locked")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		gf, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		if hasUnguarded {
+			return true
+		}
+		if hasLocked && strings.Contains(lockedDir.Arg, gf.mu) {
+			return true
+		}
+		if !scanned {
+			lockedSet, constructed = scanFuncBody(pass, fn)
+			scanned = true
+		}
+		if lockedSet[gf.mu] {
+			return true
+		}
+		if gf.owner != nil && constructed[gf.owner] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s is guarded by %s, but %s never locks it: lock %s, or annotate the function //urbvet:locked %s (caller holds it) or //urbvet:unguarded <why>",
+			selection.Obj().Name(), gf.mu, fn.Name.Name, gf.mu, gf.mu)
+		return true
+	})
+}
+
+// scanFuncBody collects the names of mutexes fn locks (x.mu.Lock(),
+// x.mu.RLock()) and the named struct types fn builds composite literals
+// of.
+func scanFuncBody(pass *Pass, fn *ast.FuncDecl) (locked map[string]bool, constructed map[*types.Named]bool) {
+	locked = make(map[string]bool)
+	constructed = make(map[*types.Named]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			switch recv := sel.X.(type) {
+			case *ast.SelectorExpr:
+				locked[recv.Sel.Name] = true
+			case *ast.Ident:
+				locked[recv.Name] = true
+			}
+		case *ast.CompositeLit:
+			if named, ok := namedType(pass.TypesInfo.Types[n].Type); ok {
+				constructed[named] = true
+			}
+		}
+		return true
+	})
+	return locked, constructed
+}

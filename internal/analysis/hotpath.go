@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+//go:generate go test -run TestHotPathEscapeBaseline -args -update-hotpath-baseline
+
+// HotPath checks the functions annotated `//urb:hotpath` — the absorb,
+// Tick, encode and admission-classify paths DESIGN.md §10 commits to
+// keeping allocation-free in steady state. Two structural rules:
+//
+//   - no calls into package fmt (every fmt call allocates; hot-path
+//     diagnostics belong on the Stats/Observer side);
+//   - no function literal inside a loop (a closure capturing loop state
+//     is an allocation per iteration the benchmarks only notice after
+//     the regression has shipped). Closures hoisted to the top of the
+//     function are fine — they allocate once.
+//
+// The third rule is not structural and lives in the companion test
+// gate: TestHotPathEscapeBaseline diffs `go build -gcflags=-m`
+// escape-analysis output for the annotated functions against
+// testdata/hotpath_baseline.txt, so a new heap escape on the hot path
+// fails CI even when both structural rules pass.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//urb:hotpath functions may not call fmt or allocate closures inside loops",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := FuncDirective(fn, "urb:hotpath"); !ok {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.FuncLit:
+			if loopDepth > 0 {
+				pass.Reportf(n.Pos(),
+					"closure allocated inside a loop on hot path %s: hoist it above the loop or inline the body",
+					fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pn, ok := pkgNameOf(pass.TypesInfo, sel.X); ok && pn.Imported().Path() == "fmt" {
+					pass.Reportf(n.Pos(),
+						"fmt.%s on hot path %s: fmt allocates on every call; move formatting off the hot path",
+						sel.Sel.Name, fn.Name.Name)
+				}
+			}
+		}
+		for _, child := range childNodes(n) {
+			walk(child, loopDepth)
+		}
+	}
+	walk(fn.Body, 0)
+}
+
+// childNodes returns n's immediate children, using ast.Inspect's
+// traversal but cutting it off below depth one.
+func childNodes(n ast.Node) []ast.Node {
+	var children []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			children = append(children, c)
+		}
+		return false
+	})
+	return children
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// updateBaseline regenerates testdata/hotpath_baseline.txt instead of
+// diffing against it:
+//
+//	go generate ./internal/analysis
+//
+// (which runs `go test -run TestHotPathEscapeBaseline -args
+// -update-hotpath-baseline`; see the go:generate line in hotpath.go).
+var updateBaseline = flag.Bool("update-hotpath-baseline", false,
+	"rewrite testdata/hotpath_baseline.txt from the compiler's current escape analysis")
+
+const baselineFile = "testdata/hotpath_baseline.txt"
+
+// TestHotPathEscapeBaseline is the second half of the hotpath gate:
+// the static analyzer bans the escape sources it can see syntactically
+// (fmt, closures in loops), and this test pins everything else by
+// diffing the compiler's own escape analysis (-gcflags=-m) for
+// //urb:hotpath functions against a checked-in baseline. A change that
+// makes a hot-path value start escaping shows up as a baseline diff in
+// CI instead of as a silent allocation regression.
+func TestHotPathEscapeBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles packages with -gcflags=-m")
+	}
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, pkgs, err := hotPathSpans(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no //urb:hotpath functions found in the module")
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	got := normalizeEscapes(string(out), spans)
+	if *updateBaseline {
+		if err := os.WriteFile(baselineFile, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", baselineFile, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(baselineFile)
+	if err != nil {
+		t.Fatalf("%v (run `go generate ./internal/analysis` to create the baseline)", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("hot-path escape analysis drifted from %s.\n"+
+			"If the change is intended, regenerate with `go generate ./internal/analysis` and commit the diff.\n"+
+			"--- baseline\n%s\n--- current\n%s", baselineFile, want, got)
+	}
+}
+
+// funcSpan is the line range of one //urb:hotpath function.
+type funcSpan struct {
+	file       string // slash path relative to the module root
+	start, end int
+	name       string // Recv.Name for methods, Name for functions
+}
+
+// hotPathSpans parses every module package and returns the spans of
+// //urb:hotpath functions plus the ./-prefixed package patterns that
+// contain at least one (the set worth compiling with -m).
+func hotPathSpans(root, modPath string) ([]funcSpan, []string, error) {
+	paths, err := ModulePackages(root, modPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var spans []funcSpan
+	var pkgs []string
+	fset := token.NewFileSet()
+	for _, p := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(p, modPath), "/")
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		names, err := goSources(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		found := false
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !isHotPathDoc(fn.Doc) {
+					continue
+				}
+				found = true
+				relFile := name
+				if rel != "" {
+					relFile = rel + "/" + name
+				}
+				spans = append(spans, funcSpan{
+					file:  relFile,
+					start: fset.Position(fn.Pos()).Line,
+					end:   fset.Position(fn.End()).Line,
+					name:  funcDisplayName(fn),
+				})
+			}
+		}
+		if found {
+			if rel == "" {
+				pkgs = append(pkgs, ".")
+			} else {
+				pkgs = append(pkgs, "./"+rel)
+			}
+		}
+	}
+	return spans, pkgs, nil
+}
+
+func isHotPathDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//urb:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func funcDisplayName(fn *ast.FuncDecl) string {
+	name := fn.Name.Name
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return name
+}
+
+var escapeLineRe = regexp.MustCompile(`^(\S+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+// normalizeEscapes filters the compiler's -m output down to heap
+// escapes inside hot-path spans and renders them position-free (file +
+// function + message, deduplicated with counts), so the baseline
+// survives unrelated line-number churn.
+func normalizeEscapes(out string, spans []funcSpan) string {
+	counts := make(map[string]int)
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, s := range spans {
+			if s.file == file && s.start <= lineNo && lineNo <= s.end {
+				counts[fmt.Sprintf("%s %s: %s", file, s.name, m[3])]++
+				break
+			}
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# Heap escapes inside //urb:hotpath functions, per `go build -gcflags=-m`.\n")
+	b.WriteString("# Regenerate: go generate ./internal/analysis\n")
+	for _, k := range keys {
+		if n := counts[k]; n > 1 {
+			fmt.Fprintf(&b, "%s (x%d)\n", k, n)
+		} else {
+			fmt.Fprintf(&b, "%s\n", k)
+		}
+	}
+	return b.String()
+}

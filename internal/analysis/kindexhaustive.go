@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// KindExhaustive checks that every switch over wire.Kind names every
+// declared Kind constant. DESIGN.md §7's codec rule — a new kind must
+// be threaded through EncodedSize, Encode, DecodePrefix and every
+// dispatch site — previously lived in review discipline; the BEATΔ PR
+// showed how easily a subset switch hides. A `default` clause does NOT
+// excuse missing constants (defaults are for corrupt input, not for
+// silently ignoring a kind someone added last week); a deliberately
+// partial dispatch carries `//urbvet:partial <why>` instead.
+var KindExhaustive = &Analyzer{
+	Name: "kindexhaustive",
+	Doc:  "switches over wire.Kind must handle every declared Kind constant or opt out with //urbvet:partial",
+	Run:  runKindExhaustive,
+}
+
+func runKindExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := namedType(pass.TypesInfo.Types[sw.Tag].Type)
+			if !ok || !isWireKind(named) {
+				return true
+			}
+			if _, ok := pass.StmtDirective(f, sw, "urbvet:partial"); ok {
+				return true
+			}
+			checkKindSwitch(pass, named, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// isWireKind reports whether named is a type called Kind declared in a
+// package whose import path ends in "wire" (the real codec package, or
+// a fixture standing in for it).
+func isWireKind(named *types.Named) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Kind" && obj.Pkg() != nil &&
+		path.Base(obj.Pkg().Path()) == "wire"
+}
+
+func checkKindSwitch(pass *Pass, named *types.Named, sw *ast.SwitchStmt) {
+	// Every package-level constant of the Kind type, keyed by value so
+	// aliased constants count once.
+	scope := named.Obj().Pkg().Scope()
+	declared := make(map[string]string) // exact value -> constant name
+	var order []string
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if _, dup := declared[key]; !dup {
+			declared[key] = c.Name()
+			order = append(order, key)
+		}
+	}
+	if len(declared) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range clause.List {
+			tv := pass.TypesInfo.Types[e]
+			if tv.Value == nil {
+				// A non-constant case guard: the switch is doing
+				// something richer than kind dispatch; stay quiet.
+				return
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, key := range order {
+		if !covered[key] {
+			missing = append(missing, declared[key])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch,
+		"switch over %s.Kind misses %s: name every kind (a default clause does not count) or annotate the switch //urbvet:partial <why>",
+		named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A LoadedPackage is one parsed, type-checked package ready for RunAll.
+type LoadedPackage struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Dir   string
+}
+
+// A Resolver maps an import path to the directory holding its source,
+// or reports false to delegate to the standard-library importer.
+type Resolver func(importPath string) (dir string, ok bool)
+
+// Loader type-checks packages from source with no toolchain help: the
+// module's own imports resolve through a Resolver, everything else goes
+// to the compiler's source importer. It exists so the analyzers (and
+// their fixture tests) run offline in a dependency-free module; the
+// `go vet -vettool` path in cmd/urbvet uses export data instead and
+// never touches this loader.
+type Loader struct {
+	Fset    *token.FileSet
+	resolve Resolver
+	std     types.Importer
+	pkgs    map[string]*loadEntry
+}
+
+type loadEntry struct {
+	lp      *LoadedPackage
+	err     error
+	loading bool
+}
+
+// NewLoader returns a Loader resolving module-internal imports via
+// resolve.
+func NewLoader(resolve Resolver) *Loader {
+	// The source importer type-checks dependencies from GOROOT source.
+	// Forcing cgo off selects the pure-Go variants of net, os/user etc.,
+	// which type-check without a C toolchain or cgo preprocessing.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loadEntry),
+	}
+}
+
+// ModuleResolver returns a Resolver for the module rooted at root with
+// module path modPath: "anonurb/internal/wire" resolves to
+// root/internal/wire.
+func ModuleResolver(root, modPath string) Resolver {
+	return func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return root, true
+		}
+		rel, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return "", false
+		}
+		return filepath.Join(root, filepath.FromSlash(rel)), true
+	}
+}
+
+// TreeResolver returns a GOPATH-style Resolver: import path "a/b" is
+// the directory root/a/b if it exists. The analyzer fixtures under
+// testdata/src use it.
+func TreeResolver(root string) Resolver {
+	return func(importPath string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+}
+
+// Load parses and type-checks the package with the given import path,
+// which must be resolvable by the loader's Resolver. Results are cached
+// per path; _test.go files are excluded (the analyzers check production
+// code).
+func (l *Loader) Load(importPath string) (*LoadedPackage, error) {
+	e, ok := l.pkgs[importPath]
+	if ok {
+		if e.loading {
+			return nil, fmt.Errorf("import cycle through %q", importPath)
+		}
+		return e.lp, e.err
+	}
+	dir, ok := l.resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve %q to a directory", importPath)
+	}
+	e = &loadEntry{loading: true}
+	l.pkgs[importPath] = e
+	e.lp, e.err = l.loadDir(importPath, dir)
+	e.loading = false
+	return e.lp, e.err
+}
+
+func (l *Loader) loadDir(importPath, dir string) (*LoadedPackage, error) {
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &LoadedPackage{Fset: l.Fset, Files: files, Pkg: pkg, Info: info, Dir: dir}, nil
+}
+
+// goSources lists dir's non-test .go files in sorted order.
+func goSources(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loaderImporter adapts Loader to types.Importer, chaining to the
+// source importer for anything the Resolver does not claim.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if _, ok := l.resolve(path); ok {
+		lp, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// ModulePackages lists the import paths of every package directory under
+// root (module path modPath), skipping testdata and hidden directories.
+func ModulePackages(root, modPath string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		srcs, err := goSources(p)
+		if err != nil || len(srcs) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, modPath)
+		} else {
+			paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return paths, err
+}

@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"anonurb/internal/analysis"
+)
+
+// TestSuiteOnModule is the dogfood gate: the full analyzer suite must
+// run clean over the whole module. It is the in-process twin of the CI
+// lint job's `go vet -vettool=urbvet ./...` — a diagnostic here means a
+// real invariant violation (or a missing annotation) in the tree.
+func TestSuiteOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	root, modPath, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.ModulePackages(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("found only %d packages under %s; module walk is broken", len(pkgs), root)
+	}
+	loader := analysis.NewLoader(analysis.ModuleResolver(root, modPath))
+	for _, pkgPath := range pkgs {
+		lp, err := loader.Load(pkgPath)
+		if err != nil {
+			t.Errorf("loading %s: %v", pkgPath, err)
+			continue
+		}
+		diags, err := analysis.RunAll(lp, analysis.All())
+		if err != nil {
+			t.Errorf("analyzing %s: %v", pkgPath, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", lp.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

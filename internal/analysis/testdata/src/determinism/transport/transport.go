@@ -1,0 +1,23 @@
+// Package transport mirrors the wallclock-annotated class: clocks need
+// a per-function justification, math/rand is out of scope here.
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff arms a timer with no justification.
+func Backoff() *time.Timer {
+	return time.NewTimer(time.Millisecond) // want "time.NewTimer"
+}
+
+// Deadline is justified: it bounds a real socket read.
+//
+//urbvet:wallclock fixture stand-in for the UDP read deadline
+func Deadline() time.Time {
+	return time.Now()
+}
+
+// Shuffle may use math/rand: this class only gates clocks.
+func Shuffle(n int) int { return rand.Intn(n) }

@@ -1,0 +1,71 @@
+// Package urb is a determinism fixture: its import path ends in a
+// strict deterministic package name, so clocks, math/rand and map-order
+// leaks are all flagged.
+package urb
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tick reads the wall clock with no justification.
+func Tick() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Pace is allowed to: it paces real time against trace timestamps.
+//
+//urbvet:wallclock fixture stand-in for replay.Drive's pacing clock
+func Pace(d time.Duration) {
+	time.Sleep(d)
+}
+
+// Jitter uses the global math/rand stream.
+func Jitter() int {
+	return rand.Intn(3) // want "math/rand"
+}
+
+// Digest leaks map order into an order-sensitive sink.
+func Digest(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		w.Write(v) // want "Write called inside a map range"
+	}
+}
+
+// Keys builds an order-dependent slice and never sorts it.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "order-dependent slice"
+	}
+	return keys
+}
+
+// SortedKeys is the package idiom: accumulate, then sort.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count only aggregates; iteration order cannot leak.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Drain writes map values to w behind an explicit opt-out.
+func Drain(w io.Writer, m map[string][]byte) {
+	//urbvet:unordered fixture: the spool reorders by key internally
+	for _, v := range m {
+		w.Write(v)
+	}
+}

@@ -1,0 +1,52 @@
+// Package guarded is a guardedby fixture: the analyzer is driven
+// entirely by `guarded by <mu>` field comments, so it needs no special
+// package name.
+package guarded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu sync.Mutex
+	// n is the box's running total; guarded by mu.
+	n int
+	// hits counts reads; atomic so hot paths skip the lock.
+	hits atomic.Uint64
+	// lies claims to be atomic but is a plain int.
+	lies int // atomic // want "documented as atomic but has plain type"
+}
+
+// Add locks the mutex: fine.
+func (b *box) Add(d int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n += d
+}
+
+// Peek reads n without the lock.
+func (b *box) Peek() int {
+	return b.n // want "guarded by mu"
+}
+
+// addLocked is called with mu held.
+//
+//urbvet:locked mu
+func (b *box) addLocked(d int) { b.n += d }
+
+// reset runs before the box is shared.
+//
+//urbvet:unguarded the box has not escaped its constructor yet
+func reset(b *box) { b.n = 0 }
+
+// newBox constructs the box: composite literals are exempt.
+func newBox() *box {
+	return &box{n: 1}
+}
+
+var (
+	_ = (*box).addLocked
+	_ = reset
+	_ = newBox
+)

@@ -1,0 +1,41 @@
+// Package hot is a hotpath fixture.
+package hot
+
+import "fmt"
+
+// Sum is hot and calls fmt.
+//
+//urb:hotpath
+func Sum(xs []int) (int, string) {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n, fmt.Sprint(n) // want "fmt.Sprint on hot path"
+}
+
+// Each is hot and allocates a closure per element.
+//
+//urb:hotpath
+func Each(xs []int, out []int) []int {
+	for _, x := range xs {
+		f := func(v int) int { return v * x } // want "closure allocated inside a loop"
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Fold is hot and clean: the closure is hoisted above the loop.
+//
+//urb:hotpath
+func Fold(xs []int) int {
+	add := func(a, b int) int { return a + b }
+	n := 0
+	for _, x := range xs {
+		n = add(n, x)
+	}
+	return n
+}
+
+// Describe is cold: fmt is fine off the hot path.
+func Describe(xs []int) string { return fmt.Sprint(xs) }

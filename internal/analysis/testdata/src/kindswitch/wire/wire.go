@@ -1,0 +1,62 @@
+// Package wire is a kindexhaustive fixture modeled on the real codec
+// package: the analyzer keys on a type named Kind declared in a package
+// whose import path ends in wire.
+package wire
+
+// Kind tags a message frame.
+type Kind uint8
+
+// The declared kinds.
+const (
+	KindMsg  Kind = 1
+	KindAck  Kind = 2
+	KindBeat Kind = 3
+)
+
+// String names every kind: exhaustive, no diagnostic.
+func (k Kind) String() string {
+	switch k {
+	case KindMsg:
+		return "MSG"
+	case KindAck:
+		return "ACK"
+	case KindBeat:
+		return "BEAT"
+	default:
+		return "?"
+	}
+}
+
+// Size misses KindBeat, and the default clause does not excuse it.
+func Size(k Kind) int {
+	switch k { // want "misses KindBeat"
+	case KindMsg:
+		return 3
+	case KindAck:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Dispatch deliberately handles the ACK kind only.
+func Dispatch(k Kind) int {
+	//urbvet:partial beat kinds are host traffic, handled elsewhere
+	switch k {
+	case KindAck:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// guess has a non-constant case: not a kind dispatch, stay quiet.
+func guess(k, other Kind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}
+
+var _ = guess

@@ -1,0 +1,30 @@
+// Package urb is a zeroconfig fixture: its import path ends in urb, so
+// every bool knob must declare its governance.
+package urb
+
+// Config mirrors the real knob struct.
+type Config struct {
+	// DeltaAcks sends incremental ACKs (deviation D5): off in the
+	// paper-faithful zero value.
+	DeltaAcks bool
+
+	// CompactViews compacts delivered state, a deviation from the
+	// listing's literal matrices.
+	CompactViews bool // want "no D<n> tag"
+
+	// Window is the retransmit window (deviation D8).
+	Window int // want "deviation knobs are bools"
+
+	// DisableRetire turns retirement off (deviation D9): zero keeps it
+	// on.
+	DisableRetire bool // want "inverted name"
+
+	// EagerSend is a latency ablation; no guard decisions change.
+	EagerSend bool
+
+	// Mystery toggles something undocumented.
+	Mystery bool // want "declares no governance"
+
+	// Budget caps bytes per tick; ints carry no governance duty.
+	Budget int
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// ZeroConfig keeps the zero urb.Config paper-faithful (DESIGN.md §2,
+// §12): every deviation knob must be a bool whose zero value means "the
+// published listing", carrying a `D<n>` tag in its doc comment that
+// names the DESIGN.md deviation it switches on. Concretely, in any
+// struct named Config:
+//
+//   - a field whose doc mentions a deviation must carry a D<n> tag;
+//   - a D-tagged field must be a bool (so `urb.Config{}` can never be
+//     half a deviation), and its name must not be inverted (Disable…,
+//     No…, Full…), because a negated name makes the zero value turn
+//     the deviation ON;
+//   - in package urb additionally, every bool knob must declare its
+//     governance: a D<n> tag for deviations, or the word "ablation"
+//     for the §5 measurement toggles that don't change guard decisions.
+var ZeroConfig = &Analyzer{
+	Name: "zeroconfig",
+	Doc:  "deviation knobs in Config structs must be zero-valued-off bools with a D<n> doc tag",
+	Run:  runZeroConfig,
+}
+
+var (
+	deviationRe = regexp.MustCompile(`(?i)\bdeviations?\b`)
+	dTagRe      = regexp.MustCompile(`\bD\d+\b`)
+	invertedRe  = regexp.MustCompile(`^(No|Disable|Skip|Without|Full|Legacy)[A-Z]`)
+	ablationRe  = regexp.MustCompile(`(?i)\b(ablation|baseline)\b`)
+)
+
+func runZeroConfig(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Config" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkConfigStruct(pass, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkConfigStruct(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		doc := fieldCommentText(field)
+		tagged := dTagRe.MatchString(doc)
+		deviation := tagged || deviationRe.MatchString(doc)
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			isBool := isBoolType(obj.Type())
+			switch {
+			case deviation && !tagged:
+				pass.Reportf(name.Pos(),
+					"%s is documented as a deviation knob but carries no D<n> tag: number it in DESIGN.md §2 and cite the tag here",
+					name.Name)
+			case tagged && !isBool:
+				pass.Reportf(name.Pos(),
+					"deviation knob %s has type %s: deviation knobs are bools so the zero Config is exactly the paper",
+					name.Name, obj.Type())
+			case tagged && invertedRe.MatchString(name.Name):
+				pass.Reportf(name.Pos(),
+					"deviation knob %s has an inverted name: the zero value would switch the deviation on; name the deviating state, not the faithful one",
+					name.Name)
+			case !deviation && isBool && pass.PkgBase() == "urb" && !ablationRe.MatchString(doc):
+				pass.Reportf(name.Pos(),
+					"bool knob %s declares no governance: tag it D<n> if it deviates from the listing, or call it an ablation if it only moves work around",
+					name.Name)
+			}
+		}
+	}
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

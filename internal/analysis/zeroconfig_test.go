@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"anonurb/internal/analysis"
+	"anonurb/internal/analysis/analysistest"
+)
+
+func TestZeroConfig(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ZeroConfig, "zeroconfig/urb")
+}

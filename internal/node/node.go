@@ -234,24 +234,27 @@ type Node struct {
 	// (nil without WithAdmission); tr is then the stage itself.
 	admission *admit.Transport
 
-	// flowMu guards flowDeliveries: per-broadcaster-flow delivery
-	// counts, keyed by wire.FlowOf of the delivered tag. Written on the
-	// node goroutine, read by FlowDeliveries.
-	flowMu         sync.Mutex
+	flowMu sync.Mutex
+	// flowDeliveries holds per-broadcaster-flow delivery counts, keyed
+	// by wire.FlowOf of the delivered tag. Written on the node
+	// goroutine, read by FlowDeliveries; guarded by flowMu.
 	flowDeliveries map[uint64]uint64
 
 	deliveries chan Delivery
 	subscribed atomic.Bool
 	actions    chan func(urb.Process)
 
-	// lifeMu serialises lifecycle transitions (Start/Stop); state is
-	// additionally atomic so hot paths can read it without the lock.
-	lifeMu  sync.Mutex
+	// lifeMu serialises lifecycle transitions (Start/Stop).
+	lifeMu sync.Mutex
+	// state is kept atomic (not lifeMu-guarded) so hot paths can read
+	// the lifecycle phase without the lock.
 	state   atomic.Int32
 	started atomic.Bool // ever Started (stays true after Stop)
-	cancel  context.CancelFunc
-	done    chan struct{}
-	ctx     context.Context // set by loop; read only on the loop goroutine
+	// cancel tears down the loop's context; guarded by lifeMu, with one
+	// happens-before exception on the loop goroutine (annotated there).
+	cancel context.CancelFunc
+	done   chan struct{}
+	ctx    context.Context // set by loop; read only on the loop goroutine
 
 	sentFrames atomic.Uint64
 	sentMsgs   atomic.Uint64
@@ -278,8 +281,9 @@ type Node struct {
 	walAppends      atomic.Uint64
 	walBytes        atomic.Uint64
 	storeErrMu      sync.Mutex
-	storeErr        error
-	storeBroken     atomic.Bool
+	// storeErr is the first durable-write failure; guarded by storeErrMu.
+	storeErr    error
+	storeBroken atomic.Bool
 
 	// cache and budget belong to the loop goroutine (absorb path).
 	cache  *wire.EncodeCache
@@ -632,6 +636,8 @@ func (n *Node) EncodeCacheStats() (hits, misses uint64) {
 }
 
 // loop is the node goroutine: the single thread that touches proc.
+//
+//urbvet:unguarded cancel is written exactly once, by Start, before the go statement that spawns this goroutine: reading it here is ordered by goroutine creation, no lock needed
 func (n *Node) loop(ctx context.Context) {
 	defer func() {
 		n.state.Store(stateStopped)
@@ -742,6 +748,8 @@ func (n *Node) loop(ctx context.Context) {
 // (unbatched mode). Either way every message's bytes come from the
 // per-MsgID encode cache, so a steady-state Task-1 tick copies cached
 // MSG frames instead of re-encoding each body.
+//
+//urb:hotpath
 func (n *Node) absorb(s urb.Step) {
 	// Write-ahead: pins, broadcasts and deliveries reach the WAL before
 	// the node acts on the Step — before the ACK carrying a fresh tag_ack

@@ -193,6 +193,7 @@ func (p *IDed) addMsg(id wire.MsgID) {
 // Receive implements urb.Process.
 func (p *IDed) Receive(m wire.Message) urb.Step {
 	var out urb.Step
+	//urbvet:partial the ID-based baseline speaks MSG/ACK only; everything else is other layers' traffic
 	switch m.Kind {
 	case wire.KindMsg:
 		id := m.ID()

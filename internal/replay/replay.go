@@ -62,6 +62,8 @@ func (r Replayer) String() string {
 // Entries are driven in time order regardless of recorded order. It
 // returns the first broadcast error, ctx's error if cancelled, or nil
 // after the last entry is driven.
+//
+//urbvet:wallclock Drive's whole job is pacing recorded virtual time against the real clock; determinism lives in the schedule, not the pacing
 func Drive(ctx context.Context, s *Schedule, n int, unit time.Duration, speed float64, broadcast func(proc int, body []byte) error) error {
 	if speed <= 0 {
 		speed = 1

@@ -50,7 +50,9 @@ type Chaos struct {
 	start time.Time
 
 	judgeMu sync.Mutex
-	net     *channel.Network // holds the one link's attempt counters + burst state
+	// net holds the one link's attempt counters + burst state; guarded
+	// by judgeMu.
+	net *channel.Network
 
 	closed atomic.Bool
 	drops  atomic.Uint64
@@ -60,6 +62,8 @@ type Chaos struct {
 var _ Transport = (*Chaos)(nil)
 
 // NewChaos wraps inner with the given loss model.
+//
+//urbvet:wallclock pins the epoch the chaos judge's unit clock counts from
 func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
 	if inner == nil {
 		panic("transport: chaos inner transport is required")
@@ -89,6 +93,8 @@ func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
 
 // Send implements Transport: judge the frame, then drop it, forward it
 // at once, or forward it after the model's delay.
+//
+//urbvet:wallclock the judge clocks frames in real units and realises delays with timers; the model itself stays seeded
 func (c *Chaos) Send(frame []byte) {
 	if c.closed.Load() {
 		return

@@ -43,10 +43,14 @@ type Mesh struct {
 	start time.Time
 
 	netMu sync.Mutex
-	net   *channel.Network
+	// net is the fair-lossy link model; guarded by netMu (one judgement
+	// per (send, destination), serialised).
+	net *channel.Network
 
-	epMu sync.RWMutex // guards eps slots against Reopen replacement
-	eps  []*meshEndpoint
+	epMu sync.RWMutex
+	// eps holds the per-node endpoints; guarded by epMu, whose write
+	// side protects slot replacement by Reopen.
+	eps []*meshEndpoint
 	// shedOverflows accumulates the overflow counts of endpoints replaced
 	// by Reopen, so the mesh-wide total survives node restarts.
 	shedOverflows atomic.Uint64
@@ -62,7 +66,9 @@ type meshEndpoint struct {
 	mesh  *Mesh
 	index int
 
-	mu        sync.Mutex // guards inbox close against in-flight timer offers
+	mu sync.Mutex
+	// closed flags the inbox shut; guarded by mu, which serialises the
+	// close against in-flight timer offers.
 	closed    bool
 	inbox     chan []byte
 	overflows atomic.Uint64
@@ -74,6 +80,8 @@ var (
 )
 
 // NewMesh builds a mesh. Endpoints are retrieved with Endpoint.
+//
+//urbvet:wallclock pins the epoch the mesh's link-delay clock counts from
 func NewMesh(cfg MeshConfig) *Mesh {
 	if cfg.N < 1 {
 		panic("transport: mesh N must be >= 1")
@@ -143,6 +151,8 @@ func (m *Mesh) Reopen(i int) Transport {
 // ElapsedUnits returns the mesh age in link-delay units (the live
 // counterpart of the simulator's virtual clock, e.g. for failure
 // detector handles).
+//
+//urbvet:wallclock the mesh IS the live clock source; everything deterministic consumes its units downstream
 func (m *Mesh) ElapsedUnits() int64 {
 	return int64(time.Since(m.start) / m.cfg.Unit)
 }
@@ -202,6 +212,8 @@ func (m *Mesh) String() string {
 // surviving copies arrive later on the destinations' inboxes. The frame
 // slice is shared across destinations, which is safe because receivers
 // treat frames as read-only (the node layer decodes by copy).
+//
+//urbvet:wallclock timers realise the loss model's link delays in real time
 func (m *Mesh) broadcast(src int, frame []byte) {
 	if m.closed.Load() {
 		return

@@ -44,7 +44,8 @@ type UDP struct {
 	// error-backoff path is testable without a real broken socket.
 	readFrom func(p []byte) (int, error)
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// peers is the fan-out set SetPeers swaps in; guarded by mu.
 	peers []*net.UDPAddr
 
 	inbox     chan []byte
@@ -103,6 +104,8 @@ func (u *UDP) SetPeers(peers ...*net.UDPAddr) {
 }
 
 // readLoop pumps datagrams into the inbox until the socket closes.
+//
+//urbvet:wallclock the error backoff timer bounds a real socket's retry spin, nothing algorithmic
 func (u *UDP) readLoop() {
 	defer close(u.done)
 	defer close(u.inbox)

@@ -135,6 +135,7 @@ func (h *HeartbeatHost) Broadcast(body []byte) (wire.MsgID, Step) {
 // Receive implements Process: beats feed the detector, the rest feeds
 // the algorithm.
 func (h *HeartbeatHost) Receive(m wire.Message) Step {
+	//urbvet:partial non-beat kinds fall through to the wrapped algorithm's dispatch
 	switch m.Kind {
 	case wire.KindBeat:
 		h.hb.Hear(m.Tag)

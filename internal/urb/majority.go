@@ -84,7 +84,10 @@ func (p *Majority) Broadcast(body []byte) (wire.MsgID, Step) {
 }
 
 // Receive dispatches on the message kind (lines 7-27).
+//
+//urb:hotpath
 func (p *Majority) Receive(m wire.Message) Step {
+	//urbvet:partial Algorithm 1 speaks MSG/ACK only; delta and beat kinds are other layers' traffic
 	switch m.Kind {
 	case wire.KindMsg:
 		return p.receiveMsg(m)

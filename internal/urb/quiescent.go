@@ -488,7 +488,10 @@ func (p *Quiescent) Broadcast(body []byte) (wire.MsgID, Step) {
 }
 
 // Receive dispatches on kind (lines 7-51).
+//
+//urb:hotpath
 func (p *Quiescent) Receive(m wire.Message) Step {
+	//urbvet:partial beat-family kinds are host traffic, consumed by HeartbeatHost before the algorithm
 	switch m.Kind {
 	case wire.KindMsg:
 		return p.receiveMsg(m)

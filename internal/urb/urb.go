@@ -138,12 +138,15 @@ type Config struct {
 	// CheckOnTick, when true, re-evaluates the delivery guard on every
 	// tick in addition to every ACK receipt, reducing delivery latency
 	// when a failure detector view changes between ACK arrivals. The
-	// paper checks only on receipt (Algorithm 2, line 46).
+	// paper checks only on receipt (Algorithm 2, line 46); this is a
+	// latency ablation (DESIGN.md §5) — no guard decision changes, only
+	// when guards are consulted.
 	CheckOnTick bool
 	// RetireBeforeSend, when true, evaluates Algorithm 2's retirement
 	// guard (line 55) before retransmitting a message in Task 1 rather
 	// than after, saving one final broadcast round per message. The
-	// paper broadcasts first (line 54) and then checks (line 55).
+	// paper broadcasts first (line 54) and then checks (line 55); this
+	// is a traffic ablation (DESIGN.md §5) reordering one tick's work.
 	RetireBeforeSend bool
 	// DeltaAcks, when true, makes Algorithm 2 acknowledge incrementally
 	// (deviation D5, DESIGN.md §8): instead of attaching the full AΘ
@@ -160,8 +163,9 @@ type Config struct {
 	// Receiving delta ACKs is always supported, whatever this is set to.
 	DeltaAcks bool
 	// CompactDelivered, when true, compacts a message's per-acker label
-	// views once the message is URB-delivered (DESIGN.md §10): the views
-	// collapse onto refcount-interned shared sets (copy-on-write), so a
+	// views once the message is URB-delivered (deviation D6, DESIGN.md
+	// §10): the views collapse onto refcount-interned shared sets
+	// (copy-on-write), so a
 	// quiescent steady state stores each distinct detector view roughly
 	// once instead of once per (message, acker). Compaction is applied
 	// only post-delivery, where uniformity is already secured locally;
@@ -171,8 +175,9 @@ type Config struct {
 	// stores the matrices literally.
 	CompactDelivered bool
 	// DeltaBeats, when true, makes a HeartbeatHost announce its detector
-	// label incrementally (DESIGN.md §10): a snapshot BEATΔ opens the
-	// beat stream, steady-state ALIVE refreshes then travel as 15-byte
+	// label incrementally (deviation D7, DESIGN.md §10): a snapshot
+	// BEATΔ opens the beat stream, steady-state ALIVE refreshes then
+	// travel as 15-byte
 	// epoch-stamped BEATΔ frames instead of 22-byte full-label beats,
 	// and receivers repair unknown refs or epoch gaps with a BEATREQ the
 	// owner answers with a fresh snapshot — the detector-layer mirror of

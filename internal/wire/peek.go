@@ -31,6 +31,8 @@ func FlowOf(t ident.Tag) uint64 { return t.Hi }
 // A frame it accepts can still fail full DecodePrefix validation (zero
 // tags, bad flags); that is the consumer's check. Errors are the codec's
 // (ErrShort, ErrVersion, ErrKind, ErrOversize).
+//
+//urb:hotpath
 func PeekFlow(b []byte) (kind Kind, flow uint64, size int, err error) {
 	if len(b) < headerLen {
 		return 0, 0, 0, ErrShort
@@ -107,6 +109,7 @@ func PeekFlow(b []byte) (kind Kind, flow uint64, size int, err error) {
 		// Hi half is no broadcaster's flow key.
 		flow = hi
 	}
+	//urbvet:partial beat-family kinds returned from the first switch; only tag-prefixed kinds reach here
 	switch kind {
 	case KindMsg, KindBeat:
 		return kind, flow, o, nil
@@ -116,6 +119,7 @@ func PeekFlow(b []byte) (kind Kind, flow uint64, size int, err error) {
 		return 0, 0, 0, ErrShort
 	}
 	o += tagLen
+	//urbvet:partial only the three ACK-family kinds fall through to here
 	switch kind {
 	case KindAckReq:
 		return kind, flow, o, nil

@@ -432,10 +432,22 @@ func getTag(b []byte) ident.Tag {
 
 // EncodedSize returns the exact byte length Encode will produce. It is the
 // quantity the metrics layer charges as "bytes on the wire".
+//
+//urb:hotpath
 func (m Message) EncodedSize() int {
-	// The beat-family incremental kinds have their own compact layouts:
-	// no body, no 16-byte tag (that omission is their entire point).
+	// prefix is the layout shared by every tag-bearing kind; the
+	// beat-family incremental kinds have their own compact layouts — no
+	// body, no 16-byte tag (that omission is their entire point).
+	prefix := headerLen + 4 + len(m.Body) + tagLen
 	switch m.Kind {
+	case KindMsg, KindBeat:
+		return prefix
+	case KindAck:
+		return prefix + tagLen + 4 + tagLen*len(m.Labels)
+	case KindAckDelta:
+		return prefix + tagLen + 8 + 1 + 4 + tagLen*len(m.Labels) + 4 + tagLen*len(m.DelLabels)
+	case KindAckReq:
+		return prefix + tagLen
 	case KindBeatDelta:
 		n := headerLen + 1 + 4 + 8
 		if m.Flags&BeatFlagSnapshot != 0 {
@@ -448,16 +460,7 @@ func (m Message) EncodedSize() int {
 	case KindBeatReq:
 		return headerLen + 8
 	}
-	n := headerLen + 4 + len(m.Body) + tagLen
-	switch m.Kind {
-	case KindAck:
-		n += tagLen + 4 + tagLen*len(m.Labels)
-	case KindAckDelta:
-		n += tagLen + 8 + 1 + 4 + tagLen*len(m.Labels) + 4 + tagLen*len(m.DelLabels)
-	case KindAckReq:
-		n += tagLen
-	}
-	return n
+	return prefix
 }
 
 // Encode appends the canonical binary form of m to dst and returns the
@@ -480,6 +483,8 @@ func (m Message) EncodedSize() int {
 //	  [ addCount u32 | adds 16B each
 //	    | delCount u32 | dels 16B each ]                (BEATΔ change)
 //	version u8 | kind u8 | ref u64                      (BEATREQ)
+//
+//urb:hotpath
 func (m Message) Encode(dst []byte) []byte {
 	var scratch [8]byte
 	dst = append(dst, codecVersion, byte(m.Kind))
@@ -510,6 +515,9 @@ func (m Message) Encode(dst []byte) []byte {
 	case KindBeatReq:
 		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
 		return append(dst, scratch[:8]...)
+	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
+		// Tag-bearing kinds share the bodyLen|body|tag prefix appended
+		// below, then diverge in the second switch.
 	}
 	binary.BigEndian.PutUint32(scratch[:4], uint32(len(m.Body)))
 	dst = append(dst, scratch[:4]...)
@@ -517,6 +525,8 @@ func (m Message) Encode(dst []byte) []byte {
 	putTag(tb[:], m.Tag)
 	dst = append(dst, tb[:]...)
 	switch m.Kind {
+	case KindMsg, KindBeat:
+		// Prefix-only frames: nothing after the tag.
 	case KindAck:
 		putTag(tb[:], m.AckTag)
 		dst = append(dst, tb[:]...)
@@ -532,6 +542,8 @@ func (m Message) Encode(dst []byte) []byte {
 	case KindAckReq:
 		putTag(tb[:], m.AckTag)
 		dst = append(dst, tb[:]...)
+	case KindBeatDelta, KindBeatReq:
+		// Encoded and returned by the first switch; unreachable here.
 	}
 	return dst
 }
@@ -550,6 +562,8 @@ func Decode(b []byte) (Message, error) {
 
 // DecodePrefix parses one message from the front of b and returns the
 // remainder, allowing streams of concatenated messages.
+//
+//urb:hotpath
 func DecodePrefix(b []byte) (Message, []byte, error) {
 	if len(b) < headerLen {
 		return Message{}, nil, ErrShort
