@@ -72,6 +72,7 @@
 package anonurb
 
 import (
+	"context"
 	"time"
 
 	"anonurb/internal/admit"
@@ -415,6 +416,38 @@ func WithCheckpointEvery(d time.Duration) NodeOption { return node.WithCheckpoin
 func RecoverNode(proc Process, st Store, tr Transport, opts ...NodeOption) (*Node, error) {
 	return node.Recover(proc, st, tr, opts...)
 }
+
+// JoinNode bootstraps a brand-new process into a running cluster
+// (DESIGN.md §13): it solicits a state snapshot from the live peers over
+// tr (SNAPREQ/SNAPCHUNK, chunked under the transport's frame budget,
+// resumable under loss), verifies whichever container completes first,
+// restores it into proc and adopts it under a fresh anonymous identity —
+// the donor's delivered history is never re-delivered. proc must be a
+// freshly constructed DurableProcess; st (which must be empty) becomes
+// the joiner's durable store. The returned node is already started.
+// There is no leave call: a departing node just stops — to the survivors
+// a leave is indistinguishable from a crash, and the detectors' label
+// purge eventually forgets it.
+func JoinNode(ctx context.Context, proc Process, st Store, tr Transport, opts ...NodeOption) (*Node, error) {
+	nd, err := node.Join(ctx, proc, st, tr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := nd.Start(ctx); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// WithJoinFloor makes JoinNode reject donor snapshots below the given
+// incarnation — protection against a stale donor serving state from
+// before a known restart.
+func WithJoinFloor(incarnation uint64) NodeOption { return node.WithJoinFloor(incarnation) }
+
+// WithJoinTimeout sets how long JoinNode lets a transfer stall before
+// abandoning it and re-soliciting from scratch (default 500ms) — this is
+// how a mid-transfer donor crash is survived.
+func WithJoinTimeout(d time.Duration) NodeOption { return node.WithJoinTimeout(d) }
 
 // Transports (internal/transport): the swappable communication
 // substrate carrying encoded wire frames.

@@ -24,6 +24,14 @@
 // are compared. The JSON written with -out is what BENCH_fairness.json
 // records.
 //
+// Churn mode (-churn) runs the membership-churn benchmark (DESIGN.md
+// §13): heartbeat-stack clusters accumulate pre-join history of varying
+// size, a fresh node joins through the real SNAPREQ/SNAPCHUNK snapshot
+// transfer, and join latency, catch-up bytes and post-join convergence
+// are measured under both ACK encodings — with a hard gate that no
+// process ever re-delivers (the joiner's adopted history included). The
+// JSON written with -out is what BENCH_churn.json records.
+//
 // Usage:
 //
 //	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
@@ -31,6 +39,7 @@
 //	urbbench -batching [-quick] [-seed N] [-out BENCH_batching.json]
 //	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
 //	urbbench -fairness [-quick] [-seed N] [-out BENCH_fairness.json]
+//	urbbench -churn [-quick] [-seed N] [-out BENCH_churn.json]
 //
 // Every mode accepts -cpuprofile and -memprofile, writing pprof
 // profiles of the run so perf work can attach evidence without ad-hoc
@@ -62,6 +71,7 @@ func main() {
 	batching := flag.Bool("batching", false, "run the batching benchmark matrix instead of the table/figure suite")
 	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
 	fairness := flag.Bool("fairness", false, "run the flow-fairness admission benchmark matrix instead of the table/figure suite")
+	churn := flag.Bool("churn", false, "run the membership-churn benchmark matrix instead of the table/figure suite")
 	list := flag.Bool("list", false, "list the available modes and exit")
 	out := flag.String("out", "", "with a benchmark mode: write the results as JSON to this file")
 	baseline := flag.String("baseline", "", "with -batching: fail if frames-, allocs- or beat-bytes-per-delivery regresses >25% against this checked-in results file")
@@ -112,10 +122,11 @@ func main() {
 		on   bool
 		desc string
 	}{
-		{"suite", !*batching && !*recovery && !*fairness, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
+		{"suite", !*batching && !*recovery && !*fairness && !*churn, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
 		{"-batching", *batching, "live-runtime batching benchmark (BENCH_batching.json)"},
 		{"-recovery", *recovery, "durable-state crash-recovery benchmark (BENCH_recovery.json)"},
 		{"-fairness", *fairness, "flow-fairness admission benchmark (BENCH_fairness.json)"},
+		{"-churn", *churn, "membership-churn join/leave benchmark (BENCH_churn.json)"},
 	}
 	if *list {
 		for _, m := range modes {
@@ -157,6 +168,9 @@ func main() {
 	}
 	if *fairness {
 		exit(runFairness(*seed, *quick, *out))
+	}
+	if *churn {
+		exit(runChurn(*seed, *quick, *out))
 	}
 	if *out != "" || *baseline != "" {
 		usage("-out and -baseline apply only to the benchmark modes")
@@ -525,6 +539,78 @@ func runFairness(seed uint64, quick bool, out string) int {
 			return 1
 		}
 		fmt.Printf("\nwrote %s (%d comparisons)\n", out, len(report.Comparisons))
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// churnReport is the JSON document -churn -out writes.
+type churnReport struct {
+	Schema      string              `json:"schema"`
+	Seed        uint64              `json:"seed"`
+	Quick       bool                `json:"quick"`
+	GoVersion   string              `json:"go_version"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	NumCPU      int                 `json:"num_cpu"`
+	GeneratedAt string              `json:"generated_at"`
+	Results     []bench.ChurnResult `json:"results"`
+}
+
+// runChurn executes the membership-churn benchmark matrix and returns
+// the process exit code. Latency and byte figures are reported; the
+// uniformity bar is enforced: any re-delivery anywhere — the joiner's
+// adopted history above all — fails the run.
+func runChurn(seed uint64, quick bool, out string) int {
+	report := churnReport{
+		Schema:      "anonurb-bench-churn/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-14s %10s %12s %10s %11s %11s %8s\n",
+		"scenario", "snapshot", "catchup", "join", "converge", "deliveries", "redeliv")
+	failed := false
+	for _, sc := range bench.ChurnMatrix(seed, quick) {
+		r, err := bench.RunChurn(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: churn %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-14s %8d B %10d B %8.1fms %9.1fms %11d %8d\n",
+			sc.Name, r.SnapshotBytes, r.CatchupWireBytes,
+			r.JoinLatencyMS, r.ConvergeMS, r.Deliveries, r.Redelivered)
+		if r.Redelivered != 0 {
+			fmt.Fprintf(os.Stderr, "urbbench: churn %s: %d re-deliveries — uniformity across the join is broken\n",
+				sc.Name, r.Redelivered)
+			failed = true
+		}
+		if r.CatchupWireBytes < uint64(r.SnapshotBytes) {
+			fmt.Fprintf(os.Stderr, "urbbench: churn %s: catch-up wire bytes %d below the container size %d — transfer accounting is broken\n",
+				sc.Name, r.CatchupWireBytes, r.SnapshotBytes)
+			failed = true
+		}
+		report.Results = append(report.Results, r)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d results)\n", out, len(report.Results))
 	}
 	if failed {
 		return 1

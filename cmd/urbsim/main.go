@@ -18,6 +18,17 @@
 //	urbsim -n 5 -seed 7 -record run.sched
 //	urbsim -replay run.sched -seed 7        # identical digest every time
 //	urbsim -replay run.sched -speed 2       # same schedule, twice the pace
+//
+// Membership churn (DESIGN.md §13): -join and -leave schedule joins and
+// leaves as comma-separated proc@time entries. A joiner pulls its state
+// snapshot over the same lossy links as all other traffic; a leaver
+// simply falls silent. Churn needs the heartbeat stack (-algo heartbeat)
+// so the detector views follow membership instead of a fixed oracle.
+// Churn composes with -replay: the same recorded schedule driven through
+// a churning cluster still prints the same digest every run:
+//
+//	urbsim -n 4 -algo heartbeat -join 3@600 -leave 1@2500 -msgs 3
+//	urbsim -replay run.sched -algo heartbeat -join 4@800
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"strings"
 
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
@@ -37,7 +49,7 @@ import (
 
 func main() {
 	n := flag.Int("n", 5, "number of processes")
-	algo := flag.String("algo", "majority", "algorithm: majority | quiescent | lowered")
+	algo := flag.String("algo", "majority", "algorithm: majority | quiescent | lowered | heartbeat")
 	loss := flag.Float64("loss", 0.2, "per-copy loss probability")
 	delayMax := flag.Int64("delay", 5, "max link delay (uniform in [1,delay])")
 	crashes := flag.Int("crashes", 0, "how many processes crash")
@@ -54,6 +66,8 @@ func main() {
 	record := flag.String("record", "", "record the run's broadcast schedule to this trace file")
 	replayFrom := flag.String("replay", "", "replay the broadcast schedule from this trace file instead of the built-in workload")
 	speed := flag.Float64("speed", 1, "with -replay: time-scale the schedule (2 = twice as fast)")
+	joinSpec := flag.String("join", "", "late joiners as proc@time,... (snapshot transfer over the lossy links; needs -algo heartbeat)")
+	leaveSpec := flag.String("leave", "", "leavers as proc@time,... (a leave looks like a crash on the wire)")
 	flag.Parse()
 
 	if *record != "" && *replayFrom != "" {
@@ -69,6 +83,8 @@ func main() {
 		a = harness.AlgoQuiescent
 	case "lowered":
 		a = harness.AlgoMajorityLowered
+	case "heartbeat":
+		a = harness.AlgoHeartbeat
 	default:
 		fmt.Fprintf(os.Stderr, "urbsim: unknown algorithm %q\n", *algo)
 		os.Exit(2)
@@ -116,6 +132,23 @@ func main() {
 		wl = replay.Replayer{Schedule: sched, Speed: *speed}
 	}
 
+	// Churn schedules parse after -replay may have pinned n, so the
+	// proc indices are validated against the size that actually runs.
+	joinAt := parseChurnSpec(*joinSpec, *n, "join")
+	leaveAt := parseChurnSpec(*leaveSpec, *n, "leave")
+	if (joinAt != nil || leaveAt != nil) && a != harness.AlgoHeartbeat {
+		fmt.Fprintln(os.Stderr, "urbsim: -join/-leave need -algo heartbeat: the oracle detectors assume fixed membership (DESIGN.md §13)")
+		os.Exit(2)
+	}
+
+	// The oracle algorithms stop when the wire goes quiet; the heartbeat
+	// stack beats forever, so its runs stop on delivery convergence
+	// instead (the engine credits a joiner's adopted history).
+	stopQuiet := sim.Time(300)
+	if a == harness.AlgoHeartbeat {
+		stopQuiet = 0
+	}
+
 	scen := harness.Scenario{
 		Name:          "urbsim",
 		Observers:     observers,
@@ -125,9 +158,11 @@ func main() {
 		FD:            fd.OracleConfig{Noise: nm, GST: *gst, NoisePeriod: 25},
 		Workload:      wl,
 		Crashes:       workload.CrashCount{Count: *crashes, From: *crashAt, To: *crashAt},
+		JoinAt:        joinAt,
+		LeaveAt:       leaveAt,
 		Seed:          *seed,
 		MaxTime:       sim.Time(*maxTime),
-		StopWhenQuiet: 300,
+		StopWhenQuiet: stopQuiet,
 	}
 	out := harness.Run(scen)
 
@@ -141,6 +176,26 @@ func main() {
 		out.Result.Net.Bytes)
 	fmt.Printf("delivery : issued=%d deliveredAll=%v latency mean/p50/p99/max = %s fast=%.1f%%\n",
 		out.Issued, out.DeliveredAll, out.Latency.Summary(), 100*out.FastFraction)
+	if joinAt != nil || leaveAt != nil {
+		line := ""
+		for p, at := range joinAt {
+			if at <= 0 {
+				continue
+			}
+			if out.Result.JoinedAt[p] == sim.Never {
+				line += fmt.Sprintf(" p%d never finished joining;", p)
+			} else {
+				line += fmt.Sprintf(" p%d joined at %d (snapshot %d B, adopted %d);",
+					p, out.Result.JoinedAt[p], out.Result.JoinBytes[p], len(out.Result.Adopted[p]))
+			}
+		}
+		for p, at := range leaveAt {
+			if at > 0 && out.Result.Left[p] {
+				line += fmt.Sprintf(" p%d left at %d;", p, at)
+			}
+		}
+		fmt.Printf("churn    :%s\n", line)
+	}
 	// The digest covers every process's ordered delivery sequence
 	// (proc, time, message id): two runs print the same digest iff their
 	// deliveries are identical. CI's replay smoke diffs this line.
@@ -207,6 +262,27 @@ func main() {
 	if !out.Report.OK() {
 		os.Exit(1)
 	}
+}
+
+// parseChurnSpec turns "proc@time,proc@time" into a per-process time
+// slice of length n (the shape sim.Config.JoinAt/LeaveAt expect), or nil
+// when the spec is empty.
+func parseChurnSpec(spec string, n int, flagName string) []sim.Time {
+	if spec == "" {
+		return nil
+	}
+	out := make([]sim.Time, n)
+	for _, part := range strings.Split(spec, ",") {
+		var proc int
+		var at int64
+		if _, err := fmt.Sscanf(part, "%d@%d", &proc, &at); err != nil || proc < 0 || proc >= n || at <= 0 {
+			fmt.Fprintf(os.Stderr, "urbsim: bad -%s entry %q: want proc@time with 0 <= proc < %d and time > 0\n",
+				flagName, part, n)
+			os.Exit(2)
+		}
+		out[proc] = sim.Time(at)
+	}
+	return out
 }
 
 // deliveryDigest folds every process's ordered delivery sequence into

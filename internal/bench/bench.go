@@ -147,9 +147,7 @@ type Result struct {
 	// tracked separately so the delta encoding's win is measurable.
 	AckBytes uint64 `json:"ack_bytes"`
 	// BeatBytes is the BEAT/heartbeat slice of SentBytes — zero for the
-	// oracle-backed workloads here, but plumbed so heartbeat-stack runs
-	// have the baseline the ROADMAP's BEAT delta-encoding follow-up
-	// needs.
+	// oracle-backed workloads here, nonzero for heartbeat-stack runs.
 	BeatBytes uint64 `json:"beat_bytes"`
 	// InboxOverflows counts inbound frames the transports shed on full
 	// inboxes — the direct saturation signal (a saturated cell sheds
@@ -398,7 +396,7 @@ func Run(w Workload) (Result, error) {
 			m, _ := nd.MessageStats()
 			c.frames += f
 			c.msgs += m
-			_, ack, beat, _ := nd.ByteStats()
+			_, ack, beat, _, _ := nd.ByteStats()
 			c.ackBytes += ack
 			c.beatBytes += beat
 		}

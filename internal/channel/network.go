@@ -45,6 +45,31 @@ func NewNetwork(n int, model LinkModel, rng *xrand.Source) *Network {
 // N returns the number of processes in the mesh.
 func (w *Network) N() int { return w.n }
 
+// Grow extends the mesh to n processes, preserving every existing
+// directed link's attempt counters and Gilbert–Elliott burst state; the
+// new processes' links start fresh. This is the network half of dynamic
+// membership: a joining node gets a new row and column of links.
+// Shrinking panics — links never disappear, a leaving process just
+// falls silent and D4 forgets it.
+func (w *Network) Grow(n int) {
+	if n < w.n {
+		panic(fmt.Sprintf("channel: cannot shrink mesh from %d to %d", w.n, n))
+	}
+	if n == w.n {
+		return
+	}
+	attempts := make([]uint64, n*n)
+	dropped := make([]uint64, n*n)
+	geBad := make([]bool, n*n)
+	for src := 0; src < w.n; src++ {
+		copy(attempts[src*n:], w.attempts[src*w.n:(src+1)*w.n])
+		copy(dropped[src*n:], w.dropped[src*w.n:(src+1)*w.n])
+		copy(geBad[src*n:], w.geBad[src*w.n:(src+1)*w.n])
+	}
+	w.attempts, w.dropped, w.geBad = attempts, dropped, geBad
+	w.n = n
+}
+
 // Model returns the link model in force.
 func (w *Network) Model() LinkModel { return w.model }
 

@@ -130,3 +130,58 @@ func TestNetworkOutOfRangePanics(t *testing.T) {
 	}()
 	w.Send(0, 0, 5, 1)
 }
+
+func TestNetworkGrowPreservesLinkState(t *testing.T) {
+	w := NewNetwork(2, Bernoulli{P: 0.5, D: FixedDelay(0)}, xrand.New(9))
+	for i := 0; i < 10; i++ {
+		w.Send(int64(i), 0, 1, 4)
+	}
+	att, drp := w.Attempts(0, 1), w.Dropped(0, 1)
+	before := w.Stats()
+
+	w.Grow(3)
+	if w.N() != 3 {
+		t.Fatalf("N after Grow = %d, want 3", w.N())
+	}
+	if w.Attempts(0, 1) != att || w.Dropped(0, 1) != drp {
+		t.Fatalf("link (0,1) state lost across Grow: attempts %d→%d, dropped %d→%d",
+			att, w.Attempts(0, 1), drp, w.Dropped(0, 1))
+	}
+	if got := w.Stats(); got != before {
+		t.Fatalf("totals changed across Grow: %+v → %+v", before, got)
+	}
+	// The new process's links start fresh and are usable both ways.
+	if w.Attempts(0, 2) != 0 || w.Attempts(2, 0) != 0 {
+		t.Fatal("fresh links have nonzero attempt counters")
+	}
+	w.Send(100, 2, 0, 4)
+	w.Send(100, 1, 2, 4)
+	if w.Attempts(2, 0) != 1 || w.Attempts(1, 2) != 1 {
+		t.Fatal("sends on grown links not counted")
+	}
+	// Same-size Grow is a no-op; shrinking panics.
+	w.Grow(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shrinking Grow")
+		}
+	}()
+	w.Grow(2)
+}
+
+func TestNetworkGrowPreservesGEState(t *testing.T) {
+	// A link pinned in the bad state (GoodToBad=1, BadToGood=0) must stay
+	// bad across Grow: per-link burst state survives the remap.
+	ge := GilbertElliott{PGood: 0, PBad: 1, GoodToBad: 1, BadToGood: 0, D: FixedDelay(0)}
+	w := NewNetwork(2, ge, xrand.New(11))
+	w.Send(0, 0, 1, 1) // flips (0,1) to bad
+	w.Grow(4)
+	if !w.Send(1, 0, 1, 1).Drop {
+		t.Fatal("bad-state link forgot its burst state across Grow")
+	}
+	if w.Send(1, 2, 3, 1).Drop != true {
+		// Fresh links start good and flip to bad before judging
+		// (GoodToBad=1), so this also drops; the real check is above.
+		t.Fatal("unexpected fresh-link verdict")
+	}
+}

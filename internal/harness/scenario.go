@@ -94,6 +94,15 @@ type Scenario struct {
 	// CrashAfterDeliveries enables the deliver-then-crash adversary
 	// (optional, per-process delivery counts).
 	CrashAfterDeliveries []int
+	// JoinAt[i] > 0 makes process i a late joiner that pulls a state
+	// snapshot over the lossy links at that time (DESIGN.md §13); nil or
+	// 0 means present from the start. Requires an algorithm implementing
+	// urb.Joiner — in practice AlgoHeartbeat, whose detector views follow
+	// the beat traffic instead of a fixed-membership oracle.
+	JoinAt []sim.Time
+	// LeaveAt[i] > 0 removes process i at that time; to the survivors a
+	// leave is indistinguishable from a crash (DESIGN.md §13).
+	LeaveAt []sim.Time
 	// HeartbeatTimeout is the trust timeout for AlgoHeartbeat; defaults
 	// to 10×TickEvery.
 	HeartbeatTimeout sim.Time
@@ -229,6 +238,8 @@ func Run(s Scenario) Outcome {
 		MaxTime:              s.MaxTime,
 		CrashAt:              crashAt,
 		CrashAfterDeliveries: s.CrashAfterDeliveries,
+		JoinAt:               s.JoinAt,
+		LeaveAt:              s.LeaveAt,
 		Broadcasts:           broadcasts,
 		StopWhenQuiet:        s.StopWhenQuiet,
 		ExpectDeliveries:     expect,
@@ -292,6 +303,13 @@ func analyze(s Scenario, oracle *fd.Oracle, res sim.Result) Outcome {
 			if bt, ok := born[d.ID.Body]; ok {
 				o.Latency.Observe(d.At - bt)
 				got[d.ID.Body] = true
+			}
+		}
+		// History a joiner adopted counts as delivered: uniformity
+		// forbids it from ever delivering those messages itself.
+		if p < len(res.Adopted) {
+			for id := range res.Adopted[p] {
+				got[id.Body] = true
 			}
 		}
 		for body := range obliged {

@@ -98,6 +98,9 @@ type Cluster struct {
 	// tagClones[i] is process i's tag stream frozen at creation, for
 	// rebuilding an identical stream on recovery.
 	tagClones []*xrand.Source
+	// tagRoot keeps splitting the seed tag stream past the founding N,
+	// so processes added by Join draw fresh, non-colliding tags.
+	tagRoot *xrand.Source
 }
 
 // observer adapts node events to the cluster's delivery callback.
@@ -158,9 +161,9 @@ func Start(cfg Config) *Cluster {
 	ctx, cancel := context.WithCancel(context.Background())
 	c.ctx, c.cancel = ctx, cancel
 	c.tagClones = make([]*xrand.Source, cfg.N)
-	tagRoot := xrand.SplitLabeled(cfg.Seed, "live-tags")
+	c.tagRoot = xrand.SplitLabeled(cfg.Seed, "live-tags")
 	for i := 0; i < cfg.N; i++ {
-		src := tagRoot.Split()
+		src := c.tagRoot.Split()
 		c.tagClones[i] = src.Clone()
 		proc := cfg.Factory(i, c.tagSource(i, src), c.ElapsedUnits)
 		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i), c.nodeOptions(i)...)
@@ -177,7 +180,7 @@ func Start(cfg Config) *Cluster {
 // the cluster configures a flow for it (shared by Start and Recover so
 // a restarted process re-derives the same tag stream).
 func (c *Cluster) tagSource(proc int, src *xrand.Source) *ident.Source {
-	if c.cfg.Flows != nil && c.cfg.Flows[proc] != 0 {
+	if proc < len(c.cfg.Flows) && c.cfg.Flows[proc] != 0 {
 		return ident.NewFlowSource(c.cfg.Flows[proc], src)
 	}
 	return ident.NewSource(src)
@@ -194,7 +197,7 @@ func (c *Cluster) nodeOptions(proc int) []node.Option {
 	if c.cfg.Admission != nil {
 		opts = append(opts, node.WithAdmission(*c.cfg.Admission))
 	}
-	if c.cfg.Stores != nil && c.cfg.Stores[proc] != nil {
+	if proc < len(c.cfg.Stores) && c.cfg.Stores[proc] != nil {
 		opts = append(opts, node.WithStore(c.cfg.Stores[proc]))
 		if c.cfg.CheckpointEvery > 0 {
 			opts = append(opts, node.WithCheckpointEvery(c.cfg.CheckpointEvery))
@@ -206,6 +209,59 @@ func (c *Cluster) nodeOptions(proc int) []node.Option {
 // Node returns the node hosting process proc, for direct access to the
 // node-level API.
 func (c *Cluster) Node(proc int) *node.Node { return c.nodes[proc] }
+
+// N returns the current process count, counting processes added by
+// Join. Left and crashed slots are included: indices are stable.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Join grows the running cluster by one process (DESIGN.md §13): the
+// mesh gains a fresh endpoint slot, the factory builds a fresh
+// algorithm instance for the new index, and node.Join bootstraps it
+// from whichever live peer answers the snapshot solicitation before the
+// node starts. The factory must build urb.Joiner processes (both paper
+// algorithms and the heartbeat host qualify). st, when non-nil, makes
+// the joiner durable and becomes its store for a later Recover. The
+// call blocks for the transfer, bounded by the cluster's lifetime; on
+// error the grown mesh slot stays silent and unused.
+//
+// Join and Leave reconfigure the cluster and must be driven from one
+// goroutine, like Recover and Crash.
+func (c *Cluster) Join(st store.Store, opts ...node.Option) (int, error) {
+	proc := len(c.nodes)
+	src := c.tagRoot.Split()
+	clone := src.Clone()
+	p := c.cfg.Factory(proc, c.tagSource(proc, src), c.ElapsedUnits)
+	jopts := append(c.nodeOptions(proc), opts...)
+	if st != nil && c.cfg.CheckpointEvery > 0 {
+		jopts = append(jopts, node.WithCheckpointEvery(c.cfg.CheckpointEvery))
+	}
+	nd, err := node.Join(c.ctx, p, st, c.mesh.Grow(), jopts...)
+	if err != nil {
+		return 0, err
+	}
+	if c.cfg.Stores != nil || st != nil {
+		for len(c.cfg.Stores) <= proc {
+			c.cfg.Stores = append(c.cfg.Stores, nil)
+		}
+		c.cfg.Stores[proc] = st
+	}
+	c.tagClones = append(c.tagClones, clone)
+	c.nodes = append(c.nodes, nd)
+	return proc, nd.Start(c.ctx)
+}
+
+// Leave removes process proc for good: its node stops and its mesh
+// endpoint is detached. To the survivors a departed process is
+// indistinguishable from a crashed one — its beats stop, its ACKs
+// freeze, and the D4 purge eventually forgets its labels; no leave
+// announcement exists on the wire, exactly as the paper's crash model
+// prescribes. The slot is never reused (indices stay stable) and
+// Recover on a left process is unsupported; a returning process Joins
+// as a fresh index with a fresh identity.
+func (c *Cluster) Leave(proc int) {
+	c.nodes[proc].Stop()
+	c.mesh.Detach(proc)
+}
 
 // Recover restarts a crashed (Stop-ed) durable process from its store:
 // a fresh algorithm instance is built by the cluster factory over a
@@ -249,7 +305,7 @@ func (c *Cluster) Broadcast(proc int, body []byte) bool {
 // from its recorded process when its wall-clock moment arrives. It
 // blocks until the last entry is driven or ctx is cancelled.
 func (c *Cluster) Play(ctx context.Context, s *replay.Schedule, unit time.Duration, speed float64) error {
-	return replay.Drive(ctx, s, c.cfg.N, unit, speed, func(proc int, body []byte) error {
+	return replay.Drive(ctx, s, c.N(), unit, speed, func(proc int, body []byte) error {
 		_, err := c.nodes[proc].Broadcast(body)
 		return err
 	})
@@ -295,5 +351,5 @@ func (c *Cluster) Stop() {
 // String describes the cluster.
 func (c *Cluster) String() string {
 	return fmt.Sprintf("liverun.Cluster(n=%d, link=%s, unit=%s)",
-		c.cfg.N, c.cfg.Link, c.cfg.Unit)
+		c.N(), c.cfg.Link, c.cfg.Unit)
 }

@@ -111,11 +111,11 @@ func TestNodeDeltaAcksDeliverAndQuiesce(t *testing.T) {
 	// shared observer saw, and the ACK slice must be delta frames.
 	var msgB, ackB, beatB, otherB uint64
 	for _, nd := range nodes {
-		m, a, b, o := nd.ByteStats()
+		m, a, b, s, o := nd.ByteStats()
 		msgB += m
 		ackB += a
 		beatB += b
-		otherB += o
+		otherB += s + o
 	}
 	snap := metrics.Snapshot()
 	if msgB+ackB+beatB+otherB != snap.SentBytes {

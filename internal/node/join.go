@@ -1,0 +1,236 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"anonurb/internal/snapxfer"
+	"anonurb/internal/store"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+// This file is the node half of the join protocol (DESIGN.md §13).
+//
+// Donor side: every running node whose process can snapshot answers
+// SNAPREQ solicitations by chunking its current state over the wire
+// (serveSnap, called from the receive loop). Joiner side: Join performs
+// the pull-based transfer synchronously — before the algorithm goes
+// live — then restores the donor state through the same path Recover
+// uses and converts it to joiner state with urb.Joiner.Adopt.
+
+// ErrStaleSnapshot rejects a donor snapshot whose delta-stream
+// incarnation is below the joiner's floor (WithJoinFloor): state older
+// than what the joiner has already held is a replay of superseded
+// history, not a bootstrap.
+var ErrStaleSnapshot = errors.New("node: donor snapshot below the joiner's incarnation floor")
+
+// snapServeWindow is how many chunks a donor answers per SNAPREQ. The
+// joiner re-requests at its own cadence, so the window bounds burst
+// size, not throughput.
+const snapServeWindow = 8
+
+// WithJoinFrom hands Join an already-obtained snapshot container (the
+// store.EncodeSnapshotFile framing, e.g. copied out-of-band from a
+// peer's store) instead of soliciting one over the transport. The
+// container still passes the full verification gate.
+func WithJoinFrom(container []byte) Option {
+	return func(o *options) { o.joinFrom = container }
+}
+
+// WithJoinFloor sets the joiner's incarnation floor: donor snapshots
+// whose delta-stream incarnation (urb.SnapshotInfo.Incarnation) is
+// below it are rejected as stale. A node rejoining after a leave sets
+// this from its last known state; 0 (the default) accepts any
+// well-formed snapshot.
+func WithJoinFloor(incarnation uint64) Option {
+	return func(o *options) { o.joinFloor = incarnation }
+}
+
+// WithJoinTimeout sets how long a transfer may stall — no new bytes
+// received — before the joiner abandons the donor and solicits afresh,
+// which any other live peer may answer (default 500ms). The context
+// passed to Join bounds the whole bootstrap.
+func WithJoinTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.joinTimeout = d
+		}
+	}
+}
+
+// Join bootstraps a fresh process into a running cluster (DESIGN.md
+// §13): it acquires a state snapshot from a live peer over tr — chunked
+// SNAPREQ/SNAPCHUNK transfer, resumable under loss, retried against
+// another peer if the donor dies — verifies it (container CRC, full
+// urb.VerifySnapshot round-trip, staleness floor), restores it into
+// proc and converts it to joiner state with Adopt: the joiner keeps the
+// donor's delivered set (it will never re-deliver adopted history) but
+// acks under fresh tag_acks and a fresh detector label.
+//
+// proc must be freshly constructed (its own seed, stream position
+// zero) and implement urb.Joiner; both paper algorithms and the
+// heartbeat host do. st, when non-nil, makes the joiner durable exactly
+// as WithStore does, with the adopted state checkpointed as its
+// baseline. ctx bounds the transfer; the returned node is not started.
+func Join(ctx context.Context, proc urb.Process, st store.Store, tr transport.Transport, opts ...Option) (*Node, error) {
+	j, ok := proc.(urb.Joiner)
+	if !ok {
+		return nil, fmt.Errorf("node: %T does not implement urb.Joiner", proc)
+	}
+	o := options{tickEvery: 10 * time.Millisecond, joinTimeout: 500 * time.Millisecond}
+	for _, f := range opts {
+		f(&o)
+	}
+	container := o.joinFrom
+	if container == nil {
+		var err error
+		container, err = fetchSnapshot(ctx, tr, o)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := vetContainer(container, o.joinFloor); err != nil {
+		return nil, fmt.Errorf("node: join: %w", err)
+	}
+	payload, err := store.ParseSnapshotFile(container)
+	if err != nil {
+		return nil, fmt.Errorf("node: join: %w", err)
+	}
+	if err := j.Restore(payload); err != nil {
+		return nil, fmt.Errorf("node: join restore: %w", err)
+	}
+	j.Adopt()
+	nodeOpts := opts
+	if st != nil {
+		nodeOpts = append(append([]Option(nil), opts...), WithStore(st), withRecovered())
+	}
+	n := New(proc, tr, nodeOpts...)
+	if st != nil {
+		// The adopted state becomes the joiner's baseline checkpoint: a
+		// crash right after the join recovers to post-adopt state and
+		// must not re-run the adoption.
+		fresh := j.Snapshot()
+		if err := st.SaveSnapshot(fresh); err != nil {
+			return nil, fmt.Errorf("node: join checkpoint: %w", err)
+		}
+		n.checkpoints.Add(1)
+		n.checkpointBytes.Add(uint64(len(fresh)))
+	}
+	n.joinedBytes = len(container)
+	return n, nil
+}
+
+// JoinedBytes reports the donor container size the Join that built this
+// node transferred (zero for nodes built any other way) — the join
+// protocol's catch-up cost, before post-join deltas.
+func (n *Node) JoinedBytes() int { return n.joinedBytes }
+
+// fetchSnapshot runs the joiner's half of the transfer: solicit, offer
+// every arriving chunk to the assembler, re-request the lowest gap at
+// the request cadence, abandon a stalled transfer (dead donor) and
+// re-solicit, and reject assembled containers that fail verification —
+// remembering their refs so a bad donor cannot be retried forever.
+func fetchSnapshot(ctx context.Context, tr transport.Transport, o options) ([]byte, error) {
+	asm := snapxfer.NewAssembler()
+	rejected := make(map[uint64]bool)
+	send := func(m wire.Message) { tr.Send(m.Encode(nil)) }
+	send(asm.Request())
+	// Re-request on the tick cadence: the same pacing Task-1 gives
+	// retransmissions.
+	req := time.NewTicker(o.tickEvery)
+	defer req.Stop()
+	lastProgress := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("node: join: %w after %d/%d bytes", ctx.Err(), asm.Received(), asm.Total())
+		case frame, ok := <-tr.Receive():
+			if !ok {
+				return nil, errors.New("node: join: transport closed")
+			}
+			rest := frame
+			for len(rest) > 0 {
+				m, next, err := wire.DecodePrefix(rest)
+				if err != nil {
+					break // garbled tail: the lossy channel could have eaten it
+				}
+				rest = next
+				if m.Kind != wire.KindSnapChunk || rejected[m.Ref] {
+					continue
+				}
+				if asm.Offer(m) {
+					lastProgress = time.Now()
+				}
+			}
+			if !asm.Done() {
+				continue
+			}
+			container := asm.Bytes()
+			if err := vetContainer(container, o.joinFloor); err != nil {
+				// Loud locally, silent on the wire: remember the ref so
+				// this donor's snapshot is never reassembled, and solicit
+				// a fresh transfer from someone else.
+				rejected[asm.Ref()] = true
+				asm.Reset()
+				lastProgress = time.Now()
+				send(asm.Request())
+				continue
+			}
+			return container, nil
+		case <-req.C:
+			if asm.Ref() != 0 && time.Since(lastProgress) >= o.joinTimeout {
+				// The donor went silent mid-transfer: abandon its ref and
+				// solicit afresh — any other peer may answer.
+				asm.Reset()
+				lastProgress = time.Now()
+			}
+			send(asm.Request())
+		}
+	}
+}
+
+// vetContainer is the joiner's verification gate: container framing and
+// CRC, the full snapshot round-trip check, and the staleness floor.
+func vetContainer(container []byte, floor uint64) error {
+	payload, err := store.ParseSnapshotFile(container)
+	if err != nil {
+		return err
+	}
+	info, err := urb.VerifySnapshot(payload)
+	if err != nil {
+		return err
+	}
+	if info.Incarnation < floor {
+		return fmt.Errorf("%w: snapshot incarnation %d, floor %d", ErrStaleSnapshot, info.Incarnation, floor)
+	}
+	return nil
+}
+
+// serveSnap is the donor side, on the node goroutine: answer a fresh
+// solicitation by snapshotting the current state into a chunk server,
+// and resume requests by re-serving from the cached one. Chunks ride
+// the ordinary absorb path, so they are batched, budgeted and counted
+// like all other traffic. SNAPCHUNK frames address a bootstrapping
+// joiner, not a live node: ignored here.
+func (n *Node) serveSnap(step *urb.Step, m wire.Message) {
+	if m.Kind != wire.KindSnapReq {
+		return
+	}
+	sn, ok := n.proc.(urb.Snapshotter)
+	if !ok {
+		return
+	}
+	if m.Ref == 0 {
+		container := store.EncodeSnapshotFile(sn.Snapshot())
+		n.donor = snapxfer.NewDonor(container, n.budget)
+	} else if n.donor == nil || n.donor.Ref() != m.Ref {
+		return // another donor's transfer
+	}
+	if n.donor == nil {
+		return // unservable state (empty or oversized container)
+	}
+	step.Broadcasts = append(step.Broadcasts, n.donor.Serve(m.Off, snapServeWindow)...)
+}

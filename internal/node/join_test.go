@@ -1,0 +1,189 @@
+package node_test
+
+// End-to-end join protocol at the node layer: a fresh process on a
+// grown mesh slot pulls a snapshot from the running cluster over
+// SNAPREQ/SNAPCHUNK, adopts it, and participates — delivering new
+// traffic in both directions and never re-delivering adopted history.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/node"
+	"anonurb/internal/store"
+	"anonurb/internal/transport"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+func TestNodeJoinOverMesh(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const n = 3
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    n,
+		Link: channel.Bernoulli{P: 0.05, D: channel.UniformDelay{Min: 1, Max: 3}},
+		Unit: 200 * time.Microsecond,
+		Seed: 21,
+	})
+	defer mesh.Close()
+	// The oracle-free heartbeat stack: its views follow actual beat
+	// traffic, so membership change is visible to the detectors without
+	// any out-of-band reconfiguration — exactly what a join needs.
+	tagRoot := xrand.SplitLabeled(88, "join-node-tags")
+	cfg := urb.Config{DeltaAcks: true}
+	tick := 5 * 200 * time.Microsecond
+	newHost := func() *urb.HeartbeatHost {
+		return urb.NewHeartbeatHost(ident.NewSource(tagRoot.Split()), 200, 1, mesh.ElapsedUnits, cfg)
+	}
+
+	nodes := make([]*node.Node, n)
+	inboxes := make([]<-chan node.Delivery, n)
+	for i := range nodes {
+		nodes[i] = node.New(newHost(), mesh.Endpoint(i),
+			node.WithTickEvery(tick), node.WithSeed(uint64(i)))
+		inboxes[i] = nodes[i].Deliveries()
+		if err := nodes[i].Start(ctx); err != nil {
+			t.Fatalf("start %d: %v", i, err)
+		}
+		defer nodes[i].Stop()
+	}
+	// Let the detectors learn each other before the first broadcast.
+	time.Sleep(30 * time.Millisecond)
+
+	// Pre-join history the joiner must adopt, never re-deliver.
+	const preMsgs = 3
+	for i := 0; i < preMsgs; i++ {
+		if _, err := nodes[i%n].Broadcast([]byte{byte('a' + i)}); err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+	}
+	for i, inbox := range inboxes {
+		for k := 0; k < preMsgs; k++ {
+			select {
+			case <-inbox:
+			case <-ctx.Done():
+				t.Fatalf("node %d delivered %d/%d before timeout", i, k, preMsgs)
+			}
+		}
+	}
+
+	// Join on a grown mesh slot: real chunked transfer from whichever
+	// donor answers first.
+	joiner, err := node.Join(ctx, newHost(), store.NewMem(), mesh.Grow(),
+		node.WithTickEvery(tick), node.WithSeed(99))
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if joiner.JoinedBytes() == 0 {
+		t.Fatal("join transferred zero bytes")
+	}
+	joinInbox := joiner.Deliveries()
+	if err := joiner.Start(ctx); err != nil {
+		t.Fatalf("start joiner: %v", err)
+	}
+	defer joiner.Stop()
+
+	// New traffic flows both ways across the join boundary.
+	if _, err := joiner.Broadcast([]byte("from-joiner")); err != nil {
+		t.Fatalf("joiner broadcast: %v", err)
+	}
+	if _, err := nodes[0].Broadcast([]byte("to-joiner")); err != nil {
+		t.Fatalf("post-join broadcast: %v", err)
+	}
+	want := map[string]bool{"from-joiner": true, "to-joiner": true}
+	for len(want) > 0 {
+		select {
+		case d := <-joinInbox:
+			body := string(d.Body())
+			if !want[body] {
+				// Anything else is pre-join history leaking through: the
+				// adopted delivered set must have suppressed it.
+				t.Fatalf("joiner re-delivered %q", body)
+			}
+			delete(want, body)
+		case <-ctx.Done():
+			t.Fatalf("joiner still waiting for %v", want)
+		}
+	}
+	for i, inbox := range inboxes {
+		got := map[string]bool{}
+		for len(got) < 2 {
+			select {
+			case d := <-inbox:
+				got[string(d.Body())] = true
+			case <-ctx.Done():
+				t.Fatalf("node %d missing post-join deliveries, got %v", i, got)
+			}
+		}
+		if !got["from-joiner"] || !got["to-joiner"] {
+			t.Fatalf("node %d delivered %v", i, got)
+		}
+	}
+}
+
+func TestNodeJoinFromContainer(t *testing.T) {
+	// WithJoinFrom skips the transfer but not the verification gate.
+	jl := func(x uint64) ident.Tag { return ident.Tag{Hi: x, Lo: x} }
+	det := viewFD{fd.Pair{Label: jl(1), Number: 2}}
+	donor := urb.NewQuiescent(det, ident.NewSource(xrand.New(7)), urb.Config{})
+	id := wire.MsgID{Tag: jl(9), Body: "history"}
+	donor.Receive(wire.NewMsg(id))
+	donor.Receive(wire.NewAckSnapshot(id, jl(100), 1, []ident.Tag{jl(1)}))
+	s := donor.Receive(wire.NewAckSnapshot(id, jl(101), 1, []ident.Tag{jl(1)}))
+	if len(s.Deliveries) != 1 {
+		t.Fatalf("donor did not deliver: %v", s.Deliveries)
+	}
+	container := store.EncodeSnapshotFile(donor.Snapshot())
+
+	mesh := transport.NewMesh(transport.MeshConfig{
+		N:    1,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+	})
+	defer mesh.Close()
+	joinerProc := urb.NewQuiescent(det, ident.NewSource(xrand.New(8)), urb.Config{})
+	nd, err := node.Join(context.Background(), joinerProc, nil, mesh.Endpoint(0),
+		node.WithJoinFrom(container))
+	if err != nil {
+		t.Fatalf("join from container: %v", err)
+	}
+	defer nd.Stop()
+	if nd.JoinedBytes() != len(container) {
+		t.Fatalf("JoinedBytes = %d, want %d", nd.JoinedBytes(), len(container))
+	}
+	if !joinerProc.HasDelivered(id) {
+		t.Fatal("joiner did not adopt the donor's delivered set")
+	}
+	if got := joinerProc.Receive(wire.NewMsg(id)); len(got.Deliveries) != 0 {
+		t.Fatalf("joiner re-delivered adopted history: %v", got.Deliveries)
+	}
+
+	// A corrupt container is rejected loudly.
+	bad := append([]byte(nil), container...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := node.Join(context.Background(),
+		urb.NewQuiescent(det, ident.NewSource(xrand.New(9)), urb.Config{}),
+		nil, mesh.Endpoint(0), node.WithJoinFrom(bad)); err == nil {
+		t.Fatal("corrupt container accepted")
+	}
+
+	// A snapshot below the joiner's incarnation floor is stale.
+	if _, err := node.Join(context.Background(),
+		urb.NewQuiescent(det, ident.NewSource(xrand.New(10)), urb.Config{}),
+		nil, mesh.Endpoint(0), node.WithJoinFrom(container), node.WithJoinFloor(5)); !errors.Is(err, node.ErrStaleSnapshot) {
+		t.Fatalf("stale snapshot error = %v, want ErrStaleSnapshot", err)
+	}
+}
+
+// viewFD is a minimal static detector for standalone-process tests.
+type viewFD fd.View
+
+func (v viewFD) ATheta() fd.View { return fd.View(v) }
+func (v viewFD) APStar() fd.View { return fd.View(v) }

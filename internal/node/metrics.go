@@ -110,9 +110,12 @@ type Snapshot struct {
 	SentAckBytes uint64
 	// SentBeatBytes is the BEAT/heartbeat slice of SentBytes — the
 	// failure-detector traffic of the oracle-free stack, derived from
-	// SentBytesByKind at snapshot time. It is the baseline measurement
-	// for the ROADMAP's BEAT delta-encoding follow-up.
+	// SentBytesByKind at snapshot time.
 	SentBeatBytes uint64
+	// SentSnapBytes is the join protocol's snapshot-transfer slice of
+	// SentBytes (SNAPREQ solicitations and SNAPCHUNK payload), derived
+	// from SentBytesByKind at snapshot time.
+	SentSnapBytes uint64
 	SentByKind    map[wire.Kind]uint64
 	// SentBytesByKind splits SentBytes per wire kind, the byte-currency
 	// companion of SentByKind's message counts.
@@ -150,7 +153,7 @@ func (c *Metrics) Snapshot() Snapshot {
 		byKind[k] = v
 	}
 	bytesByKind := make(map[wire.Kind]uint64, len(c.bytesByKind))
-	var ackBytes, beatBytes uint64
+	var ackBytes, beatBytes, snapBytes uint64
 	for k, v := range c.bytesByKind {
 		bytesByKind[k] = v
 		switch {
@@ -158,6 +161,8 @@ func (c *Metrics) Snapshot() Snapshot {
 			ackBytes += v
 		case k.IsBeat():
 			beatBytes += v
+		case k.IsSnap():
+			snapBytes += v
 		}
 	}
 	byFlow := make(map[uint64]uint64, len(c.deliveriesByFlow))
@@ -170,6 +175,7 @@ func (c *Metrics) Snapshot() Snapshot {
 		SentBytes:        c.sentBytes,
 		SentAckBytes:     ackBytes,
 		SentBeatBytes:    beatBytes,
+		SentSnapBytes:    snapBytes,
 		SentByKind:       byKind,
 		SentBytesByKind:  bytesByKind,
 		Deliveries:       c.deliveries,

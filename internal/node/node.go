@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"anonurb/internal/admit"
+	"anonurb/internal/snapxfer"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
@@ -106,6 +107,10 @@ type options struct {
 	// recovered marks a node built by Recover, whose store legitimately
 	// holds the predecessor's state at construction time.
 	recovered bool
+	// joinFrom/joinFloor/joinTimeout configure Join (join.go).
+	joinFrom    []byte
+	joinFloor   uint64
+	joinTimeout time.Duration
 }
 
 // withRecovered is the internal option Recover uses to bypass New's
@@ -264,15 +269,15 @@ type Node struct {
 	lastSend   atomic.Int64 // unix nanos; 0 = never sent
 
 	// Per-class byte counters: MSG dissemination vs the ACK family
-	// (full, delta, resync) vs BEAT heartbeats vs everything else.
-	// Splitting at the send path is what lets benchmarks measure the
-	// labeled-ACK cost of Algorithm 2 — the hottest wire path —
-	// separately from payload dissemination, and gives the heartbeat
-	// traffic of F8-style runs its own baseline (the ROADMAP's BEAT
-	// delta-encoding follow-up needs one).
+	// (full, delta, resync) vs BEAT heartbeats vs the join protocol's
+	// snapshot transfer vs everything else. Splitting at the send path
+	// is what lets benchmarks measure the labeled-ACK cost of
+	// Algorithm 2 — the hottest wire path — separately from payload
+	// dissemination, heartbeat traffic and join-time bulk transfer.
 	sentMsgBytes   atomic.Uint64
 	sentAckBytes   atomic.Uint64
 	sentBeatBytes  atomic.Uint64
+	sentSnapBytes  atomic.Uint64
 	sentOtherBytes atomic.Uint64
 
 	// Durability counters (store path; zero without WithStore).
@@ -289,10 +294,18 @@ type Node struct {
 	cache  *wire.EncodeCache
 	budget int
 
+	// donor is the cached chunk server of the join protocol's snapshot
+	// transfer (loop goroutine only; built on demand by serveSnap, and
+	// replaced when a fresh solicitation arrives).
+	donor *snapxfer.Donor
+
 	// recoveredSnap/recoveredWAL record what Recover replayed to build
 	// this node (zero for New-built nodes). Written before Start.
 	recoveredSnap int
 	recoveredWAL  int
+	// joinedBytes records the donor container size a Join transferred to
+	// build this node (zero otherwise). Written before Start.
+	joinedBytes int
 
 	// finalStats is the algorithm's last Stats snapshot, taken on the
 	// node goroutine as the loop exits (or by a never-started Stop) and
@@ -519,12 +532,13 @@ func (n *Node) MessageStats() (sent, received uint64) {
 
 // ByteStats returns the bytes this node handed to the transport, split
 // by wire-message class: MSG dissemination, the ACK family (full-set,
-// delta and resync frames), BEAT heartbeats, and everything else
-// (future kinds). The sum equals exact bytes on the wire in both
-// batching modes (batch framing adds zero bytes). Safe to poll while
-// the node runs.
-func (n *Node) ByteStats() (msgBytes, ackBytes, beatBytes, otherBytes uint64) {
-	return n.sentMsgBytes.Load(), n.sentAckBytes.Load(), n.sentBeatBytes.Load(), n.sentOtherBytes.Load()
+// delta and resync frames), BEAT heartbeats, the join protocol's
+// snapshot transfer (SNAPREQ/SNAPCHUNK), and everything else (future
+// kinds). The sum equals exact bytes on the wire in both batching modes
+// (batch framing adds zero bytes). Safe to poll while the node runs.
+func (n *Node) ByteStats() (msgBytes, ackBytes, beatBytes, snapBytes, otherBytes uint64) {
+	return n.sentMsgBytes.Load(), n.sentAckBytes.Load(), n.sentBeatBytes.Load(),
+		n.sentSnapBytes.Load(), n.sentOtherBytes.Load()
 }
 
 // StoreStats describes the node's durability activity (all zero without
@@ -696,6 +710,13 @@ func (n *Node) loop(ctx context.Context) {
 				if n.opt.observer != nil {
 					n.opt.observer.OnReceive(m)
 				}
+				if m.Kind.IsSnap() {
+					// Join-protocol traffic is host-level, the way beats
+					// are detector-level: served (or ignored) here, never
+					// shown to the algorithm.
+					n.serveSnap(&step, m)
+					continue
+				}
 				step.Merge(n.proc.Receive(m))
 			}
 			// Every inbound frame lands in exactly one counter: received
@@ -813,6 +834,8 @@ func (n *Node) absorb(s urb.Step) {
 			n.sentAckBytes.Add(uint64(len(frame) - start))
 		case m.Kind.IsBeat():
 			n.sentBeatBytes.Add(uint64(len(frame) - start))
+		case m.Kind.IsSnap():
+			n.sentSnapBytes.Add(uint64(len(frame) - start))
 		default:
 			n.sentOtherBytes.Add(uint64(len(frame) - start))
 		}

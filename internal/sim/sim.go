@@ -31,6 +31,7 @@ import (
 
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
+	"anonurb/internal/snapxfer"
 	"anonurb/internal/store"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
@@ -92,6 +93,16 @@ type RecoverObserver interface {
 	OnRecover(t Time, proc int)
 }
 
+// JoinObserver is the optional extension observers implement to see
+// membership-churn events.
+type JoinObserver interface {
+	// OnJoin fires when a joining process completes its snapshot
+	// transfer and goes live; bytes is the container size it pulled.
+	OnJoin(t Time, proc int, bytes int)
+	// OnLeave fires when a process leaves the cluster for good.
+	OnLeave(t Time, proc int)
+}
+
 // Config fully describes a run.
 type Config struct {
 	// N is the number of processes.
@@ -132,6 +143,23 @@ type Config struct {
 	// disabled). This is the paper's "fast deliver then crash" adversary
 	// (Remark, Section III).
 	CrashAfterDeliveries []int
+	// JoinAt[i], when > 0, makes process i a late joiner (DESIGN.md
+	// §13): it does not exist before that time (no ticks, no inbox),
+	// and at that time it solicits a state snapshot over the lossy
+	// links (SNAPREQ/SNAPCHUNK through the same LinkModel as all other
+	// traffic), restores whichever live peer's snapshot completes and
+	// verifies first, adopts it (urb.Joiner) and goes live. From then
+	// on it counts as correct: the convergence stop holds it to every
+	// delivery obligation except the history it adopted as already
+	// delivered. nil, 0 and Never mean present from the start — the
+	// paper's fixed-n membership.
+	JoinAt []Time
+	// LeaveAt[i], when > 0, removes process i at that time. No farewell
+	// exists on the wire: to the survivors a departed process is
+	// indistinguishable from a crashed one, and the detector's label
+	// purge (DESIGN.md §13) eventually forgets it. nil, 0 and Never mean
+	// the process stays — the paper's fixed-n membership.
+	LeaveAt []Time
 	// Broadcasts is the application workload.
 	Broadcasts []ScheduledBroadcast
 	// StopWhenQuiet, when > 0, ends the run once no wire message has
@@ -160,6 +188,9 @@ const (
 	evSample
 	evCheckpoint
 	evRecover
+	evJoinStart
+	evJoinRetry
+	evLeave
 )
 
 type event struct {
@@ -229,6 +260,24 @@ type Result struct {
 	Crashed []bool
 	// Recovered[i] reports whether process i restarted from its store.
 	Recovered []bool
+	// JoinedAt[i] is the virtual time process i's join completed (its
+	// snapshot verified and adopted), or Never for processes present
+	// from the start or still joining at run end. JoinedAt - JoinAt is
+	// the join latency.
+	JoinedAt []Time
+	// JoinBytes[i] is the snapshot container size process i pulled to
+	// join (the catch-up cost before post-join deltas), 0 otherwise.
+	JoinBytes []int
+	// Left[i] reports whether process i left via LeaveAt (such
+	// processes also report Crashed: to the survivors the two are the
+	// same event).
+	Left []bool
+	// Adopted[i] holds the message ids process i adopted as already
+	// delivered when its join completed. Uniformity forbids it from ever
+	// delivering them itself, so property checkers must credit these as
+	// satisfied rather than demand a delivery event. nil for processes
+	// that never joined.
+	Adopted []map[wire.MsgID]bool
 	// EndTime is the virtual time at which the run stopped.
 	EndTime Time
 	// LastSend is the virtual time of the last copy offered to the
@@ -275,7 +324,35 @@ type Engine struct {
 	// recovery can hand the factory an identical stream for the restored
 	// process to fast-forward.
 	tagClones []*xrand.Source
+	// present[i] is false for a JoinAt process until its transfer
+	// completes: an absent process has no inbox, no ticks and no
+	// delivery obligations.
+	present []bool
+	// joining[i] is process i's in-progress snapshot transfer.
+	joining []*joinState
+	// donors[i] caches process i's chunk server across resume requests
+	// for one transfer reference (rebuilt on every fresh solicitation).
+	donors []*snapxfer.Donor
 }
+
+// joinState is one joiner's transfer progress.
+type joinState struct {
+	asm *snapxfer.Assembler
+	// rejected remembers transfer refs whose assembled container failed
+	// verification, so a bad donor is never retried.
+	rejected map[uint64]bool
+	// lastGain is when the assembler last covered new bytes; a stalled
+	// transfer (dead donor) is abandoned and re-solicited.
+	lastGain Time
+}
+
+// joinStallTicks is how many Task-1 periods without progress make a
+// joiner abandon its donor and solicit afresh.
+const joinStallTicks = 10
+
+// simSnapWindow is how many chunks a donor answers per SNAPREQ, the
+// simulator counterpart of the node layer's serving window.
+const simSnapWindow = 8
 
 // NewEngine validates cfg and builds the run.
 func NewEngine(cfg Config) *Engine {
@@ -302,6 +379,25 @@ func NewEngine(cfg Config) *Engine {
 	}
 	if cfg.Stores != nil && len(cfg.Stores) != cfg.N {
 		panic("sim: Stores length mismatch")
+	}
+	if cfg.JoinAt != nil && len(cfg.JoinAt) != cfg.N {
+		panic("sim: JoinAt length mismatch")
+	}
+	if cfg.LeaveAt != nil && len(cfg.LeaveAt) != cfg.N {
+		panic("sim: LeaveAt length mismatch")
+	}
+	for i, at := range cfg.JoinAt {
+		if at <= 0 {
+			continue
+		}
+		if i < len(cfg.LeaveAt) && cfg.LeaveAt[i] > 0 && cfg.LeaveAt[i] <= at {
+			panic(fmt.Sprintf("sim: LeaveAt[%d]=%d not after JoinAt[%d]=%d", i, cfg.LeaveAt[i], i, at))
+		}
+		for _, b := range cfg.Broadcasts {
+			if b.Proc == i && b.At < at {
+				panic(fmt.Sprintf("sim: broadcast at %d from proc %d before its JoinAt %d", b.At, i, at))
+			}
+		}
 	}
 	if cfg.RecoverAt != nil {
 		if len(cfg.RecoverAt) != cfg.N {
@@ -338,6 +434,20 @@ func NewEngine(cfg Config) *Engine {
 	e.result.Deliveries = make([][]DeliveryAt, cfg.N)
 	e.result.Crashed = make([]bool, cfg.N)
 	e.result.Recovered = make([]bool, cfg.N)
+	e.result.JoinedAt = make([]Time, cfg.N)
+	e.result.JoinBytes = make([]int, cfg.N)
+	e.result.Left = make([]bool, cfg.N)
+	e.result.Adopted = make([]map[wire.MsgID]bool, cfg.N)
+	e.present = make([]bool, cfg.N)
+	e.joining = make([]*joinState, cfg.N)
+	e.donors = make([]*snapxfer.Donor, cfg.N)
+	for i := range e.present {
+		e.present[i] = true
+		e.result.JoinedAt[i] = Never
+		if i < len(cfg.JoinAt) && cfg.JoinAt[i] > 0 {
+			e.present[i] = false
+		}
+	}
 	tagRoot := xrand.SplitLabeled(cfg.Seed, "tags")
 	e.tagClones = make([]*xrand.Source, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -351,10 +461,25 @@ func NewEngine(cfg Config) *Engine {
 		e.procs[i] = cfg.Factory(env)
 	}
 	// Phase-shift the first tick of each process so the mesh does not
-	// operate in lockstep.
+	// operate in lockstep. Late joiners have no tick chain until their
+	// join completes.
 	phase := xrand.SplitLabeled(cfg.Seed, "phase")
 	for i := 0; i < cfg.N; i++ {
-		e.push(&event{at: 1 + phase.Int63n(cfg.TickEvery), kind: evTick, proc: i})
+		first := 1 + phase.Int63n(cfg.TickEvery)
+		if !e.present[i] {
+			continue
+		}
+		e.push(&event{at: first, kind: evTick, proc: i})
+	}
+	for i, at := range cfg.JoinAt {
+		if at > 0 {
+			e.push(&event{at: at, kind: evJoinStart, proc: i})
+		}
+	}
+	for i, at := range cfg.LeaveAt {
+		if at > 0 {
+			e.push(&event{at: at, kind: evLeave, proc: i})
+		}
 	}
 	for i, at := range cfg.CrashAt {
 		if at != Never && at >= 0 {
@@ -492,11 +617,16 @@ func (e *Engine) doCrash(proc int) {
 }
 
 // allCorrectDelivered reports whether every live process has delivered at
-// least want messages.
+// least want messages. Processes that have not joined yet are exempt —
+// but a run with pending joiners is never satisfied, or a stop before
+// the join would vacuously pass churn experiments.
 func (e *Engine) allCorrectDelivered(want int) bool {
 	for i := 0; i < e.cfg.N; i++ {
 		if e.crash[i] {
 			continue
+		}
+		if !e.present[i] {
+			return false
 		}
 		if e.delivered[i] < want {
 			return false
@@ -514,6 +644,11 @@ func (e *Engine) allCorrectDelivered(want int) bool {
 func (e *Engine) converged() bool {
 	if e.remainingBroadcasts > 0 {
 		return false
+	}
+	for p := range e.present {
+		if !e.present[p] && !e.crash[p] {
+			return false // a join is still in flight: membership unsettled
+		}
 	}
 	for id, origin := range e.msgOrigin {
 		if e.crash[origin] && !e.deliveredSomewhere[id] &&
@@ -560,6 +695,16 @@ func (e *Engine) Run() Result {
 			if e.crash[ev.proc] {
 				break
 			}
+			if ev.msg.Kind.IsSnap() {
+				// Join-protocol traffic is host-level, exactly as in
+				// the live node: served or assembled here, never shown
+				// to the algorithm.
+				e.handleSnap(ev.proc, ev.msg)
+				break
+			}
+			if !e.present[ev.proc] {
+				break // not yet joined: the slot has no inbox
+			}
 			if carriesMsg(ev.msg) {
 				e.aliveTouched[ev.msg.ID()] = true
 			}
@@ -568,7 +713,7 @@ func (e *Engine) Run() Result {
 			}
 			e.absorb(ev.proc, e.procs[ev.proc].Receive(ev.msg))
 		case evTick:
-			if e.crash[ev.proc] {
+			if e.crash[ev.proc] || !e.present[ev.proc] {
 				break
 			}
 			e.absorb(ev.proc, e.procs[ev.proc].Tick())
@@ -578,6 +723,12 @@ func (e *Engine) Run() Result {
 		case evCrash:
 			e.doCrash(ev.proc)
 		case evBroadcast:
+			if e.joining[ev.proc] != nil && !e.crash[ev.proc] {
+				// The application waits out an in-flight join:
+				// re-offer the broadcast next period.
+				e.push(&event{at: e.now + e.cfg.TickEvery, kind: evBroadcast, proc: ev.proc, body: ev.body})
+				break
+			}
 			e.remainingBroadcasts--
 			if e.crash[ev.proc] {
 				break
@@ -598,6 +749,12 @@ func (e *Engine) Run() Result {
 			e.push(&event{at: e.now + e.cfg.CheckpointEvery, kind: evCheckpoint})
 		case evRecover:
 			e.doRecover(ev.proc)
+		case evJoinStart:
+			e.startJoin(ev.proc)
+		case evJoinRetry:
+			e.retryJoin(ev.proc)
+		case evLeave:
+			e.doLeave(ev.proc)
 		}
 
 		// ExpectDeliveries alone stops the run early; when StopWhenQuiet
@@ -626,7 +783,7 @@ func (e *Engine) Run() Result {
 // WAL), the simulator's counterpart of the node's checkpoint cadence.
 func (e *Engine) takeCheckpoints() {
 	for i, st := range e.cfg.Stores {
-		if st == nil || e.crash[i] {
+		if st == nil || e.crash[i] || !e.present[i] {
 			continue
 		}
 		d, ok := e.procs[i].(urb.Durable)
@@ -697,6 +854,145 @@ func (e *Engine) doRecover(proc int) {
 	// Resume the tick chain the crash cut (next period, not immediately:
 	// a restart takes at least a beat).
 	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evTick, proc: proc})
+}
+
+// startJoin begins proc's pull-based snapshot transfer: solicit over
+// the lossy links and keep re-requesting on the tick cadence until the
+// container assembles and verifies.
+func (e *Engine) startJoin(proc int) {
+	js := &joinState{asm: snapxfer.NewAssembler(), rejected: make(map[uint64]bool), lastGain: e.now}
+	e.joining[proc] = js
+	e.broadcastCopies(proc, js.asm.Request())
+	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evJoinRetry, proc: proc})
+}
+
+// retryJoin re-requests the lowest missing offset, abandoning a stalled
+// transfer (dead donor) so any other live peer may answer the fresh
+// solicitation.
+func (e *Engine) retryJoin(proc int) {
+	js := e.joining[proc]
+	if js == nil || e.crash[proc] {
+		return
+	}
+	if js.asm.Ref() != 0 && e.now-js.lastGain >= joinStallTicks*e.cfg.TickEvery {
+		js.asm.Reset()
+		js.lastGain = e.now
+	}
+	e.broadcastCopies(proc, js.asm.Request())
+	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evJoinRetry, proc: proc})
+}
+
+// handleSnap routes join-protocol traffic: a live Snapshotter answers
+// solicitations and resume requests (the donor side), and a joining
+// process feeds chunks to its assembler (the joiner side). Neither side
+// ever shows these messages to the algorithm.
+func (e *Engine) handleSnap(proc int, m wire.Message) {
+	if m.Kind == wire.KindSnapReq {
+		if !e.present[proc] {
+			return // joiners do not serve
+		}
+		sn, ok := e.procs[proc].(urb.Snapshotter)
+		if !ok {
+			return
+		}
+		if m.Ref == 0 {
+			e.donors[proc] = snapxfer.NewDonor(store.EncodeSnapshotFile(sn.Snapshot()), 0)
+		} else if e.donors[proc] == nil || e.donors[proc].Ref() != m.Ref {
+			return // another donor's transfer
+		}
+		if e.donors[proc] == nil {
+			return // unservable state
+		}
+		for _, chunk := range e.donors[proc].Serve(m.Off, simSnapWindow) {
+			e.broadcastCopies(proc, chunk)
+		}
+		return
+	}
+	// A SNAPCHUNK is only meaningful at a joining process.
+	js := e.joining[proc]
+	if js == nil || js.rejected[m.Ref] {
+		return
+	}
+	if js.asm.Offer(m) {
+		js.lastGain = e.now
+	}
+	if js.asm.Done() {
+		e.finishJoin(proc)
+	}
+}
+
+// finishJoin verifies the assembled container and brings the joiner
+// live: restore through the recovery path, Adopt (fresh acker identity,
+// rebased delta streams; see urb.Joiner), checkpoint the adopted state
+// as the durable baseline, and start the tick chain. A container that
+// fails verification is remembered by ref — loud locally would be a
+// panic, but a lossy world must tolerate a bad donor — and the transfer
+// re-solicited from someone else.
+func (e *Engine) finishJoin(proc int) {
+	js := e.joining[proc]
+	container := js.asm.Bytes()
+	payload, err := store.ParseSnapshotFile(container)
+	if err == nil {
+		_, err = urb.VerifySnapshot(payload)
+	}
+	if err != nil {
+		js.rejected[js.asm.Ref()] = true
+		js.asm.Reset()
+		js.lastGain = e.now
+		e.broadcastCopies(proc, js.asm.Request())
+		return
+	}
+	j, ok := e.procs[proc].(urb.Joiner)
+	if !ok {
+		panic(fmt.Sprintf("sim: proc %d has JoinAt but %T does not implement urb.Joiner", proc, e.procs[proc]))
+	}
+	if err := j.Restore(payload); err != nil {
+		panic(fmt.Sprintf("sim: proc %d join restore: %v", proc, err))
+	}
+	j.Adopt()
+	e.joining[proc] = nil
+	e.present[proc] = true
+	e.result.JoinedAt[proc] = e.now
+	e.result.JoinBytes[proc] = len(container)
+	// History the joiner adopted as already delivered satisfies its
+	// delivery obligations — uniformity forbids re-delivering it — so
+	// the convergence ledger credits it up front.
+	if hd, ok := e.procs[proc].(interface{ HasDelivered(wire.MsgID) bool }); ok {
+		e.result.Adopted[proc] = make(map[wire.MsgID]bool)
+		for id := range e.msgOrigin {
+			if hd.HasDelivered(id) {
+				e.deliveredAt[proc][id] = true
+				e.result.Adopted[proc][id] = true
+			}
+		}
+	}
+	if proc < len(e.cfg.Stores) && e.cfg.Stores[proc] != nil {
+		if err := e.cfg.Stores[proc].SaveSnapshot(j.Snapshot()); err != nil {
+			panic(fmt.Sprintf("sim: proc %d join checkpoint: %v", proc, err))
+		}
+	}
+	for _, o := range e.cfg.Observers {
+		if jo, ok := o.(JoinObserver); ok {
+			jo.OnJoin(e.now, proc, len(container))
+		}
+	}
+	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evTick, proc: proc})
+}
+
+// doLeave removes a process for good. On the wire a leave IS a crash —
+// no farewell exists — so the crash path runs and the slot additionally
+// reports Left.
+func (e *Engine) doLeave(proc int) {
+	if e.crash[proc] {
+		return
+	}
+	e.doCrash(proc)
+	e.result.Left[proc] = true
+	for _, o := range e.cfg.Observers {
+		if jo, ok := o.(JoinObserver); ok {
+			jo.OnLeave(e.now, proc)
+		}
+	}
 }
 
 func (e *Engine) takeSample() {

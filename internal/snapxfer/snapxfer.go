@@ -1,0 +1,230 @@
+// Package snapxfer implements the snapshot-transfer state machines of
+// the join protocol (DESIGN.md §13): a Donor chunks a state snapshot —
+// framed in the internal/store container format — into KindSnapChunk
+// wire messages sized under the transport's frame budget, and an
+// Assembler at the joining side reassembles them, tolerant of loss,
+// duplication and reordering.
+//
+// The package is pure protocol: it moves bytes, it never interprets
+// them. Validating the assembled container (store.ParseSnapshotFile,
+// urb.VerifySnapshot, the staleness floor) is the caller's job, exactly
+// as the wire codec leaves zero-tag semantics to the algorithms.
+//
+// The transfer is pull-based and resumable. A joiner broadcasts a fresh
+// SNAPREQ (ref 0); any live peer may answer by serving a window of
+// chunks from its current snapshot under a transfer reference (a digest
+// of the container bytes, wire.SnapRef). The joiner then requests the
+// lowest offset it is missing — re-requesting after loss, or after the
+// chunks of a window arrive out of order — until the container is
+// complete. Chunks carry the reference, so concurrent answers from
+// several donors do not interleave: the assembler locks onto the first
+// reference it accepts and ignores the rest. If the donor dies
+// mid-transfer the reference goes silent; the joiner's retry policy
+// resets the assembler and solicits a fresh transfer, which any other
+// peer may answer.
+package snapxfer
+
+import (
+	"sort"
+
+	"anonurb/internal/wire"
+)
+
+// chunkOverhead is the encoded size of a SNAPCHUNK frame minus its
+// payload: version, kind, ref, total, off, sum, chunkLen.
+const chunkOverhead = 2 + 8 + 8 + 8 + 4 + 4
+
+// minChunk keeps pathological frame budgets from degenerating into
+// one-byte chunks.
+const minChunk = 64
+
+// ChunkPayload returns the chunk payload size a donor uses under the
+// given frame budget (0 = unbudgeted, use the codec's maximum).
+func ChunkPayload(frameBudget int) int {
+	size := wire.MaxBody
+	if frameBudget > 0 && frameBudget-chunkOverhead < size {
+		size = frameBudget - chunkOverhead
+	}
+	if size < minChunk {
+		size = minChunk
+	}
+	return size
+}
+
+// Donor serves one snapshot container as chunk messages. It is a value
+// over immutable bytes: hosts build one per transfer reference and cache
+// it while requests for that reference keep arriving.
+type Donor struct {
+	container []byte
+	ref       uint64
+	chunk     int
+}
+
+// NewDonor wraps a container (the store snapshot-file framing of a state
+// snapshot, see store.EncodeSnapshotFile) for serving. The container
+// must be non-empty and at most wire.MaxSnapshot bytes; frameBudget
+// bounds each chunk frame's encoded size as the transport's Mesh
+// FrameBudget does (0 = unbudgeted).
+func NewDonor(container []byte, frameBudget int) *Donor {
+	if len(container) == 0 || len(container) > wire.MaxSnapshot {
+		return nil
+	}
+	return &Donor{
+		container: container,
+		ref:       wire.SnapRef(container),
+		chunk:     ChunkPayload(frameBudget),
+	}
+}
+
+// Ref returns the transfer reference this donor serves under.
+func (d *Donor) Ref() uint64 { return d.ref }
+
+// Size returns the container's total byte length.
+func (d *Donor) Size() uint64 { return uint64(len(d.container)) }
+
+// Serve returns up to maxChunks chunk messages covering the container
+// from byte offset off. An offset at or past the end returns nothing
+// (the joiner asking is already complete, or confused; either way the
+// donor stays silent rather than flood).
+func (d *Donor) Serve(off uint64, maxChunks int) []wire.Message {
+	total := uint64(len(d.container))
+	if off >= total || maxChunks <= 0 {
+		return nil
+	}
+	// Align to the chunk grid so duplicate requests re-serve identical
+	// frames (dedup-friendly) whatever offset the joiner names.
+	off -= off % uint64(d.chunk)
+	var out []wire.Message
+	for len(out) < maxChunks && off < total {
+		end := off + uint64(d.chunk)
+		if end > total {
+			end = total
+		}
+		out = append(out, wire.NewSnapChunk(d.ref, total, off, d.container[off:end]))
+		off = end
+	}
+	return out
+}
+
+// span is one received byte range [from, to).
+type span struct{ from, to uint64 }
+
+// Assembler reassembles one snapshot container from chunk messages. The
+// zero value is not ready; use NewAssembler.
+type Assembler struct {
+	ref   uint64
+	total uint64
+	buf   []byte
+	spans []span // sorted, merged, non-overlapping
+}
+
+// NewAssembler returns an empty assembler: it locks onto the first
+// chunk's transfer reference and ignores chunks of any other.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// Ref returns the transfer reference locked onto, or 0 before the first
+// accepted chunk.
+func (a *Assembler) Ref() uint64 { return a.ref }
+
+// Offer feeds one wire message to the assembler and reports whether it
+// covered bytes that were missing. Non-chunk messages, chunks of other
+// transfers, and duplicates are ignored (false). The chunk's checksum
+// and bounds were already verified by the wire codec.
+func (a *Assembler) Offer(m wire.Message) bool {
+	if m.Kind != wire.KindSnapChunk {
+		return false
+	}
+	if a.ref == 0 {
+		a.ref = m.Ref
+		a.total = m.Total
+		a.buf = make([]byte, m.Total)
+	}
+	if m.Ref != a.ref || m.Total != a.total {
+		return false
+	}
+	from, to := m.Off, m.Off+uint64(len(m.Body))
+	if !a.covers(from, to) {
+		copy(a.buf[from:to], m.Body)
+		a.insert(span{from, to})
+		return true
+	}
+	return false
+}
+
+// covers reports whether [from, to) is already fully received.
+func (a *Assembler) covers(from, to uint64) bool {
+	for _, s := range a.spans {
+		if s.from <= from && to <= s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// insert merges one new span into the sorted set.
+func (a *Assembler) insert(n span) {
+	i := sort.Search(len(a.spans), func(i int) bool { return a.spans[i].from > n.from })
+	a.spans = append(a.spans, span{})
+	copy(a.spans[i+1:], a.spans[i:])
+	a.spans[i] = n
+	merged := a.spans[:1]
+	for _, s := range a.spans[1:] {
+		last := &merged[len(merged)-1]
+		if s.from <= last.to {
+			if s.to > last.to {
+				last.to = s.to
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	a.spans = merged
+}
+
+// NextGap returns the lowest byte offset not yet received — the offset
+// the joiner's next resume request should name. Equal to the total when
+// the transfer is complete, 0 before the first chunk.
+func (a *Assembler) NextGap() uint64 {
+	if len(a.spans) == 0 || a.spans[0].from > 0 {
+		return 0
+	}
+	return a.spans[0].to
+}
+
+// Total returns the container length the locked transfer announced
+// (0 before the first accepted chunk).
+func (a *Assembler) Total() uint64 { return a.total }
+
+// Received returns the count of distinct bytes received so far.
+func (a *Assembler) Received() uint64 {
+	var n uint64
+	for _, s := range a.spans {
+		n += s.to - s.from
+	}
+	return n
+}
+
+// Done reports whether the whole container has been received.
+func (a *Assembler) Done() bool {
+	return a.ref != 0 && len(a.spans) == 1 && a.spans[0].from == 0 && a.spans[0].to == a.total
+}
+
+// Bytes returns the assembled container. Only valid when Done.
+func (a *Assembler) Bytes() []byte { return a.buf }
+
+// Request builds the wire request that advances this transfer: a fresh
+// solicitation before any chunk arrived, a resume naming the lowest gap
+// afterwards.
+func (a *Assembler) Request() wire.Message {
+	if a.ref == 0 {
+		return wire.NewSnapReq(0, 0)
+	}
+	return wire.NewSnapReq(a.ref, a.NextGap())
+}
+
+// Reset abandons the current transfer so the next Offer locks onto a
+// fresh reference — the retry path after a donor dies mid-transfer or
+// the assembled snapshot is rejected (stale, or failing verification).
+func (a *Assembler) Reset() {
+	*a = Assembler{}
+}

@@ -1,0 +1,193 @@
+package snapxfer
+
+import (
+	"bytes"
+	"testing"
+
+	"anonurb/internal/store"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+func container(n int) []byte {
+	payload := make([]byte, n)
+	r := xrand.New(42)
+	for i := range payload {
+		payload[i] = byte(r.Uint64())
+	}
+	return store.EncodeSnapshotFile(payload)
+}
+
+// TestTransferLossless: a donor's chunks reassemble byte-identically,
+// whatever frame budget slices them.
+func TestTransferLossless(t *testing.T) {
+	c := container(10_000)
+	for _, budget := range []int{0, 256, 1024, 1 << 16} {
+		d := NewDonor(c, budget)
+		if d == nil {
+			t.Fatalf("budget %d: nil donor", budget)
+		}
+		a := NewAssembler()
+		rounds := 0
+		for !a.Done() {
+			rounds++
+			if rounds > 1000 {
+				t.Fatalf("budget %d: transfer did not complete", budget)
+			}
+			req := a.Request()
+			for _, m := range d.Serve(req.Off, 4) {
+				a.Offer(roundTrip(t, m))
+			}
+		}
+		if !bytes.Equal(a.Bytes(), c) {
+			t.Fatalf("budget %d: reassembly mismatch", budget)
+		}
+		if _, err := store.ParseSnapshotFile(a.Bytes()); err != nil {
+			t.Fatalf("budget %d: assembled container rejected: %v", budget, err)
+		}
+	}
+}
+
+// roundTrip pushes a message through the codec, as the real transports
+// do — chunk checksums are verified on this path.
+func roundTrip(t *testing.T, m wire.Message) wire.Message {
+	t.Helper()
+	got, err := wire.Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatalf("chunk does not decode: %v", err)
+	}
+	return got
+}
+
+// TestTransferUnderLossAndReorder: drop 30% of chunks and shuffle the
+// rest; resume requests must still complete the transfer.
+func TestTransferUnderLossAndReorder(t *testing.T) {
+	c := container(20_000)
+	d := NewDonor(c, 512)
+	a := NewAssembler()
+	r := xrand.New(7)
+	rounds := 0
+	for !a.Done() {
+		rounds++
+		if rounds > 10_000 {
+			t.Fatal("transfer did not complete under loss")
+		}
+		req := a.Request()
+		window := d.Serve(req.Off, 8)
+		// Shuffle the window, then drop ~30%.
+		for i := len(window) - 1; i > 0; i-- {
+			j := int(r.Uint64() % uint64(i+1))
+			window[i], window[j] = window[j], window[i]
+		}
+		for _, m := range window {
+			if r.Uint64()%10 < 3 {
+				continue
+			}
+			a.Offer(m)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), c) {
+		t.Fatal("reassembly mismatch under loss")
+	}
+}
+
+// TestAssemblerLocksRef: chunks of a competing transfer are ignored, so
+// two donors answering one solicitation cannot interleave bytes.
+func TestAssemblerLocksRef(t *testing.T) {
+	c1, c2 := container(3000), append(container(3000), 0xAA)
+	d1, d2 := NewDonor(c1, 512), NewDonor(c2, 512)
+	if d1.Ref() == d2.Ref() {
+		t.Fatal("distinct containers share a ref")
+	}
+	a := NewAssembler()
+	a.Offer(d1.Serve(0, 1)[0])
+	if a.Ref() != d1.Ref() {
+		t.Fatal("assembler did not lock onto the first ref")
+	}
+	for _, m := range d2.Serve(0, 100) {
+		if a.Offer(m) {
+			t.Fatal("assembler accepted a chunk of another transfer")
+		}
+	}
+	for !a.Done() {
+		for _, m := range d1.Serve(a.NextGap(), 4) {
+			a.Offer(m)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), c1) {
+		t.Fatal("reassembly mismatch after competing transfer")
+	}
+}
+
+// TestAssemblerResetRetargets: after Reset the assembler accepts a fresh
+// transfer — the donor-crash retry path.
+func TestAssemblerResetRetargets(t *testing.T) {
+	c1, c2 := container(3000), append(container(3000), 0xBB)
+	d1, d2 := NewDonor(c1, 512), NewDonor(c2, 512)
+	a := NewAssembler()
+	a.Offer(d1.Serve(0, 1)[0]) // partial transfer, then the donor dies
+	a.Reset()
+	if a.Ref() != 0 || a.Received() != 0 {
+		t.Fatal("reset did not clear the transfer")
+	}
+	if a.Request().Ref != 0 {
+		t.Fatal("post-reset request must solicit a fresh transfer")
+	}
+	for !a.Done() {
+		for _, m := range d2.Serve(a.NextGap(), 4) {
+			a.Offer(m)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), c2) {
+		t.Fatal("retry against the second donor failed")
+	}
+}
+
+// TestDonorGridAlignment: duplicate resume requests re-serve identical
+// frames, and offsets past the end stay silent.
+func TestDonorGridAlignment(t *testing.T) {
+	c := container(2000)
+	d := NewDonor(c, 512)
+	a1 := d.Serve(700, 1)
+	b1 := d.Serve(701, 1)
+	if len(a1) != 1 || len(b1) != 1 || !a1[0].Equal(b1[0]) {
+		t.Fatal("mid-chunk offsets must align to the chunk grid")
+	}
+	if d.Serve(d.Size(), 4) != nil {
+		t.Fatal("donor served past the end")
+	}
+	if d.Serve(0, 0) != nil {
+		t.Fatal("donor served a zero-chunk window")
+	}
+}
+
+// TestChunkPayloadBudget: chunk frames respect the frame budget they
+// were sized for.
+func TestChunkPayloadBudget(t *testing.T) {
+	c := container(5000)
+	for _, budget := range []int{256, 300, 1024} {
+		d := NewDonor(c, budget)
+		for _, m := range d.Serve(0, 100) {
+			if m.EncodedSize() > budget {
+				t.Fatalf("budget %d: chunk frame is %dB", budget, m.EncodedSize())
+			}
+		}
+	}
+	if ChunkPayload(10) != minChunk {
+		t.Fatal("pathological budget must clamp to the minimum chunk")
+	}
+	if ChunkPayload(0) != wire.MaxBody {
+		t.Fatal("unbudgeted chunks must use the codec maximum")
+	}
+}
+
+// TestDonorRejectsUnservable: empty and oversized containers refuse to
+// construct rather than emit unsendable frames.
+func TestDonorRejectsUnservable(t *testing.T) {
+	if NewDonor(nil, 0) != nil {
+		t.Fatal("empty container accepted")
+	}
+	if NewDonor(make([]byte, wire.MaxSnapshot+1), 0) != nil {
+		t.Fatal("oversized container accepted")
+	}
+}

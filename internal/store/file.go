@@ -173,15 +173,7 @@ func (s *File) SaveSnapshot(snap []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	var buf []byte
-	buf = append(buf, snapMagic...)
-	buf = append(buf, snapFileVer)
-	var scratch [4]byte
-	binary.BigEndian.PutUint32(scratch[:], uint32(len(snap)))
-	buf = append(buf, scratch[:]...)
-	buf = append(buf, snap...)
-	binary.BigEndian.PutUint32(scratch[:], crc32.Checksum(snap, crcTable))
-	buf = append(buf, scratch[:]...)
+	buf := EncodeSnapshotFile(snap)
 
 	tmp, err := os.CreateTemp(s.dir, snapFileName+".tmp-*")
 	if err != nil {
@@ -299,6 +291,24 @@ func (s *File) loadSnapshot() ([]byte, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return ParseSnapshotFile(data)
+}
+
+// EncodeSnapshotFile frames a snapshot payload in the container format
+// (the snapshot.bin layout: magic, version, length, payload, CRC-32C).
+// SaveSnapshot writes exactly these bytes, and the join protocol
+// (DESIGN.md §13) transfers exactly these bytes chunk by chunk, so a
+// received snapshot passes through the same integrity gate as one read
+// off disk.
+func EncodeSnapshotFile(snap []byte) []byte {
+	buf := make([]byte, 0, len(snapMagic)+1+4+len(snap)+4)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapFileVer)
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], uint32(len(snap)))
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, snap...)
+	binary.BigEndian.PutUint32(scratch[:], crc32.Checksum(snap, crcTable))
+	return append(buf, scratch[:]...)
 }
 
 // IsSnapshotFile reports whether data begins with the snapshot

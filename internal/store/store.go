@@ -75,6 +75,20 @@ type Stats struct {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// SnapshotMutator deterministically rewrites a stored snapshot at Load
+// time — the durable-state analogue of a channel.LinkModel deciding a
+// frame's fate on the wire. The self-stabilization harness (DESIGN.md
+// §13) installs mutators that hand Restore arbitrarily corrupted (but
+// digest-valid) state; a mutator must be a pure function of its input so
+// fuzz runs stay reproducible. Returning the input unchanged is the
+// identity fault.
+type SnapshotMutator interface {
+	// MutateSnapshot receives a copy of the stored snapshot payload and
+	// returns the bytes Load should hand out instead. The copy is owned
+	// by the mutator: it may modify it in place and return it.
+	MutateSnapshot(snap []byte) []byte
+}
+
 // Mem is the in-memory Store used by tests and simulations.
 type Mem struct {
 	mu     sync.Mutex
@@ -86,6 +100,10 @@ type Mem struct {
 	// record had been half-written: the last WAL record is dropped (fault
 	// injection for replay tests; cleared by the Load that honours it).
 	tornTail bool
+	// mutator, when set, rewrites the snapshot each Load returns (fault
+	// injection for self-stabilization tests; the stored bytes are left
+	// untouched).
+	mutator SnapshotMutator
 }
 
 var _ Store = (*Mem)(nil)
@@ -139,6 +157,9 @@ func (m *Mem) Load() ([]byte, [][]byte, error) {
 	var snap []byte
 	if m.snap != nil {
 		snap = append([]byte(nil), m.snap...)
+		if m.mutator != nil {
+			snap = m.mutator.MutateSnapshot(snap)
+		}
 	}
 	out := make([][]byte, len(wal))
 	for i, r := range wal {
@@ -153,6 +174,14 @@ func (m *Mem) TearTail() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.tornTail = true
+}
+
+// SetSnapshotMutator installs (or, with nil, removes) the corruption
+// injector applied to every snapshot Load returns. See SnapshotMutator.
+func (m *Mem) SetSnapshotMutator(mu SnapshotMutator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mutator = mu
 }
 
 // Stats implements Store.

@@ -385,3 +385,70 @@ func TestWALFrameChecksum(t *testing.T) {
 		t.Fatal("payload moved")
 	}
 }
+
+// flipMutator is a deterministic SnapshotMutator XORing one byte.
+type flipMutator struct{ off int }
+
+func (f flipMutator) MutateSnapshot(snap []byte) []byte {
+	if len(snap) > 0 {
+		snap[f.off%len(snap)] ^= 0xff
+	}
+	return snap
+}
+
+// TestMemSnapshotMutator: the injector rewrites what Load hands out but
+// never the stored bytes, and uninstalls cleanly.
+func TestMemSnapshotMutator(t *testing.T) {
+	m := NewMem()
+	if err := m.SaveSnapshot([]byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	m.SetSnapshotMutator(flipMutator{off: 0})
+	snap, _, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) == "pristine" {
+		t.Fatal("mutator not applied")
+	}
+	m.SetSnapshotMutator(nil)
+	snap, _, err = m.Load()
+	if err != nil || string(snap) != "pristine" {
+		t.Fatalf("stored bytes damaged: %q, %v", snap, err)
+	}
+}
+
+// TestEncodeSnapshotFileRoundTrip: the exported container encoder is the
+// exact inverse of ParseSnapshotFile — and byte-identical to what
+// SaveSnapshot writes, so a transferred snapshot and a disk snapshot
+// pass one integrity gate.
+func TestEncodeSnapshotFileRoundTrip(t *testing.T) {
+	payload := []byte("state snapshot payload \x00\xff bytes")
+	enc := EncodeSnapshotFile(payload)
+	if !IsSnapshotFile(enc) {
+		t.Fatal("encoded container lacks the magic")
+	}
+	got, err := ParseSnapshotFile(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("container round trip mangled the payload")
+	}
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SaveSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, snapFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != string(enc) {
+		t.Fatal("SaveSnapshot and EncodeSnapshotFile disagree on the container bytes")
+	}
+}

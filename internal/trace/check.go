@@ -57,6 +57,11 @@ type Checker struct {
 	// agreement), which are only meaningful if the run was given enough
 	// time to converge.
 	CheckConvergent bool
+	// Adopted[i], when non-nil, holds message ids process i adopted as
+	// already delivered when it joined mid-run (DESIGN.md §13). Adoption
+	// commits the joiner to never delivering these itself, so uniform
+	// agreement counts them as satisfied without a delivery event.
+	Adopted []map[wire.MsgID]bool
 }
 
 // NewChecker builds a checker for a run over n processes.
@@ -174,6 +179,9 @@ func (c *Checker) Check(events []Event) *Report {
 				if c.crashed[p] {
 					continue
 				}
+				if p < len(c.Adopted) && c.Adopted[p][id] {
+					continue // adopted as history at join: obligation met
+				}
 				if !procs[p] {
 					rep.add("uniform-agreement",
 						"%v delivered by %d process(es) but correct p%d never delivered it",
@@ -190,6 +198,7 @@ func (c *Checker) Check(events []Event) *Report {
 func CheckResult(res sim.Result) *Report {
 	n := len(res.Deliveries)
 	c := NewChecker(n, res.Crashed)
+	c.Adopted = res.Adopted
 	var events []Event
 	for _, b := range res.Broadcasts {
 		events = append(events, Event{At: b.At, Kind: KindBroadcast, Proc: b.Proc, ID: b.ID})

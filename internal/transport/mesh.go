@@ -116,8 +116,12 @@ func NewMesh(cfg MeshConfig) *Mesh {
 	return m
 }
 
-// N returns the number of endpoints.
-func (m *Mesh) N() int { return m.cfg.N }
+// N returns the number of endpoints, counting any added by Grow.
+func (m *Mesh) N() int {
+	m.epMu.RLock()
+	defer m.epMu.RUnlock()
+	return len(m.eps)
+}
 
 // Endpoint returns endpoint i's Transport. Closing it detaches that
 // endpoint only (its peers keep running); Close on the mesh closes all.
@@ -146,6 +150,43 @@ func (m *Mesh) Reopen(i int) Transport {
 	}
 	m.eps[i] = ep
 	return ep
+}
+
+// Grow appends a fresh endpoint slot to the mesh and returns its
+// Transport — the dynamic-membership generalisation of Reopen: Reopen
+// replaces an existing slot (same index, a crashed node recovering),
+// Grow creates a new one (new index, a process joining the cluster).
+// The link network gains a row and column of fresh fair-lossy links;
+// existing links keep their counters and burst state. The new endpoint
+// sees only traffic sent after it joined — catching up on earlier state
+// is the join protocol's job, not the transport's.
+func (m *Mesh) Grow() Transport {
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	n := len(m.eps) + 1
+	m.netMu.Lock()
+	m.net.Grow(n)
+	m.netMu.Unlock()
+	ep := &meshEndpoint{
+		mesh:  m,
+		index: n - 1,
+		inbox: make(chan []byte, m.cfg.InboxDepth),
+	}
+	m.eps = append(m.eps, ep)
+	return ep
+}
+
+// Detach closes endpoint i for good — the leave path. The slot stays
+// (indices are stable, and links never disappear from the network), but
+// the endpoint neither sends nor receives again: to the survivors a
+// departed process is indistinguishable from a crashed one, and the D4
+// purge eventually forgets its labels. Unlike Reopen, nothing replaces
+// the endpoint; a returning process must Grow a new slot and re-join.
+func (m *Mesh) Detach(i int) {
+	m.epMu.RLock()
+	ep := m.eps[i]
+	m.epMu.RUnlock()
+	ep.Close()
 }
 
 // ElapsedUnits returns the mesh age in link-delay units (the live
@@ -205,7 +246,7 @@ func (m *Mesh) Close() error {
 
 // String describes the mesh.
 func (m *Mesh) String() string {
-	return fmt.Sprintf("mesh(n=%d, link=%s, unit=%s)", m.cfg.N, m.cfg.Link, m.cfg.Unit)
+	return fmt.Sprintf("mesh(n=%d, link=%s, unit=%s)", m.N(), m.cfg.Link, m.cfg.Unit)
 }
 
 // broadcast offers one frame to every directed link out of src;
@@ -220,7 +261,14 @@ func (m *Mesh) broadcast(src int, frame []byte) {
 	}
 	now := m.ElapsedUnits()
 	m.lastSend.Store(now)
-	for dst := 0; dst < m.cfg.N; dst++ {
+	// Snapshot the endpoint set: endpoints added by a concurrent Grow
+	// miss this frame, which is legal — the links are lossy, and a
+	// joiner catches up through the join protocol, not the backlog.
+	m.epMu.RLock()
+	eps := make([]*meshEndpoint, len(m.eps))
+	copy(eps, m.eps)
+	m.epMu.RUnlock()
+	for dst, target := range eps {
 		m.netMu.Lock()
 		v := m.net.Send(now, src, dst, len(frame))
 		m.netMu.Unlock()
@@ -229,9 +277,6 @@ func (m *Mesh) broadcast(src int, frame []byte) {
 			m.drops.Add(1)
 			continue
 		}
-		m.epMu.RLock()
-		target := m.eps[dst]
-		m.epMu.RUnlock()
 		delay := time.Duration(v.Delay) * m.cfg.Unit
 		if delay <= 0 {
 			target.deliver(frame)

@@ -1,0 +1,88 @@
+package transport_test
+
+// Dynamic membership at the transport layer: Grow appends an endpoint
+// slot that immediately participates in broadcasts both ways, Detach
+// silences one for good, and neither disturbs the established slots.
+
+import (
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/transport"
+)
+
+func reliableMesh(t *testing.T, n int) *transport.Mesh {
+	t.Helper()
+	m := transport.NewMesh(transport.MeshConfig{
+		N:    n,
+		Link: channel.Reliable{D: channel.FixedDelay(0)},
+		Unit: time.Millisecond,
+		Seed: 3,
+	})
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func recvOne(t *testing.T, tr transport.Transport, what string) []byte {
+	t.Helper()
+	select {
+	case f := <-tr.Receive():
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timeout waiting for %s", what)
+		return nil
+	}
+}
+
+func TestMeshGrowAddsLiveEndpoint(t *testing.T) {
+	m := reliableMesh(t, 2)
+	joiner := m.Grow()
+	if got := m.N(); got != 3 {
+		t.Fatalf("N after Grow = %d, want 3", got)
+	}
+
+	// The grown endpoint hears subsequent broadcasts from old slots...
+	m.Endpoint(0).Send([]byte("hello"))
+	if got := recvOne(t, joiner, "frame at grown endpoint"); string(got) != "hello" {
+		t.Fatalf("grown endpoint received %q", got)
+	}
+	// ...and its own sends reach everyone, including itself (self-link).
+	joiner.Send([]byte("back"))
+	for i := 0; i < 2; i++ {
+		recvOne(t, m.Endpoint(i), "joiner frame at old endpoint")
+	}
+	recvOne(t, joiner, "joiner frame on its own self-link")
+}
+
+func TestMeshGrowThenReopen(t *testing.T) {
+	// A grown slot is a first-class slot: the crash-recovery path
+	// (Reopen) works on it like on any seed slot.
+	m := reliableMesh(t, 1)
+	m.Grow()
+	fresh := m.Reopen(1)
+	m.Endpoint(0).Send([]byte("x"))
+	recvOne(t, fresh, "frame at reopened grown slot")
+}
+
+func TestMeshDetachSilencesEndpoint(t *testing.T) {
+	m := reliableMesh(t, 3)
+	m.Detach(2)
+	// A detached endpoint neither receives...
+	m.Endpoint(0).Send([]byte("gone"))
+	recvOne(t, m.Endpoint(1), "frame at live endpoint")
+	select {
+	case f, ok := <-m.Endpoint(2).Receive():
+		if ok {
+			t.Fatalf("detached endpoint received %q", f)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("detached endpoint's channel not closed")
+	}
+	// ...nor sends: the survivors hear nothing further from it.
+	sends0, _ := m.Stats()
+	m.Endpoint(2).Send([]byte("ghost"))
+	if sends, _ := m.Stats(); sends != sends0 {
+		t.Fatal("detached endpoint still offered frames to the network")
+	}
+}

@@ -1,0 +1,384 @@
+package urb
+
+// Randomized churn equivalence: a cluster that experiences a mid-run
+// JOIN (a real chunked snapshot transfer, through the wire codec, under
+// chunk loss) and a late LEAVE must reach the same deliveries/claims
+// fixpoint as a cluster whose final membership ran uninterrupted from
+// the start — and the joiner must never re-deliver adopted history.
+// Same two-phase technique as TestQuiescentCrashRecoverEquivalence:
+// settle to the AΘ fixpoint with retirement off, compare, then reveal
+// AP* and require the identical retirement endgame (DESIGN.md §13).
+
+import (
+	"fmt"
+	"testing"
+
+	"anonurb/internal/fd"
+	"anonurb/internal/ident"
+	"anonurb/internal/snapxfer"
+	"anonurb/internal/store"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// churnCluster is the recCluster shape with membership churn: slots may
+// be absent (not yet joined) or left (fallen silent), and deliveries
+// may be chaos-dropped while lossy is set — Task 1's retransmission is
+// what makes the fixpoint loss-independent.
+type churnCluster struct {
+	procs []*Quiescent
+	// absent slots have no process yet; left slots fell silent.
+	absent []bool
+	left   []bool
+	queues [][]wire.Message
+	theta  fd.View
+	star   fd.View
+	det    fd.Detector
+	cfg    Config
+	lossy  bool
+	loss   *xrand.Source
+	// delivered counts every Step-observed delivery per proc and body:
+	// the re-delivery ledger (adoption is not a Step delivery).
+	delivered []map[string]int
+}
+
+func newChurnCluster(n int, seed uint64, cfg Config, theta fd.View, absentLast bool) *churnCluster {
+	c := &churnCluster{
+		queues:    make([][]wire.Message, n),
+		absent:    make([]bool, n),
+		left:      make([]bool, n),
+		theta:     theta,
+		cfg:       cfg,
+		loss:      xrand.SplitLabeled(seed, "churn-loss"),
+		delivered: make([]map[string]int, n),
+	}
+	c.det = &fd.Func{
+		ThetaFn: func() fd.View { return c.theta },
+		StarFn:  func() fd.View { return c.star },
+	}
+	for i := 0; i < n; i++ {
+		c.procs = append(c.procs, NewQuiescent(c.det, ident.NewSource(xrand.New(seed+uint64(i)*7919)), cfg))
+		c.delivered[i] = make(map[string]int)
+	}
+	if absentLast {
+		c.absent[n-1] = true
+	}
+	return c
+}
+
+// live reports whether slot i currently runs a participating process.
+func (c *churnCluster) live(i int) bool { return !c.absent[i] && !c.left[i] }
+
+func (c *churnCluster) absorb(i int, s Step) {
+	for _, d := range s.Deliveries {
+		c.delivered[i][d.ID.Body]++
+	}
+	for _, m := range s.Broadcasts {
+		for j := range c.queues {
+			if c.live(j) {
+				c.queues[j] = append(c.queues[j], m)
+			}
+		}
+	}
+}
+
+func (c *churnCluster) deliverOne(i int) {
+	if !c.live(i) || len(c.queues[i]) == 0 {
+		return
+	}
+	m := c.queues[i][0]
+	c.queues[i] = c.queues[i][1:]
+	if c.lossy && c.loss.Uint64()%5 == 0 {
+		return // 20% chaos loss: the channel ate it
+	}
+	c.absorb(i, c.procs[i].Receive(m))
+}
+
+func (c *churnCluster) tick(i int) {
+	if c.live(i) {
+		c.absorb(i, c.procs[i].Tick())
+	}
+}
+
+// leave drops slot i from the cluster: no farewell on the wire, its
+// queued frames die with it — indistinguishable from a crash, exactly
+// the leave semantics DESIGN.md §13 specifies.
+func (c *churnCluster) leave(i int) {
+	c.left[i] = true
+	c.queues[i] = nil
+}
+
+// join bootstraps slot i through the real transfer machinery: the donor
+// chunks its container under a frame budget, every chunk crosses the
+// wire codec and may be chaos-dropped, and the assembler re-requests
+// its lowest gap until the container verifies — then Restore + Adopt.
+func (c *churnCluster) join(t *testing.T, i, donor int, seed uint64) {
+	t.Helper()
+	container := store.EncodeSnapshotFile(c.procs[donor].Snapshot())
+	d := snapxfer.NewDonor(container, 256)
+	asm := snapxfer.NewAssembler()
+	for round := 0; !asm.Done(); round++ {
+		if round > 4096 {
+			t.Fatal("chunked transfer never completed under loss")
+		}
+		req := asm.Request()
+		for _, chunk := range d.Serve(req.Off, 4) {
+			if c.loss.Uint64()%5 == 0 {
+				continue // chunk lost: resumability must cover it
+			}
+			m, rest, err := wire.DecodePrefix(chunk.Encode(nil))
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("chunk round-trip: %v (rest %d)", err, len(rest))
+			}
+			asm.Offer(m)
+		}
+	}
+	got := asm.Bytes()
+	if len(got) != len(container) {
+		t.Fatalf("assembled %d bytes, want %d", len(got), len(container))
+	}
+	payload, err := store.ParseSnapshotFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	p := NewQuiescent(c.det, ident.NewSource(xrand.New(seed)), c.cfg)
+	if err := p.Restore(payload); err != nil {
+		t.Fatalf("joiner restore: %v", err)
+	}
+	p.Adopt()
+	c.procs[i] = p
+	c.absent[i] = false
+}
+
+func (c *churnCluster) settle(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for i := range c.procs {
+			c.tick(i)
+		}
+		for i := range c.procs {
+			for c.live(i) && len(c.queues[i]) > 0 {
+				c.deliverOne(i)
+			}
+		}
+	}
+}
+
+func (c *churnCluster) drain(t *testing.T, name string) {
+	t.Helper()
+	for round := 0; round < 400; round++ {
+		for i := range c.procs {
+			for c.live(i) && len(c.queues[i]) > 0 {
+				c.deliverOne(i)
+			}
+		}
+		sent := 0
+		for i := range c.procs {
+			if !c.live(i) {
+				continue
+			}
+			s := c.procs[i].Tick()
+			sent += len(s.Broadcasts)
+			c.absorb(i, s)
+		}
+		if sent == 0 {
+			empty := true
+			for i := range c.procs {
+				if c.live(i) && len(c.queues[i]) > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				return
+			}
+		}
+	}
+	t.Fatalf("%s cluster did not quiesce within the drain budget", name)
+}
+
+// compareChurnClusters checks the live intersection of both clusters
+// for identical delivered sets, retirement and claims (same contract as
+// compareRecClusters; tags are not compared — the joiner acks under
+// fresh pins by design).
+func compareChurnClusters(t *testing.T, phase string, base, churny *churnCluster, msgs int) {
+	t.Helper()
+	for i := range base.procs {
+		if !churny.live(i) || !base.live(i) {
+			continue
+		}
+		bp, cp := base.procs[i], churny.procs[i]
+		bDel, cDel := deliveredBodies(bp), deliveredBodies(cp)
+		if len(bDel) != msgs || len(cDel) != msgs {
+			t.Fatalf("%s: p%d delivered base=%d churny=%d, want %d", phase, i, len(bDel), len(cDel), msgs)
+		}
+		for b := range bDel {
+			if !cDel[b] {
+				t.Fatalf("%s: p%d: churn cluster missed delivery of %q", phase, i, b)
+			}
+		}
+		if br, cr := bp.RetiredCount(), cp.RetiredCount(); br != cr {
+			t.Fatalf("%s: p%d retirement diverged: base=%d churny=%d", phase, i, br, cr)
+		}
+		bc, cc := claimsByLabel(bp), claimsByLabel(cp)
+		if len(bc) != len(cc) {
+			t.Fatalf("%s: p%d tracks %d vs %d messages", phase, i, len(bc), len(cc))
+		}
+		for body, bm := range bc {
+			cm, ok := cc[body]
+			if !ok {
+				t.Fatalf("%s: p%d: no ACK state for %q after churn", phase, i, body)
+			}
+			if len(bm) != len(cm) {
+				t.Fatalf("%s: p%d %q: claim label sets differ: base=%v churny=%v", phase, i, body, bm, cm)
+			}
+			for l, cnt := range bm {
+				if cm[l] != cnt {
+					t.Fatalf("%s: p%d %q: claims[%s] base=%d churny=%d", phase, i, body, l, cnt, cm[l])
+				}
+			}
+		}
+	}
+}
+
+// TestQuiescentChurnEquivalence drives randomized schedules with 20%
+// chaos loss through two clusters: base runs the final membership from
+// the start; churny starts one process short, JOINs it mid-run through
+// a real chunked snapshot transfer (itself under chunk loss), and after
+// the fixpoint compare a founder LEAVEs churny without a word. The
+// fixpoint and the retirement endgame must match on every process both
+// clusters share — and the joiner must never re-deliver a body its
+// adopted state already delivered. Runs under both ACK encodings.
+func TestQuiescentChurnEquivalence(t *testing.T) {
+	for _, delta := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			delta, seed := delta, seed
+			t.Run(fmt.Sprintf("delta=%v/seed=%d", delta, seed), func(t *testing.T) {
+				rng := xrand.New(seed * 0x5bd1e995)
+				nFound := 3 + int(rng.Uint64()%2) // founders
+				n := nFound + 1                   // final membership
+				msgs := 4 + int(rng.Uint64()%3)
+				preMsgs := 1 + int(rng.Uint64()%2) // broadcast before the join
+				cfg := Config{
+					CheckOnTick:      rng.Uint64()%2 == 0,
+					RetireBeforeSend: rng.Uint64()%2 == 0,
+					DeltaAcks:        delta,
+				}
+				// Delivery needs nFound claims per label: satisfiable both
+				// before and after the join, so pre-join history is
+				// delivered (and adopted as such) in both clusters.
+				view := fd.Normalize(fd.View{
+					{Label: lbl(1), Number: nFound},
+					{Label: lbl(2), Number: nFound},
+				})
+
+				base := newChurnCluster(n, seed, cfg, view.Clone(), false)
+				churny := newChurnCluster(n, seed, cfg, view.Clone(), true)
+				base.lossy, churny.lossy = true, true
+
+				sent := 0
+				phase := func(steps, until, bcastPool int) {
+					for step := 0; step < steps; step++ {
+						switch op := rng.Uint64() % 10; {
+						case op < 5:
+							i := int(rng.Uint64() % uint64(n))
+							base.deliverOne(i)
+							churny.deliverOne(i)
+						case op < 8:
+							i := int(rng.Uint64() % uint64(n))
+							base.tick(i)
+							churny.tick(i)
+						default:
+							if sent >= until {
+								continue
+							}
+							i := int(rng.Uint64() % uint64(bcastPool))
+							body := []byte(fmt.Sprintf("m%d", sent))
+							sent++
+							_, s := base.procs[i].Broadcast(body)
+							base.absorb(i, s)
+							_, s2 := churny.procs[i].Broadcast(body)
+							churny.absorb(i, s2)
+						}
+					}
+					for ; sent < until; sent++ {
+						body := []byte(fmt.Sprintf("m%d", sent))
+						_, s := base.procs[0].Broadcast(body)
+						base.absorb(0, s)
+						_, s2 := churny.procs[0].Broadcast(body)
+						churny.absorb(0, s2)
+					}
+				}
+
+				// Phase A: founders only; the joiner's slot is empty in
+				// churny (base's n-1 participates — it IS the membership
+				// churny is heading for).
+				phase(120+int(rng.Uint64()%80), preMsgs, nFound)
+				// Let churny's founders reach a state where pre-join
+				// history is delivered, so adoption is non-trivial (the
+				// fair-lossy channel pauses: retransmission got through).
+				base.lossy, churny.lossy = false, false
+				churny.settle(4)
+				base.settle(4)
+
+				// JOIN: real chunked transfer from a random founder.
+				donor := int(rng.Uint64() % uint64(nFound))
+				churny.join(t, n-1, donor, seed+uint64(n-1)*7919)
+				adopted := deliveredBodies(churny.procs[n-1])
+				if len(adopted) < preMsgs {
+					t.Fatalf("adopted only %d bodies, want at least %d", len(adopted), preMsgs)
+				}
+
+				// Phase B: full membership on both sides, loss back on.
+				base.lossy, churny.lossy = true, true
+				phase(120+int(rng.Uint64()%80), msgs, n)
+
+				// Phase 1 fixpoint: lossless settle, then compare.
+				base.lossy, churny.lossy = false, false
+				base.settle(8)
+				churny.settle(8)
+				compareChurnClusters(t, "fixpoint", base, churny, msgs)
+
+				// Zero re-deliveries at the joiner: nothing its adopted
+				// state delivered may surface as a Step delivery, and
+				// nothing anywhere is delivered twice.
+				for body := range adopted {
+					if got := churny.delivered[n-1][body]; got != 0 {
+						t.Fatalf("joiner re-delivered adopted %q %d times", body, got)
+					}
+				}
+				for i := range churny.procs {
+					for body, cnt := range churny.delivered[i] {
+						if cnt > 1 {
+							t.Fatalf("churny p%d delivered %q %d times", i, body, cnt)
+						}
+					}
+				}
+
+				// LEAVE: a founder falls silent in churny only. Its ACK
+				// evidence is already at the fixpoint everywhere, so the
+				// survivors' endgame must match base's exactly.
+				churny.leave(int(rng.Uint64() % uint64(nFound)))
+
+				// Phase 2 endgame: AP* revealed, both clusters retire
+				// everything and fall silent — D4-style forgetting of the
+				// leaver costs the survivors nothing.
+				base.star = view.Clone()
+				churny.star = view.Clone()
+				base.drain(t, "uninterrupted")
+				churny.drain(t, "churn")
+				compareChurnClusters(t, "quiescence", base, churny, msgs)
+				for i := range churny.procs {
+					if !churny.live(i) {
+						continue
+					}
+					if got := churny.procs[i].RetiredCount(); got != msgs {
+						t.Fatalf("churny p%d retired %d/%d after AP* reveal", i, got, msgs)
+					}
+				}
+			})
+		}
+	}
+}

@@ -985,6 +985,13 @@ func (h *HeartbeatHost) ApplyWAL(rec DurableEvent) error { return h.inner.ApplyW
 // delta-ACK incarnation rule of DESIGN.md §9 applied to beats) — and the
 // next beat re-snapshots so receivers resynchronise without a BEATREQ.
 func (h *HeartbeatHost) Rejoin() {
+	h.rebaseBeatStream()
+	h.inner.Rejoin()
+}
+
+// rebaseBeatStream starts a new beat-stream incarnation: the epoch bump
+// shared by Rejoin (crash recovery) and Adopt (join).
+func (h *HeartbeatHost) rebaseBeatStream() {
 	if inc := h.beatEpoch >> 16; inc < 0xffff {
 		h.beatEpoch = (inc+1)<<16 | 1
 	} else {
@@ -998,7 +1005,6 @@ func (h *HeartbeatHost) Rejoin() {
 		h.beatEpoch = 1<<32 - 1
 	}
 	h.beatSnapSent = false
-	h.inner.Rejoin()
 }
 
 // HeardLabel aliases the detector-layer entry the host snapshot carries.
@@ -1081,6 +1087,14 @@ type SnapshotInfo struct {
 	Stats Stats
 	// Draws is the tag-stream position.
 	Draws uint64
+	// Incarnation is the delta-ACK incarnation the snapshot's streams
+	// are based at (the epoch floor's high half; 0 for a process that
+	// never recovered, and always 0 for Majority snapshots, whose ACKs
+	// carry no sequencing). The join protocol's staleness gate compares
+	// it against the joiner's own floor: a donor snapshot from an older
+	// incarnation than state the joiner has already held is a replay of
+	// superseded history, rejected before Restore (DESIGN.md §13).
+	Incarnation uint64
 	// Digest is the verified fingerprint digest.
 	Digest uint64
 }
@@ -1177,8 +1191,10 @@ func VerifySnapshot(data []byte) (SnapshotInfo, error) {
 		info.Draws = p.tags.Draws()
 	case *Quiescent:
 		info.Draws = p.tags.Draws()
+		info.Incarnation = p.epochFloor >> 32
 	case *HeartbeatHost:
 		info.Draws = p.inner.tags.Draws()
+		info.Incarnation = p.inner.epochFloor >> 32
 	}
 	return info, nil
 }

@@ -41,6 +41,10 @@ import (
 type HeartbeatHost struct {
 	inner *Quiescent
 	hb    *fd.Heartbeat
+	// born is the detector label drawn at construction: the host's own
+	// identity, as opposed to the label a Restore may install (recovery
+	// resumes the snapshot's identity; a join must not — see Adopt).
+	born ident.Tag
 	// beatEvery emits a beat every k-th Tick (k >= 1).
 	beatEvery int
 	tickCount int
@@ -99,10 +103,12 @@ func NewHeartbeatHost(tags *ident.Source, timeout int64, beatEvery int, clock fu
 	if beatEvery < 1 {
 		beatEvery = 1
 	}
-	hb := fd.NewHeartbeat(tags.Next(), timeout, clock)
+	label := tags.Next()
+	hb := fd.NewHeartbeat(label, timeout, clock)
 	return &HeartbeatHost{
 		inner:     NewQuiescent(hb, tags, cfg),
 		hb:        hb,
+		born:      label,
 		beatEvery: beatEvery,
 		beatEpoch: 1,
 	}
@@ -303,6 +309,9 @@ func (h *HeartbeatHost) Stats() Stats {
 	st.WireSent += h.beatsSent + h.beatReqsSent
 	return st
 }
+
+// HasDelivered reports whether id has been URB-delivered locally.
+func (h *HeartbeatHost) HasDelivered(id wire.MsgID) bool { return h.inner.HasDelivered(id) }
 
 // beatSetKey renders a label list's order-insensitive identity.
 func beatSetKey(labels []ident.Tag) string {

@@ -49,6 +49,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add(NewBeatResync(beatRef).Encode(nil))
 	beatTrunc := NewBeatSnapshot(beatRef, 3, []ident.Tag{{Hi: 13, Lo: 14}}).Encode(nil)
 	f.Add(beatTrunc[:len(beatTrunc)-5])
+	// Snapshot-transfer forms: fresh request, resume, a chunk, the final
+	// chunk of a transfer, a chunk with a flipped payload byte (checksum
+	// rejection) and a torn chunk (truncation rejection).
+	container := []byte("AURBSNAP-fuzz-container-payload-bytes")
+	snapRef := SnapRef(container)
+	f.Add(NewSnapReq(0, 0).Encode(nil))
+	f.Add(NewSnapReq(snapRef, 16).Encode(nil))
+	f.Add(NewSnapChunk(snapRef, uint64(len(container)), 0, container[:16]).Encode(nil))
+	f.Add(NewSnapChunk(snapRef, uint64(len(container)), 16, container[16:]).Encode(nil))
+	flipped := NewSnapChunk(snapRef, uint64(len(container)), 0, container[:16]).Encode(nil)
+	flipped[len(flipped)-1] ^= 0x40
+	f.Add(flipped)
+	torn := NewSnapChunk(snapRef, uint64(len(container)), 16, container[16:]).Encode(nil)
+	f.Add(torn[:len(torn)-7])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
@@ -66,8 +80,10 @@ func FuzzDecode(f *testing.F) {
 			}
 		}
 		// Accepted messages satisfy the structural invariants. The compact
-		// beat-family kinds carry a Ref instead of a Tag (checked below).
-		if m.Tag.Zero() && m.Kind != KindBeatDelta && m.Kind != KindBeatReq {
+		// beat- and snap-family kinds carry a Ref instead of a Tag
+		// (checked below).
+		if m.Tag.Zero() && m.Kind != KindBeatDelta && m.Kind != KindBeatReq &&
+			m.Kind != KindSnapReq && m.Kind != KindSnapChunk {
 			t.Fatal("decoder accepted a zero tag")
 		}
 		switch m.Kind {
@@ -108,6 +124,20 @@ func FuzzDecode(f *testing.F) {
 		if m.Kind == KindBeatReq && m.Ref == 0 {
 			t.Fatal("decoder accepted a zero beat req ref")
 		}
+		if m.Kind == KindSnapReq && m.Ref == 0 && m.Off != 0 {
+			t.Fatal("decoder accepted a fresh snap request with a resume offset")
+		}
+		if m.Kind == KindSnapChunk {
+			if m.Ref == 0 {
+				t.Fatal("decoder accepted a zero snap chunk ref")
+			}
+			if m.Total == 0 || m.Total > MaxSnapshot {
+				t.Fatalf("decoder accepted snap total %d", m.Total)
+			}
+			if len(m.Body) == 0 || m.Off+uint64(len(m.Body)) > m.Total {
+				t.Fatalf("decoder accepted out-of-bounds chunk %d+%d/%d", m.Off, len(m.Body), m.Total)
+			}
+		}
 	})
 }
 
@@ -138,6 +168,9 @@ func FuzzDecodePrefixStream(f *testing.F) {
 		[]ident.Tag{{Hi: 8, Lo: 1}}).Encode(batch)
 	batch = NewBeatRefresh(BeatRef(ident.Tag{Hi: 8, Lo: 1}), 1).Encode(batch)
 	batch = NewBeatResync(BeatRef(ident.Tag{Hi: 8, Lo: 1})).Encode(batch)
+	snapPayload := []byte("snap-transfer-container-bytes")
+	batch = NewSnapReq(0, 0).Encode(batch)
+	batch = NewSnapChunk(SnapRef(snapPayload), uint64(len(snapPayload)), 0, snapPayload).Encode(batch)
 	f.Add(batch)
 	// Truncated batch: messages with the tail of the last cut off.
 	f.Add(batch[:len(batch)-7])
@@ -163,7 +196,7 @@ func FuzzDecodePrefixStream(f *testing.F) {
 			}
 			switch m.Kind {
 			case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq,
-				KindBeatDelta, KindBeatReq:
+				KindBeatDelta, KindBeatReq, KindSnapReq, KindSnapChunk:
 			default:
 				t.Fatalf("accepted unknown kind %v", m.Kind)
 			}
@@ -220,6 +253,13 @@ func FuzzBatchRoundTrip(f *testing.F) {
 			NewBeatRefresh(BeatRef(ident.Tag{Hi: 5, Lo: 1}), uint32(len(b1))+1),
 			NewBeatResync(BeatRef(ident.Tag{Hi: 5, Lo: 1})),
 		}
+		// Snap-family members: a request (nonzero ref so the resume offset
+		// stays structurally valid) and a chunk built from fuzzer bytes.
+		chunk := append(append([]byte(nil), b2...), 0x07)
+		msgs = append(msgs,
+			NewSnapReq(uint64(len(b1))+1, uint64(len(b2))),
+			NewSnapChunk(SnapRef(chunk), uint64(len(chunk))+uint64(len(b1)), uint64(len(b1)), chunk),
+		)
 		total := 0
 		for _, m := range msgs {
 			total += m.EncodedSize()

@@ -66,6 +66,27 @@ func PeekFlow(b []byte) (kind Kind, flow uint64, size int, err error) {
 			return 0, 0, 0, ErrShort
 		}
 		return kind, 0, o + 8, nil
+	case KindSnapReq:
+		if !need(16) {
+			return 0, 0, 0, ErrShort
+		}
+		return kind, 0, o + 16, nil
+	case KindSnapChunk:
+		// ref u64 | total u64 | off u64 | sum u32 | chunkLen u32 | chunk.
+		// Snapshot transfers are membership traffic, not attributable to
+		// any broadcaster: flow 0, which admission always admits.
+		if !need(8 + 8 + 8 + 4 + 4) {
+			return 0, 0, 0, ErrShort
+		}
+		chunkLen := binary.BigEndian.Uint32(b[o+28:])
+		if chunkLen > MaxBody {
+			return 0, 0, 0, ErrOversize
+		}
+		o += 8 + 8 + 8 + 4 + 4
+		if !need(int(chunkLen)) {
+			return 0, 0, 0, ErrShort
+		}
+		return kind, 0, o + int(chunkLen), nil
 	case KindBeatDelta:
 		if !need(1 + 4 + 8) {
 			return 0, 0, 0, ErrShort

@@ -30,6 +30,8 @@ func peekCases() []struct {
 		{"beat-change", NewBeatChange(77, 5, []ident.Tag{tag(7, 7)}, nil), 0},
 		{"beat-refresh", NewBeatRefresh(77, 6), 0},
 		{"beat-resync", NewBeatResync(77), 0},
+		{"snap-req", NewSnapReq(88, 512), 0},
+		{"snap-chunk", NewSnapChunk(88, 64, 8, []byte("chunk of a container")), 0},
 	}
 }
 

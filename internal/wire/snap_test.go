@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestRoundTripSnapReq: both request forms survive the codec exactly.
+func TestRoundTripSnapReq(t *testing.T) {
+	for _, m := range []Message{
+		NewSnapReq(0, 0),             // fresh: any peer may open a transfer
+		NewSnapReq(0xdeadbeef, 4096), // resume transfer at offset
+		NewSnapReq(1, ^uint64(0)>>1), // large offset, still structural
+	} {
+		enc := m.Encode(nil)
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("%v: EncodedSize %d != len %d", m, m.EncodedSize(), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip mismatch: %v vs %v", got, m)
+		}
+	}
+}
+
+// TestRoundTripSnapChunk: a chunk round-trips with its checksum and
+// bounds intact, at every position within the container.
+func TestRoundTripSnapChunk(t *testing.T) {
+	container := bytes.Repeat([]byte("container-body/"), 20)
+	ref := SnapRef(container)
+	total := uint64(len(container))
+	for off := uint64(0); off < total; off += 100 {
+		end := off + 100
+		if end > total {
+			end = total
+		}
+		m := NewSnapChunk(ref, total, off, container[off:end])
+		enc := m.Encode(nil)
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("EncodedSize %d != len %d", m.EncodedSize(), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip mismatch at offset %d", off)
+		}
+		if !bytes.Equal(got.Body, container[off:end]) {
+			t.Fatalf("chunk bytes mangled at offset %d", off)
+		}
+	}
+}
+
+// TestSnapChunkChecksumRejection: a flipped payload bit fails the
+// per-chunk CRC at decode time — the wire treats corruption as loss.
+func TestSnapChunkChecksumRejection(t *testing.T) {
+	chunk := []byte("sixteen byte pay")
+	m := NewSnapChunk(7, 64, 16, chunk)
+	enc := m.Encode(nil)
+	for i := len(enc) - len(chunk); i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x01
+		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at byte %d: err %v, want ErrChecksum", i, err)
+		}
+	}
+	// Flipping the stored sum itself must also reject.
+	bad := append([]byte(nil), enc...)
+	bad[headerLen+24] ^= 0x80
+	if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("sum flip: err %v, want ErrChecksum", err)
+	}
+}
+
+// TestSnapDecodeValidation: structural bounds the decoder must enforce.
+func TestSnapDecodeValidation(t *testing.T) {
+	valid := NewSnapChunk(7, 64, 16, []byte("sixteen byte pay"))
+	mutate := func(fn func(*Message)) []byte {
+		m := valid
+		m.Body = append([]byte(nil), valid.Body...)
+		fn(&m)
+		return m.Encode(nil)
+	}
+	cases := []struct {
+		name string
+		enc  []byte
+		want error
+	}{
+		{"zero ref", mutate(func(m *Message) { m.Ref = 0 }), ErrZeroRef},
+		{"zero total", mutate(func(m *Message) { m.Total = 0 }), ErrOversize},
+		{"total beyond bound", mutate(func(m *Message) { m.Total = MaxSnapshot + 1 }), ErrOversize},
+		{"chunk past total", mutate(func(m *Message) { m.Off = 60 }), ErrSnapBounds},
+		{"empty chunk", mutate(func(m *Message) { m.Body = nil; m.Sum = 0 }), ErrSnapBounds},
+		{"fresh req with offset", func() []byte {
+			m := Message{Kind: KindSnapReq, Ref: 0, Off: 9}
+			return m.Encode(nil)
+		}(), ErrSnapBounds},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.enc); !errors.Is(err, c.want) {
+			t.Errorf("%s: err %v, want %v", c.name, err, c.want)
+		}
+	}
+	// Truncation at every cut must reject without panicking.
+	enc := valid.Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("torn chunk accepted at cut %d", cut)
+		}
+	}
+}
+
+// TestSnapRef: deterministic, content-sensitive, never zero.
+func TestSnapRef(t *testing.T) {
+	a := SnapRef([]byte("container-a"))
+	if a != SnapRef([]byte("container-a")) {
+		t.Fatal("SnapRef not deterministic")
+	}
+	if a == SnapRef([]byte("container-b")) {
+		t.Fatal("SnapRef ignores content")
+	}
+	if SnapRef(nil) == 0 {
+		t.Fatal("SnapRef returned the reserved zero")
+	}
+}
+
+// TestSnapKindFamilies: the accounting predicates classify the new kinds
+// as snapshot traffic and nothing else.
+func TestSnapKindFamilies(t *testing.T) {
+	for _, k := range []Kind{KindSnapReq, KindSnapChunk} {
+		if !k.IsSnap() || k.IsAck() || k.IsBeat() {
+			t.Fatalf("%v misclassified", k)
+		}
+	}
+	for _, k := range []Kind{KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq, KindBeatDelta, KindBeatReq} {
+		if k.IsSnap() {
+			t.Fatalf("%v claims to be snapshot traffic", k)
+		}
+	}
+}

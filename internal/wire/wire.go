@@ -41,10 +41,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"slices"
 
 	"anonurb/internal/ident"
 )
+
+// crcTable is the CRC-32C (Castagnoli) table used for per-chunk snapshot
+// transfer checksums — the same polynomial the internal/store container
+// format uses, so the whole durability path speaks one checksum.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Kind discriminates the two protocol messages.
 type Kind uint8
@@ -93,6 +99,22 @@ const (
 	// streams collided on. Broadcast like everything else; only the
 	// owner responds.
 	KindBeatReq Kind = 7
+	// KindSnapReq asks live peers for a durable-state snapshot (DESIGN.md
+	// §13, the join protocol). With Ref zero it solicits a fresh transfer:
+	// any peer may answer by opening one (its state snapshot, framed in
+	// the internal/store container format, chunked as KindSnapChunk
+	// frames). With Ref set it resumes transfer Ref from byte offset Off —
+	// the joiner's repair path after chunk loss. Broadcast like every
+	// message; anonymity holds because the request names no process, only
+	// (optionally) a transfer.
+	KindSnapReq Kind = 8
+	// KindSnapChunk carries one contiguous slice of a snapshot transfer:
+	// Body holds the chunk bytes at offset Off of a container of Total
+	// bytes, under transfer reference Ref (a digest of the container, see
+	// SnapRef) and a per-chunk CRC-32C in Sum that the decoder verifies —
+	// a corrupt chunk is indistinguishable from a lost one, and the
+	// resume protocol heals both.
+	KindSnapChunk Kind = 9
 )
 
 // AckFlagSnapshot marks a KindAckDelta whose Labels field is the acker's
@@ -116,6 +138,11 @@ const (
 // bytes of every refresh frame forever).
 const BeatEpochMax = 1<<32 - 1
 
+// MaxSnapshot bounds the Total length a snapshot transfer may declare
+// (KindSnapChunk). Real snapshots here are kilobytes; the bound exists so
+// a corrupt or hostile chunk cannot make a joiner preallocate gigabytes.
+const MaxSnapshot = 1 << 26
+
 // IsAck reports whether k belongs to the acknowledgement family — the
 // full-set ACK, the delta ACK, or the resync request. The byte-accounting
 // layers use it to attribute wire cost to the ACK path as a whole.
@@ -129,6 +156,14 @@ func (k Kind) IsAck() bool {
 // traffic as a whole.
 func (k Kind) IsBeat() bool {
 	return k == KindBeat || k == KindBeatDelta || k == KindBeatReq
+}
+
+// IsSnap reports whether k belongs to the snapshot-transfer family — the
+// join protocol's request and chunk frames. The byte-accounting layers
+// use it to attribute catch-up wire cost separately from the algorithm's
+// MSG/ACK traffic.
+func (k Kind) IsSnap() bool {
+	return k == KindSnapReq || k == KindSnapChunk
 }
 
 // String implements fmt.Stringer.
@@ -148,6 +183,10 @@ func (k Kind) String() string {
 		return "BEATΔ"
 	case KindBeatReq:
 		return "BEATREQ"
+	case KindSnapReq:
+		return "SNAPREQ"
+	case KindSnapChunk:
+		return "SNAPCHUNK"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -213,9 +252,22 @@ type Message struct {
 	// Flags carries KindAckDelta modifiers (AckFlagSnapshot) or
 	// KindBeatDelta modifiers (BeatFlagSnapshot, BeatFlagDelta).
 	Flags uint8
-	// Ref is the beat stream reference (KindBeatDelta and KindBeatReq
-	// only): BeatRef of the beating host's permanent detector label.
+	// Ref is the beat stream reference (KindBeatDelta and KindBeatReq:
+	// BeatRef of the beating host's permanent detector label) or the
+	// snapshot transfer reference (KindSnapChunk, and KindSnapReq when
+	// resuming: SnapRef of the container bytes; zero on a SNAPREQ means
+	// "any transfer").
 	Ref uint64
+	// Off is the byte offset within a snapshot transfer: the position of
+	// this chunk's first byte (KindSnapChunk) or the offset from which the
+	// requester wants the transfer (re)sent (KindSnapReq).
+	Off uint64
+	// Total is the transfer's complete container length in bytes
+	// (KindSnapChunk only), bounded by MaxSnapshot.
+	Total uint64
+	// Sum is the CRC-32C of Body (KindSnapChunk only), verified at decode
+	// time so a corrupted chunk is dropped like a lost frame.
+	Sum uint32
 }
 
 // ID returns the application message identity (m, tag).
@@ -350,6 +402,49 @@ func NewBeatResync(ref uint64) Message {
 	return Message{Kind: KindBeatReq, Ref: ref}
 }
 
+// SnapRef derives a snapshot transfer's 64-bit wire reference from the
+// container bytes being transferred (FNV-1a 64). Zero is reserved as
+// "any transfer" in SNAPREQ frames, so the astronomically unlikely zero
+// digest maps to 1. The reference pins a resumed transfer to one exact
+// byte string: a donor that recompacted (and so would serve different
+// bytes) simply no longer answers the old ref, and the joiner times out
+// into a fresh request.
+func SnapRef(container []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range container {
+		h = (h ^ uint64(c)) * prime64
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// NewSnapReq builds a snapshot transfer request: ref zero solicits a
+// fresh transfer from any peer, ref nonzero resumes transfer ref from
+// byte offset off.
+func NewSnapReq(ref, off uint64) Message {
+	return Message{Kind: KindSnapReq, Ref: ref, Off: off}
+}
+
+// NewSnapChunk builds one chunk of snapshot transfer ref: chunk is the
+// container's bytes [off, off+len(chunk)) of total, copied; the per-chunk
+// CRC-32C is computed here.
+func NewSnapChunk(ref uint64, total, off uint64, chunk []byte) Message {
+	return Message{
+		Kind:  KindSnapChunk,
+		Ref:   ref,
+		Off:   off,
+		Total: total,
+		Sum:   crc32.Checksum(chunk, crcTable),
+		Body:  append([]byte(nil), chunk...),
+	}
+}
+
 // String renders a compact human-readable form for traces.
 func (m Message) String() string {
 	switch m.Kind {
@@ -380,6 +475,13 @@ func (m Message) String() string {
 		}
 	case KindBeatReq:
 		return fmt.Sprintf("BEATREQ(ref=%016x)", m.Ref)
+	case KindSnapReq:
+		if m.Ref == 0 {
+			return "SNAPREQ(any)"
+		}
+		return fmt.Sprintf("SNAPREQ(ref=%016x off=%d)", m.Ref, m.Off)
+	case KindSnapChunk:
+		return fmt.Sprintf("SNAPCHUNK(ref=%016x %d+%d/%d)", m.Ref, m.Off, len(m.Body), m.Total)
 	default:
 		return fmt.Sprintf("?(%d)", m.Kind)
 	}
@@ -416,6 +518,8 @@ var (
 	ErrZeroEpoch  = errors.New("wire: zero epoch on delta ACK")
 	ErrBadFlags   = errors.New("wire: malformed delta ACK flags")
 	ErrZeroRef    = errors.New("wire: zero beat stream ref")
+	ErrChecksum   = errors.New("wire: snapshot chunk checksum mismatch")
+	ErrSnapBounds = errors.New("wire: snapshot chunk outside declared bounds")
 )
 
 func putTag(b []byte, t ident.Tag) {
@@ -459,6 +563,10 @@ func (m Message) EncodedSize() int {
 		return n
 	case KindBeatReq:
 		return headerLen + 8
+	case KindSnapReq:
+		return headerLen + 8 + 8
+	case KindSnapChunk:
+		return headerLen + 8 + 8 + 8 + 4 + 4 + len(m.Body)
 	}
 	return prefix
 }
@@ -483,6 +591,12 @@ func (m Message) EncodedSize() int {
 //	  [ addCount u32 | adds 16B each
 //	    | delCount u32 | dels 16B each ]                (BEATΔ change)
 //	version u8 | kind u8 | ref u64                      (BEATREQ)
+//
+// as do the snapshot-transfer kinds (no body prefix, no tag):
+//
+//	version u8 | kind u8 | ref u64 | off u64            (SNAPREQ)
+//	version u8 | kind u8 | ref u64 | total u64 | off u64
+//	  | sum u32 | chunkLen u32 | chunk                  (SNAPCHUNK)
 //
 //urb:hotpath
 func (m Message) Encode(dst []byte) []byte {
@@ -515,6 +629,23 @@ func (m Message) Encode(dst []byte) []byte {
 	case KindBeatReq:
 		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
 		return append(dst, scratch[:8]...)
+	case KindSnapReq:
+		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
+		dst = append(dst, scratch[:8]...)
+		binary.BigEndian.PutUint64(scratch[:8], m.Off)
+		return append(dst, scratch[:8]...)
+	case KindSnapChunk:
+		binary.BigEndian.PutUint64(scratch[:8], m.Ref)
+		dst = append(dst, scratch[:8]...)
+		binary.BigEndian.PutUint64(scratch[:8], m.Total)
+		dst = append(dst, scratch[:8]...)
+		binary.BigEndian.PutUint64(scratch[:8], m.Off)
+		dst = append(dst, scratch[:8]...)
+		binary.BigEndian.PutUint32(scratch[:4], m.Sum)
+		dst = append(dst, scratch[:4]...)
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(m.Body)))
+		dst = append(dst, scratch[:4]...)
+		return append(dst, m.Body...)
 	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
 		// Tag-bearing kinds share the bodyLen|body|tag prefix appended
 		// below, then diverge in the second switch.
@@ -542,7 +673,7 @@ func (m Message) Encode(dst []byte) []byte {
 	case KindAckReq:
 		putTag(tb[:], m.AckTag)
 		dst = append(dst, tb[:]...)
-	case KindBeatDelta, KindBeatReq:
+	case KindBeatDelta, KindBeatReq, KindSnapReq, KindSnapChunk:
 		// Encoded and returned by the first switch; unreachable here.
 	}
 	return dst
@@ -576,6 +707,8 @@ func DecodePrefix(b []byte) (Message, []byte, error) {
 	case KindMsg, KindAck, KindBeat, KindAckDelta, KindAckReq:
 	case KindBeatDelta, KindBeatReq:
 		return decodeBeatPrefix(kind, b[headerLen:])
+	case KindSnapReq, KindSnapChunk:
+		return decodeSnapPrefix(kind, b[headerLen:])
 	default:
 		return Message{}, nil, ErrKind
 	}
@@ -742,6 +875,51 @@ func decodeBeatPrefix(kind Kind, b []byte) (Message, []byte, error) {
 	return m, b, nil
 }
 
+// decodeSnapPrefix parses the compact snapshot-transfer layouts; b
+// starts right after the two header bytes.
+func decodeSnapPrefix(kind Kind, b []byte) (Message, []byte, error) {
+	m := Message{Kind: kind}
+	if kind == KindSnapReq {
+		if len(b) < 16 {
+			return Message{}, nil, ErrShort
+		}
+		m.Ref = binary.BigEndian.Uint64(b[:8])
+		m.Off = binary.BigEndian.Uint64(b[8:16])
+		// A fresh request (ref zero) names no transfer, so a nonzero
+		// resume offset is structurally meaningless.
+		if m.Ref == 0 && m.Off != 0 {
+			return Message{}, nil, ErrSnapBounds
+		}
+		return m, b[16:], nil
+	}
+	if len(b) < 8+8+8+4+4 {
+		return Message{}, nil, ErrShort
+	}
+	m.Ref = binary.BigEndian.Uint64(b[:8])
+	m.Total = binary.BigEndian.Uint64(b[8:16])
+	m.Off = binary.BigEndian.Uint64(b[16:24])
+	m.Sum = binary.BigEndian.Uint32(b[24:28])
+	chunkLen := binary.BigEndian.Uint32(b[28:32])
+	b = b[32:]
+	if m.Ref == 0 {
+		return Message{}, nil, ErrZeroRef
+	}
+	if m.Total == 0 || m.Total > MaxSnapshot || chunkLen > MaxBody {
+		return Message{}, nil, ErrOversize
+	}
+	if chunkLen == 0 || uint64(chunkLen) > m.Total || m.Off > m.Total-uint64(chunkLen) {
+		return Message{}, nil, ErrSnapBounds
+	}
+	if uint32(len(b)) < chunkLen {
+		return Message{}, nil, ErrShort
+	}
+	m.Body = append(m.Body, b[:chunkLen]...)
+	if crc32.Checksum(m.Body, crcTable) != m.Sum {
+		return Message{}, nil, ErrChecksum
+	}
+	return m, b[chunkLen:], nil
+}
+
 // Equal reports deep equality of two messages, including label multiset
 // order (the codec preserves order, and ackers emit labels in their set's
 // insertion order, so order equality is the right notion for round-trips).
@@ -750,6 +928,9 @@ func (m Message) Equal(o Message) bool {
 		return false
 	}
 	if m.Epoch != o.Epoch || m.Flags != o.Flags || m.Ref != o.Ref {
+		return false
+	}
+	if m.Off != o.Off || m.Total != o.Total || m.Sum != o.Sum {
 		return false
 	}
 	return slices.Equal(m.Labels, o.Labels) && slices.Equal(m.DelLabels, o.DelLabels)

@@ -15,7 +15,7 @@ func TestKindString(t *testing.T) {
 	if KindMsg.String() != "MSG" || KindAck.String() != "ACK" {
 		t.Fatal("kind strings")
 	}
-	if !strings.Contains(Kind(9).String(), "9") {
+	if !strings.Contains(Kind(99).String(), "99") {
 		t.Fatal("unknown kind string")
 	}
 }
