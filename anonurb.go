@@ -73,6 +73,7 @@ package anonurb
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"anonurb/internal/admit"
@@ -81,6 +82,7 @@ import (
 	"anonurb/internal/ident"
 	"anonurb/internal/liverun"
 	"anonurb/internal/node"
+	"anonurb/internal/obs"
 	"anonurb/internal/rb"
 	"anonurb/internal/sim"
 	"anonurb/internal/store"
@@ -333,6 +335,59 @@ func WithObserver(obs Observer) NodeOption { return node.WithObserver(obs) }
 
 // WithInboxDepth sets the capacity of a node's delivery queue.
 func WithInboxDepth(depth int) NodeOption { return node.WithInboxDepth(depth) }
+
+// Observability (internal/obs): per-message lifecycle tracing, the live
+// introspection endpoint and the delivery stall explainer (DESIGN.md
+// §14).
+type (
+	// Tracer is a bounded per-node ring of typed lifecycle events
+	// (BROADCAST, FIRST_SEND, RECV, ACK_PROGRESS, DELIVER, RETIRE, ...).
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = obs.Event
+	// Explanation is the stall explainer's report: exactly which
+	// delivery evidence a message is still missing.
+	Explanation = obs.Explanation
+	// DebugServer is the live introspection endpoint (obs.Serve).
+	DebugServer = obs.Server
+	// DebugOptions configures the endpoint's routes.
+	DebugOptions = obs.ServeOptions
+)
+
+// NewTracer builds a lifecycle tracer for the given node index with a
+// ring of capacity events (0 selects the default) and wall-clock
+// timestamps. Install it with WithTracer; read it with Tracer.Events,
+// WriteChromeTrace or MergeTraces.
+func NewTracer(nodeIndex, capacity int) *Tracer {
+	return obs.New(nodeIndex, capacity, func() int64 { return time.Now().UnixNano() })
+}
+
+// WithTracer installs a lifecycle tracer into a node and its hosted
+// algorithm. The zero configuration — no tracer — has no overhead.
+func WithTracer(t *Tracer) NodeOption { return node.WithTracer(t) }
+
+// MergeTraces merges per-node traces into one time-ordered event list.
+func MergeTraces(tracers ...*Tracer) []TraceEvent { return obs.Merge(tracers...) }
+
+// WriteChromeTrace writes events as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Pass nanos=true
+// for traces stamped by NewTracer's wall clock.
+func WriteChromeTrace(w io.Writer, evs []TraceEvent, nanos bool) error {
+	return obs.WriteChromeTrace(w, evs, nanos)
+}
+
+// ServeDebug starts the live introspection endpoint on addr
+// ("127.0.0.1:0" picks a free port): /debug/vars, /debug/pprof,
+// /metrics (Prometheus text over m's aggregates, when m is non-nil),
+// /trace.json, /report and /explain. Close the returned server when
+// done.
+func ServeDebug(addr string, tracers []*Tracer, m *NodeMetrics) (*DebugServer, error) {
+	opts := obs.ServeOptions{Tracers: tracers, Nanos: true}
+	if m != nil {
+		opts.Gauges = m.Gauges
+	}
+	return obs.Serve(addr, opts)
+}
 
 // WithBatching enables or disables batched sending (default enabled):
 // all broadcasts of one algorithm step are coalesced into concatenated

@@ -32,6 +32,14 @@
 // process ever re-delivers (the joiner's adopted history included). The
 // JSON written with -out is what BENCH_churn.json records.
 //
+// Obs mode (-obs) runs the observability overhead benchmark (DESIGN.md
+// §14): every workload of the obs matrix runs twice — lifecycle tracing
+// off (the production default), then on — and the steady-state frames
+// and wall time per delivered message are compared. The gate is hard:
+// tracing must not change the wire traffic at all (frames ratio 1.0)
+// and must cost no more than 5% throughput. The JSON written with -out
+// is what BENCH_obs.json records.
+//
 // Usage:
 //
 //	urbbench [-quick] [-csv] [-seed N] [-only T1,F2,...]
@@ -40,6 +48,7 @@
 //	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
 //	urbbench -fairness [-quick] [-seed N] [-out BENCH_fairness.json]
 //	urbbench -churn [-quick] [-seed N] [-out BENCH_churn.json]
+//	urbbench -obs [-quick] [-seed N] [-out BENCH_obs.json]
 //
 // Every mode accepts -cpuprofile and -memprofile, writing pprof
 // profiles of the run so perf work can attach evidence without ad-hoc
@@ -72,6 +81,7 @@ func main() {
 	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
 	fairness := flag.Bool("fairness", false, "run the flow-fairness admission benchmark matrix instead of the table/figure suite")
 	churn := flag.Bool("churn", false, "run the membership-churn benchmark matrix instead of the table/figure suite")
+	obs := flag.Bool("obs", false, "run the observability overhead benchmark (tracing on vs off) instead of the table/figure suite")
 	list := flag.Bool("list", false, "list the available modes and exit")
 	out := flag.String("out", "", "with a benchmark mode: write the results as JSON to this file")
 	baseline := flag.String("baseline", "", "with -batching: fail if frames-, allocs- or beat-bytes-per-delivery regresses >25% against this checked-in results file")
@@ -122,11 +132,12 @@ func main() {
 		on   bool
 		desc string
 	}{
-		{"suite", !*batching && !*recovery && !*fairness && !*churn, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
+		{"suite", !*batching && !*recovery && !*fairness && !*churn && !*obs, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
 		{"-batching", *batching, "live-runtime batching benchmark (BENCH_batching.json)"},
 		{"-recovery", *recovery, "durable-state crash-recovery benchmark (BENCH_recovery.json)"},
 		{"-fairness", *fairness, "flow-fairness admission benchmark (BENCH_fairness.json)"},
 		{"-churn", *churn, "membership-churn join/leave benchmark (BENCH_churn.json)"},
+		{"-obs", *obs, "observability tracing overhead benchmark (BENCH_obs.json)"},
 	}
 	if *list {
 		for _, m := range modes {
@@ -171,6 +182,9 @@ func main() {
 	}
 	if *churn {
 		exit(runChurn(*seed, *quick, *out))
+	}
+	if *obs {
+		exit(runObs(*seed, *quick, *out))
 	}
 	if *out != "" || *baseline != "" {
 		usage("-out and -baseline apply only to the benchmark modes")
@@ -598,6 +612,91 @@ func runChurn(seed uint64, quick bool, out string) int {
 			failed = true
 		}
 		report.Results = append(report.Results, r)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d results)\n", out, len(report.Results))
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// obsTolerance is the tracer-on/tracer-off elapsed ratio above which
+// the observability overhead gate fails: tracing may cost at most 5%
+// of frames-path throughput (DESIGN.md §14). Frames get no tolerance
+// at all — tracing observes steps, it never touches the wire.
+const obsTolerance = 1.05
+
+// obsRepeats is how many times each configuration runs; the comparison
+// uses the fastest of each, estimating the noise floor rather than the
+// noisy mean.
+const obsRepeats = 3
+
+// obsReport is the JSON document -obs -out writes.
+type obsReport struct {
+	Schema      string                `json:"schema"`
+	Seed        uint64                `json:"seed"`
+	Quick       bool                  `json:"quick"`
+	GoVersion   string                `json:"go_version"`
+	GOOS        string                `json:"goos"`
+	GOARCH      string                `json:"goarch"`
+	NumCPU      int                   `json:"num_cpu"`
+	GeneratedAt string                `json:"generated_at"`
+	Results     []bench.ObsComparison `json:"results"`
+}
+
+// runObs executes the observability overhead matrix and returns the
+// process exit code: non-zero when tracing changed the wire traffic or
+// cost more than the 5% throughput budget.
+func runObs(seed uint64, quick bool, out string) int {
+	report := obsReport{
+		Schema:      "anonurb-bench-obs/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-34s %10s %12s %12s %10s\n",
+		"workload", "events", "frames-ratio", "elapsed-off", "elapsed-on")
+	failed := false
+	for _, w := range bench.ObsMatrix(seed, quick) {
+		c, err := bench.CompareObsOverhead(w, obsRepeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: obs %s: %v\n", w.String(), err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-34s %10d %12.4f %10.1fms %8.1fms  (x%.3f)\n",
+			c.Name, c.Events, c.FramesRatio, c.Off.ElapsedMS, c.On.ElapsedMS, c.ElapsedRatio)
+		if c.Events == 0 {
+			fmt.Fprintf(os.Stderr, "urbbench: obs %s: traced run recorded zero lifecycle events — the tracer is not wired\n", c.Name)
+			failed = true
+		}
+		if c.FramesRatio != 1.0 {
+			fmt.Fprintf(os.Stderr, "urbbench: obs %s: frames ratio %.4f != 1.0 — tracing changed the wire traffic\n",
+				c.Name, c.FramesRatio)
+			failed = true
+		}
+		if c.ElapsedRatio > obsTolerance {
+			fmt.Fprintf(os.Stderr, "urbbench: obs %s: elapsed ratio %.3f exceeds the %.0f%% tracing budget\n",
+				c.Name, c.ElapsedRatio, (obsTolerance-1)*100)
+			failed = true
+		}
+		report.Results = append(report.Results, c)
 	}
 	if out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -10,9 +10,20 @@
 //	urbsim ... -trace out.jsonl && urbcheck out.jsonl
 //	urbcheck -selftest            # record a fresh run and verify it
 //	urbcheck -snapshot snapshot.bin   # verify a durable-state snapshot
+//	urbcheck -explain             # stall-explainer demo on a partitioned cluster
+//	urbcheck -chrometrace t.json  # validate a Chrome trace-event export
 //
 // -snapshot accepts both a store container file (a File store's
 // snapshot.bin) and a raw snapshot payload (urb.Snapshotter output).
+//
+// -explain runs a built-in majority cluster whose broadcast stalls — a
+// majority of the ackers is partitioned away — and prints the stall
+// explainer's report (DESIGN.md §14): which delivery evidence is
+// missing, named exactly. Exit 0 iff the explainer names the shortfall.
+//
+// -chrometrace re-parses a Chrome trace-event JSON file (as written by
+// urbsim -trace-out or served at /trace.json) and validates it: valid
+// JSON, required fields, per-process monotone timestamps.
 //
 // Exit status: 0 if all properties hold, 1 otherwise (2 on usage or
 // unreadable input).
@@ -25,20 +36,30 @@ import (
 	"os"
 
 	"anonurb/internal/channel"
+	"anonurb/internal/obs"
 	"anonurb/internal/sim"
 	"anonurb/internal/store"
 	"anonurb/internal/trace"
 	"anonurb/internal/urb"
+	"anonurb/internal/wire"
 )
 
 func main() {
 	selftest := flag.Bool("selftest", false, "record a run in-process and verify it")
 	truncated := flag.Bool("truncated", false, "trace is a run prefix: skip the eventual properties")
 	snapshot := flag.String("snapshot", "", "verify a durable-state snapshot file instead of a trace")
+	explain := flag.Bool("explain", false, "run the stall-explainer demo: a partitioned cluster, the report names the missing evidence")
+	chrometrace := flag.String("chrometrace", "", "validate a Chrome trace-event JSON file instead of a trace")
 	flag.Parse()
 
 	if *snapshot != "" {
 		os.Exit(checkSnapshot(*snapshot))
+	}
+	if *explain {
+		os.Exit(explainDemo())
+	}
+	if *chrometrace != "" {
+		os.Exit(checkChromeTrace(*chrometrace))
 	}
 
 	var h trace.Header
@@ -126,6 +147,83 @@ func checkSnapshot(path string) int {
 		info.Stats.AckEntries, info.Stats.Retired, info.Draws)
 	fmt.Printf("digest   : %016x (recomputed fingerprint digest matches)\n", info.Digest)
 	fmt.Println("verdict  : snapshot is healthy")
+	return 0
+}
+
+// explainDemo runs the stall scenario and prints the explainer's
+// report, returning the exit code.
+func explainDemo() int {
+	ex, ok := runExplainDemo()
+	fmt.Printf("scenario : n=5 majority, 3 processes partitioned away before the broadcast\n")
+	fmt.Println(ex)
+	if !ok {
+		fmt.Println("verdict  : explainer FAILED to name the missing evidence")
+		return 1
+	}
+	fmt.Printf("verdict  : stall explained — %d/%d ackers, %d more needed for the majority guard\n",
+		ex.Ackers, ex.Need, ex.Need-ex.Ackers)
+	return 0
+}
+
+// runExplainDemo builds a 5-process majority cluster, partitions 3
+// processes away (as crashes at t=1, before the broadcast at t=5), runs
+// the simulator to its horizon and asks the broadcaster's process to
+// explain the undelivered message. ok reports whether the explanation
+// names the evidence shortfall: known, not delivered, ackers < need.
+func runExplainDemo() (ex obs.Explanation, ok bool) {
+	const n = 5
+	var procs []*urb.Majority
+	lifecycle := sim.NewTraceObserver(0)
+	res := sim.NewEngine(sim.Config{
+		N: n,
+		Factory: func(env sim.Env) urb.Process {
+			p := urb.NewMajority(n, env.Tags, urb.Config{})
+			procs = append(procs, p)
+			return p
+		},
+		Link:       channel.Bernoulli{P: 0, D: channel.UniformDelay{Min: 1, Max: 2}},
+		Seed:       2015,
+		MaxTime:    2_000,
+		CrashAt:    []sim.Time{sim.Never, sim.Never, 1, 1, 1},
+		Broadcasts: []sim.ScheduledBroadcast{{At: 5, Proc: 0, Body: []byte("stalled")}},
+		Observers:  []sim.Observer{lifecycle},
+	}).Run()
+	var id wire.MsgID
+	for _, e := range lifecycle.Events() {
+		if e.Kind == obs.EvBroadcast {
+			id = e.Msg
+		}
+	}
+	for _, ds := range res.Deliveries {
+		if len(ds) != 0 {
+			return ex, false // a partitioned majority must not deliver
+		}
+	}
+	ex = procs[0].Explain(id)
+	return ex, ex.Known && ex.Stalled() && ex.Ackers > 0 && ex.Ackers < ex.Need
+}
+
+// checkChromeTrace validates a Chrome trace-event JSON export and
+// returns the exit code.
+func checkChromeTrace(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urbcheck: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	tr, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		fmt.Printf("verdict  : INVALID — %v\n", err)
+		return 1
+	}
+	if err := obs.CheckChromeTrace(tr); err != nil {
+		fmt.Printf("trace    : %d events\n", len(tr.TraceEvents))
+		fmt.Printf("verdict  : INVALID — %v\n", err)
+		return 1
+	}
+	fmt.Printf("trace    : %d events\n", len(tr.TraceEvents))
+	fmt.Println("verdict  : valid Chrome trace-event JSON, per-process timestamps monotone")
 	return 0
 }
 

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainDemoNamesMissingEvidence is the ISSUE-9 acceptance test:
+// on a cluster with partitioned ackers, the stall explainer must name
+// the evidence the undelivered message is missing.
+func TestExplainDemoNamesMissingEvidence(t *testing.T) {
+	ex, ok := runExplainDemo()
+	if !ok {
+		t.Fatalf("demo did not produce a stalled explanation: %+v", ex)
+	}
+	if ex.Delivered {
+		t.Fatal("partitioned cluster delivered")
+	}
+	if ex.Ackers != 2 || ex.Need != 3 {
+		t.Fatalf("evidence = %d/%d ackers, want 2/3 (two reachable processes, majority of 5)", ex.Ackers, ex.Need)
+	}
+	rep := ex.String()
+	if !strings.Contains(rep, "NOT delivered") ||
+		!strings.Contains(rep, "2/3 distinct tag_acks") ||
+		!strings.Contains(rep, "missing 1 acker(s) for the majority guard") {
+		t.Fatalf("report does not name the missing evidence:\n%s", rep)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
 	"anonurb/internal/harness"
+	"anonurb/internal/obs"
 	"anonurb/internal/replay"
 	"anonurb/internal/sim"
 	"anonurb/internal/trace"
@@ -61,6 +62,7 @@ func main() {
 	maxTime := flag.Int64("max-time", 200_000, "virtual-time horizon")
 	verbose := flag.Bool("v", false, "print per-process deliveries")
 	traceOut := flag.String("trace", "", "write the run trace (JSONL) to this file for urbcheck")
+	chromeOut := flag.String("trace-out", "", "write a Chrome trace-event JSON lifecycle trace (load in Perfetto / chrome://tracing)")
 	timeline := flag.Bool("timeline", false, "print an event timeline (broadcast/deliver/crash)")
 	timelineWire := flag.Bool("timeline-wire", false, "include send/receive events in the timeline")
 	record := flag.String("record", "", "record the run's broadcast schedule to this trace file")
@@ -112,6 +114,11 @@ func main() {
 	if *record != "" {
 		schedRec = replay.NewRecorder()
 		observers = append(observers, schedRec)
+	}
+	var lifecycle *sim.TraceObserver
+	if *chromeOut != "" {
+		lifecycle = sim.NewTraceObserver(0)
+		observers = append(observers, lifecycle)
 	}
 
 	var wl workload.Broadcasts = workload.MultiWriter{
@@ -233,6 +240,25 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("trace    : %d events written to %s\n", len(rec.Events()), *traceOut)
+	}
+
+	if lifecycle != nil {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		evs := lifecycle.Events()
+		// Virtual time, not wall nanos: Chrome ts stays in raw units.
+		if err := obs.WriteChromeTrace(f, evs, false); err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("chrome   : %d lifecycle events written to %s (load in Perfetto)\n", len(evs), *chromeOut)
 	}
 
 	if schedRec != nil {

@@ -16,6 +16,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"time"
 
 	"anonurb"
@@ -47,15 +50,23 @@ func run(name string, transports []anonurb.Transport) error {
 	defer cancel()
 
 	st := anonurb.NewMemStore()
+	metrics := anonurb.NewNodeMetrics()
 	nodes := make([]*anonurb.Node, n)
 	inboxes := make([]<-chan anonurb.NodeDelivery, n)
+	tracers := make([]*anonurb.Tracer, n)
 	for i := range nodes {
 		// Each process: Algorithm 1 (majority URB), its own private tag
 		// stream, no identity anywhere.
 		proc := anonurb.NewMajority(n, anonurb.NewTagSource(uint64(1000+i)), anonurb.Config{})
+		// Every node records its message lifecycle (broadcast, first
+		// send, receptions, evidence progress, delivery) into a bounded
+		// trace ring, and feeds one shared metrics collector.
+		tracers[i] = anonurb.NewTracer(i, 0)
 		opts := []anonurb.NodeOption{
 			anonurb.WithTickEvery(5 * time.Millisecond),
 			anonurb.WithSeed(uint64(i)),
+			anonurb.WithTracer(tracers[i]),
+			anonurb.WithObserver(metrics),
 		}
 		if i == 0 {
 			opts = append(opts, anonurb.WithStore(st),
@@ -96,7 +107,47 @@ func run(name string, transports []anonurb.Transport) error {
 	}
 	fmt.Printf("[%s] node 0 persisted its state along the way: %d WAL records (%dB), %d checkpoint(s)\n",
 		name, ss.WALAppends, ss.WALBytes, ss.Checkpoints)
+
+	// Live introspection: the same trace and metrics every long-running
+	// deployment would watch, served over HTTP for the duration of a few
+	// requests — /metrics (Prometheus text), /trace.json (load it in
+	// ui.perfetto.dev), /debug/pprof, /explain.
+	srv, err := anonurb.ServeDebug("127.0.0.1:0", tracers, metrics)
+	if err != nil {
+		return fmt.Errorf("[%s] debug endpoint: %w", name, err)
+	}
+	defer srv.Close()
+	promText, err := fetch("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("[%s] debug endpoint: %w", name, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(promText), "\n") {
+		if strings.HasPrefix(line, "urb_deliveries_total") ||
+			strings.HasPrefix(line, "urb_deliver_latency_ms_p99") {
+			fmt.Printf("[%s] /metrics: %s\n", name, line)
+		}
+	}
+	merged := anonurb.MergeTraces(tracers...)
+	fmt.Printf("[%s] lifecycle trace: %d events across %d nodes (GET /trace.json for Perfetto)\n",
+		name, len(merged), n)
 	return nil
+}
+
+// fetch GETs a debug-endpoint URL and returns the body.
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
 }
 
 func main() {

@@ -63,6 +63,11 @@ type Config struct {
 	// a FIFO stage is the exact measurement baseline for a fair one —
 	// same pipeline, same buffer budget, detection off.
 	FIFO bool
+	// OnDemote, when non-nil, is called with the flow id on every
+	// admitted→demoted transition (the same transitions Stats counts as
+	// Demotions). It is an observability hook — it must not block: it
+	// runs on the stage's ingest goroutine, on the hot path.
+	OnDemote func(flow uint64)
 }
 
 // WithDefaults returns c with zero fields filled in with the package
@@ -176,6 +181,9 @@ func (d *detector) charge(flow uint64, size int, now int64) bool {
 	if b.level > float64(d.cfg.Burst) {
 		if now >= b.demotedUntil {
 			d.demotions.Add(1)
+			if d.cfg.OnDemote != nil {
+				d.cfg.OnDemote(flow)
+			}
 		}
 		b.demotedUntil = now + int64(d.cfg.Penalty)
 		// Clamp so recovery is governed by Penalty, not by how far the

@@ -39,3 +39,56 @@ func Fold(xs []int) int {
 
 // Describe is cold: fmt is fine off the hot path.
 func Describe(xs []int) string { return fmt.Sprint(xs) }
+
+// tracer mimics the obs.Tracer emit surface: fixed-arity methods that
+// are safe (and cheap) on a nil receiver.
+type tracer struct{ n int }
+
+func (t *tracer) recv(id, kind int) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// Absorb is hot and traced: a nil-guarded fixed-arity emit per
+// iteration is the sanctioned pattern — one pointer test and a method
+// call, no fmt, no closure.
+//
+//urb:hotpath
+func Absorb(tr *tracer, ids []int) int {
+	n := 0
+	for _, id := range ids {
+		if tr != nil {
+			tr.recv(id, 1)
+		}
+		n += id
+	}
+	return n
+}
+
+// AbsorbLabeled is hot and formats a per-event label: still flagged —
+// formatting belongs in the exporters, never at the emit site.
+//
+//urb:hotpath
+func AbsorbLabeled(tr *tracer, ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("ev-%d", id)) // want "fmt.Sprintf on hot path"
+		tr.recv(id, 1)
+	}
+	return out
+}
+
+// AbsorbDeferred is hot and wraps each emit in a per-event closure:
+// still flagged — emit directly, the tracer is already cheap.
+//
+//urb:hotpath
+func AbsorbDeferred(tr *tracer, ids []int) []func() {
+	var out []func()
+	for _, id := range ids {
+		f := func() { tr.recv(id, 1) } // want "closure allocated inside a loop"
+		out = append(out, f)
+	}
+	return out
+}

@@ -41,6 +41,7 @@ import (
 	"anonurb/internal/fd"
 	"anonurb/internal/ident"
 	"anonurb/internal/node"
+	"anonurb/internal/obs"
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/xrand"
@@ -105,6 +106,10 @@ type Workload struct {
 	// SteadyTicks sizes the Majority steady-state sample window, in
 	// ticks' worth of wire messages (default 8). Ignored for Quiescent.
 	SteadyTicks int `json:"steady_ticks"`
+	// Trace installs a lifecycle tracer (DESIGN.md §14) on every node —
+	// the tracer-on configuration of the observability overhead
+	// comparison. Off is the production default the baseline measures.
+	Trace bool `json:"trace,omitempty"`
 	// Seed drives tick phases and tag streams.
 	Seed uint64 `json:"seed"`
 	// Timeout bounds each phase separately — dissemination, then the
@@ -129,6 +134,9 @@ func (w Workload) String() string {
 	}
 	if w.Algo == AlgoHeartbeat && w.LegacyBeats {
 		s += "/beats=legacy"
+	}
+	if w.Trace {
+		s += "/trace=on"
 	}
 	return s
 }
@@ -158,6 +166,9 @@ type Result struct {
 	Oversized      uint64  `json:"oversized"`
 	Allocs         uint64  `json:"allocs"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
+	// TraceEvents is the total lifecycle events recorded across the
+	// cluster's tracers (zero unless Workload.Trace).
+	TraceEvents uint64 `json:"trace_events,omitempty"`
 	// Quiesced reports whether the cluster reached silence (Quiescent
 	// algorithm only; for heartbeat workloads it reports ALGORITHM
 	// quiescence — every MSG set drained — since detector beats continue
@@ -288,6 +299,7 @@ func Run(w Workload) (Result, error) {
 	clock := func() int64 { return int64(time.Since(start) / time.Millisecond) }
 
 	metrics := node.NewMetrics()
+	var tracers []*obs.Tracer
 	nodes := make([]*node.Node, w.N)
 	inboxes := make([]<-chan node.Delivery, w.N)
 	tagRoot := xrand.SplitLabeled(w.Seed, "bench-tags")
@@ -315,13 +327,21 @@ func Run(w Workload) (Result, error) {
 		default:
 			return Result{}, fmt.Errorf("bench: unknown algo %q", w.Algo)
 		}
-		nodes[i] = node.New(proc, trs[i],
+		nodeOpts := []node.Option{
 			node.WithTickEvery(w.TickEvery),
 			node.WithSeed(xrand.HashStream(w.Seed, uint64(i))),
 			node.WithBatching(w.Batching),
 			node.WithObserver(metrics),
-			node.WithInboxDepth(w.Messages+16),
-		)
+			node.WithInboxDepth(w.Messages + 16),
+		}
+		if w.Trace {
+			// Wall nanoseconds since run start: the timestamps the
+			// timelines and Chrome export read.
+			t := obs.New(i, 0, func() int64 { return int64(time.Since(start)) })
+			tracers = append(tracers, t)
+			nodeOpts = append(nodeOpts, node.WithTracer(t))
+		}
+		nodes[i] = node.New(proc, trs[i], nodeOpts...)
 		inboxes[i] = nodes[i].Deliveries()
 	}
 	stopAll := func() {
@@ -558,6 +578,9 @@ func Run(w Workload) (Result, error) {
 	}
 	for _, u := range udps {
 		res.Oversized += u.Oversized()
+	}
+	for _, t := range tracers {
+		res.TraceEvents += t.Total()
 	}
 	res.Allocs = mem1.Mallocs - mem0.Mallocs
 	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)

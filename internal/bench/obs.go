@@ -1,0 +1,106 @@
+package bench
+
+import "fmt"
+
+// This file is the observability overhead benchmark (DESIGN.md §14): it
+// measures what per-message lifecycle tracing costs on the frames path
+// by running the same workload with tracing off (the production
+// default) and on, and comparing the steady-state cost per delivery.
+//
+// The interesting gates:
+//
+//   - Frames per delivery must not change at all: tracing observes
+//     steps, it never adds, reorders or retimes wire traffic.
+//   - Throughput (steady-window wall time) must stay within a small
+//     tolerance: the emit sites are a nil-guarded pointer test when off
+//     and a mutex-guarded ring write when on.
+//
+// Wall-clock noise is tamed the standard way: each configuration runs
+// `repeats` times and the comparison uses the fastest run of each —
+// minimum-of-repeats estimates the noise floor, which is the quantity
+// the overhead actually shifts.
+
+// ObsComparison is one workload measured tracer-off vs tracer-on.
+type ObsComparison struct {
+	Name string `json:"name"`
+	// Off and On are the fastest of the repeats for each configuration.
+	Off Result `json:"off"`
+	On  Result `json:"on"`
+	// FramesRatio is On/Off steady frames per delivery (expect 1.0:
+	// tracing never touches the wire).
+	FramesRatio float64 `json:"frames_ratio"`
+	// ElapsedRatio is On/Off steady-window duration at equal message
+	// volume — the frames-path throughput overhead of tracing.
+	ElapsedRatio float64 `json:"elapsed_ratio"`
+	// Events is how many lifecycle events the traced run recorded
+	// (a zero here means the comparison measured nothing).
+	Events uint64 `json:"events"`
+}
+
+// CompareObsOverhead measures w tracer-off vs tracer-on, repeats times
+// each (minimum 1), and returns the min-of-repeats comparison. The
+// workload should be a Majority one: its steady-state window gives the
+// comparison a fixed wire-message volume to time.
+func CompareObsOverhead(w Workload, repeats int) (ObsComparison, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	off, on := w, w
+	off.Trace = false
+	on.Trace = true
+
+	best := func(w Workload) (Result, error) {
+		var bestRes Result
+		for i := 0; i < repeats; i++ {
+			r, err := Run(w)
+			if err != nil {
+				return Result{}, err
+			}
+			if i == 0 || r.ElapsedMS < bestRes.ElapsedMS {
+				bestRes = r
+			}
+		}
+		return bestRes, nil
+	}
+
+	// Interleaving would be fairer under drifting machine load, but the
+	// runs are short; simple order keeps the harness obvious.
+	offRes, err := best(off)
+	if err != nil {
+		return ObsComparison{}, fmt.Errorf("bench: obs off: %w", err)
+	}
+	onRes, err := best(on)
+	if err != nil {
+		return ObsComparison{}, fmt.Errorf("bench: obs on: %w", err)
+	}
+
+	c := ObsComparison{Name: w.String(), Off: offRes, On: onRes}
+	if offRes.SteadyFramesPerDelivery > 0 {
+		c.FramesRatio = onRes.SteadyFramesPerDelivery / offRes.SteadyFramesPerDelivery
+	}
+	if offRes.ElapsedMS > 0 {
+		c.ElapsedRatio = onRes.ElapsedMS / offRes.ElapsedMS
+	}
+	c.Events = onRes.TraceEvents
+	return c, nil
+}
+
+// ObsMatrix is the workload set the obs overhead mode sweeps: the
+// Majority frames path (the hottest emit sites: Recv + AckProgress per
+// ACK) at two cluster sizes, batching on.
+func ObsMatrix(seed uint64, quick bool) []Workload {
+	sizes := []int{5, 10}
+	msgs := 8
+	if quick {
+		sizes = []int{5}
+		msgs = 4
+	}
+	var out []Workload
+	for _, n := range sizes {
+		out = append(out, Workload{
+			Algo: AlgoMajority, Net: NetMesh, N: n, Messages: msgs,
+			Batching: true, Seed: seed,
+		})
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
 	"anonurb/internal/node"
+	"anonurb/internal/obs"
 	"anonurb/internal/replay"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
@@ -85,6 +86,13 @@ type Config struct {
 	// Admission, when non-nil, interposes a flow-fairness admission
 	// stage in front of every node's inbox (node.WithAdmission).
 	Admission *admit.Config
+	// Trace enables per-node lifecycle tracing (DESIGN.md §14): every
+	// node gets an obs.Tracer sized TraceCapacity (0: obs default) and
+	// Cluster.Tracers/ServeDebug expose the merged trace. The zero value
+	// is off — no tracers, no emit overhead.
+	Trace bool
+	// TraceCapacity is each node's trace ring size in events.
+	TraceCapacity int
 }
 
 // Cluster is a running set of live processes: N nodes on one mesh.
@@ -101,6 +109,10 @@ type Cluster struct {
 	// tagRoot keeps splitting the seed tag stream past the founding N,
 	// so processes added by Join draw fresh, non-colliding tags.
 	tagRoot *xrand.Source
+	// tracers[i] is process i's lifecycle tracer (nil unless cfg.Trace).
+	// A recovered process keeps its predecessor's tracer: the ring then
+	// shows the crash-spanning lifecycle.
+	tracers []*obs.Tracer
 }
 
 // observer adapts node events to the cluster's delivery callback.
@@ -194,6 +206,9 @@ func (c *Cluster) nodeOptions(proc int) []node.Option {
 		node.WithSeed(xrand.HashStream(c.cfg.Seed, uint64(proc))),
 		node.WithObserver(observer{c: c, proc: proc}),
 	}
+	if tr := c.tracer(proc); tr != nil {
+		opts = append(opts, node.WithTracer(tr))
+	}
 	if c.cfg.Admission != nil {
 		opts = append(opts, node.WithAdmission(*c.cfg.Admission))
 	}
@@ -204,6 +219,78 @@ func (c *Cluster) nodeOptions(proc int) []node.Option {
 		}
 	}
 	return opts
+}
+
+// tracer returns (building on first use) process proc's tracer, or nil
+// when tracing is off. Tracer timestamps are wall-clock nanos, so the
+// Chrome export uses nanos=true.
+func (c *Cluster) tracer(proc int) *obs.Tracer {
+	if !c.cfg.Trace {
+		return nil
+	}
+	for len(c.tracers) <= proc {
+		c.tracers = append(c.tracers,
+			obs.New(len(c.tracers), c.cfg.TraceCapacity, func() int64 { return time.Now().UnixNano() }))
+	}
+	return c.tracers[proc]
+}
+
+// Tracers returns the per-process tracers (nil when tracing is off);
+// obs.Merge turns them into one cluster-wide trace.
+func (c *Cluster) Tracers() []*obs.Tracer {
+	return append([]*obs.Tracer(nil), c.tracers...)
+}
+
+// Explain runs the stall explainer for id on process proc (DESIGN.md
+// §14), synchronised through its node.
+func (c *Cluster) Explain(proc int, id wire.MsgID) (obs.Explanation, error) {
+	return c.nodes[proc].Explain(id)
+}
+
+// ServeDebug starts the live introspection endpoint on addr ("127.0.0.1:0"
+// picks a free port; see Server.Addr): /debug/vars, /debug/pprof,
+// /metrics in Prometheus text format over m's aggregates (m may be nil),
+// /trace.json (the merged Chrome trace when tracing is on), /report and
+// /explain?msg=<id>. The explain route searches every live process and
+// returns the first report that knows the message. Close the returned
+// server before Stop.
+func (c *Cluster) ServeDebug(addr string, m *node.Metrics) (*obs.Server, error) {
+	opts := obs.ServeOptions{Tracers: c.Tracers(), Nanos: true}
+	if m != nil {
+		opts.Gauges = m.Gauges
+	}
+	opts.Explain = func(msg string) (obs.Explanation, bool) {
+		var fallback obs.Explanation
+		found := false
+		for proc := range c.nodes {
+			for _, ev := range c.tracerEvents(proc) {
+				if ev.Msg.Body == "" && ev.Msg.Tag.Zero() {
+					continue
+				}
+				if ev.Msg.String() != msg {
+					continue
+				}
+				ex, err := c.nodes[proc].Explain(ev.Msg)
+				if err != nil {
+					continue
+				}
+				if ex.Known {
+					return ex, true
+				}
+				fallback, found = ex, true
+			}
+		}
+		return fallback, found
+	}
+	return obs.Serve(addr, opts)
+}
+
+// tracerEvents returns proc's recorded events (nil when untraced).
+func (c *Cluster) tracerEvents(proc int) []obs.Event {
+	if proc >= len(c.tracers) {
+		return nil
+	}
+	return c.tracers[proc].Events()
 }
 
 // Node returns the node hosting process proc, for direct access to the

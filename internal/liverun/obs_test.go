@@ -1,0 +1,148 @@
+package liverun
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"anonurb/internal/node"
+	"anonurb/internal/obs"
+)
+
+// TestLiveClusterTracing runs a traced cluster to convergence and checks
+// the merged lifecycle trace, the timelines, the explainer and the live
+// debug endpoint end to end.
+func TestLiveClusterTracing(t *testing.T) {
+	const n = 3
+	col := newCollector()
+	cfg := fastCfg(n, majorityFactory(n), 0.05, col.onDeliver)
+	cfg.Trace = true
+	c := Start(cfg)
+	defer c.Stop()
+
+	id, err := c.Node(0).Broadcast([]byte("traced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return col.deliveredBy("traced") == n }) {
+		t.Fatalf("cluster did not converge: %d/%d", col.deliveredBy("traced"), n)
+	}
+
+	tracers := c.Tracers()
+	if len(tracers) != n {
+		t.Fatalf("tracers = %d, want %d", len(tracers), n)
+	}
+	evs := obs.Merge(tracers...)
+	var sawBroadcast bool
+	delivers := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case obs.EvBroadcast:
+			if e.Msg == id && e.Node == 0 {
+				sawBroadcast = true
+			}
+		case obs.EvDeliver:
+			if e.Msg == id {
+				delivers++
+			}
+		}
+	}
+	if !sawBroadcast {
+		t.Fatal("merged trace has no BROADCAST event for the message")
+	}
+	if delivers != n {
+		t.Fatalf("merged trace has %d DELIVER events, want %d", delivers, n)
+	}
+
+	tls := obs.Timelines(evs)
+	var tl *obs.Timeline
+	for _, cand := range tls {
+		if cand.Msg == id {
+			tl = cand
+		}
+	}
+	if tl == nil {
+		t.Fatal("no timeline for the message")
+	}
+	if len(tl.Delivers) != n {
+		t.Fatalf("timeline delivers = %d, want %d", len(tl.Delivers), n)
+	}
+	for i := range tl.Delivers {
+		if lat, ok := tl.Latency(i); !ok || lat < 0 {
+			t.Fatalf("latency[%d] = %d ok=%v", i, lat, ok)
+		}
+	}
+
+	ex, err := c.Explain(0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Delivered || ex.Stalled() {
+		t.Fatalf("explain after convergence: %+v", ex)
+	}
+
+	srv, err := c.ServeDebug("127.0.0.1:0", node.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body := httpGet(t, base+"/trace.json")
+	tr, err := obs.ReadChromeTrace(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+	if err := obs.CheckChromeTrace(tr); err != nil {
+		t.Fatalf("trace.json fails validation: %v", err)
+	}
+
+	rep := httpGet(t, base+"/explain?msg="+id.String())
+	if !strings.Contains(rep, "delivered") {
+		t.Fatalf("/explain report:\n%s", rep)
+	}
+
+	metrics := httpGet(t, base+"/metrics")
+	if !strings.Contains(metrics, "urb_deliveries_total") {
+		t.Fatalf("/metrics output:\n%s", metrics)
+	}
+
+	report := httpGet(t, base+"/report")
+	if !strings.Contains(report, "DELIVER") && !strings.Contains(report, id.String()) {
+		t.Fatalf("/report output:\n%s", report)
+	}
+}
+
+// TestLiveClusterTracingOff checks the zero-valued knob: no tracers, and
+// the debug endpoint still serves (with an empty trace).
+func TestLiveClusterTracingOff(t *testing.T) {
+	const n = 2
+	col := newCollector()
+	c := Start(fastCfg(n, majorityFactory(n), 0, col.onDeliver))
+	defer c.Stop()
+	if got := c.Tracers(); len(got) != 0 {
+		t.Fatalf("tracing off but %d tracers exist", len(got))
+	}
+	if c.Node(0).Tracer() != nil {
+		t.Fatal("tracing off but node has a tracer")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}

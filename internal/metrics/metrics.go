@@ -96,6 +96,14 @@ func (h *Histogram) Summary() string {
 	return fmt.Sprintf("%.1f/%d/%d/%d", h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
+// Clone returns an independent copy of the histogram. Quantile, Summary
+// and Max sort in place — O(n log n) on first call after an Observe — so
+// a collector that guards Observe with a lock should Clone under the
+// lock (a plain O(n) copy) and summarize the clone outside it.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{vals: append([]int64(nil), h.vals...), sorted: h.sorted}
+}
+
 // Point is one (time, value) sample.
 type Point struct {
 	T int64

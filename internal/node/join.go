@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"anonurb/internal/obs"
 	"anonurb/internal/snapxfer"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
@@ -103,6 +104,9 @@ func Join(ctx context.Context, proc urb.Process, st store.Store, tr transport.Tr
 		return nil, fmt.Errorf("node: join restore: %w", err)
 	}
 	j.Adopt()
+	// SNAP_DONE on the joiner's tracer: the container is verified,
+	// restored and adopted — the bootstrap transfer is complete.
+	o.tracer.Snap(obs.EvSnapDone, len(container), len(container))
 	nodeOpts := opts
 	if st != nil {
 		nodeOpts = append(append([]Option(nil), opts...), WithStore(st), withRecovered())
@@ -223,6 +227,7 @@ func (n *Node) serveSnap(step *urb.Step, m wire.Message) {
 	if !ok {
 		return
 	}
+	n.opt.tracer.Snap(obs.EvSnapReq, int(m.Off), 0)
 	if m.Ref == 0 {
 		container := store.EncodeSnapshotFile(sn.Snapshot())
 		n.donor = snapxfer.NewDonor(container, n.budget)
@@ -232,5 +237,9 @@ func (n *Node) serveSnap(step *urb.Step, m wire.Message) {
 	if n.donor == nil {
 		return // unservable state (empty or oversized container)
 	}
-	step.Broadcasts = append(step.Broadcasts, n.donor.Serve(m.Off, snapServeWindow)...)
+	chunks := n.donor.Serve(m.Off, snapServeWindow)
+	if len(chunks) > 0 {
+		n.opt.tracer.Snap(obs.EvSnapChunk, int(m.Off), len(chunks))
+	}
+	step.Broadcasts = append(step.Broadcasts, chunks...)
 }

@@ -11,9 +11,14 @@ import (
 
 // Metrics is an Observer that aggregates node events with the
 // internal/metrics toolkit: message/byte counters per wire kind, a
-// per-message encoded-size histogram, and a delivery latency histogram
-// measured from the collector's creation (suitable for single-shot
-// experiments where one broadcast starts the clock).
+// per-message encoded-size histogram, and a delivery latency histogram.
+// Latency is measured per message, from the moment the local node
+// broadcast it (the BroadcastObserver extension) to each delivery of it;
+// messages this collector never saw broadcast — deliveries of remote
+// broadcasts when the collector is not shared cluster-wide — fall back
+// to measuring from the collector's creation, the pre-tracing behavior,
+// suitable for single-shot experiments where one broadcast starts the
+// clock.
 //
 // It counts wire messages, not transport frames: OnSend fires once per
 // message, and with batching several messages share one frame. Summing
@@ -40,22 +45,41 @@ type Metrics struct {
 	// without any bench harness.
 	deliveriesByFlow map[uint64]uint64
 
+	// broadcastAt records when each locally-broadcast message entered the
+	// system, keyed by MsgID so every delivery of it (shared collectors
+	// see one per node) measures true broadcast→deliver latency.
+	broadcastAt map[wire.MsgID]time.Time
+
 	msgSize    *metrics.Histogram // encoded bytes per sent wire message
-	deliverLat *metrics.Histogram // ms from collector creation to delivery
+	deliverLat *metrics.Histogram // ms from broadcast (fallback: creation) to delivery
 }
 
-var _ Observer = (*Metrics)(nil)
+var (
+	_ Observer          = (*Metrics)(nil)
+	_ BroadcastObserver = (*Metrics)(nil)
+)
 
-// NewMetrics returns an empty collector; the delivery latency clock
-// starts now.
+// NewMetrics returns an empty collector; the fallback delivery latency
+// clock starts now.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		start:            time.Now(),
 		sentByKind:       make(map[wire.Kind]uint64),
 		bytesByKind:      make(map[wire.Kind]uint64),
 		deliveriesByFlow: make(map[uint64]uint64),
+		broadcastAt:      make(map[wire.MsgID]time.Time),
 		msgSize:          metrics.NewHistogram(),
 		deliverLat:       metrics.NewHistogram(),
+	}
+}
+
+// OnBroadcast implements BroadcastObserver: it pins the message's
+// latency epoch, replacing the creation-time fallback for this MsgID.
+func (c *Metrics) OnBroadcast(id wire.MsgID, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.broadcastAt[id]; !ok {
+		c.broadcastAt[id] = at
 	}
 }
 
@@ -86,7 +110,11 @@ func (c *Metrics) OnDeliver(d Delivery) {
 		c.fast++
 	}
 	c.deliveriesByFlow[wire.FlowOf(d.ID.Tag)]++
-	c.deliverLat.Observe(d.At.Sub(c.start).Milliseconds())
+	epoch := c.start
+	if at, ok := c.broadcastAt[d.ID]; ok {
+		epoch = at
+	}
+	c.deliverLat.Observe(d.At.Sub(epoch).Milliseconds())
 }
 
 // OnQuiescence implements Observer.
@@ -144,10 +172,12 @@ func (c *Metrics) SentBytesTotal() uint64 {
 	return c.sentBytes
 }
 
-// Snapshot returns the current aggregates.
+// Snapshot returns the current aggregates. The histograms are cloned
+// under the collector lock (a plain copy) and summarized — which sorts,
+// O(n log n) — after it is released, so a large histogram never stalls
+// the node goroutines feeding the collector.
 func (c *Metrics) Snapshot() Snapshot {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	byKind := make(map[wire.Kind]uint64, len(c.sentByKind))
 	for k, v := range c.sentByKind {
 		byKind[k] = v
@@ -169,7 +199,7 @@ func (c *Metrics) Snapshot() Snapshot {
 	for f, v := range c.deliveriesByFlow {
 		byFlow[f] = v
 	}
-	return Snapshot{
+	s := Snapshot{
 		SentMsgs:         c.sentMsgs,
 		RecvMsgs:         c.recvMsgs,
 		SentBytes:        c.sentBytes,
@@ -182,8 +212,71 @@ func (c *Metrics) Snapshot() Snapshot {
 		Fast:             c.fast,
 		DeliveriesByFlow: byFlow,
 		Quiescences:      c.quiescences,
-		MsgSize:          c.msgSize.Summary(),
-		DeliverLatencyMs: c.deliverLat.Summary(),
+	}
+	msgSize := c.msgSize.Clone()
+	deliverLat := c.deliverLat.Clone()
+	c.mu.Unlock()
+	s.MsgSize = msgSize.Summary()
+	s.DeliverLatencyMs = deliverLat.Summary()
+	return s
+}
+
+// Gauges flattens the current aggregates into the name→value form
+// obs.WritePrometheus serves: counters, per-kind byte splits and the
+// latency/size quantiles (suffix _p50/_p99/_max, plus _mean).
+func (c *Metrics) Gauges() map[string]float64 {
+	s := c.Snapshot()
+	c.mu.Lock()
+	msgSize := c.msgSize.Clone()
+	deliverLat := c.deliverLat.Clone()
+	c.mu.Unlock()
+	g := map[string]float64{
+		"urb_sent_msgs_total":         float64(s.SentMsgs),
+		"urb_recv_msgs_total":         float64(s.RecvMsgs),
+		"urb_sent_bytes_total":        float64(s.SentBytes),
+		"urb_sent_ack_bytes_total":    float64(s.SentAckBytes),
+		"urb_sent_beat_bytes_total":   float64(s.SentBeatBytes),
+		"urb_sent_snap_bytes_total":   float64(s.SentSnapBytes),
+		"urb_deliveries_total":        float64(s.Deliveries),
+		"urb_fast_deliveries_total":   float64(s.Fast),
+		"urb_quiescences_total":       float64(s.Quiescences),
+		"urb_msg_size_bytes_mean":     msgSize.Mean(),
+		"urb_msg_size_bytes_p99":      float64(msgSize.Quantile(0.99)),
+		"urb_deliver_latency_ms_mean": deliverLat.Mean(),
+		"urb_deliver_latency_ms_p50":  float64(deliverLat.Quantile(0.5)),
+		"urb_deliver_latency_ms_p99":  float64(deliverLat.Quantile(0.99)),
+		"urb_deliver_latency_ms_max":  float64(deliverLat.Max()),
+	}
+	for k, v := range s.SentBytesByKind {
+		g["urb_sent_bytes_kind_"+kindMetricName(k)] = float64(v)
+	}
+	return g
+}
+
+// kindMetricName renders a wire kind as a Prometheus-safe name fragment
+// (Kind.String uses Δ, which metric names cannot carry).
+func kindMetricName(k wire.Kind) string {
+	switch k {
+	case wire.KindMsg:
+		return "msg"
+	case wire.KindAck:
+		return "ack"
+	case wire.KindBeat:
+		return "beat"
+	case wire.KindAckDelta:
+		return "ackdelta"
+	case wire.KindAckReq:
+		return "ackreq"
+	case wire.KindBeatDelta:
+		return "beatdelta"
+	case wire.KindBeatReq:
+		return "beatreq"
+	case wire.KindSnapReq:
+		return "snapreq"
+	case wire.KindSnapChunk:
+		return "snapchunk"
+	default:
+		return fmt.Sprintf("kind%d", uint8(k))
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"anonurb/internal/admit"
+	"anonurb/internal/obs"
 	"anonurb/internal/snapxfer"
 	"anonurb/internal/store"
 	"anonurb/internal/transport"
@@ -38,6 +39,9 @@ var (
 	ErrNotRunning = errors.New("node: not running")
 	// ErrAlreadyStarted is returned by a second Start.
 	ErrAlreadyStarted = errors.New("node: already started")
+	// ErrNotExplainable is returned by Explain when the hosted process
+	// does not implement obs.Explainer.
+	ErrNotExplainable = errors.New("node: process does not implement obs.Explainer")
 	// ErrBodyTooLarge is returned by Broadcast for payloads the wire
 	// codec cannot carry (len > wire.MaxBody). Rejecting here preserves
 	// liveness: an uncarryable message would otherwise be retransmitted
@@ -104,6 +108,9 @@ type options struct {
 	store           store.Store
 	checkpointEvery time.Duration
 	admission       *admit.Config
+	// tracer is the lifecycle tracer (DESIGN.md §14); nil — the zero
+	// value — is off.
+	tracer *obs.Tracer
 	// recovered marks a node built by Recover, whose store legitimately
 	// holds the predecessor's state at construction time.
 	recovered bool
@@ -229,6 +236,26 @@ func WithAdmission(cfg admit.Config) Option {
 	return func(o *options) { o.admission = &cfg }
 }
 
+// WithTracer installs a lifecycle tracer (DESIGN.md §14): the node
+// emits host-level events (snapshot transfer, admission demotions) and
+// installs the tracer into the algorithm's emit sites when the process
+// implements obs.Traceable (both paper algorithms and the heartbeat
+// host do). The zero value — no tracer — is off and costs one nil check
+// per emit site; with a tracer installed, steady-state emits are
+// allocation-free writes into the tracer's bounded ring.
+func WithTracer(t *obs.Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+// BroadcastObserver is an optional extension of Observer: when the
+// installed observer implements it, OnBroadcast fires on the node
+// goroutine for every local URB_broadcast with the identity the
+// algorithm assigned and the submission time — the per-message
+// timestamp Metrics uses to measure true broadcast→deliver latency.
+type BroadcastObserver interface {
+	OnBroadcast(id wire.MsgID, at time.Time)
+}
+
 // Node hosts one urb.Process on a Transport.
 type Node struct {
 	proc urb.Process
@@ -238,6 +265,10 @@ type Node struct {
 	// admission is the admit stage wrapped around the raw transport
 	// (nil without WithAdmission); tr is then the stage itself.
 	admission *admit.Transport
+
+	// bcastObs is the observer's optional OnBroadcast extension, cached
+	// at construction (nil when the observer does not implement it).
+	bcastObs BroadcastObserver
 
 	flowMu sync.Mutex
 	// flowDeliveries holds per-broadcaster-flow delivery counts, keyed
@@ -326,9 +357,26 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 	for _, f := range opts {
 		f(&o)
 	}
+	if o.tracer != nil {
+		if tp, ok := proc.(obs.Traceable); ok {
+			tp.SetTracer(o.tracer)
+		}
+	}
 	var stage *admit.Transport
 	if o.admission != nil {
-		stage = admit.Wrap(tr, *o.admission)
+		acfg := *o.admission
+		if t := o.tracer; t != nil {
+			// Trace admitted→demoted transitions; the hook fires on the
+			// stage's ingest goroutine, which the tracer tolerates.
+			prev := acfg.OnDemote
+			acfg.OnDemote = func(flow uint64) {
+				t.AdmitDemote(flow)
+				if prev != nil {
+					prev(flow)
+				}
+			}
+		}
+		stage = admit.Wrap(tr, acfg)
 		tr = stage
 	}
 	if o.store != nil {
@@ -344,11 +392,13 @@ func New(proc urb.Process, tr transport.Transport, opts ...Option) *Node {
 			panic("node: store already holds durable state; restart with node.Recover, not New")
 		}
 	}
+	bo, _ := o.observer.(BroadcastObserver)
 	return &Node{
 		proc:           proc,
 		tr:             tr,
 		opt:            o,
 		admission:      stage,
+		bcastObs:       bo,
 		flowDeliveries: make(map[uint64]uint64),
 		deliveries:     make(chan Delivery, o.inboxDepth),
 		actions:        make(chan func(urb.Process), 64),
@@ -401,6 +451,9 @@ func (n *Node) Broadcast(body []byte) (wire.MsgID, error) {
 	if err := n.call(func(p urb.Process) func() {
 		var s urb.Step
 		id, s = p.Broadcast(body)
+		if n.bcastObs != nil {
+			n.bcastObs.OnBroadcast(id, time.Now())
+		}
 		return func() { n.absorb(s) }
 	}); err != nil {
 		return wire.MsgID{}, err
@@ -435,6 +488,26 @@ func (n *Node) call(f func(p urb.Process) func()) error {
 		return ErrNotRunning
 	}
 }
+
+// Explain runs the algorithm's stall explainer for id on the node
+// goroutine (DESIGN.md §14): the returned obs.Explanation names the
+// delivery evidence still missing. It fails with ErrNotRunning when the
+// node is stopped, and with ErrNotExplainable when the hosted process
+// does not implement obs.Explainer.
+func (n *Node) Explain(id wire.MsgID) (obs.Explanation, error) {
+	if _, ok := n.proc.(obs.Explainer); !ok {
+		return obs.Explanation{}, ErrNotExplainable
+	}
+	var ex obs.Explanation
+	err := n.call(func(p urb.Process) func() {
+		ex = p.(obs.Explainer).Explain(id)
+		return nil
+	})
+	return ex, err
+}
+
+// Tracer returns the tracer installed with WithTracer (nil without).
+func (n *Node) Tracer() *obs.Tracer { return n.opt.tracer }
 
 // Stats fetches the algorithm's internal set sizes, synchronised through
 // the node goroutine. After Stop (or context cancellation) it returns

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("JSON
+// Object Format"), the subset Perfetto and chrome://tracing load:
+// instant events (ph "i") for lifecycle points and async begin/end
+// pairs (ph "b"/"e") spanning broadcast→deliver per message per node.
+type ChromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	PID   int64             `json:"pid"`
+	TID   int64             `json:"tid"`
+	ID    string            `json:"id,omitempty"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace exports an event stream as Chrome trace-event JSON.
+// Timestamps are emitted in microseconds: wall-clock nanoseconds are
+// scaled down, virtual sim times are taken as microseconds directly
+// (the caller picks via nanos).
+func WriteChromeTrace(w io.Writer, evs []Event, nanos bool) error {
+	tr := BuildChromeTrace(evs, nanos)
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// BuildChromeTrace converts an event stream into the trace-event form.
+func BuildChromeTrace(evs []Event, nanos bool) ChromeTrace {
+	scale := 1.0
+	if nanos {
+		scale = 1e-3
+	}
+	tr := ChromeTrace{DisplayTimeUnit: "ms"}
+	open := make(map[string]bool) // msg|node with an open async span
+	for _, e := range evs {
+		ts := float64(e.At) * scale
+		pid := int64(e.Node)
+		ce := ChromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   "urb",
+			Phase: "i",
+			Scope: "t",
+			TS:    ts,
+			PID:   pid,
+		}
+		ce.Args = make(map[string]string, 2)
+		if e.Msg.Body != "" || !e.Msg.Tag.Zero() {
+			ce.Args["msg"] = e.Msg.String()
+		}
+		switch e.Kind {
+		case EvAckProgress:
+			ce.Args["evidence"] = fmt.Sprintf("%d/%d", e.Have, e.Need)
+			if !e.Aux.Zero() {
+				ce.Args["label"] = e.Aux.String()
+			}
+		case EvAdmitDemote:
+			ce.Args["flow"] = fmt.Sprintf("%#x", e.Flow)
+		case EvSnapChunk:
+			ce.Args["chunk"] = fmt.Sprintf("%d/%d", e.Have, e.Need)
+		case EvRecv, EvSend:
+			ce.Args["kind"] = fmt.Sprintf("%d", e.Have)
+		case EvDeliver:
+			if e.Have == 1 {
+				ce.Args["fast"] = "true"
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+
+		// Async spans: broadcast opens one span per message; each node's
+		// delivery closes its own view of it.
+		switch e.Kind {
+		case EvBroadcast, EvRecv, EvFirstSend, EvAckProgress:
+			key := spanKey(e)
+			if e.Msg.Body == "" && e.Msg.Tag.Zero() {
+				break
+			}
+			if !open[key] {
+				open[key] = true
+				tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+					Name: "urb:" + e.Msg.String(), Cat: "urb", Phase: "b",
+					TS: ts, PID: pid, ID: e.Msg.String(),
+				})
+			}
+		case EvDeliver:
+			key := spanKey(e)
+			if open[key] {
+				delete(open, key)
+				tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+					Name: "urb:" + e.Msg.String(), Cat: "urb", Phase: "e",
+					TS: ts, PID: pid, ID: e.Msg.String(),
+				})
+			}
+		}
+	}
+	return tr
+}
+
+func spanKey(e Event) string {
+	return fmt.Sprintf("%d|%s", e.Node, e.Msg.String())
+}
+
+// ReadChromeTrace parses trace-event JSON produced by WriteChromeTrace
+// (or any tool emitting the JSON Object Format).
+func ReadChromeTrace(r io.Reader) (ChromeTrace, error) {
+	var tr ChromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return tr, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	return tr, nil
+}
+
+// CheckChromeTrace validates the invariants the exporter guarantees and
+// CI's round-trip smoke asserts: at least one event, and per-pid
+// non-decreasing timestamps (the merged stream is emitted in time
+// order).
+func CheckChromeTrace(tr ChromeTrace) error {
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("obs: chrome trace has no events")
+	}
+	last := make(map[int64]float64)
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" || e.Phase == "" {
+			return fmt.Errorf("obs: chrome trace event %d missing name/ph", i)
+		}
+		if prev, ok := last[e.PID]; ok && e.TS < prev {
+			return fmt.Errorf("obs: chrome trace event %d (pid %d) goes back in time: %g < %g", i, e.PID, e.TS, prev)
+		}
+		last[e.PID] = e.TS
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"anonurb/internal/obs"
+	"anonurb/internal/urb"
+	"anonurb/internal/wire"
+)
+
+// TraceObserver adapts the simulator's Observer stream into an
+// obs.Tracer: one merged, virtually-timestamped lifecycle trace for the
+// whole run (DESIGN.md §14). Virtual time stands in for the tracer's
+// clock — the adapter never reads wall time, so recording a trace keeps
+// the run deterministic: the same seed produces byte-identical traces.
+//
+// OnSend fires once per copy per link; recording every copy of every
+// retransmission would bury the lifecycle signal, so the adapter records
+// a FIRST_SEND per (process, message) for MSG kinds and drops the rest.
+// Receptions and deliveries are recorded in full (the ring bounds
+// memory, not the run).
+type TraceObserver struct {
+	tr *obs.Tracer
+	// firstSent dedupes FIRST_SEND per origin process and message copy.
+	firstSent map[firstKey]struct{}
+}
+
+type firstKey struct {
+	proc int
+	id   wire.MsgID
+}
+
+var _ Observer = (*TraceObserver)(nil)
+
+// NewTraceObserver builds the adapter with a ring of the given capacity
+// (0 selects obs.DefaultCapacity).
+func NewTraceObserver(capacity int) *TraceObserver {
+	return &TraceObserver{
+		// Node -1: events carry the per-event process index instead.
+		tr:        obs.New(-1, capacity, nil),
+		firstSent: make(map[firstKey]struct{}),
+	}
+}
+
+// Tracer exposes the underlying tracer (for obs.WriteChromeTrace,
+// obs.Timelines, obs.WriteReport).
+func (o *TraceObserver) Tracer() *obs.Tracer { return o.tr }
+
+// Events returns the recorded events, oldest first.
+func (o *TraceObserver) Events() []obs.Event { return o.tr.Events() }
+
+// OnBroadcast implements Observer.
+func (o *TraceObserver) OnBroadcast(t Time, proc int, id wire.MsgID) {
+	o.tr.EmitAt(t, proc, obs.Event{Kind: obs.EvBroadcast, Msg: id})
+}
+
+// OnSend implements Observer: the first MSG copy a process offers to any
+// link becomes FIRST_SEND; all other copies are retransmission noise.
+func (o *TraceObserver) OnSend(t Time, src, dst int, m wire.Message, dropped bool, arriveAt Time) {
+	if m.Kind != wire.KindMsg {
+		return
+	}
+	k := firstKey{proc: src, id: m.ID()}
+	if _, ok := o.firstSent[k]; ok {
+		return
+	}
+	o.firstSent[k] = struct{}{}
+	o.tr.EmitAt(t, src, obs.Event{Kind: obs.EvFirstSend, Msg: k.id})
+}
+
+// OnReceive implements Observer.
+func (o *TraceObserver) OnReceive(t Time, dst int, m wire.Message) {
+	e := obs.Event{Kind: obs.EvRecv, Have: int64(m.Kind)}
+	if !m.Kind.IsBeat() && !m.Kind.IsSnap() {
+		e.Msg = m.ID()
+	}
+	o.tr.EmitAt(t, dst, e)
+}
+
+// OnDeliver implements Observer.
+func (o *TraceObserver) OnDeliver(t Time, proc int, d urb.Delivery) {
+	e := obs.Event{Kind: obs.EvDeliver, Msg: d.ID}
+	if d.Fast {
+		e.Have = 1
+	}
+	o.tr.EmitAt(t, proc, e)
+}
+
+// OnCrash implements Observer.
+func (o *TraceObserver) OnCrash(t Time, proc int) {
+	o.tr.EmitAt(t, proc, obs.Event{Kind: obs.EvCrash, Have: int64(proc)})
+}
+
+// OnRecover implements RecoverObserver: recovery re-enters the trace as
+// a SNAP_DONE-like lifecycle point would — recorded as a crash-family
+// event with Need=1 marking the restart.
+func (o *TraceObserver) OnRecover(t Time, proc int) {
+	o.tr.EmitAt(t, proc, obs.Event{Kind: obs.EvCrash, Have: int64(proc), Need: 1})
+}
+
+// OnJoin implements JoinObserver.
+func (o *TraceObserver) OnJoin(t Time, proc int, bytes int) {
+	o.tr.EmitAt(t, proc, obs.Event{Kind: obs.EvSnapDone, Have: int64(bytes), Need: int64(bytes)})
+}
+
+// OnLeave implements JoinObserver.
+func (o *TraceObserver) OnLeave(t Time, proc int) {
+	o.tr.EmitAt(t, proc, obs.Event{Kind: obs.EvCrash, Have: int64(proc)})
+}

@@ -3,6 +3,7 @@ package urb
 import (
 	"anonurb/internal/fd"
 	"anonurb/internal/ident"
+	"anonurb/internal/obs"
 	"anonurb/internal/wire"
 )
 
@@ -312,6 +313,15 @@ func (h *HeartbeatHost) Stats() Stats {
 
 // HasDelivered reports whether id has been URB-delivered locally.
 func (h *HeartbeatHost) HasDelivered(id wire.MsgID) bool { return h.inner.HasDelivered(id) }
+
+// SetTracer installs the lifecycle tracer on the wrapped algorithm
+// (obs.Traceable); detector beat traffic stays untraced — only the
+// BEATREQ resync count surfaces, through Stats.
+func (h *HeartbeatHost) SetTracer(t *obs.Tracer) { h.inner.SetTracer(t) }
+
+// Explain forwards the stall explainer to the wrapped Algorithm 2
+// instance (obs.Explainer).
+func (h *HeartbeatHost) Explain(id wire.MsgID) obs.Explanation { return h.inner.Explain(id) }
 
 // beatSetKey renders a label list's order-insensitive identity.
 func beatSetKey(labels []ident.Tag) string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anonurb/internal/ident"
+	"anonurb/internal/obs"
 	"anonurb/internal/wire"
 )
 
@@ -75,6 +76,9 @@ func (p *Majority) Broadcast(body []byte) (wire.MsgID, Step) {
 	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
+	if p.tr != nil {
+		p.tr.Broadcast(id)
+	}
 	out.Durable = append(out.Durable,
 		DurableEvent{Kind: WALBroadcast, ID: id, Draws: p.tags.Draws()})
 	if p.cfg.EagerFirstSend {
@@ -104,6 +108,11 @@ func (p *Majority) Receive(m wire.Message) Step {
 func (p *Majority) receiveMsg(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	// RECV traces the first MSG copy only: retransmissions are the fair
+	// lossy channel's business, not the message lifecycle's.
+	if p.tr != nil && !p.sawMsg[id] {
+		p.tr.Recv(id, wire.KindMsg)
+	}
 	p.sawMsg[id] = true
 	if p.msgs.add(id) && p.cfg.EagerFirstSend {
 		// First time we learn of m from the network: start retransmitting
@@ -139,7 +148,17 @@ func (p *Majority) receiveAck(m wire.Message) Step {
 		p.acks[id] = set
 		p.ackOrder = append(p.ackOrder, id)
 	}
+	before := set.Len()
 	set.Add(m.AckTag) // idempotent (lines 19-21)
+	// ACK receptions are traced solely through their ACK_PROGRESS
+	// evidence step, and only when the tag_ack is new: fair lossy
+	// channels are overcome by retransmission, so per-frame ACK volume
+	// is unbounded and duplicates carry no lifecycle information — a
+	// per-frame emit here is what would break the 5% tracing budget
+	// (`urbbench -obs`). MSG receptions keep their per-first-copy RECV.
+	if p.tr != nil && set.Len() != before {
+		p.tr.AckProgress(id, ident.Tag{}, set.Len(), p.threshold)
+	}
 	p.checkDeliver(&out, id)
 	return out
 }
@@ -202,3 +221,20 @@ func (p *Majority) HasDelivered(id wire.MsgID) bool { return p.delivered[id] }
 
 // KnowsMsg reports whether id is in MSG_i (test hook).
 func (p *Majority) KnowsMsg(id wire.MsgID) bool { return p.msgs.has(id) }
+
+// Explain is the stall explainer (DESIGN.md §14): it reads the live
+// delivery evidence for id and reports exactly what the majority guard
+// is still missing. Call it on the goroutine hosting the process.
+func (p *Majority) Explain(id wire.MsgID) obs.Explanation {
+	ex := obs.Explanation{
+		ID:        id,
+		Algo:      "majority",
+		Delivered: p.delivered[id],
+		Need:      p.threshold,
+	}
+	if s, ok := p.acks[id]; ok {
+		ex.Ackers = s.Len()
+	}
+	ex.Known = ex.Ackers > 0 || p.msgs.has(id) || p.sawMsg[id]
+	return ex
+}

@@ -3,6 +3,7 @@ package urb
 import (
 	"anonurb/internal/fd"
 	"anonurb/internal/ident"
+	"anonurb/internal/obs"
 	"anonurb/internal/wire"
 )
 
@@ -479,6 +480,9 @@ func (p *Quiescent) Broadcast(body []byte) (wire.MsgID, Step) {
 	id := wire.NewMsgID(p.tags.Next(), body)
 	p.msgs.add(id)
 	p.sawMsg[id] = true
+	if p.tr != nil {
+		p.tr.Broadcast(id)
+	}
 	out.Durable = append(out.Durable,
 		DurableEvent{Kind: WALBroadcast, ID: id, Draws: p.tags.Draws()})
 	if p.cfg.EagerFirstSend {
@@ -510,6 +514,11 @@ func (p *Quiescent) Receive(m wire.Message) Step {
 func (p *Quiescent) receiveMsg(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	// RECV traces the first MSG copy only (same policy as Majority):
+	// retransmissions carry no lifecycle information.
+	if p.tr != nil && !p.sawMsg[id] {
+		p.tr.Recv(id, wire.KindMsg)
+	}
 	p.sawMsg[id] = true
 	// Lines 8-12: (re-)insert into MSG_i only if not yet delivered; this
 	// is what keeps a retired message retired when late MSG copies
@@ -591,6 +600,9 @@ func (p *Quiescent) sendDeltaAck(out *Step, id wire.MsgID, ack ident.Tag, labels
 func (p *Quiescent) receiveAck(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	if p.tr != nil {
+		p.tr.Recv(id, wire.KindAck)
+	}
 	st := p.ackStateFor(id)
 	st.replace(&p.sets, m.AckTag, m.Labels, 0, false) // lines 27-45 (D1)
 	p.checkDeliver(&out, id)                          // lines 46-51
@@ -605,6 +617,9 @@ func (p *Quiescent) receiveAck(m wire.Message) Step {
 func (p *Quiescent) receiveAckDelta(m wire.Message) Step {
 	var out Step
 	id := m.ID()
+	if p.tr != nil {
+		p.tr.Recv(id, wire.KindAckDelta)
+	}
 	// Delivered-message fast path: the steady state of a quiescent
 	// cluster is delivered messages absorbing unchanged re-ACKs (empty
 	// deltas at the acker's current epoch) once per tick until
@@ -721,7 +736,8 @@ func (p *Quiescent) checkDeliver(out *Step, id wire.MsgID) {
 	if !ok {
 		return
 	}
-	for _, pair := range p.det.ATheta() {
+	theta := p.det.ATheta()
+	for _, pair := range theta {
 		if st.claims[pair.Label] >= pair.Number {
 			p.deliverOnce(out, id)
 			// Delivery makes the message retirement-eligible: the next
@@ -730,6 +746,20 @@ func (p *Quiescent) checkDeliver(out *Step, id wire.MsgID) {
 			p.compactState(st)
 			return
 		}
+	}
+	if p.tr != nil && len(theta) > 0 {
+		// Guard failed: trace the evidence on the pair closest to
+		// passing (smallest claim deficit) — the accumulation curve the
+		// timeline and the stall explainer read.
+		best := theta[0]
+		bestHave := st.claims[best.Label]
+		for _, pair := range theta[1:] {
+			have := st.claims[pair.Label]
+			if pair.Number-have < best.Number-bestHave {
+				best, bestHave = pair, have
+			}
+		}
+		p.tr.AckProgress(id, best.Label, bestHave, best.Number)
 	}
 }
 
@@ -883,12 +913,18 @@ func (p *Quiescent) Tick() Step {
 		if ready && p.cfg.RetireBeforeSend {
 			p.msgs.remove(id)
 			p.retired++
+			if p.tr != nil {
+				p.tr.Retire(id)
+			}
 			continue
 		}
 		p.send(&out, wire.NewMsg(id)) // line 54
 		if ready {                    // lines 55-58
 			p.msgs.remove(id)
 			p.retired++
+			if p.tr != nil {
+				p.tr.Retire(id)
+			}
 		}
 	}
 	for _, id := range p.ackOrder {
@@ -949,3 +985,64 @@ func (p *Quiescent) KnowsMsg(id wire.MsgID) bool { return p.msgs.has(id) }
 
 // RetiredCount reports how many messages have been retired.
 func (p *Quiescent) RetiredCount() int { return p.retired }
+
+// Explain is the stall explainer (DESIGN.md §14): it evaluates the live
+// delivery guard (∃ AΘ pair with enough claims) and retirement guard
+// (every AP* pair covered, no stray acker labels) for id and reports
+// per-pair shortfalls, pending ACKREQ resyncs and unsynced delta
+// streams — exactly the evidence still missing. Call it on the
+// goroutine hosting the process.
+func (p *Quiescent) Explain(id wire.MsgID) obs.Explanation {
+	ex := obs.Explanation{
+		ID:        id,
+		Algo:      "quiescent",
+		Delivered: p.delivered[id],
+	}
+	st := p.acks[id]
+	ex.Known = st != nil || p.msgs.has(id) || p.sawMsg[id] || p.delivered[id]
+	// Retired: delivered and no longer retransmitted. A fast-delivered
+	// message whose MSG copy never arrived is also absent from MSG_i, so
+	// require the copy to have been seen before calling it retired.
+	ex.Retired = ex.Delivered && !p.msgs.has(id) && p.sawMsg[id]
+	for _, pair := range p.det.ATheta() {
+		have := 0
+		if st != nil {
+			have = st.claims[pair.Label]
+		}
+		ex.Gaps = append(ex.Gaps, obs.EvidenceGap{Label: pair.Label, Have: have, Need: pair.Number})
+	}
+	if st != nil {
+		ex.Ackers = st.ackers()
+		for _, tick := range st.reqTick {
+			if tick == p.ticks+1 {
+				ex.PendingResync++
+			}
+		}
+		for _, acker := range st.ackerOrder {
+			if !st.byAcker[acker].synced {
+				ex.UnsyncedAckers++
+			}
+		}
+	}
+	if ex.Delivered && !ex.Retired {
+		star := p.det.APStar()
+		for _, pair := range star {
+			have := 0
+			if st != nil {
+				have = st.claims[pair.Label]
+			}
+			ex.RetireGaps = append(ex.RetireGaps, obs.EvidenceGap{Label: pair.Label, Have: have, Need: pair.Number})
+		}
+		if st != nil && len(star) > 0 {
+			starLabels := star.Labels()
+			for _, acker := range st.ackerOrder {
+				for _, l := range st.byAcker[acker].labels.Slice() {
+					if !starLabels.Has(l) && !tagIn(ex.StrayLabels, l) {
+						ex.StrayLabels = append(ex.StrayLabels, l)
+					}
+				}
+			}
+		}
+	}
+	return ex
+}

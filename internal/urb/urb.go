@@ -30,6 +30,7 @@ package urb
 
 import (
 	"anonurb/internal/ident"
+	"anonurb/internal/obs"
 	"anonurb/internal/wire"
 )
 
@@ -262,6 +263,13 @@ type common struct {
 	// locally broadcast); a delivery without this is a "fast delivery".
 	sawMsg   map[wire.MsgID]bool
 	wireSent uint64
+	// tr is the lifecycle tracer (DESIGN.md §14). nil — the zero value —
+	// is OFF: every emit site guards on the pointer, so an untraced run
+	// pays one branch and allocates nothing. The tracer is observability
+	// state only: it never feeds back into guard decisions, is not part
+	// of snapshots or fingerprints, and a traced run's Steps are
+	// bit-identical to an untraced one's.
+	tr *obs.Tracer
 }
 
 func newCommon(cfg Config, tags *ident.Source) common {
@@ -275,9 +283,16 @@ func newCommon(cfg Config, tags *ident.Source) common {
 	}
 }
 
+// SetTracer installs (or, with nil, removes) the lifecycle tracer. Part
+// of the obs.Traceable contract; hosts call it before the first step.
+func (c *common) SetTracer(t *obs.Tracer) { c.tr = t }
+
 // send accounts for and returns a broadcast.
 func (c *common) send(out *Step, m wire.Message) {
 	c.wireSent++
+	if c.tr != nil && m.Kind == wire.KindMsg {
+		c.tr.FirstSendMsg(m)
+	}
 	out.Broadcasts = append(out.Broadcasts, m)
 }
 
@@ -287,6 +302,10 @@ func (c *common) deliverOnce(out *Step, id wire.MsgID) bool {
 		return false
 	}
 	c.delivered[id] = true
-	out.Deliveries = append(out.Deliveries, Delivery{ID: id, Fast: !c.sawMsg[id]})
+	fast := !c.sawMsg[id]
+	if c.tr != nil {
+		c.tr.Deliver(id, fast)
+	}
+	out.Deliveries = append(out.Deliveries, Delivery{ID: id, Fast: fast})
 	return true
 }
