@@ -32,6 +32,17 @@
 // process ever re-delivers (the joiner's adopted history included). The
 // JSON written with -out is what BENCH_churn.json records.
 //
+// Nemesis mode (-nemesis) runs the staged fault campaigns (DESIGN.md
+// §15): every campaign preset — split/heal partitions, asymmetric
+// cuts, crash-recover storms with torn WALs, churn mid-partition —
+// under both algorithm stacks in the simulator plus one live-cluster
+// cell, with hard gates: uniform agreement within the heal deadline
+// after the last fault lifts, zero re-deliveries anywhere, no pending
+// joins. A deliberately broken campaign (heal deadline zero) then
+// checks the failure machinery itself: its report must name the
+// campaign stage each stalled message was born under. The JSON written
+// with -out is what BENCH_nemesis.json records.
+//
 // Obs mode (-obs) runs the observability overhead benchmark (DESIGN.md
 // §14): every workload of the obs matrix runs twice — lifecycle tracing
 // off (the production default), then on — and the steady-state frames
@@ -48,6 +59,7 @@
 //	urbbench -recovery [-quick] [-seed N] [-out BENCH_recovery.json]
 //	urbbench -fairness [-quick] [-seed N] [-out BENCH_fairness.json]
 //	urbbench -churn [-quick] [-seed N] [-out BENCH_churn.json]
+//	urbbench -nemesis [-quick] [-seed N] [-out BENCH_nemesis.json]
 //	urbbench -obs [-quick] [-seed N] [-out BENCH_obs.json]
 //
 // Every mode accepts -cpuprofile and -memprofile, writing pprof
@@ -81,6 +93,7 @@ func main() {
 	recovery := flag.Bool("recovery", false, "run the crash-recovery benchmark matrix instead of the table/figure suite")
 	fairness := flag.Bool("fairness", false, "run the flow-fairness admission benchmark matrix instead of the table/figure suite")
 	churn := flag.Bool("churn", false, "run the membership-churn benchmark matrix instead of the table/figure suite")
+	nemesisMode := flag.Bool("nemesis", false, "run the staged fault-campaign matrix instead of the table/figure suite")
 	obs := flag.Bool("obs", false, "run the observability overhead benchmark (tracing on vs off) instead of the table/figure suite")
 	list := flag.Bool("list", false, "list the available modes and exit")
 	out := flag.String("out", "", "with a benchmark mode: write the results as JSON to this file")
@@ -132,11 +145,12 @@ func main() {
 		on   bool
 		desc string
 	}{
-		{"suite", !*batching && !*recovery && !*fairness && !*churn && !*obs, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
+		{"suite", !*batching && !*recovery && !*fairness && !*churn && !*nemesisMode && !*obs, "tables T1-T4 and figures F1-F6 from the simulator (default)"},
 		{"-batching", *batching, "live-runtime batching benchmark (BENCH_batching.json)"},
 		{"-recovery", *recovery, "durable-state crash-recovery benchmark (BENCH_recovery.json)"},
 		{"-fairness", *fairness, "flow-fairness admission benchmark (BENCH_fairness.json)"},
 		{"-churn", *churn, "membership-churn join/leave benchmark (BENCH_churn.json)"},
+		{"-nemesis", *nemesisMode, "staged fault-campaign matrix with convergence gates (BENCH_nemesis.json)"},
 		{"-obs", *obs, "observability tracing overhead benchmark (BENCH_obs.json)"},
 	}
 	if *list {
@@ -182,6 +196,9 @@ func main() {
 	}
 	if *churn {
 		exit(runChurn(*seed, *quick, *out))
+	}
+	if *nemesisMode {
+		exit(runNemesis(*seed, *quick, *out))
 	}
 	if *obs {
 		exit(runObs(*seed, *quick, *out))
@@ -612,6 +629,96 @@ func runChurn(seed uint64, quick bool, out string) int {
 			failed = true
 		}
 		report.Results = append(report.Results, r)
+	}
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: marshal: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: write %s: %v\n", out, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d results)\n", out, len(report.Results))
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// nemesisReport is the JSON document -nemesis -out writes.
+type nemesisReport struct {
+	Schema      string                `json:"schema"`
+	Seed        uint64                `json:"seed"`
+	Quick       bool                  `json:"quick"`
+	GoVersion   string                `json:"go_version"`
+	GOOS        string                `json:"goos"`
+	GOARCH      string                `json:"goarch"`
+	NumCPU      int                   `json:"num_cpu"`
+	GeneratedAt string                `json:"generated_at"`
+	Results     []bench.NemesisResult `json:"results"`
+	// BrokenCampaignOK records the failure-machinery self-test: the
+	// zero-deadline campaign failed as it must, with every stalled
+	// message attributed to a campaign stage.
+	BrokenCampaignOK bool `json:"broken_campaign_ok"`
+}
+
+// runNemesis executes the fault-campaign matrix and returns the
+// process exit code. Every cell's gate is hard — agreement within the
+// heal deadline, zero re-deliveries, no pending joins — and the
+// broken-campaign self-test must produce a stage-named failure report.
+func runNemesis(seed uint64, quick bool, out string) int {
+	report := nemesisReport{
+		Schema:      "anonurb-bench-nemesis/v1",
+		Seed:        seed,
+		Quick:       quick,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("%-26s %6s %12s %10s %8s %7s %7s\n",
+		"campaign", "gate", "heal-latency", "deadline", "redeliv", "surviv", "stalls")
+	failed := false
+	for _, sc := range bench.NemesisMatrix(seed) {
+		r, err := bench.RunNemesis(sc, quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urbbench: nemesis %s: %v\n", sc.Name, err)
+			failed = true
+			continue
+		}
+		gate := "PASS"
+		if !r.Passed {
+			gate = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-26s %6s %10d u %8d u %8d %7d %7d\n",
+			sc.Name, gate, r.HealLatencyUnits, r.DeadlineUnits,
+			r.Redelivered, r.Survivors, r.Stalls)
+		if !r.Passed {
+			fmt.Fprintf(os.Stderr, "urbbench: nemesis %s:\n%s\n", sc.Name, r.Report)
+		}
+		report.Results = append(report.Results, r)
+	}
+	brokenReport, brokenOK, err := bench.RunNemesisBroken(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urbbench: nemesis broken-campaign self-test: %v\n", err)
+		failed = true
+	} else {
+		report.BrokenCampaignOK = brokenOK
+		if !brokenOK {
+			fmt.Fprintf(os.Stderr,
+				"urbbench: nemesis: the broken campaign did not fail with stage-attributed stalls:\n%s\n",
+				brokenReport)
+			failed = true
+		} else {
+			fmt.Printf("%-26s %6s (deliberate failure correctly stage-attributed)\n",
+				"sim/majority/broken", "OK")
+		}
 	}
 	if out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -29,6 +29,20 @@
 //
 //	urbsim -n 4 -algo heartbeat -join 3@600 -leave 1@2500 -msgs 3
 //	urbsim -replay run.sched -algo heartbeat -join 4@800
+//
+// Nemesis campaigns (DESIGN.md §15): -nemesis runs a staged fault
+// campaign — a preset name (split, asym, crashstorm, churnsplit,
+// broken) or a spec string like "split@100-400:0,1;loss@100-800:0.1;
+// deadline=6000" — merged over the scenario, then audits convergence
+// after the last fault lifts. Campaigns need -algo majority or
+// heartbeat: the oracle detectors are built before the campaign faults
+// are merged and would contradict them. Composes with -replay (same
+// digest line every run):
+//
+//	urbsim -n 5 -nemesis split -msgs 3
+//	urbsim -replay run.sched -nemesis crashstorm
+//	urbsim -n 5 -nemesis 'oneway@100-300:1,2>0;deadline=5000'
+//	urbsim -n 5 -msgs 8 -nemesis broken   # deliberate failure: stage-named stall report
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 	"anonurb/internal/channel"
 	"anonurb/internal/fd"
 	"anonurb/internal/harness"
+	"anonurb/internal/nemesis"
 	"anonurb/internal/obs"
 	"anonurb/internal/replay"
 	"anonurb/internal/sim"
@@ -70,6 +85,7 @@ func main() {
 	speed := flag.Float64("speed", 1, "with -replay: time-scale the schedule (2 = twice as fast)")
 	joinSpec := flag.String("join", "", "late joiners as proc@time,... (snapshot transfer over the lossy links; needs -algo heartbeat)")
 	leaveSpec := flag.String("leave", "", "leavers as proc@time,... (a leave looks like a crash on the wire)")
+	nemesisSpec := flag.String("nemesis", "", "run a staged fault campaign: a preset name ("+strings.Join(nemesis.PresetNames(), "|")+") or a campaign spec string (needs -algo majority or heartbeat)")
 	flag.Parse()
 
 	if *record != "" && *replayFrom != "" {
@@ -171,6 +187,18 @@ func main() {
 		MaxTime:       sim.Time(*maxTime),
 		StopWhenQuiet: stopQuiet,
 	}
+	if *nemesisSpec != "" {
+		if a != harness.AlgoMajority && a != harness.AlgoHeartbeat {
+			fmt.Fprintln(os.Stderr, "urbsim: -nemesis needs -algo majority or heartbeat: the oracle detectors are built before campaign faults merge and would contradict them (DESIGN.md §15)")
+			os.Exit(2)
+		}
+		if *record != "" || *traceOut != "" || *chromeOut != "" || *timeline || *timelineWire {
+			fmt.Fprintln(os.Stderr, "urbsim: -nemesis does not compose with -record/-trace/-trace-out/-timeline (campaign runs have their own auditor; record schedules without -nemesis, then replay them under it)")
+			os.Exit(2)
+		}
+		os.Exit(runNemesisCampaign(scen, *nemesisSpec, *verbose))
+	}
+
 	out := harness.Run(scen)
 
 	fmt.Printf("scenario : n=%d algo=%v link=%s crashes=%d seed=%d\n",
@@ -288,6 +316,49 @@ func main() {
 	if !out.Report.OK() {
 		os.Exit(1)
 	}
+}
+
+// runNemesisCampaign resolves and runs one fault campaign over the
+// assembled scenario and prints its audit. The digest line covers the
+// full delivery history exactly like the plain path, so CI can diff a
+// replayed schedule under a campaign (replay-under-nemesis).
+func runNemesisCampaign(scen harness.Scenario, spec string, verbose bool) int {
+	campaign, err := nemesis.Resolve(spec, scen.N)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urbsim: -nemesis %q: %v\n", spec, err)
+		return 2
+	}
+	cfg, _ := scen.Build()
+	res, err := nemesis.RunSim(cfg, campaign)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urbsim: %v\n", err)
+		return 2
+	}
+	fmt.Printf("scenario : n=%d algo=%v link=%s seed=%d\n",
+		scen.N, scen.Algo, scen.Link, scen.Seed)
+	fmt.Printf("campaign : %s (%d stages, heal@%d, deadline %d)\n",
+		campaign.Name, len(campaign.Stages), campaign.HealTime(), campaign.HealDeadline)
+	for _, st := range campaign.Stages {
+		fmt.Printf("  stage  : %s\n", st.Name)
+	}
+	fmt.Printf("run      : end=%d lastSend=%d\n", res.Result.EndTime, res.Result.LastSend)
+	fmt.Printf("traffic  : %d copies offered, %d dropped, %d duplicated, %d mutated, %d bytes\n",
+		res.Result.Net.Sent, res.Result.Net.Dropped,
+		res.Result.Net.Duplicated, res.Result.Net.Mutated, res.Result.Net.Bytes)
+	fmt.Printf("digest   : %016x\n", deliveryDigest(res.Result.Deliveries))
+	fmt.Printf("audit    : %s\n", res.Audit.Report())
+	if verbose {
+		for p, ds := range res.Result.Deliveries {
+			fmt.Printf("p%-2d: %d deliveries\n", p, len(ds))
+			for _, d := range ds {
+				fmt.Printf("    t=%-8d %s\n", d.At, d.ID)
+			}
+		}
+	}
+	if !res.Audit.OK() {
+		return 1
+	}
+	return 0
 }
 
 // parseChurnSpec turns "proc@time,proc@time" into a per-process time

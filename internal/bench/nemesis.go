@@ -1,0 +1,212 @@
+package bench
+
+// Nemesis benchmark (DESIGN.md §15): run the staged fault campaigns —
+// split/heal partitions, asymmetric cuts, crash-recover storms with
+// torn WALs, churn mid-partition — against both algorithm stacks and
+// gate hard on the recovery properties the paper's model promises:
+// after the last fault lifts every surviving process reaches uniform
+// agreement within the heal deadline, nothing is ever delivered twice,
+// and no join is left dangling. The "quiescent" rows run the heartbeat
+// host: campaign faults are merged after the scenario is built, so the
+// fd.Oracle behind bare AlgoQuiescent would contradict the schedule it
+// never saw, while the heartbeat detector observes whatever actually
+// happens on the wire (nemesis.RunSim documents the same restriction).
+
+import (
+	"fmt"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/harness"
+	"anonurb/internal/ident"
+	"anonurb/internal/liverun"
+	"anonurb/internal/nemesis"
+	"anonurb/internal/urb"
+	"anonurb/internal/workload"
+)
+
+// NemesisScenario is one campaign cell of the matrix.
+type NemesisScenario struct {
+	Name string `json:"name"`
+	// Algo is "majority" or "quiescent" (the heartbeat-detector stack;
+	// see the package comment for why the oracle stack cannot run here).
+	Algo string `json:"algo"`
+	// Preset is the nemesis campaign preset name.
+	Preset string `json:"preset"`
+	// Live selects the goroutine cluster over the virtual-time simulator.
+	Live bool   `json:"live"`
+	Seed uint64 `json:"seed"`
+}
+
+// NemesisResult is one cell's audited outcome.
+type NemesisResult struct {
+	Scenario NemesisScenario `json:"scenario"`
+	// Passed is the hard gate: agreement after heal, zero re-deliveries,
+	// no pending joins, heal latency within the campaign deadline.
+	Passed bool `json:"passed"`
+	// Agreement reports whether every survivor delivered the obliged set.
+	Agreement bool `json:"agreement"`
+	// HealLatencyUnits is how long after the last fault lifted the
+	// cluster took to converge (-1: never within the deadline).
+	HealLatencyUnits int64 `json:"heal_latency_units"`
+	// DeadlineUnits is the campaign's heal deadline.
+	DeadlineUnits int64 `json:"deadline_units"`
+	// Redelivered counts duplicate deliveries anywhere in the run.
+	Redelivered int `json:"redelivered"`
+	// Survivors is how many processes were held to the agreement bar.
+	Survivors int `json:"survivors"`
+	// Stalls counts (process, message) pairs still missing at the
+	// deadline; Report carries their full stage-attributed explanations.
+	Stalls int `json:"stalls"`
+	// Report is the failure report (empty when the gate passed).
+	Report string `json:"report,omitempty"`
+}
+
+// nemesisFounders is the cluster size every campaign cell runs at.
+const nemesisFounders = 5
+
+// nemesisBase builds the simulator substrate for one cell: founders on
+// a fair lossy mesh, every founder broadcasting before and during the
+// fault windows. The heartbeat trust timeout outlives the longest
+// preset partition window (DESIGN.md §15).
+func nemesisBase(algo harness.Algo, seed uint64, quick bool) harness.Scenario {
+	perWriter := 3
+	if quick {
+		perWriter = 2
+	}
+	return harness.Scenario{
+		Name: "nemesis-bench",
+		N:    nemesisFounders,
+		Algo: algo,
+		Link: channel.Bernoulli{P: 0.1, D: channel.UniformDelay{Min: 1, Max: 5}},
+		Workload: workload.MultiWriter{
+			Writers: nemesisFounders, PerWriter: perWriter, Start: 50, Interval: 100,
+		},
+		Seed:             seed,
+		TickEvery:        10,
+		HeartbeatTimeout: 800,
+	}
+}
+
+// RunNemesis executes one campaign cell.
+func RunNemesis(sc NemesisScenario, quick bool) (NemesisResult, error) {
+	res := NemesisResult{Scenario: sc}
+	c, ok := nemesis.Preset(sc.Preset, nemesisFounders)
+	if !ok {
+		return res, fmt.Errorf("unknown campaign preset %q", sc.Preset)
+	}
+	var audit nemesis.Audit
+	if sc.Live {
+		a, err := runNemesisLive(sc, c)
+		if err != nil {
+			return res, err
+		}
+		audit = a
+	} else {
+		var algo harness.Algo
+		switch sc.Algo {
+		case "majority":
+			algo = harness.AlgoMajority
+		case "quiescent":
+			algo = harness.AlgoHeartbeat
+		default:
+			return res, fmt.Errorf("unknown algo %q", sc.Algo)
+		}
+		cfg, _ := nemesisBase(algo, sc.Seed, quick).Build()
+		r, err := nemesis.RunSim(cfg, c)
+		if err != nil {
+			return res, err
+		}
+		audit = r.Audit
+	}
+	res.Passed = audit.OK()
+	res.Agreement = audit.Agreement
+	res.HealLatencyUnits = audit.HealLatency
+	res.DeadlineUnits = audit.Deadline
+	res.Redelivered = audit.Redelivered
+	res.Survivors = audit.Survivors
+	res.Stalls = len(audit.Stalls)
+	if !res.Passed {
+		res.Report = audit.Report()
+	}
+	return res, nil
+}
+
+// runNemesisLive runs one campaign against real goroutine nodes. Only
+// the heartbeat stack applies: a live cluster has no oracle at all.
+func runNemesisLive(sc NemesisScenario, c nemesis.Campaign) (nemesis.Audit, error) {
+	if sc.Algo != "quiescent" {
+		return nemesis.Audit{}, fmt.Errorf("live campaigns run the heartbeat stack only, not %q", sc.Algo)
+	}
+	cfg := liverun.Config{
+		N: nemesisFounders,
+		Factory: func(index int, tags *ident.Source, clock func() int64) urb.Process {
+			return urb.NewHeartbeatHost(tags, 800, 1, clock, urb.Config{})
+		},
+		Link:      channel.Bernoulli{P: 0.05, D: channel.UniformDelay{Min: 1, Max: 3}},
+		Unit:      200 * time.Microsecond,
+		TickEvery: 5,
+		Seed:      sc.Seed,
+	}
+	var bs []nemesis.LiveBroadcast
+	for p := 0; p < nemesisFounders; p++ {
+		bs = append(bs,
+			nemesis.LiveBroadcast{At: 40 + int64(p), Proc: p,
+				Body: []byte(fmt.Sprintf("pre-%d", p))},
+			nemesis.LiveBroadcast{At: 200 + int64(p), Proc: p,
+				Body: []byte(fmt.Sprintf("mid-%d", p))})
+	}
+	r, err := nemesis.RunLive(nemesis.LiveRun{Config: cfg, Campaign: c, Broadcasts: bs})
+	if err != nil {
+		return nemesis.Audit{}, err
+	}
+	return r.Audit, nil
+}
+
+// RunNemesisBroken runs the deliberately broken campaign (heal
+// deadline zero) and reports whether the failure machinery worked: the
+// audit must fail and the report must attribute each stalled message
+// to the campaign stage it was born under. This is the benchmark's
+// self-test — a diagnostics pipeline that cannot name the failing
+// stage would make every red cell above undebuggable.
+func RunNemesisBroken(seed uint64) (report string, ok bool, err error) {
+	c, _ := nemesis.Preset("broken", nemesisFounders)
+	cfg, _ := nemesisBase(harness.AlgoMajority, seed, true).Build()
+	r, e := nemesis.RunSim(cfg, c)
+	if e != nil {
+		return "", false, e
+	}
+	report = r.Audit.Report()
+	ok = !r.Audit.OK() && len(r.Audit.Stalls) > 0
+	for _, s := range r.Audit.Stalls {
+		if s.Stage == "" {
+			ok = false
+		}
+	}
+	return report, ok, nil
+}
+
+// NemesisMatrix is the campaign sweep: every preset under both
+// algorithm stacks in the simulator, plus one live-cluster cell
+// proving the faults hold up against real goroutines and wall clocks.
+func NemesisMatrix(seed uint64) []NemesisScenario {
+	var out []NemesisScenario
+	for _, algo := range []string{"majority", "quiescent"} {
+		for i, preset := range []string{"split", "asym", "crashstorm", "churnsplit"} {
+			out = append(out, NemesisScenario{
+				Name:   fmt.Sprintf("sim/%s/%s", algo, preset),
+				Algo:   algo,
+				Preset: preset,
+				Seed:   seed + uint64(i)*7919,
+			})
+		}
+	}
+	out = append(out, NemesisScenario{
+		Name:   "live/quiescent/split",
+		Algo:   "quiescent",
+		Preset: "split",
+		Live:   true,
+		Seed:   seed + 104729,
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunNemesisSmoke runs one sim cell and the live cell end to end
+// and checks the gate inputs.
+func TestRunNemesisSmoke(t *testing.T) {
+	for _, sc := range []NemesisScenario{
+		{Name: "sim/majority/split", Algo: "majority", Preset: "split", Seed: 2015},
+		{Name: "live/quiescent/split", Algo: "quiescent", Preset: "split", Live: true, Seed: 2015},
+	} {
+		r, err := RunNemesis(sc, true)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !r.Passed {
+			t.Fatalf("%s failed the gate:\n%s", sc.Name, r.Report)
+		}
+		if r.Survivors != nemesisFounders || r.Redelivered != 0 || r.Stalls != 0 {
+			t.Fatalf("%s: unexpected audit figures %+v", sc.Name, r)
+		}
+	}
+}
+
+// TestRunNemesisBrokenSelfTest: the failure machinery must fail the
+// zero-deadline campaign and attribute every stall to a stage.
+func TestRunNemesisBrokenSelfTest(t *testing.T) {
+	report, ok, err := RunNemesisBroken(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("broken campaign self-test did not hold:\n%s", report)
+	}
+	if !strings.Contains(report, `campaign "broken" FAILED`) || !strings.Contains(report, "stalled on") {
+		t.Fatalf("report lacks campaign/stall attribution:\n%s", report)
+	}
+}
+
+// TestNemesisMatrixShape: both stacks cover every preset, exactly one
+// live cell, and the unknown-preset error path reports cleanly.
+func TestNemesisMatrixShape(t *testing.T) {
+	m := NemesisMatrix(2015)
+	if len(m) != 9 {
+		t.Fatalf("matrix has %d cells, want 9", len(m))
+	}
+	live := 0
+	for _, sc := range m {
+		if sc.Live {
+			live++
+			if sc.Algo != "quiescent" {
+				t.Fatalf("live cell must run the heartbeat stack: %+v", sc)
+			}
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live cells, want 1", live)
+	}
+	if _, err := RunNemesis(NemesisScenario{Preset: "nope"}, true); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := RunNemesis(NemesisScenario{Preset: "split", Algo: "oracle"}, true); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}

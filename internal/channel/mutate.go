@@ -1,0 +1,242 @@
+package channel
+
+import (
+	"bytes"
+	"fmt"
+
+	"anonurb/internal/xrand"
+)
+
+// This file extends the link-model vocabulary beyond what a fair lossy
+// channel may legally do. A fair lossy channel never creates, duplicates
+// or garbles messages (uniform integrity); the nemesis campaigns
+// (internal/nemesis, DESIGN.md §15) deliberately violate those clauses at
+// the physical layer to check that the stack converts every violation
+// back into the one fault the model does allow — loss — before the
+// algorithms see it:
+//
+//   - a duplicated frame is re-absorbed idempotently (URB receipt is
+//     idempotent, so a duplicate is indistinguishable from a
+//     retransmission);
+//   - a reordered frame is just an unluckily-delayed copy (channels are
+//     asynchronous already);
+//   - a bit-flipped frame must be rejected at decode time and therefore
+//     surface as loss — never as an accepted different message. The
+//     BitFlip model enforces this with a Check gate standing in for the
+//     link-layer CRC real networks run under every IP packet.
+//
+// Because some mutations change the bytes on the wire (not just drop or
+// delay them), they cannot be expressed through LinkModel's Verdict.
+// FrameModel is the extension: a judgement over the encoded frame that
+// may yield zero, one or several deliverable copies, each optionally
+// carrying mutated bytes.
+
+// Copy is one deliverable copy of a judged frame. Frame is nil when the
+// copy carries the original bytes unchanged; a non-nil Frame is a
+// mutated replacement (never aliasing the original).
+type Copy struct {
+	Delay int64
+	Frame []byte
+}
+
+// FrameModel is a LinkModel that judges the encoded frame itself and may
+// duplicate or mutate it. JudgeFrame replaces Judge when the caller can
+// supply the bytes (Network.SendFrame); the embedded Judge remains for
+// callers that cannot, and must behave as a frame-blind approximation
+// (mutation degrades to loss, duplication to a single copy).
+type FrameModel interface {
+	LinkModel
+	// JudgeFrame rules on one attempt, returning every copy that
+	// survives: none (dropped), one (the normal case) or several
+	// (duplication). frame is read-only; a mutating model must return
+	// fresh bytes in Copy.Frame.
+	JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy
+}
+
+// JudgeCopies judges one attempt through m, using the frame-aware path
+// when m supports it and adapting a plain LinkModel verdict otherwise.
+// It is the composition helper wrapping models use for their inner Then.
+func JudgeCopies(m LinkModel, now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy {
+	if fm, ok := m.(FrameModel); ok {
+		return fm.JudgeFrame(now, src, dst, attempt, frame, rng)
+	}
+	v := m.Judge(now, src, dst, attempt, rng)
+	if v.Drop {
+		return nil
+	}
+	return []Copy{{Delay: v.Delay}}
+}
+
+// Duplicate re-sends a surviving copy with probability P: the duplicate
+// traverses Then independently (it may itself be dropped, delayed
+// differently, or mutated by a nested model). Max bounds the extra
+// copies per attempt (default 1). Channels never duplicate under the
+// fair lossy model; this model exists for nemesis campaigns probing that
+// receipt stays idempotent when the physical layer misbehaves.
+type Duplicate struct {
+	P    float64
+	Max  int
+	Then LinkModel
+}
+
+// Judge implements LinkModel: frame-blind, duplication degrades to a
+// single copy (the closest LinkModel can express).
+func (d Duplicate) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	return d.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// JudgeFrame implements FrameModel.
+func (d Duplicate) JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy {
+	out := JudgeCopies(d.Then, now, src, dst, attempt, frame, rng)
+	if len(out) == 0 || !rng.Bool(d.P) {
+		return out
+	}
+	max := d.Max
+	if max < 1 {
+		max = 1
+	}
+	extra := 1
+	if max > 1 {
+		extra = 1 + int(rng.Int63n(int64(max)))
+	}
+	for i := 0; i < extra; i++ {
+		out = append(out, JudgeCopies(d.Then, now, src, dst, attempt, frame, rng)...)
+	}
+	return out
+}
+
+// String implements LinkModel.
+func (d Duplicate) String() string { return fmt.Sprintf("dup(p=%g,max=%d)->%s", d.P, d.Max, d.Then) }
+
+// Reorder delays a surviving copy by an extra uniform [1, Window] units
+// with probability P, letting copies sent later overtake it — forced
+// reordering within a bounded window. Channels are asynchronous already,
+// so this violates nothing; it concentrates an adversarial schedule that
+// random delays reach only rarely.
+type Reorder struct {
+	P      float64
+	Window int64
+	Then   LinkModel
+}
+
+// Judge implements LinkModel.
+func (r Reorder) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	v := r.Then.Judge(now, src, dst, attempt, rng)
+	if !v.Drop && r.Window > 0 && rng.Bool(r.P) {
+		v.Delay += 1 + rng.Int63n(r.Window)
+	}
+	return v
+}
+
+// JudgeFrame implements FrameModel, stretching each surviving copy
+// independently so even duplicates reorder against each other.
+func (r Reorder) JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy {
+	out := JudgeCopies(r.Then, now, src, dst, attempt, frame, rng)
+	for i := range out {
+		if r.Window > 0 && rng.Bool(r.P) {
+			out[i].Delay += 1 + rng.Int63n(r.Window)
+		}
+	}
+	return out
+}
+
+// String implements LinkModel.
+func (r Reorder) String() string {
+	return fmt.Sprintf("reorder(p=%g,w=%d)->%s", r.P, r.Window, r.Then)
+}
+
+// BitFlip flips one uniformly-chosen bit of a surviving copy with
+// probability P, then consults Check — the stand-in for the link-layer
+// CRC — on whether the mutated bytes may be put on the wire at all:
+//
+//   - Check nil (the default) drops every mutated copy: the CRC caught
+//     the corruption, the copy is lost. Mutation == loss, exactly.
+//   - Check non-nil (canonically nemesis.FlipGate) delivers the mutated
+//     bytes only when Check(orig, mut) proves a receiver can extract
+//     nothing from them but a prefix of the original messages — i.e.
+//     the corruption can only truncate, never fabricate. Anything else
+//     is dropped.
+//
+// Either way a flip never surfaces as an accepted different message;
+// the fair lossy model's uniform integrity survives the violation.
+type BitFlip struct {
+	P     float64
+	Check func(orig, mut []byte) bool
+	Then  LinkModel
+}
+
+// Judge implements LinkModel: frame-blind, a flip is a loss.
+func (b BitFlip) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	v := b.Then.Judge(now, src, dst, attempt, rng)
+	if !v.Drop && rng.Bool(b.P) {
+		v.Drop = true
+	}
+	return v
+}
+
+// JudgeFrame implements FrameModel.
+func (b BitFlip) JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy {
+	out := JudgeCopies(b.Then, now, src, dst, attempt, frame, rng)
+	kept := out[:0]
+	for _, c := range out {
+		if !rng.Bool(b.P) {
+			kept = append(kept, c)
+			continue
+		}
+		orig := frame
+		if c.Frame != nil {
+			orig = c.Frame
+		}
+		if len(orig) == 0 {
+			continue // nothing to flip; an empty frame is dropped whole
+		}
+		mut := append([]byte(nil), orig...)
+		bit := rng.Int63n(int64(len(mut)) * 8)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		if b.Check == nil || !b.Check(orig, mut) {
+			continue // CRC caught it: the copy is lost
+		}
+		c.Frame = mut
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// String implements LinkModel.
+func (b BitFlip) String() string { return fmt.Sprintf("bitflip(p=%g)->%s", b.P, b.Then) }
+
+// OneWay cuts the directed links for which Cut(src, dst) is true until
+// the given virtual time, then behaves as Then everywhere: the
+// asymmetric partition, where a can reach b but not vice versa. With a
+// finite Until the model remains fair lossy.
+type OneWay struct {
+	Until int64
+	Cut   func(src, dst int) bool
+	Then  LinkModel
+}
+
+// Judge implements LinkModel.
+func (o OneWay) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) Verdict {
+	if now < o.Until && o.Cut(src, dst) {
+		return Verdict{Drop: true}
+	}
+	return o.Then.Judge(now, src, dst, attempt, rng)
+}
+
+// JudgeFrame implements FrameModel so cut verdicts compose with nested
+// mutators.
+func (o OneWay) JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []Copy {
+	if now < o.Until && o.Cut(src, dst) {
+		return nil
+	}
+	return JudgeCopies(o.Then, now, src, dst, attempt, frame, rng)
+}
+
+// String implements LinkModel.
+func (o OneWay) String() string { return fmt.Sprintf("oneway(until=%d)->%s", o.Until, o.Then) }
+
+// SameFrame reports whether a copy delivers the original frame bytes
+// unchanged (either unmutated, or mutated back into byte equality).
+func (c Copy) SameFrame(orig []byte) bool {
+	return c.Frame == nil || bytes.Equal(c.Frame, orig)
+}

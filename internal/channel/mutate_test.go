@@ -1,0 +1,165 @@
+package channel
+
+import (
+	"bytes"
+	"testing"
+
+	"anonurb/internal/xrand"
+)
+
+var mutFrame = []byte("mutate-me: a frame of representative length for flips")
+
+// TestDuplicateFansOut: P=1 always produces at least one extra copy,
+// every copy carries the original bytes, and the frame-blind Judge
+// path degrades to a single verdict.
+func TestDuplicateFansOut(t *testing.T) {
+	d := Duplicate{P: 1, Max: 3, Then: Reliable{D: FixedDelay(2)}}
+	rng := xrand.New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		out := d.JudgeFrame(0, 0, 1, 0, mutFrame, rng)
+		if len(out) < 2 || len(out) > 1+3 {
+			t.Fatalf("copy count %d outside [2, 4]", len(out))
+		}
+		seen[len(out)] = true
+		for _, c := range out {
+			if !c.SameFrame(mutFrame) {
+				t.Fatal("duplication mutated the frame")
+			}
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("Max=3 never varied the fan-out: %v", seen)
+	}
+	if v := d.Judge(0, 0, 1, 0, rng); v.Drop || v.Delay != 2 {
+		t.Fatalf("frame-blind Judge must degrade to Then's verdict, got %+v", v)
+	}
+	// P=0 never duplicates.
+	d.P = 0
+	for i := 0; i < 20; i++ {
+		if out := d.JudgeFrame(0, 0, 1, 0, mutFrame, rng); len(out) != 1 {
+			t.Fatalf("P=0 duplicated: %d copies", len(out))
+		}
+	}
+}
+
+// TestReorderStretchesDelay: a reordered copy's delay lands in
+// (base, base+Window]; both judge paths agree on the stretch.
+func TestReorderStretchesDelay(t *testing.T) {
+	r := Reorder{P: 1, Window: 9, Then: Reliable{D: FixedDelay(3)}}
+	rng := xrand.New(5)
+	for i := 0; i < 100; i++ {
+		out := r.JudgeFrame(0, 0, 1, 0, mutFrame, rng)
+		if len(out) != 1 {
+			t.Fatalf("reorder changed the copy count: %d", len(out))
+		}
+		if d := out[0].Delay; d <= 3 || d > 3+9 {
+			t.Fatalf("stretched delay %d outside (3, 12]", d)
+		}
+		if v := r.Judge(0, 0, 1, 0, rng); v.Delay <= 3 || v.Delay > 3+9 {
+			t.Fatalf("frame-blind stretch %d outside (3, 12]", v.Delay)
+		}
+	}
+}
+
+// TestBitFlipDefaultIsLoss: with no Check gate, every flipped copy is
+// dropped — the CRC stand-in catches all corruption, so mutation
+// surfaces only as loss.
+func TestBitFlipDefaultIsLoss(t *testing.T) {
+	b := BitFlip{P: 1, Then: Reliable{D: FixedDelay(1)}}
+	rng := xrand.New(5)
+	for i := 0; i < 50; i++ {
+		if out := b.JudgeFrame(0, 0, 1, 0, mutFrame, rng); len(out) != 0 {
+			t.Fatalf("flipped copy survived without a Check gate: %v", out)
+		}
+	}
+	if v := b.Judge(0, 0, 1, 0, rng); !v.Drop {
+		t.Fatal("frame-blind flip must degrade to a drop")
+	}
+}
+
+// TestBitFlipCheckGate: the Check gate sees exactly one flipped bit
+// and full original bytes, and its ruling decides delivery.
+func TestBitFlipCheckGate(t *testing.T) {
+	var calls int
+	b := BitFlip{P: 1, Then: Reliable{D: FixedDelay(1)},
+		Check: func(orig, mut []byte) bool {
+			calls++
+			if !bytes.Equal(orig, mutFrame) {
+				t.Fatal("gate saw wrong original bytes")
+			}
+			diff := 0
+			for i := range mut {
+				for bit := 0; bit < 8; bit++ {
+					if (orig[i]^mut[i])>>uint(bit)&1 == 1 {
+						diff++
+					}
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("gate saw %d flipped bits, want 1", diff)
+			}
+			return true
+		}}
+	rng := xrand.New(5)
+	out := b.JudgeFrame(0, 0, 1, 0, mutFrame, rng)
+	if calls != 1 {
+		t.Fatalf("gate consulted %d times, want 1", calls)
+	}
+	if len(out) != 1 || out[0].Frame == nil || bytes.Equal(out[0].Frame, mutFrame) {
+		t.Fatalf("admitted copy must carry the mutated bytes: %+v", out)
+	}
+	// A refusing gate turns the same flip into loss.
+	b.Check = func(orig, mut []byte) bool { return false }
+	if out := b.JudgeFrame(0, 0, 1, 0, mutFrame, rng); len(out) != 0 {
+		t.Fatal("refused copy delivered")
+	}
+}
+
+// TestOneWayCut: the cut is directional and lifts at Until.
+func TestOneWayCut(t *testing.T) {
+	o := OneWay{Until: 100, Cut: func(src, dst int) bool { return src == 0 && dst == 1 },
+		Then: Reliable{D: FixedDelay(1)}}
+	rng := xrand.New(5)
+	if out := o.JudgeFrame(50, 0, 1, 0, mutFrame, rng); len(out) != 0 {
+		t.Fatal("cut direction passed")
+	}
+	if out := o.JudgeFrame(50, 1, 0, 0, mutFrame, rng); len(out) != 1 {
+		t.Fatal("reverse direction dropped")
+	}
+	if out := o.JudgeFrame(100, 0, 1, 0, mutFrame, rng); len(out) != 1 {
+		t.Fatal("cut did not lift at Until")
+	}
+	if v := o.Judge(50, 0, 1, 0, rng); !v.Drop {
+		t.Fatal("frame-blind Judge missed the cut")
+	}
+}
+
+// TestSendFrameCounters: the network's Mutated and Duplicated totals
+// count admitted mutations and extra copies, and a rejected mutation
+// counts as a drop.
+func TestSendFrameCounters(t *testing.T) {
+	admitAll := func(orig, mut []byte) bool { return true }
+	w := NewNetwork(2, Duplicate{P: 1, Max: 1,
+		Then: BitFlip{P: 1, Check: admitAll, Then: Reliable{D: FixedDelay(1)}}}, xrand.New(9))
+	for i := 0; i < 10; i++ {
+		if got := w.SendFrame(0, 0, 1, mutFrame); len(got) != 2 {
+			t.Fatalf("want 2 copies (original judged twice), got %d", len(got))
+		}
+	}
+	s := w.Stats()
+	if s.Sent != 10 || s.Duplicated != 10 || s.Mutated != 20 {
+		t.Fatalf("counters: %+v", s)
+	}
+	// With the default (refusing) CRC the same model is pure loss.
+	w = NewNetwork(2, BitFlip{P: 1, Then: Reliable{D: FixedDelay(1)}}, xrand.New(9))
+	for i := 0; i < 10; i++ {
+		if got := w.SendFrame(0, 0, 1, mutFrame); len(got) != 0 {
+			t.Fatal("flip without a gate must drop")
+		}
+	}
+	s = w.Stats()
+	if s.Dropped != 10 || s.Mutated != 0 {
+		t.Fatalf("rejected mutations must count as drops: %+v", s)
+	}
+}

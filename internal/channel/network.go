@@ -26,6 +26,8 @@ type Network struct {
 	totalSent    uint64
 	totalDropped uint64
 	totalBytes   uint64
+	totalMutated uint64
+	totalDuped   uint64
 }
 
 // NewNetwork builds a mesh of n processes all using the same LinkModel,
@@ -106,6 +108,52 @@ func (w *Network) Send(now int64, src, dst int, size int) Verdict {
 	return v
 }
 
+// SendFrame rules on one copy of an encoded frame travelling src→dst at
+// virtual time now, through the frame-aware judging path: a FrameModel
+// may drop the frame, duplicate it or mutate its bytes, so the result is
+// a copy list rather than a single verdict. Plain LinkModels behave
+// exactly as under Send (one copy or none). An attempt whose copy list
+// comes back empty counts as dropped; mutated and extra copies feed the
+// Mutated/Duplicated statistics.
+func (w *Network) SendFrame(now int64, src, dst int, frame []byte) []Copy {
+	l := w.link(src, dst)
+	attempt := w.attempts[l]
+	w.attempts[l]++
+	w.totalSent++
+	w.totalBytes += uint64(len(frame))
+
+	var copies []Copy
+	switch m := w.model.(type) {
+	case GilbertElliott:
+		if v := w.judgeGE(m, l); !v.Drop {
+			copies = []Copy{{Delay: v.Delay}}
+		}
+	case FrameModel:
+		copies = m.JudgeFrame(now, src, dst, attempt, frame, w.rng)
+	default:
+		if v := w.model.Judge(now, src, dst, attempt, w.rng); !v.Drop {
+			copies = []Copy{{Delay: v.Delay}}
+		}
+	}
+	if len(copies) == 0 {
+		w.dropped[l]++
+		w.totalDropped++
+		return nil
+	}
+	for i := range copies {
+		if copies[i].Delay < 0 {
+			copies[i].Delay = 0
+		}
+		if copies[i].Frame != nil {
+			w.totalMutated++
+		}
+	}
+	if len(copies) > 1 {
+		w.totalDuped += uint64(len(copies) - 1)
+	}
+	return copies
+}
+
 // judgeGE applies a Gilbert–Elliott model with real per-link state: first
 // the state may flip, then the loss probability of the current state
 // applies.
@@ -140,11 +188,20 @@ type Stats struct {
 	Sent    uint64 // copies offered to the network (n copies per broadcast)
 	Dropped uint64
 	Bytes   uint64 // encoded bytes offered
+	// Mutated counts copies delivered with mutated bytes (FrameModel
+	// path only; a mutation the model's gate rejected counts as Dropped
+	// instead). Duplicated counts the extra copies beyond the first that
+	// a duplicating model produced.
+	Mutated    uint64
+	Duplicated uint64
 }
 
 // Stats returns the running totals.
 func (w *Network) Stats() Stats {
-	return Stats{Sent: w.totalSent, Dropped: w.totalDropped, Bytes: w.totalBytes}
+	return Stats{
+		Sent: w.totalSent, Dropped: w.totalDropped, Bytes: w.totalBytes,
+		Mutated: w.totalMutated, Duplicated: w.totalDuped,
+	}
 }
 
 // LossRate returns the observed fraction of dropped copies.

@@ -156,6 +156,20 @@ func (o *Outcome) MsgsPerBroadcast() float64 {
 
 // Run executes the scenario.
 func Run(s Scenario) Outcome {
+	cfg, oracle := s.Build()
+	res := sim.NewEngine(cfg).Run()
+	return analyze(s, oracle, res)
+}
+
+// Build assembles the scenario into a runnable sim.Config without
+// executing it, so callers that need to adjust the run — the nemesis
+// campaign runner merges fault schedules and wraps the link model — can
+// interpose between assembly and execution. The returned oracle is
+// non-nil only for AlgoQuiescent (whose correctness vector reflects the
+// scenario's own crash schedule; faults added afterwards are invisible
+// to it — campaign runners must use AlgoMajority or AlgoHeartbeat,
+// which consult no ground truth).
+func (s Scenario) Build() (sim.Config, *fd.Oracle) {
 	if s.N < 1 {
 		panic("harness: scenario needs N >= 1")
 	}
@@ -229,7 +243,7 @@ func Run(s Scenario) Outcome {
 	if s.FullHorizon {
 		expect = 0
 	}
-	res := sim.NewEngine(sim.Config{
+	return sim.Config{
 		N:                    s.N,
 		Factory:              factory,
 		Link:                 s.Link,
@@ -245,9 +259,7 @@ func Run(s Scenario) Outcome {
 		ExpectDeliveries:     expect,
 		SampleEvery:          s.SampleEvery,
 		Observers:            s.Observers,
-	}).Run()
-
-	return analyze(s, oracle, res)
+	}, oracle
 }
 
 // analyze derives the Outcome from a finished run.

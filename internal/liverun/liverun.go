@@ -86,6 +86,14 @@ type Config struct {
 	// Admission, when non-nil, interposes a flow-fairness admission
 	// stage in front of every node's inbox (node.WithAdmission).
 	Admission *admit.Config
+	// Chaos, when non-nil, wraps every node's mesh endpoint in its own
+	// transport.Chaos with this configuration (per-node seeds derived
+	// from the cluster seed, so senders decorrelate): outbound frames
+	// are judged twice, once by the node's chaos wrapper and once by the
+	// mesh links. Cluster.ChaosStats exposes the per-node drop/send
+	// counters. The Seed/Src/Dst fields of the template are overridden
+	// per node; Unit defaults to the cluster Unit.
+	Chaos *transport.ChaosConfig
 	// Trace enables per-node lifecycle tracing (DESIGN.md §14): every
 	// node gets an obs.Tracer sized TraceCapacity (0: obs default) and
 	// Cluster.Tracers/ServeDebug expose the merged trace. The zero value
@@ -113,6 +121,12 @@ type Cluster struct {
 	// A recovered process keeps its predecessor's tracer: the ring then
 	// shows the crash-spanning lifecycle.
 	tracers []*obs.Tracer
+	// chaos[i] is process i's current chaos wrapper (nil unless
+	// cfg.Chaos); Recover and Join install fresh wrappers, and the
+	// retired ones' counters fold into chaosShed so ChaosStats totals
+	// survive restarts.
+	chaos     []*transport.Chaos
+	chaosShed []transport.ChaosStats
 }
 
 // observer adapts node events to the cluster's delivery callback.
@@ -178,7 +192,7 @@ func Start(cfg Config) *Cluster {
 		src := c.tagRoot.Split()
 		c.tagClones[i] = src.Clone()
 		proc := cfg.Factory(i, c.tagSource(i, src), c.ElapsedUnits)
-		c.nodes[i] = node.New(proc, c.mesh.Endpoint(i), c.nodeOptions(i)...)
+		c.nodes[i] = node.New(proc, c.transportFor(i, c.mesh.Endpoint(i)), c.nodeOptions(i)...)
 	}
 	for _, nd := range c.nodes {
 		if err := nd.Start(ctx); err != nil {
@@ -186,6 +200,62 @@ func Start(cfg Config) *Cluster {
 		}
 	}
 	return c
+}
+
+// transportFor wraps ep in process proc's own chaos wrapper when the
+// cluster configures one (Config.Chaos), deriving a per-process seed so
+// senders decorrelate. A predecessor wrapper's counters (crash/recover
+// installs a fresh one) fold into the shed totals first, so ChaosStats
+// stays cumulative across restarts.
+func (c *Cluster) transportFor(proc int, ep transport.Transport) transport.Transport {
+	if c.cfg.Chaos == nil {
+		return ep
+	}
+	for len(c.chaos) <= proc {
+		c.chaos = append(c.chaos, nil)
+		c.chaosShed = append(c.chaosShed, transport.ChaosStats{})
+	}
+	if old := c.chaos[proc]; old != nil {
+		s := old.StatsDetail()
+		c.chaosShed[proc].Sends += s.Sends
+		c.chaosShed[proc].Drops += s.Drops
+		c.chaosShed[proc].Delayed += s.Delayed
+	}
+	ccfg := *c.cfg.Chaos
+	ccfg.Seed = xrand.HashStream(c.cfg.Seed, 0xC4A05, uint64(proc))
+	if ccfg.Unit <= 0 {
+		ccfg.Unit = c.cfg.Unit
+	}
+	ch := transport.NewChaos(ep, ccfg)
+	c.chaos[proc] = ch
+	return ch
+}
+
+// ChaosStats returns the per-process chaos wrapper counters, cumulative
+// across crash/recover restarts; nil when Config.Chaos is unset.
+func (c *Cluster) ChaosStats() []transport.ChaosStats {
+	if c.cfg.Chaos == nil {
+		return nil
+	}
+	out := make([]transport.ChaosStats, len(c.nodes))
+	for i := range out {
+		if i < len(c.chaosShed) {
+			out[i] = c.chaosShed[i]
+		}
+		if i < len(c.chaos) && c.chaos[i] != nil {
+			s := c.chaos[i].StatsDetail()
+			out[i].Sends += s.Sends
+			out[i].Drops += s.Drops
+			out[i].Delayed += s.Delayed
+		}
+	}
+	return out
+}
+
+// LinkStats returns the mesh link network's full statistics, including
+// the mutation/duplication counters a nemesis FrameModel feeds.
+func (c *Cluster) LinkStats() channel.Stats {
+	return c.mesh.LinkStats()
 }
 
 // tagSource builds process proc's tag source over src, flow-pinned when
@@ -322,7 +392,7 @@ func (c *Cluster) Join(st store.Store, opts ...node.Option) (int, error) {
 	if st != nil && c.cfg.CheckpointEvery > 0 {
 		jopts = append(jopts, node.WithCheckpointEvery(c.cfg.CheckpointEvery))
 	}
-	nd, err := node.Join(c.ctx, p, st, c.mesh.Grow(), jopts...)
+	nd, err := node.Join(c.ctx, p, st, c.transportFor(proc, c.mesh.Grow()), jopts...)
 	if err != nil {
 		return 0, err
 	}
@@ -364,7 +434,7 @@ func (c *Cluster) Recover(proc int) error {
 	// A still-running node must be crashed first; Stop is idempotent.
 	c.nodes[proc].Stop()
 	p := c.cfg.Factory(proc, c.tagSource(proc, c.tagClones[proc].Clone()), c.ElapsedUnits)
-	nd, err := node.Recover(p, c.cfg.Stores[proc], c.mesh.Reopen(proc), c.nodeOptions(proc)...)
+	nd, err := node.Recover(p, c.cfg.Stores[proc], c.transportFor(proc, c.mesh.Reopen(proc)), c.nodeOptions(proc)...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,60 @@
+package liverun_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/liverun"
+	"anonurb/internal/nemesis"
+	"anonurb/internal/urb"
+)
+
+// TestPartitionHealAgreement splits a live 5-node mesh 2/3, broadcasts
+// on both sides of the cut, heals, and requires every node to reach
+// uniform agreement on the full message set with zero re-deliveries.
+// The heartbeat trust timeout (800 units) deliberately outlives the
+// partition window (300 units): a detector that gives up on the far
+// side mid-partition retires messages without its acks and heals into
+// permanent disagreement (DESIGN.md §15).
+func TestPartitionHealAgreement(t *testing.T) {
+	campaign, err := nemesis.Parse("name=liverun-split;split@100-400:0,1;deadline=12000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := liverun.Config{
+		N: 5,
+		Factory: func(index int, tags *ident.Source, clock func() int64) urb.Process {
+			return urb.NewHeartbeatHost(tags, 800, 1, clock, urb.Config{})
+		},
+		Link:      channel.Bernoulli{P: 0.05, D: channel.UniformDelay{Min: 1, Max: 3}},
+		Unit:      200 * time.Microsecond,
+		TickEvery: 5,
+		Seed:      42,
+	}
+	var bs []nemesis.LiveBroadcast
+	for p := 0; p < 5; p++ {
+		// One broadcast per node before the cut, one mid-partition: the
+		// mid-partition ones can only cross after heal.
+		bs = append(bs,
+			nemesis.LiveBroadcast{At: 40 + int64(p), Proc: p,
+				Body: []byte(fmt.Sprintf("pre-split-%d", p))},
+			nemesis.LiveBroadcast{At: 200 + int64(p), Proc: p,
+				Body: []byte(fmt.Sprintf("mid-split-%d", p))})
+	}
+	res, err := nemesis.RunLive(nemesis.LiveRun{Config: cfg, Campaign: campaign, Broadcasts: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audit.OK() {
+		t.Fatalf("partition heal failed:\n%s", res.Audit.Report())
+	}
+	if res.Audit.Survivors != 5 {
+		t.Fatalf("survivors %d, want all 5", res.Audit.Survivors)
+	}
+	if res.Audit.Redelivered != 0 {
+		t.Fatalf("%d re-deliveries across the heal", res.Audit.Redelivered)
+	}
+}

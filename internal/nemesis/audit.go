@@ -1,0 +1,94 @@
+package nemesis
+
+import (
+	"fmt"
+	"strings"
+
+	"anonurb/internal/obs"
+	"anonurb/internal/wire"
+)
+
+// Stall is one obliged message a surviving process had not delivered
+// (or adopted) when the campaign's deadline expired.
+type Stall struct {
+	Proc int
+	ID   wire.MsgID
+	// Born is when the message was URB-broadcast; Stage names the
+	// campaign stage(s) in force at that moment ("heal" when none).
+	Born  int64
+	Stage string
+	// Explanation is the process's own account of the missing evidence
+	// (obs explainer); HasExplanation is false when the process exposes
+	// no explainer.
+	Explanation    obs.Explanation
+	HasExplanation bool
+}
+
+// Audit is the convergence auditor's verdict on one campaign run: did
+// every surviving or recovered process reach uniform agreement within
+// the deadline after the last fault lifted, without re-delivering.
+type Audit struct {
+	Campaign string
+	// HealTime is when the last scheduled fault lifted; Deadline is the
+	// allowance after it; EndTime is when the run actually stopped.
+	HealTime int64
+	Deadline int64
+	EndTime  int64
+	// Agreement reports that every survivor delivered (or adopted)
+	// every obliged message and every scheduled join completed.
+	Agreement bool
+	// HealLatency is EndTime − HealTime when agreement was reached, -1
+	// otherwise. The run stops the moment convergence holds, so this is
+	// the time the heal actually took.
+	HealLatency int64
+	// Redelivered counts duplicate deliveries of the same message id at
+	// the same process across the whole run — the hard zero gate.
+	Redelivered int
+	// Survivors is the number of processes held to the agreement
+	// obligation (founders that never crashed for good, recovered
+	// processes, completed joiners).
+	Survivors int
+	// PendingJoins lists scheduled joiners whose snapshot transfer
+	// never completed.
+	PendingJoins []int
+	// Stalls lists every missing (process, message) pair with blame and
+	// explanation.
+	Stalls []Stall
+}
+
+// OK reports whether the campaign passed every hard gate: agreement
+// after heal, zero re-deliveries, no stuck joins, heal latency within
+// the deadline.
+func (a Audit) OK() bool {
+	return a.Agreement && a.Redelivered == 0 && len(a.PendingJoins) == 0 &&
+		a.HealLatency >= 0 && a.HealLatency <= a.Deadline
+}
+
+// Report renders the verdict for humans. Failures name the campaign,
+// the stage each stalled message was born under, and the evidence the
+// stalled process still lacks.
+func (a Audit) Report() string {
+	if a.OK() {
+		return fmt.Sprintf("nemesis: campaign %q converged %d units after heal (heal@%d, %d survivors, 0 redeliveries)",
+			a.Campaign, a.HealLatency, a.HealTime, a.Survivors)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "nemesis: campaign %q FAILED (heal@%d, deadline %d, end@%d):",
+		a.Campaign, a.HealTime, a.Deadline, a.EndTime)
+	if a.Agreement && a.HealLatency > a.Deadline {
+		fmt.Fprintf(&b, "\n  - heal latency %d exceeds deadline %d", a.HealLatency, a.Deadline)
+	}
+	if a.Redelivered > 0 {
+		fmt.Fprintf(&b, "\n  - %d re-deliveries (every receipt must be idempotent)", a.Redelivered)
+	}
+	for _, p := range a.PendingJoins {
+		fmt.Fprintf(&b, "\n  - proc %d never completed its join", p)
+	}
+	for _, s := range a.Stalls {
+		fmt.Fprintf(&b, "\n  - proc %d stalled on %s born@%d (stage %q)", s.Proc, s.ID, s.Born, s.Stage)
+		if s.HasExplanation {
+			fmt.Fprintf(&b, ": %s", s.Explanation)
+		}
+	}
+	return b.String()
+}

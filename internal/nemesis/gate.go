@@ -1,0 +1,48 @@
+package nemesis
+
+import (
+	"bytes"
+
+	"anonurb/internal/wire"
+)
+
+// FlipGate is the channel.BitFlip admission check standing in for the
+// link-layer CRC. A mutated frame may be put on the wire only when a
+// receiver can extract nothing from it beyond a byte-identical prefix
+// of the original frame's messages — that is, when the corruption can
+// only truncate the frame, never fabricate or alter a message. Every
+// other mutation is dropped at the link, so a bit flip surfaces to the
+// algorithms exactly as the one fault the fair lossy model allows:
+// loss.
+//
+// The check walks mut with the same wire.DecodePrefix loop every
+// receiver runs (node inbound path, batch decode): each message the
+// receiver would accept must occupy a byte range identical to the
+// original frame's same range. Identical bytes decode to identical
+// messages and identical boundaries, so inductively every accepted
+// message is one the sender really encoded, in order, from offset
+// zero. The first decode error ends the walk as a permitted
+// truncation — the receiver discards the tail (or the whole frame)
+// and counts it lost.
+func FlipGate(orig, mut []byte) bool {
+	if bytes.Equal(orig, mut) {
+		return true
+	}
+	rest := mut
+	for len(rest) > 0 {
+		_, tail, err := wire.DecodePrefix(rest)
+		if err != nil {
+			return true // rejected tail: pure truncation, i.e. loss
+		}
+		consumed := len(rest) - len(tail)
+		if consumed <= 0 {
+			return false // decoder made no progress; refuse the frame
+		}
+		off := len(mut) - len(rest)
+		if off+consumed > len(orig) || !bytes.Equal(mut[off:off+consumed], orig[off:off+consumed]) {
+			return false // an accepted message differs from the original stream
+		}
+		rest = tail
+	}
+	return true
+}

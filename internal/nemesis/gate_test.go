@@ -1,0 +1,139 @@
+package nemesis
+
+import (
+	"bytes"
+	"testing"
+
+	"anonurb/internal/ident"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// gateFrames builds a representative single-message frame and a batch
+// frame of three messages.
+func gateFrames() (single []byte, batch []byte) {
+	tags := ident.NewSource(xrand.New(42))
+	msgs := []wire.Message{
+		{Kind: wire.KindMsg, Body: []byte("hello nemesis"), Tag: tags.Next()},
+		{Kind: wire.KindAck, Body: []byte("hello nemesis"), Tag: tags.Next(), AckTag: tags.Next()},
+		{Kind: wire.KindMsg, Body: []byte("third"), Tag: tags.Next()},
+	}
+	single = msgs[0].Encode(nil)
+	frames := wire.EncodeBatch(msgs, 1<<20)
+	if len(frames) != 1 {
+		panic("batch did not fit one frame")
+	}
+	return single, frames[0]
+}
+
+// decodeAll walks a frame exactly like a receiver: accepted prefix
+// messages, stopping at the first error.
+func decodeAll(frame []byte) []wire.Message {
+	var out []wire.Message
+	rest := frame
+	for len(rest) > 0 {
+		m, tail, err := wire.DecodePrefix(rest)
+		if err != nil {
+			return out
+		}
+		out = append(out, m)
+		rest = tail
+	}
+	return out
+}
+
+// checkGateInvariant asserts FlipGate's contract on one (orig, mut)
+// pair: if the gate admits the mutated frame, a receiver decoding it
+// must obtain a prefix of the original frame's messages, byte-range
+// identical — never a fabricated or altered message.
+func checkGateInvariant(t *testing.T, orig, mut []byte) {
+	t.Helper()
+	if !FlipGate(orig, mut) {
+		return // dropped at the link: always legal (mutation == loss)
+	}
+	want := decodeAll(orig)
+	got := decodeAll(mut)
+	if len(got) > len(want) {
+		t.Fatalf("gate admitted a frame that decodes MORE messages (%d > %d)", len(got), len(want))
+	}
+	rest := mut
+	for i, m := range got {
+		_, tail, _ := wire.DecodePrefix(rest)
+		consumed := len(rest) - len(tail)
+		off := len(mut) - len(rest)
+		if !bytes.Equal(mut[off:off+consumed], orig[off:off+consumed]) {
+			t.Fatalf("admitted frame: message %d decoded from mutated bytes", i)
+		}
+		if m.Kind != want[i].Kind || !bytes.Equal(m.Body, want[i].Body) || m.Tag != want[i].Tag {
+			t.Fatalf("admitted frame: message %d differs from the original", i)
+		}
+		rest = tail
+	}
+}
+
+func TestFlipGateIdentity(t *testing.T) {
+	single, batch := gateFrames()
+	if !FlipGate(single, single) || !FlipGate(batch, batch) {
+		t.Fatal("unchanged frames must pass")
+	}
+}
+
+// TestFlipGateEveryBit flips each bit of both frames in turn and checks
+// the admission invariant exhaustively: whatever the gate admits must
+// decode to an unaltered prefix.
+func TestFlipGateEveryBit(t *testing.T) {
+	single, batch := gateFrames()
+	for _, orig := range [][]byte{single, batch} {
+		for bit := 0; bit < len(orig)*8; bit++ {
+			mut := append([]byte(nil), orig...)
+			mut[bit/8] ^= 1 << uint(bit%8)
+			checkGateInvariant(t, orig, mut)
+		}
+	}
+}
+
+// TestFlipGateRejectsBodyFlip pins the central case: a flip inside a
+// message's payload decodes "successfully" into a different message,
+// which the gate must refuse to put on the wire.
+func TestFlipGateRejectsBodyFlip(t *testing.T) {
+	single, _ := gateFrames()
+	mut := append([]byte(nil), single...)
+	// Flip a byte in the payload region (beyond the header) and check
+	// that when the decoder still accepts the frame, the gate drops it.
+	i := bytes.Index(mut, []byte("nemesis"))
+	if i < 0 {
+		t.Fatal("payload not found in frame")
+	}
+	mut[i] ^= 0x01
+	if _, _, err := wire.DecodePrefix(mut); err == nil {
+		if FlipGate(single, mut) {
+			t.Fatal("gate admitted an altered message the decoder accepts")
+		}
+	}
+}
+
+// FuzzFlipGate drives random multi-bit corruption through the gate and
+// the receiver decode loop, holding the no-fabrication invariant.
+func FuzzFlipGate(f *testing.F) {
+	single, batch := gateFrames()
+	f.Add(single, 0)
+	f.Add(single, len(single)*8-1)
+	f.Add(batch, 0)
+	f.Add(batch, len(batch)*4)
+	f.Add(batch, len(batch)*8-1)
+	f.Fuzz(func(t *testing.T, frame []byte, bit int) {
+		// The fuzzer mutates the frame arbitrarily; we additionally
+		// flip one chosen bit so the corpus explores near-miss frames.
+		orig := append([]byte(nil), frame...)
+		mut := append([]byte(nil), frame...)
+		if len(mut) > 0 {
+			b := bit
+			if b < 0 {
+				b = -b
+			}
+			b %= len(mut) * 8
+			mut[b/8] ^= 1 << uint(b%8)
+		}
+		checkGateInvariant(t, orig, mut)
+	})
+}

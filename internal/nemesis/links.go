@@ -1,0 +1,131 @@
+package nemesis
+
+import (
+	"fmt"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/xrand"
+)
+
+// BuildLink wraps base in one window-gated overlay per network-fault
+// stage (split, one-way cut, loss, dup, reorder, flip); crash, churn
+// and store stages need no link behaviour and are skipped. The result
+// always implements channel.FrameModel so both the simulator and the
+// live mesh take the frame-aware path, which is where mutation and
+// duplication are expressible. Outside its window an overlay is a pure
+// pass-through, so one composed model serves the whole campaign: the
+// callers hand it the current time on every judgement and the staging
+// follows automatically.
+func (c Campaign) BuildLink(base channel.LinkModel) channel.LinkModel {
+	m := base
+	for _, s := range c.Stages {
+		if s.windowed() {
+			m = newOverlay(s, m)
+		}
+	}
+	return m
+}
+
+// overlay applies one windowed stage on top of an inner model.
+type overlay struct {
+	st    Stage
+	inner channel.LinkModel
+	// inA / inSrc / inDst are the precomputed membership sets for
+	// split and one-way stages.
+	inA, inSrc, inDst map[int]bool
+	// mut wraps inner in the stage's mutator for dup/reorder/flip.
+	mut channel.LinkModel
+}
+
+func toSet(procs []int) map[int]bool {
+	s := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		s[p] = true
+	}
+	return s
+}
+
+func newOverlay(st Stage, inner channel.LinkModel) *overlay {
+	o := &overlay{st: st, inner: inner}
+	switch st.Kind {
+	case StageSplit:
+		o.inA = toSet(st.A)
+	case StageOneWay:
+		o.inSrc, o.inDst = toSet(st.Src), toSet(st.Dst)
+	case StageDup:
+		max := int(st.Window)
+		if max < 1 {
+			max = 1
+		}
+		o.mut = channel.Duplicate{P: st.P, Max: max, Then: inner}
+	case StageReorder:
+		o.mut = channel.Reorder{P: st.P, Window: st.Window, Then: inner}
+	case StageFlip:
+		o.mut = channel.BitFlip{P: st.P, Check: FlipGate, Then: inner}
+	}
+	return o
+}
+
+// inWindow reports whether the stage's fault applies at now.
+func (o *overlay) inWindow(now int64) bool {
+	return now >= o.st.From && now < o.st.Until
+}
+
+// cut reports whether the stage severs the (src, dst) link outright.
+func (o *overlay) cut(src, dst int) bool {
+	switch o.st.Kind {
+	case StageSplit:
+		return o.inA[src] != o.inA[dst]
+	case StageOneWay:
+		return o.inSrc[src] && o.inDst[dst]
+	default:
+		return false
+	}
+}
+
+// Judge implements channel.LinkModel.
+func (o *overlay) Judge(now int64, src, dst int, attempt uint64, rng *xrand.Source) channel.Verdict {
+	if !o.inWindow(now) {
+		return o.inner.Judge(now, src, dst, attempt, rng)
+	}
+	switch o.st.Kind {
+	case StageSplit, StageOneWay:
+		if o.cut(src, dst) {
+			return channel.Verdict{Drop: true}
+		}
+		return o.inner.Judge(now, src, dst, attempt, rng)
+	case StageLoss:
+		if rng.Bool(o.st.P) {
+			return channel.Verdict{Drop: true}
+		}
+		return o.inner.Judge(now, src, dst, attempt, rng)
+	default:
+		return o.mut.Judge(now, src, dst, attempt, rng)
+	}
+}
+
+// JudgeFrame implements channel.FrameModel.
+func (o *overlay) JudgeFrame(now int64, src, dst int, attempt uint64, frame []byte, rng *xrand.Source) []channel.Copy {
+	if !o.inWindow(now) {
+		return channel.JudgeCopies(o.inner, now, src, dst, attempt, frame, rng)
+	}
+	switch o.st.Kind {
+	case StageSplit, StageOneWay:
+		if o.cut(src, dst) {
+			return nil
+		}
+		return channel.JudgeCopies(o.inner, now, src, dst, attempt, frame, rng)
+	case StageLoss:
+		if rng.Bool(o.st.P) {
+			return nil
+		}
+		return channel.JudgeCopies(o.inner, now, src, dst, attempt, frame, rng)
+	default:
+		return channel.JudgeCopies(o.mut, now, src, dst, attempt, frame, rng)
+	}
+}
+
+// String implements channel.LinkModel.
+func (o *overlay) String() string {
+	return fmt.Sprintf("nemesis(%s@%d-%d)->%s", o.st.Kind, o.st.From, o.st.Until, o.inner)
+}

@@ -1,0 +1,161 @@
+package nemesis
+
+import (
+	"testing"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/xrand"
+)
+
+func judgeCopies(t *testing.T, m channel.LinkModel, now int64, src, dst int, frame []byte, rng *xrand.Source) []channel.Copy {
+	t.Helper()
+	fm, ok := m.(channel.FrameModel)
+	if !ok {
+		t.Fatal("campaign link must implement channel.FrameModel")
+	}
+	return fm.JudgeFrame(now, src, dst, 0, frame, rng)
+}
+
+func TestOverlaySplitWindow(t *testing.T) {
+	c, err := Parse("name=x;split@100-200:0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := c.BuildLink(channel.Reliable{D: channel.FixedDelay(1)})
+	rng := xrand.New(1)
+	frame := []byte("frame")
+	// Inside the window, cross-side frames drop in both directions and
+	// same-side frames pass.
+	if got := judgeCopies(t, link, 150, 0, 2, frame, rng); len(got) != 0 {
+		t.Fatalf("cross-side frame passed during split: %v", got)
+	}
+	if got := judgeCopies(t, link, 150, 2, 1, frame, rng); len(got) != 0 {
+		t.Fatalf("cross-side frame passed during split: %v", got)
+	}
+	if got := judgeCopies(t, link, 150, 0, 1, frame, rng); len(got) != 1 {
+		t.Fatalf("same-side frame dropped during split: %v", got)
+	}
+	if got := judgeCopies(t, link, 150, 2, 3, frame, rng); len(got) != 1 {
+		t.Fatalf("same-side frame dropped during split: %v", got)
+	}
+	// Outside the window everything passes.
+	for _, now := range []int64{99, 200, 500} {
+		if got := judgeCopies(t, link, now, 0, 2, frame, rng); len(got) != 1 {
+			t.Fatalf("frame dropped outside split window at %d: %v", now, got)
+		}
+	}
+	// The frame-blind Judge path agrees on the cut.
+	if v := link.Judge(150, 0, 2, 0, rng); !v.Drop {
+		t.Fatal("Judge passed a cut link")
+	}
+	if v := link.Judge(150, 0, 1, 0, rng); v.Drop {
+		t.Fatal("Judge dropped a same-side link")
+	}
+}
+
+func TestOverlayOneWay(t *testing.T) {
+	c, err := Parse("name=x;oneway@100-200:1,2>0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := c.BuildLink(channel.Reliable{D: channel.FixedDelay(1)})
+	rng := xrand.New(1)
+	frame := []byte("frame")
+	if got := judgeCopies(t, link, 150, 1, 0, frame, rng); len(got) != 0 {
+		t.Fatal("cut direction passed")
+	}
+	if got := judgeCopies(t, link, 150, 0, 1, frame, rng); len(got) != 1 {
+		t.Fatal("reverse direction dropped: the cut must be asymmetric")
+	}
+	if got := judgeCopies(t, link, 150, 2, 1, frame, rng); len(got) != 1 {
+		t.Fatal("unrelated link dropped")
+	}
+}
+
+func TestOverlayMutatorsStaged(t *testing.T) {
+	c, err := Parse("name=x;dup@100-200:1.0/1;reorder@300-400:1.0/7;flip@500-600:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := c.BuildLink(channel.Reliable{D: channel.FixedDelay(1)})
+	rng := xrand.New(7)
+	_, batch := gateFrames()
+
+	// Dup window: P=1 duplicates every frame.
+	if got := judgeCopies(t, link, 150, 0, 1, batch, rng); len(got) != 2 {
+		t.Fatalf("dup stage produced %d copies, want 2", len(got))
+	}
+	// Reorder window: single copy, delay stretched beyond the base.
+	got := judgeCopies(t, link, 350, 0, 1, batch, rng)
+	if len(got) != 1 || got[0].Delay <= 1 || got[0].Delay > 1+7 {
+		t.Fatalf("reorder stage: %+v", got)
+	}
+	// Flip window: every copy is either dropped or carries bytes the
+	// gate proved harmless; across many attempts both outcomes appear
+	// and no copy is ever byte-identical garbage.
+	var kept, dropped int
+	for i := 0; i < 200; i++ {
+		out := judgeCopies(t, link, 550, 0, 1, batch, rng)
+		switch len(out) {
+		case 0:
+			dropped++
+		case 1:
+			kept++
+			if out[0].Frame == nil {
+				t.Fatal("flip stage with P=1 returned an unmutated copy")
+			}
+			if !FlipGate(batch, out[0].Frame) {
+				t.Fatal("flip stage leaked a frame the gate refuses")
+			}
+		default:
+			t.Fatalf("flip stage produced %d copies", len(out))
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no flipped frame was ever dropped: CRC stand-in not engaged")
+	}
+	// Outside every window the frame passes untouched.
+	if got := judgeCopies(t, link, 250, 0, 1, batch, rng); len(got) != 1 || got[0].Frame != nil {
+		t.Fatalf("pass-through between windows broken: %+v", got)
+	}
+}
+
+// TestOverlayDeterminism: identical seeds must yield identical copy
+// schedules through the full campaign overlay stack.
+func TestOverlayDeterminism(t *testing.T) {
+	c, err := Parse("name=x;dup@0-1000:0.5/2;reorder@0-1000:0.5/9;flip@0-1000:0.3;loss@0-1000:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := c.BuildLink(channel.Reliable{D: channel.UniformDelay{Min: 1, Max: 5}})
+	single, _ := gateFrames()
+	run := func() []channel.Copy {
+		rng := xrand.New(99)
+		var all []channel.Copy
+		for i := 0; i < 100; i++ {
+			all = append(all, judgeCopies(t, link, int64(i*7), 0, 1, single, rng)...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("copy counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Delay != b[i].Delay || !equalBytes(a[i].Frame, b[i].Frame) {
+			t.Fatalf("copy %d diverged", i)
+		}
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,304 @@
+// Package nemesis is the deterministic fault-campaign scheduler
+// (DESIGN.md §15). A Campaign is a seed-stable script of staged,
+// overlapping faults — partitions that split, heal and re-split
+// (including asymmetric one-way cuts), crash-recover storms composed
+// with joins and leaves mid-partition, store faults (torn WAL tail,
+// corrupted snapshot), and wire-level mutation (duplication, forced
+// reordering, bit flips gated so they surface only as loss) — applied
+// to either the virtual-time simulator (RunSim) or a live in-process
+// cluster (RunLive).
+//
+// Every campaign ends the same way: after the last scheduled fault
+// lifts (the heal time), the convergence auditor requires every
+// surviving or recovered process to reach uniform agreement on the
+// obliged message set within HealDeadline, with zero re-deliveries.
+// A stalled message is reported with the campaign stage that was
+// active when it was born and the obs explainer's account of the
+// missing evidence — the failure report names what broke it and what
+// it still lacks.
+package nemesis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StageKind enumerates the fault vocabulary.
+type StageKind int
+
+const (
+	// StageSplit drops every frame crossing between side A and the rest
+	// for the stage window — the symmetric partition.
+	StageSplit StageKind = iota
+	// StageOneWay drops frames from Src procs to Dst procs for the
+	// window, leaving the reverse direction intact — the asymmetric cut.
+	StageOneWay
+	// StageCrash crashes Procs at From; RecoverAfter > 0 restarts each
+	// from its store RecoverAfter units later.
+	StageCrash
+	// StageJoin makes Procs late joiners soliciting snapshots at From.
+	StageJoin
+	// StageLeave removes Procs at From, with no farewell on the wire.
+	StageLeave
+	// StageLoss drops every frame with probability P for the window, on
+	// top of the base link model.
+	StageLoss
+	// StageDup duplicates surviving frames with probability P for the
+	// window (channel.Duplicate).
+	StageDup
+	// StageReorder adds up to Window extra delay units with probability
+	// P for the stage window (channel.Reorder).
+	StageReorder
+	// StageFlip flips one bit per affected frame with probability P,
+	// gated by FlipGate so a flip only ever surfaces as loss or
+	// truncation, never as accepted garbage (channel.BitFlip).
+	StageFlip
+	// StageTornWAL tears the tail record off Procs' write-ahead logs;
+	// the tear manifests at each proc's next recovery Load. Requires a
+	// matching crash+recover stage.
+	StageTornWAL
+	// StageSnapCorrupt corrupts Procs' stored snapshots so the next
+	// recovery attempt must reject them. Live clusters only: the
+	// simulator treats store corruption as a harness bug and panics.
+	StageSnapCorrupt
+)
+
+// String implements fmt.Stringer.
+func (k StageKind) String() string {
+	switch k {
+	case StageSplit:
+		return "split"
+	case StageOneWay:
+		return "oneway"
+	case StageCrash:
+		return "crash"
+	case StageJoin:
+		return "join"
+	case StageLeave:
+		return "leave"
+	case StageLoss:
+		return "loss"
+	case StageDup:
+		return "dup"
+	case StageReorder:
+		return "reorder"
+	case StageFlip:
+		return "flip"
+	case StageTornWAL:
+		return "tornwal"
+	case StageSnapCorrupt:
+		return "snapcorrupt"
+	default:
+		return fmt.Sprintf("StageKind(%d)", int(k))
+	}
+}
+
+// Stage is one scheduled fault. Which fields matter depends on Kind;
+// Validate checks the combination.
+type Stage struct {
+	// Name labels the stage in failure reports; defaults to
+	// "<kind>@<from>".
+	Name string
+	Kind StageKind
+	// From is when the fault starts (virtual units in the simulator,
+	// mesh elapsed units live). Until ends windowed faults (exclusive);
+	// instantaneous kinds ignore it.
+	From, Until int64
+	// A is the split's side-A membership (procs not listed form side B;
+	// late joiners not listed land on side B).
+	A []int
+	// Src and Dst are the one-way cut's directed endpoints.
+	Src, Dst []int
+	// Procs are the targets of crash/join/leave/store-fault stages.
+	Procs []int
+	// RecoverAfter, for StageCrash, restarts each crashed proc this
+	// many units after From; 0 means the crash is permanent.
+	RecoverAfter int64
+	// P is the per-frame probability for loss/dup/reorder/flip.
+	P float64
+	// Window is the reorder delay bound (and doubles as the duplicate
+	// fan-out bound for StageDup when > 1).
+	Window int64
+}
+
+// label returns the stage's report name.
+func (s Stage) label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s@%d", s.Kind, s.From)
+}
+
+// windowed reports whether the stage occupies a [From, Until) window.
+func (s Stage) windowed() bool {
+	switch s.Kind {
+	case StageSplit, StageOneWay, StageLoss, StageDup, StageReorder, StageFlip:
+		return true
+	default:
+		return false
+	}
+}
+
+// end is the time the stage's fault has fully lifted.
+func (s Stage) end() int64 {
+	if s.windowed() {
+		return s.Until
+	}
+	if s.Kind == StageCrash && s.RecoverAfter > 0 {
+		return s.From + s.RecoverAfter
+	}
+	return s.From
+}
+
+// active reports whether the stage's fault is in force at t (used for
+// blame attribution; instantaneous stages cover a single unit).
+func (s Stage) active(t int64) bool {
+	end := s.end()
+	if end <= s.From {
+		end = s.From + 1
+	}
+	return t >= s.From && t < end
+}
+
+// Campaign is a named script of stages plus the post-heal contract.
+type Campaign struct {
+	Name   string
+	Stages []Stage
+	// HealDeadline is how long after the heal time the auditor allows
+	// for convergence. 0 demands convergence at the heal instant — the
+	// deliberately broken configuration used to demonstrate the
+	// failure report.
+	HealDeadline int64
+}
+
+// HealTime is when the last scheduled fault has lifted: the start of
+// the heal phase the auditor measures from.
+func (c Campaign) HealTime() int64 {
+	var heal int64
+	for _, s := range c.Stages {
+		if e := s.end(); e > heal {
+			heal = e
+		}
+	}
+	return heal
+}
+
+// MaxProc returns the highest process index any stage references, or
+// -1 when no stage names a process.
+func (c Campaign) MaxProc() int {
+	max := -1
+	for _, s := range c.Stages {
+		for _, set := range [][]int{s.A, s.Src, s.Dst, s.Procs} {
+			for _, p := range set {
+				if p > max {
+					max = p
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Blame names the stages whose fault was in force at time t, joined
+// with "+", or "heal" when t falls outside every stage — the auditor
+// attaches it to each stalled message's birth time.
+func (c Campaign) Blame(t int64) string {
+	var names []string
+	for _, s := range c.Stages {
+		if s.active(t) {
+			names = append(names, s.label())
+		}
+	}
+	if len(names) == 0 {
+		return "heal"
+	}
+	sort.Strings(names)
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
+}
+
+// stagesOf returns the stages of the given kind.
+func (c Campaign) stagesOf(kind StageKind) []Stage {
+	var out []Stage
+	for _, s := range c.Stages {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks the campaign's internal consistency for a base
+// cluster of n processes. live selects the live-cluster rules
+// (snapshot corruption is live-only; the simulator panics on store
+// errors by design).
+func (c Campaign) Validate(n int, live bool) error {
+	if c.Name == "" {
+		return fmt.Errorf("nemesis: campaign needs a name")
+	}
+	if c.HealDeadline < 0 {
+		return fmt.Errorf("nemesis: campaign %q: negative heal deadline", c.Name)
+	}
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("nemesis: campaign %q has no stages", c.Name)
+	}
+	recovers := map[int]bool{}
+	for _, s := range c.stagesOf(StageCrash) {
+		if s.RecoverAfter > 0 {
+			for _, p := range s.Procs {
+				recovers[p] = true
+			}
+		}
+	}
+	for i, s := range c.Stages {
+		where := fmt.Sprintf("nemesis: campaign %q stage %d (%s)", c.Name, i, s.label())
+		if s.From < 0 {
+			return fmt.Errorf("%s: negative From", where)
+		}
+		if s.windowed() && s.Until <= s.From {
+			return fmt.Errorf("%s: window [%d,%d) is empty", where, s.From, s.Until)
+		}
+		switch s.Kind {
+		case StageSplit:
+			if len(s.A) == 0 || len(s.A) >= n {
+				return fmt.Errorf("%s: side A must be a nonempty proper subset of the %d founders", where, n)
+			}
+		case StageOneWay:
+			if len(s.Src) == 0 || len(s.Dst) == 0 {
+				return fmt.Errorf("%s: one-way cut needs Src and Dst procs", where)
+			}
+		case StageLoss, StageDup, StageReorder, StageFlip:
+			if s.P < 0 || s.P > 1 {
+				return fmt.Errorf("%s: probability %g outside [0,1]", where, s.P)
+			}
+			if s.Kind == StageReorder && s.Window <= 0 {
+				return fmt.Errorf("%s: reorder needs a positive Window", where)
+			}
+		case StageCrash, StageJoin, StageLeave:
+			if len(s.Procs) == 0 {
+				return fmt.Errorf("%s: needs target Procs", where)
+			}
+			if s.RecoverAfter < 0 {
+				return fmt.Errorf("%s: negative RecoverAfter", where)
+			}
+		case StageTornWAL, StageSnapCorrupt:
+			if s.Kind == StageSnapCorrupt && !live {
+				return fmt.Errorf("%s: snapshot corruption is live-only (the simulator treats store errors as harness bugs)", where)
+			}
+			if len(s.Procs) == 0 {
+				return fmt.Errorf("%s: needs target Procs", where)
+			}
+			for _, p := range s.Procs {
+				if !recovers[p] {
+					return fmt.Errorf("%s: proc %d has no crash+recover stage for the store fault to manifest at", where, p)
+				}
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind %v", where, s.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package nemesis
+
+import (
+	"testing"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	c, err := Parse("name=x;split@100-400:0,1;oneway@450-500:1,2>0;crash@200+250:3;" +
+		"join@300:5;leave@150:4;loss@0-400:0.1;dup@0-400:0.2/3;reorder@0-400:0.3/40;" +
+		"flip@0-400:0.05;tornwal@200:3;deadline=1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "x" || c.HealDeadline != 1234 {
+		t.Fatalf("header lost: %+v", c)
+	}
+	if len(c.Stages) != 10 {
+		t.Fatalf("got %d stages", len(c.Stages))
+	}
+	byKind := map[StageKind]Stage{}
+	for _, s := range c.Stages {
+		byKind[s.Kind] = s
+	}
+	if s := byKind[StageSplit]; s.From != 100 || s.Until != 400 || len(s.A) != 2 {
+		t.Fatalf("split parsed wrong: %+v", s)
+	}
+	if s := byKind[StageOneWay]; len(s.Src) != 2 || len(s.Dst) != 1 || s.Dst[0] != 0 {
+		t.Fatalf("oneway parsed wrong: %+v", s)
+	}
+	if s := byKind[StageCrash]; s.From != 200 || s.RecoverAfter != 250 || s.Procs[0] != 3 {
+		t.Fatalf("crash parsed wrong: %+v", s)
+	}
+	if s := byKind[StageDup]; s.P != 0.2 || s.Window != 3 {
+		t.Fatalf("dup parsed wrong: %+v", s)
+	}
+	if s := byKind[StageReorder]; s.P != 0.3 || s.Window != 40 {
+		t.Fatalf("reorder parsed wrong: %+v", s)
+	}
+	if err := c.Validate(5, false); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+	// Heal time: the latest fault lift is the oneway window end at 500.
+	if got := c.HealTime(); got != 500 {
+		t.Fatalf("heal time %d, want 500", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                           // no stages
+		"warp@100-200:0",             // unknown kind
+		"split@100-200",              // missing procs
+		"split@abc-200:0",            // bad time
+		"loss@0-100:nope",            // bad probability
+		"oneway@0-100:1,2",           // missing '>'
+		"crash@100+x:1",              // bad recover offset
+		"deadline=soon;loss@0-1:0.1", // bad deadline
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q: expected parse error", spec)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Campaign
+		live bool
+	}{
+		{"empty window", Campaign{Name: "x", Stages: []Stage{{Kind: StageLoss, From: 100, Until: 100, P: 0.1}}}, false},
+		{"split of everyone", Campaign{Name: "x", Stages: []Stage{{Kind: StageSplit, From: 0, Until: 10, A: []int{0, 1, 2}}}}, false},
+		{"bad probability", Campaign{Name: "x", Stages: []Stage{{Kind: StageFlip, From: 0, Until: 10, P: 1.5}}}, false},
+		{"snapcorrupt in sim", Campaign{Name: "x", Stages: []Stage{
+			{Kind: StageCrash, From: 10, RecoverAfter: 20, Procs: []int{1}},
+			{Kind: StageSnapCorrupt, From: 15, Procs: []int{1}}}}, false},
+		{"tornwal without recovery", Campaign{Name: "x", Stages: []Stage{{Kind: StageTornWAL, From: 10, Procs: []int{1}}}}, false},
+		{"negative deadline", Campaign{Name: "x", HealDeadline: -1, Stages: []Stage{{Kind: StageLoss, From: 0, Until: 10, P: 0.1}}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(3, tc.live); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	// The same snapcorrupt campaign is legal on a live cluster.
+	live := Campaign{Name: "x", Stages: []Stage{
+		{Kind: StageCrash, From: 10, RecoverAfter: 20, Procs: []int{1}},
+		{Kind: StageSnapCorrupt, From: 15, Procs: []int{1}}}}
+	if err := live.Validate(3, true); err != nil {
+		t.Errorf("live snapcorrupt rejected: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, ok := Preset(name, 5)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if err := c.Validate(5, false); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+		if c.HealTime() <= 0 {
+			t.Fatalf("preset %q has no faults", name)
+		}
+	}
+	if c, _ := Preset("broken", 5); c.HealDeadline != 0 {
+		t.Fatal("broken preset must demand convergence at the heal instant")
+	}
+	if _, ok := Preset("nope", 5); ok {
+		t.Fatal("unknown preset resolved")
+	}
+	// Resolve falls back to the spec language.
+	if c, err := Resolve("loss@0-100:0.5", 5); err != nil || len(c.Stages) != 1 {
+		t.Fatalf("Resolve spec fallback: %+v, %v", c, err)
+	}
+}
+
+func TestBlame(t *testing.T) {
+	c, err := Parse("name=b;split@100-400:0,1;crash@200+250:3;deadline=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		t    int64
+		want string
+	}{
+		{50, "heal"},
+		{150, "split@100"},
+		{250, "crash@200+split@100"},
+		{420, "crash@200"},
+		{460, "heal"},
+	} {
+		if got := c.Blame(tc.t); got != tc.want {
+			t.Errorf("Blame(%d) = %q, want %q", tc.t, got, tc.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"anonurb/internal/transport"
 	"anonurb/internal/urb"
 	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
 )
 
 // This file is the node half of the join protocol (DESIGN.md §13).
@@ -33,6 +34,33 @@ var ErrStaleSnapshot = errors.New("node: donor snapshot below the joiner's incar
 // joiner re-requests at its own cadence, so the window bounds burst
 // size, not throughput.
 const snapServeWindow = 8
+
+// joinBackoffCap bounds the exponential stall-timeout growth at this
+// multiple of the base timeout.
+const joinBackoffCap = 32
+
+// joinBackoff computes the stall timeout ahead of re-solicit #attempt
+// (0-based): base·2^attempt capped at base·joinBackoffCap, plus a
+// jitter drawn uniformly from [0, half that]. Under partition heal or a
+// crash storm many joiners abandon their donors in the same instant; a
+// fixed timeout re-solicits them in lockstep, and every live peer then
+// snapshots and serves all of them at once, repeatedly. The exponential
+// spreads repeat offenders out in time, the jitter decorrelates joiners
+// that started together, and the determinism of the injected rng keeps
+// the schedule pinnable in tests (TestJoinBackoffSchedule).
+func joinBackoff(base time.Duration, attempt int, rng *xrand.Source) time.Duration {
+	d := base
+	for i := 0; i < attempt; i++ {
+		if d >= base*joinBackoffCap {
+			break
+		}
+		d *= 2
+	}
+	if d > base*joinBackoffCap {
+		d = base * joinBackoffCap
+	}
+	return d + time.Duration(rng.Int63n(int64(d/2)+1))
+}
 
 // WithJoinFrom hands Join an already-obtained snapshot container (the
 // store.EncodeSnapshotFile framing, e.g. copied out-of-band from a
@@ -146,6 +174,12 @@ func fetchSnapshot(ctx context.Context, tr transport.Transport, o options) ([]by
 	// retransmissions.
 	req := time.NewTicker(o.tickEvery)
 	defer req.Stop()
+	// Stall detection backs off exponentially with deterministic jitter
+	// (joinBackoff): the base is the configured join timeout, and every
+	// abandonment doubles the patience for the next donor.
+	backoffRng := xrand.SplitLabeled(o.seed, "join-backoff")
+	resolicits := 0
+	stallAfter := joinBackoff(o.joinTimeout, resolicits, backoffRng)
 	lastProgress := time.Now()
 	for {
 		select {
@@ -185,11 +219,14 @@ func fetchSnapshot(ctx context.Context, tr transport.Transport, o options) ([]by
 			}
 			return container, nil
 		case <-req.C:
-			if asm.Ref() != 0 && time.Since(lastProgress) >= o.joinTimeout {
+			if asm.Ref() != 0 && time.Since(lastProgress) >= stallAfter {
 				// The donor went silent mid-transfer: abandon its ref and
-				// solicit afresh — any other peer may answer.
+				// solicit afresh — any other peer may answer. Each
+				// abandonment escalates the backoff schedule.
 				asm.Reset()
 				lastProgress = time.Now()
+				resolicits++
+				stallAfter = joinBackoff(o.joinTimeout, resolicits, backoffRng)
 			}
 			send(asm.Request())
 		}

@@ -1,0 +1,61 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"anonurb/internal/xrand"
+)
+
+// TestJoinBackoffSchedule pins the jittered exponential re-solicit
+// schedule under a deterministic seed: the base doubles per
+// abandonment, the jitter stays within [0, base·2^k/2], and the growth
+// caps at joinBackoffCap× the base.
+func TestJoinBackoffSchedule(t *testing.T) {
+	const base = 100 * time.Millisecond
+	rng := xrand.SplitLabeled(7, "join-backoff")
+	var got []time.Duration
+	for attempt := 0; attempt < 10; attempt++ {
+		got = append(got, joinBackoff(base, attempt, rng))
+	}
+	// Envelope: deterministic floor base·min(2^k, cap), jitter at most
+	// half the floor on top.
+	for k, d := range got {
+		floor := base
+		for i := 0; i < k && floor < base*joinBackoffCap; i++ {
+			floor *= 2
+		}
+		if floor > base*joinBackoffCap {
+			floor = base * joinBackoffCap
+		}
+		if d < floor || d > floor+floor/2 {
+			t.Fatalf("attempt %d: timeout %v outside [%v, %v]", k, d, floor, floor+floor/2)
+		}
+	}
+	// The exact schedule is a function of the seed: replaying the same
+	// stream must reproduce it value-for-value.
+	rng2 := xrand.SplitLabeled(7, "join-backoff")
+	for attempt := 0; attempt < 10; attempt++ {
+		if d := joinBackoff(base, attempt, rng2); d != got[attempt] {
+			t.Fatalf("attempt %d: schedule not deterministic: %v != %v", attempt, d, got[attempt])
+		}
+	}
+	// A different seed must produce a different jitter sequence (the
+	// decorrelation the jitter exists for).
+	rng3 := xrand.SplitLabeled(8, "join-backoff")
+	same := true
+	for attempt := 0; attempt < 10; attempt++ {
+		if joinBackoff(base, attempt, rng3) != got[attempt] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical backoff schedules")
+	}
+	// Growth saturates: far beyond the cap the floor stays put.
+	rngCap := xrand.New(1)
+	d := joinBackoff(base, 1000, rngCap)
+	if d < base*joinBackoffCap || d > base*joinBackoffCap*3/2 {
+		t.Fatalf("capped timeout %v outside [%v, %v]", d, base*joinBackoffCap, base*joinBackoffCap*3/2)
+	}
+}

@@ -28,9 +28,11 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"anonurb/internal/channel"
 	"anonurb/internal/ident"
+	"anonurb/internal/obs"
 	"anonurb/internal/snapxfer"
 	"anonurb/internal/store"
 	"anonurb/internal/urb"
@@ -170,6 +172,13 @@ type Config struct {
 	// process has delivered this many messages (used by latency sweeps
 	// that do not care about quiescence).
 	ExpectDeliveries int
+	// NoEarlyStopBefore, when > 0, suppresses every stop condition
+	// (quiescence and delivery convergence alike) before this virtual
+	// time. Nemesis campaigns set it to the heal time: a run must not
+	// declare convergence while scheduled faults — crashes, recoveries,
+	// partitions — are still ahead of it, even if the cluster is
+	// momentarily consistent.
+	NoEarlyStopBefore Time
 	// Observers receive run events.
 	Observers []Observer
 	// SampleEvery, when > 0, snapshots per-process stats periodically
@@ -333,6 +342,9 @@ type Engine struct {
 	// donors[i] caches process i's chunk server across resume requests
 	// for one transfer reference (rebuilt on every fresh solicitation).
 	donors []*snapxfer.Donor
+	// frameAware routes broadcasts through the encoded-frame judging
+	// path (set when cfg.Link is a channel.FrameModel).
+	frameAware bool
 }
 
 // joinState is one joiner's transfer progress.
@@ -428,6 +440,7 @@ func NewEngine(cfg Config) *Engine {
 		aliveTouched:        make(map[wire.MsgID]bool),
 		inFlightMsg:         make(map[wire.MsgID]int),
 	}
+	_, e.frameAware = cfg.Link.(channel.FrameModel)
 	for i := range e.deliveredAt {
 		e.deliveredAt[i] = make(map[wire.MsgID]bool)
 	}
@@ -541,6 +554,10 @@ func (e *Engine) Network() *channel.Network { return e.net }
 
 // broadcastCopies offers one wire message to every destination link.
 func (e *Engine) broadcastCopies(src int, m wire.Message) {
+	if e.frameAware {
+		e.broadcastFrames(src, m)
+		return
+	}
 	size := m.EncodedSize()
 	for dst := 0; dst < e.cfg.N; dst++ {
 		v := e.net.Send(e.now, src, dst, size)
@@ -555,6 +572,43 @@ func (e *Engine) broadcastCopies(src int, m wire.Message) {
 		}
 		for _, o := range e.cfg.Observers {
 			o.OnSend(e.now, src, dst, m, v.Drop, arrive)
+		}
+	}
+	e.result.LastSend = e.now
+}
+
+// broadcastFrames is broadcastCopies under a channel.FrameModel: the
+// message is encoded once and each link judged over the bytes, so the
+// model may duplicate or mutate the frame. Simulator messages travel as
+// decoded structs, so the receiver's decode happens here, eagerly: a
+// copy whose mutated bytes no longer equal the original frame is what a
+// live node would reject at DecodePrefix — it is counted as sent and
+// then goes nowhere, which is exactly "mutation surfaces as loss". (A
+// frame here carries one message, so any byte change at all defeats the
+// decode; partial-batch truncation only exists on the live path.)
+func (e *Engine) broadcastFrames(src int, m wire.Message) {
+	frame := m.Encode(nil)
+	for dst := 0; dst < e.cfg.N; dst++ {
+		copies := e.net.SendFrame(e.now, src, dst, frame)
+		delivered := false
+		arrive := Time(0)
+		for _, c := range copies {
+			if !c.SameFrame(frame) {
+				continue // receiver decode-reject: the copy is lost
+			}
+			d := c.Delay
+			if d < 1 {
+				d = 1
+			}
+			at := e.now + d
+			if !delivered || at < arrive {
+				arrive = at
+			}
+			delivered = true
+			e.push(&event{at: at, kind: evReceive, proc: dst, msg: m})
+		}
+		for _, o := range e.cfg.Observers {
+			o.OnSend(e.now, src, dst, m, !delivered, arrive)
 		}
 	}
 	e.result.LastSend = e.now
@@ -760,6 +814,9 @@ func (e *Engine) Run() Result {
 		// ExpectDeliveries alone stops the run early; when StopWhenQuiet
 		// is also set the run continues until it is quiet as well (the
 		// quiescence experiments need both conditions).
+		if e.now < e.cfg.NoEarlyStopBefore {
+			continue // scheduled faults remain: no stop condition applies yet
+		}
 		if e.cfg.ExpectDeliveries > 0 && e.cfg.StopWhenQuiet == 0 && e.deliveryStopMet() {
 			break
 		}
@@ -842,6 +899,32 @@ func (e *Engine) doRecover(proc int) {
 	if err := st.SaveSnapshot(d.Snapshot()); err != nil {
 		panic(fmt.Sprintf("sim: proc %d recovery checkpoint: %v", proc, err))
 	}
+	// Write-ahead reconciliation for torn stores: the restored state may
+	// lack deliveries this run already exposed, if the store lost tail
+	// records (store.Mem.TearTail, nemesis StageTornWAL). Exposed but not
+	// durable contradicts the write-ahead discipline absorb enforces, so
+	// the only physical reading of a torn delivery record is a crash that
+	// struck mid-step — after the append began, before the exposure
+	// escaped. The engine re-dates history accordingly: the retracted
+	// delivery never happened, and the recovered process delivering the
+	// message later is its first (and only) exposure. Without this a torn
+	// tail would manufacture an impossible run — a delivery observed out
+	// of a state that never durably held it — and every downstream
+	// redelivery gate would fire on a harness artifact instead of a bug.
+	if ex, ok := p.(obs.Explainer); ok {
+		var torn []wire.MsgID
+		for id := range e.deliveredAt[proc] {
+			if !ex.Explain(id).Delivered {
+				torn = append(torn, id)
+			}
+		}
+		sort.Slice(torn, func(i, j int) bool {
+			return torn[i].String() < torn[j].String()
+		})
+		for _, id := range torn {
+			e.retractDelivery(proc, id)
+		}
+	}
 	e.procs[proc] = p
 	e.crash[proc] = false
 	e.result.Crashed[proc] = false
@@ -854,6 +937,28 @@ func (e *Engine) doRecover(proc int) {
 	// Resume the tick chain the crash cut (next period, not immediately:
 	// a restart takes at least a beat).
 	e.push(&event{at: e.now + e.cfg.TickEvery, kind: evTick, proc: proc})
+}
+
+// retractDelivery erases one exposed delivery from the run record: the
+// crash preempted its callback (see the torn-store reconciliation in
+// doRecover), so bookkeeping, counters and the result must all read as
+// if it never happened.
+func (e *Engine) retractDelivery(proc int, id wire.MsgID) {
+	delete(e.deliveredAt[proc], id)
+	ds := e.result.Deliveries[proc]
+	for i := len(ds) - 1; i >= 0; i-- {
+		if ds[i].ID == id {
+			e.result.Deliveries[proc] = append(ds[:i], ds[i+1:]...)
+			e.delivered[proc]--
+			break
+		}
+	}
+	for p := range e.deliveredAt {
+		if e.deliveredAt[p][id] {
+			return
+		}
+	}
+	delete(e.deliveredSomewhere, id)
 }
 
 // startJoin begins proc's pull-based snapshot transfer: solicit over

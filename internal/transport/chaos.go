@@ -54,9 +54,10 @@ type Chaos struct {
 	// by judgeMu.
 	net *channel.Network
 
-	closed atomic.Bool
-	drops  atomic.Uint64
-	sends  atomic.Uint64
+	closed  atomic.Bool
+	drops   atomic.Uint64
+	sends   atomic.Uint64
+	delayed atomic.Uint64
 }
 
 var _ Transport = (*Chaos)(nil)
@@ -112,6 +113,7 @@ func (c *Chaos) Send(frame []byte) {
 		c.inner.Send(frame)
 		return
 	}
+	c.delayed.Add(1)
 	time.AfterFunc(time.Duration(v.Delay)*c.cfg.Unit, func() {
 		if !c.closed.Load() {
 			c.inner.Send(frame)
@@ -140,6 +142,25 @@ func (c *Chaos) Close() error {
 // Stats returns (frames judged, frames dropped) by the model so far.
 func (c *Chaos) Stats() (sends, drops uint64) {
 	return c.sends.Load(), c.drops.Load()
+}
+
+// ChaosStats is the full counter snapshot of one Chaos wrapper.
+type ChaosStats struct {
+	// Sends is how many frames the model judged; Drops how many it
+	// swallowed; Delayed how many it deferred on a timer before
+	// forwarding. Sends − Drops is what actually reached the inner
+	// transport (or still will, for in-flight timers).
+	Sends, Drops, Delayed uint64
+}
+
+// StatsDetail returns every counter at once, for surfacing in cluster
+// stats (liverun.Cluster.ChaosStats) and nemesis audits.
+func (c *Chaos) StatsDetail() ChaosStats {
+	return ChaosStats{
+		Sends:   c.sends.Load(),
+		Drops:   c.drops.Load(),
+		Delayed: c.delayed.Load(),
+	}
 }
 
 // String describes the wrapper.

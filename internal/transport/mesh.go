@@ -59,6 +59,10 @@ type Mesh struct {
 	lastSend atomic.Int64 // elapsed units of the most recent send
 	sends    atomic.Uint64
 	drops    atomic.Uint64
+	// frameAware routes broadcasts through the encoded-frame judging
+	// path (set once at construction when cfg.Link is a
+	// channel.FrameModel, so mutating/duplicating models see real bytes).
+	frameAware bool
 }
 
 // meshEndpoint is one node's handle on the mesh.
@@ -106,6 +110,7 @@ func NewMesh(cfg MeshConfig) *Mesh {
 		net:   channel.NewNetwork(cfg.N, cfg.Link, xrand.SplitLabeled(cfg.Seed, "mesh-net")),
 		eps:   make([]*meshEndpoint, cfg.N),
 	}
+	_, m.frameAware = cfg.Link.(channel.FrameModel)
 	for i := range m.eps {
 		m.eps[i] = &meshEndpoint{
 			mesh:  m,
@@ -218,6 +223,14 @@ func (m *Mesh) Stats() (sends, drops uint64) {
 	return m.sends.Load(), m.drops.Load()
 }
 
+// LinkStats returns the link network's full statistics, including the
+// mutation/duplication counters a nemesis FrameModel feeds.
+func (m *Mesh) LinkStats() channel.Stats {
+	m.netMu.Lock()
+	defer m.netMu.Unlock()
+	return m.net.Stats()
+}
+
 // Overflows reports how many frame copies were discarded mesh-wide
 // because a destination endpoint's inbox was full — load shedding by
 // saturated receivers, as opposed to the link model's loss verdicts.
@@ -269,6 +282,35 @@ func (m *Mesh) broadcast(src int, frame []byte) {
 	copy(eps, m.eps)
 	m.epMu.RUnlock()
 	for dst, target := range eps {
+		if m.frameAware {
+			// Frame-aware judging: the model sees the encoded bytes and
+			// may duplicate or mutate them. Every surviving copy —
+			// including mutated ones — is genuinely delivered; rejecting
+			// corrupt bytes is the receiving node's decode loop's job
+			// (mutation surfaces as a bad frame, i.e. loss).
+			m.netMu.Lock()
+			copies := m.net.SendFrame(now, src, dst, frame)
+			m.netMu.Unlock()
+			m.sends.Add(1)
+			if len(copies) == 0 {
+				m.drops.Add(1)
+				continue
+			}
+			for _, c := range copies {
+				payload := frame
+				if c.Frame != nil {
+					payload = c.Frame
+				}
+				delay := time.Duration(c.Delay) * m.cfg.Unit
+				if delay <= 0 {
+					target.deliver(payload)
+					continue
+				}
+				body := payload
+				time.AfterFunc(delay, func() { target.deliver(body) })
+			}
+			continue
+		}
 		m.netMu.Lock()
 		v := m.net.Send(now, src, dst, len(frame))
 		m.netMu.Unlock()

@@ -76,6 +76,10 @@ type HeartbeatHost struct {
 	// beatReqTick rate-limits BEATREQs per ref per tick; dropped
 	// wholesale on Tick, like ackState.reqTick.
 	beatReqTick map[uint64]int
+	// resync is the D9 per-tick BEATREQ budget (Config.PaceResyncs),
+	// independent of the inner algorithm's ACKREQ budget; pacing state
+	// only, excluded from snapshots and fingerprints.
+	resync resyncBudget
 }
 
 // beatStream is one sender's beat stream as a receiver tracks it.
@@ -252,6 +256,11 @@ func (h *HeartbeatHost) receiveBeatDelta(m wire.Message) Step {
 // tick.
 func (h *HeartbeatHost) beatResync(out *Step, ref uint64) {
 	if h.beatReqTick[ref] == h.tickCount+1 {
+		return
+	}
+	// Per-tick BEATREQ budget (D9): a denied request leaves no trace —
+	// the stream asks again next tick, the ordinary repair cadence.
+	if !h.resync.take(h.inner.cfg.resyncLimit(), uint64(h.tickCount)+1) {
 		return
 	}
 	if h.beatReqTick == nil {

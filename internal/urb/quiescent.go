@@ -74,6 +74,9 @@ type Quiescent struct {
 	// sets interns the shared label sets of compacted acker views
 	// (Config.CompactDelivered, DESIGN.md §10).
 	sets setIntern
+	// resync is the D9 per-tick ACKREQ budget (Config.PaceResyncs);
+	// pacing state, excluded from snapshots and fingerprints.
+	resync resyncBudget
 	// lastViewKey caches the canonical key of the detector views Tick
 	// last evaluated every message against; together with the per-state
 	// dirty flags it forms the retirement index: a Tick under unchanged
@@ -659,8 +662,11 @@ func (p *Quiescent) receiveAckDelta(m wire.Message) Step {
 			// Stale or duplicated delta: already reflected, ignore.
 		default:
 			// Gap, unknown acker, or a view the purge desynced: the delta
-			// cannot be folded safely. Ask for a snapshot.
-			if st.reqTick[m.AckTag] != p.ticks+1 {
+			// cannot be folded safely. Ask for a snapshot — within the
+			// per-tick resync budget (D9): a denied request leaves no
+			// trace, so the stream simply asks again next tick.
+			if st.reqTick[m.AckTag] != p.ticks+1 &&
+				p.resync.take(p.cfg.resyncLimit(), p.ticks+1) {
 				if st.reqTick == nil {
 					st.reqTick = make(map[ident.Tag]uint64)
 				}

@@ -1,0 +1,50 @@
+package urb
+
+import "testing"
+
+// TestResyncBudgetPacing pins the D9 pacing contract: with PaceResyncs
+// off the budget never denies (the paper has no resync traffic to
+// pace), and with it on each frame family gets exactly
+// ResyncBudgetPerTick grants per tick, refreshed when the tick
+// advances — a denied stream is not remembered, it simply competes
+// again next tick.
+func TestResyncBudgetPacing(t *testing.T) {
+	if lim := (Config{}).resyncLimit(); lim != 0 {
+		t.Fatalf("paper-faithful zero Config paces resyncs: limit %d", lim)
+	}
+	if lim := (Config{PaceResyncs: true}).resyncLimit(); lim != ResyncBudgetPerTick {
+		t.Fatalf("paced limit %d, want %d", lim, ResyncBudgetPerTick)
+	}
+
+	var free resyncBudget
+	for i := 0; i < 10*ResyncBudgetPerTick; i++ {
+		if !free.take(0, 1) {
+			t.Fatal("unlimited budget denied a request")
+		}
+	}
+
+	var paced resyncBudget
+	lim := ResyncBudgetPerTick
+	for i := 0; i < lim; i++ {
+		if !paced.take(lim, 5) {
+			t.Fatalf("request %d denied under budget", i)
+		}
+	}
+	if paced.take(lim, 5) {
+		t.Fatal("request beyond the per-tick budget granted")
+	}
+	if !paced.take(lim, 6) {
+		t.Fatal("fresh tick did not refresh the budget")
+	}
+	// Ticks need not be consecutive — only different — so recovery
+	// after a quiet stretch starts with a full allowance.
+	for i := 0; i < lim-1; i++ {
+		paced.take(lim, 6)
+	}
+	if paced.take(lim, 6) {
+		t.Fatal("budget leaked across a single tick")
+	}
+	if !paced.take(lim, 100) {
+		t.Fatal("budget did not reset after a tick jump")
+	}
+}

@@ -175,6 +175,23 @@ type Config struct {
 	// Off in the paper-faithful zero value purely because the paper
 	// stores the matrices literally.
 	CompactDelivered bool
+	// PaceResyncs, when true, caps how many resync requests — ACKREQ
+	// from the delta-ACK receiver, BEATREQ from the delta-beat receiver
+	// (each family budgeted independently) — one process broadcasts per
+	// Task-1 tick, at ResyncBudgetPerTick each (deviation D9, DESIGN.md
+	// §15). When a partition heals, both sides discover epoch gaps on
+	// every (message, acker) stream and every beat stream at once; the
+	// per-stream per-tick limiters bound each stream to one request, but
+	// the *number of streams* is O(n·m), so the heal instant spikes as a
+	// resync storm. The budget spreads the repair over successive ticks:
+	// a denied request is not remembered — the stream simply asks again
+	// next tick, which is the ordinary repair cadence, so convergence is
+	// delayed by at most streams/budget ticks and never lost. Off (the
+	// paper-faithful zero value) is unlimited: the paper resends full
+	// state every time and has no resync traffic at all, so pacing is a
+	// deviation-local concern. Like the per-stream limiters this is
+	// derived pacing state, excluded from snapshots and fingerprints.
+	PaceResyncs bool
 	// DeltaBeats, when true, makes a HeartbeatHost announce its detector
 	// label incrementally (deviation D7, DESIGN.md §10): a snapshot
 	// BEATΔ opens the beat stream, steady-state ALIVE refreshes then
@@ -185,6 +202,47 @@ type Config struct {
 	// the D5 ACK discipline. Receiving all beat forms is always on.
 	// Ignored by the bare algorithms (beats are host traffic).
 	DeltaBeats bool
+}
+
+// ResyncBudgetPerTick is how many resync requests one frame family may
+// broadcast per Task-1 tick when Config.PaceResyncs is on (deviation
+// D9). The exact figure only trades heal-traffic peak against repair
+// spread — any positive constant preserves convergence, because denied
+// streams retry on the ordinary tick cadence.
+const ResyncBudgetPerTick = 8
+
+// resyncLimit resolves the D9 pacing knob to a per-tick limit; 0 means
+// unlimited (the paper has no resync traffic to pace).
+func (c Config) resyncLimit() int {
+	if c.PaceResyncs {
+		return ResyncBudgetPerTick
+	}
+	return 0
+}
+
+// resyncBudget tracks one frame family's per-tick resync allowance
+// (Config.PaceResyncs, deviation D9): pacing state only, reset when the
+// tick advances, never snapshotted or fingerprinted.
+type resyncBudget struct {
+	tick uint64
+	sent int
+}
+
+// take consumes one unit of the budget at the given tick. limit <= 0 is
+// unlimited (the paper-faithful zero value).
+func (b *resyncBudget) take(limit int, tick uint64) bool {
+	if limit <= 0 {
+		return true
+	}
+	if b.tick != tick {
+		b.tick = tick
+		b.sent = 0
+	}
+	if b.sent >= limit {
+		return false
+	}
+	b.sent++
+	return true
 }
 
 // msgEntry tracks one known application message in insertion order.

@@ -1,0 +1,122 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"anonurb/internal/channel"
+	"anonurb/internal/ident"
+	"anonurb/internal/nemesis"
+	"anonurb/internal/wire"
+	"anonurb/internal/xrand"
+)
+
+// mutatorSeedFrames runs representative single-message and batch
+// frames through the nemesis wire mutators — duplication, reorder,
+// bit flips gated by FlipGate — and collects every frame that reaches
+// a receiver. These are exactly the bytes campaigns put on the wire,
+// so they seed the decode fuzzers with realistic near-miss corpora
+// instead of only hand-cut truncations.
+func mutatorSeedFrames() [][]byte {
+	tags := ident.NewSource(xrand.New(1234))
+	msgs := []wire.Message{
+		wire.NewMsg(wire.MsgID{Tag: tags.Next(), Body: "mutant corpus"}),
+		wire.NewAck(wire.MsgID{Tag: tags.Next(), Body: "mutant corpus"}, tags.Next()),
+		wire.NewLabeledAck(wire.MsgID{Tag: tags.Next(), Body: ""}, tags.Next(),
+			[]ident.Tag{tags.Next(), tags.Next()}),
+		wire.NewBeat(tags.Next()),
+	}
+	single := msgs[0].Encode(nil)
+	batch := wire.EncodeBatch(msgs, 1<<20)[0]
+
+	model := channel.Duplicate{P: 0.5, Max: 2,
+		Then: channel.Reorder{P: 0.5, Window: 7,
+			Then: channel.BitFlip{P: 0.7, Check: nemesis.FlipGate,
+				Then: channel.Reliable{D: channel.FixedDelay(1)}}}}
+	rng := xrand.New(99)
+	frames := [][]byte{single, batch}
+	for attempt := 0; attempt < 64; attempt++ {
+		for _, orig := range [][]byte{single, batch} {
+			for _, c := range model.JudgeFrame(int64(attempt), 0, 1, uint64(attempt), orig, rng) {
+				if c.Frame != nil {
+					frames = append(frames, c.Frame)
+				}
+			}
+		}
+	}
+	return frames
+}
+
+// FuzzMutatedFrameDecode holds the receiver-side contract on mutated
+// wire bytes: whatever a campaign mutator emits (and whatever the
+// fuzzer grows from that corpus), DecodePrefix never panics, always
+// makes progress, re-encodes every accepted message canonically, and
+// DecodeBatch agrees with the manual prefix walk.
+func FuzzMutatedFrameDecode(f *testing.F) {
+	for _, fr := range mutatorSeedFrames() {
+		f.Add(fr)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			m, next, err := wire.DecodePrefix(rest)
+			if err != nil {
+				break
+			}
+			if len(next) >= len(rest) {
+				t.Fatal("DecodePrefix made no progress")
+			}
+			re := m.Encode(nil)
+			if !bytes.Equal(re, rest[:len(rest)-len(next)]) {
+				t.Fatal("accepted message does not re-encode canonically")
+			}
+			rest = next
+		}
+		msgs, err := wire.DecodeBatch(data)
+		fullyConsumed := len(data) > 0 && len(rest) == 0
+		if fullyConsumed != (err == nil) {
+			t.Fatalf("DecodeBatch err=%v disagrees with the prefix walk", err)
+		}
+		if err == nil && len(msgs) == 0 {
+			t.Fatal("DecodeBatch accepted a stream but returned no messages")
+		}
+	})
+}
+
+// FuzzFlipGateAgainstDecoder fuzzes the FlipGate admission decision
+// directly from the wire side: for any frame and any single-bit flip,
+// an admitted mutant must decode to a byte-identical prefix of the
+// original — the gate may truncate, never fabricate.
+func FuzzFlipGateAgainstDecoder(f *testing.F) {
+	for _, fr := range mutatorSeedFrames() {
+		f.Add(fr, 0)
+		f.Add(fr, len(fr)*4)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte, bit int) {
+		if len(frame) == 0 {
+			return
+		}
+		if bit < 0 {
+			bit = -bit
+		}
+		bit %= len(frame) * 8
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		if !nemesis.FlipGate(frame, mut) {
+			return // dropped at the link: always legal
+		}
+		rest := mut
+		for len(rest) > 0 {
+			_, next, err := wire.DecodePrefix(rest)
+			if err != nil {
+				break // permitted truncation: the tail is lost
+			}
+			off := len(mut) - len(rest)
+			used := len(rest) - len(next)
+			if off+used > len(frame) || !bytes.Equal(mut[off:off+used], frame[off:off+used]) {
+				t.Fatal("gate admitted a frame that decodes from altered bytes")
+			}
+			rest = next
+		}
+	})
+}
